@@ -1,0 +1,102 @@
+//! Keyword extraction — the Textalytics stand-in.
+//!
+//! The paper's semantic analyzer sends post bodies to Textalytics, an
+//! external text-mining API, and decorates users with topics of interest.
+//! The reproduction cannot call external services, so this module extracts
+//! topics with a small tf-based keyword extractor. The substitution is
+//! behaviour-preserving for the system claims: what matters is that a
+//! *decorator* consumes replicated posts and publishes derived user
+//! attributes, not the quality of the topics.
+
+use std::collections::BTreeMap;
+
+/// Words too common to be topics.
+const STOP_WORDS: &[&str] = &[
+    "a", "about", "after", "all", "also", "an", "and", "any", "are", "as", "at", "be", "because",
+    "been", "but", "by", "can", "come", "could", "day", "do", "even", "first", "for", "from",
+    "get", "give", "go", "have", "he", "her", "here", "him", "his", "how", "i", "if", "in",
+    "into", "is", "it", "its", "just", "know", "like", "look", "make", "man", "many", "me",
+    "more", "my", "new", "no", "not", "now", "of", "on", "one", "only", "or", "other", "our",
+    "out", "over", "people", "say", "see", "she", "so", "some", "take", "than", "that", "the",
+    "their", "them", "then", "there", "these", "they", "things", "think", "this", "time", "to",
+    "two", "up", "use", "very", "want", "was", "way", "we", "well", "what", "when", "which",
+    "who", "will", "with", "would", "you", "your", "really", "love",
+];
+
+/// Extracts up to `limit` topics of interest from `text`, most frequent
+/// first (ties broken alphabetically).
+///
+/// # Examples
+///
+/// ```
+/// use synapse_apps::analyzer::extract_topics;
+///
+/// let topics = extract_topics("I love hiking. Hiking boots and hiking trails!", 3);
+/// assert_eq!(topics[0], "hiking");
+/// ```
+pub fn extract_topics(text: &str, limit: usize) -> Vec<String> {
+    let mut counts: BTreeMap<String, u32> = BTreeMap::new();
+    for raw in text.split(|c: char| !c.is_alphanumeric()) {
+        let word = raw.to_lowercase();
+        if word.len() < 3 || STOP_WORDS.contains(&word.as_str()) {
+            continue;
+        }
+        *counts.entry(word).or_default() += 1;
+    }
+    let mut ranked: Vec<(String, u32)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ranked.truncate(limit);
+    ranked.into_iter().map(|(w, _)| w).collect()
+}
+
+/// Merges newly extracted topics into an existing interest list, keeping
+/// order of first appearance and capping the result.
+pub fn merge_interests(existing: &[String], fresh: &[String], cap: usize) -> Vec<String> {
+    let mut out: Vec<String> = existing.to_vec();
+    for t in fresh {
+        if !out.contains(t) {
+            out.push(t.clone());
+        }
+    }
+    if out.len() > cap {
+        out.drain(0..out.len() - cap);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_ranks_topics() {
+        let topics = extract_topics("cats cats cats dogs dogs fish", 2);
+        assert_eq!(topics, vec!["cats", "dogs"]);
+    }
+
+    #[test]
+    fn stop_words_and_short_words_are_dropped() {
+        let topics = extract_topics("I really love my new hiking boots so much", 5);
+        assert!(topics.contains(&"hiking".to_string()));
+        assert!(!topics.contains(&"my".to_string()));
+        assert!(!topics.contains(&"love".to_string()));
+    }
+
+    #[test]
+    fn empty_text_yields_nothing() {
+        assert!(extract_topics("", 5).is_empty());
+        assert!(extract_topics("a an the", 5).is_empty());
+    }
+
+    #[test]
+    fn merge_keeps_order_and_caps() {
+        let merged = merge_interests(
+            &["cats".into(), "dogs".into()],
+            &["dogs".into(), "fish".into()],
+            3,
+        );
+        assert_eq!(merged, vec!["cats", "dogs", "fish"]);
+        let capped = merge_interests(&["a".into(), "b".into(), "c".into()], &["d".into()], 2);
+        assert_eq!(capped, vec!["c", "d"], "oldest interests age out");
+    }
+}

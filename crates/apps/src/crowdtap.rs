@@ -1,0 +1,325 @@
+//! The Crowdtap production topology (§5.1, Fig. 10).
+//!
+//! The main app (MongoDB) publishes its core models to eight
+//! microservices. Edge semantics follow the figure: most services run
+//! causal; analytics, search, and reporting run weak. The five controllers
+//! of Fig. 12(a) are registered on the main app; the benchmark trace driver
+//! replays them with the paper's call mix.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use synapse_core::{DeliveryMode, Ecosystem, Publication, Subscription, SynapseConfig, SynapseNode};
+use synapse_db::LatencyModel;
+use synapse_model::{vmap, Id, ModelSchema, Value};
+use synapse_mvc::App;
+use synapse_orm::adapters::{ActiveRecordAdapter, MongoidAdapter, StretcherAdapter};
+use synapse_orm::CallbackPoint;
+
+/// The wired Crowdtap ecosystem.
+pub struct CrowdtapApps {
+    /// The main application (MongoDB) with the Fig. 12(a) controllers.
+    pub main: Arc<App>,
+    /// The eight microservices by name.
+    pub services: BTreeMap<String, Arc<SynapseNode>>,
+    /// Welcome emails sent by the mailer service (Fig. 2's callback).
+    pub mailer_outbox: Arc<Mutex<Vec<String>>>,
+}
+
+/// Service names in Fig. 10, with their delivery modes.
+pub const SERVICES: &[(&str, DeliveryMode)] = &[
+    ("moderation", DeliveryMode::Causal),
+    ("targeting", DeliveryMode::Causal),
+    ("fb_crawler", DeliveryMode::Causal),
+    ("mailer", DeliveryMode::Causal),
+    ("spree", DeliveryMode::Causal),
+    ("analytics", DeliveryMode::Weak),
+    ("search_engine", DeliveryMode::Weak),
+    ("reporting", DeliveryMode::Weak),
+];
+
+/// Builds and wires the ecosystem (call `eco.connect()` /
+/// `eco.start_all()` afterwards).
+pub fn build(eco: &Ecosystem, latency: LatencyModel) -> CrowdtapApps {
+    let main = build_main(eco, latency);
+    let mut services = BTreeMap::new();
+    let mut mailer_outbox = Arc::new(Mutex::new(Vec::new()));
+
+    for (name, mode) in SERVICES {
+        let node = match *name {
+            "analytics" | "search_engine" => eco.add_node(
+                SynapseConfig::new(*name).subscriber_mode(*mode),
+                Arc::new(StretcherAdapter::new(latency)),
+            ),
+            "spree" => eco.add_node(
+                SynapseConfig::new(*name).subscriber_mode(*mode),
+                Arc::new(ActiveRecordAdapter::new("postgresql", latency)),
+            ),
+            _ => eco.add_node(
+                SynapseConfig::new(*name).subscriber_mode(*mode),
+                Arc::new(MongoidAdapter::new("mongodb", latency)),
+            ),
+        };
+        wire_service(&node, name, &mut mailer_outbox);
+        services.insert((*name).to_owned(), node);
+    }
+
+    CrowdtapApps {
+        main,
+        services,
+        mailer_outbox,
+    }
+}
+
+/// Simulated business-logic time (template rendering, external calls, GC —
+/// everything a Rails controller does besides queries). The Fig. 12 trace
+/// driver passes a per-controller `app_work_us` scaled from the paper's
+/// controller times; the value is also what makes overhead percentages
+/// comparable, since this in-process stack has none of Rails's baseline
+/// cost.
+fn app_work(req: &synapse_mvc::Request) {
+    if let Some(us) = req.get("app_work_us").as_int() {
+        if us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(us as u64));
+        }
+    }
+}
+
+fn build_main(eco: &Ecosystem, latency: LatencyModel) -> Arc<App> {
+    let node = eco.add_node(
+        SynapseConfig::new("main_app"),
+        Arc::new(MongoidAdapter::new("mongodb", latency)),
+    );
+    let orm = node.orm();
+    for model in ["User", "Brand", "Award", "Action", "ActivityLog"] {
+        orm.define_model(ModelSchema::open(model)).unwrap();
+    }
+    node.publish(Publication::model("User").fields(&["name", "email", "points"]))
+        .unwrap();
+    node.publish(Publication::model("Brand").fields(&["name", "views"]))
+        .unwrap();
+    node.publish(Publication::model("Award").fields(&["name", "brand_id"]))
+        .unwrap();
+    node.publish(Publication::model("Action").fields(&[
+        "user_id", "brand_id", "kind", "status", "last_seen",
+    ]))
+    .unwrap();
+    node.publish(Publication::model("ActivityLog").fields(&["user_id", "event"]))
+        .unwrap();
+
+    let app = App::new(node);
+
+    // Fig. 12(a), row 1: awards/index — 17% of calls, read-only.
+    app.controller("awards/index", |app, req| {
+        app_work(req);
+        Ok(Value::from(app.orm().all("Award")?.len()))
+    });
+    // Row 2: brands/show — 16% of calls, ~0.03 messages/call (the trace
+    // driver sets `bump_views` on ~3% of calls).
+    app.controller("brands/show", |app, req| {
+        app_work(req);
+        let brand_id = Id(req.get("brand_id").as_int().unwrap_or(1) as u64);
+        let brand = app.orm().find("Brand", brand_id)?;
+        if req.get("bump_views").as_bool() == Some(true) {
+            if let Some(b) = &brand {
+                let views = b.get("views").as_int().unwrap_or(0) + 1;
+                app.orm().update("Brand", b.id, vmap! { "views" => views })?;
+            }
+        }
+        Ok(brand.map(|b| b.to_value()).unwrap_or(Value::Null))
+    });
+    // Row 3: actions/index — 15% of calls, ~0.67 messages/call with many
+    // read dependencies per message (the user's whole action list is read
+    // before the touch).
+    app.controller("actions/index", |app, req| {
+        app_work(req);
+        let user = req.current_user.expect("actions require a session");
+        let actions = app.orm().where_eq("Action", "user_id", user.raw())?;
+        if req.get("touch").as_bool() == Some(true) {
+            if let Some(first) = actions.first() {
+                app.orm()
+                    .update("Action", first.id, vmap! { "last_seen" => "now" })?;
+            }
+        }
+        Ok(Value::from(actions.len()))
+    });
+    // Row 4: me/show — 12% of calls, read-only.
+    app.controller("me/show", |app, req| {
+        app_work(req);
+        let user = req.current_user.expect("me requires a session");
+        Ok(app
+            .orm()
+            .find("User", user)?
+            .map(|u| u.to_value())
+            .unwrap_or(Value::Null))
+    });
+    // Row 5: actions/update — 11.5% of calls, ~3.46 messages/call: the
+    // action changes state, the user earns points, an activity is logged,
+    // and (on a fraction of calls) the brand counter moves too.
+    app.controller("actions/update", |app, req| {
+        app_work(req);
+        let user_id = req.current_user.expect("update requires a session");
+        let action_id = Id(req.get("action_id").as_int().unwrap_or(1) as u64);
+        let user = app.orm().find("User", user_id)?.ok_or_else(|| {
+            synapse_orm::OrmError::RecordNotFound {
+                model: "User".into(),
+                id: user_id.to_string(),
+            }
+        })?;
+        let action = app.orm().find("Action", action_id)?;
+        if let Some(action) = action {
+            app.orm()
+                .update("Action", action.id, vmap! { "status" => "completed" })?;
+            let points = user.get("points").as_int().unwrap_or(0) + 10;
+            app.orm().update("User", user.id, vmap! { "points" => points })?;
+            app.orm().create(
+                "ActivityLog",
+                vmap! { "user_id" => user.id.raw(), "event" => "action_completed" },
+            )?;
+            if req.get("bump_brand").as_bool() == Some(true) {
+                let brand_id = Id(action.get("brand_id").as_int().unwrap_or(1) as u64);
+                if let Some(brand) = app.orm().find("Brand", brand_id)? {
+                    let views = brand.get("views").as_int().unwrap_or(0) + 1;
+                    app.orm().update("Brand", brand.id, vmap! { "views" => views })?;
+                }
+            }
+        }
+        Ok(Value::Null)
+    });
+
+    app
+}
+
+fn wire_service(node: &Arc<SynapseNode>, name: &str, mailer_outbox: &mut Arc<Mutex<Vec<String>>>) {
+    let orm = node.orm();
+    match name {
+        "moderation" => {
+            orm.define_model(ModelSchema::open("Action")).unwrap();
+            node.subscribe(
+                Subscription::model("Action", "main_app").fields(&["user_id", "kind", "status"]),
+            )
+            .unwrap();
+        }
+        "targeting" => {
+            orm.define_model(ModelSchema::open("User")).unwrap();
+            orm.define_model(ModelSchema::open("Action")).unwrap();
+            orm.define_model(ModelSchema::open("SocialProfile")).unwrap();
+            node.subscribe(Subscription::model("User", "main_app").fields(&["name", "points"]))
+                .unwrap();
+            node.subscribe(
+                Subscription::model("Action", "main_app").fields(&["user_id", "brand_id", "kind"]),
+            )
+            .unwrap();
+            node.subscribe(
+                Subscription::model("SocialProfile", "fb_crawler").fields(&["user_id", "likes"]),
+            )
+            .unwrap();
+        }
+        "fb_crawler" => {
+            orm.define_model(ModelSchema::open("User")).unwrap();
+            orm.define_model(ModelSchema::open("SocialProfile")).unwrap();
+            node.subscribe(Subscription::model("User", "main_app").field("name"))
+                .unwrap();
+            node.publish(Publication::model("SocialProfile").fields(&["user_id", "likes"]))
+                .unwrap();
+        }
+        "mailer" => {
+            orm.define_model(ModelSchema::open("User")).unwrap();
+            node.subscribe(
+                Subscription::model("User", "main_app").fields(&["name", "email"]),
+            )
+            .unwrap();
+            let outbox = mailer_outbox.clone();
+            // Fig. 2: welcome emails for new users, suppressed in bootstrap.
+            orm.on("User", CallbackPoint::AfterCreate, move |ctx, user| {
+                if !ctx.bootstrap {
+                    outbox.lock().push(format!(
+                        "welcome {}",
+                        user.get("email").as_str().unwrap_or("?")
+                    ));
+                }
+                Ok(())
+            });
+        }
+        "spree" => {
+            orm.define_model(ModelSchema::new("User").field("name").field("points"))
+                .unwrap();
+            node.subscribe(
+                Subscription::model("User", "main_app").fields(&["name", "points"]),
+            )
+            .unwrap();
+        }
+        "analytics" => {
+            orm.define_model(ModelSchema::open("Action")).unwrap();
+            orm.define_model(ModelSchema::open("User")).unwrap();
+            node.subscribe(Subscription::model("Action", "main_app").fields(&[
+                "user_id", "brand_id", "kind", "status",
+            ]))
+            .unwrap();
+            node.subscribe(Subscription::model("User", "main_app").field("points"))
+                .unwrap();
+        }
+        "search_engine" => {
+            orm.define_model(ModelSchema::open("Brand")).unwrap();
+            orm.define_model(ModelSchema::open("Award")).unwrap();
+            node.subscribe(Subscription::model("Brand", "main_app").field("name"))
+                .unwrap();
+            node.subscribe(
+                Subscription::model("Award", "main_app").fields(&["name", "brand_id"]),
+            )
+            .unwrap();
+        }
+        "reporting" => {
+            orm.define_model(ModelSchema::open("Action")).unwrap();
+            node.subscribe(
+                Subscription::model("Action", "main_app").fields(&["user_id", "status"]),
+            )
+            .unwrap();
+        }
+        other => panic!("unknown Crowdtap service {other}"),
+    }
+}
+
+/// Seeds the main app with `users` users, `brands` brands (one award
+/// each), and one pending action per user. Returns the user ids.
+pub fn seed(main: &App, users: usize, brands: usize) -> Vec<Id> {
+    let orm = main.orm();
+    let mut brand_ids = Vec::new();
+    for b in 0..brands.max(1) {
+        let brand = orm
+            .create("Brand", vmap! { "name" => format!("brand-{b}"), "views" => 0 })
+            .expect("seed brand");
+        orm.create(
+            "Award",
+            vmap! { "name" => format!("award-{b}"), "brand_id" => brand.id.raw() },
+        )
+        .expect("seed award");
+        brand_ids.push(brand.id);
+    }
+    let mut user_ids = Vec::new();
+    for u in 0..users {
+        let user = orm
+            .create(
+                "User",
+                vmap! {
+                    "name" => format!("user-{u}"),
+                    "email" => format!("user-{u}@example.com"),
+                    "points" => 0,
+                },
+            )
+            .expect("seed user");
+        let brand = brand_ids[u % brand_ids.len()];
+        orm.create(
+            "Action",
+            vmap! {
+                "user_id" => user.id.raw(),
+                "brand_id" => brand.raw(),
+                "kind" => "sampling",
+                "status" => "pending",
+            },
+        )
+        .expect("seed action");
+        user_ids.push(user.id);
+    }
+    user_ids
+}

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks for the message broker: publish fanout and
+//! the pop/ack consumer path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use synapse_broker::{Broker, QueueConfig};
+
+fn bench_publish_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker/publish_fanout");
+    for queues in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(queues), &queues, |b, &queues| {
+            let broker = Broker::new();
+            for q in 0..queues {
+                let name = format!("q{q}");
+                broker.declare_queue(&name, QueueConfig::default());
+                broker.bind("pub", &name);
+            }
+            // Drain continuously so queues stay small.
+            let consumers: Vec<_> = (0..queues)
+                .map(|q| broker.consumer(&format!("q{q}")).unwrap())
+                .collect();
+            b.iter(|| {
+                broker.publish("pub", "{\"op\":\"bench\"}");
+                for consumer in &consumers {
+                    if let Some(d) = consumer.pop(Duration::from_millis(10)) {
+                        consumer.ack(d.tag);
+                    }
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pop_ack(c: &mut Criterion) {
+    c.bench_function("broker/pop_ack", |b| {
+        let broker = Broker::new();
+        broker.declare_queue("q", QueueConfig::default());
+        broker.bind("pub", "q");
+        let consumer = broker.consumer("q").unwrap();
+        b.iter(|| {
+            broker.publish("pub", "payload");
+            let d = consumer.pop(Duration::from_millis(10)).unwrap();
+            consumer.ack(d.tag);
+        });
+    });
+}
+
+criterion_group!(benches, bench_publish_fanout, bench_pop_ack);
+criterion_main!(benches);

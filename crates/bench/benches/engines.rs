@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks for the raw engine write paths (latency
+//! models off — this measures the engines' real in-process costs, which
+//! sit underneath every Fig. 13 number).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
+use synapse_db::{profiles, Filter, LatencyModel, Query, Row};
+use synapse_model::{Id, Value};
+
+fn insert_row(n: u64) -> Row {
+    let mut row = Row::new();
+    row.insert("name".into(), Value::from(format!("user-{n}")));
+    row.insert("n".into(), Value::from(n));
+    row
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines/insert");
+    for vendor in ["postgresql", "mongodb", "cassandra", "elasticsearch", "neo4j"] {
+        group.bench_with_input(BenchmarkId::from_parameter(vendor), &vendor, |b, vendor| {
+            let engine = profiles::by_name(vendor, LatencyModel::off());
+            engine
+                .execute(&Query::CreateTable { table: "t".into() })
+                .unwrap();
+            let next = AtomicU64::new(1);
+            b.iter(|| {
+                let id = next.fetch_add(1, Ordering::Relaxed);
+                engine
+                    .execute(&Query::Insert {
+                        table: "t".into(),
+                        id: Id(id),
+                        row: insert_row(id),
+                    })
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_point_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines/point_read");
+    for vendor in ["postgresql", "mongodb", "cassandra"] {
+        group.bench_with_input(BenchmarkId::from_parameter(vendor), &vendor, |b, vendor| {
+            let engine = profiles::by_name(vendor, LatencyModel::off());
+            engine
+                .execute(&Query::CreateTable { table: "t".into() })
+                .unwrap();
+            for i in 1..=1000u64 {
+                engine
+                    .execute(&Query::Insert {
+                        table: "t".into(),
+                        id: Id(i),
+                        row: insert_row(i),
+                    })
+                    .unwrap();
+            }
+            let next = AtomicU64::new(1);
+            b.iter(|| {
+                let id = next.fetch_add(1, Ordering::Relaxed) % 1000 + 1;
+                engine
+                    .execute(&Query::Select {
+                        table: "t".into(),
+                        filter: Filter::ById(Id(id)),
+                        order: None,
+                        limit: Some(1),
+                    })
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines/update");
+    for vendor in ["postgresql", "mysql", "cassandra"] {
+        group.bench_with_input(BenchmarkId::from_parameter(vendor), &vendor, |b, vendor| {
+            let engine = profiles::by_name(vendor, LatencyModel::off());
+            engine
+                .execute(&Query::CreateTable { table: "t".into() })
+                .unwrap();
+            engine
+                .execute(&Query::Insert {
+                    table: "t".into(),
+                    id: Id(1),
+                    row: insert_row(1),
+                })
+                .unwrap();
+            let next = AtomicU64::new(0);
+            b.iter(|| {
+                let mut set = Row::new();
+                set.insert(
+                    "n".into(),
+                    Value::from(next.fetch_add(1, Ordering::Relaxed)),
+                );
+                engine
+                    .execute(&Query::Update {
+                        table: "t".into(),
+                        filter: Filter::ById(Id(1)),
+                        set,
+                        unset: vec![],
+                    })
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_point_reads, bench_updates);
+criterion_main!(benches);

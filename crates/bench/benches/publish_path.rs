@@ -1,0 +1,66 @@
+//! Criterion micro-benchmark of the full publish path: one ORM write
+//! through interception, dependency bump, marshalling, and broker publish —
+//! versus the same write unpublished. The difference is Synapse's
+//! per-write cost (the y-intercept of Fig. 13(a)).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use synapse_core::{Ecosystem, Publication, SynapseConfig};
+use synapse_db::LatencyModel;
+use synapse_model::{vmap, ModelSchema};
+use synapse_orm::adapters::MongoidAdapter;
+
+fn bench_create(c: &mut Criterion, name: &str, publish: bool) {
+    let eco = Ecosystem::new();
+    let node = eco.add_node(
+        SynapseConfig::new(format!("bench_{publish}")),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    node.orm().define_model(ModelSchema::open("Post")).unwrap();
+    if publish {
+        node.publish(Publication::model("Post").fields(&["body", "n"]))
+            .unwrap();
+    }
+    let n = AtomicU64::new(0);
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            node.orm()
+                .create(
+                    "Post",
+                    vmap! { "body" => "hello world", "n" => n.fetch_add(1, Ordering::Relaxed) },
+                )
+                .unwrap()
+        })
+    });
+}
+
+fn bench_publish_path(c: &mut Criterion) {
+    bench_create(c, "publish_path/create_unpublished", false);
+    bench_create(c, "publish_path/create_published", true);
+}
+
+fn bench_transaction_batching(c: &mut Criterion) {
+    let eco = Ecosystem::new();
+    let node = eco.add_node(
+        SynapseConfig::new("bench_tx"),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    node.orm().define_model(ModelSchema::open("Post")).unwrap();
+    node.publish(Publication::model("Post").fields(&["n"])).unwrap();
+    let n = AtomicU64::new(0);
+    c.bench_function("publish_path/txn_4_writes_1_message", |b| {
+        b.iter(|| {
+            node.transaction(|| {
+                for _ in 0..4 {
+                    node.orm()
+                        .create("Post", vmap! { "n" => n.fetch_add(1, Ordering::Relaxed) })
+                        .unwrap();
+                }
+            })
+        })
+    });
+}
+
+criterion_group!(benches, bench_publish_path, bench_transaction_batching);
+criterion_main!(benches);

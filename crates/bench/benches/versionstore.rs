@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the version store: the publisher bump
+//! script and the subscriber wait/apply path, at varying dependency counts
+//! and shard counts. These back the cost decomposition of Fig. 13(a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synapse_versionstore::VersionStore;
+
+fn bench_publish_bump(c: &mut Criterion) {
+    let mut group = c.benchmark_group("versionstore/publish_bump");
+    for deps in [1usize, 4, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(deps), &deps, |b, &deps| {
+            let store = VersionStore::new(4);
+            let script: Vec<(u64, bool)> =
+                (0..deps as u64).map(|k| (k, k % 4 == 0)).collect();
+            b.iter(|| store.publish_bump(std::hint::black_box(&script)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("versionstore/apply");
+    for deps in [1usize, 16, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(deps), &deps, |b, &deps| {
+            let store = VersionStore::new(4);
+            let keys: Vec<u64> = (0..deps as u64).collect();
+            b.iter(|| store.apply(std::hint::black_box(&keys)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_satisfied_check(c: &mut Criterion) {
+    let store = VersionStore::new(8);
+    let deps: Vec<(u64, u64)> = (0..16).map(|k| (k, 0)).collect();
+    c.bench_function("versionstore/satisfied_16deps", |b| {
+        b.iter(|| store.satisfied(std::hint::black_box(&deps)).unwrap())
+    });
+}
+
+fn bench_shard_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("versionstore/shards");
+    for shards in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                let store = VersionStore::new(shards);
+                let script: Vec<(u64, bool)> = (0..32u64).map(|k| (k * 101, true)).collect();
+                b.iter(|| store.publish_bump(std::hint::black_box(&script)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_publish_bump,
+    bench_apply,
+    bench_satisfied_check,
+    bench_shard_counts
+);
+criterion_main!(benches);

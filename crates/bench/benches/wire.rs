@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks for the wire format: marshalling write
+//! messages to JSON and back (the per-message serialization cost every
+//! publisher pays).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use synapse_core::{Operation, WriteMessage};
+use synapse_model::{varray, vmap, wire, Id, Value};
+
+fn sample_message(ops: usize, deps: usize) -> WriteMessage {
+    let operations = (0..ops)
+        .map(|i| Operation {
+            operation: "update".into(),
+            types: vec!["User".into()],
+            id: Id(i as u64 + 1),
+            attributes: match vmap! {
+                "name" => "a reasonably long user name",
+                "interests" => varray!["cats", "dogs", "hiking"],
+                "points" => 12345,
+            } {
+                Value::Map(m) => m,
+                _ => unreachable!(),
+            },
+        })
+        .collect();
+    let dependencies: BTreeMap<u64, u64> = (0..deps as u64).map(|k| (k * 97, k)).collect();
+    WriteMessage {
+        app: "bench".into(),
+        operations,
+        dependencies,
+        published_at: 1_700_000_000_000_000,
+        generation: 1,
+    }
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let msg = sample_message(1, 4);
+    c.bench_function("wire/encode_message_1op_4deps", |b| {
+        b.iter(|| std::hint::black_box(&msg).encode())
+    });
+    let big = sample_message(10, 32);
+    c.bench_function("wire/encode_message_10op_32deps", |b| {
+        b.iter(|| std::hint::black_box(&big).encode())
+    });
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let text = sample_message(1, 4).encode();
+    c.bench_function("wire/decode_message_1op_4deps", |b| {
+        b.iter(|| WriteMessage::decode(std::hint::black_box(&text)).unwrap())
+    });
+}
+
+fn bench_value_roundtrip(c: &mut Criterion) {
+    let v = vmap! {
+        "nested" => vmap! { "a" => varray![1, 2, 3], "b" => "text" },
+        "n" => 42,
+        "f" => 1.5,
+    };
+    let text = wire::encode(&v);
+    c.bench_function("wire/value_encode", |b| {
+        b.iter(|| wire::encode(std::hint::black_box(&v)))
+    });
+    c.bench_function("wire/value_decode", |b| {
+        b.iter(|| wire::decode(std::hint::black_box(&text)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_value_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Fig. 13(b): end-to-end throughput vs. number of workers for different
+//! publisher→subscriber database combinations.
+//!
+//! The paper's pairs (slowest side starred): *Ephemeral→Observer,
+//! Cassandra→Elasticsearch*, MongoDB→RethinkDB*, *PostgreSQL→TokuMX,
+//! MySQL→Neo4j*. The §6.3 stress workload (25% posts / 75% comments) is
+//! driven with N publisher threads against N subscriber workers; engines
+//! run their calibrated latency models so the pairs saturate at the slower
+//! database, as in the paper. Scaled from 400 AWS instances to threads on
+//! one machine.
+//!
+//! Run with: `cargo run --release -p synapse-bench --bin fig13b_throughput [max_workers] [ms_per_step]`
+
+use std::time::Duration;
+use synapse_apps::stress::{self, StressConfig};
+use synapse_bench::render_table;
+use synapse_core::{DeliveryMode, Ecosystem};
+use synapse_db::{profiles, LatencyModel};
+
+const PAIRS: &[(&str, &str)] = &[
+    ("ephemeral", "ephemeral"),
+    ("cassandra", "elasticsearch"),
+    ("mongodb", "rethinkdb"),
+    ("postgresql", "tokumx"),
+    ("mysql", "neo4j"),
+];
+
+/// OS sleep granularity (~50-100 µs) would blur the differences between
+/// calibrated per-op costs of 25-90 µs, so the bench scales all latencies
+/// up by this factor; reported throughputs scale down accordingly while
+/// the saturation *ordering* — the figure's claim — is preserved.
+const LATENCY_SCALE: u32 = 4;
+
+fn run_pair(pub_vendor: &str, sub_vendor: &str, workers: usize, step: Duration) -> f64 {
+    let eco = Ecosystem::new();
+    let latency = |v: &str| {
+        if v == "ephemeral" {
+            LatencyModel::off()
+        } else {
+            let base = profiles::calibrated_latency(v);
+            LatencyModel::new(base.read * LATENCY_SCALE, base.write * LATENCY_SCALE)
+        }
+    };
+    let pair = stress::build_pair_with_latencies(
+        &eco,
+        pub_vendor,
+        sub_vendor,
+        DeliveryMode::Causal,
+        workers,
+        latency(pub_vendor),
+        latency(sub_vendor),
+    );
+    eco.connect();
+    eco.start_all();
+    let config = StressConfig {
+        users: 50,
+        post_percent: 25,
+        publisher_threads: workers,
+        duration: step,
+    };
+    let load = stress::run_load(&pair, &config);
+    let throughput = stress::drain_and_throughput(&pair, &load, Duration::from_secs(30));
+    eco.stop_all();
+    throughput
+}
+
+fn main() {
+    let max_workers: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let step_ms: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let step = Duration::from_millis(step_ms);
+    let worker_counts: Vec<usize> = (0..)
+        .map(|i| 1 << i)
+        .take_while(|w| *w <= max_workers)
+        .collect();
+
+    println!("Fig. 13(b) — throughput (msg/s) vs. workers, per DB combination");
+    println!("(workload: 25% posts / 75% comments; engines run calibrated latency)\n");
+    let mut rows = Vec::new();
+    for (pub_vendor, sub_vendor) in PAIRS {
+        let mut row = vec![format!("{pub_vendor} → {sub_vendor}")];
+        for w in &worker_counts {
+            let msg_s = run_pair(pub_vendor, sub_vendor, *w, step);
+            row.push(format!("{:.0}", msg_s));
+        }
+        rows.push(row);
+    }
+    let header_cells: Vec<String> = std::iter::once("pair".to_string())
+        .chain(worker_counts.iter().map(|w| format!("{w}w")))
+        .collect();
+    let header_refs: Vec<&str> = header_cells.iter().map(String::as_str).collect();
+    println!("{}", render_table(&header_refs, &rows));
+    println!("expected shape: ephemeral→observer scales ~linearly and tops the chart;");
+    println!("each DB pair saturates at its slower engine (paper: PostgreSQL ≈ 12k w/s,");
+    println!("Elasticsearch ≈ 20k w/s — absolute numbers here are laptop-scaled).");
+}

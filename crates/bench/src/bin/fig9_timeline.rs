@@ -1,0 +1,168 @@
+//! Fig. 9: execution timelines in the social ecosystem.
+//!
+//! * `sample-a` — a user posts on Diaspora; the mailer and semantic
+//!   analyzer receive it in parallel; Diaspora and Spree then receive the
+//!   decorated model (Fig. 9(a)).
+//! * `sample-b` — two users post twice each while the mailer is
+//!   disconnected; when it reconnects, it processes the two users' backlogs
+//!   in parallel but each user's posts in serial order (Fig. 9(b)).
+//!
+//! Run with: `cargo run -p synapse-bench --bin fig9_timeline -- sample-a`
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use synapse_bench::eventually;
+use synapse_core::Ecosystem;
+use synapse_db::LatencyModel;
+use synapse_model::Value;
+use synapse_mvc::Request;
+use synapse_orm::CallbackPoint;
+
+type Timeline = Arc<Mutex<Vec<(Duration, String)>>>;
+
+fn record(timeline: &Timeline, start: Instant, label: impl Into<String>) {
+    timeline.lock().push((start.elapsed(), label.into()));
+}
+
+fn print_timeline(timeline: &Timeline) {
+    let mut events = timeline.lock().clone();
+    events.sort_by_key(|(t, _)| *t);
+    for (t, label) in events {
+        println!("  {:>8.2} ms  {label}", t.as_secs_f64() * 1e3);
+    }
+}
+
+fn sample_a() {
+    println!("Fig. 9(a) — one post flows through the ecosystem\n");
+    let eco = Ecosystem::new();
+    let apps = synapse_apps::social::build(&eco, LatencyModel::off());
+    assert!(eco.connect().is_empty());
+
+    let timeline: Timeline = Arc::new(Mutex::new(Vec::new()));
+    let start = Instant::now();
+
+    // Instrument arrivals with callbacks.
+    let t = timeline.clone();
+    let s = start;
+    apps.analyzer.orm().on("Post", CallbackPoint::AfterCreate, move |_, _| {
+        record(&t, s, "③ semantic analyzer received the post");
+        Ok(())
+    });
+    let t = timeline.clone();
+    apps.mailer.orm().on("Post", CallbackPoint::AfterCreate, move |_, _| {
+        record(&t, s, "② mailer received the post");
+        Ok(())
+    });
+    let t = timeline.clone();
+    apps.spree.orm().on("User", CallbackPoint::AfterUpdate, move |_, u| {
+        if !u.get("interests").is_null() {
+            record(&t, s, "⑤ spree received the decorated User (interests)");
+        }
+        Ok(())
+    });
+    eco.start_all();
+
+    let users = synapse_apps::social::seed_users(&apps.diaspora, &[("alice", "a@x.com")]);
+    record(&timeline, start, "① alice posts on diaspora");
+    apps.diaspora
+        .dispatch(
+            "posts/create",
+            &Request::as_user(users[0]).param("body", "hiking hiking hiking"),
+        )
+        .unwrap();
+
+    assert!(eventually(Duration::from_secs(10), || {
+        timeline.lock().len() >= 4
+    }));
+    print_timeline(&timeline);
+    println!("\nmailer ② and analyzer ③ receive in parallel; the decorated model ⑤ follows.");
+    eco.stop_all();
+}
+
+fn sample_b() {
+    println!("Fig. 9(b) — subscriber disconnection and parallel-per-user catch-up\n");
+    let eco = Ecosystem::new();
+    let apps = synapse_apps::social::build(&eco, LatencyModel::off());
+    assert!(eco.connect().is_empty());
+
+    let timeline: Timeline = Arc::new(Mutex::new(Vec::new()));
+    let start = Instant::now();
+    let order: Arc<Mutex<Vec<(i64, String)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let t = timeline.clone();
+    let o = order.clone();
+    apps.mailer.orm().on("Post", CallbackPoint::AfterCreate, move |_, post| {
+        let author = post.get("author_id").as_int().unwrap_or(0);
+        let body = post.get("body").as_str().unwrap_or("?").to_owned();
+        record(&t, start, format!("mailer processed {body} (user {author})"));
+        o.lock().push((author, body));
+        // Simulate notification work so parallelism is visible.
+        std::thread::sleep(Duration::from_millis(30));
+        Ok(())
+    });
+
+    // Start everything EXCEPT the mailer: it is disconnected.
+    for app in ["diaspora", "discourse", "analyzer", "spree"] {
+        eco.node(app).unwrap().start();
+    }
+
+    let users = synapse_apps::social::seed_users(
+        &apps.diaspora,
+        &[("alice", "a@x.com"), ("bob", "b@x.com")],
+    );
+    for (i, round) in ["first", "second"].iter().enumerate() {
+        for (u, name) in users.iter().zip(["alice", "bob"]) {
+            record(
+                &timeline,
+                start,
+                format!("{} posts ({} post)", name, round),
+            );
+            apps.diaspora
+                .dispatch(
+                    "posts/create",
+                    &Request::as_user(*u).param("body", format!("{name}-post-{}", i + 1)),
+                )
+                .unwrap();
+        }
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    record(&timeline, start, "mailer comes online");
+    apps.mailer.node().start();
+
+    assert!(eventually(Duration::from_secs(10), || {
+        order.lock().len() >= 4
+    }));
+    print_timeline(&timeline);
+
+    // Verify causality: each user's posts processed in order.
+    let order = order.lock();
+    for user in [1i64, 2] {
+        let bodies: Vec<&str> = order
+            .iter()
+            .filter(|(a, _)| *a == user)
+            .map(|(_, b)| b.as_str())
+            .collect();
+        assert!(
+            bodies.windows(2).all(|w| w[0] < w[1]),
+            "user {user} posts out of order: {bodies:?}"
+        );
+    }
+    println!("\neach user's posts were processed serially; users in parallel ✓");
+    eco.stop_all();
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match arg.as_str() {
+        "sample-a" => sample_a(),
+        "sample-b" => sample_b(),
+        _ => {
+            sample_a();
+            println!();
+            sample_b();
+        }
+    }
+    // Keep the ecosystem's Value type linked for the `--bin` build.
+    let _ = Value::Null;
+}

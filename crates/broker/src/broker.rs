@@ -1,0 +1,378 @@
+//! The broker facade: exchanges, bindings, consumers, failure injection.
+
+use crate::message::Delivery;
+use crate::queue::{Queue, QueueConfig, QueueState};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Aggregate broker counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Messages accepted from publishers (before fanout).
+    pub published: u64,
+    /// Message copies enqueued across all queues.
+    pub enqueued: u64,
+    /// Message copies acked by consumers.
+    pub acked: u64,
+    /// Message copies dropped by failure injection.
+    pub dropped: u64,
+}
+
+#[derive(Default)]
+struct BrokerInner {
+    /// exchange (publisher app) → bound queue names.
+    bindings: HashMap<String, Vec<String>>,
+    queues: HashMap<String, Arc<Queue>>,
+    published: u64,
+}
+
+/// An in-process message broker with RabbitMQ semantics. Cloneable handle;
+/// clones share state.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use synapse_broker::{Broker, QueueConfig};
+///
+/// let broker = Broker::new();
+/// broker.declare_queue("mailer", QueueConfig::default());
+/// broker.bind("main_app", "mailer");
+/// broker.publish("main_app", "{\"op\":\"create\"}");
+///
+/// let consumer = broker.consumer("mailer").unwrap();
+/// let d = consumer.pop(Duration::from_millis(100)).unwrap();
+/// assert_eq!(d.payload, "{\"op\":\"create\"}");
+/// consumer.ack(d.tag);
+/// ```
+#[derive(Clone)]
+pub struct Broker {
+    inner: Arc<RwLock<BrokerInner>>,
+}
+
+impl Broker {
+    /// Creates an empty broker.
+    pub fn new() -> Self {
+        Broker {
+            inner: Arc::new(RwLock::new(BrokerInner::default())),
+        }
+    }
+
+    /// Declares (or re-declares, idempotently) a queue.
+    pub fn declare_queue(&self, name: &str, config: QueueConfig) {
+        let mut inner = self.inner.write();
+        inner
+            .queues
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(Queue::new(config)));
+    }
+
+    /// Binds `queue` to the fanout exchange of publisher app `exchange`.
+    pub fn bind(&self, exchange: &str, queue: &str) {
+        let mut inner = self.inner.write();
+        let bindings = inner.bindings.entry(exchange.to_owned()).or_default();
+        if !bindings.iter().any(|q| q == queue) {
+            bindings.push(queue.to_owned());
+        }
+    }
+
+    /// Publishes a payload on `exchange`, fanning out to all bound queues.
+    pub fn publish(&self, exchange: &str, payload: &str) {
+        let inner = self.inner.read();
+        if let Some(bound) = inner.bindings.get(exchange) {
+            for name in bound {
+                if let Some(queue) = inner.queues.get(name) {
+                    queue.enqueue(exchange, payload);
+                }
+            }
+        }
+        drop(inner);
+        self.inner.write().published += 1;
+    }
+
+    /// Returns a consumer handle for `queue`, or `None` if undeclared.
+    pub fn consumer(&self, queue: &str) -> Option<Consumer> {
+        let inner = self.inner.read();
+        inner.queues.get(queue).map(|q| Consumer {
+            queue: q.clone(),
+            name: queue.to_owned(),
+        })
+    }
+
+    /// Current state of a queue.
+    pub fn queue_state(&self, queue: &str) -> Option<QueueState> {
+        let inner = self.inner.read();
+        inner.queues.get(queue).map(|q| q.inner.lock().state)
+    }
+
+    /// Current backlog length of a queue.
+    pub fn queue_len(&self, queue: &str) -> Option<usize> {
+        let inner = self.inner.read();
+        inner.queues.get(queue).map(|q| q.inner.lock().ready.len())
+    }
+
+    /// Resets a decommissioned queue to active/empty (the subscriber has
+    /// completed its partial bootstrap and rejoins, §4.4).
+    pub fn reinstate_queue(&self, queue: &str) {
+        let inner = self.inner.read();
+        if let Some(q) = inner.queues.get(queue) {
+            q.reinstate();
+        }
+    }
+
+    /// Failure injection: silently drop the next `n` messages bound for
+    /// `queue` (the §6.5 RabbitMQ-upgrade incident).
+    pub fn inject_drop_next(&self, queue: &str, n: u64) {
+        let inner = self.inner.read();
+        if let Some(q) = inner.queues.get(queue) {
+            q.inner.lock().drop_next += n;
+        }
+    }
+
+    /// Failure injection: broker restart. All unacked deliveries return to
+    /// the front of their queues flagged `redelivered`.
+    pub fn recover(&self) {
+        let inner = self.inner.read();
+        for q in inner.queues.values() {
+            q.recover();
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> BrokerStats {
+        let inner = self.inner.read();
+        let mut stats = BrokerStats {
+            published: inner.published,
+            ..BrokerStats::default()
+        };
+        for q in inner.queues.values() {
+            let qi = q.inner.lock();
+            stats.enqueued += qi.enqueued;
+            stats.acked += qi.acked;
+            stats.dropped += qi.dropped;
+        }
+        stats
+    }
+}
+
+impl Default for Broker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A consumer bound to one queue. Cloneable; multiple workers may consume
+/// the same queue concurrently (the paper's parallel subscriber workers).
+#[derive(Clone)]
+pub struct Consumer {
+    queue: Arc<Queue>,
+    name: String,
+}
+
+impl Consumer {
+    /// Queue name this consumer reads from.
+    pub fn queue_name(&self) -> &str {
+        &self.name
+    }
+
+    /// Blocking pop: waits up to `timeout` for a delivery. Returns `None`
+    /// on timeout or if the queue was decommissioned.
+    pub fn pop(&self, timeout: Duration) -> Option<Delivery> {
+        self.queue.pop(timeout)
+    }
+
+    /// Acknowledges a delivery; returns `false` for unknown tags.
+    pub fn ack(&self, tag: u64) -> bool {
+        self.queue.ack(tag)
+    }
+
+    /// Returns a delivery to the queue front for redelivery.
+    pub fn nack(&self, tag: u64) -> bool {
+        self.queue.nack(tag)
+    }
+
+    /// Whether the queue has been decommissioned.
+    pub fn is_decommissioned(&self) -> bool {
+        self.queue.inner.lock().state == QueueState::Decommissioned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn broker_with(queue: &str) -> Broker {
+        let b = Broker::new();
+        b.declare_queue(queue, QueueConfig::default());
+        b.bind("pub", queue);
+        b
+    }
+
+    #[test]
+    fn fanout_reaches_all_bound_queues() {
+        let b = Broker::new();
+        b.declare_queue("q1", QueueConfig::default());
+        b.declare_queue("q2", QueueConfig::default());
+        b.bind("pub", "q1");
+        b.bind("pub", "q2");
+        b.publish("pub", "m");
+        for q in ["q1", "q2"] {
+            let c = b.consumer(q).unwrap();
+            assert_eq!(c.pop(Duration::from_millis(50)).unwrap().payload, "m");
+        }
+    }
+
+    #[test]
+    fn unbound_queue_receives_nothing() {
+        let b = Broker::new();
+        b.declare_queue("q", QueueConfig::default());
+        b.publish("pub", "m");
+        assert!(b
+            .consumer("q")
+            .unwrap()
+            .pop(Duration::from_millis(20))
+            .is_none());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let b = broker_with("q");
+        for i in 0..10 {
+            b.publish("pub", &i.to_string());
+        }
+        let c = b.consumer("q").unwrap();
+        for i in 0..10 {
+            let d = c.pop(Duration::from_millis(50)).unwrap();
+            assert_eq!(d.payload, i.to_string());
+            c.ack(d.tag);
+        }
+    }
+
+    #[test]
+    fn nack_requeues_at_front_flagged_redelivered() {
+        let b = broker_with("q");
+        b.publish("pub", "a");
+        b.publish("pub", "b");
+        let c = b.consumer("q").unwrap();
+        let d = c.pop(Duration::from_millis(50)).unwrap();
+        assert!(!d.redelivered);
+        assert!(c.nack(d.tag));
+        let d2 = c.pop(Duration::from_millis(50)).unwrap();
+        assert_eq!(d2.payload, "a");
+        assert!(d2.redelivered);
+    }
+
+    #[test]
+    fn ack_of_unknown_tag_is_rejected() {
+        let b = broker_with("q");
+        let c = b.consumer("q").unwrap();
+        assert!(!c.ack(999));
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_publish() {
+        let b = broker_with("q");
+        let c = b.consumer("q").unwrap();
+        let h = thread::spawn(move || c.pop(Duration::from_secs(5)).unwrap().payload);
+        thread::sleep(Duration::from_millis(30));
+        b.publish("pub", "late");
+        assert_eq!(h.join().unwrap(), "late");
+    }
+
+    #[test]
+    fn concurrent_workers_partition_the_queue() {
+        let b = broker_with("q");
+        for i in 0..100 {
+            b.publish("pub", &i.to_string());
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = b.consumer("q").unwrap();
+            handles.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(d) = c.pop(Duration::from_millis(50)) {
+                    got.push(d.payload.clone());
+                    c.ack(d.tag);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<String> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        assert_eq!(all.len(), 100, "each message delivered exactly once");
+        all.sort_by_key(|s| s.parse::<u64>().unwrap());
+        for (i, payload) in all.iter().enumerate() {
+            assert_eq!(payload, &i.to_string());
+        }
+    }
+
+    #[test]
+    fn queue_cap_triggers_decommission() {
+        let b = Broker::new();
+        b.declare_queue("q", QueueConfig { max_len: Some(5) });
+        b.bind("pub", "q");
+        for i in 0..10 {
+            b.publish("pub", &i.to_string());
+        }
+        assert_eq!(b.queue_state("q"), Some(QueueState::Decommissioned));
+        assert_eq!(b.queue_len("q"), Some(0), "backlog was discarded");
+        let c = b.consumer("q").unwrap();
+        assert!(c.is_decommissioned());
+        assert!(c.pop(Duration::from_millis(20)).is_none());
+        // Reinstating restores delivery.
+        b.reinstate_queue("q");
+        b.publish("pub", "fresh");
+        assert_eq!(c.pop(Duration::from_millis(50)).unwrap().payload, "fresh");
+    }
+
+    #[test]
+    fn injected_drops_lose_messages_silently() {
+        let b = broker_with("q");
+        b.inject_drop_next("q", 2);
+        for i in 0..4 {
+            b.publish("pub", &i.to_string());
+        }
+        let c = b.consumer("q").unwrap();
+        assert_eq!(c.pop(Duration::from_millis(50)).unwrap().payload, "2");
+        assert_eq!(c.pop(Duration::from_millis(50)).unwrap().payload, "3");
+        assert_eq!(b.stats().dropped, 2);
+    }
+
+    #[test]
+    fn recover_requeues_unacked_in_order() {
+        let b = broker_with("q");
+        for p in ["a", "b", "c"] {
+            b.publish("pub", p);
+        }
+        let c = b.consumer("q").unwrap();
+        let d1 = c.pop(Duration::from_millis(50)).unwrap();
+        let d2 = c.pop(Duration::from_millis(50)).unwrap();
+        c.ack(d1.tag);
+        assert_eq!(d2.payload, "b");
+        // Restart: "b" (unacked) returns before "c".
+        b.recover();
+        let r1 = c.pop(Duration::from_millis(50)).unwrap();
+        assert_eq!(r1.payload, "b");
+        assert!(r1.redelivered);
+        let r2 = c.pop(Duration::from_millis(50)).unwrap();
+        assert_eq!(r2.payload, "c");
+    }
+
+    #[test]
+    fn stats_track_lifecycle() {
+        let b = broker_with("q");
+        b.publish("pub", "x");
+        let c = b.consumer("q").unwrap();
+        let d = c.pop(Duration::from_millis(50)).unwrap();
+        c.ack(d.tag);
+        let s = b.stats();
+        assert_eq!(s.published, 1);
+        assert_eq!(s.enqueued, 1);
+        assert_eq!(s.acked, 1);
+    }
+}

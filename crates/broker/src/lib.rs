@@ -1,0 +1,24 @@
+//! Reliable pub/sub message broker — the RabbitMQ of the paper.
+//!
+//! Synapse sends every write message to "a reliable, persistent, and
+//! scalable message broker system", with "a dedicated queue for each
+//! subscriber app" whose messages are "processed in parallel by multiple
+//! subscriber workers" (§4). This crate reproduces the slice of RabbitMQ
+//! the paper depends on:
+//!
+//! * fanout exchanges: one per publisher app, bound to subscriber queues;
+//! * durable FIFO queues with blocking consumers, delivery tags,
+//!   ack/nack-requeue, and redelivery of unacked messages on recovery;
+//! * the queue-cap/decommission policy of §4.4 ("Synapse decommissions the
+//!   subscriber ... and kills its queue once the queue size reaches a
+//!   configurable limit");
+//! * failure injection — dropped messages (the RabbitMQ-upgrade incident of
+//!   §6.5) and broker restarts that requeue in-flight deliveries.
+
+pub mod broker;
+pub mod message;
+pub mod queue;
+
+pub use broker::{Broker, BrokerStats, Consumer};
+pub use message::Delivery;
+pub use queue::{QueueConfig, QueueState};

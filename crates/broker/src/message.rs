@@ -1,0 +1,19 @@
+//! Broker delivery envelope.
+
+/// A message delivered to a consumer.
+///
+/// The payload is opaque to the broker (Synapse ships JSON write messages).
+/// The delivery tag identifies this delivery for `ack`/`nack`, exactly as
+/// in AMQP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Queue-unique delivery tag.
+    pub tag: u64,
+    /// Name of the publishing app (the exchange the message arrived on).
+    pub exchange: String,
+    /// Opaque payload.
+    pub payload: String,
+    /// `true` if this delivery is a redelivery after a nack or broker
+    /// recovery.
+    pub redelivered: bool,
+}

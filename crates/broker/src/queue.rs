@@ -1,0 +1,170 @@
+//! Durable FIFO queues with acks and the decommission policy.
+
+use crate::message::Delivery;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Queue configuration.
+#[derive(Debug, Clone, Default)]
+pub struct QueueConfig {
+    /// Maximum backlog before the queue is killed and its subscriber
+    /// decommissioned (§4.4). `None` means unbounded.
+    pub max_len: Option<usize>,
+}
+
+/// Lifecycle state of a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueState {
+    /// Accepting and delivering messages.
+    Active,
+    /// Killed after exceeding its backlog cap; contents were discarded and
+    /// the subscriber must partially bootstrap to rejoin (§4.4).
+    Decommissioned,
+}
+
+#[derive(Debug)]
+pub(crate) struct QueueInner {
+    pub(crate) ready: VecDeque<Delivery>,
+    pub(crate) unacked: HashMap<u64, Delivery>,
+    pub(crate) state: QueueState,
+    pub(crate) next_tag: u64,
+    pub(crate) config: QueueConfig,
+    /// Counters: enqueued, delivered, acked, dropped-by-fault.
+    pub(crate) enqueued: u64,
+    pub(crate) acked: u64,
+    pub(crate) dropped: u64,
+    /// Fault injection: number of upcoming messages to silently drop.
+    pub(crate) drop_next: u64,
+}
+
+impl QueueInner {
+    fn new(config: QueueConfig) -> Self {
+        QueueInner {
+            ready: VecDeque::new(),
+            unacked: HashMap::new(),
+            state: QueueState::Active,
+            next_tag: 1,
+            config,
+            enqueued: 0,
+            acked: 0,
+            dropped: 0,
+            drop_next: 0,
+        }
+    }
+}
+
+/// A single named queue. Created through
+/// [`Broker::declare_queue`](crate::Broker::declare_queue).
+#[derive(Debug)]
+pub(crate) struct Queue {
+    pub(crate) inner: Mutex<QueueInner>,
+    pub(crate) ready_cv: Condvar,
+}
+
+impl Queue {
+    pub(crate) fn new(config: QueueConfig) -> Self {
+        Queue {
+            inner: Mutex::new(QueueInner::new(config)),
+            ready_cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a payload; enforces the decommission policy.
+    pub(crate) fn enqueue(&self, exchange: &str, payload: &str) {
+        let mut inner = self.inner.lock();
+        if inner.state == QueueState::Decommissioned {
+            return;
+        }
+        if inner.drop_next > 0 {
+            inner.drop_next -= 1;
+            inner.dropped += 1;
+            return;
+        }
+        if let Some(max) = inner.config.max_len {
+            if inner.ready.len() >= max {
+                // Kill the queue: discard the backlog and stop accepting.
+                inner.ready.clear();
+                inner.unacked.clear();
+                inner.state = QueueState::Decommissioned;
+                drop(inner);
+                self.ready_cv.notify_all();
+                return;
+            }
+        }
+        let tag = inner.next_tag;
+        inner.next_tag += 1;
+        inner.ready.push_back(Delivery {
+            tag,
+            exchange: exchange.to_owned(),
+            payload: payload.to_owned(),
+            redelivered: false,
+        });
+        inner.enqueued += 1;
+        drop(inner);
+        self.ready_cv.notify_one();
+    }
+
+    /// Blocking pop with deadline; moves the delivery to the unacked set.
+    pub(crate) fn pop(&self, timeout: Duration) -> Option<Delivery> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(delivery) = inner.ready.pop_front() {
+                inner.unacked.insert(delivery.tag, delivery.clone());
+                return Some(delivery);
+            }
+            if inner.state == QueueState::Decommissioned {
+                return None;
+            }
+            if self.ready_cv.wait_until(&mut inner, deadline).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    pub(crate) fn ack(&self, tag: u64) -> bool {
+        let mut inner = self.inner.lock();
+        let hit = inner.unacked.remove(&tag).is_some();
+        if hit {
+            inner.acked += 1;
+        }
+        hit
+    }
+
+    /// Returns the delivery to the front of the queue, marked redelivered.
+    pub(crate) fn nack(&self, tag: u64) -> bool {
+        let mut inner = self.inner.lock();
+        if let Some(mut delivery) = inner.unacked.remove(&tag) {
+            delivery.redelivered = true;
+            inner.ready.push_front(delivery);
+            drop(inner);
+            self.ready_cv.notify_one();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Requeues all unacked deliveries (broker restart semantics).
+    pub(crate) fn recover(&self) {
+        let mut inner = self.inner.lock();
+        let mut unacked: Vec<Delivery> = inner.unacked.drain().map(|(_, d)| d).collect();
+        unacked.sort_by_key(|d| d.tag);
+        for mut d in unacked.into_iter().rev() {
+            d.redelivered = true;
+            inner.ready.push_front(d);
+        }
+        drop(inner);
+        self.ready_cv.notify_all();
+    }
+
+    /// Resets a decommissioned queue to empty active state (the subscriber
+    /// rejoining after a partial bootstrap).
+    pub(crate) fn reinstate(&self) {
+        let mut inner = self.inner.lock();
+        inner.ready.clear();
+        inner.unacked.clear();
+        inner.state = QueueState::Active;
+    }
+}

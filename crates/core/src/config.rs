@@ -1,0 +1,118 @@
+//! Per-service Synapse configuration.
+
+use crate::deps::DepSpace;
+use crate::semantics::DeliveryMode;
+use std::time::Duration;
+
+/// Configuration of one service's Synapse runtime.
+#[derive(Debug, Clone)]
+pub struct SynapseConfig {
+    /// Application name — the message `app` field and queue/exchange name.
+    pub app: String,
+    /// Delivery mode this service *supports* as a publisher (§3.2:
+    /// publishers pick the strongest semantics they are willing to pay for).
+    pub publisher_mode: DeliveryMode,
+    /// Delivery mode this service *requests* as a subscriber; the effective
+    /// mode per publisher is the weaker of the two.
+    pub subscriber_mode: DeliveryMode,
+    /// Effective dependency space (§4.2's O(1)-memory hashing).
+    pub dep_space: DepSpace,
+    /// Shards in each version store.
+    pub version_store_shards: usize,
+    /// How long a subscriber worker waits for a causal dependency before
+    /// giving up and processing anyway. The paper's §6.5 recommendation:
+    /// "weak and causal modes are achieved with the timeout set to 0 s and
+    /// ∞, respectively" — anything in between trades consistency for
+    /// availability. `None` means wait forever.
+    pub dep_wait_timeout: Option<Duration>,
+    /// Subscriber worker threads ("messages in the queue are processed in
+    /// parallel by multiple subscriber workers").
+    pub subscriber_workers: usize,
+    /// Queue backlog cap before decommission (§4.4); `None` = unbounded.
+    pub queue_max_len: Option<usize>,
+}
+
+impl SynapseConfig {
+    /// The paper's default posture: causal publisher, causal subscriber.
+    pub fn new(app: impl Into<String>) -> Self {
+        SynapseConfig {
+            app: app.into(),
+            publisher_mode: DeliveryMode::Causal,
+            subscriber_mode: DeliveryMode::Causal,
+            dep_space: DepSpace::new(1 << 20),
+            version_store_shards: 4,
+            dep_wait_timeout: Some(Duration::from_secs(10)),
+            subscriber_workers: 2,
+            queue_max_len: None,
+        }
+    }
+
+    /// Sets both publisher and subscriber modes.
+    pub fn mode(mut self, mode: DeliveryMode) -> Self {
+        self.publisher_mode = mode;
+        self.subscriber_mode = mode;
+        self
+    }
+
+    /// Sets the publisher mode.
+    pub fn publisher_mode(mut self, mode: DeliveryMode) -> Self {
+        self.publisher_mode = mode;
+        self
+    }
+
+    /// Sets the subscriber mode.
+    pub fn subscriber_mode(mut self, mode: DeliveryMode) -> Self {
+        self.subscriber_mode = mode;
+        self
+    }
+
+    /// Sets the subscriber worker count.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.subscriber_workers = n;
+        self
+    }
+
+    /// Sets the dependency-wait timeout (`None` = wait forever).
+    pub fn wait_timeout(mut self, t: Option<Duration>) -> Self {
+        self.dep_wait_timeout = t;
+        self
+    }
+
+    /// Sets the dependency space.
+    pub fn dep_space(mut self, space: DepSpace) -> Self {
+        self.dep_space = space;
+        self
+    }
+
+    /// Sets the queue cap.
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.queue_max_len = Some(cap);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let c = SynapseConfig::new("crowdtap");
+        assert_eq!(c.publisher_mode, DeliveryMode::Causal);
+        assert_eq!(c.subscriber_mode, DeliveryMode::Causal);
+        assert!(c.queue_max_len.is_none());
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = SynapseConfig::new("analytics")
+            .mode(DeliveryMode::Weak)
+            .workers(8)
+            .queue_cap(1000)
+            .wait_timeout(None);
+        assert_eq!(c.subscriber_mode, DeliveryMode::Weak);
+        assert_eq!(c.subscriber_workers, 8);
+        assert_eq!(c.queue_max_len, Some(1000));
+        assert!(c.dep_wait_timeout.is_none());
+    }
+}

@@ -1,0 +1,273 @@
+//! The write-message format (Fig. 6(b)).
+//!
+//! A write message carries every operation of one unit of work (a single
+//! write, or all writes of one transaction — "all writes within a single
+//! transaction are combined into a single message"), the dependency map
+//! produced by the version-store bump, the publisher's generation number,
+//! and a publication timestamp. It is encoded as canonical JSON through
+//! [`synapse_model::wire`], the same format the figure shows.
+
+use std::collections::BTreeMap;
+use synapse_model::{vmap, wire, Id, ModelError, Record, Value};
+use synapse_versionstore::DepKey;
+
+/// One replicated operation within a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// `create`, `update`, or `destroy`.
+    pub operation: String,
+    /// Complete inheritance chain, most-derived first (§4.1: "Synapse also
+    /// includes each object's complete inheritance tree, allowing
+    /// subscribers to consume polymorphic models").
+    pub types: Vec<String>,
+    /// Object primary key.
+    pub id: Id,
+    /// Published attributes. For `destroy`, the pre-image's published
+    /// attributes: the paper's text ships only deleted ids (§4.1), but its
+    /// own Example 2 (Fig. 5) has an observer's `after_destroy` read
+    /// `user1`/`user2` off the destroyed object, which requires them —
+    /// DESIGN.md records the deviation.
+    pub attributes: BTreeMap<String, Value>,
+}
+
+impl Operation {
+    /// The most-derived model name.
+    pub fn model(&self) -> &str {
+        self.types.first().map(String::as_str).unwrap_or("")
+    }
+
+    /// Builds the operation from a marshalled record.
+    pub fn from_record(operation: &str, record: &Record) -> Self {
+        Operation {
+            operation: operation.to_owned(),
+            types: record.types.clone(),
+            id: record.id,
+            attributes: record.attrs.clone(),
+        }
+    }
+}
+
+/// A complete write message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteMessage {
+    /// Publishing application.
+    pub app: String,
+    /// Operations in execution order.
+    pub operations: Vec<Operation>,
+    /// Dependency map: effective dependency key → required version
+    /// (Fig. 6(b)'s `dependencies` object).
+    pub dependencies: BTreeMap<DepKey, u64>,
+    /// Publication wall-clock time, microseconds since the Unix epoch.
+    pub published_at: u64,
+    /// Publisher generation (§4.4 recovery).
+    pub generation: u64,
+}
+
+impl WriteMessage {
+    /// Encodes to canonical JSON.
+    pub fn encode(&self) -> String {
+        let ops: Vec<Value> = self
+            .operations
+            .iter()
+            .map(|op| {
+                vmap! {
+                    "operation" => op.operation.clone(),
+                    "types" => Value::Array(
+                        op.types.iter().map(|t| Value::from(t.clone())).collect()
+                    ),
+                    "id" => op.id.raw(),
+                    "attributes" => Value::Map(op.attributes.clone()),
+                }
+            })
+            .collect();
+        let deps: BTreeMap<String, Value> = self
+            .dependencies
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::from(*v)))
+            .collect();
+        let msg = vmap! {
+            "app" => self.app.clone(),
+            "operations" => Value::Array(ops),
+            "dependencies" => Value::Map(deps),
+            "published_at" => self.published_at,
+            "generation" => self.generation,
+        };
+        wire::encode(&msg)
+    }
+
+    /// Decodes from JSON.
+    pub fn decode(text: &str) -> Result<WriteMessage, ModelError> {
+        let v = wire::decode(text)?;
+        let app = v
+            .get("app")
+            .as_str()
+            .ok_or_else(|| ModelError::Malformed("missing app".into()))?
+            .to_owned();
+        let mut operations = Vec::new();
+        for op in v
+            .get("operations")
+            .as_array()
+            .ok_or_else(|| ModelError::Malformed("missing operations".into()))?
+        {
+            let operation = op
+                .get("operation")
+                .as_str()
+                .ok_or_else(|| ModelError::Malformed("missing operation kind".into()))?
+                .to_owned();
+            let types: Vec<String> = op
+                .get("types")
+                .as_array()
+                .ok_or_else(|| ModelError::Malformed("missing types".into()))?
+                .iter()
+                .filter_map(|t| t.as_str().map(str::to_owned))
+                .collect();
+            if types.is_empty() {
+                return Err(ModelError::Malformed("empty type chain".into()));
+            }
+            let id = op
+                .get("id")
+                .as_int()
+                .ok_or_else(|| ModelError::Malformed("missing id".into()))?;
+            let attributes = op
+                .get("attributes")
+                .as_map()
+                .cloned()
+                .unwrap_or_default();
+            operations.push(Operation {
+                operation,
+                types,
+                id: Id(id as u64),
+                attributes,
+            });
+        }
+        let mut dependencies = BTreeMap::new();
+        if let Some(deps) = v.get("dependencies").as_map() {
+            for (k, val) in deps {
+                let key: DepKey = k
+                    .parse()
+                    .map_err(|_| ModelError::Malformed(format!("bad dependency key {k}")))?;
+                let version = val
+                    .as_int()
+                    .ok_or_else(|| ModelError::Malformed("bad dependency version".into()))?;
+                dependencies.insert(key, version as u64);
+            }
+        }
+        let published_at = v.get("published_at").as_int().unwrap_or(0) as u64;
+        let generation = v.get("generation").as_int().unwrap_or(1) as u64;
+        Ok(WriteMessage {
+            app,
+            operations,
+            dependencies,
+            published_at,
+            generation,
+        })
+    }
+
+    /// Dependency list in `(key, required_version)` form for the version
+    /// store wait.
+    pub fn dep_list(&self) -> Vec<(DepKey, u64)> {
+        self.dependencies.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Dependency keys only (for the subscriber's post-processing apply).
+    pub fn dep_keys(&self) -> Vec<DepKey> {
+        self.dependencies.keys().copied().collect()
+    }
+}
+
+/// Current wall-clock in microseconds since the Unix epoch.
+pub fn now_micros() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synapse_model::varray;
+
+    fn fig6b_message() -> WriteMessage {
+        // The Fig. 6(b) sample: pub3 updates User#100's interests.
+        let mut attributes = BTreeMap::new();
+        attributes.insert("interests".to_owned(), varray!["cats", "dogs"]);
+        let mut dependencies = BTreeMap::new();
+        dependencies.insert(77_u64, 42_u64); // hash("pub3/users/id/100") → 42
+        WriteMessage {
+            app: "pub3".into(),
+            operations: vec![Operation {
+                operation: "update".into(),
+                types: vec!["User".into()],
+                id: Id(100),
+                attributes,
+            }],
+            dependencies,
+            published_at: 1_413_014_340_000_000,
+            generation: 1,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let msg = fig6b_message();
+        let decoded = WriteMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn encoding_contains_fig6b_fields() {
+        let text = fig6b_message().encode();
+        for needle in [
+            r#""app":"pub3""#,
+            r#""operation":"update""#,
+            r#""types":["User"]"#,
+            r#""id":100"#,
+            r#""interests":["cats","dogs"]"#,
+            r#""dependencies":{"77":42}"#,
+            r#""generation":1"#,
+        ] {
+            assert!(text.contains(needle), "{text} should contain {needle}");
+        }
+    }
+
+    #[test]
+    fn destroy_operations_carry_the_pre_image() {
+        // Required by Fig. 5's observer `after_destroy` callbacks, which
+        // read the destroyed object's attributes.
+        let mut r = Record::new("User", Id(5));
+        r.set("name", "x");
+        let op = Operation::from_record("destroy", &r);
+        assert_eq!(op.attributes.get("name"), Some(&Value::from("x")));
+        assert_eq!(op.id, Id(5));
+    }
+
+    #[test]
+    fn polymorphic_type_chains_roundtrip() {
+        let mut msg = fig6b_message();
+        msg.operations[0].types = vec!["AdminUser".into(), "User".into()];
+        let decoded = WriteMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded.operations[0].model(), "AdminUser");
+        assert_eq!(decoded.operations[0].types.len(), 2);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_messages() {
+        for bad in [
+            "{}",
+            r#"{"app":"a"}"#,
+            r#"{"app":"a","operations":[{"operation":"create"}]}"#,
+            r#"{"app":"a","operations":[{"operation":"create","types":[],"id":1}]}"#,
+            "not json",
+        ] {
+            assert!(WriteMessage::decode(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn dep_list_matches_map() {
+        let msg = fig6b_message();
+        assert_eq!(msg.dep_list(), vec![(77, 42)]);
+        assert_eq!(msg.dep_keys(), vec![77]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Live schema migration rules (§4.3).
+//!
+//! "When deploying new features or refactoring code, it may happen that the
+//! local DB schema must be changed, or new data must be published or
+//! subscribed. A few rules must be respected": publisher-internal changes
+//! must stay invisible to subscribers, published attribute semantics must
+//! never change, and new attributes deploy publisher-first. This module
+//! checks a proposed migration plan against the current publication before
+//! it is applied — the deploy-time counterpart of the §4.5 static checks.
+
+use crate::api::Publication;
+
+/// One step of a proposed schema migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrationStep {
+    /// Remove a column from the local DB schema.
+    DropLocalColumn {
+        /// Model name.
+        model: String,
+        /// Column name.
+        column: String,
+        /// Whether a virtual attribute of the same name is being added to
+        /// keep the publication observable (rule 1's escape hatch).
+        replaced_by_virtual: bool,
+    },
+    /// Change the meaning/type of an attribute in place.
+    ChangeAttributeSemantics {
+        /// Model name.
+        model: String,
+        /// Attribute name.
+        attribute: String,
+    },
+    /// Start publishing a new attribute.
+    PublishNewAttribute {
+        /// Model name.
+        model: String,
+        /// Attribute name.
+        attribute: String,
+        /// `true` when the publisher deploys before any subscriber
+        /// subscribes to the attribute (rule 3).
+        publisher_deploys_first: bool,
+    },
+    /// Stop publishing an attribute (the end of rule 2's
+    /// publish-new-then-retire-old dance).
+    RetireAttribute {
+        /// Model name.
+        model: String,
+        /// Attribute name.
+        attribute: String,
+    },
+}
+
+/// Validates `steps` against the model's current `publication`; returns the
+/// rule violations (empty = safe to deploy).
+pub fn check_migration(publication: &Publication, steps: &[MigrationStep]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for step in steps {
+        match step {
+            MigrationStep::DropLocalColumn {
+                model,
+                column,
+                replaced_by_virtual,
+            } => {
+                // Rule 1: dropping a *published* column exposes the internal
+                // change unless a virtual attribute replaces it.
+                if model == &publication.model
+                    && publication.fields.contains(column)
+                    && !replaced_by_virtual
+                {
+                    violations.push(format!(
+                        "rule 1: dropping published column {model}.{column} requires a \
+                         virtual attribute of the same name"
+                    ));
+                }
+            }
+            MigrationStep::ChangeAttributeSemantics { model, attribute } => {
+                // Rule 2: semantics of a published attribute must not change;
+                // publish a new attribute instead.
+                if model == &publication.model && publication.fields.contains(attribute) {
+                    violations.push(format!(
+                        "rule 2: cannot change semantics of published attribute \
+                         {model}.{attribute}; publish a new attribute and retire this one"
+                    ));
+                }
+            }
+            MigrationStep::PublishNewAttribute {
+                model,
+                attribute,
+                publisher_deploys_first,
+            } => {
+                if !publisher_deploys_first {
+                    violations.push(format!(
+                        "rule 3: new attribute {model}.{attribute} must be deployed on the \
+                         publisher before any subscriber"
+                    ));
+                }
+            }
+            MigrationStep::RetireAttribute { model, attribute } => {
+                if model == &publication.model && !publication.fields.contains(attribute) {
+                    violations.push(format!(
+                        "retire step names unpublished attribute {model}.{attribute}"
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn publication() -> Publication {
+        Publication::model("User").fields(&["name", "email"])
+    }
+
+    #[test]
+    fn dropping_published_column_requires_virtual_replacement() {
+        let bad = check_migration(
+            &publication(),
+            &[MigrationStep::DropLocalColumn {
+                model: "User".into(),
+                column: "name".into(),
+                replaced_by_virtual: false,
+            }],
+        );
+        assert_eq!(bad.len(), 1);
+        let good = check_migration(
+            &publication(),
+            &[MigrationStep::DropLocalColumn {
+                model: "User".into(),
+                column: "name".into(),
+                replaced_by_virtual: true,
+            }],
+        );
+        assert!(good.is_empty());
+    }
+
+    #[test]
+    fn dropping_unpublished_column_is_free() {
+        let ok = check_migration(
+            &publication(),
+            &[MigrationStep::DropLocalColumn {
+                model: "User".into(),
+                column: "internal_flag".into(),
+                replaced_by_virtual: false,
+            }],
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn changing_published_semantics_is_rejected() {
+        let bad = check_migration(
+            &publication(),
+            &[MigrationStep::ChangeAttributeSemantics {
+                model: "User".into(),
+                attribute: "email".into(),
+            }],
+        );
+        assert!(bad[0].contains("rule 2"));
+    }
+
+    #[test]
+    fn new_attributes_deploy_publisher_first() {
+        let bad = check_migration(
+            &publication(),
+            &[MigrationStep::PublishNewAttribute {
+                model: "User".into(),
+                attribute: "avatar".into(),
+                publisher_deploys_first: false,
+            }],
+        );
+        assert!(bad[0].contains("rule 3"));
+    }
+
+    #[test]
+    fn retiring_unknown_attribute_is_flagged() {
+        let bad = check_migration(
+            &publication(),
+            &[MigrationStep::RetireAttribute {
+                model: "User".into(),
+                attribute: "ghost".into(),
+            }],
+        );
+        assert_eq!(bad.len(), 1);
+    }
+}

@@ -1,0 +1,409 @@
+//! One service's Synapse runtime and the ecosystem wiring harness.
+
+use crate::api::{Publication, Subscription};
+use crate::config::SynapseConfig;
+use crate::context::{self, TxBuffer};
+use crate::publisher::{Publisher, PublisherStats};
+use crate::semantics::DeliveryMode;
+use crate::subscriber::{Subscriber, SubscriberStats};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+use synapse_broker::{Broker, QueueConfig, QueueState};
+use synapse_orm::{Adapter, Orm, OrmError};
+use synapse_versionstore::{GenerationStore, VersionStore};
+
+/// One application's Synapse runtime: its ORM, publisher, subscriber, and
+/// version stores, bound to the shared broker.
+pub struct SynapseNode {
+    config: SynapseConfig,
+    orm: Arc<Orm>,
+    broker: Broker,
+    pub_store: Arc<VersionStore>,
+    sub_store: Arc<VersionStore>,
+    generations: GenerationStore,
+    publications: Arc<RwLock<BTreeMap<String, Publication>>>,
+    subscriptions: Arc<RwLock<Vec<Subscription>>>,
+    publisher: Arc<Publisher>,
+    subscriber: Arc<Subscriber>,
+    publisher_modes: Arc<RwLock<HashMap<String, DeliveryMode>>>,
+}
+
+impl SynapseNode {
+    /// Creates a node for `config.app` over `adapter`, attached to
+    /// `broker`. Declares the app's queue and installs the publisher as a
+    /// query observer on the ORM.
+    pub fn new(config: SynapseConfig, adapter: Arc<dyn Adapter>, broker: Broker) -> Arc<Self> {
+        let orm = Arc::new(Orm::new(config.app.clone(), adapter));
+        let pub_store = Arc::new(VersionStore::new(config.version_store_shards));
+        let sub_store = Arc::new(VersionStore::new(config.version_store_shards));
+        let generations = GenerationStore::new();
+        let publications = Arc::new(RwLock::new(BTreeMap::new()));
+        let subscriptions = Arc::new(RwLock::new(Vec::new()));
+        let publisher_modes = Arc::new(RwLock::new(HashMap::new()));
+
+        broker.declare_queue(
+            &config.app,
+            QueueConfig {
+                max_len: config.queue_max_len,
+            },
+        );
+
+        let publisher = Arc::new(Publisher::new(
+            config.app.clone(),
+            config.publisher_mode,
+            config.dep_space,
+            pub_store.clone(),
+            sub_store.clone(),
+            broker.clone(),
+            generations.clone(),
+            publications.clone(),
+            subscriptions.clone(),
+        ));
+        orm.observe(publisher.clone());
+
+        let subscriber = Arc::new(Subscriber::new(
+            &config,
+            orm.clone(),
+            sub_store.clone(),
+            subscriptions.clone(),
+            publisher_modes.clone(),
+            broker.clone(),
+        ));
+
+        Arc::new(SynapseNode {
+            config,
+            orm,
+            broker,
+            pub_store,
+            sub_store,
+            generations,
+            publications,
+            subscriptions,
+            publisher,
+            subscriber,
+            publisher_modes,
+        })
+    }
+
+    /// The application name.
+    pub fn app(&self) -> &str {
+        &self.config.app
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> &SynapseConfig {
+        &self.config
+    }
+
+    /// The node's ORM (models, CRUD, callbacks, virtual attributes).
+    pub fn orm(&self) -> &Arc<Orm> {
+        &self.orm
+    }
+
+    /// The publisher runtime (stats, failure injection, recovery).
+    pub fn publisher(&self) -> &Arc<Publisher> {
+        &self.publisher
+    }
+
+    /// The subscriber runtime (stats, manual processing).
+    pub fn subscriber(&self) -> &Arc<Subscriber> {
+        &self.subscriber
+    }
+
+    /// The publisher-side version store.
+    pub fn pub_store(&self) -> &Arc<VersionStore> {
+        &self.pub_store
+    }
+
+    /// The subscriber-side version store.
+    pub fn sub_store(&self) -> &Arc<VersionStore> {
+        &self.sub_store
+    }
+
+    /// The publisher's generation store.
+    pub fn generations(&self) -> &GenerationStore {
+        &self.generations
+    }
+
+    /// Declares a publication (the `publish do … end` block).
+    ///
+    /// Enforces the decorator rule of §3.1: a service cannot publish
+    /// attributes it subscribes to.
+    pub fn publish(&self, publication: Publication) -> Result<(), OrmError> {
+        let subs = self.subscriptions.read();
+        if let Some(sub) = subs.iter().find(|s| s.model == publication.model) {
+            for f in &publication.fields {
+                if sub.local_fields().contains(&f.as_str()) {
+                    return Err(OrmError::Restriction(format!(
+                        "decorator {} cannot publish subscribed attribute {}.{}",
+                        self.app(),
+                        publication.model,
+                        f
+                    )));
+                }
+            }
+        }
+        drop(subs);
+        self.publications
+            .write()
+            .insert(publication.model.clone(), publication);
+        Ok(())
+    }
+
+    /// Declares a subscription (the `subscribe from: … do … end` block) and
+    /// binds this app's queue to the publisher's exchange.
+    pub fn subscribe(&self, subscription: Subscription) -> Result<(), OrmError> {
+        // Decorator rule, checked from the other side.
+        let pubs = self.publications.read();
+        if let Some(publication) = pubs.get(&subscription.model) {
+            for f in subscription.local_fields() {
+                if publication.fields.iter().any(|pf| pf == f) {
+                    return Err(OrmError::Restriction(format!(
+                        "decorator {} cannot subscribe to attribute {}.{} it publishes",
+                        self.app(),
+                        subscription.model,
+                        f
+                    )));
+                }
+            }
+        }
+        drop(pubs);
+        self.broker.bind(&subscription.from, self.app());
+        self.publisher_modes
+            .write()
+            .entry(subscription.from.clone())
+            .or_insert(DeliveryMode::Causal);
+        self.subscriptions.write().push(subscription);
+        Ok(())
+    }
+
+    /// Records the delivery mode `pub_app` supports (done automatically by
+    /// [`Ecosystem::connect`]).
+    pub fn set_publisher_mode(&self, pub_app: &str, mode: DeliveryMode) {
+        self.publisher_modes
+            .write()
+            .insert(pub_app.to_owned(), mode);
+    }
+
+    /// All declared publications.
+    pub fn publications(&self) -> Vec<Publication> {
+        self.publications.read().values().cloned().collect()
+    }
+
+    /// All declared subscriptions.
+    pub fn subscriptions(&self) -> Vec<Subscription> {
+        self.subscriptions.read().clone()
+    }
+
+    /// Starts the subscriber worker pool.
+    pub fn start(&self) {
+        self.subscriber.start(self.config.subscriber_workers);
+    }
+
+    /// Stops the subscriber workers.
+    pub fn stop(&self) {
+        self.subscriber.stop();
+    }
+
+    /// Runs `f` with all its writes combined into a single message (§4.2:
+    /// "all writes within a single transaction are combined into a single
+    /// message").
+    pub fn transaction<R>(&self, f: impl FnOnce() -> R) -> R {
+        let opened_scope = !context::in_scope();
+        let run = || {
+            context::scope_mut(|s| s.tx_buffer = Some(TxBuffer::default()));
+            let out = f();
+            let buffer = context::scope_mut(|s| s.tx_buffer.take()).flatten();
+            if let Some(buffer) = buffer {
+                self.publisher.flush_transaction(buffer);
+            }
+            out
+        };
+        if opened_scope {
+            context::with_scope(run).0
+        } else {
+            run()
+        }
+    }
+
+    /// Publisher counters.
+    pub fn publisher_stats(&self) -> PublisherStats {
+        self.publisher.stats()
+    }
+
+    /// Subscriber counters.
+    pub fn subscriber_stats(&self) -> SubscriberStats {
+        self.subscriber.stats()
+    }
+
+    /// Whether this node's queue has been decommissioned (§4.4).
+    pub fn is_decommissioned(&self) -> bool {
+        self.broker.queue_state(self.app()) == Some(QueueState::Decommissioned)
+    }
+
+    /// Sets the bootstrap flag *before* starting the workers, then runs the
+    /// three-step bootstrap — the ordering a fresh subscriber needs so that
+    /// no backlog message is processed outside bootstrap mode (Fig. 2's
+    /// `Synapse.bootstrap?` contract).
+    pub fn start_and_bootstrap_from(&self, publisher: &SynapseNode) -> Result<(), OrmError> {
+        self.orm.set_bootstrap(true);
+        self.start();
+        self.bootstrap_from(publisher)
+    }
+
+    /// Three-step bootstrap from a publisher node (§4.4). Also used for
+    /// *partial* bootstrap after a decommission or subscriber version-store
+    /// loss — the queue is reinstated first. Workers must already be
+    /// running (or use [`SynapseNode::start_and_bootstrap_from`]).
+    pub fn bootstrap_from(&self, publisher: &SynapseNode) -> Result<(), OrmError> {
+        self.orm.set_bootstrap(true);
+        if self.is_decommissioned() {
+            self.broker.reinstate_queue(self.app());
+        }
+        if self.sub_store.is_dead() {
+            self.sub_store.revive();
+        }
+
+        // Step 1: bulk-load the publisher's current versions.
+        let snapshot = publisher
+            .pub_store
+            .snapshot()
+            .map_err(|e| OrmError::Restriction(e.to_string()))?;
+        self.subscriber
+            .load_version_snapshot(&snapshot)
+            .map_err(OrmError::Restriction)?;
+
+        // Step 2: bulk-copy all currently published objects.
+        for sub in self.subscriptions.read().iter() {
+            if sub.from != publisher.app() {
+                continue;
+            }
+            if let Some(publication) = publisher.publications.read().get(&sub.model) {
+                if publication.ephemeral {
+                    continue;
+                }
+                let records = publisher.orm.all(&sub.model)?;
+                // Marshal through the publisher so only published (and
+                // virtual) attributes cross, exactly as live updates do.
+                let marshalled: Vec<_> = records
+                    .iter()
+                    .map(|r| publisher.publisher.marshal_for_bootstrap(&publisher.orm, publication, r))
+                    .collect();
+                self.subscriber
+                    .load_objects(publisher.app(), &sub.model, &marshalled);
+            }
+        }
+
+        // Step 3: drain messages published meanwhile. Workers may already
+        // be running; otherwise the caller starts them and the flag clears
+        // once the backlog is gone.
+        let drained = self.subscriber.drain(Duration::from_secs(30));
+        self.orm.set_bootstrap(false);
+        if drained {
+            Ok(())
+        } else {
+            Err(OrmError::Restriction(
+                "bootstrap did not drain the backlog in time".into(),
+            ))
+        }
+    }
+}
+
+/// The deployment harness: a shared broker and a set of nodes, with static
+/// cross-service checks (§4.5).
+#[derive(Default)]
+pub struct Ecosystem {
+    broker: Broker,
+    nodes: RwLock<BTreeMap<String, Arc<SynapseNode>>>,
+}
+
+impl Ecosystem {
+    /// Creates an empty ecosystem with its own broker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared broker.
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// Creates and registers a node.
+    pub fn add_node(&self, config: SynapseConfig, adapter: Arc<dyn Adapter>) -> Arc<SynapseNode> {
+        let node = SynapseNode::new(config, adapter, self.broker.clone());
+        self.nodes
+            .write()
+            .insert(node.app().to_owned(), node.clone());
+        node
+    }
+
+    /// Looks up a node by app name.
+    pub fn node(&self, app: &str) -> Option<Arc<SynapseNode>> {
+        self.nodes.read().get(app).cloned()
+    }
+
+    /// Propagates publisher delivery modes to subscribers and runs the
+    /// static checks; returns the list of violations (empty = ok).
+    ///
+    /// This is the paper's static checking: "Synapse statically checks that
+    /// subscribers don't attempt to subscribe to models and attributes that
+    /// are unpublished, providing warnings immediately" (§4.5).
+    pub fn connect(&self) -> Vec<String> {
+        let nodes = self.nodes.read();
+        let mut violations = Vec::new();
+        for node in nodes.values() {
+            for sub in node.subscriptions() {
+                match nodes.get(&sub.from) {
+                    None => violations.push(format!(
+                        "{}: subscribes to {} from unknown app {}",
+                        node.app(),
+                        sub.model,
+                        sub.from
+                    )),
+                    Some(publisher) => {
+                        node.set_publisher_mode(sub.from.clone().as_str(), publisher.config().publisher_mode);
+                        let pubs = publisher.publications();
+                        match pubs.iter().find(|p| p.model == sub.model) {
+                            None => violations.push(format!(
+                                "{}: subscribes to unpublished model {}/{}",
+                                node.app(),
+                                sub.from,
+                                sub.model
+                            )),
+                            Some(publication) => {
+                                for f in &sub.fields {
+                                    if !publication.fields.contains(f) {
+                                        violations.push(format!(
+                                            "{}: subscribes to unpublished attribute {}/{}.{}",
+                                            node.app(),
+                                            sub.from,
+                                            sub.model,
+                                            f
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        violations
+    }
+
+    /// Starts every node's subscriber workers.
+    pub fn start_all(&self) {
+        for node in self.nodes.read().values() {
+            node.start();
+        }
+    }
+
+    /// Stops every node's subscriber workers.
+    pub fn stop_all(&self) {
+        for node in self.nodes.read().values() {
+            node.stop();
+        }
+    }
+}

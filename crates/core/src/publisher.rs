@@ -1,0 +1,508 @@
+//! The publisher: query interception, dependency tracking, the version
+//! bump protocol, marshalling, and reliable publication.
+//!
+//! The publisher is a [`QueryObserver`] installed on the service's ORM. For
+//! every intercepted write of a published model it (§4.2):
+//!
+//! 1. computes the operation's dependencies from the delivery mode and the
+//!    current causal scope (object write dep; user-session write dep;
+//!    controller chain + implicit/explicit read deps; global dep);
+//! 2. acquires locks on the write dependencies (all-or-nothing, so
+//!    concurrent controllers cannot deadlock);
+//! 3. executes the underlying query and reads back the written object;
+//! 4. runs the version-store bump script and collects the dependency
+//!    versions for the message;
+//! 5. marshals the published attributes (including virtual getters) and
+//!    either publishes the message or appends it to the open transaction
+//!    buffer ("all writes within a single transaction are combined into a
+//!    single message");
+//! 6. journals the payload before handing it to the broker — the
+//!    2PC-flavoured guarantee that a crash between version bump and
+//!    publication can be recovered by [`Publisher::recover`].
+//!
+//! It also enforces the ownership rules of §3.1: a service cannot create or
+//! delete instances of models it merely subscribes to, and cannot update
+//! imported attributes (decorations remain writable).
+
+use crate::api::{Publication, Subscription};
+use crate::context::{self, TxBuffer};
+use crate::deps::{DepName, DepSpace};
+use crate::message::{now_micros, Operation, WriteMessage};
+use crate::semantics::DeliveryMode;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use synapse_broker::Broker;
+use synapse_model::{Record, Value};
+use synapse_orm::{Orm, OrmError, QueryObserver, WriteExec, WriteIntent, WriteKind};
+use synapse_versionstore::{DepKey, GenerationStore, StoreError, VersionStore};
+
+/// All-or-nothing lock manager over effective dependency keys.
+///
+/// A writer atomically acquires its whole key set or blocks; because there
+/// is no hold-and-wait, writers cannot deadlock.
+#[derive(Default)]
+pub struct LockManager {
+    held: Mutex<HashSet<DepKey>>,
+    released: Condvar,
+}
+
+impl LockManager {
+    /// Acquires every key in `keys`, blocking until all are free.
+    pub fn lock(&self, keys: &[DepKey]) -> LockGuard<'_> {
+        let mut held = self.held.lock();
+        loop {
+            if keys.iter().all(|k| !held.contains(k)) {
+                for k in keys {
+                    held.insert(*k);
+                }
+                return LockGuard {
+                    manager: self,
+                    keys: keys.to_vec(),
+                };
+            }
+            self.released.wait(&mut held);
+        }
+    }
+}
+
+/// Guard releasing dependency locks on drop.
+pub struct LockGuard<'a> {
+    manager: &'a LockManager,
+    keys: Vec<DepKey>,
+}
+
+impl Drop for LockGuard<'_> {
+    fn drop(&mut self) {
+        let mut held = self.manager.held.lock();
+        for k in &self.keys {
+            held.remove(k);
+        }
+        drop(held);
+        self.manager.released.notify_all();
+    }
+}
+
+/// Publisher counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PublisherStats {
+    /// Messages successfully handed to the broker.
+    pub messages_published: u64,
+    /// Operations marshalled.
+    pub operations: u64,
+    /// Generation bumps after a version-store loss.
+    pub generation_bumps: u64,
+}
+
+/// The publisher runtime for one service. See the module docs.
+pub struct Publisher {
+    app: String,
+    mode: DeliveryMode,
+    dep_space: DepSpace,
+    store: Arc<VersionStore>,
+    /// The subscriber-side version store, read (never written) to stamp
+    /// *external* dependencies on decorated publications (§4.2).
+    sub_store: Arc<VersionStore>,
+    broker: Broker,
+    generations: GenerationStore,
+    publications: Arc<RwLock<BTreeMap<String, Publication>>>,
+    subscriptions: Arc<RwLock<Vec<Subscription>>>,
+    locks: LockManager,
+    /// Publish journal: payloads not yet confirmed at the broker.
+    journal: Mutex<BTreeMap<u64, String>>,
+    journal_seq: AtomicU64,
+    /// Failure injection: while set, payloads stay journaled instead of
+    /// reaching the broker (a crash between DB commit and publication).
+    fail_publish: AtomicBool,
+    messages_published: AtomicU64,
+    operations: AtomicU64,
+    generation_bumps: AtomicU64,
+}
+
+impl Publisher {
+    /// Creates a publisher runtime.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        app: String,
+        mode: DeliveryMode,
+        dep_space: DepSpace,
+        store: Arc<VersionStore>,
+        sub_store: Arc<VersionStore>,
+        broker: Broker,
+        generations: GenerationStore,
+        publications: Arc<RwLock<BTreeMap<String, Publication>>>,
+        subscriptions: Arc<RwLock<Vec<Subscription>>>,
+    ) -> Self {
+        Publisher {
+            app,
+            mode,
+            dep_space,
+            store,
+            sub_store,
+            broker,
+            generations,
+            publications,
+            subscriptions,
+            locks: LockManager::default(),
+            journal: Mutex::new(BTreeMap::new()),
+            journal_seq: AtomicU64::new(0),
+            fail_publish: AtomicBool::new(false),
+            messages_published: AtomicU64::new(0),
+            operations: AtomicU64::new(0),
+            generation_bumps: AtomicU64::new(0),
+        }
+    }
+
+    /// The delivery mode this publisher supports.
+    pub fn mode(&self) -> DeliveryMode {
+        self.mode
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PublisherStats {
+        PublisherStats {
+            messages_published: self.messages_published.load(Ordering::Relaxed),
+            operations: self.operations.load(Ordering::Relaxed),
+            generation_bumps: self.generation_bumps.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Failure injection: simulate a crash window where the broker is
+    /// unreachable after the local commit. Payloads accumulate in the
+    /// journal until [`Publisher::recover`].
+    pub fn inject_publish_failure(&self, on: bool) {
+        self.fail_publish.store(on, Ordering::SeqCst);
+    }
+
+    /// Number of journaled (journalized but unconfirmed) payloads.
+    pub fn journal_len(&self) -> usize {
+        self.journal.lock().len()
+    }
+
+    /// Re-publishes every journaled payload (crash recovery).
+    pub fn recover(&self) {
+        let pending: Vec<(u64, String)> = {
+            let journal = self.journal.lock();
+            journal.iter().map(|(k, v)| (*k, v.clone())).collect()
+        };
+        for (seq, payload) in pending {
+            self.broker.publish(&self.app, &payload);
+            self.messages_published.fetch_add(1, Ordering::Relaxed);
+            self.journal.lock().remove(&seq);
+        }
+    }
+
+    fn subscription_for(&self, model: &str) -> Option<Subscription> {
+        self.subscriptions
+            .read()
+            .iter()
+            .find(|s| s.model == model)
+            .cloned()
+    }
+
+    /// Resolves the dependency name of a record read in scope: models this
+    /// service subscribes to belong to their *origin* app (external
+    /// dependencies, §4.2); everything else is local.
+    fn read_dep_name(&self, record: &Record) -> DepName {
+        match self.subscription_for(&record.model) {
+            Some(sub) => DepName::object(&sub.from, &record.model, record.id),
+            None => DepName::object(&self.app, &record.model, record.id),
+        }
+    }
+
+    fn is_external(&self, dep: &DepName) -> bool {
+        !dep.0.starts_with(&format!("{}/", self.app))
+    }
+
+    /// Enforces §3.1 ownership: subscribers cannot create/delete imported
+    /// models nor update imported attributes.
+    fn check_ownership(&self, intent: &WriteIntent) -> Result<(), OrmError> {
+        if context::is_replicating() {
+            return Ok(());
+        }
+        if let Some(sub) = self.subscription_for(&intent.model) {
+            match intent.kind {
+                WriteKind::Create | WriteKind::Delete => {
+                    return Err(OrmError::Restriction(format!(
+                        "{} subscribes to {} from {}; only the owner may {} instances",
+                        self.app,
+                        intent.model,
+                        sub.from,
+                        if intent.kind == WriteKind::Create {
+                            "create"
+                        } else {
+                            "delete"
+                        },
+                    )));
+                }
+                WriteKind::Update => {
+                    let imported = sub.local_fields();
+                    for field in intent.changes.keys() {
+                        if imported.contains(&field.as_str()) {
+                            return Err(OrmError::Restriction(format!(
+                                "{} cannot update imported attribute {}.{} (owned by {})",
+                                self.app, intent.model, field, sub.from
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Marshals the record's published attributes (§4.1), evaluating
+    /// virtual-attribute getters.
+    fn marshal(&self, orm: &Orm, publication: &Publication, record: &Record) -> Record {
+        let mut out = Record::new(record.model.clone(), record.id);
+        out.types = record.types.clone();
+        for field in &publication.fields {
+            let value = match orm.virtuals().get_getter(&record.model, field) {
+                Some(getter) => getter(orm, record),
+                None => record.get(field).clone(),
+            };
+            if !value.is_null() {
+                out.attrs.insert(field.clone(), value);
+            } else if record.attrs.contains_key(field) {
+                out.attrs.insert(field.clone(), Value::Null);
+            }
+        }
+        out
+    }
+
+    /// Marshals a record for the bulk transfer of bootstrap step 2 — the
+    /// same projection (published attributes + virtual getters) live
+    /// updates get.
+    pub fn marshal_for_bootstrap(
+        &self,
+        orm: &Orm,
+        publication: &Publication,
+        record: &Record,
+    ) -> Record {
+        self.marshal(orm, publication, record)
+    }
+
+    /// Computes `(write_deps, read_deps)` for an operation under the
+    /// publisher's delivery mode (§4.2).
+    fn compute_deps(&self, intent: &WriteIntent) -> (Vec<DepName>, Vec<DepName>) {
+        let object = DepName::object(&self.app, &intent.model, intent.id);
+        let mut write_deps = vec![object];
+        let mut read_deps = Vec::new();
+        match self.mode {
+            DeliveryMode::Weak => {}
+            DeliveryMode::Global => {
+                // One global object serializes all writes.
+                write_deps.push(DepName::global(&self.app));
+            }
+            DeliveryMode::Causal => {
+                context::scope_mut(|scope| {
+                    // (3) user-session serialization: the session's user is
+                    // a write dependency of every write.
+                    if let Some(user) = &scope.user_dep {
+                        write_deps.push(user.clone());
+                    }
+                    // (2) controller serialization: chain on the previous
+                    // update's first write dependency.
+                    if let Some(prev) = &scope.last_write_dep {
+                        read_deps.push(prev.clone());
+                    }
+                    // (1-implicit) objects read in this scope.
+                    read_deps.extend(scope.read_deps.iter().cloned());
+                    read_deps.extend(scope.explicit_read.iter().cloned());
+                    write_deps.extend(scope.explicit_write.iter().cloned());
+                });
+            }
+        }
+        dedup(&mut write_deps);
+        dedup(&mut read_deps);
+        read_deps.retain(|d| !write_deps.contains(d));
+        (write_deps, read_deps)
+    }
+
+    /// Runs the bump protocol and assembles the dependency map. Also
+    /// returns the keys whose `ops` counter was incremented (needed to
+    /// rebase dependencies of later operations in the same transaction).
+    fn bump_versions(
+        &self,
+        write_deps: &[DepName],
+        read_deps: &[DepName],
+    ) -> Result<(BTreeMap<DepKey, u64>, Vec<DepKey>), StoreError> {
+        let mut script: Vec<(DepKey, bool)> = Vec::new();
+        let mut externals: Vec<DepKey> = Vec::new();
+        for d in write_deps {
+            script.push((self.dep_space.key(d), true));
+        }
+        for d in read_deps {
+            let key = self.dep_space.key(d);
+            if self.is_external(d) {
+                // External dependencies are stamped from the subscriber-side
+                // store and never incremented (§4.2).
+                externals.push(key);
+            } else {
+                script.push((key, false));
+            }
+        }
+        let bumped: Vec<DepKey> = script.iter().map(|(k, _)| *k).collect();
+        let mut deps: BTreeMap<DepKey, u64> = self
+            .store
+            .publish_bump(&script)?
+            .into_iter()
+            .collect();
+        for key in externals {
+            let value = self.sub_store.ops(key).unwrap_or(0);
+            deps.entry(key).or_insert(value);
+        }
+        Ok((deps, bumped))
+    }
+
+    /// Publishes (or buffers) one operation with its dependency map.
+    fn emit(&self, op: Operation, deps: BTreeMap<DepKey, u64>, bumped: &[DepKey]) {
+        self.operations.fetch_add(1, Ordering::Relaxed);
+        let dep_count = deps.len() as u64;
+        let buffered = context::scope_mut(|scope| {
+            if let Some(buf) = scope.tx_buffer.as_mut() {
+                buf.operations.push(op.clone());
+                for (k, v) in &deps {
+                    // Rebase by the increments earlier buffered operations
+                    // already contributed, so the message only waits on
+                    // pre-transaction state.
+                    let rebased = v.saturating_sub(buf.bumped.get(k).copied().unwrap_or(0));
+                    let entry = buf.dependencies.entry(*k).or_insert(rebased);
+                    *entry = (*entry).max(rebased);
+                }
+                for k in bumped {
+                    *buf.bumped.entry(*k).or_default() += 1;
+                }
+                true
+            } else {
+                scope.messages += 1;
+                scope.deps_published += dep_count;
+                false
+            }
+        })
+        .unwrap_or(false);
+        if !buffered {
+            self.publish_message(vec![op], deps);
+        }
+    }
+
+    /// Builds, journals, and publishes a message.
+    pub(crate) fn publish_message(&self, operations: Vec<Operation>, deps: BTreeMap<DepKey, u64>) {
+        let msg = WriteMessage {
+            app: self.app.clone(),
+            operations,
+            dependencies: deps,
+            published_at: now_micros(),
+            generation: self.generations.current(),
+        };
+        let payload = msg.encode();
+        let seq = self.journal_seq.fetch_add(1, Ordering::Relaxed);
+        self.journal.lock().insert(seq, payload.clone());
+        if self.fail_publish.load(Ordering::SeqCst) {
+            // Simulated crash window: the journal retains the payload.
+            return;
+        }
+        self.broker.publish(&self.app, &payload);
+        self.messages_published.fetch_add(1, Ordering::Relaxed);
+        self.journal.lock().remove(&seq);
+    }
+
+    /// Flushes a transaction buffer as a single combined message.
+    pub(crate) fn flush_transaction(&self, buffer: TxBuffer) {
+        if buffer.operations.is_empty() {
+            return;
+        }
+        let dep_count = buffer.dependencies.len() as u64;
+        context::scope_mut(|scope| {
+            scope.messages += 1;
+            scope.deps_published += dep_count;
+        });
+        self.publish_message(buffer.operations, buffer.dependencies);
+    }
+
+    /// Handles a dead publisher version store: bump the generation in the
+    /// reliable store, revive empty, and continue (§4.4).
+    fn handle_store_death(&self) {
+        self.generations.increment();
+        self.store.revive();
+        self.generation_bumps.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn dedup(deps: &mut Vec<DepName>) {
+    let mut seen = HashSet::new();
+    deps.retain(|d| seen.insert(d.clone()));
+}
+
+impl QueryObserver for Publisher {
+    fn on_read(&self, _orm: &Orm, records: &[Record]) {
+        if !context::in_scope() || context::is_replicating() {
+            return;
+        }
+        for r in records {
+            context::record_read(self.read_dep_name(r));
+        }
+    }
+
+    fn around_write(
+        &self,
+        orm: &Orm,
+        intent: &WriteIntent,
+        exec: &mut WriteExec<'_>,
+    ) -> Result<Record, OrmError> {
+        let start = Instant::now();
+        self.check_ownership(intent)?;
+        let publication = self.publications.read().get(&intent.model).cloned();
+        let publication = match publication {
+            Some(p) => p,
+            None => return exec(),
+        };
+        if context::is_replicating() {
+            // Replicated applications of upstream data are never republished
+            // (only a service's own writes of its published attributes are).
+            return exec();
+        }
+
+        let (write_deps, read_deps) = self.compute_deps(intent);
+        let mut lock_keys: Vec<DepKey> =
+            write_deps.iter().map(|d| self.dep_space.key(d)).collect();
+        lock_keys.sort_unstable();
+        lock_keys.dedup();
+        let pre_nanos = start.elapsed().as_nanos() as u64;
+
+        let guard = self.locks.lock(&lock_keys);
+        let record = match exec() {
+            Ok(r) => r,
+            Err(e) => {
+                drop(guard);
+                return Err(e);
+            }
+        };
+
+        let post = Instant::now();
+        let (deps, bumped) = match self.bump_versions(&write_deps, &read_deps) {
+            Ok(d) => d,
+            Err(StoreError::Dead) => {
+                // §4.4: increment the generation and resume with a fresh
+                // store; subscribers flush on seeing the new generation.
+                self.handle_store_death();
+                self.bump_versions(&write_deps, &read_deps)
+                    .expect("revived store accepts the bump")
+            }
+        };
+        let marshalled = self.marshal(orm, &publication, &record);
+        let op = Operation::from_record(intent.kind.wire_name(), &marshalled);
+        self.emit(op, deps, &bumped);
+        drop(guard);
+
+        // Maintain the in-controller causal chain.
+        let first_write = write_deps.first().cloned();
+        context::scope_mut(|scope| {
+            scope.last_write_dep = first_write.clone();
+            scope.synapse_nanos += pre_nanos + post.elapsed().as_nanos() as u64;
+        });
+        Ok(record)
+    }
+}

@@ -1,0 +1,428 @@
+//! The subscriber: worker pools, delivery-semantics enforcement, and
+//! replicated persistence.
+//!
+//! Each subscriber app owns one broker queue; its messages are "processed
+//! in parallel by multiple subscriber workers" (§4). Per message, a worker:
+//!
+//! 1. checks the publisher generation, running the global barrier of §4.4
+//!    when it increases (drain in-flight messages, flush the version store);
+//! 2. enforces the *effective* delivery mode — the weaker of the
+//!    publisher's and the subscriber's (§3.2): causal/global wait on the
+//!    version store until every dependency is satisfied; weak skips waiting
+//!    and instead discards stale per-object versions;
+//! 3. unmarshals each operation and persists it through the local ORM
+//!    (running active-model callbacks), honouring renames, virtual-attribute
+//!    setters, and observer (non-persisted) models;
+//! 4. increments the version store for every dependency in the message and
+//!    acks.
+//!
+//! The dependency wait honours `dep_wait_timeout`: `None` reproduces the
+//! paper's strict causal mode (wait forever — the behaviour that deadlocked
+//! Crowdtap's subscribers when messages were lost, §6.5); a finite value
+//! implements the paper's recommended middle ground ("a mechanism to give
+//! up on waiting for late (or lost) messages, with a configurable
+//! timeout"). Weak mode behaves as timeout 0.
+
+use crate::api::Subscription;
+use crate::config::SynapseConfig;
+use crate::context;
+use crate::deps::{DepName, DepSpace};
+use crate::message::{Operation, WriteMessage};
+use crate::semantics::DeliveryMode;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use synapse_broker::{Broker, Consumer, Delivery};
+use synapse_model::{Record, Value};
+use synapse_orm::{CallbackPoint, Orm, OrmError};
+use synapse_versionstore::{StoreError, VersionStore, WaitOutcome};
+
+/// Subscriber counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriberStats {
+    /// Messages fully processed and acked.
+    pub messages_processed: u64,
+    /// Operations applied to the local DB.
+    pub ops_applied: u64,
+    /// Operations discarded as stale (weak mode).
+    pub ops_stale: u64,
+    /// Dependency waits that timed out (processing proceeded anyway).
+    pub dep_timeouts: u64,
+    /// Messages that failed to decode or apply.
+    pub errors: u64,
+    /// Generation barriers executed.
+    pub generation_flushes: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    messages_processed: AtomicU64,
+    ops_applied: AtomicU64,
+    ops_stale: AtomicU64,
+    dep_timeouts: AtomicU64,
+    errors: AtomicU64,
+    generation_flushes: AtomicU64,
+}
+
+/// The subscriber runtime for one service. See the module docs.
+pub struct Subscriber {
+    app: String,
+    orm: Arc<Orm>,
+    store: Arc<VersionStore>,
+    dep_space: DepSpace,
+    subscriber_mode: DeliveryMode,
+    dep_wait_timeout: Option<Duration>,
+    subscriptions: Arc<RwLock<Vec<Subscription>>>,
+    /// Publisher app → the delivery mode that publisher supports.
+    publisher_modes: Arc<RwLock<HashMap<String, DeliveryMode>>>,
+    broker: Broker,
+    /// Last seen generation per publisher app.
+    generations: Mutex<HashMap<String, u64>>,
+    /// Readers = in-flight messages; the generation barrier takes the
+    /// write side to drain them (§4.4).
+    gen_barrier: RwLock<()>,
+    stop: Arc<AtomicBool>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    counters: Counters,
+}
+
+impl Subscriber {
+    /// Creates a subscriber runtime (workers start separately).
+    pub fn new(
+        config: &SynapseConfig,
+        orm: Arc<Orm>,
+        store: Arc<VersionStore>,
+        subscriptions: Arc<RwLock<Vec<Subscription>>>,
+        publisher_modes: Arc<RwLock<HashMap<String, DeliveryMode>>>,
+        broker: Broker,
+    ) -> Self {
+        Subscriber {
+            app: config.app.clone(),
+            orm,
+            store,
+            dep_space: config.dep_space,
+            subscriber_mode: config.subscriber_mode,
+            dep_wait_timeout: config.dep_wait_timeout,
+            subscriptions,
+            publisher_modes,
+            broker,
+            generations: Mutex::new(HashMap::new()),
+            gen_barrier: RwLock::new(()),
+            stop: Arc::new(AtomicBool::new(false)),
+            workers: Mutex::new(Vec::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> SubscriberStats {
+        SubscriberStats {
+            messages_processed: self.counters.messages_processed.load(Ordering::Relaxed),
+            ops_applied: self.counters.ops_applied.load(Ordering::Relaxed),
+            ops_stale: self.counters.ops_stale.load(Ordering::Relaxed),
+            dep_timeouts: self.counters.dep_timeouts.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            generation_flushes: self.counters.generation_flushes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Spawns `n` worker threads consuming the app's queue.
+    pub fn start(self: &Arc<Self>, n: usize) {
+        let consumer = match self.broker.consumer(&self.app) {
+            Some(c) => c,
+            None => return,
+        };
+        let mut workers = self.workers.lock();
+        for _ in 0..n {
+            let sub = Arc::clone(self);
+            let consumer = consumer.clone();
+            workers.push(std::thread::spawn(move || sub.worker_loop(consumer)));
+        }
+    }
+
+    /// Signals workers to stop and joins them.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let mut workers = self.workers.lock();
+        for w in workers.drain(..) {
+            let _ = w.join();
+        }
+        self.stop.store(false, Ordering::SeqCst);
+    }
+
+    /// Blocks until the queue is fully drained (used by tests and the
+    /// bootstrap's step 3).
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if self.broker.queue_len(&self.app) == Some(0) {
+                // Wait one more beat for in-flight messages to finish.
+                let _barrier = self.gen_barrier.write();
+                if self.broker.queue_len(&self.app) == Some(0) {
+                    return true;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    fn worker_loop(&self, consumer: Consumer) {
+        while !self.stop.load(Ordering::SeqCst) {
+            match consumer.pop(Duration::from_millis(50)) {
+                Some(delivery) => {
+                    match self.process(&delivery) {
+                        Ok(()) => {
+                            self.counters
+                                .messages_processed
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // Either way the message is consumed; redelivery of a
+                    // poisoned message would wedge the queue.
+                    consumer.ack(delivery.tag);
+                }
+                None => {
+                    // Timed out or decommissioned; re-check the stop flag.
+                    // A decommissioned queue stays quiet until the node
+                    // performs a partial bootstrap and reinstates it.
+                }
+            }
+        }
+    }
+
+    /// Processes one delivery end to end.
+    pub fn process(&self, delivery: &Delivery) -> Result<(), String> {
+        let msg = WriteMessage::decode(&delivery.payload).map_err(|e| e.to_string())?;
+        self.generation_gate(&msg)?;
+        let _in_flight = self.gen_barrier.read();
+        let mode = self.effective_mode(&msg.app);
+        match mode {
+            DeliveryMode::Causal | DeliveryMode::Global => {
+                self.wait_dependencies(&msg, mode)?;
+            }
+            DeliveryMode::Weak => {}
+        }
+        // Application runs inside its own causal scope (like a background
+        // job, §4.2) so that reads made by decorator callbacks become
+        // external dependencies of anything those callbacks publish.
+        let (result, _scope_stats) = context::with_scope(|| {
+            context::with_replication_flag(|| {
+                for op in &msg.operations {
+                    self.apply_op(&msg, op, mode).map_err(|e| e.to_string())?;
+                }
+                Ok::<(), String>(())
+            })
+        });
+        // The version store advances even when application failed: the
+        // message is consumed either way, and downstream messages must not
+        // deadlock on it.
+        self.store
+            .apply(&msg.dep_keys())
+            .map_err(|e| e.to_string())?;
+        result
+    }
+
+    /// The effective delivery mode for messages from `pub_app` (§3.2).
+    pub fn effective_mode(&self, pub_app: &str) -> DeliveryMode {
+        let publisher = self
+            .publisher_modes
+            .read()
+            .get(pub_app)
+            .copied()
+            .unwrap_or(DeliveryMode::Causal);
+        DeliveryMode::effective(publisher, self.subscriber_mode)
+    }
+
+    /// §4.4's generation barrier: when a message carries a newer generation,
+    /// wait for in-flight messages, flush the version store, advance.
+    fn generation_gate(&self, msg: &WriteMessage) -> Result<(), String> {
+        let needs_switch = {
+            let gens = self.generations.lock();
+            msg.generation > gens.get(&msg.app).copied().unwrap_or(1)
+        };
+        if !needs_switch {
+            return Ok(());
+        }
+        let _drain = self.gen_barrier.write();
+        let mut gens = self.generations.lock();
+        let current = gens.entry(msg.app.clone()).or_insert(1);
+        if msg.generation > *current {
+            *current = msg.generation;
+            self.store.flush().map_err(|e| e.to_string())?;
+            self.counters
+                .generation_flushes
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Waits for the message's dependencies, filtered per the effective
+    /// mode: a causal subscriber of a global publisher ignores the global
+    /// dependency (§4.2).
+    fn wait_dependencies(&self, msg: &WriteMessage, mode: DeliveryMode) -> Result<(), String> {
+        let mut deps = msg.dep_list();
+        if mode == DeliveryMode::Causal {
+            let global_key = self.dep_space.key(&DepName::global(&msg.app));
+            deps.retain(|(k, _)| *k != global_key);
+        }
+        // Wait in short slices so the stop flag stays responsive; an
+        // overall deadline implements the configurable give-up of §6.5
+        // (`None` = the paper's strict causal mode: wait forever).
+        let deadline = self
+            .dep_wait_timeout
+            .map(|t| std::time::Instant::now() + t);
+        loop {
+            match self.store.wait_for(&deps, Duration::from_millis(100)) {
+                Ok(WaitOutcome::Ready) => return Ok(()),
+                Ok(WaitOutcome::TimedOut) => {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return Err("stopped while waiting for dependencies".into());
+                    }
+                    if let Some(d) = deadline {
+                        if std::time::Instant::now() >= d {
+                            self.counters.dep_timeouts.fetch_add(1, Ordering::Relaxed);
+                            return Ok(()); // give up and process (§6.5)
+                        }
+                    }
+                }
+                Err(StoreError::Dead) => {
+                    return Err("subscriber version store died".into());
+                }
+            }
+        }
+    }
+
+    /// Applies one operation through the local ORM.
+    fn apply_op(
+        &self,
+        msg: &WriteMessage,
+        op: &Operation,
+        mode: DeliveryMode,
+    ) -> Result<(), OrmError> {
+        let matching: Vec<Subscription> = {
+            let subs = self.subscriptions.read();
+            subs.iter()
+                .filter(|s| s.from == msg.app && op.types.iter().any(|t| t == &s.model))
+                .cloned()
+                .collect()
+        };
+        if matching.is_empty() {
+            return Ok(());
+        }
+        // Weak-mode freshness: update objects only to their latest version
+        // (§4.2), discarding out-of-order intermediate updates.
+        if mode == DeliveryMode::Weak {
+            let key = self
+                .dep_space
+                .key(&DepName::object(&msg.app, op.model(), op.id));
+            let version = msg.dependencies.get(&key).copied().unwrap_or(0);
+            match self.store.advance_latest(key, version) {
+                Ok(true) => {}
+                Ok(false) => {
+                    self.counters.ops_stale.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(_) => return Err(OrmError::Restriction("version store dead".into())),
+            }
+        }
+        for sub in matching {
+            self.apply_subscription(&sub, op)?;
+        }
+        self.counters.ops_applied.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn apply_subscription(&self, sub: &Subscription, op: &Operation) -> Result<(), OrmError> {
+        // Project the incoming attributes to this subscription, splitting
+        // plain fields from virtual-attribute setters.
+        let mut plain: BTreeMap<String, Value> = BTreeMap::new();
+        let mut virtuals: Vec<(String, Value)> = Vec::new();
+        for field in &sub.fields {
+            if let Some(value) = op.attributes.get(field) {
+                let local = sub.local_field(field);
+                if self.orm.virtuals().get_setter(&sub.model, local).is_some() {
+                    virtuals.push((local.to_owned(), value.clone()));
+                } else {
+                    plain.insert(local.to_owned(), value.clone());
+                }
+            }
+        }
+
+        if sub.observer {
+            // Observers run callbacks without persisting (§3.1).
+            let mut record = Record::with_attrs(sub.model.clone(), op.id, plain);
+            let (before, after) = callback_points(&op.operation);
+            self.orm.run_model_callbacks(&sub.model, before, &mut record)?;
+            self.orm.run_model_callbacks(&sub.model, after, &mut record)?;
+            return Ok(());
+        }
+
+        let existing = self.orm.find(&sub.model, op.id)?;
+        let mut stored: Option<Record> = None;
+        match op.operation.as_str() {
+            "destroy" => {
+                if existing.is_some() {
+                    self.orm.destroy(&sub.model, op.id)?;
+                }
+            }
+            // Create and update share upsert semantics: redeliveries and
+            // weak-mode reordering make either arrive first.
+            _ => {
+                let record = match existing {
+                    Some(_) => self.orm.update(&sub.model, op.id, Value::Map(plain))?,
+                    None => self
+                        .orm
+                        .create_with_id(&sub.model, op.id, Value::Map(plain))?,
+                };
+                stored = Some(record);
+            }
+        }
+        if let Some(mut record) = stored {
+            for (local, value) in virtuals {
+                if let Some(setter) = self.orm.virtuals().get_setter(&sub.model, &local) {
+                    setter(&self.orm, &mut record, value)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Bootstrap step 1: bulk-load the publisher's version snapshot (§4.4).
+    pub fn load_version_snapshot(&self, snapshot: &[(u64, u64)]) -> Result<(), String> {
+        self.store.load_snapshot(snapshot).map_err(|e| e.to_string())
+    }
+
+    /// Bootstrap step 2: persist a bulk batch of the publisher's current
+    /// objects as replicated creates.
+    pub fn load_objects(&self, pub_app: &str, model: &str, records: &[Record]) {
+        context::with_replication_flag(|| {
+            for r in records {
+                let op = Operation::from_record("create", r);
+                let fake_msg = WriteMessage {
+                    app: pub_app.to_owned(),
+                    operations: vec![],
+                    dependencies: BTreeMap::new(),
+                    published_at: 0,
+                    generation: 1,
+                };
+                let _ = model;
+                let _ = self.apply_op(&fake_msg, &op, DeliveryMode::Weak);
+            }
+        });
+    }
+}
+
+fn callback_points(operation: &str) -> (CallbackPoint, CallbackPoint) {
+    match operation {
+        "create" => (CallbackPoint::BeforeCreate, CallbackPoint::AfterCreate),
+        "destroy" => (CallbackPoint::BeforeDestroy, CallbackPoint::AfterDestroy),
+        _ => (CallbackPoint::BeforeUpdate, CallbackPoint::AfterUpdate),
+    }
+}

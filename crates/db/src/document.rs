@@ -1,0 +1,336 @@
+//! Document engine: schemaless collections of nested documents.
+//!
+//! Stands in for MongoDB, TokuMX, and RethinkDB. Unlike the relational
+//! engine it accepts any attribute on any document (including arrays and
+//! embedded maps — the MongoDB features Example 3 of the paper leans on),
+//! offers only single-document atomicity, and echoes written documents back
+//! (the findAndModify-style behaviour §4.1 relies upon).
+
+use crate::engine::{Capabilities, Engine, EngineStats};
+use crate::error::DbError;
+use crate::latency::LatencyModel;
+use crate::query::{Query, QueryResult, Row};
+use crate::relational::sort_rows;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use synapse_model::Id;
+
+#[derive(Debug, Default)]
+struct Collection {
+    docs: HashMap<Id, Row>,
+}
+
+/// The document engine. See the module docs.
+pub struct DocumentDb {
+    caps: Capabilities,
+    latency: LatencyModel,
+    collections: Mutex<HashMap<String, Collection>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl DocumentDb {
+    /// Creates an engine with the given vendor capabilities and latency.
+    pub fn new(caps: Capabilities, latency: LatencyModel) -> Self {
+        DocumentDb {
+            caps,
+            latency,
+            collections: Mutex::new(HashMap::new()),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Engine for DocumentDb {
+    fn capabilities(&self) -> &Capabilities {
+        &self.caps
+    }
+
+    fn execute(&self, q: &Query) -> Result<QueryResult, DbError> {
+        if q.is_write() {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+            self.latency.charge_write();
+        } else if q.is_read() {
+            self.reads.fetch_add(1, Ordering::Relaxed);
+            self.latency.charge_read();
+        }
+        let mut colls = self.collections.lock();
+        match q {
+            Query::CreateTable { table } => {
+                colls.entry(table.clone()).or_default();
+                Ok(QueryResult::Unit)
+            }
+            Query::DropTable { table } => {
+                colls.remove(table);
+                Ok(QueryResult::Unit)
+            }
+            Query::Insert { table, id, row } => {
+                // Document stores auto-create collections on first write.
+                let coll = colls.entry(table.clone()).or_default();
+                if coll.docs.contains_key(id) {
+                    return Err(DbError::DuplicateKey {
+                        table: table.clone(),
+                        key: id.to_string(),
+                    });
+                }
+                coll.docs.insert(*id, row.clone());
+                Ok(QueryResult::Rows(vec![(*id, row.clone())]))
+            }
+            Query::Update {
+                table,
+                filter,
+                set,
+                unset,
+            } => {
+                let coll = colls.entry(table.clone()).or_default();
+                let mut written = Vec::new();
+                let ids: Vec<Id> = coll
+                    .docs
+                    .iter()
+                    .filter(|(id, doc)| filter.matches(**id, doc))
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in ids {
+                    let doc = coll.docs.get_mut(&id).expect("id just matched");
+                    for (k, v) in set {
+                        doc.insert(k.clone(), v.clone());
+                    }
+                    for k in unset {
+                        doc.remove(k);
+                    }
+                    written.push((id, doc.clone()));
+                }
+                written.sort_by_key(|(id, _)| *id);
+                Ok(QueryResult::Rows(written))
+            }
+            Query::Delete { table, filter } => {
+                let coll = colls.entry(table.clone()).or_default();
+                let ids: Vec<Id> = coll
+                    .docs
+                    .iter()
+                    .filter(|(id, doc)| filter.matches(**id, doc))
+                    .map(|(id, _)| *id)
+                    .collect();
+                let mut removed = Vec::new();
+                for id in ids {
+                    if let Some(doc) = coll.docs.remove(&id) {
+                        removed.push((id, doc));
+                    }
+                }
+                removed.sort_by_key(|(id, _)| *id);
+                Ok(QueryResult::Rows(removed))
+            }
+            Query::Select {
+                table,
+                filter,
+                order,
+                limit,
+            } => {
+                let coll = match colls.get(table) {
+                    Some(c) => c,
+                    // Reading a collection that never existed returns empty,
+                    // as MongoDB does.
+                    None => return Ok(QueryResult::Rows(Vec::new())),
+                };
+                let mut rows: Vec<(Id, Row)> = coll
+                    .docs
+                    .iter()
+                    .filter(|(id, doc)| filter.matches(**id, doc))
+                    .map(|(id, doc)| (*id, doc.clone()))
+                    .collect();
+                sort_rows(&mut rows, order);
+                if let Some(n) = limit {
+                    rows.truncate(*n);
+                }
+                Ok(QueryResult::Rows(rows))
+            }
+            Query::Count { table, filter } => {
+                let n = colls
+                    .get(table)
+                    .map(|c| {
+                        c.docs
+                            .iter()
+                            .filter(|(id, doc)| filter.matches(**id, doc))
+                            .count()
+                    })
+                    .unwrap_or(0);
+                Ok(QueryResult::Count(n as u64))
+            }
+            Query::Batch(_) => Err(DbError::Unsupported("batches on document engine")),
+            Query::Search { .. } | Query::Aggregate { .. } => {
+                Err(DbError::Unsupported("full-text search on document engine"))
+            }
+            Query::AddEdge { .. } | Query::RemoveEdge { .. } | Query::Traverse { .. } => {
+                Err(DbError::Unsupported("graph queries on document engine"))
+            }
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        let colls = self.collections.lock();
+        let mut rows = 0u64;
+        let mut bytes = 0u64;
+        for c in colls.values() {
+            rows += c.docs.len() as u64;
+            for d in c.docs.values() {
+                bytes += d
+                    .iter()
+                    .map(|(k, v)| k.len() + v.approx_size())
+                    .sum::<usize>() as u64;
+            }
+        }
+        EngineStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            rows,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use crate::query::Filter;
+    use synapse_model::{varray, Value};
+
+    fn db() -> DocumentDb {
+        profiles::mongodb(LatencyModel::off())
+    }
+
+    fn doc(pairs: &[(&str, Value)]) -> Row {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn collections_auto_create_on_insert() {
+        let db = db();
+        let res = db
+            .execute(&Query::Insert {
+                table: "users".into(),
+                id: Id(1),
+                row: doc(&[("name", "alice".into())]),
+            })
+            .unwrap();
+        assert!(matches!(res, QueryResult::Rows(_)));
+    }
+
+    #[test]
+    fn schemaless_documents_accept_heterogeneous_shapes() {
+        let db = db();
+        db.execute(&Query::Insert {
+            table: "u".into(),
+            id: Id(1),
+            row: doc(&[("interests", varray!["cats", "dogs"])]),
+        })
+        .unwrap();
+        db.execute(&Query::Insert {
+            table: "u".into(),
+            id: Id(2),
+            row: doc(&[("totally_different", 1.into())]),
+        })
+        .unwrap();
+        let n = db
+            .execute(&Query::Count {
+                table: "u".into(),
+                filter: Filter::All,
+            })
+            .unwrap()
+            .into_count()
+            .unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn update_sets_and_unsets_fields() {
+        let db = db();
+        db.execute(&Query::Insert {
+            table: "u".into(),
+            id: Id(1),
+            row: doc(&[("a", 1.into()), ("b", 2.into())]),
+        })
+        .unwrap();
+        let res = db
+            .execute(&Query::Update {
+                table: "u".into(),
+                filter: Filter::ById(Id(1)),
+                set: doc(&[("a", 10.into())]),
+                unset: vec!["b".into()],
+            })
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(res[0].1.get("a"), Some(&Value::Int(10)));
+        assert!(res[0].1.get("b").is_none());
+    }
+
+    #[test]
+    fn select_on_unknown_collection_is_empty() {
+        let db = db();
+        let rows = db
+            .execute(&Query::Select {
+                table: "nope".into(),
+                filter: Filter::All,
+                order: None,
+                limit: None,
+            })
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn delete_returns_removed_documents() {
+        let db = db();
+        for i in 1..=3u64 {
+            db.execute(&Query::Insert {
+                table: "u".into(),
+                id: Id(i),
+                row: doc(&[("g", Value::Int((i % 2) as i64))]),
+            })
+            .unwrap();
+        }
+        let removed = db
+            .execute(&Query::Delete {
+                table: "u".into(),
+                filter: Filter::Eq("g".into(), Value::Int(1)),
+            })
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(removed.len(), 2);
+        assert_eq!(db.stats().rows, 1);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let db = db();
+        db.execute(&Query::Insert {
+            table: "u".into(),
+            id: Id(1),
+            row: Row::new(),
+        })
+        .unwrap();
+        assert!(matches!(
+            db.execute(&Query::Insert {
+                table: "u".into(),
+                id: Id(1),
+                row: Row::new(),
+            }),
+            Err(DbError::DuplicateKey { .. })
+        ));
+    }
+
+    #[test]
+    fn transactions_are_unsupported() {
+        let db = db();
+        assert!(matches!(db.begin(), Err(DbError::Unsupported(_))));
+    }
+}

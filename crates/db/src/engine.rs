@@ -1,0 +1,146 @@
+//! The engine (driver) trait and its capability descriptors.
+
+use crate::error::DbError;
+use crate::query::{Query, QueryResult};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Family of a database engine (Table 1 in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// SQL-style relational store.
+    Relational,
+    /// Schemaless document store.
+    Document,
+    /// Write-optimized wide-column / LSM store.
+    Columnar,
+    /// Inverted-index search store.
+    Search,
+    /// Property-graph store.
+    Graph,
+    /// No storage at all (ephemerals/observers).
+    Ephemeral,
+}
+
+impl EngineKind {
+    /// Human-readable family name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Relational => "relational",
+            EngineKind::Document => "document",
+            EngineKind::Columnar => "columnar",
+            EngineKind::Search => "search",
+            EngineKind::Graph => "graph",
+            EngineKind::Ephemeral => "ephemeral",
+        }
+    }
+}
+
+/// Vendor-level capabilities that Synapse's interceptor must know about
+/// (§4.1–4.2 of the paper).
+#[derive(Debug, Clone)]
+pub struct Capabilities {
+    /// Engine family.
+    pub kind: EngineKind,
+    /// Vendor name, e.g. `postgresql`.
+    pub vendor: &'static str,
+    /// Whether write queries can return the written rows (`RETURNING *`).
+    /// When `false` (MySQL, Cassandra) the interceptor performs an
+    /// additional read query to identify written data.
+    pub returning: bool,
+    /// Whether multi-statement ACID transactions (and two-phase commit
+    /// hooks) are available.
+    pub transactions: bool,
+    /// Whether atomic logged batches are available (Cassandra).
+    pub atomic_batch: bool,
+    /// Whether collections are schemaless.
+    pub schemaless: bool,
+}
+
+/// Handle to an open transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxnId(pub u64);
+
+/// Cheap monotonically increasing transaction id allocator shared by the
+/// transactional engines.
+#[derive(Debug, Default)]
+pub(crate) struct TxnIdGen(AtomicU64);
+
+impl TxnIdGen {
+    pub(crate) fn next(&self) -> TxnId {
+        TxnId(self.0.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+}
+
+/// Operation counters exposed by every engine.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Read queries executed.
+    pub reads: u64,
+    /// Write queries executed.
+    pub writes: u64,
+    /// Rows currently stored.
+    pub rows: u64,
+    /// Approximate bytes currently stored.
+    pub bytes: u64,
+}
+
+/// A database engine at the driver level — the layer Synapse's query
+/// interceptor wraps (Fig. 6(a)).
+///
+/// Engines are internally synchronized; all methods take `&self` and may be
+/// called from many application-server threads concurrently.
+pub trait Engine: Send + Sync {
+    /// Static description of what this engine/vendor can do.
+    fn capabilities(&self) -> &Capabilities;
+
+    /// Executes a query in auto-commit mode.
+    fn execute(&self, q: &Query) -> Result<QueryResult, DbError>;
+
+    /// Opens a transaction. Default: unsupported.
+    fn begin(&self) -> Result<TxnId, DbError> {
+        Err(DbError::Unsupported("transactions"))
+    }
+
+    /// Executes a query inside an open transaction. Default: unsupported.
+    fn execute_in(&self, _txn: TxnId, _q: &Query) -> Result<QueryResult, DbError> {
+        Err(DbError::Unsupported("transactions"))
+    }
+
+    /// Two-phase commit, phase one: make the transaction durable and keep
+    /// its locks; after `prepare` returns, `commit` cannot fail. Default:
+    /// unsupported.
+    fn prepare(&self, _txn: TxnId) -> Result<(), DbError> {
+        Err(DbError::Unsupported("transactions"))
+    }
+
+    /// Two-phase commit, phase two. Default: unsupported.
+    fn commit(&self, _txn: TxnId) -> Result<(), DbError> {
+        Err(DbError::Unsupported("transactions"))
+    }
+
+    /// Aborts a transaction, releasing its locks. Default: unsupported.
+    fn rollback(&self, _txn: TxnId) -> Result<(), DbError> {
+        Err(DbError::Unsupported("transactions"))
+    }
+
+    /// Current operation counters.
+    fn stats(&self) -> EngineStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_generator_is_monotonic() {
+        let g = TxnIdGen::default();
+        assert_eq!(g.next(), TxnId(1));
+        assert_eq!(g.next(), TxnId(2));
+    }
+
+    #[test]
+    fn engine_kind_names() {
+        assert_eq!(EngineKind::Relational.name(), "relational");
+        assert_eq!(EngineKind::Ephemeral.name(), "ephemeral");
+    }
+}

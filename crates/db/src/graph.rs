@@ -1,0 +1,427 @@
+//! Graph engine: labelled property nodes, adjacency lists, and traversals,
+//! in the style of Neo4j.
+//!
+//! Nodes live in per-label tables and carry dynamic properties; edges are
+//! held in adjacency lists per edge label. The paper's Example 2 (§3.3)
+//! replicates a SQL `friendships` join table into Neo4j edges through an
+//! observer; [`Query::Traverse`] then serves the recommendation engine's
+//! "friends of friends" queries in breadth-first order.
+
+use crate::engine::{Capabilities, Engine, EngineStats};
+use crate::error::DbError;
+use crate::latency::LatencyModel;
+use crate::query::{Query, QueryResult, Row};
+use crate::relational::sort_rows;
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use synapse_model::Id;
+
+#[derive(Debug, Default)]
+struct GraphStore {
+    /// Node properties by label: label → id → props.
+    nodes: HashMap<String, HashMap<Id, Row>>,
+    /// Undirected adjacency by edge label: label → node → neighbours.
+    /// (Neo4j's `has_many :both` — friendship graphs are symmetric.)
+    edges: HashMap<String, HashMap<Id, BTreeSet<Id>>>,
+}
+
+impl GraphStore {
+    fn neighbors(&self, label: &str, from: Id) -> BTreeSet<Id> {
+        self.edges
+            .get(label)
+            .and_then(|adj| adj.get(&from))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Breadth-first traversal up to `depth` hops, start excluded.
+    fn traverse(&self, label: &str, from: Id, depth: usize) -> Vec<Id> {
+        let mut seen: BTreeSet<Id> = BTreeSet::new();
+        let mut order: Vec<Id> = Vec::new();
+        let mut queue: VecDeque<(Id, usize)> = VecDeque::new();
+        seen.insert(from);
+        queue.push_back((from, 0));
+        while let Some((node, d)) = queue.pop_front() {
+            if d == depth {
+                continue;
+            }
+            for next in self.neighbors(label, node) {
+                if seen.insert(next) {
+                    order.push(next);
+                    queue.push_back((next, d + 1));
+                }
+            }
+        }
+        order
+    }
+}
+
+/// The graph engine. See the module docs.
+pub struct GraphDb {
+    caps: Capabilities,
+    latency: LatencyModel,
+    store: Mutex<GraphStore>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl GraphDb {
+    /// Creates an engine with the given vendor capabilities and latency.
+    pub fn new(caps: Capabilities, latency: LatencyModel) -> Self {
+        GraphDb {
+            caps,
+            latency,
+            store: Mutex::new(GraphStore::default()),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Total number of (undirected) edges, for tests and stats.
+    pub fn edge_count(&self) -> u64 {
+        let store = self.store.lock();
+        let double: usize = store
+            .edges
+            .values()
+            .flat_map(|adj| adj.values())
+            .map(BTreeSet::len)
+            .sum();
+        (double / 2) as u64
+    }
+}
+
+impl Engine for GraphDb {
+    fn capabilities(&self) -> &Capabilities {
+        &self.caps
+    }
+
+    fn execute(&self, q: &Query) -> Result<QueryResult, DbError> {
+        if q.is_write() {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+            self.latency.charge_write();
+        } else if q.is_read() {
+            self.reads.fetch_add(1, Ordering::Relaxed);
+            self.latency.charge_read();
+        }
+        let mut store = self.store.lock();
+        match q {
+            Query::CreateTable { table } => {
+                store.nodes.entry(table.clone()).or_default();
+                Ok(QueryResult::Unit)
+            }
+            Query::DropTable { table } => {
+                store.nodes.remove(table);
+                Ok(QueryResult::Unit)
+            }
+            Query::Insert { table, id, row } => {
+                let label = store.nodes.entry(table.clone()).or_default();
+                if label.contains_key(id) {
+                    return Err(DbError::DuplicateKey {
+                        table: table.clone(),
+                        key: id.to_string(),
+                    });
+                }
+                label.insert(*id, row.clone());
+                Ok(QueryResult::Rows(vec![(*id, row.clone())]))
+            }
+            Query::Update {
+                table,
+                filter,
+                set,
+                unset,
+            } => {
+                let label = store.nodes.entry(table.clone()).or_default();
+                let ids: Vec<Id> = label
+                    .iter()
+                    .filter(|(id, props)| filter.matches(**id, props))
+                    .map(|(id, _)| *id)
+                    .collect();
+                let mut written = Vec::new();
+                for id in ids {
+                    let props = label.get_mut(&id).expect("id just matched");
+                    for (k, v) in set {
+                        props.insert(k.clone(), v.clone());
+                    }
+                    for k in unset {
+                        props.remove(k);
+                    }
+                    written.push((id, props.clone()));
+                }
+                written.sort_by_key(|(id, _)| *id);
+                Ok(QueryResult::Rows(written))
+            }
+            Query::Delete { table, filter } => {
+                let ids: Vec<Id> = store
+                    .nodes
+                    .entry(table.clone())
+                    .or_default()
+                    .iter()
+                    .filter(|(id, props)| filter.matches(**id, props))
+                    .map(|(id, _)| *id)
+                    .collect();
+                let mut removed = Vec::new();
+                for id in &ids {
+                    if let Some(props) = store
+                        .nodes
+                        .get_mut(table)
+                        .and_then(|label| label.remove(id))
+                    {
+                        removed.push((*id, props));
+                    }
+                    // Deleting a node detaches all its edges (Neo4j's
+                    // DETACH DELETE).
+                    for adj in store.edges.values_mut() {
+                        if let Some(peers) = adj.remove(id) {
+                            for peer in peers {
+                                if let Some(back) = adj.get_mut(&peer) {
+                                    back.remove(id);
+                                }
+                            }
+                        }
+                    }
+                }
+                removed.sort_by_key(|(id, _)| *id);
+                Ok(QueryResult::Rows(removed))
+            }
+            Query::Select {
+                table,
+                filter,
+                order,
+                limit,
+            } => {
+                let rows = match store.nodes.get(table) {
+                    Some(label) => {
+                        let mut rows: Vec<(Id, Row)> = label
+                            .iter()
+                            .filter(|(id, props)| filter.matches(**id, props))
+                            .map(|(id, props)| (*id, props.clone()))
+                            .collect();
+                        sort_rows(&mut rows, order);
+                        if let Some(n) = limit {
+                            rows.truncate(*n);
+                        }
+                        rows
+                    }
+                    None => Vec::new(),
+                };
+                Ok(QueryResult::Rows(rows))
+            }
+            Query::Count { table, filter } => {
+                let n = store
+                    .nodes
+                    .get(table)
+                    .map(|label| {
+                        label
+                            .iter()
+                            .filter(|(id, props)| filter.matches(**id, props))
+                            .count()
+                    })
+                    .unwrap_or(0);
+                Ok(QueryResult::Count(n as u64))
+            }
+            Query::AddEdge { label, from, to } => {
+                let adj = store.edges.entry(label.clone()).or_default();
+                adj.entry(*from).or_default().insert(*to);
+                adj.entry(*to).or_default().insert(*from);
+                Ok(QueryResult::Unit)
+            }
+            Query::RemoveEdge { label, from, to } => {
+                if let Some(adj) = store.edges.get_mut(label) {
+                    if let Some(peers) = adj.get_mut(from) {
+                        peers.remove(to);
+                    }
+                    if let Some(peers) = adj.get_mut(to) {
+                        peers.remove(from);
+                    }
+                }
+                Ok(QueryResult::Unit)
+            }
+            Query::Traverse { label, from, depth } => {
+                Ok(QueryResult::Ids(store.traverse(label, *from, *depth)))
+            }
+            Query::Batch(_) => Err(DbError::Unsupported("batches on graph engine")),
+            Query::Search { .. } | Query::Aggregate { .. } => {
+                Err(DbError::Unsupported("full-text search on graph engine"))
+            }
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        let store = self.store.lock();
+        let mut rows = 0u64;
+        let mut bytes = 0u64;
+        for label in store.nodes.values() {
+            rows += label.len() as u64;
+            for props in label.values() {
+                bytes += props
+                    .iter()
+                    .map(|(k, v)| k.len() + v.approx_size())
+                    .sum::<usize>() as u64;
+            }
+        }
+        EngineStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            rows,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use crate::query::Filter;
+    use synapse_model::Value;
+
+    fn db() -> GraphDb {
+        profiles::neo4j(LatencyModel::off())
+    }
+
+    fn add_user(db: &GraphDb, id: u64, name: &str) {
+        let mut row = Row::new();
+        row.insert("name".to_owned(), Value::from(name));
+        db.execute(&Query::Insert {
+            table: "User".into(),
+            id: Id(id),
+            row,
+        })
+        .unwrap();
+    }
+
+    fn friend(db: &GraphDb, a: u64, b: u64) {
+        db.execute(&Query::AddEdge {
+            label: "friends".into(),
+            from: Id(a),
+            to: Id(b),
+        })
+        .unwrap();
+    }
+
+    fn traverse(db: &GraphDb, from: u64, depth: usize) -> Vec<Id> {
+        match db
+            .execute(&Query::Traverse {
+                label: "friends".into(),
+                from: Id(from),
+                depth,
+            })
+            .unwrap()
+        {
+            QueryResult::Ids(ids) => ids,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edges_are_undirected() {
+        let db = db();
+        add_user(&db, 1, "a");
+        add_user(&db, 2, "b");
+        friend(&db, 1, 2);
+        assert_eq!(traverse(&db, 1, 1), vec![Id(2)]);
+        assert_eq!(traverse(&db, 2, 1), vec![Id(1)]);
+        assert_eq!(db.edge_count(), 1);
+    }
+
+    #[test]
+    fn traversal_respects_depth() {
+        let db = db();
+        for i in 1..=4 {
+            add_user(&db, i, "u");
+        }
+        // Chain 1 - 2 - 3 - 4.
+        friend(&db, 1, 2);
+        friend(&db, 2, 3);
+        friend(&db, 3, 4);
+        assert_eq!(traverse(&db, 1, 1), vec![Id(2)]);
+        assert_eq!(traverse(&db, 1, 2), vec![Id(2), Id(3)]);
+        assert_eq!(traverse(&db, 1, 3), vec![Id(2), Id(3), Id(4)]);
+    }
+
+    #[test]
+    fn traversal_handles_cycles() {
+        let db = db();
+        for i in 1..=3 {
+            add_user(&db, i, "u");
+        }
+        friend(&db, 1, 2);
+        friend(&db, 2, 3);
+        friend(&db, 3, 1);
+        assert_eq!(traverse(&db, 1, 10), vec![Id(2), Id(3)]);
+    }
+
+    #[test]
+    fn remove_edge_breaks_traversal() {
+        let db = db();
+        add_user(&db, 1, "a");
+        add_user(&db, 2, "b");
+        friend(&db, 1, 2);
+        db.execute(&Query::RemoveEdge {
+            label: "friends".into(),
+            from: Id(2),
+            to: Id(1),
+        })
+        .unwrap();
+        assert!(traverse(&db, 1, 3).is_empty());
+        assert_eq!(db.edge_count(), 0);
+    }
+
+    #[test]
+    fn deleting_node_detaches_edges() {
+        let db = db();
+        for i in 1..=3 {
+            add_user(&db, i, "u");
+        }
+        friend(&db, 1, 2);
+        friend(&db, 2, 3);
+        db.execute(&Query::Delete {
+            table: "User".into(),
+            filter: Filter::ById(Id(2)),
+        })
+        .unwrap();
+        assert!(traverse(&db, 1, 5).is_empty());
+        assert_eq!(db.edge_count(), 0);
+    }
+
+    #[test]
+    fn node_properties_update() {
+        let db = db();
+        add_user(&db, 1, "a");
+        let mut set = Row::new();
+        set.insert("likes".to_owned(), Value::Int(5));
+        let res = db
+            .execute(&Query::Update {
+                table: "User".into(),
+                filter: Filter::ById(Id(1)),
+                set,
+                unset: vec![],
+            })
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(res[0].1["likes"], Value::Int(5));
+    }
+
+    #[test]
+    fn different_edge_labels_are_independent() {
+        let db = db();
+        add_user(&db, 1, "a");
+        add_user(&db, 2, "b");
+        friend(&db, 1, 2);
+        db.execute(&Query::AddEdge {
+            label: "blocked".into(),
+            from: Id(1),
+            to: Id(2),
+        })
+        .unwrap();
+        db.execute(&Query::RemoveEdge {
+            label: "blocked".into(),
+            from: Id(1),
+            to: Id(2),
+        })
+        .unwrap();
+        assert_eq!(traverse(&db, 1, 1), vec![Id(2)], "friends edge survives");
+    }
+}

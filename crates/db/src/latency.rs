@@ -1,0 +1,135 @@
+//! Synthetic per-operation latency model.
+//!
+//! The paper's Fig. 13(b) shows each publisher/subscriber pair saturating at
+//! the throughput of its *slower* database (PostgreSQL ≈ 12 k writes/s,
+//! Elasticsearch ≈ 20 k writes/s, …). In-process engines would all be far
+//! faster than the real systems and — worse — in the *wrong order*, so each
+//! vendor profile carries a latency model calibrated to the paper's
+//! saturation points. The model busy-spins rather than sleeps: OS sleep
+//! granularity (~50 µs minimum, often 1 ms) would flatten every curve,
+//! whereas spinning burns CPU exactly like a real engine doing real work.
+//!
+//! Unit tests construct engines with the model disabled ([`LatencyModel::off`])
+//! so the suite stays fast; the benchmark harness enables it.
+//!
+//! Charging can either *sleep* (default — the thread yields, modelling a
+//! client waiting on a network-attached database; scaling benches need
+//! this so worker counts matter even on few cores) or *spin* (burning CPU
+//! like an embedded engine doing real work).
+
+use std::time::{Duration, Instant};
+
+/// How a latency charge occupies the thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatencyMode {
+    /// Block the thread without consuming CPU (network-attached DB).
+    #[default]
+    Sleep,
+    /// Busy-wait, consuming CPU (in-process engine work).
+    Spin,
+}
+
+/// Per-operation synthetic costs for one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Cost charged to each read query.
+    pub read: Duration,
+    /// Cost charged to each write query.
+    pub write: Duration,
+    /// Master switch; `false` makes both charges free.
+    pub enabled: bool,
+    /// Sleep or spin while charging.
+    pub mode: LatencyMode,
+}
+
+impl LatencyModel {
+    /// A disabled model (no artificial cost).
+    pub fn off() -> Self {
+        LatencyModel {
+            read: Duration::ZERO,
+            write: Duration::ZERO,
+            enabled: false,
+            mode: LatencyMode::Sleep,
+        }
+    }
+
+    /// A model with the given per-operation costs, enabled, sleeping.
+    pub fn new(read: Duration, write: Duration) -> Self {
+        LatencyModel {
+            read,
+            write,
+            enabled: true,
+            mode: LatencyMode::Sleep,
+        }
+    }
+
+    /// A busy-waiting variant of [`LatencyModel::new`].
+    pub fn spinning(read: Duration, write: Duration) -> Self {
+        LatencyModel {
+            mode: LatencyMode::Spin,
+            ..Self::new(read, write)
+        }
+    }
+
+    fn charge(&self, d: Duration) {
+        if !self.enabled || d.is_zero() {
+            return;
+        }
+        match self.mode {
+            LatencyMode::Sleep => std::thread::sleep(d),
+            LatencyMode::Spin => spin_for(d),
+        }
+    }
+
+    /// Charges one read.
+    pub fn charge_read(&self) {
+        self.charge(self.read);
+    }
+
+    /// Charges one write.
+    pub fn charge_write(&self) {
+        self.charge(self.write);
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+/// Busy-waits for `d` with microsecond fidelity.
+fn spin_for(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let deadline = Instant::now() + d;
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_model_is_free() {
+        let m = LatencyModel::off();
+        let t = Instant::now();
+        for _ in 0..10_000 {
+            m.charge_write();
+        }
+        assert!(t.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn enabled_model_charges_at_least_the_cost() {
+        let m = LatencyModel::new(Duration::ZERO, Duration::from_micros(200));
+        let t = Instant::now();
+        for _ in 0..20 {
+            m.charge_write();
+        }
+        assert!(t.elapsed() >= Duration::from_micros(20 * 200));
+    }
+}

@@ -1,0 +1,283 @@
+//! Vendor profiles: the nine databases of Table 3, each a configuration of
+//! one of the five engine families.
+//!
+//! Each profile fixes the capability flags Synapse cares about (`RETURNING`,
+//! transactions, batches, schemalessness) and a latency model calibrated to
+//! the saturation throughputs the paper reports (§6.3: PostgreSQL ≈ 12 k
+//! writes/s, Elasticsearch ≈ 20 k writes/s) and to the relative ordering
+//! implied by Fig. 13(b)'s "slowest end" annotations (Elasticsearch slower
+//! than Cassandra, RethinkDB slower than MongoDB, PostgreSQL slower than
+//! TokuMX, Neo4j slower than MySQL). Latency is disabled in tests and
+//! enabled by the benchmark harness.
+
+use crate::columnar::ColumnarDb;
+use crate::document::DocumentDb;
+use crate::engine::{Capabilities, Engine, EngineKind};
+use crate::ephemeral::EphemeralDb;
+use crate::graph::GraphDb;
+use crate::latency::LatencyModel;
+use crate::relational::RelationalDb;
+use crate::search::SearchDb;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// All vendor names accepted by [`by_name`], in Table 3 order.
+pub const VENDORS: &[&str] = &[
+    "postgresql",
+    "mysql",
+    "oracle",
+    "mongodb",
+    "tokumx",
+    "cassandra",
+    "elasticsearch",
+    "neo4j",
+    "rethinkdb",
+    "ephemeral",
+];
+
+/// Returns the calibrated latency model for a vendor (see module docs).
+///
+/// # Panics
+///
+/// Panics on an unknown vendor name; use [`VENDORS`] to enumerate.
+pub fn calibrated_latency(vendor: &str) -> LatencyModel {
+    let (read_us, write_us) = match vendor {
+        // 1 / 83 µs ≈ 12 k writes/s, the paper's PostgreSQL saturation.
+        "postgresql" => (30, 83),
+        "mysql" => (25, 70),
+        "oracle" => (30, 75),
+        "mongodb" => (15, 40),
+        // TokuMX's fractal-tree indexes make it strictly faster on writes
+        // than MongoDB — the reason Crowdtap migrated (§6.5).
+        "tokumx" => (15, 30),
+        "rethinkdb" => (20, 55),
+        // Cassandra is write-optimized (Table 1: "write-intensive").
+        "cassandra" => (20, 25),
+        // 1 / 50 µs ≈ 20 k writes/s, the paper's Elasticsearch saturation.
+        "elasticsearch" => (40, 50),
+        "neo4j" => (25, 90),
+        "ephemeral" => (0, 0),
+        other => panic!("unknown vendor {other}"),
+    };
+    if write_us == 0 {
+        LatencyModel::off()
+    } else {
+        LatencyModel::new(
+            Duration::from_micros(read_us),
+            Duration::from_micros(write_us),
+        )
+    }
+}
+
+/// PostgreSQL: relational, `RETURNING *`, transactions.
+pub fn postgresql(latency: LatencyModel) -> RelationalDb {
+    RelationalDb::new(
+        Capabilities {
+            kind: EngineKind::Relational,
+            vendor: "postgresql",
+            returning: true,
+            transactions: true,
+            atomic_batch: false,
+            schemaless: false,
+        },
+        latency,
+    )
+}
+
+/// MySQL: relational, **no** `RETURNING *` (the interceptor must read
+/// written rows back, §4.1), transactions.
+pub fn mysql(latency: LatencyModel) -> RelationalDb {
+    RelationalDb::new(
+        Capabilities {
+            kind: EngineKind::Relational,
+            vendor: "mysql",
+            returning: false,
+            transactions: true,
+            atomic_batch: false,
+            schemaless: false,
+        },
+        latency,
+    )
+}
+
+/// Oracle: relational, `RETURNING *`, transactions.
+pub fn oracle(latency: LatencyModel) -> RelationalDb {
+    RelationalDb::new(
+        Capabilities {
+            kind: EngineKind::Relational,
+            vendor: "oracle",
+            returning: true,
+            transactions: true,
+            atomic_batch: false,
+            schemaless: false,
+        },
+        latency,
+    )
+}
+
+/// MongoDB: document, schemaless, single-document atomicity, written rows
+/// echoed back (findAndModify-style).
+pub fn mongodb(latency: LatencyModel) -> DocumentDb {
+    DocumentDb::new(
+        Capabilities {
+            kind: EngineKind::Document,
+            vendor: "mongodb",
+            returning: true,
+            transactions: false,
+            atomic_batch: false,
+            schemaless: true,
+        },
+        latency,
+    )
+}
+
+/// TokuMX: MongoDB-compatible document store with write-optimized indexes.
+pub fn tokumx(latency: LatencyModel) -> DocumentDb {
+    DocumentDb::new(
+        Capabilities {
+            kind: EngineKind::Document,
+            vendor: "tokumx",
+            returning: true,
+            transactions: false,
+            atomic_batch: false,
+            schemaless: true,
+        },
+        latency,
+    )
+}
+
+/// RethinkDB: document store (subscriber-only in Table 3).
+pub fn rethinkdb(latency: LatencyModel) -> DocumentDb {
+    DocumentDb::new(
+        Capabilities {
+            kind: EngineKind::Document,
+            vendor: "rethinkdb",
+            returning: true,
+            transactions: false,
+            atomic_batch: false,
+            schemaless: true,
+        },
+        latency,
+    )
+}
+
+/// Cassandra: columnar/LSM, **no** `RETURNING`, logged atomic batches.
+pub fn cassandra(latency: LatencyModel) -> ColumnarDb {
+    ColumnarDb::new(
+        Capabilities {
+            kind: EngineKind::Columnar,
+            vendor: "cassandra",
+            returning: false,
+            transactions: false,
+            atomic_batch: true,
+            schemaless: true,
+        },
+        latency,
+    )
+}
+
+/// Elasticsearch: inverted-index search store (subscriber-only in Table 3).
+pub fn elasticsearch(latency: LatencyModel) -> SearchDb {
+    SearchDb::new(
+        Capabilities {
+            kind: EngineKind::Search,
+            vendor: "elasticsearch",
+            returning: true,
+            transactions: false,
+            atomic_batch: false,
+            schemaless: true,
+        },
+        latency,
+    )
+}
+
+/// Neo4j: property graph (subscriber-only in Table 3).
+pub fn neo4j(latency: LatencyModel) -> GraphDb {
+    GraphDb::new(
+        Capabilities {
+            kind: EngineKind::Graph,
+            vendor: "neo4j",
+            returning: true,
+            transactions: false,
+            atomic_batch: false,
+            schemaless: true,
+        },
+        latency,
+    )
+}
+
+/// The DB-less engine backing ephemerals and observers (§3.1).
+pub fn ephemeral() -> EphemeralDb {
+    EphemeralDb::new()
+}
+
+/// Constructs any vendor by name, boxed behind the [`Engine`] trait.
+///
+/// # Panics
+///
+/// Panics on an unknown vendor name; use [`VENDORS`] to enumerate.
+pub fn by_name(vendor: &str, latency: LatencyModel) -> Arc<dyn Engine> {
+    match vendor {
+        "postgresql" => Arc::new(postgresql(latency)),
+        "mysql" => Arc::new(mysql(latency)),
+        "oracle" => Arc::new(oracle(latency)),
+        "mongodb" => Arc::new(mongodb(latency)),
+        "tokumx" => Arc::new(tokumx(latency)),
+        "rethinkdb" => Arc::new(rethinkdb(latency)),
+        "cassandra" => Arc::new(cassandra(latency)),
+        "elasticsearch" => Arc::new(elasticsearch(latency)),
+        "neo4j" => Arc::new(neo4j(latency)),
+        "ephemeral" => Arc::new(ephemeral()),
+        other => panic!("unknown vendor {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_vendor_constructs() {
+        for v in VENDORS {
+            let engine = by_name(v, LatencyModel::off());
+            assert_eq!(engine.capabilities().vendor, *v);
+        }
+    }
+
+    #[test]
+    fn returning_capability_matches_the_paper() {
+        // §4.1 lists Oracle, PostgreSQL, MongoDB, TokuMX, RethinkDB as
+        // supporting RETURNING-style writes, and MySQL/Cassandra as not.
+        for (v, expect) in [
+            ("postgresql", true),
+            ("oracle", true),
+            ("mongodb", true),
+            ("tokumx", true),
+            ("rethinkdb", true),
+            ("mysql", false),
+            ("cassandra", false),
+        ] {
+            assert_eq!(
+                by_name(v, LatencyModel::off()).capabilities().returning,
+                expect,
+                "{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_orderings_match_fig13b() {
+        let w = |v: &str| calibrated_latency(v).write;
+        assert!(w("elasticsearch") > w("cassandra"));
+        assert!(w("rethinkdb") > w("mongodb"));
+        assert!(w("postgresql") > w("tokumx"));
+        assert!(w("neo4j") > w("mysql"));
+        assert!(!calibrated_latency("ephemeral").enabled);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown vendor")]
+    fn unknown_vendor_panics() {
+        let _ = calibrated_latency("sqlite");
+    }
+}

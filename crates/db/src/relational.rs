@@ -1,0 +1,1077 @@
+//! Relational engine: strict schemas, B-tree indexes, row locks, and
+//! two-phase-commit transactions.
+//!
+//! This engine stands in for PostgreSQL, MySQL, and Oracle. The three
+//! vendor profiles (see [`crate::profiles`]) differ where the paper says
+//! they differ:
+//!
+//! * PostgreSQL and Oracle support `RETURNING *`, so write queries echo the
+//!   written rows back ([`QueryResult::Rows`]);
+//! * MySQL does not, so writes return only [`QueryResult::AffectedIds`] and
+//!   Synapse's interceptor issues an additional read (§4.1: "for DBs without
+//!   this feature we develop a protocol that involves performing an
+//!   additional query").
+//!
+//! Transactions buffer writes in a private overlay, take per-row write
+//! locks, and expose `prepare`/`commit` so Synapse can run its 2PC across
+//! the database, the version store, and the message broker (§4.2).
+
+use crate::engine::{Capabilities, Engine, EngineStats, TxnId, TxnIdGen};
+use crate::error::DbError;
+use crate::latency::LatencyModel;
+use crate::query::{Filter, OrderBy, Query, QueryResult, Row};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use synapse_model::{Id, Value};
+
+/// Default time a writer waits for a row lock before erroring.
+const DEFAULT_LOCK_TIMEOUT: Duration = Duration::from_secs(5);
+
+#[derive(Debug, Default)]
+struct Table {
+    /// Primary B-tree: id → row.
+    rows: BTreeMap<Id, Row>,
+    /// Declared columns; `None` until a schema is installed, in which case
+    /// anything goes (tests and schemaless callers).
+    columns: Option<BTreeSet<String>>,
+    /// Secondary indexes: field → value → ids.
+    indexes: HashMap<String, BTreeMap<Value, BTreeSet<Id>>>,
+    /// Row write locks: id → owning transaction.
+    locks: HashMap<Id, TxnId>,
+}
+
+impl Table {
+    fn check_row(&self, table: &str, row: &Row) -> Result<(), DbError> {
+        if let Some(cols) = &self.columns {
+            for field in row.keys() {
+                if !cols.contains(field) {
+                    return Err(DbError::SchemaViolation(format!(
+                        "column {table}.{field} does not exist"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn index_insert(&mut self, id: Id, row: &Row) {
+        for (field, index) in &mut self.indexes {
+            let v = row.get(field).cloned().unwrap_or(Value::Null);
+            index.entry(v).or_default().insert(id);
+        }
+    }
+
+    fn index_remove(&mut self, id: Id, row: &Row) {
+        for (field, index) in &mut self.indexes {
+            let v = row.get(field).cloned().unwrap_or(Value::Null);
+            if let Some(ids) = index.get_mut(&v) {
+                ids.remove(&id);
+                if ids.is_empty() {
+                    index.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// Candidate ids for a filter, using a secondary index when one covers
+    /// the predicate, otherwise the full key range.
+    fn candidates(&self, filter: &Filter) -> Vec<Id> {
+        match filter {
+            Filter::ById(id) => vec![*id],
+            Filter::IdIn(ids) => ids.clone(),
+            Filter::Eq(field, value) => {
+                if let Some(index) = self.indexes.get(field) {
+                    return index
+                        .get(value)
+                        .map(|ids| ids.iter().copied().collect())
+                        .unwrap_or_default();
+                }
+                self.rows.keys().copied().collect()
+            }
+            Filter::And(fs) => {
+                for f in fs {
+                    if let Filter::ById(_) | Filter::IdIn(_) = f {
+                        return self.candidates(f);
+                    }
+                }
+                for f in fs {
+                    if let Filter::Eq(field, _) = f {
+                        if self.indexes.contains_key(field) {
+                            return self.candidates(f);
+                        }
+                    }
+                }
+                self.rows.keys().copied().collect()
+            }
+            Filter::All => self.rows.keys().copied().collect(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnState {
+    Active,
+    Prepared,
+}
+
+impl TxnState {
+    fn name(self) -> &'static str {
+        match self {
+            TxnState::Active => "active",
+            TxnState::Prepared => "prepared",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Txn {
+    state: TxnState,
+    /// Staged row images: `(table, id)` → `Some(row)` (upsert) or `None`
+    /// (delete).
+    overlay: HashMap<(String, Id), Option<Row>>,
+    /// Locks held, for release on finish.
+    locked: Vec<(String, Id)>,
+}
+
+#[derive(Default)]
+struct Inner {
+    tables: HashMap<String, Table>,
+    txns: HashMap<TxnId, Txn>,
+}
+
+/// The relational engine. See the module docs.
+pub struct RelationalDb {
+    caps: Capabilities,
+    latency: LatencyModel,
+    inner: Mutex<Inner>,
+    lock_released: Condvar,
+    txn_gen: TxnIdGen,
+    lock_timeout: Duration,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl RelationalDb {
+    /// Creates an engine with the given vendor capabilities and latency.
+    pub fn new(caps: Capabilities, latency: LatencyModel) -> Self {
+        RelationalDb {
+            caps,
+            latency,
+            inner: Mutex::new(Inner::default()),
+            lock_released: Condvar::new(),
+            txn_gen: TxnIdGen::default(),
+            lock_timeout: DEFAULT_LOCK_TIMEOUT,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Overrides the row-lock wait deadline (tests use short values).
+    pub fn set_lock_timeout(&mut self, timeout: Duration) {
+        self.lock_timeout = timeout;
+    }
+
+    /// Installs a strict column list for `table`, creating it if needed.
+    /// Inserts/updates naming other columns then fail, as in real SQL.
+    pub fn define_columns(&self, table: &str, columns: &[&str]) {
+        let mut inner = self.inner.lock();
+        let t = inner.tables.entry(table.to_owned()).or_default();
+        t.columns = Some(columns.iter().map(|c| (*c).to_owned()).collect());
+    }
+
+    /// Creates a secondary index on `table.field`, backfilling existing rows.
+    pub fn create_index(&self, table: &str, field: &str) {
+        let mut inner = self.inner.lock();
+        let t = inner.tables.entry(table.to_owned()).or_default();
+        let mut index: BTreeMap<Value, BTreeSet<Id>> = BTreeMap::new();
+        for (id, row) in &t.rows {
+            let v = row.get(field).cloned().unwrap_or(Value::Null);
+            index.entry(v).or_default().insert(*id);
+        }
+        t.indexes.insert(field.to_owned(), index);
+    }
+
+    /// Runs a closure with the table, or fails with [`DbError::NoSuchTable`].
+    fn with_table<R>(
+        inner: &mut Inner,
+        table: &str,
+        f: impl FnOnce(&mut Table) -> Result<R, DbError>,
+    ) -> Result<R, DbError> {
+        match inner.tables.get_mut(table) {
+            Some(t) => f(t),
+            None => Err(DbError::NoSuchTable(table.to_owned())),
+        }
+    }
+
+    /// Acquires row locks for `txn`, blocking until free or timing out.
+    fn lock_rows(
+        &self,
+        guard: &mut parking_lot::MutexGuard<'_, Inner>,
+        txn: TxnId,
+        table: &str,
+        ids: &[Id],
+    ) -> Result<(), DbError> {
+        let deadline = Instant::now() + self.lock_timeout;
+        for id in ids {
+            loop {
+                let inner = &mut **guard;
+                let t = inner
+                    .tables
+                    .get_mut(table)
+                    .ok_or_else(|| DbError::NoSuchTable(table.to_owned()))?;
+                match t.locks.get(id) {
+                    None => {
+                        t.locks.insert(*id, txn);
+                        if let Some(tx) = inner.txns.get_mut(&txn) {
+                            tx.locked.push((table.to_owned(), *id));
+                        }
+                        break;
+                    }
+                    Some(owner) if *owner == txn => break,
+                    Some(_) => {
+                        let waited = self.lock_released.wait_until(guard, deadline);
+                        if waited.timed_out() {
+                            return Err(DbError::LockTimeout {
+                                table: table.to_owned(),
+                                key: id.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merged view of a row: transaction overlay over committed state.
+    fn visible_row(inner: &Inner, txn: Option<TxnId>, table: &str, id: Id) -> Option<Row> {
+        if let Some(txn) = txn {
+            if let Some(tx) = inner.txns.get(&txn) {
+                if let Some(staged) = tx.overlay.get(&(table.to_owned(), id)) {
+                    return staged.clone();
+                }
+            }
+        }
+        inner.tables.get(table)?.rows.get(&id).cloned()
+    }
+
+    fn visible_ids(inner: &Inner, txn: Option<TxnId>, table: &str, filter: &Filter) -> Vec<Id> {
+        let mut ids: BTreeSet<Id> = match inner.tables.get(table) {
+            Some(t) => t.candidates(filter).into_iter().collect(),
+            None => BTreeSet::new(),
+        };
+        // Rows created (or deleted) inside the transaction override the
+        // committed candidates.
+        if let Some(txn) = txn {
+            if let Some(tx) = inner.txns.get(&txn) {
+                for ((t, id), staged) in &tx.overlay {
+                    if t == table {
+                        match staged {
+                            Some(_) => {
+                                ids.insert(*id);
+                            }
+                            None => {
+                                ids.remove(id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ids.into_iter()
+            .filter(|id| {
+                Self::visible_row(inner, txn, table, *id)
+                    .map(|row| filter.matches(*id, &row))
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    fn run(&self, txn: Option<TxnId>, q: &Query) -> Result<QueryResult, DbError> {
+        if q.is_write() {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+            self.latency.charge_write();
+        } else if q.is_read() {
+            self.reads.fetch_add(1, Ordering::Relaxed);
+            self.latency.charge_read();
+        }
+        let mut inner = self.inner.lock();
+        if let Some(t) = txn {
+            let tx = inner.txns.get(&t).ok_or(DbError::NoSuchTxn(t.0))?;
+            if tx.state != TxnState::Active {
+                return Err(DbError::BadTxnState {
+                    txn: t.0,
+                    expected: "active",
+                    actual: tx.state.name(),
+                });
+            }
+        }
+        match q {
+            Query::CreateTable { table } => {
+                inner.tables.entry(table.clone()).or_default();
+                Ok(QueryResult::Unit)
+            }
+            Query::DropTable { table } => {
+                inner.tables.remove(table);
+                Ok(QueryResult::Unit)
+            }
+            Query::Insert { table, id, row } => {
+                if !inner.tables.contains_key(table) {
+                    return Err(DbError::NoSuchTable(table.clone()));
+                }
+                inner.tables[table].check_row(table, row)?;
+                if Self::visible_row(&inner, txn, table, *id).is_some() {
+                    return Err(DbError::DuplicateKey {
+                        table: table.clone(),
+                        key: id.to_string(),
+                    });
+                }
+                match txn {
+                    Some(t) => {
+                        self.lock_rows(&mut inner, t, table, &[*id])?;
+                        let tx = inner.txns.get_mut(&t).expect("txn checked above");
+                        tx.overlay
+                            .insert((table.clone(), *id), Some(row.clone()));
+                    }
+                    None => {
+                        self.wait_unlocked(&mut inner, table, &[*id])?;
+                        Self::with_table(&mut inner, table, |t| {
+                            t.rows.insert(*id, row.clone());
+                            t.index_insert(*id, row);
+                            Ok(())
+                        })?;
+                    }
+                }
+                self.returning_or_ids(vec![(*id, row.clone())])
+            }
+            Query::Update {
+                table,
+                filter,
+                set,
+                unset,
+            } => {
+                if !inner.tables.contains_key(table) {
+                    return Err(DbError::NoSuchTable(table.clone()));
+                }
+                inner.tables[table].check_row(table, set)?;
+                let ids = Self::visible_ids(&inner, txn, table, filter);
+                let mut written = Vec::with_capacity(ids.len());
+                match txn {
+                    Some(t) => {
+                        self.lock_rows(&mut inner, t, table, &ids)?;
+                        for id in ids {
+                            let mut row = Self::visible_row(&inner, txn, table, id)
+                                .expect("visible id has a row");
+                            apply_changes(&mut row, set, unset);
+                            written.push((id, row.clone()));
+                            let tx = inner.txns.get_mut(&t).expect("txn checked above");
+                            tx.overlay.insert((table.clone(), id), Some(row));
+                        }
+                    }
+                    None => {
+                        self.wait_unlocked(&mut inner, table, &ids)?;
+                        for id in ids {
+                            Self::with_table(&mut inner, table, |t| {
+                                let old = t.rows.get(&id).cloned().expect("candidate exists");
+                                t.index_remove(id, &old);
+                                let mut row = old;
+                                apply_changes(&mut row, set, unset);
+                                t.rows.insert(id, row.clone());
+                                t.index_insert(id, &row);
+                                written.push((id, row));
+                                Ok(())
+                            })?;
+                        }
+                    }
+                }
+                self.returning_or_ids(written)
+            }
+            Query::Delete { table, filter } => {
+                if !inner.tables.contains_key(table) {
+                    return Err(DbError::NoSuchTable(table.clone()));
+                }
+                let ids = Self::visible_ids(&inner, txn, table, filter);
+                let mut removed = Vec::with_capacity(ids.len());
+                match txn {
+                    Some(t) => {
+                        self.lock_rows(&mut inner, t, table, &ids)?;
+                        for id in ids {
+                            let row = Self::visible_row(&inner, txn, table, id)
+                                .expect("visible id has a row");
+                            removed.push((id, row));
+                            let tx = inner.txns.get_mut(&t).expect("txn checked above");
+                            tx.overlay.insert((table.clone(), id), None);
+                        }
+                    }
+                    None => {
+                        self.wait_unlocked(&mut inner, table, &ids)?;
+                        for id in ids {
+                            Self::with_table(&mut inner, table, |t| {
+                                if let Some(row) = t.rows.remove(&id) {
+                                    t.index_remove(id, &row);
+                                    removed.push((id, row));
+                                }
+                                Ok(())
+                            })?;
+                        }
+                    }
+                }
+                self.returning_or_ids(removed)
+            }
+            Query::Select {
+                table,
+                filter,
+                order,
+                limit,
+            } => {
+                if !inner.tables.contains_key(table) {
+                    return Err(DbError::NoSuchTable(table.clone()));
+                }
+                let ids = Self::visible_ids(&inner, txn, table, filter);
+                let mut rows: Vec<(Id, Row)> = ids
+                    .into_iter()
+                    .map(|id| {
+                        let row =
+                            Self::visible_row(&inner, txn, table, id).expect("visible row");
+                        (id, row)
+                    })
+                    .collect();
+                sort_rows(&mut rows, order);
+                if let Some(n) = limit {
+                    rows.truncate(*n);
+                }
+                Ok(QueryResult::Rows(rows))
+            }
+            Query::Count { table, filter } => {
+                if !inner.tables.contains_key(table) {
+                    return Err(DbError::NoSuchTable(table.clone()));
+                }
+                let n = Self::visible_ids(&inner, txn, table, filter).len();
+                Ok(QueryResult::Count(n as u64))
+            }
+            Query::Batch(_) => Err(DbError::Unsupported("batches (use a transaction)")),
+            Query::Search { .. } | Query::Aggregate { .. } => {
+                Err(DbError::Unsupported("full-text search on relational engine"))
+            }
+            Query::AddEdge { .. } | Query::RemoveEdge { .. } | Query::Traverse { .. } => {
+                Err(DbError::Unsupported("graph queries on relational engine"))
+            }
+        }
+    }
+
+    /// In auto-commit mode, waits for any transaction locks on `ids`.
+    fn wait_unlocked(
+        &self,
+        guard: &mut parking_lot::MutexGuard<'_, Inner>,
+        table: &str,
+        ids: &[Id],
+    ) -> Result<(), DbError> {
+        let deadline = Instant::now() + self.lock_timeout;
+        for id in ids {
+            loop {
+                let locked = guard
+                    .tables
+                    .get(table)
+                    .map(|t| t.locks.contains_key(id))
+                    .unwrap_or(false);
+                if !locked {
+                    break;
+                }
+                let waited = self.lock_released.wait_until(guard, deadline);
+                if waited.timed_out() {
+                    return Err(DbError::LockTimeout {
+                        table: table.to_owned(),
+                        key: id.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn returning_or_ids(&self, rows: Vec<(Id, Row)>) -> Result<QueryResult, DbError> {
+        if self.caps.returning {
+            Ok(QueryResult::Rows(rows))
+        } else {
+            Ok(QueryResult::AffectedIds(
+                rows.into_iter().map(|(id, _)| id).collect(),
+            ))
+        }
+    }
+
+    fn finish_txn(&self, txn: TxnId, apply: bool) -> Result<(), DbError> {
+        let mut inner = self.inner.lock();
+        let tx = inner.txns.remove(&txn).ok_or(DbError::NoSuchTxn(txn.0))?;
+        if apply {
+            for ((table, id), staged) in tx.overlay {
+                if let Some(t) = inner.tables.get_mut(&table) {
+                    if let Some(old) = t.rows.remove(&id) {
+                        t.index_remove(id, &old);
+                    }
+                    if let Some(row) = staged {
+                        t.index_insert(id, &row);
+                        t.rows.insert(id, row);
+                    }
+                }
+            }
+        }
+        for (table, id) in tx.locked {
+            if let Some(t) = inner.tables.get_mut(&table) {
+                t.locks.remove(&id);
+            }
+        }
+        drop(inner);
+        self.lock_released.notify_all();
+        Ok(())
+    }
+}
+
+/// Applies an update's `set`/`unset` to a row image.
+fn apply_changes(row: &mut Row, set: &Row, unset: &[String]) {
+    for (k, v) in set {
+        row.insert(k.clone(), v.clone());
+    }
+    for k in unset {
+        row.remove(k);
+    }
+}
+
+/// Sorts rows per `order` (default: primary-key order).
+pub(crate) fn sort_rows(rows: &mut [(Id, Row)], order: &Option<OrderBy>) {
+    if let Some(o) = order {
+        if o.field == "id" {
+            rows.sort_by_key(|(id, _)| *id);
+        } else {
+            rows.sort_by(|(_, a), (_, b)| {
+                let av = a.get(&o.field).cloned().unwrap_or(Value::Null);
+                let bv = b.get(&o.field).cloned().unwrap_or(Value::Null);
+                av.cmp(&bv)
+            });
+        }
+        if !o.ascending {
+            rows.reverse();
+        }
+    } else {
+        rows.sort_by_key(|(id, _)| *id);
+    }
+}
+
+impl Engine for RelationalDb {
+    fn capabilities(&self) -> &Capabilities {
+        &self.caps
+    }
+
+    fn execute(&self, q: &Query) -> Result<QueryResult, DbError> {
+        self.run(None, q)
+    }
+
+    fn begin(&self) -> Result<TxnId, DbError> {
+        let txn = self.txn_gen.next();
+        self.inner.lock().txns.insert(
+            txn,
+            Txn {
+                state: TxnState::Active,
+                overlay: HashMap::new(),
+                locked: Vec::new(),
+            },
+        );
+        Ok(txn)
+    }
+
+    fn execute_in(&self, txn: TxnId, q: &Query) -> Result<QueryResult, DbError> {
+        self.run(Some(txn), q)
+    }
+
+    fn prepare(&self, txn: TxnId) -> Result<(), DbError> {
+        let mut inner = self.inner.lock();
+        let tx = inner.txns.get_mut(&txn).ok_or(DbError::NoSuchTxn(txn.0))?;
+        match tx.state {
+            TxnState::Active => {
+                tx.state = TxnState::Prepared;
+                Ok(())
+            }
+            other => Err(DbError::BadTxnState {
+                txn: txn.0,
+                expected: "active",
+                actual: other.name(),
+            }),
+        }
+    }
+
+    fn commit(&self, txn: TxnId) -> Result<(), DbError> {
+        self.finish_txn(txn, true)
+    }
+
+    fn rollback(&self, txn: TxnId) -> Result<(), DbError> {
+        self.finish_txn(txn, false)
+    }
+
+    fn stats(&self) -> EngineStats {
+        let inner = self.inner.lock();
+        let mut rows = 0u64;
+        let mut bytes = 0u64;
+        for t in inner.tables.values() {
+            rows += t.rows.len() as u64;
+            for r in t.rows.values() {
+                bytes += r
+                    .iter()
+                    .map(|(k, v)| k.len() + v.approx_size())
+                    .sum::<usize>() as u64;
+            }
+        }
+        EngineStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            rows,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use std::sync::Arc;
+
+    fn db() -> RelationalDb {
+        profiles::postgresql(LatencyModel::off())
+    }
+
+    fn row(pairs: &[(&str, Value)]) -> Row {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect()
+    }
+
+    fn insert(db: &RelationalDb, table: &str, id: u64, r: Row) -> QueryResult {
+        db.execute(&Query::Insert {
+            table: table.into(),
+            id: Id(id),
+            row: r,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_select_roundtrip() {
+        let db = db();
+        db.execute(&Query::CreateTable {
+            table: "users".into(),
+        })
+        .unwrap();
+        insert(&db, "users", 1, row(&[("name", "alice".into())]));
+        let rows = db
+            .execute(&Query::Select {
+                table: "users".into(),
+                filter: Filter::ById(Id(1)),
+                order: None,
+                limit: None,
+            })
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1.get("name"), Some(&Value::from("alice")));
+    }
+
+    #[test]
+    fn returning_echoes_written_rows_on_postgres() {
+        let db = db();
+        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        let res = insert(&db, "t", 1, row(&[("a", 1.into())]));
+        assert!(matches!(res, QueryResult::Rows(_)));
+    }
+
+    #[test]
+    fn mysql_returns_only_affected_ids() {
+        let db = profiles::mysql(LatencyModel::off());
+        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        let res = insert(&db, "t", 1, row(&[("a", 1.into())]));
+        assert_eq!(res, QueryResult::AffectedIds(vec![Id(1)]));
+        let res = db
+            .execute(&Query::Update {
+                table: "t".into(),
+                filter: Filter::ById(Id(1)),
+                set: row(&[("a", 2.into())]),
+                unset: vec![],
+            })
+            .unwrap();
+        assert_eq!(res, QueryResult::AffectedIds(vec![Id(1)]));
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let db = db();
+        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        insert(&db, "t", 1, Row::new());
+        let err = db
+            .execute(&Query::Insert {
+                table: "t".into(),
+                id: Id(1),
+                row: Row::new(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, DbError::DuplicateKey { .. }));
+    }
+
+    #[test]
+    fn missing_table_is_an_error() {
+        let db = db();
+        let err = db
+            .execute(&Query::Select {
+                table: "ghost".into(),
+                filter: Filter::All,
+                order: None,
+                limit: None,
+            })
+            .unwrap_err();
+        assert_eq!(err, DbError::NoSuchTable("ghost".into()));
+    }
+
+    #[test]
+    fn strict_columns_reject_unknown_fields() {
+        let db = db();
+        db.define_columns("users", &["name", "email"]);
+        insert(&db, "users", 1, row(&[("name", "a".into())]));
+        let err = db
+            .execute(&Query::Insert {
+                table: "users".into(),
+                id: Id(2),
+                row: row(&[("interests", "x".into())]),
+            })
+            .unwrap_err();
+        assert!(matches!(err, DbError::SchemaViolation(_)));
+    }
+
+    #[test]
+    fn update_with_filter_changes_all_matches() {
+        let db = db();
+        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        for i in 1..=3 {
+            insert(&db, "t", i, row(&[("group", "a".into())]));
+        }
+        insert(&db, "t", 4, row(&[("group", "b".into())]));
+        let res = db
+            .execute(&Query::Update {
+                table: "t".into(),
+                filter: Filter::Eq("group".into(), "a".into()),
+                set: row(&[("flag", true.into())]),
+                unset: vec![],
+            })
+            .unwrap();
+        assert_eq!(res.affected_ids().len(), 3);
+    }
+
+    #[test]
+    fn delete_removes_rows_and_returns_them() {
+        let db = db();
+        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        insert(&db, "t", 1, row(&[("a", 1.into())]));
+        let res = db
+            .execute(&Query::Delete {
+                table: "t".into(),
+                filter: Filter::ById(Id(1)),
+            })
+            .unwrap();
+        assert_eq!(res.affected_ids(), vec![Id(1)]);
+        let count = db
+            .execute(&Query::Count {
+                table: "t".into(),
+                filter: Filter::All,
+            })
+            .unwrap()
+            .into_count()
+            .unwrap();
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn secondary_index_serves_eq_filters() {
+        let db = db();
+        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        for i in 1..=100 {
+            insert(&db, "t", i, row(&[("bucket", Value::Int((i % 10) as i64))]));
+        }
+        db.create_index("t", "bucket");
+        let rows = db
+            .execute(&Query::Select {
+                table: "t".into(),
+                filter: Filter::Eq("bucket".into(), Value::Int(3)),
+                order: None,
+                limit: None,
+            })
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(rows.len(), 10);
+        // Updates must keep the index consistent.
+        db.execute(&Query::Update {
+            table: "t".into(),
+            filter: Filter::ById(Id(3)),
+            set: row(&[("bucket", Value::Int(7))]),
+            unset: vec![],
+        })
+        .unwrap();
+        let rows = db
+            .execute(&Query::Select {
+                table: "t".into(),
+                filter: Filter::Eq("bucket".into(), Value::Int(3)),
+                order: None,
+                limit: None,
+            })
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(rows.len(), 9);
+    }
+
+    #[test]
+    fn select_order_and_limit() {
+        let db = db();
+        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        for (i, n) in [(1u64, 30i64), (2, 10), (3, 20)] {
+            insert(&db, "t", i, row(&[("n", n.into())]));
+        }
+        let rows = db
+            .execute(&Query::Select {
+                table: "t".into(),
+                filter: Filter::All,
+                order: Some(OrderBy {
+                    field: "n".into(),
+                    ascending: false,
+                }),
+                limit: Some(2),
+            })
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        let ns: Vec<i64> = rows.iter().map(|(_, r)| r["n"].as_int().unwrap()).collect();
+        assert_eq!(ns, vec![30, 20]);
+    }
+
+    #[test]
+    fn txn_isolation_until_commit() {
+        let db = db();
+        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        let txn = db.begin().unwrap();
+        db.execute_in(
+            txn,
+            &Query::Insert {
+                table: "t".into(),
+                id: Id(1),
+                row: row(&[("a", 1.into())]),
+            },
+        )
+        .unwrap();
+        // Not visible outside the transaction yet.
+        let count = db
+            .execute(&Query::Count {
+                table: "t".into(),
+                filter: Filter::All,
+            })
+            .unwrap()
+            .into_count()
+            .unwrap();
+        assert_eq!(count, 0);
+        // Visible inside.
+        let count_in = db
+            .execute_in(
+                txn,
+                &Query::Count {
+                    table: "t".into(),
+                    filter: Filter::All,
+                },
+            )
+            .unwrap()
+            .into_count()
+            .unwrap();
+        assert_eq!(count_in, 1);
+        db.prepare(txn).unwrap();
+        db.commit(txn).unwrap();
+        let count = db
+            .execute(&Query::Count {
+                table: "t".into(),
+                filter: Filter::All,
+            })
+            .unwrap()
+            .into_count()
+            .unwrap();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn rollback_discards_staged_writes_and_releases_locks() {
+        let db = db();
+        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        insert(&db, "t", 1, row(&[("a", 1.into())]));
+        let txn = db.begin().unwrap();
+        db.execute_in(
+            txn,
+            &Query::Update {
+                table: "t".into(),
+                filter: Filter::ById(Id(1)),
+                set: row(&[("a", 2.into())]),
+                unset: vec![],
+            },
+        )
+        .unwrap();
+        db.rollback(txn).unwrap();
+        let rows = db
+            .execute(&Query::Select {
+                table: "t".into(),
+                filter: Filter::ById(Id(1)),
+                order: None,
+                limit: None,
+            })
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(rows[0].1["a"], Value::Int(1));
+        // Lock must be released: an auto-commit write succeeds immediately.
+        db.execute(&Query::Update {
+            table: "t".into(),
+            filter: Filter::ById(Id(1)),
+            set: row(&[("a", 3.into())]),
+            unset: vec![],
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn prepared_txn_rejects_further_queries() {
+        let db = db();
+        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        let txn = db.begin().unwrap();
+        db.prepare(txn).unwrap();
+        let err = db
+            .execute_in(
+                txn,
+                &Query::Insert {
+                    table: "t".into(),
+                    id: Id(1),
+                    row: Row::new(),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::BadTxnState { .. }));
+        assert!(db.prepare(txn).is_err(), "double prepare must fail");
+        db.commit(txn).unwrap();
+        assert!(matches!(db.commit(txn), Err(DbError::NoSuchTxn(_))));
+    }
+
+    #[test]
+    fn conflicting_txn_write_times_out() {
+        let mut raw = db();
+        raw.set_lock_timeout(Duration::from_millis(50));
+        let db = Arc::new(raw);
+        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        insert(&db, "t", 1, row(&[("a", 1.into())]));
+        let t1 = db.begin().unwrap();
+        db.execute_in(
+            t1,
+            &Query::Update {
+                table: "t".into(),
+                filter: Filter::ById(Id(1)),
+                set: row(&[("a", 2.into())]),
+                unset: vec![],
+            },
+        )
+        .unwrap();
+        let t2 = db.begin().unwrap();
+        let err = db
+            .execute_in(
+                t2,
+                &Query::Update {
+                    table: "t".into(),
+                    filter: Filter::ById(Id(1)),
+                    set: row(&[("a", 3.into())]),
+                    unset: vec![],
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::LockTimeout { .. }));
+    }
+
+    #[test]
+    fn waiting_writer_proceeds_after_commit() {
+        let db = Arc::new(db());
+        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        insert(&db, "t", 1, row(&[("a", 1.into())]));
+        let t1 = db.begin().unwrap();
+        db.execute_in(
+            t1,
+            &Query::Update {
+                table: "t".into(),
+                filter: Filter::ById(Id(1)),
+                set: row(&[("a", 2.into())]),
+                unset: vec![],
+            },
+        )
+        .unwrap();
+        let db2 = db.clone();
+        let h = std::thread::spawn(move || {
+            db2.execute(&Query::Update {
+                table: "t".into(),
+                filter: Filter::ById(Id(1)),
+                set: row(&[("a", 3.into())]),
+                unset: vec![],
+            })
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        db.prepare(t1).unwrap();
+        db.commit(t1).unwrap();
+        h.join().unwrap().unwrap();
+        let rows = db
+            .execute(&Query::Select {
+                table: "t".into(),
+                filter: Filter::ById(Id(1)),
+                order: None,
+                limit: None,
+            })
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(rows[0].1["a"], Value::Int(3));
+    }
+
+    #[test]
+    fn stats_track_rows_and_ops() {
+        let db = db();
+        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        insert(&db, "t", 1, row(&[("a", 1.into())]));
+        let _ = db.execute(&Query::Select {
+            table: "t".into(),
+            filter: Filter::All,
+            order: None,
+            limit: None,
+        });
+        let s = db.stats();
+        assert_eq!(s.rows, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn filter_matching_on_array_values() {
+        let db = db();
+        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        let tags = synapse_model::varray!["cats", "dogs"];
+        insert(&db, "t", 1, row(&[("tags", tags.clone())]));
+        let rows = db
+            .execute(&Query::Select {
+                table: "t".into(),
+                filter: Filter::Eq("tags".into(), tags),
+                order: None,
+                limit: None,
+            })
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+}

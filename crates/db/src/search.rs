@@ -1,0 +1,497 @@
+//! Search engine: inverted indexes, analyzers, tf-idf scoring, and terms
+//! aggregations, in the style of Elasticsearch.
+//!
+//! Documents are stored alongside per-field inverted indexes. String fields
+//! are tokenized by a configurable [`Analyzer`] (the paper's Sub1b declares
+//! `property :name, analyzer: :simple`); [`Query::Search`] scores matching
+//! documents with tf-idf and [`Query::Aggregate`] buckets documents by a
+//! field's value (Table 1: "aggregations and analytics").
+
+use crate::engine::{Capabilities, Engine, EngineStats};
+use crate::error::DbError;
+use crate::latency::LatencyModel;
+use crate::query::{Query, QueryResult, Row};
+use crate::relational::sort_rows;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use synapse_model::{Id, Value};
+
+/// Tokenization strategy for an analyzed field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Analyzer {
+    /// Lowercase and split on non-alphanumeric characters.
+    #[default]
+    Simple,
+    /// Like [`Analyzer::Simple`], plus English stop-word removal.
+    Standard,
+    /// The whole value as a single lowercase token.
+    Keyword,
+}
+
+const STOP_WORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if", "in", "into", "is", "it",
+    "no", "not", "of", "on", "or", "such", "that", "the", "their", "then", "there", "these",
+    "they", "this", "to", "was", "will", "with",
+];
+
+impl Analyzer {
+    /// Tokenizes `text` according to the strategy.
+    pub fn tokenize(self, text: &str) -> Vec<String> {
+        match self {
+            Analyzer::Keyword => vec![text.to_lowercase()],
+            Analyzer::Simple => split_alnum(text),
+            Analyzer::Standard => split_alnum(text)
+                .into_iter()
+                .filter(|t| !STOP_WORDS.contains(&t.as_str()))
+                .collect(),
+        }
+    }
+}
+
+fn split_alnum(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+#[derive(Debug, Default)]
+struct SearchIndex {
+    docs: HashMap<Id, Row>,
+    /// Per-field inverted index: field → term → (doc id → term frequency).
+    inverted: HashMap<String, HashMap<String, HashMap<Id, u32>>>,
+    /// Analyzer overrides by field (default: [`Analyzer::Simple`]).
+    analyzers: HashMap<String, Analyzer>,
+}
+
+impl SearchIndex {
+    fn analyzer_for(&self, field: &str) -> Analyzer {
+        self.analyzers.get(field).copied().unwrap_or_default()
+    }
+
+    fn index_doc(&mut self, id: Id, doc: &Row) {
+        for (field, value) in doc {
+            let texts: Vec<&str> = match value {
+                Value::Str(s) => vec![s.as_str()],
+                Value::Array(items) => items.iter().filter_map(Value::as_str).collect(),
+                _ => continue,
+            };
+            let analyzer = self.analyzer_for(field);
+            let per_field = self.inverted.entry(field.clone()).or_default();
+            for text in texts {
+                for term in analyzer.tokenize(text) {
+                    *per_field.entry(term).or_default().entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    fn unindex_doc(&mut self, id: Id) {
+        for per_field in self.inverted.values_mut() {
+            per_field.retain(|_, postings| {
+                postings.remove(&id);
+                !postings.is_empty()
+            });
+        }
+    }
+
+    /// Scores docs for `text` on `field` with tf-idf.
+    fn search(&self, field: &str, text: &str, limit: usize) -> Vec<(Id, f64)> {
+        let analyzer = self.analyzer_for(field);
+        let terms = analyzer.tokenize(text);
+        let n_docs = self.docs.len().max(1) as f64;
+        let mut scores: HashMap<Id, f64> = HashMap::new();
+        if let Some(per_field) = self.inverted.get(field) {
+            for term in &terms {
+                if let Some(postings) = per_field.get(term) {
+                    let idf = (n_docs / postings.len() as f64).ln() + 1.0;
+                    for (id, tf) in postings {
+                        *scores.entry(*id).or_default() += (*tf as f64).sqrt() * idf;
+                    }
+                }
+            }
+        }
+        let mut hits: Vec<(Id, f64)> = scores.into_iter().collect();
+        hits.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        hits.truncate(limit);
+        hits
+    }
+
+    /// Terms aggregation over a stored field.
+    fn aggregate(&self, field: &str) -> Vec<(Value, u64)> {
+        let mut buckets: BTreeMap<Value, u64> = BTreeMap::new();
+        for doc in self.docs.values() {
+            match doc.get(field) {
+                Some(Value::Array(items)) => {
+                    for item in items {
+                        *buckets.entry(item.clone()).or_default() += 1;
+                    }
+                }
+                Some(v) if !v.is_null() => {
+                    *buckets.entry(v.clone()).or_default() += 1;
+                }
+                _ => {}
+            }
+        }
+        let mut out: Vec<(Value, u64)> = buckets.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// The search engine. See the module docs.
+pub struct SearchDb {
+    caps: Capabilities,
+    latency: LatencyModel,
+    indices: Mutex<HashMap<String, SearchIndex>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl SearchDb {
+    /// Creates an engine with the given vendor capabilities and latency.
+    pub fn new(caps: Capabilities, latency: LatencyModel) -> Self {
+        SearchDb {
+            caps,
+            latency,
+            indices: Mutex::new(HashMap::new()),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Declares the analyzer for `table.field` (Sub1b's
+    /// `property :name, analyzer: :simple`).
+    pub fn set_analyzer(&self, table: &str, field: &str, analyzer: Analyzer) {
+        let mut indices = self.indices.lock();
+        indices
+            .entry(table.to_owned())
+            .or_default()
+            .analyzers
+            .insert(field.to_owned(), analyzer);
+    }
+}
+
+impl Engine for SearchDb {
+    fn capabilities(&self) -> &Capabilities {
+        &self.caps
+    }
+
+    fn execute(&self, q: &Query) -> Result<QueryResult, DbError> {
+        if q.is_write() {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+            self.latency.charge_write();
+        } else if q.is_read() {
+            self.reads.fetch_add(1, Ordering::Relaxed);
+            self.latency.charge_read();
+        }
+        let mut indices = self.indices.lock();
+        match q {
+            Query::CreateTable { table } => {
+                indices.entry(table.clone()).or_default();
+                Ok(QueryResult::Unit)
+            }
+            Query::DropTable { table } => {
+                indices.remove(table);
+                Ok(QueryResult::Unit)
+            }
+            Query::Insert { table, id, row } => {
+                let index = indices.entry(table.clone()).or_default();
+                if index.docs.contains_key(id) {
+                    return Err(DbError::DuplicateKey {
+                        table: table.clone(),
+                        key: id.to_string(),
+                    });
+                }
+                index.docs.insert(*id, row.clone());
+                index.index_doc(*id, row);
+                Ok(QueryResult::Rows(vec![(*id, row.clone())]))
+            }
+            Query::Update {
+                table,
+                filter,
+                set,
+                unset,
+            } => {
+                let index = indices.entry(table.clone()).or_default();
+                let ids: Vec<Id> = index
+                    .docs
+                    .iter()
+                    .filter(|(id, doc)| filter.matches(**id, doc))
+                    .map(|(id, _)| *id)
+                    .collect();
+                let mut written = Vec::new();
+                for id in ids {
+                    index.unindex_doc(id);
+                    let doc = index.docs.get_mut(&id).expect("id just matched");
+                    for (k, v) in set {
+                        doc.insert(k.clone(), v.clone());
+                    }
+                    for k in unset {
+                        doc.remove(k);
+                    }
+                    let doc = doc.clone();
+                    index.index_doc(id, &doc);
+                    written.push((id, doc));
+                }
+                written.sort_by_key(|(id, _)| *id);
+                Ok(QueryResult::Rows(written))
+            }
+            Query::Delete { table, filter } => {
+                let index = indices.entry(table.clone()).or_default();
+                let ids: Vec<Id> = index
+                    .docs
+                    .iter()
+                    .filter(|(id, doc)| filter.matches(**id, doc))
+                    .map(|(id, _)| *id)
+                    .collect();
+                let mut removed = Vec::new();
+                for id in ids {
+                    index.unindex_doc(id);
+                    if let Some(doc) = index.docs.remove(&id) {
+                        removed.push((id, doc));
+                    }
+                }
+                removed.sort_by_key(|(id, _)| *id);
+                Ok(QueryResult::Rows(removed))
+            }
+            Query::Select {
+                table,
+                filter,
+                order,
+                limit,
+            } => {
+                let index = match indices.get(table) {
+                    Some(i) => i,
+                    None => return Ok(QueryResult::Rows(Vec::new())),
+                };
+                let mut rows: Vec<(Id, Row)> = index
+                    .docs
+                    .iter()
+                    .filter(|(id, doc)| filter.matches(**id, doc))
+                    .map(|(id, doc)| (*id, doc.clone()))
+                    .collect();
+                sort_rows(&mut rows, order);
+                if let Some(n) = limit {
+                    rows.truncate(*n);
+                }
+                Ok(QueryResult::Rows(rows))
+            }
+            Query::Count { table, filter } => {
+                let n = indices
+                    .get(table)
+                    .map(|i| {
+                        i.docs
+                            .iter()
+                            .filter(|(id, doc)| filter.matches(**id, doc))
+                            .count()
+                    })
+                    .unwrap_or(0);
+                Ok(QueryResult::Count(n as u64))
+            }
+            Query::Search {
+                table,
+                field,
+                text,
+                limit,
+            } => {
+                let hits = indices
+                    .get(table)
+                    .map(|i| i.search(field, text, *limit))
+                    .unwrap_or_default();
+                Ok(QueryResult::SearchHits(hits))
+            }
+            Query::Aggregate { table, field } => {
+                let buckets = indices
+                    .get(table)
+                    .map(|i| i.aggregate(field))
+                    .unwrap_or_default();
+                Ok(QueryResult::Buckets(buckets))
+            }
+            Query::Batch(_) => Err(DbError::Unsupported("batches on search engine")),
+            Query::AddEdge { .. } | Query::RemoveEdge { .. } | Query::Traverse { .. } => {
+                Err(DbError::Unsupported("graph queries on search engine"))
+            }
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        let indices = self.indices.lock();
+        let mut rows = 0u64;
+        let mut bytes = 0u64;
+        for i in indices.values() {
+            rows += i.docs.len() as u64;
+            for d in i.docs.values() {
+                bytes += d
+                    .iter()
+                    .map(|(k, v)| k.len() + v.approx_size())
+                    .sum::<usize>() as u64;
+            }
+        }
+        EngineStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            rows,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use crate::query::Filter;
+    use synapse_model::varray;
+
+    fn db() -> SearchDb {
+        profiles::elasticsearch(LatencyModel::off())
+    }
+
+    fn put(db: &SearchDb, id: u64, field: &str, text: &str) {
+        let mut row = Row::new();
+        row.insert(field.to_owned(), Value::from(text));
+        db.execute(&Query::Insert {
+            table: "posts".into(),
+            id: Id(id),
+            row,
+        })
+        .unwrap();
+    }
+
+    fn search(db: &SearchDb, text: &str) -> Vec<Id> {
+        match db
+            .execute(&Query::Search {
+                table: "posts".into(),
+                field: "body".into(),
+                text: text.into(),
+                limit: 10,
+            })
+            .unwrap()
+        {
+            QueryResult::SearchHits(hits) => hits.into_iter().map(|(id, _)| id).collect(),
+            other => panic!("unexpected result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn analyzers_tokenize_differently() {
+        assert_eq!(
+            Analyzer::Simple.tokenize("The Quick, brown FOX!"),
+            vec!["the", "quick", "brown", "fox"]
+        );
+        assert_eq!(
+            Analyzer::Standard.tokenize("The Quick, brown FOX!"),
+            vec!["quick", "brown", "fox"]
+        );
+        assert_eq!(
+            Analyzer::Keyword.tokenize("The Quick"),
+            vec!["the quick"]
+        );
+    }
+
+    #[test]
+    fn search_finds_and_ranks_matches() {
+        let db = db();
+        put(&db, 1, "body", "cats are great, I love cats");
+        put(&db, 2, "body", "dogs are fine");
+        put(&db, 3, "body", "one cats mention");
+        let hits = search(&db, "cats");
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0], Id(1), "higher tf ranks first");
+    }
+
+    #[test]
+    fn updates_reindex_documents() {
+        let db = db();
+        put(&db, 1, "body", "cats");
+        let mut set = Row::new();
+        set.insert("body".to_owned(), Value::from("dogs"));
+        db.execute(&Query::Update {
+            table: "posts".into(),
+            filter: Filter::ById(Id(1)),
+            set,
+            unset: vec![],
+        })
+        .unwrap();
+        assert!(search(&db, "cats").is_empty());
+        assert_eq!(search(&db, "dogs"), vec![Id(1)]);
+    }
+
+    #[test]
+    fn deletes_remove_postings() {
+        let db = db();
+        put(&db, 1, "body", "cats");
+        db.execute(&Query::Delete {
+            table: "posts".into(),
+            filter: Filter::ById(Id(1)),
+        })
+        .unwrap();
+        assert!(search(&db, "cats").is_empty());
+        assert_eq!(db.stats().rows, 0);
+    }
+
+    #[test]
+    fn array_fields_index_every_element() {
+        let db = db();
+        let mut row = Row::new();
+        row.insert("body".to_owned(), varray!["cats rule", "dogs drool"]);
+        db.execute(&Query::Insert {
+            table: "posts".into(),
+            id: Id(1),
+            row,
+        })
+        .unwrap();
+        assert_eq!(search(&db, "cats"), vec![Id(1)]);
+        assert_eq!(search(&db, "dogs"), vec![Id(1)]);
+    }
+
+    #[test]
+    fn keyword_analyzer_matches_whole_value_only() {
+        let db = db();
+        db.set_analyzer("posts", "body", Analyzer::Keyword);
+        put(&db, 1, "body", "New York");
+        assert!(search(&db, "new").is_empty());
+        assert_eq!(search(&db, "New York"), vec![Id(1)]);
+    }
+
+    #[test]
+    fn terms_aggregation_counts_buckets() {
+        let db = db();
+        for (id, interests) in [
+            (1u64, varray!["cats", "dogs"]),
+            (2, varray!["cats"]),
+            (3, varray!["fish"]),
+        ] {
+            let mut row = Row::new();
+            row.insert("interests".to_owned(), interests);
+            db.execute(&Query::Insert {
+                table: "posts".into(),
+                id: Id(id),
+                row,
+            })
+            .unwrap();
+        }
+        match db
+            .execute(&Query::Aggregate {
+                table: "posts".into(),
+                field: "interests".into(),
+            })
+            .unwrap()
+        {
+            QueryResult::Buckets(b) => {
+                assert_eq!(b[0], (Value::from("cats"), 2));
+                assert_eq!(b.len(), 3);
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_on_missing_index_is_empty() {
+        let db = db();
+        assert!(search(&db, "anything").is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the model layer.
+
+use std::fmt;
+
+/// Errors raised while manipulating dynamic values, records, or schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// An attribute value did not have the type required by the schema.
+    TypeMismatch {
+        /// Model the attribute belongs to.
+        model: String,
+        /// Attribute name.
+        field: String,
+        /// Human-readable description of the expected type.
+        expected: &'static str,
+        /// Human-readable description of the actual value.
+        actual: String,
+    },
+    /// A field was referenced that the schema does not declare.
+    UnknownField {
+        /// Model the lookup was performed on.
+        model: String,
+        /// The missing field name.
+        field: String,
+    },
+    /// A model was referenced that the schema set does not declare.
+    UnknownModel(String),
+    /// Wire-format text could not be parsed.
+    Parse {
+        /// Byte offset of the failure in the input.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A structural expectation on decoded wire data was violated.
+    Malformed(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::TypeMismatch {
+                model,
+                field,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch on {model}.{field}: expected {expected}, got {actual}"
+            ),
+            ModelError::UnknownField { model, field } => {
+                write!(f, "unknown field {model}.{field}")
+            }
+            ModelError::UnknownModel(m) => write!(f, "unknown model {m}"),
+            ModelError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            ModelError::Malformed(m) => write!(f, "malformed wire data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

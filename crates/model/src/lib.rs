@@ -1,0 +1,31 @@
+//! Dynamic model layer for the Synapse reproduction.
+//!
+//! Synapse (EuroSys 2015) replicates data at the level of ORM objects rather
+//! than database rows. The original system relies on Ruby's dynamic typing:
+//! any model instance is a bag of named attributes that can be marshalled,
+//! shipped, and re-materialized by a different ORM over a different database
+//! engine. This crate provides the equivalent dynamic substrate for Rust:
+//!
+//! * [`Value`] — a runtime-typed attribute value (the Ruby object model),
+//! * [`Id`] — a model-instance primary key,
+//! * [`Record`] — a model instance: id + attribute map + inheritance chain,
+//! * [`ModelSchema`] — per-model field and association declarations,
+//! * [`wire`] — the hand-written JSON encoding used for write messages
+//!   (Fig. 6(b) in the paper).
+//!
+//! Everything above this crate (engines, ORMs, Synapse itself) manipulates
+//! these types, which is what makes cross-database replication possible
+//! without compile-time knowledge of any schema.
+
+pub mod error;
+pub mod id;
+pub mod record;
+pub mod schema;
+pub mod value;
+pub mod wire;
+
+pub use error::ModelError;
+pub use id::{Id, IdGenerator};
+pub use record::Record;
+pub use schema::{Association, AssociationKind, FieldDef, FieldType, ModelSchema, SchemaSet};
+pub use value::Value;

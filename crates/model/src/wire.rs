@@ -1,0 +1,451 @@
+//! Hand-written JSON wire format.
+//!
+//! Synapse write messages are JSON (Fig. 6(b) in the paper). The encoder and
+//! parser here are written from scratch so the reproduction controls every
+//! byte that crosses the broker: encoding is canonical (map keys sorted,
+//! minimal escapes) which lets tests compare messages textually.
+//!
+//! The grammar is standard JSON with one extension on the *decode* side
+//! only: integers that fit `i64` parse to [`Value::Int`], everything else
+//! numeric to [`Value::Float`].
+
+use crate::error::ModelError;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Encodes a [`Value`] to canonical JSON.
+///
+/// # Examples
+///
+/// ```
+/// use synapse_model::{vmap, wire};
+///
+/// let v = vmap! { "id" => 100, "name" => "alice" };
+/// assert_eq!(wire::encode(&v), r#"{"id":100,"name":"alice"}"#);
+/// ```
+pub fn encode(value: &Value) -> String {
+    let mut out = String::with_capacity(64);
+    encode_into(value, &mut out);
+    out
+}
+
+/// Encodes a [`Value`] into an existing buffer, avoiding reallocation on the
+/// publisher hot path.
+pub fn encode_into(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => {
+            out.push_str(itoa_buf(*i).as_str());
+        }
+        Value::Float(x) => encode_float(*x, out),
+        Value::Str(s) => encode_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                encode_into(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(map) => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                encode_string(k, out);
+                out.push(':');
+                encode_into(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn itoa_buf(i: i64) -> String {
+    i.to_string()
+}
+
+fn encode_float(x: f64, out: &mut String) {
+    if x.is_finite() {
+        let s = format!("{x}");
+        out.push_str(&s);
+        // Keep floats round-trippable as floats: `2.0` must not encode as
+        // `2`, which would decode to an Int.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no NaN/Infinity; Synapse never publishes them, but the
+        // encoder must stay total.
+        out.push_str("null");
+    }
+}
+
+fn encode_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses JSON text into a [`Value`].
+///
+/// # Examples
+///
+/// ```
+/// use synapse_model::wire;
+///
+/// let v = wire::decode(r#"{"interests":["cats","dogs"]}"#).unwrap();
+/// assert_eq!(v.get("interests").as_array().unwrap().len(), 2);
+/// ```
+pub fn decode(text: &str) -> Result<Value, ModelError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ModelError {
+        ModelError::Parse {
+            offset: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ModelError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ModelError> {
+        match self.peek() {
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_map(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: Value) -> Result<Value, ModelError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("invalid literal, expected {lit}")))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ModelError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, ModelError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Map(map)),
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ModelError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'b') => s.push('\u{0008}'),
+                    Some(b'f') => s.push('\u{000c}'),
+                    Some(b'u') => {
+                        let cp = self.parse_hex4()?;
+                        let ch = if (0xd800..0xdc00).contains(&cp) {
+                            // Surrogate pair: require a low surrogate next.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("expected low surrogate"));
+                            }
+                            let low = self.parse_hex4()?;
+                            if !(0xdc00..0xe000).contains(&low) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            let c = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+                            char::from_u32(c).ok_or_else(|| self.err("invalid code point"))?
+                        } else {
+                            char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?
+                        };
+                        s.push(ch);
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(b) => {
+                    // Re-assemble UTF-8 multibyte sequences from raw bytes.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b).ok_or_else(|| self.err("invalid UTF-8"))?;
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(self.err("truncated UTF-8 sequence"));
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    s.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ModelError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ModelError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        if text.is_empty() || text == "-" {
+            return Err(self.err("invalid number"));
+        }
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7f => Some(1),
+        0xc0..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf7 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{varray, vmap};
+
+    fn roundtrip(v: &Value) -> Value {
+        decode(&encode(v)).expect("roundtrip decode")
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN),
+            Value::Float(3.25),
+            Value::Float(-1e-9),
+            Value::Str(String::new()),
+            Value::from("héllo \"wörld\"\n\t\\"),
+        ] {
+            assert_eq!(roundtrip(&v), v);
+        }
+    }
+
+    #[test]
+    fn whole_floats_stay_floats() {
+        let v = Value::Float(2.0);
+        assert_eq!(encode(&v), "2.0");
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vmap! {
+            "app" => "pub3",
+            "operations" => varray![vmap! {
+                "operation" => "update",
+                "type" => varray!["User"],
+                "id" => 100,
+                "attributes" => vmap! { "interests" => varray!["cats", "dogs"] }
+            }],
+            "generation" => 1,
+        };
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn encoding_is_canonical_and_sorted() {
+        let v = vmap! { "b" => 2, "a" => 1 };
+        assert_eq!(encode(&v), r#"{"a":1,"b":2}"#);
+    }
+
+    #[test]
+    fn decode_accepts_whitespace() {
+        let v = decode(" {\n\t\"a\" : [ 1 , 2 ] , \"b\" : null } ").unwrap();
+        assert_eq!(v, vmap! { "a" => varray![1, 2], "b" => Value::Null });
+    }
+
+    #[test]
+    fn decode_rejects_malformed_inputs() {
+        for bad in [
+            "", "{", "}", "[1,", "{\"a\"}", "nul", "tru", "01x", "-", "\"abc",
+            "\"\\q\"", "{\"a\":1,}", "[1 2]", "1 2", "\"\\u12\"", "{1:2}",
+        ] {
+            assert!(decode(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn decode_handles_unicode_escapes() {
+        assert_eq!(decode(r#""é""#).unwrap(), Value::from("é"));
+        // Surrogate pair for U+1F600.
+        assert_eq!(decode(r#""😀""#).unwrap(), Value::from("😀"));
+        assert!(decode(r#""\ud83d""#).is_err(), "lone high surrogate");
+    }
+
+    #[test]
+    fn control_characters_escape_and_roundtrip() {
+        let v = Value::from("\u{0001}\u{001f}");
+        assert_eq!(encode(&v), "\"\\u0001\\u001f\"");
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn nonfinite_floats_encode_as_null() {
+        assert_eq!(encode(&Value::from(f64::NAN)), "null");
+        assert_eq!(encode(&Value::from(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn huge_integers_fall_back_to_float() {
+        let v = decode("92233720368547758080").unwrap();
+        assert!(matches!(v, Value::Float(_)));
+    }
+}

@@ -1,0 +1,130 @@
+//! Background jobs (the paper's Sidekiq stand-in).
+//!
+//! §4.2: Synapse tracks dependencies "within the scope of individual
+//! background jobs (e.g., with Sidekiq)". Each job enqueued here executes
+//! on a worker thread inside its own causal scope.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A queued job body.
+pub type Job = Box<dyn FnOnce() + Send>;
+
+/// A fixed worker pool executing jobs, each in its own causal scope.
+///
+/// # Examples
+///
+/// ```
+/// use synapse_mvc::JobQueue;
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// use std::sync::Arc;
+///
+/// let queue = JobQueue::start(2);
+/// let counter = Arc::new(AtomicU32::new(0));
+/// for _ in 0..10 {
+///     let counter = counter.clone();
+///     queue.enqueue(move || {
+///         counter.fetch_add(1, Ordering::SeqCst);
+///     });
+/// }
+/// queue.join();
+/// assert_eq!(counter.load(Ordering::SeqCst), 10);
+/// ```
+pub struct JobQueue {
+    tx: Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+    enqueued: Arc<AtomicU64>,
+    completed: Arc<AtomicU64>,
+}
+
+impl JobQueue {
+    /// Starts a pool with `workers` threads.
+    pub fn start(workers: usize) -> Self {
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let enqueued = Arc::new(AtomicU64::new(0));
+        let completed = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers.max(1) {
+            let rx = rx.clone();
+            let completed = completed.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    // Each job runs in its own causal scope (§4.2).
+                    let _ = synapse_core::with_scope(job);
+                    completed.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        JobQueue {
+            tx,
+            workers: handles,
+            enqueued,
+            completed,
+        }
+    }
+
+    /// Enqueues a job.
+    pub fn enqueue(&self, job: impl FnOnce() + Send + 'static) {
+        self.enqueued.fetch_add(1, Ordering::SeqCst);
+        let _ = self.tx.send(Box::new(job));
+    }
+
+    /// Jobs completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::SeqCst)
+    }
+
+    /// Waits until every enqueued job has completed (spin/sleep polling).
+    pub fn join(&self) {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while self.completed.load(Ordering::SeqCst) < self.enqueued.load(Ordering::SeqCst) {
+            if Instant::now() > deadline {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Stops the pool after draining queued jobs.
+    pub fn shutdown(self) {
+        self.join();
+        drop(self.tx);
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_run_inside_their_own_scope() {
+        let queue = JobQueue::start(2);
+        let (tx, rx) = unbounded();
+        queue.enqueue(move || {
+            let _ = tx.send(synapse_core::in_scope());
+        });
+        queue.join();
+        assert!(rx.recv().unwrap(), "job body must be inside a scope");
+        queue.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_pending_jobs() {
+        let queue = JobQueue::start(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = counter.clone();
+            queue.enqueue(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        queue.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+}

@@ -1,0 +1,24 @@
+//! Minimal MVC web framework substrate.
+//!
+//! Synapse piggybacks on the MVC pattern (§2): *controllers* are the units
+//! of work inside which dependencies are tracked, controllers run within
+//! *user sessions* (whose updates Synapse serializes per user), and
+//! *background jobs* (Sidekiq-style) form their own causal scopes. This
+//! crate provides exactly that slice of Rails:
+//!
+//! * [`App`] — a named application holding an ORM-backed Synapse node and a
+//!   controller registry;
+//! * [`Request`]/[`Response`] — dispatch context with params and the
+//!   session's current user;
+//! * controller dispatch that opens the right causal scope and records
+//!   per-controller timing into [`ControllerStats`] (the Fig. 12
+//!   instrumentation);
+//! * [`JobQueue`] — background jobs executed by worker threads, each in its
+//!   own scope.
+
+pub mod app;
+pub mod jobs;
+
+pub use app::{App, Request, Response};
+pub use jobs::JobQueue;
+pub use synapse_core::ControllerStats;

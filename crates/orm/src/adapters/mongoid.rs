@@ -1,0 +1,45 @@
+//! Mongoid adapter: MongoDB and TokuMX.
+//!
+//! The document family is the easy case the paper highlights (§3.3,
+//! Example 1): schemaless collections store any record verbatim, writes
+//! echo the written document (findAndModify-style), and nothing needs
+//! translating. Everything is inherited from the trait defaults.
+
+use crate::adapter::Adapter;
+use std::sync::Arc;
+use synapse_db::document::DocumentDb;
+use synapse_db::{profiles, Engine, LatencyModel};
+
+/// The document adapter. See the module docs.
+pub struct MongoidAdapter {
+    engine: Arc<DocumentDb>,
+}
+
+impl MongoidAdapter {
+    /// Creates the adapter over a fresh engine for `vendor`
+    /// (`mongodb` or `tokumx`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-Mongoid vendor name.
+    pub fn new(vendor: &str, latency: LatencyModel) -> Self {
+        let engine = match vendor {
+            "mongodb" => profiles::mongodb(latency),
+            "tokumx" => profiles::tokumx(latency),
+            other => panic!("{other} is not a Mongoid vendor"),
+        };
+        MongoidAdapter {
+            engine: Arc::new(engine),
+        }
+    }
+}
+
+impl Adapter for MongoidAdapter {
+    fn orm_name(&self) -> &'static str {
+        "Mongoid"
+    }
+
+    fn engine(&self) -> &dyn Engine {
+        &*self.engine
+    }
+}

@@ -1,0 +1,33 @@
+//! NoBrainer adapter: RethinkDB.
+//!
+//! RethinkDB is a document store with write echo (Table 3 lists it as
+//! subscriber-only); the trait defaults cover it entirely.
+
+use crate::adapter::Adapter;
+use std::sync::Arc;
+use synapse_db::document::DocumentDb;
+use synapse_db::{profiles, Engine, LatencyModel};
+
+/// The RethinkDB adapter. See the module docs.
+pub struct NoBrainerAdapter {
+    engine: Arc<DocumentDb>,
+}
+
+impl NoBrainerAdapter {
+    /// Creates the adapter over a fresh RethinkDB-profile engine.
+    pub fn new(latency: LatencyModel) -> Self {
+        NoBrainerAdapter {
+            engine: Arc::new(profiles::rethinkdb(latency)),
+        }
+    }
+}
+
+impl Adapter for NoBrainerAdapter {
+    fn orm_name(&self) -> &'static str {
+        "NoBrainer"
+    }
+
+    fn engine(&self) -> &dyn Engine {
+        &*self.engine
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the ORM layer.
+
+use std::fmt;
+use synapse_db::DbError;
+use synapse_model::ModelError;
+
+/// Errors raised by ORM operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrmError {
+    /// The underlying engine failed.
+    Db(DbError),
+    /// The model layer rejected data.
+    Model(ModelError),
+    /// The record being saved/updated does not exist.
+    RecordNotFound {
+        /// Model name.
+        model: String,
+        /// Stringified id.
+        id: String,
+    },
+    /// An application callback aborted the operation.
+    CallbackAborted(String),
+    /// A Synapse-level restriction was violated (read-only subscription,
+    /// decorator rules, unpublished attribute, …).
+    Restriction(String),
+}
+
+impl fmt::Display for OrmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrmError::Db(e) => write!(f, "database error: {e}"),
+            OrmError::Model(e) => write!(f, "model error: {e}"),
+            OrmError::RecordNotFound { model, id } => {
+                write!(f, "record not found: {model}#{id}")
+            }
+            OrmError::CallbackAborted(m) => write!(f, "callback aborted: {m}"),
+            OrmError::Restriction(m) => write!(f, "restriction violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OrmError {}
+
+impl From<DbError> for OrmError {
+    fn from(e: DbError) -> Self {
+        OrmError::Db(e)
+    }
+}
+
+impl From<ModelError> for OrmError {
+    fn from(e: ModelError) -> Self {
+        OrmError::Model(e)
+    }
+}

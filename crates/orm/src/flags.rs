@@ -1,0 +1,51 @@
+//! The replication flag.
+//!
+//! Subscriber workers apply *other services'* writes locally; those applies
+//! must bypass ownership restrictions and must not be re-published. The
+//! flag is scoped to the direct persistence call only: active-model
+//! callbacks run with it cleared, because code inside callbacks is
+//! application code — a decorator's callback updating its decoration
+//! attributes must publish normally (§3.1).
+
+use std::cell::Cell;
+
+thread_local! {
+    static REPLICATING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with the replication flag set.
+pub fn with_replication_flag<R>(f: impl FnOnce() -> R) -> R {
+    let previous = REPLICATING.with(|r| r.replace(true));
+    let out = f();
+    REPLICATING.with(|r| r.set(previous));
+    out
+}
+
+/// Runs `f` with the replication flag cleared (used around callbacks).
+pub fn without_replication_flag<R>(f: impl FnOnce() -> R) -> R {
+    let previous = REPLICATING.with(|r| r.replace(false));
+    let out = f();
+    REPLICATING.with(|r| r.set(previous));
+    out
+}
+
+/// Whether the current thread is applying replicated updates.
+pub fn is_replicating() -> bool {
+    REPLICATING.with(|r| r.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_nests_and_restores() {
+        assert!(!is_replicating());
+        with_replication_flag(|| {
+            assert!(is_replicating());
+            without_replication_flag(|| assert!(!is_replicating()));
+            assert!(is_replicating());
+        });
+        assert!(!is_replicating());
+    }
+}

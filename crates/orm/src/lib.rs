@@ -1,0 +1,40 @@
+//! Dynamic ORM layer with per-engine adapters and query interception.
+//!
+//! Synapse "leverages ORMs to abstract most DB specific logic" (§4.1): the
+//! ORM is where objects are created, updated, destroyed, and reflected upon,
+//! and the layer between the ORM and the DB driver is where Synapse's query
+//! interceptor sits. This crate provides:
+//!
+//! * [`Orm`] — the object interface: CRUD on dynamic [`Record`]s, model
+//!   schemas, associations, active-model callbacks
+//!   (`before`/`after` × `create`/`update`/`destroy`), and virtual
+//!   attributes;
+//! * [`adapters`] — one adapter per ORM of Table 3 (ActiveRecord, Mongoid,
+//!   Cequel, Stretcher, Neo4j, NoBrainer), each translating generic CRUD to
+//!   its engine's query AST and handling vendor quirks: `RETURNING`-less
+//!   engines read written rows back (§4.1), SQL flattens array attributes to
+//!   text (§3.3 Example 3), search engines configure analyzers, the graph
+//!   adapter exposes edges;
+//! * [`QueryObserver`] — the interception surface: every read of records
+//!   and every write (with its pre-declared intent, so write dependencies
+//!   can be locked *before* the query runs, §4.2) flows through registered
+//!   observers. Synapse's publisher is exactly such an observer.
+//!
+//! [`Record`]: synapse_model::Record
+
+pub mod adapter;
+pub mod adapters;
+pub mod callbacks;
+pub mod error;
+pub mod flags;
+pub mod observer;
+pub mod orm;
+pub mod virtuals;
+
+pub use adapter::Adapter;
+pub use callbacks::{CallbackCtx, CallbackPoint};
+pub use error::OrmError;
+pub use flags::{is_replicating, with_replication_flag, without_replication_flag};
+pub use observer::{QueryObserver, WriteExec, WriteIntent, WriteKind};
+pub use orm::{Changes, Orm};
+pub use virtuals::VirtualAttr;

@@ -1,0 +1,651 @@
+//! The ORM facade: dynamic CRUD with callbacks, observers, associations.
+
+use crate::adapter::Adapter;
+use crate::callbacks::{CallbackCtx, CallbackPoint, CallbackRegistry};
+use crate::error::OrmError;
+use crate::observer::{QueryObserver, WriteExec, WriteIntent, WriteKind};
+use crate::virtuals::VirtualRegistry;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use synapse_db::query::OrderBy;
+use synapse_db::{EngineStats, Filter};
+use synapse_model::{
+    AssociationKind, Id, IdGenerator, ModelSchema, Record, SchemaSet, Value,
+};
+
+/// Attribute changes for an update: field name → new value.
+pub type Changes = BTreeMap<String, Value>;
+
+/// One service's ORM: schemas, CRUD, callbacks, virtual attributes, and the
+/// interception surface Synapse hooks into.
+///
+/// # Examples
+///
+/// ```
+/// use synapse_db::LatencyModel;
+/// use synapse_model::{vmap, ModelSchema};
+/// use synapse_orm::adapters::MongoidAdapter;
+/// use synapse_orm::Orm;
+/// use std::sync::Arc;
+///
+/// let orm = Orm::new("pub1", Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())));
+/// orm.define_model(ModelSchema::open("User")).unwrap();
+/// let user = orm.create("User", vmap! { "name" => "alice" }).unwrap();
+/// let found = orm.find("User", user.id).unwrap().unwrap();
+/// assert_eq!(found.get("name").as_str(), Some("alice"));
+/// ```
+pub struct Orm {
+    app: String,
+    adapter: Arc<dyn Adapter>,
+    schemas: RwLock<SchemaSet>,
+    callbacks: CallbackRegistry,
+    virtuals: VirtualRegistry,
+    observers: RwLock<Vec<Arc<dyn QueryObserver>>>,
+    idgens: Mutex<HashMap<String, Arc<IdGenerator>>>,
+    bootstrap: AtomicBool,
+}
+
+impl Orm {
+    /// Creates an ORM for app `app` over `adapter`.
+    pub fn new(app: impl Into<String>, adapter: Arc<dyn Adapter>) -> Self {
+        Orm {
+            app: app.into(),
+            adapter,
+            schemas: RwLock::new(SchemaSet::new()),
+            callbacks: CallbackRegistry::new(),
+            virtuals: VirtualRegistry::new(),
+            observers: RwLock::new(Vec::new()),
+            idgens: Mutex::new(HashMap::new()),
+            bootstrap: AtomicBool::new(false),
+        }
+    }
+
+    /// The owning application's name.
+    pub fn app(&self) -> &str {
+        &self.app
+    }
+
+    /// The adapter in use.
+    pub fn adapter(&self) -> &Arc<dyn Adapter> {
+        &self.adapter
+    }
+
+    /// Underlying engine statistics.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.adapter.engine().stats()
+    }
+
+    /// Declares a model and creates its backing storage.
+    pub fn define_model(&self, schema: ModelSchema) -> Result<(), OrmError> {
+        self.adapter.define_model(&schema)?;
+        self.schemas.write().define(schema);
+        Ok(())
+    }
+
+    /// Looks up a model's schema.
+    pub fn schema(&self, model: &str) -> Result<ModelSchema, OrmError> {
+        Ok(self.schemas.read().get(model)?.clone())
+    }
+
+    /// Names of all defined models.
+    pub fn model_names(&self) -> Vec<String> {
+        self.schemas
+            .read()
+            .model_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect()
+    }
+
+    /// Registers an active-model callback.
+    pub fn on<F>(&self, model: &str, point: CallbackPoint, f: F)
+    where
+        F: for<'a> Fn(&mut CallbackCtx<'a>, &mut Record) -> Result<(), OrmError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.callbacks.register(model, point, f);
+    }
+
+    /// The virtual-attribute registry.
+    pub fn virtuals(&self) -> &VirtualRegistry {
+        &self.virtuals
+    }
+
+    /// Registers a query observer (Synapse's publisher, a test probe, …).
+    pub fn observe(&self, observer: Arc<dyn QueryObserver>) {
+        self.observers.write().push(observer);
+    }
+
+    /// Sets the Synapse bootstrap flag exposed to callbacks (§4.4).
+    pub fn set_bootstrap(&self, on: bool) {
+        self.bootstrap.store(on, Ordering::SeqCst);
+    }
+
+    /// The paper's `Synapse.bootstrap?` predicate.
+    pub fn is_bootstrap(&self) -> bool {
+        self.bootstrap.load(Ordering::SeqCst)
+    }
+
+    fn idgen(&self, model: &str) -> Arc<IdGenerator> {
+        self.idgens
+            .lock()
+            .entry(model.to_owned())
+            .or_insert_with(|| Arc::new(IdGenerator::new()))
+            .clone()
+    }
+
+    /// Runs a model's callbacks directly, without persistence. Used by
+    /// Synapse for *observer* models (§3.1), which react to replicated
+    /// updates through callbacks but never store the data.
+    pub fn run_model_callbacks(
+        &self,
+        model: &str,
+        point: CallbackPoint,
+        record: &mut Record,
+    ) -> Result<(), OrmError> {
+        self.run_callbacks(model, point, record)
+    }
+
+    fn run_callbacks(
+        &self,
+        model: &str,
+        point: CallbackPoint,
+        record: &mut Record,
+    ) -> Result<(), OrmError> {
+        let mut ctx = CallbackCtx {
+            orm: self,
+            bootstrap: self.is_bootstrap(),
+        };
+        // Callbacks are application code even when triggered by a
+        // replicated apply: run them with the replication flag cleared so
+        // e.g. a decorator's callback publishes its decorations normally.
+        crate::flags::without_replication_flag(|| {
+            self.callbacks.run(model, point, &mut ctx, record)
+        })
+    }
+
+    /// Threads a write through every registered observer's `around_write`,
+    /// innermost performing the actual engine write.
+    fn run_write(
+        &self,
+        intent: &WriteIntent,
+        exec: &mut WriteExec<'_>,
+    ) -> Result<Record, OrmError> {
+        let observers: Vec<Arc<dyn QueryObserver>> = self.observers.read().clone();
+        self.run_write_chain(&observers, intent, exec)
+    }
+
+    fn run_write_chain(
+        &self,
+        observers: &[Arc<dyn QueryObserver>],
+        intent: &WriteIntent,
+        exec: &mut WriteExec<'_>,
+    ) -> Result<Record, OrmError> {
+        match observers.split_first() {
+            None => exec(),
+            Some((first, rest)) => {
+                let mut inner = |orm: &Orm| orm.run_write_chain(rest, intent, exec);
+                let mut thunk = || inner(self);
+                first.around_write(self, intent, &mut thunk)
+            }
+        }
+    }
+
+    fn notify_read(&self, records: &[Record]) {
+        if records.is_empty() {
+            return;
+        }
+        for observer in self.observers.read().iter() {
+            observer.on_read(self, records);
+        }
+    }
+
+    /// Creates a new object with a freshly allocated id.
+    pub fn create(&self, model: &str, attrs: Value) -> Result<Record, OrmError> {
+        let id = self.idgen(model).next_id();
+        self.create_with_id(model, id, attrs)
+    }
+
+    /// Creates a new object with an explicit id (replication, fixtures).
+    pub fn create_with_id(&self, model: &str, id: Id, attrs: Value) -> Result<Record, OrmError> {
+        let schema = self.schema(model)?;
+        self.idgen(model).observe(id);
+        let attrs = match attrs {
+            Value::Map(m) => m,
+            Value::Null => BTreeMap::new(),
+            other => {
+                return Err(OrmError::Model(synapse_model::ModelError::Malformed(
+                    format!("create attrs must be a map, got {}", other.type_name()),
+                )))
+            }
+        };
+        let mut record = Record::with_attrs(model.to_owned(), id, attrs);
+        record.types = schema.type_chain();
+        self.run_callbacks(model, CallbackPoint::BeforeCreate, &mut record)?;
+        schema.check_attrs(record.attrs.iter())?;
+        let intent = WriteIntent {
+            kind: WriteKind::Create,
+            model: model.to_owned(),
+            id,
+            changes: record.attrs.clone(),
+        };
+        let adapter = self.adapter.clone();
+        let record_ref = &record;
+        let schema_ref = &schema;
+        let mut stored = self.run_write(&intent, &mut || {
+            adapter.insert(schema_ref, record_ref)
+        })?;
+        self.run_callbacks(model, CallbackPoint::AfterCreate, &mut stored)?;
+        Ok(stored)
+    }
+
+    /// Applies attribute changes to an existing object.
+    pub fn update(&self, model: &str, id: Id, changes: Value) -> Result<Record, OrmError> {
+        let schema = self.schema(model)?;
+        let changes = match changes {
+            Value::Map(m) => m,
+            other => {
+                return Err(OrmError::Model(synapse_model::ModelError::Malformed(
+                    format!("update changes must be a map, got {}", other.type_name()),
+                )))
+            }
+        };
+        let current = self
+            .adapter
+            .find(&schema, id)?
+            .ok_or_else(|| OrmError::RecordNotFound {
+                model: model.to_owned(),
+                id: id.to_string(),
+            })?;
+        let mut merged = current.clone();
+        for (k, v) in &changes {
+            merged.attrs.insert(k.clone(), v.clone());
+        }
+        self.run_callbacks(model, CallbackPoint::BeforeUpdate, &mut merged)?;
+        schema.check_attrs(merged.attrs.iter())?;
+        // The intent carries the *caller's* changes (not the merged image):
+        // Synapse's restriction checks need to know which attributes the
+        // application actually touched (§3.1: subscribers may only update
+        // their own decoration attributes).
+        let intent = WriteIntent {
+            kind: WriteKind::Update,
+            model: model.to_owned(),
+            id,
+            changes,
+        };
+        let adapter = self.adapter.clone();
+        let attrs_ref = &merged.attrs;
+        let schema_ref = &schema;
+        let mut stored = self.run_write(&intent, &mut || {
+            adapter.update(schema_ref, id, attrs_ref)
+        })?;
+        self.run_callbacks(model, CallbackPoint::AfterUpdate, &mut stored)?;
+        Ok(stored)
+    }
+
+    /// Destroys an object, returning its final image.
+    pub fn destroy(&self, model: &str, id: Id) -> Result<Record, OrmError> {
+        let schema = self.schema(model)?;
+        let mut pre = self
+            .adapter
+            .find(&schema, id)?
+            .ok_or_else(|| OrmError::RecordNotFound {
+                model: model.to_owned(),
+                id: id.to_string(),
+            })?;
+        self.run_callbacks(model, CallbackPoint::BeforeDestroy, &mut pre)?;
+        let intent = WriteIntent {
+            kind: WriteKind::Delete,
+            model: model.to_owned(),
+            id,
+            changes: BTreeMap::new(),
+        };
+        let adapter = self.adapter.clone();
+        let schema_ref = &schema;
+        let pre_ref = &pre;
+        let mut removed = self.run_write(&intent, &mut || {
+            Ok(adapter
+                .delete(schema_ref, id)?
+                .unwrap_or_else(|| pre_ref.clone()))
+        })?;
+        self.run_callbacks(model, CallbackPoint::AfterDestroy, &mut removed)?;
+        Ok(removed)
+    }
+
+    /// Fetches one object, notifying observers of the read (the implicit
+    /// read-dependency discovery of §4.2).
+    pub fn find(&self, model: &str, id: Id) -> Result<Option<Record>, OrmError> {
+        let schema = self.schema(model)?;
+        let found = self.adapter.find(&schema, id)?;
+        if let Some(r) = &found {
+            self.notify_read(std::slice::from_ref(r));
+        }
+        Ok(found)
+    }
+
+    /// Fetches all objects where `field == value`.
+    pub fn where_eq(
+        &self,
+        model: &str,
+        field: &str,
+        value: impl Into<Value>,
+    ) -> Result<Vec<Record>, OrmError> {
+        let schema = self.schema(model)?;
+        let records = self.adapter.select(
+            &schema,
+            Filter::Eq(field.to_owned(), value.into()),
+            None,
+            None,
+        )?;
+        self.notify_read(&records);
+        Ok(records)
+    }
+
+    /// Fetches all objects of a model in id order.
+    pub fn all(&self, model: &str) -> Result<Vec<Record>, OrmError> {
+        let schema = self.schema(model)?;
+        let records = self.adapter.select(
+            &schema,
+            Filter::All,
+            Some(OrderBy {
+                field: "id".into(),
+                ascending: true,
+            }),
+            None,
+        )?;
+        self.notify_read(&records);
+        Ok(records)
+    }
+
+    /// Counts objects of a model. Counts are aggregations, not true
+    /// dependencies (§4.2), so observers are *not* notified.
+    pub fn count(&self, model: &str) -> Result<u64, OrmError> {
+        let schema = self.schema(model)?;
+        self.adapter.count(&schema, Filter::All)
+    }
+
+    /// Navigates an association declared on the record's model.
+    ///
+    /// * `belongs_to` returns zero or one record;
+    /// * `has_many` returns all records of the target model whose
+    ///   conventional foreign key (`<model>_id`, lowercased) equals this
+    ///   record's id.
+    pub fn related(&self, record: &Record, assoc_name: &str) -> Result<Vec<Record>, OrmError> {
+        let schema = self.schema(&record.model)?;
+        let assoc = schema
+            .associations
+            .get(assoc_name)
+            .ok_or_else(|| OrmError::Model(synapse_model::ModelError::UnknownField {
+                model: record.model.clone(),
+                field: assoc_name.to_owned(),
+            }))?
+            .clone();
+        match assoc.kind {
+            AssociationKind::BelongsTo => {
+                let fk = record.get(&assoc.foreign_key());
+                match fk.as_int() {
+                    Some(raw) => Ok(self
+                        .find(&assoc.target, Id(raw as u64))?
+                        .into_iter()
+                        .collect()),
+                    None => Ok(Vec::new()),
+                }
+            }
+            AssociationKind::HasMany => {
+                let fk = format!("{}_id", record.model.to_lowercase());
+                self.where_eq(&assoc.target, &fk, Value::Int(record.id.raw() as i64))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::{ActiveRecordAdapter, MongoidAdapter};
+    use parking_lot::Mutex as PMutex;
+    use synapse_db::LatencyModel;
+    use synapse_model::{varray, vmap, FieldType};
+
+    fn mongo_orm() -> Orm {
+        let orm = Orm::new(
+            "test_app",
+            Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+        );
+        orm.define_model(ModelSchema::open("User")).unwrap();
+        orm.define_model(ModelSchema::open("Post")).unwrap();
+        orm
+    }
+
+    fn sql_orm(vendor: &str) -> (Orm, Arc<ActiveRecordAdapter>) {
+        let adapter = Arc::new(ActiveRecordAdapter::new(vendor, LatencyModel::off()));
+        let orm = Orm::new("test_app", adapter.clone());
+        orm.define_model(
+            ModelSchema::new("User")
+                .typed_field("name", FieldType::Str)
+                .typed_field("interests", FieldType::Any),
+        )
+        .unwrap();
+        (orm, adapter)
+    }
+
+    #[test]
+    fn create_allocates_increasing_ids() {
+        let orm = mongo_orm();
+        let a = orm.create("User", vmap! { "name" => "a" }).unwrap();
+        let b = orm.create("User", vmap! { "name" => "b" }).unwrap();
+        assert!(b.id > a.id);
+    }
+
+    #[test]
+    fn create_with_id_advances_the_generator() {
+        let orm = mongo_orm();
+        orm.create_with_id("User", Id(100), vmap! {}).unwrap();
+        let next = orm.create("User", vmap! {}).unwrap();
+        assert!(next.id > Id(100));
+    }
+
+    #[test]
+    fn update_merges_changes() {
+        let orm = mongo_orm();
+        let u = orm
+            .create("User", vmap! { "name" => "a", "likes" => 0 })
+            .unwrap();
+        let u2 = orm.update("User", u.id, vmap! { "likes" => 5 }).unwrap();
+        assert_eq!(u2.get("likes").as_int(), Some(5));
+        assert_eq!(u2.get("name").as_str(), Some("a"), "untouched field kept");
+    }
+
+    #[test]
+    fn update_missing_record_errors() {
+        let orm = mongo_orm();
+        assert!(matches!(
+            orm.update("User", Id(404), vmap! { "x" => 1 }),
+            Err(OrmError::RecordNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn destroy_returns_final_image() {
+        let orm = mongo_orm();
+        let u = orm.create("User", vmap! { "name" => "gone" }).unwrap();
+        let removed = orm.destroy("User", u.id).unwrap();
+        assert_eq!(removed.get("name").as_str(), Some("gone"));
+        assert!(orm.find("User", u.id).unwrap().is_none());
+    }
+
+    #[test]
+    fn callbacks_fire_in_order_and_can_mutate() {
+        let orm = mongo_orm();
+        let log: Arc<PMutex<Vec<&'static str>>> = Arc::new(PMutex::new(Vec::new()));
+        let l1 = log.clone();
+        orm.on("User", CallbackPoint::BeforeCreate, move |_, r| {
+            l1.lock().push("before");
+            r.set("normalized", true);
+            Ok(())
+        });
+        let l2 = log.clone();
+        orm.on("User", CallbackPoint::AfterCreate, move |_, _| {
+            l2.lock().push("after");
+            Ok(())
+        });
+        let u = orm.create("User", vmap! { "name" => "x" }).unwrap();
+        assert_eq!(*log.lock(), vec!["before", "after"]);
+        assert_eq!(u.get("normalized").as_bool(), Some(true));
+    }
+
+    #[test]
+    fn aborting_before_create_prevents_the_write() {
+        let orm = mongo_orm();
+        orm.on("User", CallbackPoint::BeforeCreate, |_, _| {
+            Err(OrmError::CallbackAborted("validation failed".into()))
+        });
+        assert!(orm.create("User", vmap! {}).is_err());
+        assert_eq!(orm.count("User").unwrap(), 0);
+    }
+
+    #[test]
+    fn callbacks_see_bootstrap_flag() {
+        let orm = mongo_orm();
+        let seen: Arc<PMutex<Vec<bool>>> = Arc::new(PMutex::new(Vec::new()));
+        let s = seen.clone();
+        orm.on("User", CallbackPoint::AfterCreate, move |ctx, _| {
+            s.lock().push(ctx.bootstrap);
+            Ok(())
+        });
+        orm.create("User", vmap! {}).unwrap();
+        orm.set_bootstrap(true);
+        orm.create("User", vmap! {}).unwrap();
+        assert_eq!(*seen.lock(), vec![false, true]);
+    }
+
+    struct Probe {
+        reads: PMutex<Vec<String>>,
+        writes: PMutex<Vec<(WriteKind, String, Id)>>,
+    }
+
+    impl QueryObserver for Probe {
+        fn on_read(&self, _orm: &Orm, records: &[Record]) {
+            let mut reads = self.reads.lock();
+            for r in records {
+                reads.push(format!("{}/{}", r.model, r.id));
+            }
+        }
+
+        fn around_write(
+            &self,
+            _orm: &Orm,
+            intent: &WriteIntent,
+            exec: &mut WriteExec<'_>,
+        ) -> Result<Record, OrmError> {
+            self.writes
+                .lock()
+                .push((intent.kind, intent.model.clone(), intent.id));
+            exec()
+        }
+    }
+
+    #[test]
+    fn observers_see_reads_and_writes() {
+        let orm = mongo_orm();
+        let probe = Arc::new(Probe {
+            reads: PMutex::new(Vec::new()),
+            writes: PMutex::new(Vec::new()),
+        });
+        orm.observe(probe.clone());
+        let u = orm.create("User", vmap! { "name" => "a" }).unwrap();
+        orm.find("User", u.id).unwrap();
+        orm.update("User", u.id, vmap! { "name" => "b" }).unwrap();
+        orm.destroy("User", u.id).unwrap();
+        assert_eq!(
+            *probe.writes.lock(),
+            vec![
+                (WriteKind::Create, "User".to_owned(), u.id),
+                (WriteKind::Update, "User".to_owned(), u.id),
+                (WriteKind::Delete, "User".to_owned(), u.id),
+            ]
+        );
+        assert_eq!(*probe.reads.lock(), vec![format!("User/{}", u.id)]);
+    }
+
+    #[test]
+    fn counts_are_not_read_dependencies() {
+        let orm = mongo_orm();
+        let probe = Arc::new(Probe {
+            reads: PMutex::new(Vec::new()),
+            writes: PMutex::new(Vec::new()),
+        });
+        orm.create("User", vmap! {}).unwrap();
+        orm.observe(probe.clone());
+        orm.count("User").unwrap();
+        assert!(probe.reads.lock().is_empty());
+    }
+
+    #[test]
+    fn sql_flattens_arrays_to_text_and_serialize_restores_them() {
+        let (orm, adapter) = sql_orm("postgresql");
+        let interests = varray!["cats", "dogs"];
+        let u = orm
+            .create("User", vmap! { "name" => "a", "interests" => interests.clone() })
+            .unwrap();
+        // Without `serialize`, the stored value is the flattened text.
+        assert_eq!(
+            u.get("interests").as_str(),
+            Some(r#"["cats","dogs"]"#),
+            "Sub3a behaviour: array flattened to text"
+        );
+        // With `serialize`, reads restore the structured value.
+        adapter.serialize_field("User", "interests");
+        let found = orm.find("User", u.id).unwrap().unwrap();
+        assert_eq!(found.get("interests"), &interests);
+    }
+
+    #[test]
+    fn mysql_read_back_path_produces_full_images() {
+        let (orm, _) = sql_orm("mysql");
+        let u = orm.create("User", vmap! { "name" => "a" }).unwrap();
+        assert_eq!(u.get("name").as_str(), Some("a"));
+        let u2 = orm.update("User", u.id, vmap! { "name" => "b" }).unwrap();
+        assert_eq!(u2.get("name").as_str(), Some("b"));
+        let gone = orm.destroy("User", u.id).unwrap();
+        assert_eq!(gone.get("name").as_str(), Some("b"), "pre-image via pre-read");
+    }
+
+    #[test]
+    fn sql_rejects_undeclared_columns() {
+        let (orm, _) = sql_orm("postgresql");
+        assert!(orm.create("User", vmap! { "ghost" => 1 }).is_err());
+    }
+
+    #[test]
+    fn associations_navigate_both_directions() {
+        let orm = Orm::new(
+            "app",
+            Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+        );
+        orm.define_model(ModelSchema::open("User").has_many("posts", "Post"))
+            .unwrap();
+        orm.define_model(ModelSchema::open("Post").belongs_to("user", "User"))
+            .unwrap();
+        let u = orm.create("User", vmap! { "name" => "a" }).unwrap();
+        let p = orm
+            .create("Post", vmap! { "user_id" => u.id.raw(), "body" => "hi" })
+            .unwrap();
+        let posts = orm.related(&u, "posts").unwrap();
+        assert_eq!(posts.len(), 1);
+        assert_eq!(posts[0].id, p.id);
+        let authors = orm.related(&p, "user").unwrap();
+        assert_eq!(authors.len(), 1);
+        assert_eq!(authors[0].id, u.id);
+    }
+
+    #[test]
+    fn create_rejects_non_map_attrs() {
+        let orm = mongo_orm();
+        assert!(orm.create("User", Value::from(3)).is_err());
+    }
+}

@@ -1,0 +1,483 @@
+//! The sharded version store and its atomic scripts.
+
+use crate::ring::HashRing;
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An effective dependency key — a dependency name already hashed into the
+/// fixed dependency space (§4.2: "Synapse hashes dependency names with a
+/// stable hash function at the publisher ... all version stores consume
+/// O(1) memory").
+pub type DepKey = u64;
+
+/// Approximate per-entry memory cost the paper cites ("each dependency
+/// consumes around 100 bytes of memory").
+const BYTES_PER_ENTRY: usize = 100;
+
+/// Errors from version store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The store was killed by failure injection and has not been revived.
+    Dead,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Dead => write!(f, "version store is dead"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Outcome of a blocking dependency wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// All dependencies were satisfied.
+    Ready,
+    /// The deadline passed with at least one dependency unsatisfied —
+    /// the situation behind the §6.5 production deadlock.
+    TimedOut,
+}
+
+/// Per-dependency counters. On the publisher both fields are used; on a
+/// subscriber only `ops` is (plus `version` for the weak-mode
+/// latest-version check).
+#[derive(Debug, Default, Clone, Copy)]
+struct Entry {
+    ops: u64,
+    version: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: Mutex<HashMap<DepKey, Entry>>,
+    changed: Condvar,
+}
+
+/// The sharded dependency version store. See the crate docs.
+pub struct VersionStore {
+    shards: Vec<Arc<Shard>>,
+    ring: HashRing,
+    dead: AtomicBool,
+}
+
+impl VersionStore {
+    /// Creates a store with `shards` shards (16 virtual nodes each).
+    pub fn new(shards: usize) -> Self {
+        let ring = HashRing::new(shards, 16);
+        VersionStore {
+            shards: (0..shards).map(|_| Arc::new(Shard::default())).collect(),
+            ring,
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Convenience single-shard store.
+    pub fn single() -> Self {
+        Self::new(1)
+    }
+
+    fn check_alive(&self) -> Result<(), StoreError> {
+        if self.dead.load(Ordering::SeqCst) {
+            Err(StoreError::Dead)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Kills the store: contents are lost and every operation fails until
+    /// [`VersionStore::revive`].
+    pub fn kill(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        for shard in &self.shards {
+            shard.entries.lock().clear();
+            // Wake all waiters so they observe death instead of hanging.
+            shard.changed.notify_all();
+        }
+    }
+
+    /// Revives a killed store, empty.
+    pub fn revive(&self) {
+        self.dead.store(false, Ordering::SeqCst);
+    }
+
+    /// Returns `true` while the store is dead.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Locks every shard touched by `keys` in index order (cross-shard
+    /// atomicity without deadlocks) and returns the guards.
+    fn lock_shards_for(&self, keys: &[DepKey]) -> Vec<(usize, MutexGuard<'_, HashMap<DepKey, Entry>>)> {
+        let mut idxs: Vec<usize> = keys.iter().map(|k| self.ring.route(*k)).collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        idxs.into_iter()
+            .map(|i| (i, self.shards[i].entries.lock()))
+            .collect()
+    }
+
+    /// The publisher's atomic script (§4.2): for each dependency, increment
+    /// `ops`; for write dependencies, set `version = ops`. Returns the
+    /// dependency values to embed in the message — `version` for read
+    /// dependencies, `version - 1` for write dependencies.
+    ///
+    /// `deps` pairs each key with `is_write`.
+    pub fn publish_bump(&self, deps: &[(DepKey, bool)]) -> Result<Vec<(DepKey, u64)>, StoreError> {
+        self.check_alive()?;
+        let keys: Vec<DepKey> = deps.iter().map(|(k, _)| *k).collect();
+        let mut guards = self.lock_shards_for(&keys);
+        let mut out = Vec::with_capacity(deps.len());
+        for (key, is_write) in deps {
+            let shard_idx = self.ring.route(*key);
+            let guard = guards
+                .iter_mut()
+                .find(|(i, _)| *i == shard_idx)
+                .map(|(_, g)| g)
+                .expect("shard locked above");
+            let entry = guard.entry(*key).or_default();
+            entry.ops += 1;
+            let value = if *is_write {
+                entry.version = entry.ops;
+                entry.version - 1
+            } else {
+                entry.version
+            };
+            out.push((*key, value));
+        }
+        Ok(out)
+    }
+
+    /// Blocks until every `(key, required)` pair satisfies
+    /// `ops(key) >= required`, or the deadline passes (§4.2: the subscriber
+    /// "waits until all specified dependencies' versions in its version
+    /// store are greater than or equal to those in the message").
+    pub fn wait_for(
+        &self,
+        deps: &[(DepKey, u64)],
+        timeout: Duration,
+    ) -> Result<WaitOutcome, StoreError> {
+        let deadline = Instant::now() + timeout;
+        for (key, required) in deps {
+            let shard = &self.shards[self.ring.route(*key)];
+            let mut entries = shard.entries.lock();
+            loop {
+                if self.dead.load(Ordering::SeqCst) {
+                    return Err(StoreError::Dead);
+                }
+                let current = entries.get(key).map(|e| e.ops).unwrap_or(0);
+                if current >= *required {
+                    break;
+                }
+                if shard.changed.wait_until(&mut entries, deadline).timed_out() {
+                    return Ok(WaitOutcome::TimedOut);
+                }
+            }
+        }
+        Ok(WaitOutcome::Ready)
+    }
+
+    /// Non-blocking variant of [`VersionStore::wait_for`].
+    pub fn satisfied(&self, deps: &[(DepKey, u64)]) -> Result<bool, StoreError> {
+        self.check_alive()?;
+        for (key, required) in deps {
+            let shard = &self.shards[self.ring.route(*key)];
+            let entries = shard.entries.lock();
+            if entries.get(key).map(|e| e.ops).unwrap_or(0) < *required {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The subscriber's post-processing script: increment `ops` for every
+    /// dependency in the message, waking any waiters.
+    pub fn apply(&self, keys: &[DepKey]) -> Result<(), StoreError> {
+        self.check_alive()?;
+        let mut guards = self.lock_shards_for(keys);
+        for key in keys {
+            let shard_idx = self.ring.route(*key);
+            let guard = guards
+                .iter_mut()
+                .find(|(i, _)| *i == shard_idx)
+                .map(|(_, g)| g)
+                .expect("shard locked above");
+            guard.entry(*key).or_default().ops += 1;
+        }
+        drop(guards);
+        for shard in &self.shards {
+            shard.changed.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Weak-mode freshness check: records `version` as the latest seen for
+    /// `key` and returns `true`, or returns `false` if an equal-or-newer
+    /// version was already recorded (the message is stale and must be
+    /// discarded — §4.2: "the subscriber also discards any messages with a
+    /// version lower than what is stored").
+    pub fn advance_latest(&self, key: DepKey, version: u64) -> Result<bool, StoreError> {
+        self.check_alive()?;
+        let shard = &self.shards[self.ring.route(key)];
+        let mut entries = shard.entries.lock();
+        let entry = entries.entry(key).or_default();
+        if version >= entry.version {
+            entry.version = version + 1;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Reads a key's `ops` counter (0 when absent).
+    pub fn ops(&self, key: DepKey) -> Result<u64, StoreError> {
+        self.check_alive()?;
+        let shard = &self.shards[self.ring.route(key)];
+        let entries = shard.entries.lock();
+        Ok(entries.get(&key).map(|e| e.ops).unwrap_or(0))
+    }
+
+    /// Bulk-dumps all entries as `(key, ops)` — step one of bootstrap
+    /// (§4.4: "all current publisher versions are sent in bulk").
+    pub fn snapshot(&self) -> Result<Vec<(DepKey, u64)>, StoreError> {
+        self.check_alive()?;
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let entries = shard.entries.lock();
+            out.extend(entries.iter().map(|(k, e)| (*k, e.ops)));
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Bulk-loads `(key, ops)` pairs, keeping the max with any existing
+    /// counter, and wakes waiters.
+    pub fn load_snapshot(&self, entries: &[(DepKey, u64)]) -> Result<(), StoreError> {
+        self.check_alive()?;
+        for (key, ops) in entries {
+            let shard = &self.shards[self.ring.route(*key)];
+            let mut map = shard.entries.lock();
+            let entry = map.entry(*key).or_default();
+            entry.ops = entry.ops.max(*ops);
+        }
+        for shard in &self.shards {
+            shard.changed.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Clears every counter (generation change, §4.4: subscribers "flush
+    /// their version store").
+    pub fn flush(&self) -> Result<(), StoreError> {
+        self.check_alive()?;
+        for shard in &self.shards {
+            shard.entries.lock().clear();
+            shard.changed.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.entries.lock().len())
+            .sum()
+    }
+
+    /// Returns `true` if the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate memory footprint (the paper's ~100 bytes/dependency).
+    pub fn approx_memory_bytes(&self) -> usize {
+        self.len() * BYTES_PER_ENTRY
+    }
+
+    /// Number of shards backing the store.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    /// Replays Fig. 8's four writes and checks every counter and message
+    /// dependency value against the figure.
+    #[test]
+    fn fig8_publisher_counter_evolution() {
+        let store = VersionStore::single();
+        let (u1, u2, p1, c1, c2) = (1u64, 2, 3, 4, 5);
+
+        // W1: write_deps [user1, post1].
+        let m1 = store.publish_bump(&[(u1, true), (p1, true)]).unwrap();
+        assert_eq!(m1, vec![(u1, 0), (p1, 0)]);
+
+        // W2: read_deps [post1], write_deps [user2, comment1].
+        let m2 = store
+            .publish_bump(&[(u2, true), (c1, true), (p1, false)])
+            .unwrap();
+        assert_eq!(m2, vec![(u2, 0), (c1, 0), (p1, 1)]);
+
+        // W3: read_deps [post1], write_deps [user1, comment2].
+        let m3 = store
+            .publish_bump(&[(u1, true), (c2, true), (p1, false)])
+            .unwrap();
+        assert_eq!(m3, vec![(u1, 1), (c2, 0), (p1, 1)]);
+
+        // W4: write_deps [user1, post1].
+        let m4 = store.publish_bump(&[(u1, true), (p1, true)]).unwrap();
+        assert_eq!(m4, vec![(u1, 2), (p1, 3)]);
+    }
+
+    /// The subscriber side of Fig. 8: M2/M3 need M1; M4 needs all three.
+    #[test]
+    fn fig8_subscriber_dependency_graph() {
+        let store = VersionStore::single();
+        let (u1, u2, p1, c1, c2) = (1u64, 2, 3, 4, 5);
+        let m1 = [(u1, 0), (p1, 0)];
+        let m2 = [(u2, 0), (c1, 0), (p1, 1)];
+        let m3 = [(u1, 1), (c2, 0), (p1, 1)];
+        let m4 = [(u1, 2), (p1, 3)];
+
+        assert!(store.satisfied(&m1).unwrap());
+        assert!(!store.satisfied(&m2).unwrap());
+        assert!(!store.satisfied(&m3).unwrap());
+
+        store.apply(&[u1, p1]).unwrap(); // process M1
+        assert!(store.satisfied(&m2).unwrap());
+        assert!(store.satisfied(&m3).unwrap());
+        assert!(!store.satisfied(&m4).unwrap());
+
+        store.apply(&[u2, c1, p1]).unwrap(); // process M2
+        assert!(!store.satisfied(&m4).unwrap());
+        store.apply(&[u1, c2, p1]).unwrap(); // process M3
+        assert!(store.satisfied(&m4).unwrap());
+    }
+
+    #[test]
+    fn wait_for_blocks_until_apply() {
+        let store = Arc::new(VersionStore::new(4));
+        let waiter = {
+            let store = store.clone();
+            thread::spawn(move || store.wait_for(&[(7, 1)], Duration::from_secs(5)).unwrap())
+        };
+        thread::sleep(Duration::from_millis(30));
+        store.apply(&[7]).unwrap();
+        assert_eq!(waiter.join().unwrap(), WaitOutcome::Ready);
+    }
+
+    #[test]
+    fn wait_for_times_out_on_missing_dependency() {
+        let store = VersionStore::single();
+        let out = store
+            .wait_for(&[(9, 3)], Duration::from_millis(30))
+            .unwrap();
+        assert_eq!(out, WaitOutcome::TimedOut);
+    }
+
+    #[test]
+    fn cross_shard_bump_is_consistent() {
+        let store = VersionStore::new(8);
+        let deps: Vec<(DepKey, bool)> = (0..64).map(|k| (k, true)).collect();
+        let out = store.publish_bump(&deps).unwrap();
+        assert!(out.iter().all(|(_, v)| *v == 0));
+        let out = store.publish_bump(&deps).unwrap();
+        assert!(out.iter().all(|(_, v)| *v == 1));
+    }
+
+    #[test]
+    fn concurrent_bumps_never_lose_increments() {
+        let store = Arc::new(VersionStore::new(4));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let store = store.clone();
+            handles.push(thread::spawn(move || {
+                for _ in 0..500 {
+                    store.publish_bump(&[(1, true), (2, false)]).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.ops(1).unwrap(), 4000);
+        assert_eq!(store.ops(2).unwrap(), 4000);
+    }
+
+    #[test]
+    fn kill_fails_operations_and_wakes_waiters() {
+        let store = Arc::new(VersionStore::new(2));
+        store.apply(&[1]).unwrap();
+        let waiter = {
+            let store = store.clone();
+            thread::spawn(move || store.wait_for(&[(5, 1)], Duration::from_secs(5)))
+        };
+        thread::sleep(Duration::from_millis(30));
+        store.kill();
+        assert_eq!(waiter.join().unwrap(), Err(StoreError::Dead));
+        assert_eq!(store.ops(1), Err(StoreError::Dead));
+        store.revive();
+        assert_eq!(store.ops(1).unwrap(), 0, "contents were lost");
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_load() {
+        let publisher = VersionStore::new(4);
+        publisher
+            .publish_bump(&[(1, true), (2, true), (3, false)])
+            .unwrap();
+        publisher.publish_bump(&[(1, true)]).unwrap();
+        let snap = publisher.snapshot().unwrap();
+        let subscriber = VersionStore::new(2);
+        subscriber.load_snapshot(&snap).unwrap();
+        assert_eq!(subscriber.ops(1).unwrap(), 2);
+        assert_eq!(subscriber.ops(2).unwrap(), 1);
+        assert_eq!(subscriber.ops(3).unwrap(), 1);
+    }
+
+    #[test]
+    fn load_snapshot_keeps_newer_local_counters() {
+        let store = VersionStore::single();
+        store.apply(&[1]).unwrap();
+        store.apply(&[1]).unwrap();
+        store.load_snapshot(&[(1, 1)]).unwrap();
+        assert_eq!(store.ops(1).unwrap(), 2);
+    }
+
+    #[test]
+    fn advance_latest_discards_stale_versions() {
+        let store = VersionStore::single();
+        assert!(store.advance_latest(1, 0).unwrap());
+        assert!(store.advance_latest(1, 3).unwrap());
+        assert!(!store.advance_latest(1, 2).unwrap(), "stale version");
+        assert!(store.advance_latest(1, 4).unwrap());
+    }
+
+    #[test]
+    fn flush_clears_counters() {
+        let store = VersionStore::new(2);
+        store.apply(&[1, 2, 3]).unwrap();
+        assert_eq!(store.len(), 3);
+        store.flush().unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.approx_memory_bytes(), 0);
+    }
+
+    #[test]
+    fn memory_accounting_matches_paper_estimate() {
+        let store = VersionStore::new(4);
+        let keys: Vec<DepKey> = (0..1000).collect();
+        store.apply(&keys).unwrap();
+        assert_eq!(store.approx_memory_bytes(), 100 * 1000);
+    }
+}

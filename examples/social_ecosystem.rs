@@ -1,0 +1,116 @@
+//! The social product recommender of §5.2 (Fig. 11), end to end:
+//! Diaspora + Discourse → semantic analyzer (decorator) → Spree, with a
+//! mailer observing posts.
+//!
+//! Run with: `cargo run --example social_ecosystem`
+
+use std::time::{Duration, Instant};
+use synapse_repro::apps::social;
+use synapse_repro::core::Ecosystem;
+use synapse_repro::db::LatencyModel;
+use synapse_repro::model::Id;
+use synapse_repro::mvc::Request;
+
+fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+fn main() {
+    let eco = Ecosystem::new();
+    let apps = social::build(&eco, LatencyModel::off());
+    let violations = eco.connect();
+    assert!(violations.is_empty(), "{violations:?}");
+    eco.start_all();
+
+    // Two friends join Diaspora.
+    let ids = social::seed_users(
+        &apps.diaspora,
+        &[("alice", "alice@example.com"), ("bob", "bob@example.com")],
+    );
+    let (alice, bob) = (ids[0], ids[1]);
+    apps.diaspora
+        .dispatch(
+            "friends/create",
+            &Request::as_user(alice).param("user_id", bob.raw()),
+        )
+        .unwrap();
+
+    // Spree stocks some products.
+    for (name, description) in [
+        ("Trail Boots", "rugged boots for hiking and camping"),
+        ("Espresso Maker", "brews rich espresso coffee at home"),
+        ("Cat Tree", "a playground your cats will adore"),
+    ] {
+        apps.spree
+            .dispatch(
+                "products/create",
+                &Request::anonymous()
+                    .param("name", name)
+                    .param("description", description)
+                    .param("price", 49),
+            )
+            .unwrap();
+    }
+
+    // Alice posts about her hobby on Diaspora (Fig. 9(a)'s step ①).
+    apps.diaspora
+        .dispatch(
+            "posts/create",
+            &Request::as_user(alice)
+                .param("body", "went hiking again, hiking trails all weekend"),
+        )
+        .unwrap();
+
+    // ② the mailer notifies Alice's friends.
+    assert!(eventually(Duration::from_secs(10), || {
+        !apps.outbox.lock().is_empty()
+    }));
+    println!("mailer sent: {:?}", apps.outbox.lock().first().unwrap());
+
+    // ③ the analyzer decorates Alice with interests, and ④⑤ the decorated
+    // model reaches Spree.
+    assert!(eventually(Duration::from_secs(10), || {
+        apps.spree
+            .orm()
+            .find("User", alice)
+            .ok()
+            .flatten()
+            .map(|u| !u.get("interests").is_null())
+            .unwrap_or(false)
+    }));
+    let spree_alice = apps.spree.orm().find("User", alice).unwrap().unwrap();
+    println!(
+        "spree sees alice's interests: {}",
+        spree_alice.get("interests")
+    );
+
+    // The recommender matches products to her replicated interests.
+    let recs = apps
+        .spree
+        .dispatch(
+            "products/recommended",
+            &Request::anonymous().param("user_id", alice.raw()),
+        )
+        .unwrap();
+    let rec_ids: Vec<u64> = recs
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(|v| v.as_int().map(|i| i as u64))
+        .collect();
+    println!("recommended product ids for alice: {rec_ids:?}");
+    assert!(!rec_ids.is_empty(), "hiking boots should match");
+    for id in &rec_ids {
+        let p = apps.spree.orm().find("Product", Id(*id)).unwrap().unwrap();
+        println!("  → {}", p.get("name").as_str().unwrap());
+    }
+
+    eco.stop_all();
+}

@@ -1,0 +1,15 @@
+//! Facade crate for the Synapse reproduction workspace.
+//!
+//! Re-exports every subsystem so the `examples/` and `tests/` directories at
+//! the repository root can exercise the whole stack through one dependency.
+//! Library users should depend on the individual crates (`synapse-core`,
+//! `synapse-orm`, …) instead.
+
+pub use synapse_apps as apps;
+pub use synapse_broker as broker;
+pub use synapse_core as core;
+pub use synapse_db as db;
+pub use synapse_model as model;
+pub use synapse_mvc as mvc;
+pub use synapse_orm as orm;
+pub use synapse_versionstore as versionstore;

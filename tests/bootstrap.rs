@@ -1,0 +1,212 @@
+//! The three-step bootstrap protocol (§4.4) in detail: version snapshots
+//! before data, projection during bulk copy, live traffic during the copy,
+//! ephemeral exclusion, and decorator chains bootstrapping in stages.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use synapse_repro::core::{Ecosystem, Publication, Subscription, SynapseConfig, SynapseNode};
+use synapse_repro::db::LatencyModel;
+use synapse_repro::model::{vmap, ModelSchema};
+use synapse_repro::orm::adapters::{EphemeralAdapter, MongoidAdapter};
+
+fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+fn publisher_with_users(eco: &Ecosystem, n: usize) -> Arc<SynapseNode> {
+    let node = eco.add_node(
+        SynapseConfig::new("pub"),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    node.orm().define_model(ModelSchema::open("User")).unwrap();
+    node.publish(Publication::model("User").fields(&["name"]))
+        .unwrap();
+    for i in 0..n {
+        node.orm()
+            .create("User", vmap! { "name" => format!("u{i}"), "secret" => "x" })
+            .unwrap();
+    }
+    node
+}
+
+/// A subscriber that joins late gets all pre-existing objects, projected to
+/// the published attributes only.
+#[test]
+fn late_subscriber_bootstraps_projected_history() {
+    let eco = Ecosystem::new();
+    let publisher = publisher_with_users(&eco, 200);
+    let subscriber = eco.add_node(
+        SynapseConfig::new("late"),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
+    subscriber
+        .subscribe(Subscription::model("User", "pub").fields(&["name"]))
+        .unwrap();
+    eco.connect();
+
+    subscriber.start_and_bootstrap_from(&publisher).unwrap();
+    assert_eq!(subscriber.orm().count("User").unwrap(), 200);
+    let sample = subscriber
+        .orm()
+        .find("User", synapse_repro::model::Id(1))
+        .unwrap()
+        .unwrap();
+    assert_eq!(sample.get("name").as_str(), Some("u0"));
+    assert!(
+        sample.get("secret").is_null(),
+        "bulk copy must project to published attributes, like live updates"
+    );
+    eco.stop_all();
+}
+
+/// Writes racing with the bulk copy are not lost: messages published
+/// during steps 1–2 are drained in step 3.
+#[test]
+fn writes_during_bootstrap_are_not_lost() {
+    let eco = Ecosystem::new();
+    let publisher = publisher_with_users(&eco, 100);
+    let subscriber = eco.add_node(
+        SynapseConfig::new("late"),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
+    subscriber
+        .subscribe(Subscription::model("User", "pub").fields(&["name"]))
+        .unwrap();
+    eco.connect();
+
+    // A writer hammers the publisher while the bootstrap runs.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let publisher = publisher.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut n = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                publisher
+                    .orm()
+                    .create("User", vmap! { "name" => format!("live-{n}") })
+                    .unwrap();
+                n += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+    subscriber.start_and_bootstrap_from(&publisher).unwrap();
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    writer.join().unwrap();
+
+    let expected = publisher.orm().count("User").unwrap();
+    assert!(eventually(Duration::from_secs(10), || {
+        subscriber.orm().count("User").unwrap() == expected
+    }));
+    eco.stop_all();
+}
+
+/// Ephemeral publications have no stored history — bootstrap skips them
+/// rather than failing (§3.1: published, never persisted).
+#[test]
+fn ephemeral_models_are_skipped_by_bootstrap() {
+    let eco = Ecosystem::new();
+    let frontend = eco.add_node(
+        SynapseConfig::new("frontend"),
+        Arc::new(EphemeralAdapter::new()),
+    );
+    frontend.orm().define_model(ModelSchema::open("Click")).unwrap();
+    frontend
+        .publish(Publication::model("Click").fields(&["target"]).ephemeral())
+        .unwrap();
+    for _ in 0..5 {
+        frontend
+            .orm()
+            .create("Click", vmap! { "target" => "buy" })
+            .unwrap();
+    }
+
+    let analytics = eco.add_node(
+        SynapseConfig::new("analytics"),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    analytics.orm().define_model(ModelSchema::open("Click")).unwrap();
+    analytics
+        .subscribe(Subscription::model("Click", "frontend").fields(&["target"]))
+        .unwrap();
+    eco.connect();
+
+    analytics.start_and_bootstrap_from(&frontend).unwrap();
+    // The five pre-subscription clicks were never persisted anywhere (the
+    // publisher is ephemeral and the queue was not yet bound), so the
+    // bootstrap has no history to copy: the subscriber starts empty.
+    assert_eq!(analytics.orm().count("Click").unwrap(), 0);
+    // Only live events arrive from now on.
+    frontend
+        .orm()
+        .create("Click", vmap! { "target" => "cart" })
+        .unwrap();
+    assert!(eventually(Duration::from_secs(5), || {
+        analytics.orm().count("Click").unwrap() == 1
+    }));
+    eco.stop_all();
+}
+
+/// A decorator chain bootstraps stage by stage: a brand-new downstream
+/// subscriber obtains both the owner's attributes and the decorations.
+#[test]
+fn decorator_chain_bootstraps_downstream() {
+    let eco = Ecosystem::new();
+    let owner = publisher_with_users(&eco, 20);
+    let decorator = eco.add_node(
+        SynapseConfig::new("dec"),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    decorator.orm().define_model(ModelSchema::open("User")).unwrap();
+    decorator
+        .subscribe(Subscription::model("User", "pub").fields(&["name"]))
+        .unwrap();
+    decorator
+        .publish(Publication::model("User").fields(&["vip"]))
+        .unwrap();
+    eco.connect();
+    decorator.start_and_bootstrap_from(&owner).unwrap();
+    // The decorator decorates everything it replicated.
+    for user in decorator.orm().all("User").unwrap() {
+        decorator
+            .orm()
+            .update("User", user.id, vmap! { "vip" => user.id.raw() % 2 == 0 })
+            .unwrap();
+    }
+
+    // Now a downstream subscriber joins, bootstrapping from both.
+    let downstream = eco.add_node(
+        SynapseConfig::new("down"),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    downstream.orm().define_model(ModelSchema::open("User")).unwrap();
+    downstream
+        .subscribe(Subscription::model("User", "pub").fields(&["name"]))
+        .unwrap();
+    downstream
+        .subscribe(Subscription::model("User", "dec").fields(&["vip"]))
+        .unwrap();
+    eco.connect();
+    downstream.start_and_bootstrap_from(&owner).unwrap();
+    downstream.bootstrap_from(&decorator).unwrap();
+
+    assert_eq!(downstream.orm().count("User").unwrap(), 20);
+    let u2 = downstream
+        .orm()
+        .find("User", synapse_repro::model::Id(2))
+        .unwrap()
+        .unwrap();
+    assert_eq!(u2.get("name").as_str(), Some("u1"));
+    assert_eq!(u2.get("vip").as_bool(), Some(true));
+    eco.stop_all();
+}

@@ -1,0 +1,344 @@
+//! Failure injection and recovery (§4.4 and the §6.5 production notes):
+//! lost messages, queue decommission + partial bootstrap, publisher
+//! version-store death + generation bump, subscriber store death, broker
+//! restarts, and publish-crash journal recovery.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use synapse_repro::core::{
+    DeliveryMode, Ecosystem, Publication, Subscription, SynapseConfig, SynapseNode,
+};
+use synapse_repro::db::LatencyModel;
+use synapse_repro::model::{vmap, Id};
+use synapse_repro::model::ModelSchema;
+use synapse_repro::orm::adapters::MongoidAdapter;
+
+fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+fn mongo_node(eco: &Ecosystem, config: SynapseConfig) -> Arc<SynapseNode> {
+    let node = eco.add_node(
+        config,
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    node.orm().define_model(ModelSchema::open("Post")).unwrap();
+    node
+}
+
+fn publishing_node(eco: &Ecosystem, app: &str) -> Arc<SynapseNode> {
+    let node = mongo_node(eco, SynapseConfig::new(app));
+    node.publish(Publication::model("Post").fields(&["body", "version"]))
+        .unwrap();
+    node
+}
+
+fn subscribing_node(eco: &Ecosystem, config: SynapseConfig, from: &str) -> Arc<SynapseNode> {
+    let node = mongo_node(eco, config);
+    node.subscribe(Subscription::model("Post", from).fields(&["body", "version"]))
+        .unwrap();
+    node
+}
+
+/// §6.5: under strict causal mode, a lost message deadlocks the subscriber
+/// on the missing dependency; a finite timeout lets it give up and proceed.
+#[test]
+fn lost_message_stalls_strict_causal_until_timeout() {
+    let eco = Ecosystem::new();
+    let publisher = publishing_node(&eco, "pub");
+    let subscriber = subscribing_node(
+        &eco,
+        SynapseConfig::new("sub").wait_timeout(Some(Duration::from_millis(200))),
+        "pub",
+    );
+    eco.connect();
+    eco.start_all();
+
+    let post = publisher
+        .orm()
+        .create("Post", vmap! { "body" => "v1", "version" => 1 })
+        .unwrap();
+    assert!(eventually(Duration::from_secs(5), || {
+        subscriber.orm().find("Post", post.id).unwrap().is_some()
+    }));
+
+    // Lose the next update, then publish one more.
+    eco.broker().inject_drop_next("sub", 1);
+    publisher
+        .orm()
+        .update("Post", post.id, vmap! { "version" => 2 })
+        .unwrap();
+    publisher
+        .orm()
+        .update("Post", post.id, vmap! { "version" => 3 })
+        .unwrap();
+
+    // The subscriber eventually gives up on the missing dependency and
+    // applies v3 (skipping the lost v2 — an overwritten history).
+    assert!(eventually(Duration::from_secs(5), || {
+        subscriber
+            .orm()
+            .find("Post", post.id)
+            .unwrap()
+            .map(|p| p.get("version").as_int() == Some(3))
+            .unwrap_or(false)
+    }));
+    assert!(subscriber.subscriber_stats().dep_timeouts >= 1);
+    eco.stop_all();
+}
+
+/// Weak mode tolerates the same loss without any stall (§3.2: "its most
+/// important benefit is high availability due to its tolerance of message
+/// loss").
+#[test]
+fn weak_mode_tolerates_message_loss_without_stalling() {
+    let eco = Ecosystem::new();
+    let publisher = publishing_node(&eco, "pub");
+    let subscriber = subscribing_node(
+        &eco,
+        SynapseConfig::new("sub").subscriber_mode(DeliveryMode::Weak),
+        "pub",
+    );
+    eco.connect();
+    eco.start_all();
+
+    let post = publisher
+        .orm()
+        .create("Post", vmap! { "body" => "v1", "version" => 1 })
+        .unwrap();
+    eco.broker().inject_drop_next("sub", 1);
+    publisher
+        .orm()
+        .update("Post", post.id, vmap! { "version" => 2 })
+        .unwrap();
+    publisher
+        .orm()
+        .update("Post", post.id, vmap! { "version" => 3 })
+        .unwrap();
+
+    assert!(eventually(Duration::from_secs(5), || {
+        subscriber
+            .orm()
+            .find("Post", post.id)
+            .unwrap()
+            .map(|p| p.get("version").as_int() == Some(3))
+            .unwrap_or(false)
+    }));
+    assert_eq!(subscriber.subscriber_stats().dep_timeouts, 0);
+    eco.stop_all();
+}
+
+/// Weak mode discards out-of-order (stale) redeliveries: objects only move
+/// to their latest version.
+#[test]
+fn weak_mode_discards_stale_redeliveries() {
+    let eco = Ecosystem::new();
+    let publisher = publishing_node(&eco, "pub");
+    let subscriber = subscribing_node(
+        &eco,
+        SynapseConfig::new("sub").subscriber_mode(DeliveryMode::Weak),
+        "pub",
+    );
+    eco.connect();
+
+    let post = publisher
+        .orm()
+        .create("Post", vmap! { "body" => "v1", "version" => 1 })
+        .unwrap();
+    publisher
+        .orm()
+        .update("Post", post.id, vmap! { "version" => 2 })
+        .unwrap();
+
+    // Process manually, replaying the *create* again after the update
+    // (a redelivery arriving out of order).
+    let consumer = eco.broker().consumer("sub").unwrap();
+    let d1 = consumer.pop(Duration::from_millis(100)).unwrap();
+    let d2 = consumer.pop(Duration::from_millis(100)).unwrap();
+    subscriber.subscriber().process(&d2).unwrap();
+    subscriber.subscriber().process(&d1).unwrap();
+
+    let replica = subscriber.orm().find("Post", post.id).unwrap().unwrap();
+    assert_eq!(
+        replica.get("version").as_int(),
+        Some(2),
+        "stale create must not overwrite the newer update"
+    );
+    assert_eq!(subscriber.subscriber_stats().ops_stale, 1);
+}
+
+/// §4.4: a slow subscriber's queue hits its cap, the queue is killed and
+/// the subscriber decommissioned; a partial bootstrap brings it back.
+#[test]
+fn queue_cap_decommissions_and_partial_bootstrap_recovers() {
+    let eco = Ecosystem::new();
+    let publisher = publishing_node(&eco, "pub");
+    let subscriber = subscribing_node(
+        &eco,
+        SynapseConfig::new("sub").queue_cap(10),
+        "pub",
+    );
+    eco.connect();
+    // Subscriber is down (workers not started); flood past the cap.
+    for i in 0..50 {
+        publisher
+            .orm()
+            .create("Post", vmap! { "body" => format!("p{i}"), "version" => i })
+            .unwrap();
+    }
+    assert!(subscriber.is_decommissioned());
+
+    // Partial bootstrap: reinstate, copy state, drain.
+    subscriber.start();
+    subscriber.bootstrap_from(&publisher).unwrap();
+    assert_eq!(subscriber.orm().count("Post").unwrap(), 50);
+
+    // Live replication works again afterwards.
+    let fresh = publisher
+        .orm()
+        .create("Post", vmap! { "body" => "after", "version" => 100 })
+        .unwrap();
+    assert!(eventually(Duration::from_secs(5), || {
+        subscriber.orm().find("Post", fresh.id).unwrap().is_some()
+    }));
+    eco.stop_all();
+}
+
+/// §4.4: when the *publisher's* version store dies, the generation number
+/// is incremented and subscribers flush their stores at the barrier.
+#[test]
+fn publisher_store_death_bumps_generation_and_subscribers_flush() {
+    let eco = Ecosystem::new();
+    let publisher = publishing_node(&eco, "pub");
+    let subscriber = subscribing_node(&eco, SynapseConfig::new("sub"), "pub");
+    eco.connect();
+    eco.start_all();
+
+    let a = publisher
+        .orm()
+        .create("Post", vmap! { "body" => "before", "version" => 1 })
+        .unwrap();
+    assert!(eventually(Duration::from_secs(5), || {
+        subscriber.orm().find("Post", a.id).unwrap().is_some()
+    }));
+
+    // Kill the publisher-side version store: all counters lost.
+    publisher.pub_store().kill();
+    let b = publisher
+        .orm()
+        .create("Post", vmap! { "body" => "after", "version" => 2 })
+        .unwrap();
+    assert_eq!(publisher.generations().current(), 2, "generation bumped");
+    assert_eq!(publisher.publisher_stats().generation_bumps, 1);
+
+    assert!(eventually(Duration::from_secs(5), || {
+        subscriber.orm().find("Post", b.id).unwrap().is_some()
+    }));
+    assert!(subscriber.subscriber_stats().generation_flushes >= 1);
+    eco.stop_all();
+}
+
+/// A crash window between local commit and broker publish leaves payloads
+/// in the journal; recovery republishes them (the 2PC of §4.2).
+#[test]
+fn publish_crash_journal_recovers_messages() {
+    let eco = Ecosystem::new();
+    let publisher = publishing_node(&eco, "pub");
+    let subscriber = subscribing_node(&eco, SynapseConfig::new("sub"), "pub");
+    eco.connect();
+    eco.start_all();
+
+    publisher.publisher().inject_publish_failure(true);
+    let post = publisher
+        .orm()
+        .create("Post", vmap! { "body" => "lost?", "version" => 1 })
+        .unwrap();
+    // Local write landed, nothing reached the broker.
+    assert!(publisher.orm().find("Post", post.id).unwrap().is_some());
+    assert_eq!(publisher.publisher_stats().messages_published, 0);
+    assert_eq!(publisher.publisher().journal_len(), 1);
+
+    // Crash over; recovery drains the journal.
+    publisher.publisher().inject_publish_failure(false);
+    publisher.publisher().recover();
+    assert_eq!(publisher.publisher().journal_len(), 0);
+    assert!(eventually(Duration::from_secs(5), || {
+        subscriber.orm().find("Post", post.id).unwrap().is_some()
+    }));
+    eco.stop_all();
+}
+
+/// Broker restart redelivers unacked in-flight messages; the subscriber's
+/// upsert semantics make redelivery idempotent.
+#[test]
+fn broker_restart_redelivery_is_idempotent() {
+    let eco = Ecosystem::new();
+    let publisher = publishing_node(&eco, "pub");
+    let subscriber = subscribing_node(&eco, SynapseConfig::new("sub"), "pub");
+    eco.connect();
+
+    let post = publisher
+        .orm()
+        .create("Post", vmap! { "body" => "x", "version" => 1 })
+        .unwrap();
+    // Process without acking (worker crash mid-flight)...
+    let consumer = eco.broker().consumer("sub").unwrap();
+    let d = consumer.pop(Duration::from_millis(100)).unwrap();
+    subscriber.subscriber().process(&d).unwrap();
+    // ...then the broker restarts and redelivers.
+    eco.broker().recover();
+    let redelivered = consumer.pop(Duration::from_millis(100)).unwrap();
+    assert!(redelivered.redelivered);
+    subscriber.subscriber().process(&redelivered).unwrap();
+    consumer.ack(redelivered.tag);
+
+    assert_eq!(subscriber.orm().count("Post").unwrap(), 1);
+    let replica = subscriber.orm().find("Post", post.id).unwrap().unwrap();
+    assert_eq!(replica.get("version").as_int(), Some(1));
+}
+
+/// Subscriber version-store death: revive empty and partially bootstrap.
+#[test]
+fn subscriber_store_death_recovers_via_bootstrap() {
+    let eco = Ecosystem::new();
+    let publisher = publishing_node(&eco, "pub");
+    let subscriber = subscribing_node(
+        &eco,
+        SynapseConfig::new("sub").wait_timeout(Some(Duration::from_millis(100))),
+        "pub",
+    );
+    eco.connect();
+    eco.start_all();
+
+    for i in 0..10 {
+        publisher
+            .orm()
+            .create("Post", vmap! { "body" => format!("{i}"), "version" => i })
+            .unwrap();
+    }
+    assert!(eventually(Duration::from_secs(5), || {
+        subscriber.orm().count("Post").unwrap() == 10
+    }));
+
+    subscriber.sub_store().kill();
+    subscriber.bootstrap_from(&publisher).unwrap();
+    assert!(!subscriber.sub_store().is_dead());
+    assert_eq!(subscriber.orm().count("Post").unwrap(), 10);
+
+    let fresh = publisher
+        .orm()
+        .create("Post", vmap! { "body" => "fresh", "version" => 11 })
+        .unwrap();
+    assert!(eventually(Duration::from_secs(5), || {
+        subscriber.orm().find("Post", fresh.id).unwrap().is_some()
+    }));
+    let _ = Id(0);
+    eco.stop_all();
+}

@@ -1,0 +1,68 @@
+//! The wire format of Fig. 6(b): a real publisher's message for the
+//! figure's exact scenario (pub3 updates User#100's interests), captured
+//! off the broker and checked field by field.
+
+use std::sync::Arc;
+use std::time::Duration;
+use synapse_repro::broker::QueueConfig;
+use synapse_repro::core::{Ecosystem, Publication, SynapseConfig, WriteMessage};
+use synapse_repro::db::LatencyModel;
+use synapse_repro::model::{varray, vmap, wire, Id, ModelSchema};
+use synapse_repro::orm::adapters::MongoidAdapter;
+
+#[test]
+fn fig6b_write_message_shape() {
+    let eco = Ecosystem::new();
+    let pub3 = eco.add_node(
+        SynapseConfig::new("pub3"),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    pub3.orm().define_model(ModelSchema::open("User")).unwrap();
+    pub3.publish(Publication::model("User").field("interests"))
+        .unwrap();
+    eco.broker().declare_queue("raw", QueueConfig::default());
+    eco.broker().bind("pub3", "raw");
+
+    pub3.orm()
+        .create_with_id("User", Id(100), vmap! { "interests" => varray!["birds"] })
+        .unwrap();
+    pub3.orm()
+        .update(
+            "User",
+            Id(100),
+            vmap! { "interests" => varray!["cats", "dogs"] },
+        )
+        .unwrap();
+
+    let consumer = eco.broker().consumer("raw").unwrap();
+    let _create = consumer.pop(Duration::from_millis(100)).unwrap();
+    let update = consumer.pop(Duration::from_millis(100)).unwrap();
+
+    // The payload is plain JSON with the figure's fields.
+    let parsed = wire::decode(&update.payload).expect("payload is JSON");
+    assert_eq!(parsed.get("app").as_str(), Some("pub3"));
+    assert_eq!(parsed.get("generation").as_int(), Some(1));
+    assert!(parsed.get("published_at").as_int().unwrap_or(0) > 0);
+    let ops = parsed.get("operations").as_array().unwrap();
+    assert_eq!(ops.len(), 1);
+    assert_eq!(ops[0].get("operation").as_str(), Some("update"));
+    assert_eq!(ops[0].get("id").as_int(), Some(100));
+    assert_eq!(
+        ops[0].get("attributes").get("interests"),
+        &varray!["cats", "dogs"]
+    );
+    let types = ops[0].get("types").as_array().unwrap();
+    assert_eq!(types[0].as_str(), Some("User"));
+    assert!(
+        !parsed.get("dependencies").as_map().unwrap().is_empty(),
+        "the update carries its object dependency"
+    );
+
+    // The typed decoder agrees with the raw parse.
+    let msg = WriteMessage::decode(&update.payload).unwrap();
+    assert_eq!(msg.app, "pub3");
+    assert_eq!(msg.operations[0].id, Id(100));
+
+    // And the encoding is canonical: decode → encode is the identity.
+    assert_eq!(msg.encode(), update.payload);
+}

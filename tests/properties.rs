@@ -1,0 +1,261 @@
+//! Property-based tests (proptest) on the core invariants: wire-format
+//! round-tripping, version-store protocol algebra, engine CRUD coherence
+//! across all five families, and end-to-end replication convergence.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use synapse_repro::core::{Operation, WriteMessage};
+use synapse_repro::db::{profiles, Engine, Filter, LatencyModel, Query, QueryResult, Row};
+use synapse_repro::model::{wire, Id, Value};
+use synapse_repro::versionstore::VersionStore;
+
+/// Strategy for arbitrary dynamic values (bounded depth).
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN/∞ intentionally encode as null.
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Float),
+        "[a-zA-Z0-9 äöü❤\\\\\"\n\t]{0,24}".prop_map(Value::from),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Value::Array),
+            prop::collection::btree_map("[a-z_]{1,8}", inner, 0..5).prop_map(Value::Map),
+        ]
+    })
+}
+
+proptest! {
+    /// Every value round-trips through the JSON wire format.
+    #[test]
+    fn wire_roundtrip(v in value_strategy()) {
+        let encoded = wire::encode(&v);
+        let decoded = wire::decode(&encoded).expect("canonical output parses");
+        prop_assert_eq!(decoded, v);
+    }
+
+    /// Encoding is canonical: decode(encode(v)) re-encodes identically.
+    #[test]
+    fn wire_encoding_is_canonical(v in value_strategy()) {
+        let once = wire::encode(&v);
+        let twice = wire::encode(&wire::decode(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Write messages round-trip through the broker payload format.
+    #[test]
+    fn message_roundtrip(
+        ops in prop::collection::vec(
+            ("[a-z]{4,8}", 1u64..1000, prop::collection::btree_map("[a-z]{1,6}", value_strategy(), 0..4)),
+            1..4,
+        ),
+        deps in prop::collection::btree_map(any::<u64>(), any::<u64>(), 0..6),
+        generation in 1u64..10,
+    ) {
+        let msg = WriteMessage {
+            app: "prop".into(),
+            operations: ops
+                .into_iter()
+                .map(|(op, id, attributes)| Operation {
+                    operation: op,
+                    types: vec!["Model".into()],
+                    id: Id(id),
+                    attributes,
+                })
+                .collect(),
+            dependencies: deps,
+            published_at: 42,
+            generation,
+        };
+        let decoded = WriteMessage::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Version-store invariant: after any interleaving of bumps, `ops`
+    /// equals the number of operations that referenced the key, and
+    /// `version`-derived message values are monotone per key for writes.
+    #[test]
+    fn version_store_counters_are_consistent(
+        script in prop::collection::vec((0u64..8, any::<bool>()), 1..64),
+    ) {
+        let store = VersionStore::new(3);
+        let mut expected_ops: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut last_write_value: BTreeMap<u64, u64> = BTreeMap::new();
+        for (key, is_write) in &script {
+            let out = store.publish_bump(&[(*key, *is_write)]).unwrap();
+            let (_, value) = out[0];
+            *expected_ops.entry(*key).or_default() += 1;
+            if *is_write {
+                // Write values strictly increase per key.
+                if let Some(prev) = last_write_value.get(key) {
+                    prop_assert!(value > *prev);
+                }
+                last_write_value.insert(*key, value);
+            }
+        }
+        for (key, ops) in expected_ops {
+            prop_assert_eq!(store.ops(key).unwrap(), ops);
+        }
+    }
+
+    /// Subscriber algebra: a message's dependencies are satisfied exactly
+    /// when every key has been applied at least its required count.
+    #[test]
+    fn wait_satisfaction_matches_apply_counts(
+        required in prop::collection::btree_map(0u64..6, 0u64..5, 1..5),
+        applies in prop::collection::vec(0u64..6, 0..24),
+    ) {
+        let store = VersionStore::new(2);
+        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+        for k in &applies {
+            store.apply(&[*k]).unwrap();
+            *counts.entry(*k).or_default() += 1;
+        }
+        let deps: Vec<(u64, u64)> = required.iter().map(|(k, v)| (*k, *v)).collect();
+        let expected = required
+            .iter()
+            .all(|(k, v)| counts.get(k).copied().unwrap_or(0) >= *v);
+        prop_assert_eq!(store.satisfied(&deps).unwrap(), expected);
+    }
+
+    /// Engine coherence: for every engine family, a random sequence of
+    /// upserts/deletes ends with exactly the surviving documents readable.
+    #[test]
+    fn engines_agree_on_surviving_rows(
+        ops in prop::collection::vec((1u64..12, any::<bool>(), 0i64..100), 1..32),
+    ) {
+        for vendor in ["postgresql", "mysql", "mongodb", "cassandra", "elasticsearch", "neo4j"] {
+            let engine = profiles::by_name(vendor, LatencyModel::off());
+            engine.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+            if vendor == "postgresql" || vendor == "mysql" {
+                // Strict SQL column set.
+            }
+            let mut model: BTreeMap<u64, i64> = BTreeMap::new();
+            for (id, delete, n) in &ops {
+                if *delete {
+                    engine
+                        .execute(&Query::Delete {
+                            table: "t".into(),
+                            filter: Filter::ById(Id(*id)),
+                        })
+                        .unwrap();
+                    model.remove(id);
+                } else if model.contains_key(id) {
+                    let mut set = Row::new();
+                    set.insert("n".into(), Value::from(*n));
+                    engine
+                        .execute(&Query::Update {
+                            table: "t".into(),
+                            filter: Filter::ById(Id(*id)),
+                            set,
+                            unset: vec![],
+                        })
+                        .unwrap();
+                    model.insert(*id, *n);
+                } else {
+                    let mut row = Row::new();
+                    row.insert("n".into(), Value::from(*n));
+                    engine
+                        .execute(&Query::Insert {
+                            table: "t".into(),
+                            id: Id(*id),
+                            row,
+                        })
+                        .unwrap();
+                    model.insert(*id, *n);
+                }
+            }
+            let rows = match engine
+                .execute(&Query::Select {
+                    table: "t".into(),
+                    filter: Filter::All,
+                    order: None,
+                    limit: None,
+                })
+                .unwrap()
+            {
+                QueryResult::Rows(rows) => rows,
+                other => panic!("unexpected {other:?}"),
+            };
+            let got: BTreeMap<u64, i64> = rows
+                .into_iter()
+                .map(|(id, row)| (id.raw(), row["n"].as_int().unwrap()))
+                .collect();
+            prop_assert_eq!(got, model.clone(), "vendor {}", vendor);
+        }
+    }
+}
+
+/// End-to-end convergence under random operation sequences: whatever the
+/// publisher ends with, the subscriber ends with (causal mode).
+#[test]
+fn replication_converges_on_random_histories() {
+    use proptest::test_runner::{Config, TestRunner};
+    let mut runner = TestRunner::new(Config {
+        cases: 12,
+        ..Config::default()
+    });
+    let strategy = prop::collection::vec((1u64..8, 0u8..3, 0i64..100), 1..25);
+    runner
+        .run(&strategy, |ops| {
+            let eco = synapse_repro::core::Ecosystem::new();
+            let pair = synapse_apps::stress::build_pair(
+                &eco,
+                "mongodb",
+                "postgresql",
+                synapse_repro::core::DeliveryMode::Causal,
+                2,
+                LatencyModel::off(),
+            );
+            eco.connect();
+            eco.start_all();
+            let orm = pair.publisher.orm();
+            for (id, kind, n) in &ops {
+                let exists = orm.find("Post", Id(*id)).unwrap().is_some();
+                match kind {
+                    0 if !exists => {
+                        orm.create_with_id(
+                            "Post",
+                            Id(*id),
+                            synapse_repro::model::vmap! { "author_id" => *n, "body" => "b" },
+                        )
+                        .unwrap();
+                    }
+                    1 if exists => {
+                        orm.update(
+                            "Post",
+                            Id(*id),
+                            synapse_repro::model::vmap! { "author_id" => *n },
+                        )
+                        .unwrap();
+                    }
+                    2 if exists => {
+                        orm.destroy("Post", Id(*id)).unwrap();
+                    }
+                    _ => {}
+                }
+            }
+            // Wait for convergence.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            let target = pair.publisher.publisher_stats().messages_published;
+            while pair.subscriber.subscriber_stats().messages_processed < target
+                && std::time::Instant::now() < deadline
+            {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            let pub_posts = orm.all("Post").unwrap();
+            let sub_posts = pair.subscriber.orm().all("Post").unwrap();
+            assert_eq!(pub_posts.len(), sub_posts.len());
+            for (p, s) in pub_posts.iter().zip(sub_posts.iter()) {
+                assert_eq!(p.id, s.id);
+                assert_eq!(p.get("author_id"), s.get("author_id"));
+            }
+            eco.stop_all();
+            Ok(())
+        })
+        .unwrap();
+}

@@ -1,0 +1,78 @@
+//! Table 1 / Table 3 as a test: every publisher-capable vendor replicates
+//! to every subscriber-capable vendor.
+
+use std::time::Duration;
+use synapse_repro::core::{DeliveryMode, Ecosystem};
+use synapse_repro::db::LatencyModel;
+use synapse_repro::model::vmap;
+
+const PUBLISHERS: &[&str] = &[
+    "postgresql",
+    "mysql",
+    "oracle",
+    "mongodb",
+    "tokumx",
+    "cassandra",
+    "ephemeral",
+];
+const SUBSCRIBERS: &[&str] = &[
+    "postgresql",
+    "mysql",
+    "oracle",
+    "mongodb",
+    "tokumx",
+    "cassandra",
+    "elasticsearch",
+    "neo4j",
+    "rethinkdb",
+];
+
+fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    while std::time::Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+#[test]
+fn every_vendor_pair_replicates() {
+    let mut failures = Vec::new();
+    for pub_vendor in PUBLISHERS {
+        for sub_vendor in SUBSCRIBERS {
+            let eco = Ecosystem::new();
+            let pair = synapse_apps::stress::build_pair(
+                &eco,
+                pub_vendor,
+                sub_vendor,
+                DeliveryMode::Causal,
+                1,
+                LatencyModel::off(),
+            );
+            assert!(eco.connect().is_empty());
+            eco.start_all();
+            let ok = match pair
+                .publisher
+                .orm()
+                .create("User", vmap! { "name" => "matrix" })
+            {
+                Ok(user) => eventually(Duration::from_secs(5), || {
+                    pair.subscriber
+                        .orm()
+                        .find("User", user.id)
+                        .map(|r| r.is_some())
+                        .unwrap_or(false)
+                }),
+                Err(_) => false,
+            };
+            eco.stop_all();
+            if !ok {
+                failures.push(format!("{pub_vendor} → {sub_vendor}"));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "failing pairs: {failures:?}");
+}

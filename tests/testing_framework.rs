@@ -1,0 +1,127 @@
+//! The §4.5 testing framework: factories exported by publishers, payload
+//! emulation on subscribers, and bootstrap-aware callbacks (Fig. 2).
+
+use std::sync::Arc;
+use parking_lot::Mutex;
+use synapse_repro::core::testing::{emulate_delivery, emulate_message, FactorySet};
+use synapse_repro::core::{Ecosystem, Publication, Subscription, SynapseConfig};
+use synapse_repro::db::LatencyModel;
+use synapse_repro::model::{vmap, ModelSchema};
+use synapse_repro::orm::adapters::MongoidAdapter;
+use synapse_repro::orm::CallbackPoint;
+
+/// A subscriber's integration test never needs a live publisher: the
+/// publisher's factory builds sample objects and Synapse emulates the
+/// production payloads.
+#[test]
+fn subscriber_tests_run_against_emulated_payloads() {
+    // The publisher's exported artifacts: its publication and factory file.
+    let publication = Publication::model("User").fields(&["name", "email"]);
+    let factories = FactorySet::new();
+    factories.define("User", |i| {
+        vmap! { "name" => format!("user-{i}"), "email" => format!("u{i}@x.com"), "secret" => "x" }
+    });
+
+    // The subscriber under test, alone in its own ecosystem.
+    let eco = Ecosystem::new();
+    let sub = eco.add_node(
+        SynapseConfig::new("mailer"),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    sub.orm().define_model(ModelSchema::open("User")).unwrap();
+    sub.subscribe(Subscription::model("User", "main_app").fields(&["name", "email"]))
+        .unwrap();
+
+    let outbox: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sent = outbox.clone();
+    sub.orm().on("User", CallbackPoint::AfterCreate, move |ctx, u| {
+        if !ctx.bootstrap {
+            sent.lock()
+                .push(u.get("email").as_str().unwrap_or("?").to_owned());
+        }
+        Ok(())
+    });
+
+    // Replay three factory-built users as production payloads.
+    for i in 1..=3 {
+        let record = factories.build("User", i).unwrap();
+        let msg = emulate_message("main_app", &publication, "create", &record);
+        let delivery = emulate_delivery(&msg);
+        sub.subscriber().process(&delivery).unwrap();
+    }
+
+    assert_eq!(sub.orm().count("User").unwrap(), 3);
+    assert_eq!(outbox.lock().len(), 3, "welcome mails for each user");
+    // The emulation projected away unpublished attributes, like production.
+    let u = sub.orm().find("User", synapse_repro::model::Id(1)).unwrap().unwrap();
+    assert!(u.get("secret").is_null());
+}
+
+/// Fig. 2: `Synapse.bootstrap?` suppresses side effects during catch-up.
+#[test]
+fn bootstrap_flag_suppresses_side_effects() {
+    let eco = Ecosystem::new();
+    let publisher = eco.add_node(
+        SynapseConfig::new("main_app"),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    publisher.orm().define_model(ModelSchema::open("User")).unwrap();
+    publisher
+        .publish(Publication::model("User").fields(&["name", "email"]))
+        .unwrap();
+
+    let sub = eco.add_node(
+        SynapseConfig::new("mailer"),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    sub.orm().define_model(ModelSchema::open("User")).unwrap();
+    sub.subscribe(Subscription::model("User", "main_app").fields(&["name", "email"]))
+        .unwrap();
+    eco.connect();
+
+    let outbox: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sent = outbox.clone();
+    sub.orm().on("User", CallbackPoint::AfterCreate, move |ctx, u| {
+        if !ctx.bootstrap {
+            sent.lock()
+                .push(u.get("name").as_str().unwrap_or("?").to_owned());
+        }
+        Ok(())
+    });
+
+    // 100 pre-existing users arrive via bootstrap: no emails.
+    for i in 0..100 {
+        publisher
+            .orm()
+            .create("User", vmap! { "name" => format!("old-{i}"), "email" => "e" })
+            .unwrap();
+    }
+    sub.start_and_bootstrap_from(&publisher).unwrap();
+    assert_eq!(sub.orm().count("User").unwrap(), 100);
+    assert!(outbox.lock().is_empty(), "no mail during bootstrap");
+
+    // A live signup after bootstrap does get its welcome mail.
+    publisher
+        .orm()
+        .create("User", vmap! { "name" => "fresh", "email" => "f" })
+        .unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while outbox.lock().is_empty() && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(*outbox.lock(), vec!["fresh".to_string()]);
+    eco.stop_all();
+}
+
+/// Publisher factories are reusable across subscriber suites and produce
+/// distinct sequenced data.
+#[test]
+fn factories_generate_distinct_sequenced_samples() {
+    let factories = FactorySet::new();
+    factories.define("Post", |i| vmap! { "body" => format!("post body {i}") });
+    let a = factories.build("Post", 1).unwrap();
+    let b = factories.build("Post", 2).unwrap();
+    assert_ne!(a.id, b.id);
+    assert_ne!(a.get("body"), b.get("body"));
+    assert!(factories.build("Unknown", 1).is_none());
+}
