@@ -213,7 +213,7 @@ pub fn run_load(pair: &StressPair, config: &StressConfig) -> LoadReport {
                     let user = rng.gen_range(1..=config.users);
                     let user_dep = DepName::object(publisher.app(), "User", Id(user));
                     synapse_core::with_user_scope(user_dep, || {
-                        let make_post = rng.gen_range(0..100) < config.post_percent
+                        let make_post = rng.gen_range(0u32..100) < config.post_percent
                             || latest_post.load(Ordering::Relaxed) == 0;
                         if make_post {
                             if let Ok(post) = publisher.orm().create(

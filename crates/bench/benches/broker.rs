@@ -20,7 +20,7 @@ fn bench_publish_fanout(c: &mut Criterion) {
                 .map(|q| broker.consumer(&format!("q{q}")).unwrap())
                 .collect();
             b.iter(|| {
-                broker.publish("pub", "{\"op\":\"bench\"}");
+                broker.publish("pub", "{\"op\":\"bench\"}").unwrap();
                 for consumer in &consumers {
                     if let Some(d) = consumer.pop(Duration::from_millis(10)) {
                         consumer.ack(d.tag);
@@ -39,7 +39,7 @@ fn bench_pop_ack(c: &mut Criterion) {
         broker.bind("pub", "q");
         let consumer = broker.consumer("q").unwrap();
         b.iter(|| {
-            broker.publish("pub", "payload");
+            broker.publish("pub", "payload").unwrap();
             let d = consumer.pop(Duration::from_millis(10)).unwrap();
             consumer.ack(d.tag);
         });

@@ -18,7 +18,44 @@ pub struct BrokerStats {
     pub acked: u64,
     /// Message copies dropped by failure injection.
     pub dropped: u64,
+    /// Message copies refused by decommissioned queues.
+    pub refused: u64,
+    /// Backlog copies discarded when a queue was decommissioned.
+    pub discarded: u64,
+    /// Deliveries returned to a queue by nack or broker restart.
+    pub redelivered: u64,
+    /// Deliveries routed to dead-letter stores.
+    pub dead_lettered: u64,
+    /// Acks naming an unknown or already-acked tag.
+    pub spurious_acks: u64,
+    /// Nacks naming an unknown or already-acked tag.
+    pub spurious_nacks: u64,
+    /// Publish attempts rejected by injected transient faults.
+    pub publish_faults: u64,
 }
+
+/// Transient error returned by [`Broker::publish`] under injected faults.
+///
+/// Models the broker connection blips of the paper's §6.5 incident: the
+/// message was *not* accepted and the publisher is expected to retry (its
+/// journal still holds the payload, §4.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishError {
+    /// Exchange the publish was addressed to.
+    pub exchange: String,
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "transient broker failure publishing to exchange {:?}",
+            self.exchange
+        )
+    }
+}
+
+impl std::error::Error for PublishError {}
 
 #[derive(Default)]
 struct BrokerInner {
@@ -26,6 +63,9 @@ struct BrokerInner {
     bindings: HashMap<String, Vec<String>>,
     queues: HashMap<String, Arc<Queue>>,
     published: u64,
+    /// Fault injection: fail the next `n` publish attempts.
+    publish_fail_next: u64,
+    publish_faults: u64,
 }
 
 /// An in-process message broker with RabbitMQ semantics. Cloneable handle;
@@ -40,7 +80,7 @@ struct BrokerInner {
 /// let broker = Broker::new();
 /// broker.declare_queue("mailer", QueueConfig::default());
 /// broker.bind("main_app", "mailer");
-/// broker.publish("main_app", "{\"op\":\"create\"}");
+/// broker.publish("main_app", "{\"op\":\"create\"}").unwrap();
 ///
 /// let consumer = broker.consumer("mailer").unwrap();
 /// let d = consumer.pop(Duration::from_millis(100)).unwrap();
@@ -79,7 +119,21 @@ impl Broker {
     }
 
     /// Publishes a payload on `exchange`, fanning out to all bound queues.
-    pub fn publish(&self, exchange: &str, payload: &str) {
+    ///
+    /// Fails with a transient [`PublishError`] while injected publish faults
+    /// are armed ([`Broker::inject_publish_failures`]); a failed publish
+    /// enqueues nothing and should be retried by the caller.
+    pub fn publish(&self, exchange: &str, payload: &str) -> Result<(), PublishError> {
+        {
+            let mut inner = self.inner.write();
+            if inner.publish_fail_next > 0 {
+                inner.publish_fail_next -= 1;
+                inner.publish_faults += 1;
+                return Err(PublishError {
+                    exchange: exchange.to_owned(),
+                });
+            }
+        }
         let inner = self.inner.read();
         if let Some(bound) = inner.bindings.get(exchange) {
             for name in bound {
@@ -90,6 +144,7 @@ impl Broker {
         }
         drop(inner);
         self.inner.write().published += 1;
+        Ok(())
     }
 
     /// Returns a consumer handle for `queue`, or `None` if undeclared.
@@ -131,6 +186,39 @@ impl Broker {
         }
     }
 
+    /// Failure injection: fail the next `n` publish attempts (on any
+    /// exchange) with a transient [`PublishError`].
+    pub fn inject_publish_failures(&self, n: u64) {
+        self.inner.write().publish_fail_next += n;
+    }
+
+    /// Failure injection: force-decommission a queue, discarding its
+    /// backlog, as if it had exceeded its cap.
+    pub fn decommission_queue(&self, queue: &str) {
+        let inner = self.inner.read();
+        if let Some(q) = inner.queues.get(queue) {
+            let mut qi = q.inner.lock();
+            qi.discarded += (qi.ready.len() + qi.unacked.len()) as u64;
+            qi.ready.clear();
+            qi.unacked.clear();
+            qi.state = QueueState::Decommissioned;
+            drop(qi);
+            q.ready_cv.notify_all();
+        }
+    }
+
+    /// Snapshot of a queue's dead-letter store.
+    pub fn dead_letters(&self, queue: &str) -> Option<Vec<Delivery>> {
+        let inner = self.inner.read();
+        inner.queues.get(queue).map(|q| q.dead_letters())
+    }
+
+    /// Number of dead-lettered deliveries held for `queue`.
+    pub fn dead_letter_len(&self, queue: &str) -> Option<usize> {
+        let inner = self.inner.read();
+        inner.queues.get(queue).map(|q| q.inner.lock().dead.len())
+    }
+
     /// Failure injection: broker restart. All unacked deliveries return to
     /// the front of their queues flagged `redelivered`.
     pub fn recover(&self) {
@@ -145,6 +233,7 @@ impl Broker {
         let inner = self.inner.read();
         let mut stats = BrokerStats {
             published: inner.published,
+            publish_faults: inner.publish_faults,
             ..BrokerStats::default()
         };
         for q in inner.queues.values() {
@@ -152,6 +241,12 @@ impl Broker {
             stats.enqueued += qi.enqueued;
             stats.acked += qi.acked;
             stats.dropped += qi.dropped;
+            stats.refused += qi.refused;
+            stats.discarded += qi.discarded;
+            stats.redelivered += qi.redelivered;
+            stats.dead_lettered += qi.dead_lettered;
+            stats.spurious_acks += qi.spurious_acks;
+            stats.spurious_nacks += qi.spurious_nacks;
         }
         stats
     }
@@ -193,6 +288,13 @@ impl Consumer {
         self.queue.nack(tag)
     }
 
+    /// Routes an unacked delivery to the queue's dead-letter store: the
+    /// message is consumed (like an ack) but retained and counted instead of
+    /// silently discarded. Returns `false` for unknown tags.
+    pub fn dead_letter(&self, tag: u64) -> bool {
+        self.queue.dead_letter(tag)
+    }
+
     /// Whether the queue has been decommissioned.
     pub fn is_decommissioned(&self) -> bool {
         self.queue.inner.lock().state == QueueState::Decommissioned
@@ -218,7 +320,7 @@ mod tests {
         b.declare_queue("q2", QueueConfig::default());
         b.bind("pub", "q1");
         b.bind("pub", "q2");
-        b.publish("pub", "m");
+        b.publish("pub", "m").unwrap();
         for q in ["q1", "q2"] {
             let c = b.consumer(q).unwrap();
             assert_eq!(c.pop(Duration::from_millis(50)).unwrap().payload, "m");
@@ -229,7 +331,7 @@ mod tests {
     fn unbound_queue_receives_nothing() {
         let b = Broker::new();
         b.declare_queue("q", QueueConfig::default());
-        b.publish("pub", "m");
+        b.publish("pub", "m").unwrap();
         assert!(b
             .consumer("q")
             .unwrap()
@@ -241,7 +343,7 @@ mod tests {
     fn fifo_order_is_preserved() {
         let b = broker_with("q");
         for i in 0..10 {
-            b.publish("pub", &i.to_string());
+            b.publish("pub", &i.to_string()).unwrap();
         }
         let c = b.consumer("q").unwrap();
         for i in 0..10 {
@@ -254,8 +356,8 @@ mod tests {
     #[test]
     fn nack_requeues_at_front_flagged_redelivered() {
         let b = broker_with("q");
-        b.publish("pub", "a");
-        b.publish("pub", "b");
+        b.publish("pub", "a").unwrap();
+        b.publish("pub", "b").unwrap();
         let c = b.consumer("q").unwrap();
         let d = c.pop(Duration::from_millis(50)).unwrap();
         assert!(!d.redelivered);
@@ -263,13 +365,101 @@ mod tests {
         let d2 = c.pop(Duration::from_millis(50)).unwrap();
         assert_eq!(d2.payload, "a");
         assert!(d2.redelivered);
+        assert_eq!(b.stats().redelivered, 1);
     }
 
     #[test]
-    fn ack_of_unknown_tag_is_rejected() {
+    fn ack_of_unknown_tag_is_rejected_and_counted() {
         let b = broker_with("q");
         let c = b.consumer("q").unwrap();
         assert!(!c.ack(999));
+        assert_eq!(b.stats().spurious_acks, 1);
+        assert!(!c.nack(999));
+        assert_eq!(b.stats().spurious_nacks, 1);
+    }
+
+    #[test]
+    fn double_ack_is_spurious() {
+        let b = broker_with("q");
+        b.publish("pub", "m").unwrap();
+        let c = b.consumer("q").unwrap();
+        let d = c.pop(Duration::from_millis(50)).unwrap();
+        assert!(c.ack(d.tag));
+        assert!(!c.ack(d.tag), "second ack of the same tag must fail");
+        assert!(!c.nack(d.tag), "nack after ack must fail");
+        let s = b.stats();
+        assert_eq!(s.acked, 1);
+        assert_eq!(s.spurious_acks, 1);
+        assert_eq!(s.spurious_nacks, 1);
+    }
+
+    #[test]
+    fn injected_publish_failures_are_transient_and_counted() {
+        let b = broker_with("q");
+        b.inject_publish_failures(2);
+        assert!(b.publish("pub", "x").is_err());
+        assert!(b.publish("pub", "y").is_err());
+        b.publish("pub", "z").unwrap();
+        let s = b.stats();
+        assert_eq!(s.publish_faults, 2);
+        assert_eq!(s.published, 1, "failed publishes are not accepted");
+        assert_eq!(s.enqueued, 1);
+        let c = b.consumer("q").unwrap();
+        assert_eq!(c.pop(Duration::from_millis(50)).unwrap().payload, "z");
+    }
+
+    #[test]
+    fn dead_letter_consumes_without_losing_the_payload() {
+        let b = broker_with("q");
+        b.publish("pub", "poison").unwrap();
+        b.publish("pub", "good").unwrap();
+        let c = b.consumer("q").unwrap();
+        let d = c.pop(Duration::from_millis(50)).unwrap();
+        assert!(c.dead_letter(d.tag));
+        assert!(!c.dead_letter(d.tag), "tag is consumed by dead-lettering");
+        // The poisoned message is out of the delivery path…
+        let d2 = c.pop(Duration::from_millis(50)).unwrap();
+        assert_eq!(d2.payload, "good");
+        // …but retained and counted.
+        let dead = b.dead_letters("q").unwrap();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].payload, "poison");
+        assert_eq!(b.dead_letter_len("q"), Some(1));
+        assert_eq!(b.stats().dead_lettered, 1);
+        // Dead letters survive broker restarts and reinstatement.
+        b.recover();
+        b.reinstate_queue("q");
+        assert_eq!(b.dead_letter_len("q"), Some(1));
+    }
+
+    #[test]
+    fn decommission_accounts_for_discarded_backlog() {
+        let b = Broker::new();
+        b.declare_queue("q", QueueConfig { max_len: Some(3) });
+        b.bind("pub", "q");
+        for i in 0..5 {
+            b.publish("pub", &i.to_string()).unwrap();
+        }
+        assert_eq!(b.queue_state("q"), Some(QueueState::Decommissioned));
+        let s = b.stats();
+        // 3 accepted, then the cap-triggering copy and the one after it
+        // were refused; the 3-message backlog was discarded.
+        assert_eq!(s.enqueued, 3);
+        assert_eq!(s.discarded, 3);
+        assert_eq!(s.refused, 2);
+    }
+
+    #[test]
+    fn force_decommission_discards_and_refuses() {
+        let b = broker_with("q");
+        b.publish("pub", "a").unwrap();
+        b.decommission_queue("q");
+        assert_eq!(b.queue_state("q"), Some(QueueState::Decommissioned));
+        b.publish("pub", "late").unwrap();
+        let s = b.stats();
+        assert_eq!(s.discarded, 1);
+        assert_eq!(s.refused, 1);
+        assert!(b.consumer("q").unwrap().pop(Duration::from_millis(20)).is_none());
     }
 
     #[test]
@@ -278,7 +468,7 @@ mod tests {
         let c = b.consumer("q").unwrap();
         let h = thread::spawn(move || c.pop(Duration::from_secs(5)).unwrap().payload);
         thread::sleep(Duration::from_millis(30));
-        b.publish("pub", "late");
+        b.publish("pub", "late").unwrap();
         assert_eq!(h.join().unwrap(), "late");
     }
 
@@ -286,7 +476,7 @@ mod tests {
     fn concurrent_workers_partition_the_queue() {
         let b = broker_with("q");
         for i in 0..100 {
-            b.publish("pub", &i.to_string());
+            b.publish("pub", &i.to_string()).unwrap();
         }
         let mut handles = Vec::new();
         for _ in 0..4 {
@@ -317,7 +507,7 @@ mod tests {
         b.declare_queue("q", QueueConfig { max_len: Some(5) });
         b.bind("pub", "q");
         for i in 0..10 {
-            b.publish("pub", &i.to_string());
+            b.publish("pub", &i.to_string()).unwrap();
         }
         assert_eq!(b.queue_state("q"), Some(QueueState::Decommissioned));
         assert_eq!(b.queue_len("q"), Some(0), "backlog was discarded");
@@ -326,7 +516,7 @@ mod tests {
         assert!(c.pop(Duration::from_millis(20)).is_none());
         // Reinstating restores delivery.
         b.reinstate_queue("q");
-        b.publish("pub", "fresh");
+        b.publish("pub", "fresh").unwrap();
         assert_eq!(c.pop(Duration::from_millis(50)).unwrap().payload, "fresh");
     }
 
@@ -335,7 +525,7 @@ mod tests {
         let b = broker_with("q");
         b.inject_drop_next("q", 2);
         for i in 0..4 {
-            b.publish("pub", &i.to_string());
+            b.publish("pub", &i.to_string()).unwrap();
         }
         let c = b.consumer("q").unwrap();
         assert_eq!(c.pop(Duration::from_millis(50)).unwrap().payload, "2");
@@ -347,7 +537,7 @@ mod tests {
     fn recover_requeues_unacked_in_order() {
         let b = broker_with("q");
         for p in ["a", "b", "c"] {
-            b.publish("pub", p);
+            b.publish("pub", p).unwrap();
         }
         let c = b.consumer("q").unwrap();
         let d1 = c.pop(Duration::from_millis(50)).unwrap();
@@ -366,7 +556,7 @@ mod tests {
     #[test]
     fn stats_track_lifecycle() {
         let b = broker_with("q");
-        b.publish("pub", "x");
+        b.publish("pub", "x").unwrap();
         let c = b.consumer("q").unwrap();
         let d = c.pop(Duration::from_millis(50)).unwrap();
         c.ack(d.tag);

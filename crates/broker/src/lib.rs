@@ -19,6 +19,6 @@ pub mod broker;
 pub mod message;
 pub mod queue;
 
-pub use broker::{Broker, BrokerStats, Consumer};
+pub use broker::{Broker, BrokerStats, Consumer, PublishError};
 pub use message::Delivery;
 pub use queue::{QueueConfig, QueueState};

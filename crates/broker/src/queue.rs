@@ -1,4 +1,5 @@
-//! Durable FIFO queues with acks and the decommission policy.
+//! Durable FIFO queues with acks, dead-lettering, and the decommission
+//! policy.
 
 use crate::message::Delivery;
 use parking_lot::{Condvar, Mutex};
@@ -27,6 +28,10 @@ pub enum QueueState {
 pub(crate) struct QueueInner {
     pub(crate) ready: VecDeque<Delivery>,
     pub(crate) unacked: HashMap<u64, Delivery>,
+    /// Dead-letter store: deliveries a consumer gave up on. They are out of
+    /// the delivery path but retained for inspection and accounting, so a
+    /// poisoned message is never *silently* lost.
+    pub(crate) dead: Vec<Delivery>,
     pub(crate) state: QueueState,
     pub(crate) next_tag: u64,
     pub(crate) config: QueueConfig,
@@ -34,6 +39,18 @@ pub(crate) struct QueueInner {
     pub(crate) enqueued: u64,
     pub(crate) acked: u64,
     pub(crate) dropped: u64,
+    /// Copies refused because the queue was decommissioned at publish time.
+    pub(crate) refused: u64,
+    /// Backlog copies discarded when the queue was decommissioned.
+    pub(crate) discarded: u64,
+    /// Deliveries returned to the queue by nack or broker restart.
+    pub(crate) redelivered: u64,
+    /// Deliveries routed to the dead-letter store.
+    pub(crate) dead_lettered: u64,
+    /// Acks for tags that were unknown or already acked.
+    pub(crate) spurious_acks: u64,
+    /// Nacks for tags that were unknown or already acked.
+    pub(crate) spurious_nacks: u64,
     /// Fault injection: number of upcoming messages to silently drop.
     pub(crate) drop_next: u64,
 }
@@ -43,12 +60,19 @@ impl QueueInner {
         QueueInner {
             ready: VecDeque::new(),
             unacked: HashMap::new(),
+            dead: Vec::new(),
             state: QueueState::Active,
             next_tag: 1,
             config,
             enqueued: 0,
             acked: 0,
             dropped: 0,
+            refused: 0,
+            discarded: 0,
+            redelivered: 0,
+            dead_lettered: 0,
+            spurious_acks: 0,
+            spurious_nacks: 0,
             drop_next: 0,
         }
     }
@@ -74,6 +98,7 @@ impl Queue {
     pub(crate) fn enqueue(&self, exchange: &str, payload: &str) {
         let mut inner = self.inner.lock();
         if inner.state == QueueState::Decommissioned {
+            inner.refused += 1;
             return;
         }
         if inner.drop_next > 0 {
@@ -84,6 +109,9 @@ impl Queue {
         if let Some(max) = inner.config.max_len {
             if inner.ready.len() >= max {
                 // Kill the queue: discard the backlog and stop accepting.
+                // The triggering copy is also refused, not enqueued.
+                inner.discarded += (inner.ready.len() + inner.unacked.len()) as u64;
+                inner.refused += 1;
                 inner.ready.clear();
                 inner.unacked.clear();
                 inner.state = QueueState::Decommissioned;
@@ -128,6 +156,8 @@ impl Queue {
         let hit = inner.unacked.remove(&tag).is_some();
         if hit {
             inner.acked += 1;
+        } else {
+            inner.spurious_acks += 1;
         }
         hit
     }
@@ -137,13 +167,34 @@ impl Queue {
         let mut inner = self.inner.lock();
         if let Some(mut delivery) = inner.unacked.remove(&tag) {
             delivery.redelivered = true;
+            inner.redelivered += 1;
             inner.ready.push_front(delivery);
             drop(inner);
             self.ready_cv.notify_one();
             true
         } else {
+            inner.spurious_nacks += 1;
             false
         }
+    }
+
+    /// Moves an unacked delivery to the dead-letter store. The message
+    /// leaves the delivery path but stays inspectable; the caller is
+    /// expected to account for it (it is consumed, like an ack).
+    pub(crate) fn dead_letter(&self, tag: u64) -> bool {
+        let mut inner = self.inner.lock();
+        if let Some(delivery) = inner.unacked.remove(&tag) {
+            inner.dead.push(delivery);
+            inner.dead_lettered += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Snapshot of the dead-letter store.
+    pub(crate) fn dead_letters(&self) -> Vec<Delivery> {
+        self.inner.lock().dead.clone()
     }
 
     /// Requeues all unacked deliveries (broker restart semantics).
@@ -151,6 +202,7 @@ impl Queue {
         let mut inner = self.inner.lock();
         let mut unacked: Vec<Delivery> = inner.unacked.drain().map(|(_, d)| d).collect();
         unacked.sort_by_key(|d| d.tag);
+        inner.redelivered += unacked.len() as u64;
         for mut d in unacked.into_iter().rev() {
             d.redelivered = true;
             inner.ready.push_front(d);
@@ -160,9 +212,11 @@ impl Queue {
     }
 
     /// Resets a decommissioned queue to empty active state (the subscriber
-    /// rejoining after a partial bootstrap).
+    /// rejoining after a partial bootstrap). The dead-letter store survives:
+    /// it is an audit log, not backlog.
     pub(crate) fn reinstate(&self) {
         let mut inner = self.inner.lock();
+        inner.discarded += (inner.ready.len() + inner.unacked.len()) as u64;
         inner.ready.clear();
         inner.unacked.clear();
         inner.state = QueueState::Active;

@@ -4,6 +4,66 @@ use crate::deps::DepSpace;
 use crate::semantics::DeliveryMode;
 use std::time::Duration;
 
+/// Retry/backoff policy for transient failures across the replication
+/// pipeline (broker publishes, subscriber processing).
+///
+/// Backoff is exponential with *deterministic* jitter: the delay for
+/// attempt `k` is a pure function of `(policy, k)`, derived from
+/// `jitter_seed` through splitmix64, so two runs with the same
+/// configuration retry on identical schedules. The §6.5 postmortem is the
+/// motivation for bounding attempts at all: unbounded redelivery of a
+/// poisoned message wedges the queue forever, so after `max_attempts` the
+/// pipeline routes the delivery to the dead-letter store instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per unit of work, first try included. A subscriber that
+    /// exhausts this dead-letters the delivery; a publisher leaves the
+    /// payload journaled for [`recover`](crate::publisher::Publisher::recover).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each further attempt.
+    pub base_backoff: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic backoff before retrying after failed attempt
+    /// `attempt` (1-based): `base · 2^(attempt-1)`, capped at 64·base,
+    /// plus up to 50% seeded jitter.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(6));
+        let span = (exp.as_micros() as u64 / 2).max(1);
+        let jitter = splitmix64(self.jitter_seed ^ u64::from(attempt)) % span;
+        exp + Duration::from_micros(jitter)
+    }
+
+    /// Whether `attempts` failures exhaust the policy.
+    pub fn exhausted(&self, attempts: u32) -> bool {
+        attempts >= self.max_attempts
+    }
+}
+
+/// splitmix64 — the same mixer the fault plane uses; duplicated here so
+/// the core crate stays independent of the test-support crates.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Configuration of one service's Synapse runtime.
 #[derive(Debug, Clone)]
 pub struct SynapseConfig {
@@ -30,6 +90,9 @@ pub struct SynapseConfig {
     pub subscriber_workers: usize,
     /// Queue backlog cap before decommission (§4.4); `None` = unbounded.
     pub queue_max_len: Option<usize>,
+    /// Retry/backoff policy for transient failures (broker publishes,
+    /// subscriber processing); exhaustion dead-letters or journals.
+    pub retry: RetryPolicy,
 }
 
 impl SynapseConfig {
@@ -44,6 +107,7 @@ impl SynapseConfig {
             dep_wait_timeout: Some(Duration::from_secs(10)),
             subscriber_workers: 2,
             queue_max_len: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -89,6 +153,12 @@ impl SynapseConfig {
         self.queue_max_len = Some(cap);
         self
     }
+
+    /// Sets the retry/backoff policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +171,22 @@ mod tests {
         assert_eq!(c.publisher_mode, DeliveryMode::Causal);
         assert_eq!(c.subscriber_mode, DeliveryMode::Causal);
         assert!(c.queue_max_len.is_none());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let policy = RetryPolicy::default();
+        for attempt in 1..10 {
+            assert_eq!(policy.backoff(attempt), policy.backoff(attempt));
+        }
+        assert!(policy.backoff(2) >= policy.backoff(1));
+        // The exponent caps at 64·base even for huge attempt numbers.
+        assert!(policy.backoff(60) < policy.base_backoff * 129);
+        let other = RetryPolicy {
+            jitter_seed: 999,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(policy.backoff(1), other.backoff(1));
     }
 
     #[test]

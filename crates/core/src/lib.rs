@@ -43,11 +43,12 @@ pub mod subscriber;
 pub mod testing;
 
 pub use api::{Publication, Subscription};
-pub use config::SynapseConfig;
+pub use config::{RetryPolicy, SynapseConfig};
 pub use context::{add_read_deps, add_write_deps, in_scope, with_scope, with_user_scope};
 pub use deps::{DepName, DepSpace};
 pub use message::{Operation, WriteMessage};
 pub use migration::{check_migration, MigrationStep};
-pub use node::{Ecosystem, SynapseNode};
+pub use node::{Ecosystem, NodeStats, SynapseNode};
 pub use semantics::DeliveryMode;
 pub use stats::ControllerStats;
+pub use subscriber::ProcessError;

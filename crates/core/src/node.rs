@@ -8,9 +8,10 @@ use crate::semantics::DeliveryMode;
 use crate::subscriber::{Subscriber, SubscriberStats};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use synapse_broker::{Broker, QueueConfig, QueueState};
+use synapse_broker::{Broker, Delivery, QueueConfig, QueueState};
 use synapse_orm::{Adapter, Orm, OrmError};
 use synapse_versionstore::{GenerationStore, VersionStore};
 
@@ -28,6 +29,26 @@ pub struct SynapseNode {
     publisher: Arc<Publisher>,
     subscriber: Arc<Subscriber>,
     publisher_modes: Arc<RwLock<HashMap<String, DeliveryMode>>>,
+    /// Completed (re-)bootstraps — the recovery counter of §4.4.
+    bootstraps: AtomicU64,
+}
+
+/// One node's counters across the whole pipeline, aggregated for fault
+/// accounting: everything a soak test needs to prove zero silent loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Publisher-side counters (publishes, retries, journal exhaustions,
+    /// generation bumps).
+    pub publisher: PublisherStats,
+    /// Subscriber-side counters (processed, retries, redeliveries,
+    /// dead-lettered, poison).
+    pub subscriber: SubscriberStats,
+    /// Payloads journaled but not yet confirmed at the broker.
+    pub journaled: usize,
+    /// Deliveries in this node's dead-letter store.
+    pub dead_lettered: usize,
+    /// Completed (re-)bootstraps.
+    pub bootstraps: u64,
 }
 
 impl SynapseNode {
@@ -60,6 +81,7 @@ impl SynapseNode {
             generations.clone(),
             publications.clone(),
             subscriptions.clone(),
+            config.retry,
         ));
         orm.observe(publisher.clone());
 
@@ -84,6 +106,7 @@ impl SynapseNode {
             publisher,
             subscriber,
             publisher_modes,
+            bootstraps: AtomicU64::new(0),
         })
     }
 
@@ -238,6 +261,23 @@ impl SynapseNode {
         self.subscriber.stats()
     }
 
+    /// Aggregated pipeline counters for fault accounting.
+    pub fn stats(&self) -> NodeStats {
+        NodeStats {
+            publisher: self.publisher.stats(),
+            subscriber: self.subscriber.stats(),
+            journaled: self.publisher.journal_len(),
+            dead_lettered: self.broker.dead_letter_len(self.app()).unwrap_or(0),
+            bootstraps: self.bootstraps.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of this node's dead-letter store (consumed-but-unapplied
+    /// deliveries, §6.5 hardening).
+    pub fn dead_letters(&self) -> Vec<Delivery> {
+        self.broker.dead_letters(self.app()).unwrap_or_default()
+    }
+
     /// Whether this node's queue has been decommissioned (§4.4).
     pub fn is_decommissioned(&self) -> bool {
         self.broker.queue_state(self.app()) == Some(QueueState::Decommissioned)
@@ -302,6 +342,7 @@ impl SynapseNode {
         let drained = self.subscriber.drain(Duration::from_secs(30));
         self.orm.set_bootstrap(false);
         if drained {
+            self.bootstraps.fetch_add(1, Ordering::Relaxed);
             Ok(())
         } else {
             Err(OrmError::Restriction(

@@ -25,6 +25,7 @@
 //! imported attributes (decorations remain writable).
 
 use crate::api::{Publication, Subscription};
+use crate::config::RetryPolicy;
 use crate::context::{self, TxBuffer};
 use crate::deps::{DepName, DepSpace};
 use crate::message::{now_micros, Operation, WriteMessage};
@@ -94,6 +95,11 @@ pub struct PublisherStats {
     pub operations: u64,
     /// Generation bumps after a version-store loss.
     pub generation_bumps: u64,
+    /// Individual broker publish attempts that failed transiently.
+    pub publish_retries: u64,
+    /// Publishes abandoned after exhausting the retry policy; the payload
+    /// stays journaled for [`Publisher::recover`].
+    pub publish_failures: u64,
 }
 
 /// The publisher runtime for one service. See the module docs.
@@ -116,9 +122,12 @@ pub struct Publisher {
     /// Failure injection: while set, payloads stay journaled instead of
     /// reaching the broker (a crash between DB commit and publication).
     fail_publish: AtomicBool,
+    retry: RetryPolicy,
     messages_published: AtomicU64,
     operations: AtomicU64,
     generation_bumps: AtomicU64,
+    publish_retries: AtomicU64,
+    publish_failures: AtomicU64,
 }
 
 impl Publisher {
@@ -134,6 +143,7 @@ impl Publisher {
         generations: GenerationStore,
         publications: Arc<RwLock<BTreeMap<String, Publication>>>,
         subscriptions: Arc<RwLock<Vec<Subscription>>>,
+        retry: RetryPolicy,
     ) -> Self {
         Publisher {
             app,
@@ -149,9 +159,12 @@ impl Publisher {
             journal: Mutex::new(BTreeMap::new()),
             journal_seq: AtomicU64::new(0),
             fail_publish: AtomicBool::new(false),
+            retry,
             messages_published: AtomicU64::new(0),
             operations: AtomicU64::new(0),
             generation_bumps: AtomicU64::new(0),
+            publish_retries: AtomicU64::new(0),
+            publish_failures: AtomicU64::new(0),
         }
     }
 
@@ -166,6 +179,8 @@ impl Publisher {
             messages_published: self.messages_published.load(Ordering::Relaxed),
             operations: self.operations.load(Ordering::Relaxed),
             generation_bumps: self.generation_bumps.load(Ordering::Relaxed),
+            publish_retries: self.publish_retries.load(Ordering::Relaxed),
+            publish_failures: self.publish_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -181,17 +196,39 @@ impl Publisher {
         self.journal.lock().len()
     }
 
-    /// Re-publishes every journaled payload (crash recovery).
+    /// Re-publishes every journaled payload (crash recovery). Payloads the
+    /// broker still refuses after the retry policy stay journaled, so
+    /// `recover` can be called again later without losing anything.
     pub fn recover(&self) {
         let pending: Vec<(u64, String)> = {
             let journal = self.journal.lock();
             journal.iter().map(|(k, v)| (*k, v.clone())).collect()
         };
         for (seq, payload) in pending {
-            self.broker.publish(&self.app, &payload);
-            self.messages_published.fetch_add(1, Ordering::Relaxed);
-            self.journal.lock().remove(&seq);
+            if self.send_with_retry(&payload) {
+                self.messages_published.fetch_add(1, Ordering::Relaxed);
+                self.journal.lock().remove(&seq);
+            }
         }
+    }
+
+    /// Hands one payload to the broker under the retry policy; counts
+    /// every transiently failed attempt and the final exhaustion. Returns
+    /// whether the broker accepted it.
+    fn send_with_retry(&self, payload: &str) -> bool {
+        for attempt in 1..=self.retry.max_attempts.max(1) {
+            match self.broker.publish(&self.app, payload) {
+                Ok(()) => return true,
+                Err(_) => {
+                    self.publish_retries.fetch_add(1, Ordering::Relaxed);
+                    if !self.retry.exhausted(attempt) {
+                        std::thread::sleep(self.retry.backoff(attempt));
+                    }
+                }
+            }
+        }
+        self.publish_failures.fetch_add(1, Ordering::Relaxed);
+        false
     }
 
     fn subscription_for(&self, model: &str) -> Option<Subscription> {
@@ -404,9 +441,14 @@ impl Publisher {
             // Simulated crash window: the journal retains the payload.
             return;
         }
-        self.broker.publish(&self.app, &payload);
-        self.messages_published.fetch_add(1, Ordering::Relaxed);
-        self.journal.lock().remove(&seq);
+        // §4.2's 2PC tail: the payload leaves the journal only once the
+        // broker confirms it. Exhausted retries leave it journaled — the
+        // version bump already happened, so dropping the payload here
+        // would silently lose the write (§6.5's root failure mode).
+        if self.send_with_retry(&payload) {
+            self.messages_published.fetch_add(1, Ordering::Relaxed);
+            self.journal.lock().remove(&seq);
+        }
     }
 
     /// Flushes a transaction buffer as a single combined message.

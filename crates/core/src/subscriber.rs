@@ -24,21 +24,49 @@
 //! timeout"). Weak mode behaves as timeout 0.
 
 use crate::api::Subscription;
-use crate::config::SynapseConfig;
+use crate::config::{RetryPolicy, SynapseConfig};
 use crate::context;
 use crate::deps::{DepName, DepSpace};
 use crate::message::{Operation, WriteMessage};
 use crate::semantics::DeliveryMode;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use synapse_broker::{Broker, Consumer, Delivery};
+use synapse_db::DbError;
 use synapse_model::{Record, Value};
 use synapse_orm::{CallbackPoint, Orm, OrmError};
 use synapse_versionstore::{StoreError, VersionStore, WaitOutcome};
+
+/// Why one processing attempt failed — the classification that decides
+/// between redelivery and the dead-letter store.
+///
+/// *Transient* failures (dead version store, db briefly unavailable,
+/// worker stopping) are expected to succeed on a later attempt, so the
+/// delivery is nacked back to the queue with backoff. *Poison* failures
+/// (undecodable payload, schema violation, panicking callback) will fail
+/// identically forever; redelivering them is the §6.5 wedge, so they go
+/// to the dead-letter store after releasing their version-store deps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcessError {
+    /// Retryable: nack with backoff, bounded by the retry policy.
+    Transient(String),
+    /// Deterministic: dead-letter immediately.
+    Poison(String),
+}
+
+impl std::fmt::Display for ProcessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcessError::Transient(m) => write!(f, "transient: {m}"),
+            ProcessError::Poison(m) => write!(f, "poison: {m}"),
+        }
+    }
+}
 
 /// Subscriber counters.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -51,10 +79,20 @@ pub struct SubscriberStats {
     pub ops_stale: u64,
     /// Dependency waits that timed out (processing proceeded anyway).
     pub dep_timeouts: u64,
-    /// Messages that failed to decode or apply.
+    /// Messages that failed to decode or apply (transient or poison).
     pub errors: u64,
     /// Generation barriers executed.
     pub generation_flushes: u64,
+    /// Transient failures that led to a backoff + nack.
+    pub retries: u64,
+    /// Deliveries popped with the broker's redelivered flag set.
+    pub redeliveries: u64,
+    /// Deliveries routed to the dead-letter store (poison + exhausted).
+    pub dead_lettered: u64,
+    /// Poison failures (undecodable, deterministic apply error, panic).
+    pub poison_messages: u64,
+    /// Transient failures that exhausted the retry policy.
+    pub retries_exhausted: u64,
 }
 
 #[derive(Default)]
@@ -65,6 +103,11 @@ struct Counters {
     dep_timeouts: AtomicU64,
     errors: AtomicU64,
     generation_flushes: AtomicU64,
+    retries: AtomicU64,
+    redeliveries: AtomicU64,
+    dead_lettered: AtomicU64,
+    poison_messages: AtomicU64,
+    retries_exhausted: AtomicU64,
 }
 
 /// The subscriber runtime for one service. See the module docs.
@@ -87,6 +130,11 @@ pub struct Subscriber {
     stop: Arc<AtomicBool>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     counters: Counters,
+    retry: RetryPolicy,
+    /// Transient-failure attempts per in-flight delivery tag; cleared on
+    /// ack or dead-letter. Redeliveries keep their tag, so this survives
+    /// nack round-trips.
+    attempts: Mutex<HashMap<u64, u32>>,
 }
 
 impl Subscriber {
@@ -114,6 +162,8 @@ impl Subscriber {
             stop: Arc::new(AtomicBool::new(false)),
             workers: Mutex::new(Vec::new()),
             counters: Counters::default(),
+            retry: config.retry,
+            attempts: Mutex::new(HashMap::new()),
         }
     }
 
@@ -126,6 +176,11 @@ impl Subscriber {
             dep_timeouts: self.counters.dep_timeouts.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
             generation_flushes: self.counters.generation_flushes.load(Ordering::Relaxed),
+            retries: self.counters.retries.load(Ordering::Relaxed),
+            redeliveries: self.counters.redeliveries.load(Ordering::Relaxed),
+            dead_lettered: self.counters.dead_lettered.load(Ordering::Relaxed),
+            poison_messages: self.counters.poison_messages.load(Ordering::Relaxed),
+            retries_exhausted: self.counters.retries_exhausted.load(Ordering::Relaxed),
         }
     }
 
@@ -174,19 +229,50 @@ impl Subscriber {
         while !self.stop.load(Ordering::SeqCst) {
             match consumer.pop(Duration::from_millis(50)) {
                 Some(delivery) => {
-                    match self.process(&delivery) {
+                    if delivery.redelivered {
+                        self.counters.redeliveries.fetch_add(1, Ordering::Relaxed);
+                    }
+                    match self.process_classified(&delivery) {
                         Ok(()) => {
+                            consumer.ack(delivery.tag);
+                            self.attempts.lock().remove(&delivery.tag);
                             self.counters
                                 .messages_processed
                                 .fetch_add(1, Ordering::Relaxed);
                         }
-                        Err(_) => {
+                        Err(ProcessError::Poison(_)) => {
+                            // Deterministic failure: redelivering would
+                            // wedge the queue (§6.5) — dead-letter now.
                             self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                            self.counters.poison_messages.fetch_add(1, Ordering::Relaxed);
+                            self.dead_letter(&consumer, &delivery);
+                        }
+                        Err(ProcessError::Transient(_)) => {
+                            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                            if self.stop.load(Ordering::SeqCst) {
+                                // Shutting down: requeue without charging
+                                // an attempt, so restarts never push an
+                                // innocent message toward the dead-letter
+                                // store.
+                                consumer.nack(delivery.tag);
+                                continue;
+                            }
+                            let attempts = {
+                                let mut map = self.attempts.lock();
+                                let entry = map.entry(delivery.tag).or_insert(0);
+                                *entry += 1;
+                                *entry
+                            };
+                            if self.retry.exhausted(attempts) {
+                                self.counters.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+                                self.dead_letter(&consumer, &delivery);
+                            } else {
+                                self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(self.retry.backoff(attempts));
+                                consumer.nack(delivery.tag);
+                            }
                         }
                     }
-                    // Either way the message is consumed; redelivery of a
-                    // poisoned message would wedge the queue.
-                    consumer.ack(delivery.tag);
                 }
                 None => {
                     // Timed out or decommissioned; re-check the stop flag.
@@ -197,36 +283,78 @@ impl Subscriber {
         }
     }
 
-    /// Processes one delivery end to end.
+    /// Routes one delivery to the dead-letter store, releasing its
+    /// version-store dependencies first so downstream messages don't
+    /// deadlock on a message that will never be applied. Undecodable
+    /// payloads cannot release anything — under strict causal mode that
+    /// residue is exactly the paper's §6.5 wedge, and the way out remains
+    /// decommission + partial bootstrap.
+    fn dead_letter(&self, consumer: &Consumer, delivery: &Delivery) {
+        if let Ok(msg) = WriteMessage::decode(&delivery.payload) {
+            let _ = self.store.apply(&msg.dep_keys());
+        }
+        consumer.dead_letter(delivery.tag);
+        self.attempts.lock().remove(&delivery.tag);
+        self.counters.dead_lettered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Processes one delivery end to end (untyped error; see
+    /// [`Subscriber::process_classified`] for the retry/dead-letter
+    /// classification the worker loop uses).
     pub fn process(&self, delivery: &Delivery) -> Result<(), String> {
-        let msg = WriteMessage::decode(&delivery.payload).map_err(|e| e.to_string())?;
-        self.generation_gate(&msg)?;
+        self.process_classified(delivery).map_err(|e| e.to_string())
+    }
+
+    /// Processes one delivery end to end, classifying failures as
+    /// transient (retryable) or poison (dead-letter).
+    pub fn process_classified(&self, delivery: &Delivery) -> Result<(), ProcessError> {
+        let msg = WriteMessage::decode(&delivery.payload)
+            .map_err(|e| ProcessError::Poison(format!("undecodable payload: {e}")))?;
+        self.generation_gate(&msg)
+            .map_err(ProcessError::Transient)?;
         let _in_flight = self.gen_barrier.read();
         let mode = self.effective_mode(&msg.app);
         match mode {
             DeliveryMode::Causal | DeliveryMode::Global => {
-                self.wait_dependencies(&msg, mode)?;
+                self.wait_dependencies(&msg, mode)
+                    .map_err(ProcessError::Transient)?;
             }
             DeliveryMode::Weak => {}
         }
         // Application runs inside its own causal scope (like a background
         // job, §4.2) so that reads made by decorator callbacks become
-        // external dependencies of anything those callbacks publish.
-        let (result, _scope_stats) = context::with_scope(|| {
-            context::with_replication_flag(|| {
-                for op in &msg.operations {
-                    self.apply_op(&msg, op, mode).map_err(|e| e.to_string())?;
-                }
-                Ok::<(), String>(())
+        // external dependencies of anything those callbacks publish. A
+        // panicking subscription callback is caught and treated as poison:
+        // it would panic identically on every redelivery.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            context::with_scope(|| {
+                context::with_replication_flag(|| {
+                    for op in &msg.operations {
+                        self.apply_op(&msg, op, mode)?;
+                    }
+                    Ok::<(), OrmError>(())
+                })
             })
-        });
-        // The version store advances even when application failed: the
-        // message is consumed either way, and downstream messages must not
-        // deadlock on it.
+            .0
+        }));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => return Err(classify_apply_error(e)),
+            Err(panic) => {
+                return Err(ProcessError::Poison(format!(
+                    "subscription callback panicked: {}",
+                    panic_message(panic.as_ref())
+                )));
+            }
+        }
+        // Advance the version store only after successful application: a
+        // transient failure must leave versions untouched so the redelivery
+        // reprocesses from scratch (applies are idempotent upserts). Dep
+        // release for dead-lettered messages happens exactly once, in
+        // [`Subscriber::dead_letter`].
         self.store
             .apply(&msg.dep_keys())
-            .map_err(|e| e.to_string())?;
-        result
+            .map_err(|e| ProcessError::Transient(e.to_string()))
     }
 
     /// The effective delivery mode for messages from `pub_app` (§3.2).
@@ -329,7 +457,9 @@ impl Subscriber {
                     self.counters.ops_stale.fetch_add(1, Ordering::Relaxed);
                     return Ok(());
                 }
-                Err(_) => return Err(OrmError::Restriction("version store dead".into())),
+                // A dead store is transient (revival or bootstrap heals
+                // it); surface it as the transient db error class.
+                Err(_) => return Err(OrmError::Db(DbError::Unavailable)),
             }
         }
         for sub in matching {
@@ -416,6 +546,28 @@ impl Subscriber {
                 let _ = self.apply_op(&fake_msg, &op, DeliveryMode::Weak);
             }
         });
+    }
+}
+
+/// Classifies an application-layer failure: a briefly unavailable engine
+/// (injected fault, dead store) is transient; everything else — schema
+/// violations, callback aborts, ownership restrictions — is deterministic
+/// and poisons the delivery.
+fn classify_apply_error(e: OrmError) -> ProcessError {
+    match e {
+        OrmError::Db(DbError::Unavailable) => ProcessError::Transient(e.to_string()),
+        other => ProcessError::Poison(other.to_string()),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
     }
 }
 

@@ -31,6 +31,7 @@ pub mod document;
 pub mod engine;
 pub mod ephemeral;
 pub mod error;
+pub mod faults;
 pub mod graph;
 pub mod latency;
 pub mod profiles;
@@ -40,5 +41,6 @@ pub mod search;
 
 pub use engine::{Capabilities, Engine, EngineKind, EngineStats, TxnId};
 pub use error::DbError;
+pub use faults::{DbFaultStats, DbFaults};
 pub use latency::{LatencyMode, LatencyModel};
 pub use query::{Filter, Query, QueryResult, Row};

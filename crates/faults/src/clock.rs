@@ -1,0 +1,47 @@
+//! Logical clock driving fault schedules.
+//!
+//! Fault plans fire on *logical ticks*, not wall-clock time: the soak
+//! driver ticks the clock once per unit of work (one publish, one apply),
+//! so a plan event at tick 37 always lands between the same two operations
+//! regardless of scheduler timing. This is what makes injected-fault
+//! counters reproducible across runs of the same seed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared monotonically increasing tick counter; clones share state.
+#[derive(Debug, Clone, Default)]
+pub struct FaultClock {
+    ticks: Arc<AtomicU64>,
+}
+
+impl FaultClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by one tick and returns the new tick value.
+    pub fn tick(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Current tick without advancing.
+    pub fn now(&self) -> u64 {
+        self.ticks.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_monotonic_and_shared() {
+        let clock = FaultClock::new();
+        let other = clock.clone();
+        assert_eq!(clock.now(), 0);
+        assert_eq!(clock.tick(), 1);
+        assert_eq!(other.tick(), 2);
+        assert_eq!(clock.now(), 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic fault-injection plane for the Synapse reproduction.
+//!
+//! The paper's §6.5 postmortem describes a production incident where a
+//! dead dependency wedged the whole replication pipeline. Reproducing
+//! that class of failure — and proving the hardening that prevents it —
+//! requires injecting faults *deterministically*: the same seed must
+//! produce the same schedule of broker drops, publish failures, restarts,
+//! shard kills, and database errors on every run, so that counter totals
+//! can be asserted exactly.
+//!
+//! The plane has four pieces:
+//!
+//! * [`SeededRng`] — a splitmix64 stream; the only source of randomness.
+//! * [`FaultClock`] — a logical tick counter advanced by the test driver
+//!   once per unit of work, replacing wall-clock time.
+//! * [`FaultPlan`] — a seeded schedule of [`FaultEvent`]s pinned to
+//!   ticks; generated plans pair every shard kill with a later revive so
+//!   the system always has a path out of the §6.5 wedge.
+//! * [`Injector`] — dispatches due events onto live broker /
+//!   version-store / db handles and keeps deterministic
+//!   [`InjectorStats`].
+//!
+//! Everything here is countdown-based ("fail the next n writes"), never
+//! probabilistic at the substrate: probability lives only in plan
+//! generation, where it is pinned by the seed.
+
+pub mod clock;
+pub mod injector;
+pub mod plan;
+pub mod rng;
+
+pub use clock::FaultClock;
+pub use injector::{Injector, InjectorStats};
+pub use plan::{FaultEvent, FaultKind, FaultPlan, FaultSpec, Side};
+pub use rng::SeededRng;

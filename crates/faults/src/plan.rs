@@ -1,0 +1,265 @@
+//! Seeded fault schedules.
+//!
+//! A [`FaultPlan`] is an ordered list of [`FaultEvent`]s, each pinned to a
+//! logical tick of a [`FaultClock`](crate::FaultClock). Plans are either
+//! hand-written ([`FaultPlan::from_events`]) or generated from a seed and a
+//! [`FaultSpec`] ([`FaultPlan::generate`]); generation is a pure function
+//! of `(seed, spec)`, so the same pair always yields the same schedule.
+//!
+//! Generated plans are *recoverable by construction*: every
+//! [`FaultKind::KillShard`] is paired with a [`FaultKind::ReviveShards`]
+//! scheduled strictly later, mirroring the paper's §6.5 postmortem — the
+//! incident wedged because the system had no automatic path back from a
+//! dead dependency, and the reproduction must always be able to exercise
+//! that path.
+
+use crate::rng::SeededRng;
+
+/// Which side of the pub/sub pair a fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    Publisher,
+    Subscriber,
+}
+
+impl Side {
+    /// Stable array index for per-side lookup tables.
+    pub fn index(self) -> usize {
+        match self {
+            Side::Publisher => 0,
+            Side::Subscriber => 1,
+        }
+    }
+}
+
+/// One injectable fault. Countdown faults (`n`, `ops`) arm the next so
+/// many operations rather than firing probabilistically, keeping
+/// injection counts deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Broker silently drops the next `n` deliveries to the target queue
+    /// (lost-message fault; §4.2's at-least-once machinery must re-cover).
+    DropMessages { n: u64 },
+    /// Broker refuses the next `n` publishes with a transient error
+    /// (publisher must retry against its journal).
+    PublishFailures { n: u64 },
+    /// Broker restart: all unacked deliveries return to ready state and
+    /// are redelivered (at-least-once redelivery storm).
+    BrokerRestart,
+    /// Kill one version-store shard on the given side (§6.5-style
+    /// dependency-store death; blocked waiters wake with an error).
+    KillShard { side: Side, shard: usize },
+    /// Revive all dead shards on the given side.
+    ReviveShards { side: Side },
+    /// Fail the next `n` database writes on the given side with a
+    /// transient `Unavailable` error.
+    DbWriteErrors { side: Side, n: u64 },
+    /// Delay the next `ops` database writes on the given side by
+    /// `micros` each.
+    DbLatencySpike { side: Side, ops: u64, micros: u64 },
+}
+
+/// A fault pinned to a logical tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub at_tick: u64,
+    pub kind: FaultKind,
+}
+
+/// Shape parameters for generated plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Ticks covered by the plan; events land in `[1, horizon]`.
+    pub horizon: u64,
+    /// Number of primary events to generate (paired revives come extra).
+    pub events: usize,
+    /// Shard count of the targeted version stores.
+    pub shards: usize,
+    /// Maximum countdown for burst faults (drops, publish failures,
+    /// write errors, spikes).
+    pub max_burst: u64,
+    /// Extra latency charged per spiked operation, in microseconds.
+    pub spike_micros: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self {
+            horizon: 1_000,
+            events: 32,
+            shards: 4,
+            max_burst: 3,
+            spike_micros: 200,
+        }
+    }
+}
+
+/// An ordered, consumable schedule of fault events.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+    cursor: usize,
+}
+
+impl FaultPlan {
+    /// Generates a plan as a pure function of `(seed, spec)`.
+    pub fn generate(seed: u64, spec: &FaultSpec) -> Self {
+        let mut rng = SeededRng::new(seed);
+        let mut events = Vec::with_capacity(spec.events * 2);
+        for _ in 0..spec.events {
+            let at_tick = rng.gen_range(1, spec.horizon + 1);
+            let kind = match rng.gen_below(7) {
+                0 => FaultKind::DropMessages {
+                    n: rng.gen_range(1, spec.max_burst + 1),
+                },
+                1 => FaultKind::PublishFailures {
+                    n: rng.gen_range(1, spec.max_burst + 1),
+                },
+                2 => FaultKind::BrokerRestart,
+                3 => {
+                    let side = pick_side(&mut rng);
+                    let shard = rng.gen_below(spec.shards.max(1) as u64) as usize;
+                    FaultKind::KillShard { side, shard }
+                }
+                4 => FaultKind::ReviveShards {
+                    side: pick_side(&mut rng),
+                },
+                5 => FaultKind::DbWriteErrors {
+                    side: pick_side(&mut rng),
+                    n: rng.gen_range(1, spec.max_burst + 1),
+                },
+                _ => FaultKind::DbLatencySpike {
+                    side: pick_side(&mut rng),
+                    ops: rng.gen_range(1, spec.max_burst + 1),
+                    micros: spec.spike_micros,
+                },
+            };
+            events.push(FaultEvent { at_tick, kind });
+            // Recoverability invariant: every kill is followed by a revive
+            // strictly later in the schedule (possibly past the horizon).
+            if let FaultKind::KillShard { side, .. } = kind {
+                let delay = rng.gen_range(1, (spec.horizon / 8).max(2));
+                events.push(FaultEvent {
+                    at_tick: at_tick + delay,
+                    kind: FaultKind::ReviveShards { side },
+                });
+            }
+        }
+        Self::sorted(seed, events)
+    }
+
+    /// Builds a plan from explicit events (sorted by tick, stable).
+    pub fn from_events(events: Vec<FaultEvent>) -> Self {
+        Self::sorted(0, events)
+    }
+
+    fn sorted(seed: u64, mut events: Vec<FaultEvent>) -> Self {
+        // Stable sort keeps same-tick events in insertion order, which is
+        // part of the determinism contract.
+        events.sort_by_key(|e| e.at_tick);
+        Self {
+            seed,
+            events,
+            cursor: 0,
+        }
+    }
+
+    /// Seed the plan was generated from (0 for hand-written plans).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// All events, in firing order (including already-consumed ones).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Events not yet consumed by [`FaultPlan::take_due`].
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// Consumes and returns every event scheduled at or before `tick`.
+    pub fn take_due(&mut self, tick: u64) -> Vec<FaultEvent> {
+        let start = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].at_tick <= tick {
+            self.cursor += 1;
+        }
+        self.events[start..self.cursor].to_vec()
+    }
+}
+
+fn pick_side(rng: &mut SeededRng) -> Side {
+    if rng.gen_ratio(1, 2) {
+        Side::Publisher
+    } else {
+        Side::Subscriber
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = FaultSpec::default();
+        let a = FaultPlan::generate(0xFEED, &spec);
+        let b = FaultPlan::generate(0xFEED, &spec);
+        assert_eq!(a.events(), b.events());
+        assert!(!a.events().is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = FaultSpec::default();
+        let a = FaultPlan::generate(1, &spec);
+        let b = FaultPlan::generate(2, &spec);
+        assert_ne!(a.events(), b.events());
+    }
+
+    #[test]
+    fn every_kill_has_a_later_revive_on_the_same_side() {
+        let spec = FaultSpec {
+            events: 64,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::generate(0xC0FFEE, &spec);
+        for (i, event) in plan.events().iter().enumerate() {
+            if let FaultKind::KillShard { side, .. } = event.kind {
+                let healed = plan.events()[i..].iter().any(|later| {
+                    later.at_tick > event.at_tick
+                        && later.kind == FaultKind::ReviveShards { side }
+                });
+                assert!(healed, "kill at tick {} never revived", event.at_tick);
+            }
+        }
+    }
+
+    #[test]
+    fn take_due_drains_in_order_without_replay() {
+        let mut plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                at_tick: 5,
+                kind: FaultKind::BrokerRestart,
+            },
+            FaultEvent {
+                at_tick: 2,
+                kind: FaultKind::DropMessages { n: 1 },
+            },
+            FaultEvent {
+                at_tick: 9,
+                kind: FaultKind::PublishFailures { n: 2 },
+            },
+        ]);
+        assert_eq!(plan.take_due(1), vec![]);
+        let due = plan.take_due(5);
+        assert_eq!(due.len(), 2);
+        assert_eq!(due[0].at_tick, 2);
+        assert_eq!(due[1].at_tick, 5);
+        assert_eq!(plan.take_due(5), vec![]);
+        assert_eq!(plan.remaining(), 1);
+        assert_eq!(plan.take_due(100).len(), 1);
+    }
+}

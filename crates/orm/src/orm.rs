@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use synapse_db::query::OrderBy;
-use synapse_db::{EngineStats, Filter};
+use synapse_db::{DbFaults, EngineStats, Filter};
 use synapse_model::{
     AssociationKind, Id, IdGenerator, ModelSchema, Record, SchemaSet, Value,
 };
@@ -45,6 +45,7 @@ pub struct Orm {
     observers: RwLock<Vec<Arc<dyn QueryObserver>>>,
     idgens: Mutex<HashMap<String, Arc<IdGenerator>>>,
     bootstrap: AtomicBool,
+    faults: DbFaults,
 }
 
 impl Orm {
@@ -59,7 +60,15 @@ impl Orm {
             observers: RwLock::new(Vec::new()),
             idgens: Mutex::new(HashMap::new()),
             bootstrap: AtomicBool::new(false),
+            faults: DbFaults::new(),
         }
+    }
+
+    /// Arming panel for db-level fault injection on this ORM's write path.
+    /// The returned handle shares state with the ORM; see
+    /// [`synapse_db::DbFaults`].
+    pub fn db_faults(&self) -> DbFaults {
+        self.faults.clone()
     }
 
     /// The owning application's name.
@@ -175,6 +184,10 @@ impl Orm {
         intent: &WriteIntent,
         exec: &mut WriteExec<'_>,
     ) -> Result<Record, OrmError> {
+        // Fault gate first: an injected transient error fails the write
+        // before any observer runs, so no version bump or publication
+        // happens for a write the database refused.
+        self.faults.gate_write()?;
         let observers: Vec<Arc<dyn QueryObserver>> = self.observers.read().clone();
         self.run_write_chain(&observers, intent, exec)
     }
@@ -439,6 +452,20 @@ mod tests {
         let a = orm.create("User", vmap! { "name" => "a" }).unwrap();
         let b = orm.create("User", vmap! { "name" => "b" }).unwrap();
         assert!(b.id > a.id);
+    }
+
+    #[test]
+    fn injected_db_fault_fails_one_write_transiently() {
+        use synapse_db::DbError;
+        let orm = mongo_orm();
+        orm.db_faults().inject_write_errors(1);
+        let err = orm.create("User", vmap! { "name" => "a" }).unwrap_err();
+        assert!(matches!(err, OrmError::Db(DbError::Unavailable)));
+        // The fault is transient: the next write goes through, and reads
+        // were never affected.
+        let u = orm.create("User", vmap! { "name" => "a" }).unwrap();
+        assert!(orm.find("User", u.id).unwrap().is_some());
+        assert_eq!(orm.db_faults().stats().write_errors_injected, 1);
     }
 
     #[test]

@@ -57,13 +57,20 @@ struct Entry {
 struct Shard {
     entries: Mutex<HashMap<DepKey, Entry>>,
     changed: Condvar,
+    /// Per-shard kill switch (fault injection): a dead shard loses its
+    /// contents and fails every operation routed to it.
+    dead: AtomicBool,
 }
 
 /// The sharded dependency version store. See the crate docs.
+///
+/// Failure injection operates at shard granularity: [`VersionStore::kill_shard`]
+/// kills one shard (operations touching other shards keep working), while
+/// [`VersionStore::kill`] / [`VersionStore::revive`] retain the historical
+/// whole-store semantics by fanning out over every shard.
 pub struct VersionStore {
     shards: Vec<Arc<Shard>>,
     ring: HashRing,
-    dead: AtomicBool,
 }
 
 impl VersionStore {
@@ -73,7 +80,6 @@ impl VersionStore {
         VersionStore {
             shards: (0..shards).map(|_| Arc::new(Shard::default())).collect(),
             ring,
-            dead: AtomicBool::new(false),
         }
     }
 
@@ -82,33 +88,88 @@ impl VersionStore {
         Self::new(1)
     }
 
+    /// Whole-store operations fail while *any* shard is dead.
     fn check_alive(&self) -> Result<(), StoreError> {
-        if self.dead.load(Ordering::SeqCst) {
+        if self.is_dead() {
             Err(StoreError::Dead)
         } else {
             Ok(())
         }
     }
 
-    /// Kills the store: contents are lost and every operation fails until
-    /// [`VersionStore::revive`].
-    pub fn kill(&self) {
-        self.dead.store(true, Ordering::SeqCst);
-        for shard in &self.shards {
+    /// Key-routed operations fail only when one of *their* shards is dead.
+    fn check_shards_alive(&self, keys: &[DepKey]) -> Result<(), StoreError> {
+        for key in keys {
+            if self.shards[self.ring.route(*key)].dead.load(Ordering::SeqCst) {
+                return Err(StoreError::Dead);
+            }
+        }
+        Ok(())
+    }
+
+    /// Kills one shard: its contents are lost and every operation routed to
+    /// it fails until [`VersionStore::revive_shard`]. Out-of-range indexes
+    /// are ignored.
+    pub fn kill_shard(&self, index: usize) {
+        if let Some(shard) = self.shards.get(index) {
+            shard.dead.store(true, Ordering::SeqCst);
             shard.entries.lock().clear();
             // Wake all waiters so they observe death instead of hanging.
             shard.changed.notify_all();
         }
     }
 
-    /// Revives a killed store, empty.
-    pub fn revive(&self) {
-        self.dead.store(false, Ordering::SeqCst);
+    /// Revives a killed shard, empty. Out-of-range indexes are ignored.
+    pub fn revive_shard(&self, index: usize) {
+        if let Some(shard) = self.shards.get(index) {
+            shard.dead.store(false, Ordering::SeqCst);
+            shard.changed.notify_all();
+        }
     }
 
-    /// Returns `true` while the store is dead.
+    /// Whether one shard is currently dead.
+    pub fn shard_is_dead(&self, index: usize) -> bool {
+        self.shards
+            .get(index)
+            .map(|s| s.dead.load(Ordering::SeqCst))
+            .unwrap_or(false)
+    }
+
+    /// Indexes of all currently-dead shards.
+    pub fn dead_shards(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|i| self.shards[*i].dead.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Shard index a key routes to (for targeted fault injection).
+    pub fn shard_for(&self, key: DepKey) -> usize {
+        self.ring.route(key)
+    }
+
+    /// Kills the whole store (every shard): contents are lost and every
+    /// operation fails until [`VersionStore::revive`].
+    pub fn kill(&self) {
+        for index in 0..self.shards.len() {
+            self.kill_shard(index);
+        }
+    }
+
+    /// Revives every killed shard, empty.
+    pub fn revive(&self) {
+        for index in 0..self.shards.len() {
+            self.revive_shard(index);
+        }
+    }
+
+    /// Returns `true` while any shard is dead. A partially-dead store is
+    /// reported dead because the bump protocol cannot guarantee a complete
+    /// dependency picture (§4.2), and recovery (generation bump + flush or
+    /// bootstrap) is whole-store.
     pub fn is_dead(&self) -> bool {
-        self.dead.load(Ordering::SeqCst)
+        self.shards
+            .iter()
+            .any(|s| s.dead.load(Ordering::SeqCst))
     }
 
     /// Locks every shard touched by `keys` in index order (cross-shard
@@ -129,8 +190,8 @@ impl VersionStore {
     ///
     /// `deps` pairs each key with `is_write`.
     pub fn publish_bump(&self, deps: &[(DepKey, bool)]) -> Result<Vec<(DepKey, u64)>, StoreError> {
-        self.check_alive()?;
         let keys: Vec<DepKey> = deps.iter().map(|(k, _)| *k).collect();
+        self.check_shards_alive(&keys)?;
         let mut guards = self.lock_shards_for(&keys);
         let mut out = Vec::with_capacity(deps.len());
         for (key, is_write) in deps {
@@ -167,7 +228,7 @@ impl VersionStore {
             let shard = &self.shards[self.ring.route(*key)];
             let mut entries = shard.entries.lock();
             loop {
-                if self.dead.load(Ordering::SeqCst) {
+                if shard.dead.load(Ordering::SeqCst) {
                     return Err(StoreError::Dead);
                 }
                 let current = entries.get(key).map(|e| e.ops).unwrap_or(0);
@@ -184,7 +245,8 @@ impl VersionStore {
 
     /// Non-blocking variant of [`VersionStore::wait_for`].
     pub fn satisfied(&self, deps: &[(DepKey, u64)]) -> Result<bool, StoreError> {
-        self.check_alive()?;
+        let keys: Vec<DepKey> = deps.iter().map(|(k, _)| *k).collect();
+        self.check_shards_alive(&keys)?;
         for (key, required) in deps {
             let shard = &self.shards[self.ring.route(*key)];
             let entries = shard.entries.lock();
@@ -198,7 +260,7 @@ impl VersionStore {
     /// The subscriber's post-processing script: increment `ops` for every
     /// dependency in the message, waking any waiters.
     pub fn apply(&self, keys: &[DepKey]) -> Result<(), StoreError> {
-        self.check_alive()?;
+        self.check_shards_alive(keys)?;
         let mut guards = self.lock_shards_for(keys);
         for key in keys {
             let shard_idx = self.ring.route(*key);
@@ -222,7 +284,7 @@ impl VersionStore {
     /// discarded — §4.2: "the subscriber also discards any messages with a
     /// version lower than what is stored").
     pub fn advance_latest(&self, key: DepKey, version: u64) -> Result<bool, StoreError> {
-        self.check_alive()?;
+        self.check_shards_alive(&[key])?;
         let shard = &self.shards[self.ring.route(key)];
         let mut entries = shard.entries.lock();
         let entry = entries.entry(key).or_default();
@@ -236,7 +298,7 @@ impl VersionStore {
 
     /// Reads a key's `ops` counter (0 when absent).
     pub fn ops(&self, key: DepKey) -> Result<u64, StoreError> {
-        self.check_alive()?;
+        self.check_shards_alive(&[key])?;
         let shard = &self.shards[self.ring.route(key)];
         let entries = shard.entries.lock();
         Ok(entries.get(&key).map(|e| e.ops).unwrap_or(0))
@@ -428,6 +490,52 @@ mod tests {
         assert_eq!(store.ops(1), Err(StoreError::Dead));
         store.revive();
         assert_eq!(store.ops(1).unwrap(), 0, "contents were lost");
+    }
+
+    #[test]
+    fn shard_kill_is_partial() {
+        let store = VersionStore::new(4);
+        // Find two keys on different shards.
+        let key_a = 1u64;
+        let shard_a = store.shard_for(key_a);
+        let key_b = (2..1000)
+            .find(|k| store.shard_for(*k) != shard_a)
+            .expect("some key routes elsewhere");
+        store.apply(&[key_a, key_b]).unwrap();
+
+        store.kill_shard(shard_a);
+        assert!(store.is_dead(), "any dead shard marks the store dead");
+        assert_eq!(store.dead_shards(), vec![shard_a]);
+        assert_eq!(store.ops(key_a), Err(StoreError::Dead));
+        // The other shard keeps serving.
+        assert_eq!(store.ops(key_b).unwrap(), 1);
+        store.apply(&[key_b]).unwrap();
+        assert_eq!(store.ops(key_b).unwrap(), 2);
+        // Ops spanning the dead shard fail atomically (nothing applied).
+        assert_eq!(store.apply(&[key_a, key_b]), Err(StoreError::Dead));
+        assert_eq!(store.ops(key_b).unwrap(), 2);
+        // Whole-store operations refuse to run on a partially-dead store.
+        assert_eq!(store.snapshot(), Err(StoreError::Dead));
+        assert_eq!(store.flush(), Err(StoreError::Dead));
+
+        store.revive_shard(shard_a);
+        assert!(!store.is_dead());
+        assert_eq!(store.ops(key_a).unwrap(), 0, "shard contents were lost");
+        assert_eq!(store.ops(key_b).unwrap(), 2, "other shard kept its data");
+    }
+
+    #[test]
+    fn shard_kill_wakes_waiters_on_that_shard() {
+        let store = Arc::new(VersionStore::new(4));
+        let key = 5u64;
+        let target = store.shard_for(key);
+        let waiter = {
+            let store = store.clone();
+            thread::spawn(move || store.wait_for(&[(key, 1)], Duration::from_secs(5)))
+        };
+        thread::sleep(Duration::from_millis(30));
+        store.kill_shard(target);
+        assert_eq!(waiter.join().unwrap(), Err(StoreError::Dead));
     }
 
     #[test]

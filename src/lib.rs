@@ -9,6 +9,7 @@ pub use synapse_apps as apps;
 pub use synapse_broker as broker;
 pub use synapse_core as core;
 pub use synapse_db as db;
+pub use synapse_faults as faults;
 pub use synapse_model as model;
 pub use synapse_mvc as mvc;
 pub use synapse_orm as orm;

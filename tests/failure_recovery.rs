@@ -304,6 +304,85 @@ fn broker_restart_redelivery_is_idempotent() {
     assert_eq!(replica.get("version").as_int(), Some(1));
 }
 
+/// `Subscriber::drain` must not report an empty queue while a message is
+/// still in flight: `queue_len == 0` happens the moment a worker pops the
+/// last message, *before* it is applied. The double-check around the
+/// generation barrier (drain takes the write side, in-flight processing
+/// holds the read side) closes that window.
+#[test]
+fn drain_waits_for_in_flight_messages() {
+    let eco = Ecosystem::new();
+    let publisher = publishing_node(&eco, "pub");
+    let subscriber = subscribing_node(&eco, SynapseConfig::new("sub").workers(1), "pub");
+    eco.connect();
+
+    // Slow down application so the in-flight window is wide open.
+    subscriber
+        .orm()
+        .on("Post", synapse_repro::orm::CallbackPoint::AfterCreate, |ctx, _| {
+            if !ctx.bootstrap {
+                std::thread::sleep(Duration::from_millis(150));
+            }
+            Ok(())
+        });
+    eco.start_all();
+
+    let post = publisher
+        .orm()
+        .create("Post", vmap! { "body" => "slow", "version" => 1 })
+        .unwrap();
+    // Wait for the worker to pop the message (queue empty, apply pending).
+    assert!(eventually(Duration::from_secs(5), || {
+        eco.broker().queue_len("sub") == Some(0)
+    }));
+
+    assert!(subscriber.subscriber().drain(Duration::from_secs(5)));
+    // If drain honoured the barrier, the slow apply finished before it
+    // returned true; the replica must be visible *now*, not eventually.
+    assert!(subscriber.orm().find("Post", post.id).unwrap().is_some());
+    eco.stop_all();
+}
+
+/// `Subscriber::drain` racing a concurrent publish storm: every true
+/// verdict must coincide with a fully-applied backlog, and the storm must
+/// still converge afterwards.
+#[test]
+fn drain_races_concurrent_publishes_without_lying() {
+    let eco = Ecosystem::new();
+    let publisher = publishing_node(&eco, "pub");
+    let subscriber = subscribing_node(&eco, SynapseConfig::new("sub"), "pub");
+    eco.connect();
+    eco.start_all();
+
+    let pub_orm = publisher.orm().clone();
+    let storm = std::thread::spawn(move || {
+        for i in 0..40 {
+            pub_orm
+                .create("Post", vmap! { "body" => format!("s{i}"), "version" => i })
+                .unwrap();
+            if i % 8 == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    });
+    // Interleave drain calls with the storm; true verdicts mid-storm are
+    // legitimate (the queue really was empty at that instant) — the test
+    // is that drain never deadlocks against the in-flight read barrier
+    // and never reports true with the backlog provably unapplied.
+    for _ in 0..10 {
+        let _ = subscriber.subscriber().drain(Duration::from_millis(20));
+    }
+    storm.join().unwrap();
+
+    assert!(subscriber.subscriber().drain(Duration::from_secs(10)));
+    assert_eq!(subscriber.orm().count("Post").unwrap(), 40);
+    assert_eq!(
+        subscriber.subscriber_stats().messages_processed,
+        publisher.publisher_stats().messages_published
+    );
+    eco.stop_all();
+}
+
 /// Subscriber version-store death: revive empty and partially bootstrap.
 #[test]
 fn subscriber_store_death_recovers_via_bootstrap() {

@@ -1,0 +1,406 @@
+//! Seeded fault-injection soak of the replication pipeline (§6.5).
+//!
+//! Two experiments drive a causal pub/sub pair through the deterministic
+//! fault plane (`synapse_faults`):
+//!
+//! 1. `strict_mode_wedge_recovers_via_decommission_and_partial_bootstrap`
+//!    reproduces the paper's production incident: under strict causal
+//!    mode (`dep_wait_timeout = None`) a single lost message wedges the
+//!    subscriber forever; the documented way out is decommission + partial
+//!    bootstrap (§4.4), which this test executes and verifies.
+//!
+//! 2. `seeded_soak_converges_deterministically_with_zero_silent_loss`
+//!    runs a randomized `FaultPlan` (publish failures, broker restarts,
+//!    shard kills/revives, db write errors, latency spikes) against a live
+//!    pair while the driver publishes creates/updates, some of them poison
+//!    pills whose subscriber callback panics. After healing and draining,
+//!    it asserts (a) convergence: subscriber == publisher modulo the
+//!    dead-lettered poison rows, (b) zero silent loss via the broker
+//!    accounting identity `enqueued == acked + dead_lettered`, and (c)
+//!    determinism: the same seed yields identical outcome counters on a
+//!    second full run. Set `SYNAPSE_SEED` to reproduce a specific run.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use synapse_repro::core::{
+    Ecosystem, Publication, RetryPolicy, Subscription, SynapseConfig, SynapseNode,
+};
+use synapse_repro::db::LatencyModel;
+use synapse_repro::faults::{
+    FaultClock, FaultEvent, FaultKind, FaultPlan, FaultSpec, Injector, InjectorStats, SeededRng,
+    Side,
+};
+use synapse_repro::model::{vmap, ModelSchema};
+use synapse_repro::orm::adapters::MongoidAdapter;
+use synapse_repro::orm::CallbackPoint;
+
+/// Seed of record: `SYNAPSE_SEED=<n>` reproduces a specific schedule.
+fn seed_of_record() -> u64 {
+    std::env::var("SYNAPSE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_CAFE)
+}
+
+fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+fn mongo_node(eco: &Ecosystem, config: SynapseConfig) -> Arc<SynapseNode> {
+    let node = eco.add_node(
+        config,
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    node.orm().define_model(ModelSchema::open("Post")).unwrap();
+    node
+}
+
+fn publishing_node(eco: &Ecosystem) -> Arc<SynapseNode> {
+    let node = mongo_node(eco, SynapseConfig::new("pub"));
+    node.publish(Publication::model("Post").fields(&["body", "version"]))
+        .unwrap();
+    node
+}
+
+fn subscribing_node(eco: &Ecosystem, config: SynapseConfig) -> Arc<SynapseNode> {
+    let node = mongo_node(eco, config);
+    node.subscribe(Subscription::model("Post", "pub").fields(&["body", "version"]))
+        .unwrap();
+    node
+}
+
+/// Keeps intentional poison-pill panics from flooding test output while
+/// letting every other panic (i.e. real failures) print normally.
+fn quiet_poison_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let poison = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.contains("poison pill"))
+                .unwrap_or(false);
+            if !poison {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// §6.5 wedge + §4.4 recovery, driven through the fault plane.
+#[test]
+fn strict_mode_wedge_recovers_via_decommission_and_partial_bootstrap() {
+    let eco = Ecosystem::new();
+    let publisher = publishing_node(&eco);
+    // Strict causal mode: wait forever for missing dependencies — the
+    // configuration that wedged Crowdtap's subscribers in production.
+    let subscriber = subscribing_node(
+        &eco,
+        SynapseConfig::new("sub").wait_timeout(None).workers(1),
+    );
+    eco.connect();
+    eco.start_all();
+
+    let post = publisher
+        .orm()
+        .create("Post", vmap! { "body" => "v1", "version" => 1 })
+        .unwrap();
+    assert!(eventually(Duration::from_secs(5), || {
+        subscriber.orm().find("Post", post.id).unwrap().is_some()
+    }));
+
+    // Fault plane: drop the next delivery (v2), then publish v2 and v3.
+    let clock = FaultClock::new();
+    let mut plan = FaultPlan::from_events(vec![FaultEvent {
+        at_tick: 1,
+        kind: FaultKind::DropMessages { n: 1 },
+    }]);
+    let mut injector = Injector::new(eco.broker().clone(), "sub");
+    injector.apply_due(&mut plan, clock.tick());
+    publisher
+        .orm()
+        .update("Post", post.id, vmap! { "version" => 2 })
+        .unwrap();
+    publisher
+        .orm()
+        .update("Post", post.id, vmap! { "version" => 3 })
+        .unwrap();
+
+    // The wedge: v3 depends on the dropped v2's version bump, and strict
+    // mode waits forever. Progress stops.
+    std::thread::sleep(Duration::from_millis(400));
+    let stats = subscriber.subscriber_stats();
+    assert_eq!(stats.messages_processed, 1, "subscriber must be wedged");
+    assert_eq!(stats.dep_timeouts, 0, "strict mode never times out");
+    let replica = subscriber.orm().find("Post", post.id).unwrap().unwrap();
+    assert_eq!(replica.get("version").as_int(), Some(1));
+
+    // §4.4 recovery: decommission the wedged queue, then partial
+    // bootstrap from the publisher.
+    eco.broker().decommission_queue("sub");
+    assert!(subscriber.is_decommissioned());
+    subscriber.bootstrap_from(&publisher).unwrap();
+    assert_eq!(subscriber.stats().bootstraps, 1);
+    assert!(eventually(Duration::from_secs(5), || {
+        subscriber
+            .orm()
+            .find("Post", post.id)
+            .unwrap()
+            .map(|p| p.get("version").as_int() == Some(3))
+            .unwrap_or(false)
+    }));
+
+    // Live replication works again.
+    let fresh = publisher
+        .orm()
+        .create("Post", vmap! { "body" => "post-recovery", "version" => 4 })
+        .unwrap();
+    assert!(eventually(Duration::from_secs(5), || {
+        subscriber.orm().find("Post", fresh.id).unwrap().is_some()
+    }));
+    assert_eq!(injector.stats().drops_scheduled, 1);
+    eco.stop_all();
+}
+
+/// Everything the driver can observe deterministically about one soak run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SoakOutcome {
+    injector: InjectorStats,
+    operations_marshalled: u64,
+    refused_writes: u64,
+    dead_letter_ids: Vec<u64>,
+    dropped: u64,
+    generation_bumps: u64,
+    publisher_rows: u64,
+    subscriber_rows: u64,
+}
+
+fn run_soak(seed: u64) -> SoakOutcome {
+    const OPS: u64 = 160;
+    let eco = Ecosystem::new();
+    let publisher = publishing_node(&eco);
+    let retry = RetryPolicy {
+        max_attempts: 50,
+        base_backoff: Duration::from_micros(200),
+        jitter_seed: seed,
+    };
+    let subscriber = subscribing_node(
+        &eco,
+        SynapseConfig::new("sub")
+            .wait_timeout(Some(Duration::from_millis(50)))
+            .workers(1)
+            .retry(retry),
+    );
+    // Poison pills: the subscriber's application callback panics on them,
+    // every time — the deterministic-failure class that must end in the
+    // dead-letter store, not in endless redelivery.
+    for point in [CallbackPoint::BeforeCreate, CallbackPoint::BeforeUpdate] {
+        subscriber.orm().on("Post", point, |ctx, record| {
+            if !ctx.bootstrap {
+                if let Some(body) = record.get("body").as_str() {
+                    if body.starts_with("poison") {
+                        panic!("poison pill: {body}");
+                    }
+                }
+            }
+            Ok(())
+        });
+    }
+    eco.connect();
+    eco.start_all();
+
+    // Seeded plan over the op horizon. Broker drops are exercised by the
+    // wedge test above; here they would make per-row accounting depend on
+    // *which* message was lost, so the generated drops are re-aimed at the
+    // publish path (same transient class, journal-recoverable).
+    let spec = FaultSpec {
+        horizon: OPS,
+        events: 12,
+        shards: subscriber.config().version_store_shards,
+        max_burst: 2,
+        spike_micros: 100,
+    };
+    let generated = FaultPlan::generate(seed, &spec);
+    let events: Vec<FaultEvent> = generated
+        .events()
+        .iter()
+        .copied()
+        .map(|mut e| {
+            if let FaultKind::DropMessages { n } = e.kind {
+                e.kind = FaultKind::PublishFailures { n };
+            }
+            e
+        })
+        .collect();
+    let mut plan = FaultPlan::from_events(events);
+    let mut injector = Injector::new(eco.broker().clone(), "sub")
+        .with_store(Side::Publisher, publisher.pub_store().clone())
+        .with_store(Side::Subscriber, subscriber.sub_store().clone())
+        .with_db(Side::Publisher, publisher.orm().db_faults())
+        .with_db(Side::Subscriber, subscriber.orm().db_faults());
+    let clock = FaultClock::new();
+    let mut driver = SeededRng::new(seed ^ 0xD41_7E12);
+
+    let mut ids = Vec::new();
+    let mut refused = 0u64;
+    for i in 0..OPS {
+        injector.apply_due(&mut plan, clock.tick());
+        let create = ids.is_empty() || driver.gen_ratio(3, 5);
+        let result = if create {
+            let body = if driver.gen_ratio(1, 12) {
+                format!("poison-{i}")
+            } else {
+                format!("b{i}")
+            };
+            publisher
+                .orm()
+                .create("Post", vmap! { "body" => body, "version" => i as i64 })
+                .map(|r| ids.push(r.id))
+        } else {
+            let target = ids[driver.gen_below(ids.len() as u64) as usize];
+            publisher
+                .orm()
+                .update("Post", target, vmap! { "version" => (1000 + i) as i64 })
+                .map(|_| ())
+        };
+        if result.is_err() {
+            // Injected publisher-side db fault: the write never happened,
+            // so there is nothing to replicate. Counted, not silent.
+            refused += 1;
+        }
+    }
+
+    // Fire schedule remainder (paired revives past the horizon), then
+    // heal: disarm residual db faults, revive stores, republish journal.
+    injector.apply_due(&mut plan, u64::MAX);
+    publisher.orm().db_faults().disarm();
+    subscriber.orm().db_faults().disarm();
+    publisher.pub_store().revive();
+    subscriber.sub_store().revive();
+    publisher.publisher().recover();
+    assert_eq!(
+        publisher.publisher().journal_len(),
+        0,
+        "journal must drain once the broker heals"
+    );
+
+    assert!(
+        subscriber.subscriber().drain(Duration::from_secs(30)),
+        "subscriber backlog must drain after healing"
+    );
+    eco.stop_all();
+
+    // --- Convergence: subscriber == publisher modulo dead-lettered. ---
+    let dead_letters = subscriber.dead_letters();
+    let mut dead_ids: BTreeSet<u64> = BTreeSet::new();
+    for d in &dead_letters {
+        let msg = synapse_repro::core::WriteMessage::decode(&d.payload)
+            .expect("only decodable poison in this soak");
+        for op in &msg.operations {
+            dead_ids.insert(op.id.raw());
+        }
+    }
+    let pub_rows = publisher.orm().all("Post").unwrap();
+    let sub_rows = subscriber.orm().all("Post").unwrap();
+    let mut expected_rows = 0u64;
+    for row in &pub_rows {
+        let poisoned = row
+            .get("body")
+            .as_str()
+            .map(|b| b.starts_with("poison"))
+            .unwrap_or(false);
+        let replica = subscriber.orm().find("Post", row.id).unwrap();
+        if poisoned {
+            assert!(
+                replica.is_none(),
+                "poison row {} must not replicate",
+                row.id
+            );
+            assert!(
+                dead_ids.contains(&row.id.raw()),
+                "poison row {} must be accounted in the dead-letter store",
+                row.id
+            );
+        } else {
+            expected_rows += 1;
+            let replica = replica.unwrap_or_else(|| {
+                panic!("row {} silently lost (not replicated, not dead-lettered)", row.id)
+            });
+            assert_eq!(replica.get("body"), row.get("body"), "row {}", row.id);
+            assert_eq!(replica.get("version"), row.get("version"), "row {}", row.id);
+        }
+    }
+    assert_eq!(sub_rows.len() as u64, expected_rows, "no phantom rows");
+
+    // --- Zero silent loss: the broker accounting identity. ---
+    let broker_stats = eco.broker().stats();
+    let pub_stats = publisher.publisher_stats();
+    let sub_stats = subscriber.subscriber_stats();
+    assert_eq!(broker_stats.enqueued, pub_stats.messages_published);
+    assert_eq!(
+        broker_stats.enqueued,
+        broker_stats.acked + broker_stats.dead_lettered,
+        "every enqueued delivery must end acked or dead-lettered"
+    );
+    assert_eq!(broker_stats.dropped, 0);
+    assert_eq!(broker_stats.discarded, 0);
+    // At-least-once: every published message ends processed or
+    // dead-lettered. A broker restart requeues in-flight deliveries and
+    // turns their late acks spurious, so the handled sum may exceed
+    // `published` — but by at most one duplicate per restart (workers=1).
+    let handled = sub_stats.messages_processed + sub_stats.dead_lettered;
+    assert!(
+        handled >= pub_stats.messages_published,
+        "silent loss: handled {handled} < published {}",
+        pub_stats.messages_published
+    );
+    assert!(
+        handled - pub_stats.messages_published <= injector.stats().broker_restarts,
+        "more duplicates than broker restarts can explain"
+    );
+    assert_eq!(sub_stats.dead_lettered, broker_stats.dead_lettered);
+    assert_eq!(pub_stats.publish_failures, 0, "retries absorb armed failures");
+
+    SoakOutcome {
+        injector: injector.stats(),
+        operations_marshalled: pub_stats.operations,
+        refused_writes: refused,
+        dead_letter_ids: dead_ids.into_iter().collect(),
+        dropped: broker_stats.dropped,
+        generation_bumps: pub_stats.generation_bumps,
+        publisher_rows: pub_rows.len() as u64,
+        subscriber_rows: sub_rows.len() as u64,
+    }
+}
+
+/// The tentpole soak: convergence, zero silent loss, and determinism —
+/// the same seed must produce identical counter totals twice.
+#[test]
+fn seeded_soak_converges_deterministically_with_zero_silent_loss() {
+    quiet_poison_panics();
+    let seed = seed_of_record();
+    eprintln!("fault soak: SYNAPSE_SEED={seed}");
+    let first = run_soak(seed);
+    let second = run_soak(seed);
+    assert_eq!(
+        first, second,
+        "same seed must reproduce identical soak outcomes"
+    );
+    assert!(
+        first.injector.total_scheduled() > 0,
+        "the plan must actually inject faults"
+    );
+    assert!(
+        !first.dead_letter_ids.is_empty(),
+        "poison pills must reach the dead-letter store"
+    );
+}

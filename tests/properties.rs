@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use synapse_repro::core::{Operation, WriteMessage};
-use synapse_repro::db::{profiles, Engine, Filter, LatencyModel, Query, QueryResult, Row};
+use synapse_repro::db::{profiles, Filter, LatencyModel, Query, QueryResult, Row};
 use synapse_repro::model::{wire, Id, Value};
 use synapse_repro::versionstore::VersionStore;
 
@@ -187,6 +187,86 @@ proptest! {
                 .collect();
             prop_assert_eq!(got, model.clone(), "vendor {}", vendor);
         }
+    }
+
+    /// Broker delivery algebra: across arbitrary interleavings of publish,
+    /// pop, ack, nack, worker crash (forgetting in-flight deliveries), and
+    /// broker restart, (a) a payload is never delivered again after its
+    /// ack, and (b) every unacked payload remains deliverable — the
+    /// at-least-once contract the §4.2 journal relies on.
+    #[test]
+    fn broker_interleavings_preserve_at_least_once(
+        script in prop::collection::vec(0u8..5, 1..64),
+    ) {
+        use std::collections::{BTreeSet, VecDeque};
+        use std::time::Duration;
+        use synapse_repro::broker::{Broker, Delivery, QueueConfig};
+
+        let broker = Broker::new();
+        broker.declare_queue("q", QueueConfig::default());
+        broker.bind("x", "q");
+        let consumer = broker.consumer("q").unwrap();
+
+        let mut next = 0u64;
+        let mut acked: BTreeSet<String> = BTreeSet::new();
+        let mut outstanding: BTreeSet<String> = BTreeSet::new();
+        let mut inflight: VecDeque<Delivery> = VecDeque::new();
+        for action in &script {
+            match action {
+                0 => {
+                    let payload = format!("m{next}");
+                    next += 1;
+                    broker.publish("x", &payload).unwrap();
+                    outstanding.insert(payload);
+                }
+                1 => {
+                    if let Some(d) = consumer.pop(Duration::ZERO) {
+                        prop_assert!(
+                            !acked.contains(&d.payload),
+                            "delivered again after ack: {}", d.payload
+                        );
+                        inflight.push_back(d);
+                    }
+                }
+                2 => {
+                    if let Some(d) = inflight.pop_front() {
+                        // A stale tag (restart already requeued it) is a
+                        // spurious ack: the broker must reject it, so the
+                        // payload stays deliverable.
+                        if consumer.ack(d.tag) {
+                            acked.insert(d.payload.clone());
+                            outstanding.remove(&d.payload);
+                        }
+                    }
+                }
+                3 => {
+                    if let Some(d) = inflight.pop_front() {
+                        consumer.nack(d.tag);
+                    }
+                }
+                _ => {
+                    // Broker restart + worker crash: the broker requeues
+                    // all unacked deliveries; the worker forgets its
+                    // in-flight list.
+                    broker.recover();
+                    inflight.clear();
+                }
+            }
+        }
+
+        // Requeue whatever is still un-decided, then drain: at-least-once
+        // means exactly the unacked payloads come back, each at least once.
+        broker.recover();
+        let mut delivered: BTreeSet<String> = BTreeSet::new();
+        while let Some(d) = consumer.pop(Duration::from_millis(10)) {
+            prop_assert!(
+                !acked.contains(&d.payload),
+                "delivered again after ack: {}", d.payload
+            );
+            delivered.insert(d.payload.clone());
+            consumer.ack(d.tag);
+        }
+        prop_assert_eq!(delivered, outstanding);
     }
 }
 

@@ -1,0 +1,795 @@
+//! Minimal in-tree stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! subset of the proptest API its tests use: the [`Strategy`] trait with
+//! `prop_map` / `prop_filter` / `prop_recursive` / `boxed`, regex-lite
+//! string strategies (character classes with `{m,n}` repetition), tuple and
+//! range strategies, `any::<T>()`, `prop::collection::{vec, btree_map}`, the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_oneof!` macros,
+//! and a deterministic [`test_runner::TestRunner`].
+//!
+//! Differences from real proptest, by design:
+//! * **No shrinking.** A failing case reports the generated input as-is.
+//! * **Deterministic seeding.** Each runner derives its stream from the
+//!   `PROPTEST_SEED` env var (default fixed constant), so failures reproduce.
+//! * Only the pattern syntax actually used is supported: a sequence of
+//!   literal chars and `[...]` classes (with `a-z` ranges and `\x` escapes),
+//!   each optionally followed by `{n}` or `{m,n}`.
+
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG shared by all strategies
+// ---------------------------------------------------------------------------
+
+/// Splitmix64 stream used to drive value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty size range");
+        range.start + self.below((range.end - range.start) as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+///
+/// Object-safe core (`gen_value`) plus sized combinators, mirroring the
+/// proptest API shape the workspace uses.
+pub trait Strategy {
+    type Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+
+    fn prop_filter<F>(self, whence: &'static str, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            predicate,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+
+    /// Bounded recursive strategy: `depth` levels of `recurse` layered over
+    /// `self` as the leaf, mixing leaves back in at every level so generated
+    /// structures terminate quickly. `desired_size` / `expected_branch_size`
+    /// are accepted for API compatibility and ignored.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            current = OneOf::new(vec![leaf.clone(), recurse(current).boxed()]).boxed();
+        }
+        current
+    }
+}
+
+/// Type-erased, cloneable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.inner.gen_value(rng)
+    }
+}
+
+/// Strategy yielding a clone of one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.gen_value(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    predicate: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let candidate = self.inner.gen_value(rng);
+            if (self.predicate)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive generated values",
+            self.whence
+        );
+    }
+}
+
+/// Uniform choice between same-valued strategies (the `prop_oneof!` target).
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].gen_value(rng)
+    }
+}
+
+// Integer ranges as strategies.
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                ((self.start as i128) + offset as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                ((start as i128) + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Tuple strategies (up to 6 elements).
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// Full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        // Raw-bit reinterpretation covers the whole domain including NaN and
+        // infinities; callers filter what they cannot accept.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary_value(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-lite string strategies
+// ---------------------------------------------------------------------------
+
+enum PatternPiece {
+    /// Choice set with repetition bounds.
+    Class { choices: Vec<char>, min: usize, max: usize },
+    Literal(char),
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternPiece> {
+    let mut pieces = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '[' => {
+                // Tokenize the class body, resolving `\x` escapes.
+                let mut tokens: Vec<(char, bool)> = Vec::new(); // (char, was_escaped)
+                loop {
+                    match chars.next() {
+                        Some('\\') => {
+                            let esc = chars.next().expect("dangling escape in pattern");
+                            let resolved = match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                'r' => '\r',
+                                other => other,
+                            };
+                            tokens.push((resolved, true));
+                        }
+                        Some(']') => break,
+                        Some(other) => tokens.push((other, false)),
+                        None => panic!("unterminated character class in pattern {pattern:?}"),
+                    }
+                }
+                // Expand `a-z` ranges (only for unescaped dashes).
+                let mut choices = Vec::new();
+                let mut i = 0;
+                while i < tokens.len() {
+                    if i + 2 < tokens.len() && tokens[i + 1] == ('-', false) {
+                        let (lo, hi) = (tokens[i].0, tokens[i + 2].0);
+                        assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+                        for ch in lo..=hi {
+                            choices.push(ch);
+                        }
+                        i += 3;
+                    } else {
+                        choices.push(tokens[i].0);
+                        i += 1;
+                    }
+                }
+                let (min, max) = parse_repetition(&mut chars);
+                pieces.push(PatternPiece::Class { choices, min, max });
+            }
+            '\\' => {
+                let esc = chars.next().expect("dangling escape in pattern");
+                pieces.push(PatternPiece::Literal(esc));
+            }
+            other => pieces.push(PatternPiece::Literal(other)),
+        }
+    }
+    pieces
+}
+
+fn parse_repetition(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut body = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        body.push(c);
+    }
+    match body.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("bad repetition lower bound"),
+            hi.trim().parse().expect("bad repetition upper bound"),
+        ),
+        None => {
+            let n = body.trim().parse().expect("bad repetition count");
+            (n, n)
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            match piece {
+                PatternPiece::Literal(c) => out.push(c),
+                PatternPiece::Class { choices, min, max } => {
+                    assert!(!choices.is_empty(), "empty character class");
+                    let len = min + rng.below((max - min + 1) as u64) as usize;
+                    for _ in 0..len {
+                        let idx = rng.below(choices.len() as u64) as usize;
+                        out.push(choices[idx]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.clone());
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// Map of up to `size` entries (duplicate keys collapse, as in proptest).
+    pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let len = rng.usize_in(self.size.clone());
+            let mut out = BTreeMap::new();
+            for _ in 0..len {
+                out.insert(self.key.gen_value(rng), self.value.gen_value(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(..)` works from the prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+// ---------------------------------------------------------------------------
+// Test runner
+// ---------------------------------------------------------------------------
+
+pub mod test_runner {
+    use super::{Strategy, TestRng};
+
+    /// Runner configuration. Only `cases` is honoured; the other fields exist
+    /// for struct-update compatibility (`..Config::default()`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Failure raised from inside one test case (via `prop_assert!`).
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail<S: Into<String>>(message: S) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        pub fn reject<S: Into<String>>(message: S) -> Self {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Terminal failure of a whole property run.
+    #[derive(Debug, Clone)]
+    pub struct TestError {
+        pub case: u32,
+        pub seed: u64,
+        pub message: String,
+    }
+
+    impl std::fmt::Display for TestError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "property failed at case {} (seed {:#x}, set PROPTEST_SEED to reproduce): {}",
+                self.case, self.seed, self.message
+            )
+        }
+    }
+
+    fn base_seed() -> u64 {
+        std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_D00D)
+    }
+
+    pub struct TestRunner {
+        config: Config,
+        rng: TestRng,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        pub fn new(config: Config) -> Self {
+            let seed = base_seed();
+            TestRunner {
+                config,
+                rng: TestRng::new(seed),
+                seed,
+            }
+        }
+
+        /// Runs `test` against `config.cases` generated values. No shrinking:
+        /// the first failure is reported with its case index and seed.
+        pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), TestError>
+        where
+            S: Strategy,
+            F: Fn(S::Value) -> TestCaseResult,
+        {
+            let mut case = 0;
+            let mut rejected = 0u32;
+            while case < self.config.cases {
+                let value = strategy.gen_value(&mut self.rng);
+                match test(value) {
+                    Ok(()) => case += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > self.config.cases * 16 {
+                            return Err(TestError {
+                                case,
+                                seed: self.seed,
+                                message: "too many rejected cases".into(),
+                            });
+                        }
+                    }
+                    Err(TestCaseError::Fail(message)) => {
+                        return Err(TestError {
+                            case,
+                            seed: self.seed,
+                            message,
+                        });
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body against generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut runner =
+                    $crate::test_runner::TestRunner::new($crate::test_runner::Config::default());
+                let strategy = ($($strat,)+);
+                let outcome = runner.run(&strategy, |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!("{}", e);
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body, failing the case (not the
+/// whole process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Equality form of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    left, right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`: {}\n  left: `{:?}`\n right: `{:?}`",
+                    format!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Any, Arbitrary,
+        BoxedStrategy, Just, OneOf, Strategy,
+    };
+    pub use crate::test_runner::TestCaseError;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn string_patterns_respect_class_and_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&"[a-z_]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c == '_' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn escaped_classes_include_specials() {
+        let mut rng = TestRng::new(2);
+        let pattern = "[a\\\\\"\n\t]{0,24}";
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&pattern, &mut rng);
+            assert!(s.chars().count() <= 24);
+            assert!(s.chars().all(|c| matches!(c, 'a' | '\\' | '"' | '\n' | '\t')));
+        }
+    }
+
+    #[test]
+    fn recursion_is_depth_bounded() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..10).prop_map(Tree::Leaf).prop_recursive(3, 24, 6, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            assert!(depth(&strat.gen_value(&mut rng)) <= 3);
+        }
+    }
+
+    proptest! {
+        /// The macro itself: generated ints stay in the requested range.
+        #[test]
+        fn macro_ranges_hold(v in 5u64..10, flag in any::<bool>()) {
+            prop_assert!((5..10).contains(&v));
+            prop_assert_eq!(flag || !flag, true);
+        }
+    }
+
+    #[test]
+    fn runner_reports_failures() {
+        use crate::test_runner::{Config, TestRunner};
+        let mut runner = TestRunner::new(Config {
+            cases: 8,
+            ..Config::default()
+        });
+        let out = runner.run(&(0u64..4), |v| {
+            if v >= 4 {
+                return Err(TestCaseError::fail("out of range"));
+            }
+            Ok(())
+        });
+        assert!(out.is_ok());
+    }
+}
