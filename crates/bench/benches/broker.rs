@@ -32,6 +32,34 @@ fn bench_publish_fanout(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_publish_fanout_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker/publish_fanout_batched");
+    const BATCH: usize = 32;
+    for queues in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(queues), &queues, |b, &queues| {
+            let broker = Broker::new();
+            for q in 0..queues {
+                let name = format!("q{q}");
+                broker.declare_queue(&name, QueueConfig::default());
+                broker.bind("pub", &name);
+            }
+            let consumers: Vec<_> = (0..queues)
+                .map(|q| broker.consumer(&format!("q{q}")).unwrap())
+                .collect();
+            let payloads = ["{\"op\":\"bench\"}"; BATCH];
+            b.iter(|| {
+                broker.publish_batch("pub", payloads.iter().copied()).unwrap();
+                for consumer in &consumers {
+                    let batch = consumer.pop_batch(BATCH, Duration::from_millis(10));
+                    let tags: Vec<u64> = batch.iter().map(|d| d.tag).collect();
+                    consumer.ack_batch(&tags);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_pop_ack(c: &mut Criterion) {
     c.bench_function("broker/pop_ack", |b| {
         let broker = Broker::new();
@@ -46,5 +74,10 @@ fn bench_pop_ack(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_publish_fanout, bench_pop_ack);
+criterion_group!(
+    benches,
+    bench_publish_fanout,
+    bench_publish_fanout_batched,
+    bench_pop_ack
+);
 criterion_main!(benches);

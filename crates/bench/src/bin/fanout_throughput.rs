@@ -1,0 +1,120 @@
+//! End-to-end broker fanout throughput: one publisher fanning out to
+//! `QUEUES` bound queues, each drained by its own consumer thread that
+//! acks every delivery. This is the pipeline shape of Fig. 12–13 reduced
+//! to the broker hot path: publish → enqueue×N → pop → ack.
+//!
+//! Prints one `<scenario> <value> deliveries_per_sec` line per scenario,
+//! consumed by `scripts/bench.sh` into `BENCH_publish_path.json`. The
+//! message count is tunable via `FANOUT_MESSAGES` (the tier-1 smoke run
+//! uses a small count; the recorded trajectory uses the default).
+
+use std::time::{Duration, Instant};
+use synapse_broker::{Broker, QueueConfig};
+
+const QUEUES: usize = 8;
+
+fn message_count() -> u64 {
+    std::env::var("FANOUT_MESSAGES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000)
+}
+
+/// A ~1 KiB JSON-ish payload, the size class of a marshalled write
+/// message with a handful of published attributes.
+fn payload() -> String {
+    let mut body = String::with_capacity(1024);
+    body.push_str("{\"op\":\"update\",\"types\":[\"Post\"],\"attrs\":\"");
+    while body.len() < 1000 {
+        body.push_str("loremipsumdolorsitamet");
+    }
+    body.push_str("\"}");
+    body
+}
+
+fn fanout_broker() -> Broker {
+    let broker = Broker::new();
+    for q in 0..QUEUES {
+        let name = format!("q{q}");
+        broker.declare_queue(&name, QueueConfig::default());
+        broker.bind("pub", &name);
+    }
+    broker
+}
+
+/// One delivery at a time: `pop` + `ack` per message per queue.
+fn run_unbatched(messages: u64) -> f64 {
+    let broker = fanout_broker();
+    let handles: Vec<_> = (0..QUEUES)
+        .map(|q| {
+            let consumer = broker.consumer(&format!("q{q}")).unwrap();
+            std::thread::spawn(move || {
+                let mut acked = 0u64;
+                while acked < messages {
+                    if let Some(d) = consumer.pop(Duration::from_millis(100)) {
+                        consumer.ack(d.tag);
+                        acked += 1;
+                    }
+                }
+            })
+        })
+        .collect();
+    let body = payload();
+    let start = Instant::now();
+    for _ in 0..messages {
+        broker.publish("pub", &body).unwrap();
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    (messages * QUEUES as u64) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The batched hot path: `publish_batch` in chunks of `CHUNK`, consumers
+/// draining with `pop_batch` + one `ack_batch` per wakeup. Same message
+/// count, same payload, same fanout shape as the unbatched scenario.
+fn run_batched(messages: u64) -> f64 {
+    const CHUNK: u64 = 64;
+    let broker = fanout_broker();
+    let handles: Vec<_> = (0..QUEUES)
+        .map(|q| {
+            let consumer = broker.consumer(&format!("q{q}")).unwrap();
+            std::thread::spawn(move || {
+                let mut acked = 0u64;
+                while acked < messages {
+                    let batch = consumer.pop_batch(CHUNK as usize, Duration::from_millis(100));
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    let tags: Vec<u64> = batch.iter().map(|d| d.tag).collect();
+                    acked += consumer.ack_batch(&tags);
+                }
+            })
+        })
+        .collect();
+    let body = payload();
+    let chunk: Vec<&str> = (0..CHUNK).map(|_| body.as_str()).collect();
+    let start = Instant::now();
+    let mut sent = 0u64;
+    while sent < messages {
+        let n = CHUNK.min(messages - sent);
+        broker.publish_batch("pub", chunk[..n as usize].iter().copied()).unwrap();
+        sent += n;
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    (messages * QUEUES as u64) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let messages = message_count();
+    println!(
+        "fanout/unbatched_1pub_{QUEUES}q {:.0} deliveries_per_sec",
+        run_unbatched(messages)
+    );
+    println!(
+        "fanout/batched_1pub_{QUEUES}q {:.0} deliveries_per_sec",
+        run_batched(messages)
+    );
+}

@@ -1,9 +1,10 @@
 //! The broker facade: exchanges, bindings, consumers, failure injection.
 
-use crate::message::Delivery;
+use crate::message::{Delivery, SharedStr};
 use crate::queue::{Queue, QueueConfig, QueueState};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -57,19 +58,58 @@ impl std::fmt::Display for PublishError {
 
 impl std::error::Error for PublishError {}
 
+/// Topology: declared queues, exchange bindings, and the routing table
+/// resolved from them. Mutated only by declare/bind (rare); the publish hot
+/// path takes a read lock and walks `resolved`.
 #[derive(Default)]
-struct BrokerInner {
+struct Routes {
     /// exchange (publisher app) → bound queue names.
     bindings: HashMap<String, Vec<String>>,
     queues: HashMap<String, Arc<Queue>>,
-    published: u64,
-    /// Fault injection: fail the next `n` publish attempts.
-    publish_fail_next: u64,
-    publish_faults: u64,
+    /// exchange → (shared exchange name, bound queues), precomputed so a
+    /// publish does one hash lookup and clones zero strings.
+    resolved: HashMap<String, (SharedStr, Vec<Arc<Queue>>)>,
+}
+
+impl Routes {
+    /// Recomputes `resolved` after a topology change. Bindings to
+    /// not-yet-declared queues are kept in `bindings` but omitted here
+    /// (publishes to them route nowhere, as before).
+    fn rebuild(&mut self) {
+        self.resolved = self
+            .bindings
+            .iter()
+            .map(|(exchange, names)| {
+                let targets = names
+                    .iter()
+                    .filter_map(|name| self.queues.get(name).cloned())
+                    .collect();
+                (
+                    exchange.clone(),
+                    (SharedStr::from(exchange.as_str()), targets),
+                )
+            })
+            .collect();
+    }
+}
+
+struct BrokerShared {
+    routes: RwLock<Routes>,
+    /// Messages accepted from publishers. Atomic: publish never takes the
+    /// topology write lock.
+    published: AtomicU64,
+    /// Fault injection: fail the next `n` publish attempts. Consumed with a
+    /// CAS loop so concurrent publishers each burn exactly one armed fault.
+    publish_fail_next: AtomicU64,
+    publish_faults: AtomicU64,
 }
 
 /// An in-process message broker with RabbitMQ semantics. Cloneable handle;
 /// clones share state.
+///
+/// Payloads are stored as [`SharedStr`]: fanout to N queues shares one
+/// allocation, and `publish` itself is lock-free except for the read-mostly
+/// routing lock and each bound queue's own mutex.
 ///
 /// # Examples
 ///
@@ -89,68 +129,129 @@ struct BrokerInner {
 /// ```
 #[derive(Clone)]
 pub struct Broker {
-    inner: Arc<RwLock<BrokerInner>>,
+    inner: Arc<BrokerShared>,
 }
 
 impl Broker {
     /// Creates an empty broker.
     pub fn new() -> Self {
         Broker {
-            inner: Arc::new(RwLock::new(BrokerInner::default())),
+            inner: Arc::new(BrokerShared {
+                routes: RwLock::new(Routes::default()),
+                published: AtomicU64::new(0),
+                publish_fail_next: AtomicU64::new(0),
+                publish_faults: AtomicU64::new(0),
+            }),
         }
     }
 
     /// Declares (or re-declares, idempotently) a queue.
     pub fn declare_queue(&self, name: &str, config: QueueConfig) {
-        let mut inner = self.inner.write();
-        inner
+        let mut routes = self.inner.routes.write();
+        routes
             .queues
             .entry(name.to_owned())
             .or_insert_with(|| Arc::new(Queue::new(config)));
+        routes.rebuild();
     }
 
     /// Binds `queue` to the fanout exchange of publisher app `exchange`.
     pub fn bind(&self, exchange: &str, queue: &str) {
-        let mut inner = self.inner.write();
-        let bindings = inner.bindings.entry(exchange.to_owned()).or_default();
+        let mut routes = self.inner.routes.write();
+        let bindings = routes.bindings.entry(exchange.to_owned()).or_default();
         if !bindings.iter().any(|q| q == queue) {
             bindings.push(queue.to_owned());
         }
+        routes.rebuild();
+    }
+
+    /// Consumes one armed publish fault, if any. CAS loop: under concurrent
+    /// publishers each armed fault fails exactly one attempt.
+    fn consume_armed_fault(&self) -> bool {
+        let armed = &self.inner.publish_fail_next;
+        let mut current = armed.load(Ordering::Acquire);
+        while current > 0 {
+            match armed.compare_exchange_weak(
+                current,
+                current - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.inner.publish_faults.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(observed) => current = observed,
+            }
+        }
+        false
     }
 
     /// Publishes a payload on `exchange`, fanning out to all bound queues.
+    /// Each queue shares the payload allocation.
     ///
     /// Fails with a transient [`PublishError`] while injected publish faults
     /// are armed ([`Broker::inject_publish_failures`]); a failed publish
     /// enqueues nothing and should be retried by the caller.
-    pub fn publish(&self, exchange: &str, payload: &str) -> Result<(), PublishError> {
-        {
-            let mut inner = self.inner.write();
-            if inner.publish_fail_next > 0 {
-                inner.publish_fail_next -= 1;
-                inner.publish_faults += 1;
-                return Err(PublishError {
-                    exchange: exchange.to_owned(),
-                });
+    pub fn publish(
+        &self,
+        exchange: &str,
+        payload: impl Into<SharedStr>,
+    ) -> Result<(), PublishError> {
+        if self.consume_armed_fault() {
+            return Err(PublishError {
+                exchange: exchange.to_owned(),
+            });
+        }
+        let payload = payload.into();
+        let routes = self.inner.routes.read();
+        if let Some((shared_exchange, targets)) = routes.resolved.get(exchange) {
+            for queue in targets {
+                queue.enqueue(shared_exchange, &payload);
             }
         }
-        let inner = self.inner.read();
-        if let Some(bound) = inner.bindings.get(exchange) {
-            for name in bound {
-                if let Some(queue) = inner.queues.get(name) {
-                    queue.enqueue(exchange, payload);
-                }
-            }
-        }
-        drop(inner);
-        self.inner.write().published += 1;
+        drop(routes);
+        self.inner.published.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Publishes a batch of payloads on `exchange` in order, resolving the
+    /// routing once and taking each bound queue's lock once for the whole
+    /// batch. Returns the number of messages accepted.
+    ///
+    /// An armed publish fault rejects the entire batch (the connection blip
+    /// happened before anything was written) and consumes one injected
+    /// failure, matching one failed `publish` call.
+    pub fn publish_batch<I>(&self, exchange: &str, payloads: I) -> Result<u64, PublishError>
+    where
+        I: IntoIterator,
+        I::Item: Into<SharedStr>,
+    {
+        let payloads: Vec<SharedStr> = payloads.into_iter().map(Into::into).collect();
+        if payloads.is_empty() {
+            return Ok(0);
+        }
+        if self.consume_armed_fault() {
+            return Err(PublishError {
+                exchange: exchange.to_owned(),
+            });
+        }
+        let routes = self.inner.routes.read();
+        if let Some((shared_exchange, targets)) = routes.resolved.get(exchange) {
+            for queue in targets {
+                queue.enqueue_batch(shared_exchange, &payloads);
+            }
+        }
+        drop(routes);
+        let accepted = payloads.len() as u64;
+        self.inner.published.fetch_add(accepted, Ordering::Relaxed);
+        Ok(accepted)
     }
 
     /// Returns a consumer handle for `queue`, or `None` if undeclared.
     pub fn consumer(&self, queue: &str) -> Option<Consumer> {
-        let inner = self.inner.read();
-        inner.queues.get(queue).map(|q| Consumer {
+        let routes = self.inner.routes.read();
+        routes.queues.get(queue).map(|q| Consumer {
             queue: q.clone(),
             name: queue.to_owned(),
         })
@@ -158,21 +259,42 @@ impl Broker {
 
     /// Current state of a queue.
     pub fn queue_state(&self, queue: &str) -> Option<QueueState> {
-        let inner = self.inner.read();
-        inner.queues.get(queue).map(|q| q.inner.lock().state)
+        let routes = self.inner.routes.read();
+        routes.queues.get(queue).map(|q| q.inner.lock().state)
     }
 
     /// Current backlog length of a queue.
     pub fn queue_len(&self, queue: &str) -> Option<usize> {
-        let inner = self.inner.read();
-        inner.queues.get(queue).map(|q| q.inner.lock().ready.len())
+        let routes = self.inner.routes.read();
+        routes.queues.get(queue).map(|q| q.inner.lock().ready.len())
+    }
+
+    /// Number of deliveries popped but not yet acked, nacked, or
+    /// dead-lettered. A queue is fully drained only when both this and
+    /// [`Broker::queue_len`] are zero.
+    pub fn queue_unacked_len(&self, queue: &str) -> Option<usize> {
+        let routes = self.inner.routes.read();
+        routes
+            .queues
+            .get(queue)
+            .map(|q| q.inner.lock().unacked.len())
+    }
+
+    /// Wakes every consumer parked on `queue` (their in-flight batch pops
+    /// return empty). Subscriber shutdown uses this so workers re-check
+    /// their stop flag immediately instead of waiting out the park timeout.
+    pub fn wake_queue(&self, queue: &str) {
+        let routes = self.inner.routes.read();
+        if let Some(q) = routes.queues.get(queue) {
+            q.wake_all();
+        }
     }
 
     /// Resets a decommissioned queue to active/empty (the subscriber has
     /// completed its partial bootstrap and rejoins, §4.4).
     pub fn reinstate_queue(&self, queue: &str) {
-        let inner = self.inner.read();
-        if let Some(q) = inner.queues.get(queue) {
+        let routes = self.inner.routes.read();
+        if let Some(q) = routes.queues.get(queue) {
             q.reinstate();
         }
     }
@@ -180,8 +302,8 @@ impl Broker {
     /// Failure injection: silently drop the next `n` messages bound for
     /// `queue` (the §6.5 RabbitMQ-upgrade incident).
     pub fn inject_drop_next(&self, queue: &str, n: u64) {
-        let inner = self.inner.read();
-        if let Some(q) = inner.queues.get(queue) {
+        let routes = self.inner.routes.read();
+        if let Some(q) = routes.queues.get(queue) {
             q.inner.lock().drop_next += n;
         }
     }
@@ -189,14 +311,14 @@ impl Broker {
     /// Failure injection: fail the next `n` publish attempts (on any
     /// exchange) with a transient [`PublishError`].
     pub fn inject_publish_failures(&self, n: u64) {
-        self.inner.write().publish_fail_next += n;
+        self.inner.publish_fail_next.fetch_add(n, Ordering::Release);
     }
 
     /// Failure injection: force-decommission a queue, discarding its
     /// backlog, as if it had exceeded its cap.
     pub fn decommission_queue(&self, queue: &str) {
-        let inner = self.inner.read();
-        if let Some(q) = inner.queues.get(queue) {
+        let routes = self.inner.routes.read();
+        if let Some(q) = routes.queues.get(queue) {
             let mut qi = q.inner.lock();
             qi.discarded += (qi.ready.len() + qi.unacked.len()) as u64;
             qi.ready.clear();
@@ -209,34 +331,34 @@ impl Broker {
 
     /// Snapshot of a queue's dead-letter store.
     pub fn dead_letters(&self, queue: &str) -> Option<Vec<Delivery>> {
-        let inner = self.inner.read();
-        inner.queues.get(queue).map(|q| q.dead_letters())
+        let routes = self.inner.routes.read();
+        routes.queues.get(queue).map(|q| q.dead_letters())
     }
 
     /// Number of dead-lettered deliveries held for `queue`.
     pub fn dead_letter_len(&self, queue: &str) -> Option<usize> {
-        let inner = self.inner.read();
-        inner.queues.get(queue).map(|q| q.inner.lock().dead.len())
+        let routes = self.inner.routes.read();
+        routes.queues.get(queue).map(|q| q.inner.lock().dead.len())
     }
 
     /// Failure injection: broker restart. All unacked deliveries return to
     /// the front of their queues flagged `redelivered`.
     pub fn recover(&self) {
-        let inner = self.inner.read();
-        for q in inner.queues.values() {
+        let routes = self.inner.routes.read();
+        for q in routes.queues.values() {
             q.recover();
         }
     }
 
     /// Aggregate counters.
     pub fn stats(&self) -> BrokerStats {
-        let inner = self.inner.read();
+        let routes = self.inner.routes.read();
         let mut stats = BrokerStats {
-            published: inner.published,
-            publish_faults: inner.publish_faults,
+            published: self.inner.published.load(Ordering::Relaxed),
+            publish_faults: self.inner.publish_faults.load(Ordering::Relaxed),
             ..BrokerStats::default()
         };
-        for q in inner.queues.values() {
+        for q in routes.queues.values() {
             let qi = q.inner.lock();
             stats.enqueued += qi.enqueued;
             stats.acked += qi.acked;
@@ -278,9 +400,24 @@ impl Consumer {
         self.queue.pop(timeout)
     }
 
+    /// Blocking batch pop: parks on the queue's condvar until a delivery
+    /// arrives, then drains up to `max` ready deliveries in FIFO order
+    /// under one lock acquisition. Returns empty on timeout, decommission,
+    /// or [`Broker::wake_queue`].
+    pub fn pop_batch(&self, max: usize, timeout: Duration) -> Vec<Delivery> {
+        self.queue.pop_batch(max, timeout)
+    }
+
     /// Acknowledges a delivery; returns `false` for unknown tags.
     pub fn ack(&self, tag: u64) -> bool {
         self.queue.ack(tag)
+    }
+
+    /// Acknowledges a batch of tags under one queue lock acquisition.
+    /// Returns how many were live; unknown tags count as spurious, exactly
+    /// as individual [`Consumer::ack`] calls would.
+    pub fn ack_batch(&self, tags: &[u64]) -> u64 {
+        self.queue.ack_batch(tags)
     }
 
     /// Returns a delivery to the queue front for redelivery.
@@ -328,6 +465,33 @@ mod tests {
     }
 
     #[test]
+    fn fanout_shares_one_payload_allocation() {
+        let b = Broker::new();
+        b.declare_queue("q1", QueueConfig::default());
+        b.declare_queue("q2", QueueConfig::default());
+        b.bind("pub", "q1");
+        b.bind("pub", "q2");
+        b.publish("pub", "shared-body").unwrap();
+        let d1 = b.consumer("q1").unwrap().pop(Duration::from_millis(50)).unwrap();
+        let d2 = b.consumer("q2").unwrap().pop(Duration::from_millis(50)).unwrap();
+        assert!(
+            std::ptr::eq(d1.payload.as_str(), d2.payload.as_str()),
+            "both queues must share the published allocation"
+        );
+        assert!(std::ptr::eq(d1.exchange.as_str(), d2.exchange.as_str()));
+    }
+
+    #[test]
+    fn bind_before_declare_still_routes() {
+        let b = Broker::new();
+        b.bind("pub", "q");
+        b.declare_queue("q", QueueConfig::default());
+        b.publish("pub", "m").unwrap();
+        let c = b.consumer("q").unwrap();
+        assert_eq!(c.pop(Duration::from_millis(50)).unwrap().payload, "m");
+    }
+
+    #[test]
     fn unbound_queue_receives_nothing() {
         let b = Broker::new();
         b.declare_queue("q", QueueConfig::default());
@@ -343,7 +507,7 @@ mod tests {
     fn fifo_order_is_preserved() {
         let b = broker_with("q");
         for i in 0..10 {
-            b.publish("pub", &i.to_string()).unwrap();
+            b.publish("pub", i.to_string()).unwrap();
         }
         let c = b.consumer("q").unwrap();
         for i in 0..10 {
@@ -351,6 +515,120 @@ mod tests {
             assert_eq!(d.payload, i.to_string());
             c.ack(d.tag);
         }
+    }
+
+    #[test]
+    fn publish_batch_preserves_fifo_and_counts() {
+        let b = broker_with("q");
+        let accepted = b
+            .publish_batch("pub", ["a", "b", "c"])
+            .unwrap();
+        assert_eq!(accepted, 3);
+        let c = b.consumer("q").unwrap();
+        for expected in ["a", "b", "c"] {
+            let d = c.pop(Duration::from_millis(50)).unwrap();
+            assert_eq!(d.payload, expected);
+            c.ack(d.tag);
+        }
+        let s = b.stats();
+        assert_eq!(s.published, 3);
+        assert_eq!(s.enqueued, 3);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop_even_under_faults() {
+        let b = broker_with("q");
+        b.inject_publish_failures(1);
+        assert_eq!(b.publish_batch("pub", Vec::<String>::new()).unwrap(), 0);
+        // The armed fault was not consumed by the empty batch.
+        assert!(b.publish("pub", "x").is_err());
+    }
+
+    #[test]
+    fn faulted_batch_rejects_everything_and_consumes_one_fault() {
+        let b = broker_with("q");
+        b.inject_publish_failures(1);
+        assert!(b.publish_batch("pub", ["a", "b"]).is_err());
+        assert_eq!(b.queue_len("q"), Some(0), "nothing enqueued");
+        assert_eq!(b.publish_batch("pub", ["a", "b"]).unwrap(), 2);
+        let s = b.stats();
+        assert_eq!(s.publish_faults, 1);
+        assert_eq!(s.published, 2);
+    }
+
+    #[test]
+    fn pop_batch_drains_up_to_max_in_order() {
+        let b = broker_with("q");
+        b.publish_batch("pub", ["a", "b", "c", "d", "e"]).unwrap();
+        let c = b.consumer("q").unwrap();
+        let first = c.pop_batch(3, Duration::from_millis(50));
+        assert_eq!(
+            first.iter().map(|d| d.payload.as_str()).collect::<Vec<_>>(),
+            ["a", "b", "c"]
+        );
+        let rest = c.pop_batch(10, Duration::from_millis(50));
+        assert_eq!(
+            rest.iter().map(|d| d.payload.as_str()).collect::<Vec<_>>(),
+            ["d", "e"]
+        );
+        let tags: Vec<u64> = first.iter().chain(&rest).map(|d| d.tag).collect();
+        assert_eq!(c.ack_batch(&tags), 5);
+        assert_eq!(b.stats().acked, 5);
+        assert_eq!(b.queue_unacked_len("q"), Some(0));
+    }
+
+    #[test]
+    fn pop_batch_wakes_on_publish() {
+        let b = broker_with("q");
+        let c = b.consumer("q").unwrap();
+        let h = thread::spawn(move || c.pop_batch(8, Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(30));
+        b.publish("pub", "late").unwrap();
+        let got = h.join().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, "late");
+    }
+
+    #[test]
+    fn wake_queue_unparks_an_empty_pop_batch() {
+        let b = broker_with("q");
+        let c = b.consumer("q").unwrap();
+        let start = std::time::Instant::now();
+        let h = thread::spawn(move || c.pop_batch(8, Duration::from_secs(30)));
+        thread::sleep(Duration::from_millis(30));
+        b.wake_queue("q");
+        assert!(h.join().unwrap().is_empty());
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "wake must beat the park timeout"
+        );
+    }
+
+    #[test]
+    fn ack_batch_counts_spurious_tags() {
+        let b = broker_with("q");
+        b.publish("pub", "m").unwrap();
+        let c = b.consumer("q").unwrap();
+        let d = c.pop(Duration::from_millis(50)).unwrap();
+        assert_eq!(c.ack_batch(&[d.tag, 999]), 1);
+        let s = b.stats();
+        assert_eq!(s.acked, 1);
+        assert_eq!(s.spurious_acks, 1);
+    }
+
+    #[test]
+    fn batch_into_capped_queue_kills_once_and_refuses_rest() {
+        let b = Broker::new();
+        b.declare_queue("q", QueueConfig { max_len: Some(3) });
+        b.bind("pub", "q");
+        b.publish_batch("pub", ["0", "1", "2", "3", "4"]).unwrap();
+        assert_eq!(b.queue_state("q"), Some(QueueState::Decommissioned));
+        let s = b.stats();
+        // Same accounting as five individual publishes: 3 accepted, the
+        // cap-triggering copy and the next refused, backlog discarded.
+        assert_eq!(s.enqueued, 3);
+        assert_eq!(s.discarded, 3);
+        assert_eq!(s.refused, 2);
     }
 
     #[test]
@@ -438,7 +716,7 @@ mod tests {
         b.declare_queue("q", QueueConfig { max_len: Some(3) });
         b.bind("pub", "q");
         for i in 0..5 {
-            b.publish("pub", &i.to_string()).unwrap();
+            b.publish("pub", i.to_string()).unwrap();
         }
         assert_eq!(b.queue_state("q"), Some(QueueState::Decommissioned));
         let s = b.stats();
@@ -476,7 +754,7 @@ mod tests {
     fn concurrent_workers_partition_the_queue() {
         let b = broker_with("q");
         for i in 0..100 {
-            b.publish("pub", &i.to_string()).unwrap();
+            b.publish("pub", i.to_string()).unwrap();
         }
         let mut handles = Vec::new();
         for _ in 0..4 {
@@ -490,7 +768,7 @@ mod tests {
                 got
             }));
         }
-        let mut all: Vec<String> = handles
+        let mut all: Vec<_> = handles
             .into_iter()
             .flat_map(|h| h.join().unwrap())
             .collect();
@@ -507,7 +785,7 @@ mod tests {
         b.declare_queue("q", QueueConfig { max_len: Some(5) });
         b.bind("pub", "q");
         for i in 0..10 {
-            b.publish("pub", &i.to_string()).unwrap();
+            b.publish("pub", i.to_string()).unwrap();
         }
         assert_eq!(b.queue_state("q"), Some(QueueState::Decommissioned));
         assert_eq!(b.queue_len("q"), Some(0), "backlog was discarded");
@@ -525,7 +803,7 @@ mod tests {
         let b = broker_with("q");
         b.inject_drop_next("q", 2);
         for i in 0..4 {
-            b.publish("pub", &i.to_string()).unwrap();
+            b.publish("pub", i.to_string()).unwrap();
         }
         let c = b.consumer("q").unwrap();
         assert_eq!(c.pop(Duration::from_millis(50)).unwrap().payload, "2");

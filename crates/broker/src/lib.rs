@@ -20,5 +20,5 @@ pub mod message;
 pub mod queue;
 
 pub use broker::{Broker, BrokerStats, Consumer, PublishError};
-pub use message::Delivery;
+pub use message::{Delivery, SharedStr};
 pub use queue::{QueueConfig, QueueState};

@@ -1,19 +1,160 @@
-//! Broker delivery envelope.
+//! Broker delivery envelope and the shared payload string.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, atomically reference-counted string slice.
+///
+/// This is the broker's zero-copy currency: a publish allocates the payload
+/// once and every bound queue, unacked-set entry, and delivered clone shares
+/// that single allocation. Fanout to N queues is N pointer bumps, not N deep
+/// copies.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SharedStr(Arc<str>);
+
+impl SharedStr {
+    /// View as a plain string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Deref for SharedStr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for SharedStr {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for SharedStr {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for SharedStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for SharedStr {
+    fn from(s: &str) -> Self {
+        SharedStr(Arc::from(s))
+    }
+}
+
+impl From<String> for SharedStr {
+    fn from(s: String) -> Self {
+        SharedStr(Arc::from(s))
+    }
+}
+
+impl From<&String> for SharedStr {
+    fn from(s: &String) -> Self {
+        SharedStr(Arc::from(s.as_str()))
+    }
+}
+
+impl From<Arc<str>> for SharedStr {
+    fn from(s: Arc<str>) -> Self {
+        SharedStr(s)
+    }
+}
+
+impl From<&SharedStr> for SharedStr {
+    fn from(s: &SharedStr) -> Self {
+        s.clone()
+    }
+}
+
+impl PartialEq<str> for SharedStr {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for SharedStr {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<String> for SharedStr {
+    fn eq(&self, other: &String) -> bool {
+        &*self.0 == other.as_str()
+    }
+}
+
+impl PartialEq<SharedStr> for str {
+    fn eq(&self, other: &SharedStr) -> bool {
+        self == &*other.0
+    }
+}
+
+impl PartialEq<SharedStr> for &str {
+    fn eq(&self, other: &SharedStr) -> bool {
+        *self == &*other.0
+    }
+}
+
+impl PartialEq<SharedStr> for String {
+    fn eq(&self, other: &SharedStr) -> bool {
+        self.as_str() == &*other.0
+    }
+}
 
 /// A message delivered to a consumer.
 ///
 /// The payload is opaque to the broker (Synapse ships JSON write messages).
 /// The delivery tag identifies this delivery for `ack`/`nack`, exactly as
-/// in AMQP.
+/// in AMQP. Cloning a delivery shares the payload allocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Delivery {
     /// Queue-unique delivery tag.
     pub tag: u64,
     /// Name of the publishing app (the exchange the message arrived on).
-    pub exchange: String,
-    /// Opaque payload.
-    pub payload: String,
+    pub exchange: SharedStr,
+    /// Opaque payload, shared with every other copy of this message.
+    pub payload: SharedStr,
     /// `true` if this delivery is a redelivery after a nack or broker
     /// recovery.
     pub redelivered: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_str_compares_with_plain_strings() {
+        let s = SharedStr::from("payload");
+        assert_eq!(s, "payload");
+        assert_eq!("payload", s);
+        assert_eq!(s, String::from("payload"));
+        assert_eq!(String::from("payload"), s);
+        assert_ne!(s, "other");
+    }
+
+    #[test]
+    fn clones_share_the_allocation() {
+        let s = SharedStr::from("x".repeat(64));
+        let t = s.clone();
+        assert!(std::ptr::eq(s.as_str(), t.as_str()));
+    }
+
+    #[test]
+    fn usable_as_str_via_deref() {
+        let s = SharedStr::from("a,b");
+        assert_eq!(s.split(',').count(), 2);
+        assert_eq!(s.len(), 3);
+    }
 }

@@ -1,7 +1,7 @@
 //! Durable FIFO queues with acks, dead-lettering, and the decommission
 //! policy.
 
-use crate::message::Delivery;
+use crate::message::{Delivery, SharedStr};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
@@ -35,6 +35,9 @@ pub(crate) struct QueueInner {
     pub(crate) state: QueueState,
     pub(crate) next_tag: u64,
     pub(crate) config: QueueConfig,
+    /// Bumped by [`Queue::wake_all`]; a parked `pop_batch` returns empty
+    /// when it observes a new epoch, so shutdown never waits out a timeout.
+    pub(crate) wake_epoch: u64,
     /// Counters: enqueued, delivered, acked, dropped-by-fault.
     pub(crate) enqueued: u64,
     pub(crate) acked: u64,
@@ -64,6 +67,7 @@ impl QueueInner {
             state: QueueState::Active,
             next_tag: 1,
             config,
+            wake_epoch: 0,
             enqueued: 0,
             acked: 0,
             dropped: 0,
@@ -75,6 +79,42 @@ impl QueueInner {
             spurious_nacks: 0,
             drop_next: 0,
         }
+    }
+
+    /// Admits one payload under the held lock. Returns `true` if the copy
+    /// was enqueued (vs refused, dropped, or cap-killed).
+    fn admit(&mut self, exchange: &SharedStr, payload: &SharedStr) -> bool {
+        if self.state == QueueState::Decommissioned {
+            self.refused += 1;
+            return false;
+        }
+        if self.drop_next > 0 {
+            self.drop_next -= 1;
+            self.dropped += 1;
+            return false;
+        }
+        if let Some(max) = self.config.max_len {
+            if self.ready.len() >= max {
+                // Kill the queue: discard the backlog and stop accepting.
+                // The triggering copy is also refused, not enqueued.
+                self.discarded += (self.ready.len() + self.unacked.len()) as u64;
+                self.refused += 1;
+                self.ready.clear();
+                self.unacked.clear();
+                self.state = QueueState::Decommissioned;
+                return false;
+            }
+        }
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.ready.push_back(Delivery {
+            tag,
+            exchange: exchange.clone(),
+            payload: payload.clone(),
+            redelivered: false,
+        });
+        self.enqueued += 1;
+        true
     }
 }
 
@@ -94,43 +134,42 @@ impl Queue {
         }
     }
 
-    /// Enqueues a payload; enforces the decommission policy.
-    pub(crate) fn enqueue(&self, exchange: &str, payload: &str) {
+    /// Enqueues a payload; enforces the decommission policy. The payload is
+    /// shared, not copied.
+    pub(crate) fn enqueue(&self, exchange: &SharedStr, payload: &SharedStr) {
         let mut inner = self.inner.lock();
-        if inner.state == QueueState::Decommissioned {
-            inner.refused += 1;
+        let added = inner.admit(exchange, payload);
+        let killed = inner.state == QueueState::Decommissioned;
+        drop(inner);
+        if killed {
+            self.ready_cv.notify_all();
+        } else if added {
+            self.ready_cv.notify_one();
+        }
+    }
+
+    /// Enqueues a batch of payloads under a single lock acquisition,
+    /// applying the same per-copy admission policy as [`Queue::enqueue`]
+    /// (so a mid-batch cap kill refuses the remainder, exactly as N
+    /// individual publishes would).
+    pub(crate) fn enqueue_batch(&self, exchange: &SharedStr, payloads: &[SharedStr]) {
+        if payloads.is_empty() {
             return;
         }
-        if inner.drop_next > 0 {
-            inner.drop_next -= 1;
-            inner.dropped += 1;
-            return;
-        }
-        if let Some(max) = inner.config.max_len {
-            if inner.ready.len() >= max {
-                // Kill the queue: discard the backlog and stop accepting.
-                // The triggering copy is also refused, not enqueued.
-                inner.discarded += (inner.ready.len() + inner.unacked.len()) as u64;
-                inner.refused += 1;
-                inner.ready.clear();
-                inner.unacked.clear();
-                inner.state = QueueState::Decommissioned;
-                drop(inner);
-                self.ready_cv.notify_all();
-                return;
+        let mut inner = self.inner.lock();
+        let mut added = 0usize;
+        for payload in payloads {
+            if inner.admit(exchange, payload) {
+                added += 1;
             }
         }
-        let tag = inner.next_tag;
-        inner.next_tag += 1;
-        inner.ready.push_back(Delivery {
-            tag,
-            exchange: exchange.to_owned(),
-            payload: payload.to_owned(),
-            redelivered: false,
-        });
-        inner.enqueued += 1;
+        let killed = inner.state == QueueState::Decommissioned;
         drop(inner);
-        self.ready_cv.notify_one();
+        if killed || added > 1 {
+            self.ready_cv.notify_all();
+        } else if added == 1 {
+            self.ready_cv.notify_one();
+        }
     }
 
     /// Blocking pop with deadline; moves the delivery to the unacked set.
@@ -151,6 +190,47 @@ impl Queue {
         }
     }
 
+    /// Blocking batch pop: parks on the condvar until at least one delivery
+    /// is ready, then drains up to `max` in FIFO order under the single lock
+    /// acquisition. Returns empty on timeout, decommission, or a
+    /// [`Queue::wake_all`] issued after the wait began (shutdown).
+    pub(crate) fn pop_batch(&self, max: usize, timeout: Duration) -> Vec<Delivery> {
+        if max == 0 {
+            return Vec::new();
+        }
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        let epoch = inner.wake_epoch;
+        loop {
+            if !inner.ready.is_empty() {
+                let n = inner.ready.len().min(max);
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let delivery = inner.ready.pop_front().expect("len checked");
+                    inner.unacked.insert(delivery.tag, delivery.clone());
+                    out.push(delivery);
+                }
+                return out;
+            }
+            if inner.state == QueueState::Decommissioned || inner.wake_epoch != epoch {
+                return Vec::new();
+            }
+            if self.ready_cv.wait_until(&mut inner, deadline).timed_out() {
+                return Vec::new();
+            }
+        }
+    }
+
+    /// Wakes every parked consumer; batch pops in progress return empty.
+    /// Used by subscriber shutdown so workers notice the stop flag without
+    /// waiting out their park timeout.
+    pub(crate) fn wake_all(&self) {
+        let mut inner = self.inner.lock();
+        inner.wake_epoch += 1;
+        drop(inner);
+        self.ready_cv.notify_all();
+    }
+
     pub(crate) fn ack(&self, tag: u64) -> bool {
         let mut inner = self.inner.lock();
         let hit = inner.unacked.remove(&tag).is_some();
@@ -160,6 +240,22 @@ impl Queue {
             inner.spurious_acks += 1;
         }
         hit
+    }
+
+    /// Acks a batch of tags under one lock acquisition. Returns how many
+    /// were live (spurious acks are counted, exactly as [`Queue::ack`]).
+    pub(crate) fn ack_batch(&self, tags: &[u64]) -> u64 {
+        let mut inner = self.inner.lock();
+        let mut hits = 0u64;
+        for tag in tags {
+            if inner.unacked.remove(tag).is_some() {
+                inner.acked += 1;
+                hits += 1;
+            } else {
+                inner.spurious_acks += 1;
+            }
+        }
+        hits
     }
 
     /// Returns the delivery to the front of the queue, marked redelivered.

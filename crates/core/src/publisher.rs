@@ -35,7 +35,7 @@ use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use synapse_broker::Broker;
+use synapse_broker::{Broker, SharedStr};
 use synapse_model::{Record, Value};
 use synapse_orm::{Orm, OrmError, QueryObserver, WriteExec, WriteIntent, WriteKind};
 use synapse_versionstore::{DepKey, GenerationStore, StoreError, VersionStore};
@@ -116,8 +116,9 @@ pub struct Publisher {
     publications: Arc<RwLock<BTreeMap<String, Publication>>>,
     subscriptions: Arc<RwLock<Vec<Subscription>>>,
     locks: LockManager,
-    /// Publish journal: payloads not yet confirmed at the broker.
-    journal: Mutex<BTreeMap<u64, String>>,
+    /// Publish journal: payloads not yet confirmed at the broker. Shared
+    /// with the broker's queues — journaling is a pointer bump, not a copy.
+    journal: Mutex<BTreeMap<u64, SharedStr>>,
     journal_seq: AtomicU64,
     /// Failure injection: while set, payloads stay journaled instead of
     /// reaching the broker (a crash between DB commit and publication).
@@ -200,7 +201,7 @@ impl Publisher {
     /// broker still refuses after the retry policy stay journaled, so
     /// `recover` can be called again later without losing anything.
     pub fn recover(&self) {
-        let pending: Vec<(u64, String)> = {
+        let pending: Vec<(u64, SharedStr)> = {
             let journal = self.journal.lock();
             journal.iter().map(|(k, v)| (*k, v.clone())).collect()
         };
@@ -215,7 +216,7 @@ impl Publisher {
     /// Hands one payload to the broker under the retry policy; counts
     /// every transiently failed attempt and the final exhaustion. Returns
     /// whether the broker accepted it.
-    fn send_with_retry(&self, payload: &str) -> bool {
+    fn send_with_retry(&self, payload: &SharedStr) -> bool {
         for attempt in 1..=self.retry.max_attempts.max(1) {
             match self.broker.publish(&self.app, payload) {
                 Ok(()) => return true,
@@ -398,9 +399,12 @@ impl Publisher {
     fn emit(&self, op: Operation, deps: BTreeMap<DepKey, u64>, bumped: &[DepKey]) {
         self.operations.fetch_add(1, Ordering::Relaxed);
         let dep_count = deps.len() as u64;
+        // The operation is moved into whichever sink takes it; the slot
+        // hands it through the scope closure without a clone.
+        let mut slot = Some(op);
         let buffered = context::scope_mut(|scope| {
             if let Some(buf) = scope.tx_buffer.as_mut() {
-                buf.operations.push(op.clone());
+                buf.operations.push(slot.take().expect("operation emitted once"));
                 for (k, v) in &deps {
                     // Rebase by the increments earlier buffered operations
                     // already contributed, so the message only waits on
@@ -421,6 +425,7 @@ impl Publisher {
         })
         .unwrap_or(false);
         if !buffered {
+            let op = slot.take().expect("unbuffered operation retained");
             self.publish_message(vec![op], deps);
         }
     }
@@ -434,7 +439,7 @@ impl Publisher {
             published_at: now_micros(),
             generation: self.generations.current(),
         };
-        let payload = msg.encode();
+        let payload = SharedStr::from(msg.encode());
         let seq = self.journal_seq.fetch_add(1, Ordering::Relaxed);
         self.journal.lock().insert(seq, payload.clone());
         if self.fail_publish.load(Ordering::SeqCst) {
@@ -473,9 +478,18 @@ impl Publisher {
     }
 }
 
+/// In-place, order-preserving dedup. Dependency lists are a handful of
+/// names, so the quadratic prefix scan beats hashing — and unlike the
+/// hash-set approach it clones nothing.
 fn dedup(deps: &mut Vec<DepName>) {
-    let mut seen = HashSet::new();
-    deps.retain(|d| seen.insert(d.clone()));
+    let mut i = 1;
+    while i < deps.len() {
+        if deps[..i].contains(&deps[i]) {
+            deps.remove(i);
+        } else {
+            i += 1;
+        }
+    }
 }
 
 impl QueryObserver for Publisher {

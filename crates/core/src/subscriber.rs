@@ -2,7 +2,12 @@
 //! replicated persistence.
 //!
 //! Each subscriber app owns one broker queue; its messages are "processed
-//! in parallel by multiple subscriber workers" (§4). Per message, a worker:
+//! in parallel by multiple subscriber workers" (§4). A worker parks on the
+//! queue's condvar and drains up to a batch of ready deliveries per wakeup
+//! (`Consumer::pop_batch`); version-store dependency updates and acks for
+//! the batch are grouped and flushed together, so each touched version-store
+//! shard is locked once per batch instead of once per key and only touched
+//! shards are notified. Per message, a worker:
 //!
 //! 1. checks the publisher generation, running the global barrier of §4.4
 //!    when it increases (drain in-flight messages, flush the version store);
@@ -29,7 +34,7 @@ use crate::context;
 use crate::deps::{DepName, DepSpace};
 use crate::message::{Operation, WriteMessage};
 use crate::semantics::DeliveryMode;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -37,6 +42,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use synapse_broker::{Broker, Consumer, Delivery};
+use synapse_versionstore::DepKey;
 use synapse_db::DbError;
 use synapse_model::{Record, Value};
 use synapse_orm::{CallbackPoint, Orm, OrmError};
@@ -93,6 +99,30 @@ pub struct SubscriberStats {
     pub poison_messages: u64,
     /// Transient failures that exhausted the retry policy.
     pub retries_exhausted: u64,
+}
+
+/// Max deliveries a worker drains per condvar wakeup. Bounds the latency
+/// cost of deferring acks while amortizing per-batch lock traffic.
+const BATCH_MAX: usize = 32;
+
+/// How long an idle worker parks on the queue condvar before re-checking
+/// its stop flag. Shutdown does not wait this out: [`Subscriber::stop`]
+/// wakes the queue explicitly.
+const IDLE_PARK: Duration = Duration::from_millis(250);
+
+/// Deliveries whose ORM apply succeeded but whose version-store apply and
+/// ack are deferred to the batch flush point, so each touched shard is
+/// locked (and notified) once per batch instead of once per message.
+#[derive(Default)]
+struct PendingBatch {
+    tags: Vec<u64>,
+    dep_keys: Vec<DepKey>,
+}
+
+impl PendingBatch {
+    fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
 }
 
 #[derive(Default)]
@@ -201,6 +231,9 @@ impl Subscriber {
     /// Signals workers to stop and joins them.
     pub fn stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
+        // Unpark workers waiting in `pop_batch` so they observe the flag
+        // immediately instead of waiting out their park timeout.
+        self.broker.wake_queue(&self.app);
         let mut workers = self.workers.lock();
         for w in workers.drain(..) {
             let _ = w.join();
@@ -209,14 +242,15 @@ impl Subscriber {
     }
 
     /// Blocks until the queue is fully drained (used by tests and the
-    /// bootstrap's step 3).
+    /// bootstrap's step 3): no ready backlog, no popped-but-unacked
+    /// deliveries, and no in-flight batch (the write side of the barrier
+    /// is free only when every popped delivery has been flushed).
     pub fn drain(&self, timeout: Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
         while std::time::Instant::now() < deadline {
-            if self.broker.queue_len(&self.app) == Some(0) {
-                // Wait one more beat for in-flight messages to finish.
+            if self.queue_quiescent() {
                 let _barrier = self.gen_barrier.write();
-                if self.broker.queue_len(&self.app) == Some(0) {
+                if self.queue_quiescent() {
                     return true;
                 }
             }
@@ -225,62 +259,177 @@ impl Subscriber {
         false
     }
 
+    /// No backlog and nothing popped-but-unresolved.
+    fn queue_quiescent(&self) -> bool {
+        self.broker.queue_len(&self.app) == Some(0)
+            && self.broker.queue_unacked_len(&self.app) == Some(0)
+    }
+
     fn worker_loop(&self, consumer: Consumer) {
+        let mut pending = PendingBatch::default();
         while !self.stop.load(Ordering::SeqCst) {
-            match consumer.pop(Duration::from_millis(50)) {
-                Some(delivery) => {
-                    if delivery.redelivered {
-                        self.counters.redeliveries.fetch_add(1, Ordering::Relaxed);
-                    }
-                    match self.process_classified(&delivery) {
-                        Ok(()) => {
-                            consumer.ack(delivery.tag);
-                            self.attempts.lock().remove(&delivery.tag);
-                            self.counters
-                                .messages_processed
-                                .fetch_add(1, Ordering::Relaxed);
-                        }
-                        Err(ProcessError::Poison(_)) => {
-                            // Deterministic failure: redelivering would
-                            // wedge the queue (§6.5) — dead-letter now.
-                            self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                            self.counters.poison_messages.fetch_add(1, Ordering::Relaxed);
-                            self.dead_letter(&consumer, &delivery);
-                        }
-                        Err(ProcessError::Transient(_)) => {
-                            self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                            if self.stop.load(Ordering::SeqCst) {
-                                // Shutting down: requeue without charging
-                                // an attempt, so restarts never push an
-                                // innocent message toward the dead-letter
-                                // store.
-                                consumer.nack(delivery.tag);
-                                continue;
-                            }
-                            let attempts = {
-                                let mut map = self.attempts.lock();
-                                let entry = map.entry(delivery.tag).or_insert(0);
-                                *entry += 1;
-                                *entry
-                            };
-                            if self.retry.exhausted(attempts) {
-                                self.counters.retries_exhausted.fetch_add(1, Ordering::Relaxed);
-                                self.dead_letter(&consumer, &delivery);
-                            } else {
-                                self.counters.retries.fetch_add(1, Ordering::Relaxed);
-                                std::thread::sleep(self.retry.backoff(attempts));
-                                consumer.nack(delivery.tag);
-                            }
-                        }
-                    }
+            let batch = consumer.pop_batch(BATCH_MAX, IDLE_PARK);
+            if batch.is_empty() {
+                // Timed out, woken for shutdown, or decommissioned. A
+                // decommissioned queue stays quiet until the node performs
+                // a partial bootstrap and reinstates it.
+                if consumer.is_decommissioned() {
+                    std::thread::sleep(Duration::from_millis(5));
                 }
-                None => {
-                    // Timed out or decommissioned; re-check the stop flag.
-                    // A decommissioned queue stays quiet until the node
-                    // performs a partial bootstrap and reinstates it.
+                continue;
+            }
+            // In-flight marker for the whole batch: the generation barrier
+            // (and drain) must never observe the gap between a message's
+            // ORM apply and its deferred version-store apply + ack, so the
+            // read guard spans processing *and* the flush.
+            let mut in_flight = Some(self.gen_barrier.read());
+            for (i, delivery) in batch.iter().enumerate() {
+                if self.stop.load(Ordering::SeqCst) {
+                    // Shutting down: land finished work, requeue the rest
+                    // without charging attempts.
+                    self.flush_pending(&consumer, &mut pending);
+                    for rest in &batch[i..] {
+                        consumer.nack(rest.tag);
+                    }
+                    return;
+                }
+                self.handle_delivery(&consumer, delivery, &mut pending, &mut in_flight);
+            }
+            self.flush_pending(&consumer, &mut pending);
+        }
+    }
+
+    /// Processes one delivery of a batch: decode once, run the message
+    /// machine, and either stage it on the pending batch (success) or take
+    /// the dead-letter/backoff exits of the single-message path.
+    fn handle_delivery<'a>(
+        &'a self,
+        consumer: &Consumer,
+        delivery: &Delivery,
+        pending: &mut PendingBatch,
+        in_flight: &mut Option<RwLockReadGuard<'a, ()>>,
+    ) {
+        if delivery.redelivered {
+            self.counters.redeliveries.fetch_add(1, Ordering::Relaxed);
+        }
+        let decoded = WriteMessage::decode(&delivery.payload)
+            .map_err(|e| ProcessError::Poison(format!("undecodable payload: {e}")));
+        let outcome = match &decoded {
+            Ok(msg) => self.process_decoded(msg, consumer, pending, in_flight),
+            Err(e) => Err(e.clone()),
+        };
+        match outcome {
+            Ok(()) => {
+                if let Ok(msg) = &decoded {
+                    pending.tags.push(delivery.tag);
+                    pending.dep_keys.extend(msg.dep_keys());
+                }
+            }
+            Err(ProcessError::Poison(_)) => {
+                // Deterministic failure: redelivering would wedge the
+                // queue (§6.5) — dead-letter now.
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                self.counters.poison_messages.fetch_add(1, Ordering::Relaxed);
+                self.dead_letter(consumer, delivery.tag, decoded.ok().as_ref());
+            }
+            Err(ProcessError::Transient(_)) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                if self.stop.load(Ordering::SeqCst) {
+                    // Shutting down: requeue without charging an attempt,
+                    // so restarts never push an innocent message toward
+                    // the dead-letter store.
+                    consumer.nack(delivery.tag);
+                    return;
+                }
+                let attempts = {
+                    let mut map = self.attempts.lock();
+                    let entry = map.entry(delivery.tag).or_insert(0);
+                    *entry += 1;
+                    *entry
+                };
+                if self.retry.exhausted(attempts) {
+                    self.counters.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+                    self.dead_letter(consumer, delivery.tag, decoded.ok().as_ref());
+                } else {
+                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    // Land finished work and release the in-flight marker
+                    // before sleeping: a backoff must not hold up a
+                    // generation barrier or drain.
+                    self.flush_pending(consumer, pending);
+                    *in_flight = None;
+                    std::thread::sleep(self.retry.backoff(attempts));
+                    consumer.nack(delivery.tag);
+                    *in_flight = Some(self.gen_barrier.read());
                 }
             }
         }
+    }
+
+    /// The per-message state machine of the batched path. Identical to
+    /// [`Subscriber::process_classified`] except that the version-store
+    /// apply and ack are deferred to the pending batch, and blocking points
+    /// (generation barrier, dependency wait) first land the pending batch —
+    /// messages earlier in the batch may be exactly what a dependency wait
+    /// needs, and the barrier must see them fully applied.
+    fn process_decoded<'a>(
+        &'a self,
+        msg: &WriteMessage,
+        consumer: &Consumer,
+        pending: &mut PendingBatch,
+        in_flight: &mut Option<RwLockReadGuard<'a, ()>>,
+    ) -> Result<(), ProcessError> {
+        if self.generation_pending(msg) {
+            // The gate write-waits on in-flight readers: land our own
+            // pending work and step outside the barrier before taking it.
+            self.flush_pending(consumer, pending);
+            *in_flight = None;
+            let gate = self.generation_gate(msg);
+            *in_flight = Some(self.gen_barrier.read());
+            gate.map_err(ProcessError::Transient)?;
+        }
+        let mode = self.effective_mode(&msg.app);
+        if matches!(mode, DeliveryMode::Causal | DeliveryMode::Global) {
+            let deps = self.filtered_deps(msg, mode);
+            if !pending.is_empty() && !matches!(self.store.satisfied(&deps), Ok(true)) {
+                self.flush_pending(consumer, pending);
+            }
+            self.wait_deps(&deps).map_err(ProcessError::Transient)?;
+        }
+        self.apply_message(msg, mode)
+    }
+
+    /// Lands the pending batch: one grouped version-store apply (each
+    /// touched shard locked and notified once for the whole batch), then
+    /// one batched ack. `messages_processed` counts only live acks — a
+    /// broker restart between pop and flush requeues the tag and voids the
+    /// ack, and that copy is counted when its redelivery's ack lands — so
+    /// the counter never double-counts a delivery.
+    fn flush_pending(&self, consumer: &Consumer, pending: &mut PendingBatch) {
+        if pending.tags.is_empty() {
+            return;
+        }
+        match self.store.apply(&pending.dep_keys) {
+            Ok(()) => {
+                let acked = consumer.ack_batch(&pending.tags);
+                self.counters
+                    .messages_processed
+                    .fetch_add(acked, Ordering::Relaxed);
+                let mut attempts = self.attempts.lock();
+                for tag in &pending.tags {
+                    attempts.remove(tag);
+                }
+            }
+            Err(StoreError::Dead) => {
+                // Transient store failure: requeue the whole batch without
+                // charging attempts — ORM applies are idempotent upserts,
+                // so redelivery reprocesses safely once the store heals.
+                for tag in &pending.tags {
+                    consumer.nack(*tag);
+                }
+            }
+        }
+        pending.tags.clear();
+        pending.dep_keys.clear();
     }
 
     /// Routes one delivery to the dead-letter store, releasing its
@@ -289,12 +438,17 @@ impl Subscriber {
     /// payloads cannot release anything — under strict causal mode that
     /// residue is exactly the paper's §6.5 wedge, and the way out remains
     /// decommission + partial bootstrap.
-    fn dead_letter(&self, consumer: &Consumer, delivery: &Delivery) {
-        if let Ok(msg) = WriteMessage::decode(&delivery.payload) {
+    fn dead_letter(&self, consumer: &Consumer, tag: u64, msg: Option<&WriteMessage>) {
+        // A broker restart between pop and this call requeues the tag; the
+        // dead-letter is then void and the redelivery takes the full path
+        // again, so only a live dead-letter releases deps and counts.
+        if !consumer.dead_letter(tag) {
+            return;
+        }
+        if let Some(msg) = msg {
             let _ = self.store.apply(&msg.dep_keys());
         }
-        consumer.dead_letter(delivery.tag);
-        self.attempts.lock().remove(&delivery.tag);
+        self.attempts.lock().remove(&tag);
         self.counters.dead_lettered.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -306,7 +460,8 @@ impl Subscriber {
     }
 
     /// Processes one delivery end to end, classifying failures as
-    /// transient (retryable) or poison (dead-letter).
+    /// transient (retryable) or poison (dead-letter). Unlike the batched
+    /// worker path, the version-store apply happens immediately.
     pub fn process_classified(&self, delivery: &Delivery) -> Result<(), ProcessError> {
         let msg = WriteMessage::decode(&delivery.payload)
             .map_err(|e| ProcessError::Poison(format!("undecodable payload: {e}")))?;
@@ -316,37 +471,12 @@ impl Subscriber {
         let mode = self.effective_mode(&msg.app);
         match mode {
             DeliveryMode::Causal | DeliveryMode::Global => {
-                self.wait_dependencies(&msg, mode)
+                self.wait_deps(&self.filtered_deps(&msg, mode))
                     .map_err(ProcessError::Transient)?;
             }
             DeliveryMode::Weak => {}
         }
-        // Application runs inside its own causal scope (like a background
-        // job, §4.2) so that reads made by decorator callbacks become
-        // external dependencies of anything those callbacks publish. A
-        // panicking subscription callback is caught and treated as poison:
-        // it would panic identically on every redelivery.
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            context::with_scope(|| {
-                context::with_replication_flag(|| {
-                    for op in &msg.operations {
-                        self.apply_op(&msg, op, mode)?;
-                    }
-                    Ok::<(), OrmError>(())
-                })
-            })
-            .0
-        }));
-        match outcome {
-            Ok(Ok(())) => {}
-            Ok(Err(e)) => return Err(classify_apply_error(e)),
-            Err(panic) => {
-                return Err(ProcessError::Poison(format!(
-                    "subscription callback panicked: {}",
-                    panic_message(panic.as_ref())
-                )));
-            }
-        }
+        self.apply_message(&msg, mode)?;
         // Advance the version store only after successful application: a
         // transient failure must leave versions untouched so the redelivery
         // reprocesses from scratch (applies are idempotent upserts). Dep
@@ -355,6 +485,35 @@ impl Subscriber {
         self.store
             .apply(&msg.dep_keys())
             .map_err(|e| ProcessError::Transient(e.to_string()))
+    }
+
+    /// Applies a decoded message's operations through the local ORM.
+    ///
+    /// Application runs inside its own causal scope (like a background
+    /// job, §4.2) so that reads made by decorator callbacks become
+    /// external dependencies of anything those callbacks publish. A
+    /// panicking subscription callback is caught and treated as poison:
+    /// it would panic identically on every redelivery.
+    fn apply_message(&self, msg: &WriteMessage, mode: DeliveryMode) -> Result<(), ProcessError> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            context::with_scope(|| {
+                context::with_replication_flag(|| {
+                    for op in &msg.operations {
+                        self.apply_op(msg, op, mode)?;
+                    }
+                    Ok::<(), OrmError>(())
+                })
+            })
+            .0
+        }));
+        match outcome {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(e)) => Err(classify_apply_error(e)),
+            Err(panic) => Err(ProcessError::Poison(format!(
+                "subscription callback panicked: {}",
+                panic_message(panic.as_ref())
+            ))),
+        }
     }
 
     /// The effective delivery mode for messages from `pub_app` (§3.2).
@@ -368,14 +527,17 @@ impl Subscriber {
         DeliveryMode::effective(publisher, self.subscriber_mode)
     }
 
+    /// Whether `msg` carries a generation newer than the last one seen
+    /// from its app (the pre-check before taking the write barrier).
+    fn generation_pending(&self, msg: &WriteMessage) -> bool {
+        let gens = self.generations.lock();
+        msg.generation > gens.get(&msg.app).copied().unwrap_or(1)
+    }
+
     /// §4.4's generation barrier: when a message carries a newer generation,
     /// wait for in-flight messages, flush the version store, advance.
     fn generation_gate(&self, msg: &WriteMessage) -> Result<(), String> {
-        let needs_switch = {
-            let gens = self.generations.lock();
-            msg.generation > gens.get(&msg.app).copied().unwrap_or(1)
-        };
-        if !needs_switch {
+        if !self.generation_pending(msg) {
             return Ok(());
         }
         let _drain = self.gen_barrier.write();
@@ -391,15 +553,20 @@ impl Subscriber {
         Ok(())
     }
 
-    /// Waits for the message's dependencies, filtered per the effective
-    /// mode: a causal subscriber of a global publisher ignores the global
+    /// The message's dependency list, filtered per the effective mode: a
+    /// causal subscriber of a global publisher ignores the global
     /// dependency (§4.2).
-    fn wait_dependencies(&self, msg: &WriteMessage, mode: DeliveryMode) -> Result<(), String> {
+    fn filtered_deps(&self, msg: &WriteMessage, mode: DeliveryMode) -> Vec<(DepKey, u64)> {
         let mut deps = msg.dep_list();
         if mode == DeliveryMode::Causal {
             let global_key = self.dep_space.key(&DepName::global(&msg.app));
             deps.retain(|(k, _)| *k != global_key);
         }
+        deps
+    }
+
+    /// Waits for a filtered dependency list on the version store.
+    fn wait_deps(&self, deps: &[(DepKey, u64)]) -> Result<(), String> {
         // Wait in short slices so the stop flag stays responsive; an
         // overall deadline implements the configurable give-up of §6.5
         // (`None` = the paper's strict causal mode: wait forever).
@@ -407,7 +574,7 @@ impl Subscriber {
             .dep_wait_timeout
             .map(|t| std::time::Instant::now() + t);
         loop {
-            match self.store.wait_for(&deps, Duration::from_millis(100)) {
+            match self.store.wait_for(deps, Duration::from_millis(100)) {
                 Ok(WaitOutcome::Ready) => return Ok(()),
                 Ok(WaitOutcome::TimedOut) => {
                     if self.stop.load(Ordering::SeqCst) {

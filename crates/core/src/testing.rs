@@ -84,8 +84,8 @@ pub fn emulate_message(
 pub fn emulate_delivery(msg: &WriteMessage) -> Delivery {
     Delivery {
         tag: 0,
-        exchange: msg.app.clone(),
-        payload: msg.encode(),
+        exchange: msg.app.as_str().into(),
+        payload: msg.encode().into(),
         redelivered: false,
     }
 }

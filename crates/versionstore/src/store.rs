@@ -172,14 +172,19 @@ impl VersionStore {
             .any(|s| s.dead.load(Ordering::SeqCst))
     }
 
-    /// Locks every shard touched by `keys` in index order (cross-shard
-    /// atomicity without deadlocks) and returns the guards.
-    fn lock_shards_for(&self, keys: &[DepKey]) -> Vec<(usize, MutexGuard<'_, HashMap<DepKey, Entry>>)> {
-        let mut idxs: Vec<usize> = keys.iter().map(|k| self.ring.route(*k)).collect();
-        idxs.sort_unstable();
-        idxs.dedup();
-        idxs.into_iter()
-            .map(|i| (i, self.shards[i].entries.lock()))
+    /// Locks every shard named in `routes` in index order (cross-shard
+    /// atomicity without deadlocks). The result is indexed by shard number —
+    /// `guards[i]` is `Some` iff shard `i` is routed — so per-key guard
+    /// lookup is O(1) instead of a linear scan of the locked set.
+    fn lock_routed(&self, routes: &[usize]) -> Vec<Option<MutexGuard<'_, HashMap<DepKey, Entry>>>> {
+        let mut touched = vec![false; self.shards.len()];
+        for r in routes {
+            touched[*r] = true;
+        }
+        touched
+            .into_iter()
+            .enumerate()
+            .map(|(i, hit)| hit.then(|| self.shards[i].entries.lock()))
             .collect()
     }
 
@@ -192,15 +197,11 @@ impl VersionStore {
     pub fn publish_bump(&self, deps: &[(DepKey, bool)]) -> Result<Vec<(DepKey, u64)>, StoreError> {
         let keys: Vec<DepKey> = deps.iter().map(|(k, _)| *k).collect();
         self.check_shards_alive(&keys)?;
-        let mut guards = self.lock_shards_for(&keys);
+        let routes: Vec<usize> = keys.iter().map(|k| self.ring.route(*k)).collect();
+        let mut guards = self.lock_routed(&routes);
         let mut out = Vec::with_capacity(deps.len());
-        for (key, is_write) in deps {
-            let shard_idx = self.ring.route(*key);
-            let guard = guards
-                .iter_mut()
-                .find(|(i, _)| *i == shard_idx)
-                .map(|(_, g)| g)
-                .expect("shard locked above");
+        for ((key, is_write), shard_idx) in deps.iter().zip(&routes) {
+            let guard = guards[*shard_idx].as_mut().expect("routed shard locked");
             let entry = guard.entry(*key).or_default();
             entry.ops += 1;
             let value = if *is_write {
@@ -259,21 +260,28 @@ impl VersionStore {
 
     /// The subscriber's post-processing script: increment `ops` for every
     /// dependency in the message, waking any waiters.
+    ///
+    /// Accepts the concatenated key lists of a whole message batch: each
+    /// touched shard is locked once for the entire call, and only the shards
+    /// actually touched are notified — causal waiters parked on unrelated
+    /// shards are not spuriously woken.
     pub fn apply(&self, keys: &[DepKey]) -> Result<(), StoreError> {
         self.check_shards_alive(keys)?;
-        let mut guards = self.lock_shards_for(keys);
-        for key in keys {
-            let shard_idx = self.ring.route(*key);
-            let guard = guards
-                .iter_mut()
-                .find(|(i, _)| *i == shard_idx)
-                .map(|(_, g)| g)
-                .expect("shard locked above");
-            guard.entry(*key).or_default().ops += 1;
+        let routes: Vec<usize> = keys.iter().map(|k| self.ring.route(*k)).collect();
+        let mut guards = self.lock_routed(&routes);
+        for (key, shard_idx) in keys.iter().zip(&routes) {
+            guards[*shard_idx]
+                .as_mut()
+                .expect("routed shard locked")
+                .entry(*key)
+                .or_default()
+                .ops += 1;
         }
-        drop(guards);
-        for shard in &self.shards {
-            shard.changed.notify_all();
+        for (i, guard) in guards.into_iter().enumerate() {
+            if let Some(guard) = guard {
+                drop(guard);
+                self.shards[i].changed.notify_all();
+            }
         }
         Ok(())
     }
@@ -318,17 +326,25 @@ impl VersionStore {
     }
 
     /// Bulk-loads `(key, ops)` pairs, keeping the max with any existing
-    /// counter, and wakes waiters.
+    /// counter, and wakes waiters. Each touched shard is locked once for
+    /// the whole snapshot and only touched shards are notified.
     pub fn load_snapshot(&self, entries: &[(DepKey, u64)]) -> Result<(), StoreError> {
         self.check_alive()?;
-        for (key, ops) in entries {
-            let shard = &self.shards[self.ring.route(*key)];
-            let mut map = shard.entries.lock();
-            let entry = map.entry(*key).or_default();
+        let routes: Vec<usize> = entries.iter().map(|(k, _)| self.ring.route(*k)).collect();
+        let mut guards = self.lock_routed(&routes);
+        for ((key, ops), shard_idx) in entries.iter().zip(&routes) {
+            let entry = guards[*shard_idx]
+                .as_mut()
+                .expect("routed shard locked")
+                .entry(*key)
+                .or_default();
             entry.ops = entry.ops.max(*ops);
         }
-        for shard in &self.shards {
-            shard.changed.notify_all();
+        for (i, guard) in guards.into_iter().enumerate() {
+            if let Some(guard) = guard {
+                drop(guard);
+                self.shards[i].changed.notify_all();
+            }
         }
         Ok(())
     }
@@ -579,6 +595,39 @@ mod tests {
         store.flush().unwrap();
         assert!(store.is_empty());
         assert_eq!(store.approx_memory_bytes(), 0);
+    }
+
+    /// A batched apply (concatenated key lists of several messages) must
+    /// increment duplicated keys once per occurrence, exactly as separate
+    /// applies would.
+    #[test]
+    fn batched_apply_counts_duplicate_keys_per_occurrence() {
+        let batched = VersionStore::new(4);
+        batched.apply(&[1, 2, 1, 3, 1]).unwrap();
+        let sequential = VersionStore::new(4);
+        for keys in [[1u64, 2].as_slice(), &[1, 3], &[1]] {
+            sequential.apply(keys).unwrap();
+        }
+        for key in [1u64, 2, 3] {
+            assert_eq!(batched.ops(key).unwrap(), sequential.ops(key).unwrap());
+        }
+        assert_eq!(batched.ops(1).unwrap(), 3);
+    }
+
+    /// Applying keys routed to one shard must still wake waiters parked on
+    /// that shard (the targeted notification can narrow, never skip).
+    #[test]
+    fn targeted_notify_still_wakes_routed_waiters() {
+        let store = Arc::new(VersionStore::new(8));
+        let keys: Vec<DepKey> = (0..32).collect();
+        let deps: Vec<(DepKey, u64)> = keys.iter().map(|k| (*k, 1)).collect();
+        let waiter = {
+            let store = store.clone();
+            thread::spawn(move || store.wait_for(&deps, Duration::from_secs(5)).unwrap())
+        };
+        thread::sleep(Duration::from_millis(30));
+        store.apply(&keys).unwrap();
+        assert_eq!(waiter.join().unwrap(), WaitOutcome::Ready);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Perf trajectory: runs the criterion micro-benches (broker, publish_path,
+# versionstore, wire) plus the end-to-end fanout throughput bench and
+# writes BENCH_publish_path.json — numbers every future PR compares
+# against (see EXPERIMENTS.md "Publish→deliver hot-path trajectory").
+#
+# Usage:
+#   scripts/bench.sh                  # full run, writes BENCH_publish_path.json
+#   scripts/bench.sh --save-baseline  # full run, writes the baseline file instead
+#   scripts/bench.sh --smoke          # fanout bench only, tiny message count,
+#                                     # no JSON written (tier-1 smoke)
+#
+# Non-gating: results are recorded, not asserted, except that the smoke
+# run must complete (the hot path must not deadlock or lose deliveries).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="full"
+case "${1:-}" in
+  --save-baseline) MODE="baseline" ;;
+  --smoke) MODE="smoke" ;;
+  "") ;;
+  *) echo "usage: scripts/bench.sh [--save-baseline|--smoke]" >&2; exit 2 ;;
+esac
+
+OUT="BENCH_publish_path.json"
+BASELINE="BENCH_publish_path.baseline.json"
+
+if [[ "$MODE" == "smoke" ]]; then
+  FANOUT_MESSAGES="${FANOUT_MESSAGES:-500}" \
+    cargo run --quiet --release -p synapse-bench --bin fanout_throughput
+  echo "bench smoke: OK"
+  exit 0
+fi
+
+CRIT_LOG="$(mktemp)"
+FANOUT_LOG="$(mktemp)"
+trap 'rm -f "$CRIT_LOG" "$FANOUT_LOG"' EXIT
+
+for bench in broker publish_path versionstore wire; do
+  cargo bench --quiet -p synapse-bench --bench "$bench" 2>/dev/null | tee -a "$CRIT_LOG"
+done
+cargo run --quiet --release -p synapse-bench --bin fanout_throughput | tee "$FANOUT_LOG"
+
+GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+UTC="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+# Criterion lines: "<name>   <ns> ns/iter"; fanout lines:
+# "<name> <value> deliveries_per_sec".
+criterion_json() {
+  awk '/ns\/iter/ { printf "%s    \"%s\": %s", sep, $1, $2; sep=",\n" } END { print "" }' "$CRIT_LOG"
+}
+fanout_json() {
+  awk '/deliveries_per_sec/ { printf "%s    \"%s\": %s", sep, $1, $2; sep=",\n" } END { print "" }' "$FANOUT_LOG"
+}
+
+TARGET="$OUT"
+[[ "$MODE" == "baseline" ]] && TARGET="$BASELINE"
+
+{
+  echo "{"
+  echo "  \"schema\": \"synapse-bench/v1\","
+  echo "  \"generated_by\": \"scripts/bench.sh\","
+  echo "  \"git_rev\": \"$GIT_REV\","
+  echo "  \"utc\": \"$UTC\","
+  echo "  \"fanout_deliveries_per_sec\": {"
+  fanout_json
+  echo "  },"
+  echo "  \"criterion_ns_per_iter\": {"
+  criterion_json
+  if [[ "$MODE" == "full" && -f "$BASELINE" ]]; then
+    echo "  },"
+    # Speedup of the current best fanout scenario over the pre-change
+    # baseline's unbatched scenario — the ISSUE 2 acceptance number.
+    CUR="$(awk '/deliveries_per_sec/ { if ($2+0 > best) best=$2+0 } END { print best }' "$FANOUT_LOG")"
+    BASE="$(awk -F'[:,]' '/fanout\// { gsub(/[ "]/,"",$2); if ($2+0 > 0) { print $2+0; exit } }' "$BASELINE")"
+    SPEEDUP="$(awk -v c="$CUR" -v b="$BASE" 'BEGIN { if (b > 0) printf "%.2f", c/b; else print "null" }')"
+    echo "  \"baseline\": $(cat "$BASELINE"),"
+    echo "  \"fanout_speedup_vs_baseline\": $SPEEDUP"
+  else
+    echo "  }"
+  fi
+  echo "}"
+} > "$TARGET"
+
+echo "bench: wrote $TARGET"

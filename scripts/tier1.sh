@@ -12,4 +12,10 @@ cargo test -q
 # Pinned-seed soak: deterministic replay of the fault schedule.
 SYNAPSE_SEED="${SYNAPSE_SEED:-24210775}" cargo test -q --test fault_soak
 
+# Optional bench smoke (non-gating for perf, gating for liveness): the
+# fanout bench must complete without deadlock or delivery loss.
+if [[ "${SYNAPSE_BENCH_SMOKE:-0}" == "1" ]]; then
+  scripts/bench.sh --smoke
+fi
+
 echo "tier1: OK"

@@ -222,7 +222,7 @@ proptest! {
                 1 => {
                     if let Some(d) = consumer.pop(Duration::ZERO) {
                         prop_assert!(
-                            !acked.contains(&d.payload),
+                            !acked.contains(d.payload.as_str()),
                             "delivered again after ack: {}", d.payload
                         );
                         inflight.push_back(d);
@@ -234,8 +234,8 @@ proptest! {
                         // spurious ack: the broker must reject it, so the
                         // payload stays deliverable.
                         if consumer.ack(d.tag) {
-                            acked.insert(d.payload.clone());
-                            outstanding.remove(&d.payload);
+                            acked.insert(d.payload.to_string());
+                            outstanding.remove(d.payload.as_str());
                         }
                     }
                 }
@@ -260,13 +260,158 @@ proptest! {
         let mut delivered: BTreeSet<String> = BTreeSet::new();
         while let Some(d) = consumer.pop(Duration::from_millis(10)) {
             prop_assert!(
-                !acked.contains(&d.payload),
+                !acked.contains(d.payload.as_str()),
                 "delivered again after ack: {}", d.payload
             );
-            delivered.insert(d.payload.clone());
+            delivered.insert(d.payload.to_string());
             consumer.ack(d.tag);
         }
         prop_assert_eq!(delivered, outstanding);
+    }
+
+    /// Batched FIFO: with no redelivery in play, any interleaving of
+    /// `publish_batch` and `pop_batch` yields every payload exactly once,
+    /// in exact publish order — batching must not reorder a queue.
+    #[test]
+    fn publish_batch_pop_batch_preserve_fifo(
+        script in prop::collection::vec((0u8..2, 1usize..9), 1..48),
+    ) {
+        use std::time::Duration;
+        use synapse_repro::broker::{Broker, QueueConfig};
+
+        let broker = Broker::new();
+        broker.declare_queue("q", QueueConfig::default());
+        broker.bind("x", "q");
+        let consumer = broker.consumer("q").unwrap();
+
+        let mut next = 0u64;
+        let mut expected = 0u64;
+        for (action, n) in &script {
+            match action {
+                0 => {
+                    let payloads: Vec<String> =
+                        (0..*n).map(|_| { let p = format!("m{next}"); next += 1; p }).collect();
+                    broker.publish_batch("x", payloads).unwrap();
+                }
+                _ => {
+                    for d in consumer.pop_batch(*n, Duration::ZERO) {
+                        let want = format!("m{expected}");
+                        prop_assert_eq!(d.payload.as_str(), want.as_str(), "out of FIFO order");
+                        expected += 1;
+                        consumer.ack(d.tag);
+                    }
+                }
+            }
+        }
+        // Drain the tail: everything published must still arrive, in order.
+        loop {
+            let batch = consumer.pop_batch(16, Duration::ZERO);
+            if batch.is_empty() { break; }
+            for d in batch {
+                let want = format!("m{expected}");
+                prop_assert_eq!(d.payload.as_str(), want.as_str());
+                expected += 1;
+                consumer.ack(d.tag);
+            }
+        }
+        prop_assert_eq!(expected, next, "every published payload delivered once");
+    }
+
+    /// The batched ops obey the same at-least-once algebra as the
+    /// single-message ops: across interleavings of `publish_batch`,
+    /// `pop_batch`, `ack_batch`, nack, and broker restart, an acked
+    /// payload never reappears and every unacked payload stays
+    /// deliverable.
+    #[test]
+    fn batched_interleavings_preserve_at_least_once(
+        script in prop::collection::vec((0u8..5, 1usize..7), 1..48),
+    ) {
+        use std::collections::{BTreeSet, VecDeque};
+        use std::time::Duration;
+        use synapse_repro::broker::{Broker, Delivery, QueueConfig};
+
+        let broker = Broker::new();
+        broker.declare_queue("q", QueueConfig::default());
+        broker.bind("x", "q");
+        let consumer = broker.consumer("q").unwrap();
+
+        let mut next = 0u64;
+        let mut acked: BTreeSet<String> = BTreeSet::new();
+        let mut outstanding: BTreeSet<String> = BTreeSet::new();
+        let mut inflight: VecDeque<Delivery> = VecDeque::new();
+        for (action, n) in &script {
+            match action {
+                0 => {
+                    let payloads: Vec<String> =
+                        (0..*n).map(|_| { let p = format!("m{next}"); next += 1; p }).collect();
+                    for p in &payloads {
+                        outstanding.insert(p.clone());
+                    }
+                    broker.publish_batch("x", payloads).unwrap();
+                }
+                1 => {
+                    for d in consumer.pop_batch(*n, Duration::ZERO) {
+                        prop_assert!(
+                            !acked.contains(d.payload.as_str()),
+                            "delivered again after ack: {}", d.payload
+                        );
+                        inflight.push_back(d);
+                    }
+                }
+                2 => {
+                    // Batch-ack the oldest `n` in-flight deliveries. The
+                    // in-flight list is cleared on every restart, so its
+                    // tags are always live — `ack_batch` must report every
+                    // one as a hit, and each payload is then decided.
+                    let take: Vec<Delivery> =
+                        (0..*n).filter_map(|_| inflight.pop_front()).collect();
+                    let tags: Vec<u64> = take.iter().map(|d| d.tag).collect();
+                    let hits = consumer.ack_batch(&tags);
+                    prop_assert_eq!(
+                        hits as usize, take.len(),
+                        "in-flight tags are live between restarts"
+                    );
+                    for d in &take {
+                        acked.insert(d.payload.to_string());
+                        outstanding.remove(d.payload.as_str());
+                    }
+                }
+                3 => {
+                    if let Some(d) = inflight.pop_front() {
+                        consumer.nack(d.tag);
+                    }
+                }
+                _ => {
+                    broker.recover();
+                    inflight.clear();
+                }
+            }
+        }
+
+        // Final drain: everything not known-acked must come back.
+        broker.recover();
+        let mut delivered: BTreeSet<String> = BTreeSet::new();
+        loop {
+            let batch = consumer.pop_batch(8, Duration::from_millis(10));
+            if batch.is_empty() { break; }
+            for d in batch {
+                prop_assert!(
+                    !acked.contains(d.payload.as_str()),
+                    "delivered again after ack: {}", d.payload
+                );
+                delivered.insert(d.payload.to_string());
+                consumer.ack(d.tag);
+            }
+        }
+        for p in &acked {
+            prop_assert!(!delivered.contains(p));
+        }
+        for p in &outstanding {
+            prop_assert!(
+                delivered.contains(p) || acked.contains(p),
+                "silently lost: {}", p
+            );
+        }
     }
 }
 
