@@ -1,0 +1,51 @@
+//! Criterion sweep of the publisher dependency pipeline: one published
+//! write inside a causal scope carrying 1 → 1000 dependencies — the
+//! publisher-side shape of Fig. 13(a). Each iteration pays the whole
+//! interception path: scope dependency recording, dedup/normalization,
+//! dependency locking, the version-store bump script, marshalling, and
+//! the wire encode of a message whose dependency map has N entries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use synapse_core::{add_read_deps, with_user_scope, DepName, Ecosystem, Publication, SynapseConfig};
+use synapse_db::LatencyModel;
+use synapse_model::{vmap, Id, ModelSchema};
+use synapse_orm::adapters::MongoidAdapter;
+
+const DEP_COUNTS: &[usize] = &[1, 10, 100, 1000];
+
+fn bench_publisher_deps(c: &mut Criterion) {
+    for &deps in DEP_COUNTS {
+        let eco = Ecosystem::new();
+        let node = eco.add_node(
+            SynapseConfig::new(format!("bench{deps}")),
+            Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+        );
+        node.orm().define_model(ModelSchema::open("Post")).unwrap();
+        node.publish(Publication::model("Post").fields(&["body", "n"]))
+            .unwrap();
+        let names: Vec<String> = (0..deps.saturating_sub(1))
+            .map(|i| format!("{}/dep/{i}", node.app()))
+            .collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let user = DepName::object(node.app(), "User", Id(1));
+        let n = AtomicU64::new(0);
+        c.bench_function(&format!("publisher_deps/{deps}"), |b| {
+            b.iter(|| {
+                with_user_scope(user.clone(), || {
+                    add_read_deps(&refs);
+                    node.orm()
+                        .create(
+                            "Post",
+                            vmap! { "body" => "x", "n" => n.fetch_add(1, Ordering::Relaxed) },
+                        )
+                        .unwrap()
+                })
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_publisher_deps);
+criterion_main!(benches);

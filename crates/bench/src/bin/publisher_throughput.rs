@@ -1,0 +1,80 @@
+//! End-to-end publisher write-path throughput: intercepted ORM creates
+//! inside a causal user scope carrying a configurable number of explicit
+//! read dependencies — the publisher-side half of Fig. 13(a) (§6.2), where
+//! the paper claims interception stays cheap up to 1,000 dependencies per
+//! message. Each write runs the full pipeline: dependency computation and
+//! dedup, lock acquisition, version-store bump, marshalling, wire encode,
+//! journal, broker publish.
+//!
+//! Prints one `publisher/<scenario> <value> writes_per_sec` line per
+//! scenario, consumed by `scripts/bench.sh` into
+//! `BENCH_publisher_path.json`. The write count is tunable via
+//! `PUBLISHER_MESSAGES` (the tier-1 smoke run uses a small count; the
+//! recorded trajectory uses the defaults).
+
+use std::sync::Arc;
+use std::time::Instant;
+use synapse_core::{add_read_deps, with_user_scope, DepName, Ecosystem, Publication, SynapseConfig};
+use synapse_db::LatencyModel;
+use synapse_model::{vmap, Id, ModelSchema};
+use synapse_orm::adapters::MongoidAdapter;
+
+/// `(deps_per_write, default_write_count)` per scenario. The 1000-dep
+/// scenario is the acceptance number of the publisher trajectory.
+const SCENARIOS: &[(usize, u64)] = &[(4, 20_000), (1000, 1_500)];
+
+fn message_override() -> Option<u64> {
+    std::env::var("PUBLISHER_MESSAGES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+}
+
+/// Runs `messages` published creates, each carrying `deps - 1` explicit
+/// read dependencies plus its own object write dependency, and returns
+/// writes per second. No queue is bound to the publisher: this measures
+/// the publisher side alone, exactly the Fig. 13(a) overhead axis.
+fn run(deps: usize, messages: u64) -> f64 {
+    let eco = Ecosystem::new();
+    let node = eco.add_node(
+        SynapseConfig::new(format!("bench{deps}")),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    node.orm().define_model(ModelSchema::open("Post")).unwrap();
+    node.publish(Publication::model("Post").fields(&["body", "n"]))
+        .unwrap();
+
+    let names: Vec<String> = (0..deps.saturating_sub(1))
+        .map(|i| format!("{}/dep/{i}", node.app()))
+        .collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let user = DepName::object(node.app(), "User", Id(1));
+
+    // Warm-up outside the timed window (first write populates caches).
+    with_user_scope(user.clone(), || {
+        add_read_deps(&refs);
+        node.orm()
+            .create("Post", vmap! { "body" => "warm", "n" => 0 })
+            .unwrap();
+    });
+
+    let start = Instant::now();
+    for m in 0..messages {
+        with_user_scope(user.clone(), || {
+            add_read_deps(&refs);
+            node.orm()
+                .create("Post", vmap! { "body" => "hello world", "n" => m })
+                .unwrap();
+        });
+    }
+    messages as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    for &(deps, default_messages) in SCENARIOS {
+        let messages = message_override().unwrap_or(default_messages).max(1);
+        println!(
+            "publisher/write_{deps}deps {:.0} writes_per_sec",
+            run(deps, messages)
+        );
+    }
+}

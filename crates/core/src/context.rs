@@ -22,6 +22,7 @@
 use crate::deps::DepName;
 use crate::message::Operation;
 use std::cell::RefCell;
+use std::collections::HashSet;
 use synapse_versionstore::DepKey;
 
 /// Dependency-tracking state of one controller/job execution.
@@ -31,6 +32,8 @@ pub struct Scope {
     pub user_dep: Option<DepName>,
     /// Objects read so far, in order, deduplicated.
     pub read_deps: Vec<DepName>,
+    /// Membership index over `read_deps` (dedup without the O(n) scan).
+    read_seen: HashSet<DepName>,
     /// First write dependency of the previous update in this scope.
     pub last_write_dep: Option<DepName>,
     /// Explicit read dependencies (`add_read_deps`).
@@ -126,7 +129,7 @@ pub fn scope_mut<R>(f: impl FnOnce(&mut Scope) -> R) -> Option<R> {
 /// Records an object read (deduplicated, order preserved).
 pub fn record_read(dep: DepName) {
     scope_mut(|s| {
-        if !s.read_deps.contains(&dep) {
+        if s.read_seen.insert(dep.clone()) {
             s.read_deps.push(dep);
         }
     });
@@ -174,7 +177,7 @@ mod tests {
             record_read(DepName::object("a", "Post", Id(1)));
             let reads = scope_mut(|s| s.read_deps.clone()).unwrap();
             assert_eq!(reads.len(), 2);
-            assert_eq!(reads[0].0, "a/post/id/1");
+            assert_eq!(reads[0].as_str(), "a/post/id/1");
         });
     }
 

@@ -7,36 +7,237 @@
 //! A hash collision merely serializes two unrelated objects — and "using a
 //! 1-entry dependency hash space is equivalent to using global ordering"
 //! (§4.2), a property the tests pin down.
+//!
+//! Names are interned: a [`DepName`] holds an `Arc<str>` plus its stable
+//! 64-bit FNV-1a pre-hash, computed once at construction. Cloning a name on
+//! the publisher hot path is a pointer bump, equality is a hash compare
+//! (falling back to the strings only on a 64-bit collision), and
+//! [`DepSpace::key`] is a single modulo over the cached pre-hash. One
+//! [`DepInterner`] lives per node so repeated writes to the same objects
+//! reuse the same allocations.
 
+use parking_lot::RwLock;
+use std::borrow::Borrow;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::fmt::Write as _;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 use synapse_model::Id;
 use synapse_versionstore::DepKey;
 
-/// A human-readable dependency name.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct DepName(pub String);
+/// Stable FNV-1a over the name bytes — the paper's "stable hash function
+/// at the publisher". The full 64-bit value is cached in the name;
+/// [`DepSpace::key`] reduces it modulo the space cardinality, which yields
+/// byte-for-byte the same keys as hashing at lookup time.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A human-readable dependency name with its cached stable pre-hash.
+#[derive(Debug, Clone)]
+pub struct DepName {
+    name: Arc<str>,
+    hash: u64,
+}
 
 impl DepName {
+    fn from_str_uncached(name: &str) -> Self {
+        DepName {
+            hash: fnv1a(name),
+            name: Arc::from(name),
+        }
+    }
+
     /// The dependency of one object: `app/model/id/<id>`.
     pub fn object(app: &str, model: &str, id: Id) -> Self {
-        DepName(format!("{}/{}/id/{}", app, model.to_lowercase(), id))
+        NAME_SCRATCH.with(|scratch| {
+            let mut buf = scratch.borrow_mut();
+            format_object_name(&mut buf, app, model, id);
+            DepName::from_str_uncached(&buf)
+        })
     }
 
     /// The single global dependency used to enforce global ordering.
     pub fn global(app: &str) -> Self {
-        DepName(format!("{app}/__global__"))
+        NAME_SCRATCH.with(|scratch| {
+            let mut buf = scratch.borrow_mut();
+            buf.clear();
+            buf.push_str(app);
+            buf.push_str("/__global__");
+            DepName::from_str_uncached(&buf)
+        })
     }
 
     /// An explicitly named dependency (`add_read_deps`/`add_write_deps`).
     pub fn named(name: &str) -> Self {
-        DepName(name.to_owned())
+        DepName::from_str_uncached(name)
+    }
+
+    /// The name path, e.g. `pub3/user/id/100`.
+    pub fn as_str(&self) -> &str {
+        &self.name
+    }
+
+    /// The cached full-width stable hash of the name.
+    pub fn stable_hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl PartialEq for DepName {
+    fn eq(&self, other: &Self) -> bool {
+        // Hash inequality decides almost every comparison without touching
+        // the bytes; the string check keeps semantics exact under a 64-bit
+        // collision.
+        self.hash == other.hash
+            && (Arc::ptr_eq(&self.name, &other.name) || self.name == other.name)
+    }
+}
+
+impl Eq for DepName {}
+
+impl Hash for DepName {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl PartialOrd for DepName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DepName {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.name.cmp(&other.name)
     }
 }
 
 impl fmt::Display for DepName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.name)
     }
+}
+
+thread_local! {
+    static NAME_SCRATCH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Formats `app/model/id/<id>` into `buf` without allocating: the model is
+/// lowercased char-by-char instead of via `str::to_lowercase`.
+fn format_object_name(buf: &mut String, app: &str, model: &str, id: Id) {
+    buf.clear();
+    buf.push_str(app);
+    buf.push('/');
+    for c in model.chars() {
+        for lc in c.to_lowercase() {
+            buf.push(lc);
+        }
+    }
+    buf.push_str("/id/");
+    let _ = write!(buf, "{id}");
+}
+
+/// Past this many distinct names the interner stops caching and hands out
+/// uncached names — a backstop against unbounded growth when an app uses
+/// high-cardinality explicit dependency names.
+const INTERNER_CAP: usize = 65_536;
+
+/// Interns dependency names so the hot path reuses one `Arc<str>` (and its
+/// pre-hash) per distinct name. One interner lives per node; lookups take a
+/// read lock, first-sightings upgrade to a write lock.
+#[derive(Debug, Default)]
+pub struct DepInterner {
+    names: RwLock<HashMap<Arc<str>, u64>>,
+}
+
+impl DepInterner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct names currently interned.
+    pub fn len(&self) -> usize {
+        self.names.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.read().is_empty()
+    }
+
+    fn lookup(&self, name: &str) -> DepName {
+        {
+            let names = self.names.read();
+            if let Some((arc, &hash)) = names.get_key_value(name) {
+                return DepName {
+                    name: Arc::clone(arc),
+                    hash,
+                };
+            }
+            if names.len() >= INTERNER_CAP {
+                return DepName::from_str_uncached(name);
+            }
+        }
+        let dep = DepName::from_str_uncached(name);
+        let mut names = self.names.write();
+        if names.len() < INTERNER_CAP {
+            names
+                .entry(Arc::clone(&dep.name))
+                .or_insert(dep.hash);
+        }
+        dep
+    }
+
+    /// Interned equivalent of [`DepName::object`].
+    pub fn object(&self, app: &str, model: &str, id: Id) -> DepName {
+        NAME_SCRATCH.with(|scratch| {
+            let mut buf = scratch.borrow_mut();
+            format_object_name(&mut buf, app, model, id);
+            self.lookup(&buf)
+        })
+    }
+
+    /// Interned equivalent of [`DepName::named`].
+    pub fn named(&self, name: &str) -> DepName {
+        self.lookup(name)
+    }
+}
+
+impl Borrow<str> for DepName {
+    fn borrow(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Order-preserving normalization of a write/read dependency pair: drops
+/// duplicate names within each list (first occurrence wins) and removes
+/// from `read_deps` every name that also appears in `write_deps` — a write
+/// dependency subsumes the read. Equivalent to the old quadratic
+/// `dedup + retain(!contains)` passes but linear in the number of deps
+/// (`tests/properties.rs` pins the equivalence).
+pub fn normalize_dep_sets(write_deps: &mut Vec<DepName>, read_deps: &mut Vec<DepName>) {
+    let mut seen = HashSet::new();
+    normalize_dep_sets_with(&mut seen, write_deps, read_deps);
+}
+
+/// [`normalize_dep_sets`] with a caller-owned scratch set (the publisher
+/// keeps one per thread).
+pub fn normalize_dep_sets_with(
+    seen: &mut HashSet<DepName>,
+    write_deps: &mut Vec<DepName>,
+    read_deps: &mut Vec<DepName>,
+) {
+    seen.clear();
+    write_deps.retain(|d| seen.insert(d.clone()));
+    read_deps.retain(|d| seen.insert(d.clone()));
 }
 
 /// The effective dependency space: dependency names hash into
@@ -69,14 +270,9 @@ impl DepSpace {
         self.cardinality
     }
 
-    /// Hashes a dependency name into the space (stable FNV-1a).
+    /// Reduces a name's cached stable hash into the space.
     pub fn key(&self, name: &DepName) -> DepKey {
-        let mut h: u64 = 0xcbf29ce484222325;
-        for b in name.0.as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x100000001b3);
-        }
-        h % self.cardinality
+        name.hash % self.cardinality
     }
 }
 
@@ -93,7 +289,7 @@ mod tests {
     #[test]
     fn object_names_match_fig6b_shape() {
         let d = DepName::object("pub3", "User", Id(100));
-        assert_eq!(d.0, "pub3/user/id/100");
+        assert_eq!(d.as_str(), "pub3/user/id/100");
     }
 
     #[test]
@@ -104,6 +300,17 @@ mod tests {
         let k2 = space.key(&d);
         assert_eq!(k1, k2);
         assert!(k1 < 1000);
+    }
+
+    #[test]
+    fn cached_hash_matches_direct_fnv1a() {
+        // DepSpace::key must equal hashing the bytes at lookup time —
+        // interning must not change any routed key.
+        let space = DepSpace::new(997);
+        for name in ["pub3/user/id/100", "a/__global__", "x", ""] {
+            let d = DepName::named(name);
+            assert_eq!(space.key(&d), fnv1a(name) % 997);
+        }
     }
 
     #[test]
@@ -124,5 +331,37 @@ mod tests {
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), 1000);
+    }
+
+    #[test]
+    fn interner_reuses_allocations_and_matches_uninterned_names() {
+        let interner = DepInterner::new();
+        let a = interner.object("app", "User", Id(9));
+        let b = interner.object("app", "User", Id(9));
+        assert!(Arc::ptr_eq(&a.name, &b.name));
+        assert_eq!(a, DepName::object("app", "User", Id(9)));
+        assert_eq!(interner.len(), 1);
+        assert_eq!(interner.named("app/x").as_str(), "app/x");
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn interner_caps_growth_but_stays_correct() {
+        let interner = DepInterner::new();
+        for i in 0..(INTERNER_CAP as u64 + 10) {
+            let d = interner.object("app", "User", Id(i));
+            assert_eq!(d.as_str(), format!("app/user/id/{i}"));
+        }
+        assert!(interner.len() <= INTERNER_CAP);
+    }
+
+    #[test]
+    fn normalize_preserves_order_and_subsumes_reads() {
+        let n = |s: &str| DepName::named(s);
+        let mut writes = vec![n("w1"), n("w2"), n("w1"), n("w3")];
+        let mut reads = vec![n("r1"), n("w2"), n("r1"), n("r2"), n("w3")];
+        normalize_dep_sets(&mut writes, &mut reads);
+        assert_eq!(writes, vec![n("w1"), n("w2"), n("w3")]);
+        assert_eq!(reads, vec![n("r1"), n("r2")]);
     }
 }

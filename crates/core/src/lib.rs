@@ -45,7 +45,7 @@ pub mod testing;
 pub use api::{Publication, Subscription};
 pub use config::{RetryPolicy, SynapseConfig};
 pub use context::{add_read_deps, add_write_deps, in_scope, with_scope, with_user_scope};
-pub use deps::{DepName, DepSpace};
+pub use deps::{normalize_dep_sets, DepInterner, DepName, DepSpace};
 pub use message::{Operation, WriteMessage};
 pub use migration::{check_migration, MigrationStep};
 pub use node::{Ecosystem, NodeStats, SynapseNode};

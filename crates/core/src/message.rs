@@ -8,7 +8,7 @@
 //! [`synapse_model::wire`], the same format the figure shows.
 
 use std::collections::BTreeMap;
-use synapse_model::{vmap, wire, Id, ModelError, Record, Value};
+use synapse_model::{wire, Id, ModelError, Record, Value};
 use synapse_versionstore::DepKey;
 
 /// One replicated operation within a message.
@@ -66,33 +66,68 @@ pub struct WriteMessage {
 impl WriteMessage {
     /// Encodes to canonical JSON.
     pub fn encode(&self) -> String {
-        let ops: Vec<Value> = self
-            .operations
-            .iter()
-            .map(|op| {
-                vmap! {
-                    "operation" => op.operation.clone(),
-                    "types" => Value::Array(
-                        op.types.iter().map(|t| Value::from(t.clone())).collect()
-                    ),
-                    "id" => op.id.raw(),
-                    "attributes" => Value::Map(op.attributes.clone()),
+        let mut out = String::with_capacity(128);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes to canonical JSON into an existing buffer — the only encode
+    /// path, written directly against [`synapse_model::wire`]'s primitives
+    /// so no intermediate [`Value`] tree (nor its per-field clones) is
+    /// built. The bytes are pinned: identical to encoding the historical
+    /// `vmap!` tree, including the dependency map's key order — keys were
+    /// `BTreeMap<String, _>` entries, so they sort *lexicographically* by
+    /// decimal representation (`"10" < "9"`), not numerically.
+    pub fn encode_into(&self, out: &mut String) {
+        out.push_str("{\"app\":");
+        wire::encode_str(&self.app, out);
+        out.push_str(",\"dependencies\":{");
+        let mut dep_keys: Vec<DepKey> = self.dependencies.keys().copied().collect();
+        dep_keys.sort_unstable_by(|a, b| {
+            let (mut abuf, mut bbuf) = ([0u8; 20], [0u8; 20]);
+            dec_digits(&mut abuf, *a).cmp(dec_digits(&mut bbuf, *b))
+        });
+        for (i, key) in dep_keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            wire::encode_u64(*key, out);
+            out.push_str("\":");
+            wire::encode_i64(self.dependencies[key] as i64, out);
+        }
+        out.push_str("},\"generation\":");
+        wire::encode_i64(self.generation as i64, out);
+        out.push_str(",\"operations\":[");
+        for (i, op) in self.operations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"attributes\":{");
+            for (j, (k, v)) in op.attributes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
                 }
-            })
-            .collect();
-        let deps: BTreeMap<String, Value> = self
-            .dependencies
-            .iter()
-            .map(|(k, v)| (k.to_string(), Value::from(*v)))
-            .collect();
-        let msg = vmap! {
-            "app" => self.app.clone(),
-            "operations" => Value::Array(ops),
-            "dependencies" => Value::Map(deps),
-            "published_at" => self.published_at,
-            "generation" => self.generation,
-        };
-        wire::encode(&msg)
+                wire::encode_str(k, out);
+                out.push(':');
+                wire::encode_into(v, out);
+            }
+            out.push_str("},\"id\":");
+            wire::encode_i64(op.id.raw() as i64, out);
+            out.push_str(",\"operation\":");
+            wire::encode_str(&op.operation, out);
+            out.push_str(",\"types\":[");
+            for (j, t) in op.types.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                wire::encode_str(t, out);
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"published_at\":");
+        wire::encode_i64(self.published_at as i64, out);
+        out.push('}');
     }
 
     /// Decodes from JSON.
@@ -175,6 +210,22 @@ impl WriteMessage {
     }
 }
 
+/// Writes `v`'s decimal digits into `buf` and returns them — used to sort
+/// dependency keys in their historical string order without allocating.
+fn dec_digits(buf: &mut [u8; 20], v: u64) -> &[u8] {
+    let mut pos = buf.len();
+    let mut rest = v;
+    loop {
+        pos -= 1;
+        buf[pos] = b'0' + (rest % 10) as u8;
+        rest /= 10;
+        if rest == 0 {
+            break;
+        }
+    }
+    &buf[pos..]
+}
+
 /// Current wall-clock in microseconds since the Unix epoch.
 pub fn now_micros() -> u64 {
     std::time::SystemTime::now()
@@ -186,7 +237,7 @@ pub fn now_micros() -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use synapse_model::varray;
+    use synapse_model::{varray, vmap};
 
     fn fig6b_message() -> WriteMessage {
         // The Fig. 6(b) sample: pub3 updates User#100's interests.
@@ -262,6 +313,71 @@ mod tests {
         ] {
             assert!(WriteMessage::decode(bad).is_err(), "should reject {bad}");
         }
+    }
+
+    /// The historical encoder: build the full `Value` tree (dependency keys
+    /// as decimal strings in a `BTreeMap<String, _>`) and encode that. The
+    /// direct writer must reproduce its bytes exactly.
+    fn reference_encode(msg: &WriteMessage) -> String {
+        let ops: Vec<Value> = msg
+            .operations
+            .iter()
+            .map(|op| {
+                vmap! {
+                    "operation" => op.operation.clone(),
+                    "types" => Value::Array(
+                        op.types.iter().map(|t| Value::from(t.clone())).collect()
+                    ),
+                    "id" => op.id.raw(),
+                    "attributes" => Value::Map(op.attributes.clone()),
+                }
+            })
+            .collect();
+        let deps: BTreeMap<String, Value> = msg
+            .dependencies
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::from(*v)))
+            .collect();
+        wire::encode(&vmap! {
+            "app" => msg.app.clone(),
+            "operations" => Value::Array(ops),
+            "dependencies" => Value::Map(deps),
+            "published_at" => msg.published_at,
+            "generation" => msg.generation,
+        })
+    }
+
+    #[test]
+    fn direct_encoder_matches_value_tree_reference() {
+        let mut msg = fig6b_message();
+        // Keys 9/10/100 pin the lexicographic-decimal ordering ("10" and
+        // "100" sort before "9"); the huge key pins the u64→i64 value cast.
+        msg.dependencies.insert(9, 1);
+        msg.dependencies.insert(10, 2);
+        msg.dependencies.insert(100, 3);
+        msg.dependencies.insert(u64::MAX, u64::MAX);
+        msg.operations.push(Operation {
+            operation: "destroy".into(),
+            types: vec!["AdminUser".into(), "User".into()],
+            id: Id(u64::MAX),
+            attributes: BTreeMap::new(),
+        });
+        assert_eq!(msg.encode(), reference_encode(&msg));
+        assert!(msg
+            .encode()
+            .contains(r#""10":2,"100":3,"18446744073709551615":-1,"77":42,"9":1"#));
+    }
+
+    #[test]
+    fn empty_containers_encode_like_the_reference() {
+        let msg = WriteMessage {
+            app: String::new(),
+            operations: Vec::new(),
+            dependencies: BTreeMap::new(),
+            published_at: 0,
+            generation: 0,
+        };
+        assert_eq!(msg.encode(), reference_encode(&msg));
     }
 
     #[test]

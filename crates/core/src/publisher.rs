@@ -27,10 +27,11 @@
 use crate::api::{Publication, Subscription};
 use crate::config::RetryPolicy;
 use crate::context::{self, TxBuffer};
-use crate::deps::{DepName, DepSpace};
+use crate::deps::{normalize_dep_sets_with, DepInterner, DepName, DepSpace};
 use crate::message::{now_micros, Operation, WriteMessage};
 use crate::semantics::DeliveryMode;
 use parking_lot::{Condvar, Mutex, RwLock};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -38,7 +39,7 @@ use std::time::Instant;
 use synapse_broker::{Broker, SharedStr};
 use synapse_model::{Record, Value};
 use synapse_orm::{Orm, OrmError, QueryObserver, WriteExec, WriteIntent, WriteKind};
-use synapse_versionstore::{DepKey, GenerationStore, StoreError, VersionStore};
+use synapse_versionstore::{BumpScratch, DepKey, GenerationStore, StoreError, VersionStore};
 
 /// All-or-nothing lock manager over effective dependency keys.
 ///
@@ -102,9 +103,54 @@ pub struct PublisherStats {
     pub publish_failures: u64,
 }
 
+/// Per-thread working buffers of the write path. Everything the
+/// interception pipeline used to allocate per message — dependency lists,
+/// the dedup set, the bump script and its outputs, the lock key set — lives
+/// here and is reused across writes on the same thread.
+#[derive(Default)]
+struct PublishScratch {
+    write_deps: Vec<DepName>,
+    read_deps: Vec<DepName>,
+    seen: HashSet<DepName>,
+    script: Vec<(DepKey, bool)>,
+    externals: Vec<DepKey>,
+    bumped: Vec<DepKey>,
+    bump_out: Vec<(DepKey, u64)>,
+    bump: BumpScratch,
+    lock_keys: Vec<DepKey>,
+}
+
+thread_local! {
+    /// Moved out with [`take_scratch`] for the duration of one write and
+    /// moved back with [`put_scratch`] — a re-entrant write (a virtual
+    /// getter or `exec` callback publishing again) simply takes a fresh
+    /// default instead of panicking on a held borrow.
+    static PUBLISH_SCRATCH: RefCell<Option<PublishScratch>> = const { RefCell::new(None) };
+    /// Wire-encode buffer reused across messages before freezing each
+    /// payload into a [`SharedStr`].
+    static ENCODE_SCRATCH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+fn take_scratch() -> PublishScratch {
+    PUBLISH_SCRATCH
+        .with(|s| s.borrow_mut().take())
+        .unwrap_or_default()
+}
+
+fn put_scratch(scratch: PublishScratch) {
+    PUBLISH_SCRATCH.with(|s| *s.borrow_mut() = Some(scratch));
+}
+
 /// The publisher runtime for one service. See the module docs.
 pub struct Publisher {
     app: String,
+    /// `"{app}/"` — precomputed so the external-dependency test is a plain
+    /// prefix compare instead of a per-call `format!`.
+    app_prefix: String,
+    /// The app's global-ordering dependency, built once.
+    global_dep: DepName,
+    /// Per-node dependency-name interner (see [`DepInterner`]).
+    interner: DepInterner,
     mode: DeliveryMode,
     dep_space: DepSpace,
     store: Arc<VersionStore>,
@@ -147,6 +193,9 @@ impl Publisher {
         retry: RetryPolicy,
     ) -> Self {
         Publisher {
+            app_prefix: format!("{app}/"),
+            global_dep: DepName::global(&app),
+            interner: DepInterner::new(),
             app,
             mode,
             dep_space,
@@ -240,18 +289,8 @@ impl Publisher {
             .cloned()
     }
 
-    /// Resolves the dependency name of a record read in scope: models this
-    /// service subscribes to belong to their *origin* app (external
-    /// dependencies, §4.2); everything else is local.
-    fn read_dep_name(&self, record: &Record) -> DepName {
-        match self.subscription_for(&record.model) {
-            Some(sub) => DepName::object(&sub.from, &record.model, record.id),
-            None => DepName::object(&self.app, &record.model, record.id),
-        }
-    }
-
     fn is_external(&self, dep: &DepName) -> bool {
-        !dep.0.starts_with(&format!("{}/", self.app))
+        !dep.as_str().starts_with(&self.app_prefix)
     }
 
     /// Enforces §3.1 ownership: subscribers cannot create/delete imported
@@ -323,16 +362,25 @@ impl Publisher {
     }
 
     /// Computes `(write_deps, read_deps)` for an operation under the
-    /// publisher's delivery mode (§4.2).
-    fn compute_deps(&self, intent: &WriteIntent) -> (Vec<DepName>, Vec<DepName>) {
-        let object = DepName::object(&self.app, &intent.model, intent.id);
-        let mut write_deps = vec![object];
-        let mut read_deps = Vec::new();
+    /// publisher's delivery mode (§4.2), into the scratch lists. Scope
+    /// names are already interned, so extending the lists clones pointers;
+    /// normalization is the linear hash-set pass of
+    /// [`crate::deps::normalize_dep_sets`].
+    fn compute_deps(&self, intent: &WriteIntent, scratch: &mut PublishScratch) {
+        let PublishScratch {
+            write_deps,
+            read_deps,
+            seen,
+            ..
+        } = scratch;
+        write_deps.clear();
+        read_deps.clear();
+        write_deps.push(self.interner.object(&self.app, &intent.model, intent.id));
         match self.mode {
             DeliveryMode::Weak => {}
             DeliveryMode::Global => {
                 // One global object serializes all writes.
-                write_deps.push(DepName::global(&self.app));
+                write_deps.push(self.global_dep.clone());
             }
             DeliveryMode::Causal => {
                 context::scope_mut(|scope| {
@@ -353,46 +401,39 @@ impl Publisher {
                 });
             }
         }
-        dedup(&mut write_deps);
-        dedup(&mut read_deps);
-        read_deps.retain(|d| !write_deps.contains(d));
-        (write_deps, read_deps)
+        normalize_dep_sets_with(seen, write_deps, read_deps);
     }
 
-    /// Runs the bump protocol and assembles the dependency map. Also
-    /// returns the keys whose `ops` counter was incremented (needed to
-    /// rebase dependencies of later operations in the same transaction).
-    fn bump_versions(
-        &self,
-        write_deps: &[DepName],
-        read_deps: &[DepName],
-    ) -> Result<(BTreeMap<DepKey, u64>, Vec<DepKey>), StoreError> {
-        let mut script: Vec<(DepKey, bool)> = Vec::new();
-        let mut externals: Vec<DepKey> = Vec::new();
-        for d in write_deps {
-            script.push((self.dep_space.key(d), true));
+    /// Runs the bump protocol over the scratch dependency lists and
+    /// assembles the dependency map. `scratch.bumped` is left holding the
+    /// keys whose `ops` counter was incremented (needed to rebase
+    /// dependencies of later operations in the same transaction).
+    fn bump_versions(&self, scratch: &mut PublishScratch) -> Result<BTreeMap<DepKey, u64>, StoreError> {
+        scratch.script.clear();
+        scratch.externals.clear();
+        scratch.bumped.clear();
+        for d in &scratch.write_deps {
+            scratch.script.push((self.dep_space.key(d), true));
         }
-        for d in read_deps {
+        for d in &scratch.read_deps {
             let key = self.dep_space.key(d);
             if self.is_external(d) {
                 // External dependencies are stamped from the subscriber-side
                 // store and never incremented (§4.2).
-                externals.push(key);
+                scratch.externals.push(key);
             } else {
-                script.push((key, false));
+                scratch.script.push((key, false));
             }
         }
-        let bumped: Vec<DepKey> = script.iter().map(|(k, _)| *k).collect();
-        let mut deps: BTreeMap<DepKey, u64> = self
-            .store
-            .publish_bump(&script)?
-            .into_iter()
-            .collect();
-        for key in externals {
-            let value = self.sub_store.ops(key).unwrap_or(0);
-            deps.entry(key).or_insert(value);
+        scratch.bumped.extend(scratch.script.iter().map(|(k, _)| *k));
+        self.store
+            .publish_bump_into(&scratch.script, &mut scratch.bump, &mut scratch.bump_out)?;
+        let mut deps: BTreeMap<DepKey, u64> = scratch.bump_out.iter().copied().collect();
+        for key in &scratch.externals {
+            let value = self.sub_store.ops(*key).unwrap_or(0);
+            deps.entry(*key).or_insert(value);
         }
-        Ok((deps, bumped))
+        Ok(deps)
     }
 
     /// Publishes (or buffers) one operation with its dependency map.
@@ -439,7 +480,14 @@ impl Publisher {
             published_at: now_micros(),
             generation: self.generations.current(),
         };
-        let payload = SharedStr::from(msg.encode());
+        // Encode into the thread's scratch buffer, then freeze one
+        // right-sized Arc allocation for journal + broker.
+        let payload = ENCODE_SCRATCH.with(|buf| {
+            let mut buf = buf.borrow_mut();
+            buf.clear();
+            msg.encode_into(&mut buf);
+            SharedStr::from(buf.as_str())
+        });
         let seq = self.journal_seq.fetch_add(1, Ordering::Relaxed);
         self.journal.lock().insert(seq, payload.clone());
         if self.fail_publish.load(Ordering::SeqCst) {
@@ -478,27 +526,22 @@ impl Publisher {
     }
 }
 
-/// In-place, order-preserving dedup. Dependency lists are a handful of
-/// names, so the quadratic prefix scan beats hashing — and unlike the
-/// hash-set approach it clones nothing.
-fn dedup(deps: &mut Vec<DepName>) {
-    let mut i = 1;
-    while i < deps.len() {
-        if deps[..i].contains(&deps[i]) {
-            deps.remove(i);
-        } else {
-            i += 1;
-        }
-    }
-}
-
 impl QueryObserver for Publisher {
     fn on_read(&self, _orm: &Orm, records: &[Record]) {
         if !context::in_scope() || context::is_replicating() {
             return;
         }
+        // Models this service subscribes to belong to their *origin* app
+        // (external dependencies, §4.2); everything else is local. One
+        // subscription read-lock covers the whole result set.
+        let subs = self.subscriptions.read();
         for r in records {
-            context::record_read(self.read_dep_name(r));
+            let from = subs
+                .iter()
+                .find(|s| s.model == r.model)
+                .map(|s| s.from.as_str())
+                .unwrap_or(&self.app);
+            context::record_read(self.interner.object(from, &r.model, r.id));
         }
     }
 
@@ -521,40 +564,45 @@ impl QueryObserver for Publisher {
             return exec();
         }
 
-        let (write_deps, read_deps) = self.compute_deps(intent);
-        let mut lock_keys: Vec<DepKey> =
-            write_deps.iter().map(|d| self.dep_space.key(d)).collect();
-        lock_keys.sort_unstable();
-        lock_keys.dedup();
+        let mut scratch = take_scratch();
+        self.compute_deps(intent, &mut scratch);
+        scratch.lock_keys.clear();
+        scratch
+            .lock_keys
+            .extend(scratch.write_deps.iter().map(|d| self.dep_space.key(d)));
+        scratch.lock_keys.sort_unstable();
+        scratch.lock_keys.dedup();
         let pre_nanos = start.elapsed().as_nanos() as u64;
 
-        let guard = self.locks.lock(&lock_keys);
+        let guard = self.locks.lock(&scratch.lock_keys);
         let record = match exec() {
             Ok(r) => r,
             Err(e) => {
                 drop(guard);
+                put_scratch(scratch);
                 return Err(e);
             }
         };
 
         let post = Instant::now();
-        let (deps, bumped) = match self.bump_versions(&write_deps, &read_deps) {
+        let deps = match self.bump_versions(&mut scratch) {
             Ok(d) => d,
             Err(StoreError::Dead) => {
                 // §4.4: increment the generation and resume with a fresh
                 // store; subscribers flush on seeing the new generation.
                 self.handle_store_death();
-                self.bump_versions(&write_deps, &read_deps)
+                self.bump_versions(&mut scratch)
                     .expect("revived store accepts the bump")
             }
         };
         let marshalled = self.marshal(orm, &publication, &record);
         let op = Operation::from_record(intent.kind.wire_name(), &marshalled);
-        self.emit(op, deps, &bumped);
+        self.emit(op, deps, &scratch.bumped);
         drop(guard);
 
         // Maintain the in-controller causal chain.
-        let first_write = write_deps.first().cloned();
+        let first_write = scratch.write_deps.first().cloned();
+        put_scratch(scratch);
         context::scope_mut(|scope| {
             scope.last_write_dep = first_write.clone();
             scope.synapse_nanos += pre_nanos + post.elapsed().as_nanos() as u64;

@@ -46,7 +46,7 @@ use synapse_versionstore::DepKey;
 use synapse_db::DbError;
 use synapse_model::{Record, Value};
 use synapse_orm::{CallbackPoint, Orm, OrmError};
-use synapse_versionstore::{StoreError, VersionStore, WaitOutcome};
+use synapse_versionstore::{DepWaitSet, StoreError, VersionStore, WaitOutcome};
 
 /// Why one processing attempt failed — the classification that decides
 /// between redelivery and the dead-letter store.
@@ -389,8 +389,8 @@ impl Subscriber {
         }
         let mode = self.effective_mode(&msg.app);
         if matches!(mode, DeliveryMode::Causal | DeliveryMode::Global) {
-            let deps = self.filtered_deps(msg, mode);
-            if !pending.is_empty() && !matches!(self.store.satisfied(&deps), Ok(true)) {
+            let deps = self.filtered_wait_set(msg, mode);
+            if !pending.is_empty() && !matches!(self.store.satisfied_prepared(&deps), Ok(true)) {
                 self.flush_pending(consumer, pending);
             }
             self.wait_deps(&deps).map_err(ProcessError::Transient)?;
@@ -471,7 +471,7 @@ impl Subscriber {
         let mode = self.effective_mode(&msg.app);
         match mode {
             DeliveryMode::Causal | DeliveryMode::Global => {
-                self.wait_deps(&self.filtered_deps(&msg, mode))
+                self.wait_deps(&self.filtered_wait_set(&msg, mode))
                     .map_err(ProcessError::Transient)?;
             }
             DeliveryMode::Weak => {}
@@ -553,20 +553,23 @@ impl Subscriber {
         Ok(())
     }
 
-    /// The message's dependency list, filtered per the effective mode: a
+    /// The message's dependencies, filtered per the effective mode (a
     /// causal subscriber of a global publisher ignores the global
-    /// dependency (§4.2).
-    fn filtered_deps(&self, msg: &WriteMessage, mode: DeliveryMode) -> Vec<(DepKey, u64)> {
+    /// dependency, §4.2) and routed once into a shard-grouped wait set —
+    /// every re-check during the wait loop reuses the routing.
+    fn filtered_wait_set(&self, msg: &WriteMessage, mode: DeliveryMode) -> DepWaitSet {
         let mut deps = msg.dep_list();
         if mode == DeliveryMode::Causal {
             let global_key = self.dep_space.key(&DepName::global(&msg.app));
             deps.retain(|(k, _)| *k != global_key);
         }
-        deps
+        let mut set = DepWaitSet::default();
+        self.store.prepare_wait(&deps, &mut set);
+        set
     }
 
-    /// Waits for a filtered dependency list on the version store.
-    fn wait_deps(&self, deps: &[(DepKey, u64)]) -> Result<(), String> {
+    /// Waits for a prepared dependency set on the version store.
+    fn wait_deps(&self, deps: &DepWaitSet) -> Result<(), String> {
         // Wait in short slices so the stop flag stays responsive; an
         // overall deadline implements the configurable give-up of §6.5
         // (`None` = the paper's strict causal mode: wait forever).
@@ -574,7 +577,7 @@ impl Subscriber {
             .dep_wait_timeout
             .map(|t| std::time::Instant::now() + t);
         loop {
-            match self.store.wait_for(deps, Duration::from_millis(100)) {
+            match self.store.wait_prepared(deps, Duration::from_millis(100)) {
                 Ok(WaitOutcome::Ready) => return Ok(()),
                 Ok(WaitOutcome::TimedOut) => {
                     if self.stop.load(Ordering::SeqCst) {

@@ -36,9 +36,7 @@ pub fn encode_into(value: &Value, out: &mut String) {
         Value::Null => out.push_str("null"),
         Value::Bool(true) => out.push_str("true"),
         Value::Bool(false) => out.push_str("false"),
-        Value::Int(i) => {
-            out.push_str(itoa_buf(*i).as_str());
-        }
+        Value::Int(i) => encode_i64(*i, out),
         Value::Float(x) => encode_float(*x, out),
         Value::Str(s) => encode_string(s, out),
         Value::Array(items) => {
@@ -66,19 +64,49 @@ pub fn encode_into(value: &Value, out: &mut String) {
     }
 }
 
-fn itoa_buf(i: i64) -> String {
-    i.to_string()
+/// Appends the decimal digits of `i` — same bytes as `i64`'s `Display`,
+/// but written through a stack buffer instead of an intermediate `String`.
+pub fn encode_i64(i: i64, out: &mut String) {
+    if i < 0 {
+        out.push('-');
+    }
+    encode_u64(i.unsigned_abs(), out);
+}
+
+/// Appends the decimal digits of `u` with no heap allocation.
+pub fn encode_u64(u: u64, out: &mut String) {
+    // u64::MAX is 20 digits.
+    let mut buf = [0u8; 20];
+    let mut pos = buf.len();
+    let mut rest = u;
+    loop {
+        pos -= 1;
+        buf[pos] = b'0' + (rest % 10) as u8;
+        rest /= 10;
+        if rest == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[pos..]).expect("ascii digits"));
 }
 
 fn encode_float(x: f64, out: &mut String) {
     if x.is_finite() {
-        let s = format!("{x}");
-        out.push_str(&s);
-        // Keep floats round-trippable as floats: `2.0` must not encode as
-        // `2`, which would decode to an Int.
-        if !s.contains(['.', 'e', 'E']) {
-            out.push_str(".0");
-        }
+        // `{}` on f64 never uses scientific notation, so subnormals print
+        // hundreds of digits (5e-324 is ~326 chars): format onto the stack
+        // and fall back to the heap only past that.
+        let mut buf = FloatBuf::default();
+        let s = match std::fmt::Write::write_fmt(&mut buf, format_args!("{x}")) {
+            Ok(()) => buf.as_str(),
+            Err(_) => {
+                let s = x.to_string();
+                out.push_str(&s);
+                finish_float(&s, out);
+                return;
+            }
+        };
+        out.push_str(s);
+        finish_float(s, out);
     } else {
         // JSON has no NaN/Infinity; Synapse never publishes them, but the
         // encoder must stay total.
@@ -86,7 +114,51 @@ fn encode_float(x: f64, out: &mut String) {
     }
 }
 
-fn encode_string(s: &str, out: &mut String) {
+/// Keeps floats round-trippable as floats: `2.0` must not encode as `2`,
+/// which would decode to an Int.
+fn finish_float(formatted: &str, out: &mut String) {
+    if !formatted.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+/// Fixed-capacity `fmt::Write` sink for float formatting; errors on
+/// overflow so the caller can fall back.
+struct FloatBuf {
+    buf: [u8; 512],
+    len: usize,
+}
+
+impl Default for FloatBuf {
+    fn default() -> Self {
+        FloatBuf {
+            buf: [0; 512],
+            len: 0,
+        }
+    }
+}
+
+impl FloatBuf {
+    fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.buf[..self.len]).expect("float digits are ascii")
+    }
+}
+
+impl std::fmt::Write for FloatBuf {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        let bytes = s.as_bytes();
+        if self.len + bytes.len() > self.buf.len() {
+            return Err(std::fmt::Error);
+        }
+        self.buf[self.len..self.len + bytes.len()].copy_from_slice(bytes);
+        self.len += bytes.len();
+        Ok(())
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, minimally escaped) — the
+/// canonical escaping used everywhere a key or string crosses the wire.
+pub fn encode_str(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -96,12 +168,21 @@ fn encode_string(s: &str, out: &mut String) {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                // c < 0x20, so the escape is always "\u00" + 2 hex digits.
+                const HEX: &[u8; 16] = b"0123456789abcdef";
+                let b = c as u32;
+                out.push_str("\\u00");
+                out.push(HEX[(b >> 4) as usize] as char);
+                out.push(HEX[(b & 0xf) as usize] as char);
             }
             c => out.push(c),
         }
     }
     out.push('"');
+}
+
+fn encode_string(s: &str, out: &mut String) {
+    encode_str(s, out);
 }
 
 /// Parses JSON text into a [`Value`].
@@ -441,6 +522,49 @@ mod tests {
     fn nonfinite_floats_encode_as_null() {
         assert_eq!(encode(&Value::from(f64::NAN)), "null");
         assert_eq!(encode(&Value::from(f64::INFINITY)), "null");
+    }
+
+    /// The stack-buffer integer formatter must emit exactly `Display`'s
+    /// bytes — the wire format is pinned byte-for-byte.
+    #[test]
+    fn int_formatting_matches_display() {
+        for i in [0i64, 1, -1, 7, -42, 1000, i64::MAX, i64::MIN] {
+            let mut out = String::new();
+            encode_i64(i, &mut out);
+            assert_eq!(out, i.to_string());
+        }
+        let mut out = String::new();
+        encode_u64(u64::MAX, &mut out);
+        assert_eq!(out, u64::MAX.to_string());
+    }
+
+    /// The stack-buffer float formatter must emit exactly what the old
+    /// `format!`-based encoder produced, including the widest finite
+    /// values (f64 `Display` never uses scientific notation, so
+    /// subnormals print hundreds of digits).
+    #[test]
+    fn float_formatting_matches_display() {
+        for x in [
+            0.0f64,
+            -0.0,
+            2.0,
+            3.25,
+            -1e-9,
+            5e-324,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -f64::MAX,
+        ] {
+            let mut out = String::new();
+            encode_float(x, &mut out);
+            let s = format!("{x}");
+            let expected = if s.contains(['.', 'e', 'E']) {
+                s
+            } else {
+                format!("{s}.0")
+            };
+            assert_eq!(out, expected, "float {x:e}");
+        }
     }
 
     #[test]

@@ -44,6 +44,44 @@ pub enum WaitOutcome {
     TimedOut,
 }
 
+/// Caller-owned scratch buffers for [`VersionStore::publish_bump_into`].
+/// The publisher keeps one per thread so the bump script's route and
+/// touched-shard working sets are allocated once, not per message.
+#[derive(Debug, Default)]
+pub struct BumpScratch {
+    routes: Vec<usize>,
+    touched: Vec<bool>,
+}
+
+/// A wait set prepared once per message by [`VersionStore::prepare_wait`]:
+/// every `(key, required)` pair routed to its shard up front and grouped so
+/// the blocking wait and the satisfied-fast-path take **one lock per
+/// touched shard** instead of one per key — and re-checking after a wakeup
+/// re-routes nothing.
+#[derive(Debug, Default, Clone)]
+pub struct DepWaitSet {
+    /// `(shard, key, required)` sorted by shard (stable, so per-shard key
+    /// order follows the message).
+    entries: Vec<(u32, DepKey, u64)>,
+}
+
+impl DepWaitSet {
+    /// Number of dependencies in the set.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set holds no dependencies.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
 /// Per-dependency counters. On the publisher both fields are used; on a
 /// subscriber only `ops` is (plus `version` for the weak-mode
 /// latest-version check).
@@ -195,12 +233,46 @@ impl VersionStore {
     ///
     /// `deps` pairs each key with `is_write`.
     pub fn publish_bump(&self, deps: &[(DepKey, bool)]) -> Result<Vec<(DepKey, u64)>, StoreError> {
-        let keys: Vec<DepKey> = deps.iter().map(|(k, _)| *k).collect();
-        self.check_shards_alive(&keys)?;
-        let routes: Vec<usize> = keys.iter().map(|k| self.ring.route(*k)).collect();
-        let mut guards = self.lock_routed(&routes);
+        let mut scratch = BumpScratch::default();
         let mut out = Vec::with_capacity(deps.len());
-        for ((key, is_write), shard_idx) in deps.iter().zip(&routes) {
+        self.publish_bump_into(deps, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`VersionStore::publish_bump`] with caller-owned scratch and output
+    /// buffers: the route table, touched-shard map, and dependency-value
+    /// output reuse the caller's allocations across messages. `out` is
+    /// cleared and filled in `deps` order.
+    pub fn publish_bump_into(
+        &self,
+        deps: &[(DepKey, bool)],
+        scratch: &mut BumpScratch,
+        out: &mut Vec<(DepKey, u64)>,
+    ) -> Result<(), StoreError> {
+        out.clear();
+        scratch.routes.clear();
+        scratch.touched.clear();
+        scratch.touched.resize(self.shards.len(), false);
+        // Route each key once, failing before any lock if a routed shard is
+        // dead (same all-or-nothing semantics as `check_shards_alive`).
+        for (key, _) in deps {
+            let route = self.ring.route(*key);
+            if self.shards[route].dead.load(Ordering::SeqCst) {
+                return Err(StoreError::Dead);
+            }
+            scratch.touched[route] = true;
+            scratch.routes.push(route);
+        }
+        // Lock touched shards in index order (cross-shard atomicity without
+        // deadlocks). The guard vector itself is per-call — guards borrow
+        // `self` — but it is the only allocation left on this path.
+        let mut guards: Vec<Option<MutexGuard<'_, HashMap<DepKey, Entry>>>> = scratch
+            .touched
+            .iter()
+            .enumerate()
+            .map(|(i, hit)| hit.then(|| self.shards[i].entries.lock()))
+            .collect();
+        for ((key, is_write), shard_idx) in deps.iter().zip(&scratch.routes) {
             let guard = guards[*shard_idx].as_mut().expect("routed shard locked");
             let entry = guard.entry(*key).or_default();
             entry.ops += 1;
@@ -212,7 +284,20 @@ impl VersionStore {
             };
             out.push((*key, value));
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Routes every `(key, required)` pair and groups the set by shard into
+    /// `set`, reusing its allocation. Prepare once per message, then call
+    /// [`VersionStore::wait_prepared`] / [`VersionStore::satisfied_prepared`]
+    /// any number of times without re-routing.
+    pub fn prepare_wait(&self, deps: &[(DepKey, u64)], set: &mut DepWaitSet) {
+        set.entries.clear();
+        set.entries.extend(
+            deps.iter()
+                .map(|(k, req)| (self.ring.route(*k) as u32, *k, *req)),
+        );
+        set.entries.sort_by_key(|(shard, _, _)| *shard);
     }
 
     /// Blocks until every `(key, required)` pair satisfies
@@ -224,36 +309,92 @@ impl VersionStore {
         deps: &[(DepKey, u64)],
         timeout: Duration,
     ) -> Result<WaitOutcome, StoreError> {
+        let mut set = DepWaitSet::default();
+        self.prepare_wait(deps, &mut set);
+        self.wait_prepared(&set, timeout)
+    }
+
+    /// Blocking wait over a prepared set: one lock per touched shard, with
+    /// all of a shard's keys re-checked under that single lock after each
+    /// wakeup.
+    pub fn wait_prepared(
+        &self,
+        set: &DepWaitSet,
+        timeout: Duration,
+    ) -> Result<WaitOutcome, StoreError> {
         let deadline = Instant::now() + timeout;
-        for (key, required) in deps {
-            let shard = &self.shards[self.ring.route(*key)];
+        let mut start = 0;
+        while start < set.entries.len() {
+            let shard_idx = set.entries[start].0 as usize;
+            let mut end = start + 1;
+            while end < set.entries.len() && set.entries[end].0 as usize == shard_idx {
+                end += 1;
+            }
+            let shard = &self.shards[shard_idx];
             let mut entries = shard.entries.lock();
+            // `done` only advances: ops counters are monotonic while the
+            // shard lock is dropped during a wait.
+            let mut done = start;
             loop {
                 if shard.dead.load(Ordering::SeqCst) {
                     return Err(StoreError::Dead);
                 }
-                let current = entries.get(key).map(|e| e.ops).unwrap_or(0);
-                if current >= *required {
+                while done < end {
+                    let (_, key, required) = set.entries[done];
+                    if entries.get(&key).map(|e| e.ops).unwrap_or(0) >= required {
+                        done += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if done == end {
                     break;
                 }
                 if shard.changed.wait_until(&mut entries, deadline).timed_out() {
                     return Ok(WaitOutcome::TimedOut);
                 }
             }
+            start = end;
         }
         Ok(WaitOutcome::Ready)
     }
 
     /// Non-blocking variant of [`VersionStore::wait_for`].
     pub fn satisfied(&self, deps: &[(DepKey, u64)]) -> Result<bool, StoreError> {
-        let keys: Vec<DepKey> = deps.iter().map(|(k, _)| *k).collect();
-        self.check_shards_alive(&keys)?;
-        for (key, required) in deps {
-            let shard = &self.shards[self.ring.route(*key)];
-            let entries = shard.entries.lock();
-            if entries.get(key).map(|e| e.ops).unwrap_or(0) < *required {
-                return Ok(false);
+        let mut set = DepWaitSet::default();
+        self.prepare_wait(deps, &mut set);
+        self.satisfied_prepared(&set)
+    }
+
+    /// Non-blocking check over a prepared set: one lock per touched shard.
+    /// Fails with [`StoreError::Dead`] if *any* routed shard is dead, even
+    /// when an earlier key is already unsatisfied (same contract as
+    /// `satisfied`'s up-front liveness check).
+    pub fn satisfied_prepared(&self, set: &DepWaitSet) -> Result<bool, StoreError> {
+        let mut previous = usize::MAX;
+        for (shard, _, _) in &set.entries {
+            let shard_idx = *shard as usize;
+            if shard_idx != previous {
+                if self.shards[shard_idx].dead.load(Ordering::SeqCst) {
+                    return Err(StoreError::Dead);
+                }
+                previous = shard_idx;
             }
+        }
+        let mut start = 0;
+        while start < set.entries.len() {
+            let shard_idx = set.entries[start].0 as usize;
+            let mut end = start + 1;
+            while end < set.entries.len() && set.entries[end].0 as usize == shard_idx {
+                end += 1;
+            }
+            let entries = self.shards[shard_idx].entries.lock();
+            for (_, key, required) in &set.entries[start..end] {
+                if entries.get(key).map(|e| e.ops).unwrap_or(0) < *required {
+                    return Ok(false);
+                }
+            }
+            start = end;
         }
         Ok(true)
     }
@@ -628,6 +769,71 @@ mod tests {
         thread::sleep(Duration::from_millis(30));
         store.apply(&keys).unwrap();
         assert_eq!(waiter.join().unwrap(), WaitOutcome::Ready);
+    }
+
+    /// The scratch-reusing bump must produce exactly the dependency values
+    /// of the allocating wrapper, message after message with the same
+    /// buffers.
+    #[test]
+    fn publish_bump_into_matches_publish_bump() {
+        let reference = VersionStore::new(4);
+        let reused = VersionStore::new(4);
+        let mut scratch = BumpScratch::default();
+        let mut out = Vec::new();
+        for round in 0..20u64 {
+            let deps: Vec<(DepKey, bool)> = (0..30)
+                .map(|k| (k * 7 % 13, (k + round) % 3 == 0))
+                .collect();
+            let expected = reference.publish_bump(&deps).unwrap();
+            reused.publish_bump_into(&deps, &mut scratch, &mut out).unwrap();
+            assert_eq!(out, expected);
+        }
+    }
+
+    /// A prepared wait set can be re-checked and re-waited without
+    /// re-routing, with the same outcomes as the per-call API.
+    #[test]
+    fn prepared_wait_set_matches_unprepared_api() {
+        let store = Arc::new(VersionStore::new(4));
+        let deps: Vec<(DepKey, u64)> = (0..16).map(|k| (k, 1)).collect();
+        let mut set = DepWaitSet::default();
+        store.prepare_wait(&deps, &mut set);
+        assert_eq!(set.len(), deps.len());
+        assert!(!store.satisfied_prepared(&set).unwrap());
+        assert_eq!(
+            store
+                .wait_prepared(&set, Duration::from_millis(20))
+                .unwrap(),
+            WaitOutcome::TimedOut
+        );
+
+        let waiter = {
+            let store = store.clone();
+            let set = set.clone();
+            thread::spawn(move || store.wait_prepared(&set, Duration::from_secs(5)).unwrap())
+        };
+        thread::sleep(Duration::from_millis(30));
+        let keys: Vec<DepKey> = deps.iter().map(|(k, _)| *k).collect();
+        store.apply(&keys).unwrap();
+        assert_eq!(waiter.join().unwrap(), WaitOutcome::Ready);
+        assert!(store.satisfied_prepared(&set).unwrap());
+    }
+
+    /// A dead routed shard fails the prepared check even when an earlier
+    /// key is already unsatisfied — liveness is checked before
+    /// satisfaction, as in the unprepared API.
+    #[test]
+    fn prepared_satisfied_reports_death_before_unsatisfied_keys() {
+        let store = VersionStore::new(4);
+        let key_a = 1u64;
+        let shard_a = store.shard_for(key_a);
+        let key_b = (2..1000)
+            .find(|k| store.shard_for(*k) != shard_a)
+            .expect("some key routes elsewhere");
+        let mut set = DepWaitSet::default();
+        store.prepare_wait(&[(key_a, 5), (key_b, 5)], &mut set);
+        store.kill_shard(store.shard_for(key_b));
+        assert_eq!(store.satisfied_prepared(&set), Err(StoreError::Dead));
     }
 
     #[test]

@@ -1,58 +1,110 @@
 #!/usr/bin/env bash
-# Perf trajectory: runs the criterion micro-benches (broker, publish_path,
-# versionstore, wire) plus the end-to-end fanout throughput bench and
-# writes BENCH_publish_path.json — numbers every future PR compares
-# against (see EXPERIMENTS.md "Publish→deliver hot-path trajectory").
+# Perf trajectories: runs the criterion micro-benches (broker,
+# publish_path, publisher_deps, versionstore, wire) plus the end-to-end
+# throughput bins and writes the JSON trajectories every future PR
+# compares against (see EXPERIMENTS.md):
+#
+#   BENCH_publish_path.json    — broker deliver side (fanout bin, PR 2)
+#   BENCH_publisher_path.json  — publisher write side (publisher bin, PR 3)
 #
 # Usage:
-#   scripts/bench.sh                  # full run, writes BENCH_publish_path.json
-#   scripts/bench.sh --save-baseline  # full run, writes the baseline file instead
-#   scripts/bench.sh --smoke          # fanout bench only, tiny message count,
-#                                     # no JSON written (tier-1 smoke)
+#   scripts/bench.sh                           # full run, writes both JSONs
+#   scripts/bench.sh --save-baseline           # writes the fanout baseline
+#   scripts/bench.sh --save-publisher-baseline # writes the publisher baseline
+#   scripts/bench.sh --smoke                   # both bins, tiny counts,
+#                                              # no JSON written (tier-1 smoke)
 #
 # Non-gating: results are recorded, not asserted, except that the smoke
-# run must complete (the hot path must not deadlock or lose deliveries).
+# run must complete (the hot paths must not deadlock or lose deliveries).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="full"
 case "${1:-}" in
   --save-baseline) MODE="baseline" ;;
+  --save-publisher-baseline) MODE="publisher-baseline" ;;
   --smoke) MODE="smoke" ;;
   "") ;;
-  *) echo "usage: scripts/bench.sh [--save-baseline|--smoke]" >&2; exit 2 ;;
+  *) echo "usage: scripts/bench.sh [--save-baseline|--save-publisher-baseline|--smoke]" >&2; exit 2 ;;
 esac
 
 OUT="BENCH_publish_path.json"
 BASELINE="BENCH_publish_path.baseline.json"
+PUB_OUT="BENCH_publisher_path.json"
+PUB_BASELINE="BENCH_publisher_path.baseline.json"
 
 if [[ "$MODE" == "smoke" ]]; then
   FANOUT_MESSAGES="${FANOUT_MESSAGES:-500}" \
     cargo run --quiet --release -p synapse-bench --bin fanout_throughput
+  PUBLISHER_MESSAGES="${PUBLISHER_MESSAGES:-200}" \
+    cargo run --quiet --release -p synapse-bench --bin publisher_throughput
   echo "bench smoke: OK"
   exit 0
 fi
 
-CRIT_LOG="$(mktemp)"
-FANOUT_LOG="$(mktemp)"
-trap 'rm -f "$CRIT_LOG" "$FANOUT_LOG"' EXIT
-
-for bench in broker publish_path versionstore wire; do
-  cargo bench --quiet -p synapse-bench --bench "$bench" 2>/dev/null | tee -a "$CRIT_LOG"
-done
-cargo run --quiet --release -p synapse-bench --bin fanout_throughput | tee "$FANOUT_LOG"
-
 GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 UTC="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
-# Criterion lines: "<name>   <ns> ns/iter"; fanout lines:
-# "<name> <value> deliveries_per_sec".
+CRIT_LOG="$(mktemp)"
+FANOUT_LOG="$(mktemp)"
+PUB_LOG="$(mktemp)"
+trap 'rm -f "$CRIT_LOG" "$FANOUT_LOG" "$PUB_LOG"' EXIT
+
+# Criterion lines: "<name>   <ns> ns/iter"; bin lines:
+# "<scenario> <value> <unit>_per_sec".
 criterion_json() {
   awk '/ns\/iter/ { printf "%s    \"%s\": %s", sep, $1, $2; sep=",\n" } END { print "" }' "$CRIT_LOG"
 }
-fanout_json() {
-  awk '/deliveries_per_sec/ { printf "%s    \"%s\": %s", sep, $1, $2; sep=",\n" } END { print "" }' "$FANOUT_LOG"
+rates_json() {
+  awk '/_per_sec/ { printf "%s    \"%s\": %s", sep, $1, $2; sep=",\n" } END { print "" }' "$1"
 }
+
+# --- publisher write-path trajectory (PR 3) --------------------------------
+
+run_publisher_bin() {
+  cargo run --quiet --release -p synapse-bench --bin publisher_throughput | tee "$PUB_LOG"
+}
+
+write_publisher_json() {
+  local target="$1"
+  {
+    echo "{"
+    echo "  \"schema\": \"synapse-bench/v1\","
+    echo "  \"generated_by\": \"scripts/bench.sh\","
+    echo "  \"git_rev\": \"$GIT_REV\","
+    echo "  \"utc\": \"$UTC\","
+    echo "  \"publisher_writes_per_sec\": {"
+    rates_json "$PUB_LOG"
+    if [[ "$target" == "$PUB_OUT" && -f "$PUB_BASELINE" ]]; then
+      echo "  },"
+      # Speedup of the current 1000-dep scenario over the pre-change
+      # baseline — the ISSUE 3 acceptance number.
+      CUR="$(awk '/^publisher\/write_1000deps / { print $2+0; exit }' "$PUB_LOG")"
+      BASE="$(awk -F'[:,]' '/publisher\/write_1000deps/ { gsub(/[ "]/,"",$2); print $2+0; exit }' "$PUB_BASELINE")"
+      SPEEDUP="$(awk -v c="$CUR" -v b="$BASE" 'BEGIN { if (b > 0) printf "%.2f", c/b; else print "null" }')"
+      echo "  \"baseline\": $(cat "$PUB_BASELINE"),"
+      echo "  \"publisher_1000dep_speedup_vs_baseline\": $SPEEDUP"
+    else
+      echo "  }"
+    fi
+    echo "}"
+  } > "$target"
+  echo "bench: wrote $target"
+}
+
+if [[ "$MODE" == "publisher-baseline" ]]; then
+  run_publisher_bin
+  write_publisher_json "$PUB_BASELINE"
+  exit 0
+fi
+
+# --- full / fanout-baseline runs -------------------------------------------
+
+for bench in broker publish_path publisher_deps versionstore wire; do
+  cargo bench --quiet -p synapse-bench --bench "$bench" 2>/dev/null | tee -a "$CRIT_LOG"
+done
+cargo run --quiet --release -p synapse-bench --bin fanout_throughput | tee "$FANOUT_LOG"
+run_publisher_bin
 
 TARGET="$OUT"
 [[ "$MODE" == "baseline" ]] && TARGET="$BASELINE"
@@ -64,7 +116,7 @@ TARGET="$OUT"
   echo "  \"git_rev\": \"$GIT_REV\","
   echo "  \"utc\": \"$UTC\","
   echo "  \"fanout_deliveries_per_sec\": {"
-  fanout_json
+  rates_json "$FANOUT_LOG"
   echo "  },"
   echo "  \"criterion_ns_per_iter\": {"
   criterion_json
@@ -84,3 +136,7 @@ TARGET="$OUT"
 } > "$TARGET"
 
 echo "bench: wrote $TARGET"
+
+if [[ "$MODE" == "full" ]]; then
+  write_publisher_json "$PUB_OUT"
+fi

@@ -4,10 +4,10 @@
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
-use synapse_repro::core::{Operation, WriteMessage};
+use synapse_repro::core::{normalize_dep_sets, DepName, Operation, WriteMessage};
 use synapse_repro::db::{profiles, Filter, LatencyModel, Query, QueryResult, Row};
 use synapse_repro::model::{wire, Id, Value};
-use synapse_repro::versionstore::VersionStore;
+use synapse_repro::versionstore::{BumpScratch, VersionStore};
 
 /// Strategy for arbitrary dynamic values (bounded depth).
 fn value_strategy() -> impl Strategy<Value = Value> {
@@ -73,6 +73,115 @@ proptest! {
         };
         let decoded = WriteMessage::decode(&msg.encode()).unwrap();
         prop_assert_eq!(decoded, msg);
+    }
+
+    /// The publisher's linear hash-set dependency normalization must
+    /// produce exactly the ordered `(write_deps, read_deps)` pair of the
+    /// historical quadratic code: in-place `contains` dedup of each list,
+    /// then dropping from reads every name present in writes.
+    #[test]
+    fn dep_normalization_matches_quadratic_reference(
+        writes in prop::collection::vec(0u8..12, 0..24),
+        reads in prop::collection::vec(0u8..12, 0..24),
+    ) {
+        fn quadratic_dedup(deps: &mut Vec<DepName>) {
+            let mut i = 1;
+            while i < deps.len() {
+                if deps[..i].contains(&deps[i]) {
+                    deps.remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let name = |i: &u8| DepName::named(&format!("app/dep/{i}"));
+        let mut new_writes: Vec<DepName> = writes.iter().map(name).collect();
+        let mut new_reads: Vec<DepName> = reads.iter().map(name).collect();
+        let mut old_writes = new_writes.clone();
+        let mut old_reads = new_reads.clone();
+
+        quadratic_dedup(&mut old_writes);
+        quadratic_dedup(&mut old_reads);
+        old_reads.retain(|d| !old_writes.contains(d));
+
+        normalize_dep_sets(&mut new_writes, &mut new_reads);
+        prop_assert_eq!(new_writes, old_writes);
+        prop_assert_eq!(new_reads, old_reads);
+    }
+
+    /// `publish_bump_into` is observationally identical to `publish_bump`:
+    /// replaying any script through both yields the same dependency values
+    /// at every step (scratch reuse must leak nothing between calls).
+    #[test]
+    fn bump_into_replays_identically_to_bump(
+        script in prop::collection::vec(
+            prop::collection::vec((0u64..10, any::<bool>()), 1..6),
+            1..24,
+        ),
+    ) {
+        let reference = VersionStore::new(4);
+        let reused = VersionStore::new(4);
+        let mut scratch = BumpScratch::default();
+        let mut out = Vec::new();
+        for deps in &script {
+            let expected = reference.publish_bump(deps).unwrap();
+            reused.publish_bump_into(deps, &mut scratch, &mut out).unwrap();
+            prop_assert_eq!(&out, &expected);
+        }
+    }
+
+    /// Concurrent publishers mixing both bump APIs never lose or duplicate
+    /// an increment: final `ops` counters equal each key's total occurrence
+    /// count, and every call returns values for exactly its keys in order.
+    #[test]
+    fn concurrent_mixed_bump_apis_count_every_increment(
+        scripts in prop::collection::vec(
+            prop::collection::vec(
+                (prop::collection::vec((0u64..10, any::<bool>()), 1..4), any::<bool>()),
+                1..12,
+            ),
+            2..4,
+        ),
+    ) {
+        use std::sync::Arc;
+        let store = Arc::new(VersionStore::new(4));
+        let handles: Vec<_> = scripts
+            .clone()
+            .into_iter()
+            .map(|script| {
+                let store = store.clone();
+                std::thread::spawn(move || {
+                    let mut scratch = BumpScratch::default();
+                    let mut out = Vec::new();
+                    for (deps, use_into) in script {
+                        if use_into {
+                            store
+                                .publish_bump_into(&deps, &mut scratch, &mut out)
+                                .unwrap();
+                        } else {
+                            out = store.publish_bump(&deps).unwrap();
+                        }
+                        let keys: Vec<u64> = out.iter().map(|(k, _)| *k).collect();
+                        let expected: Vec<u64> = deps.iter().map(|(k, _)| *k).collect();
+                        assert_eq!(keys, expected, "values cover the call's keys in order");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+        for script in &scripts {
+            for (deps, _) in script {
+                for (k, _) in deps {
+                    *counts.entry(*k).or_default() += 1;
+                }
+            }
+        }
+        for (key, count) in counts {
+            prop_assert_eq!(store.ops(key).unwrap(), count);
+        }
     }
 
     /// Version-store invariant: after any interleaving of bumps, `ops`
