@@ -33,6 +33,8 @@ pub struct BrokerStats {
     pub spurious_nacks: u64,
     /// Publish attempts rejected by injected transient faults.
     pub publish_faults: u64,
+    /// Queues reinstated after a decommission.
+    pub reinstated: u64,
 }
 
 /// Transient error returned by [`Broker::publish`] under injected faults.
@@ -290,13 +292,18 @@ impl Broker {
         }
     }
 
-    /// Resets a decommissioned queue to active/empty (the subscriber has
-    /// completed its partial bootstrap and rejoins, §4.4).
-    pub fn reinstate_queue(&self, queue: &str) {
+    /// Resets a decommissioned queue to active/empty (the subscriber is
+    /// rejoining via partial bootstrap, §4.4). Idempotent: returns `true`
+    /// only when the queue actually transitioned from decommissioned to
+    /// active; an already-active queue (e.g. a reinstate racing a broker
+    /// restart that already happened) is left untouched.
+    pub fn reinstate_queue(&self, queue: &str) -> bool {
         let routes = self.inner.routes.read();
-        if let Some(q) = routes.queues.get(queue) {
-            q.reinstate();
-        }
+        routes
+            .queues
+            .get(queue)
+            .map(|q| q.reinstate())
+            .unwrap_or(false)
     }
 
     /// Failure injection: silently drop the next `n` messages bound for
@@ -369,6 +376,7 @@ impl Broker {
             stats.dead_lettered += qi.dead_lettered;
             stats.spurious_acks += qi.spurious_acks;
             stats.spurious_nacks += qi.spurious_nacks;
+            stats.reinstated += qi.reinstated;
         }
         stats
     }

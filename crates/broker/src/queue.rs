@@ -56,6 +56,8 @@ pub(crate) struct QueueInner {
     pub(crate) spurious_nacks: u64,
     /// Fault injection: number of upcoming messages to silently drop.
     pub(crate) drop_next: u64,
+    /// Times this queue was reinstated after a decommission.
+    pub(crate) reinstated: u64,
 }
 
 impl QueueInner {
@@ -78,6 +80,7 @@ impl QueueInner {
             spurious_acks: 0,
             spurious_nacks: 0,
             drop_next: 0,
+            reinstated: 0,
         }
     }
 
@@ -309,12 +312,22 @@ impl Queue {
 
     /// Resets a decommissioned queue to empty active state (the subscriber
     /// rejoining after a partial bootstrap). The dead-letter store survives:
-    /// it is an audit log, not backlog.
-    pub(crate) fn reinstate(&self) {
+    /// it is an audit log, not backlog. Idempotent: an already-active queue
+    /// is left untouched (its backlog is live traffic, not stale state) and
+    /// `false` is returned. Armed `drop_next` faults belong to the
+    /// decommissioned incarnation and are disarmed, so a reinstated queue
+    /// cannot silently eat its first live messages.
+    pub(crate) fn reinstate(&self) -> bool {
         let mut inner = self.inner.lock();
+        if inner.state != QueueState::Decommissioned {
+            return false;
+        }
         inner.discarded += (inner.ready.len() + inner.unacked.len()) as u64;
         inner.ready.clear();
         inner.unacked.clear();
+        inner.drop_next = 0;
+        inner.reinstated += 1;
         inner.state = QueueState::Active;
+        true
     }
 }

@@ -93,6 +93,14 @@ pub struct SynapseConfig {
     /// Retry/backoff policy for transient failures (broker publishes,
     /// subscriber processing); exhaustion dead-letters or journals.
     pub retry: RetryPolicy,
+    /// Records copied per chunk during bootstrap's step-2 object copy.
+    /// Each chunk commits a watermark, so smaller chunks lose less work to
+    /// a mid-copy fault at the cost of more paged reads.
+    pub bootstrap_chunk_size: usize,
+    /// How long step 3 of bootstrap waits for the backlog to drain before
+    /// the attempt fails (the watermarks survive, so the next attempt
+    /// resumes instead of re-copying).
+    pub bootstrap_drain_timeout: Duration,
 }
 
 impl SynapseConfig {
@@ -108,6 +116,8 @@ impl SynapseConfig {
             subscriber_workers: 2,
             queue_max_len: None,
             retry: RetryPolicy::default(),
+            bootstrap_chunk_size: 64,
+            bootstrap_drain_timeout: Duration::from_secs(30),
         }
     }
 
@@ -159,6 +169,18 @@ impl SynapseConfig {
         self.retry = policy;
         self
     }
+
+    /// Sets the bootstrap chunk size (clamped to at least 1 at use).
+    pub fn bootstrap_chunk(mut self, records: usize) -> Self {
+        self.bootstrap_chunk_size = records;
+        self
+    }
+
+    /// Sets the bootstrap drain timeout.
+    pub fn bootstrap_drain_timeout(mut self, t: Duration) -> Self {
+        self.bootstrap_drain_timeout = t;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +193,8 @@ mod tests {
         assert_eq!(c.publisher_mode, DeliveryMode::Causal);
         assert_eq!(c.subscriber_mode, DeliveryMode::Causal);
         assert!(c.queue_max_len.is_none());
+        assert_eq!(c.bootstrap_chunk_size, 64);
+        assert_eq!(c.bootstrap_drain_timeout, Duration::from_secs(30));
     }
 
     #[test]
@@ -195,10 +219,14 @@ mod tests {
             .mode(DeliveryMode::Weak)
             .workers(8)
             .queue_cap(1000)
-            .wait_timeout(None);
+            .wait_timeout(None)
+            .bootstrap_chunk(16)
+            .bootstrap_drain_timeout(Duration::from_millis(250));
         assert_eq!(c.subscriber_mode, DeliveryMode::Weak);
         assert_eq!(c.subscriber_workers, 8);
         assert_eq!(c.queue_max_len, Some(1000));
         assert!(c.dep_wait_timeout.is_none());
+        assert_eq!(c.bootstrap_chunk_size, 16);
+        assert_eq!(c.bootstrap_drain_timeout, Duration::from_millis(250));
     }
 }

@@ -80,6 +80,27 @@ impl DepName {
         DepName::from_str_uncached(name)
     }
 
+    /// The bootstrap-copy watermark of one (publisher, model) pair:
+    /// `pub_app/model/__bootstrap__`. The `__bootstrap__` leaf keeps it
+    /// from colliding with any `…/id/<id>` object name, so the watermark
+    /// rides in the subscriber's version store alongside ordinary
+    /// dependencies.
+    pub fn bootstrap_watermark(pub_app: &str, model: &str) -> Self {
+        NAME_SCRATCH.with(|scratch| {
+            let mut buf = scratch.borrow_mut();
+            buf.clear();
+            buf.push_str(pub_app);
+            buf.push('/');
+            for c in model.chars() {
+                for lc in c.to_lowercase() {
+                    buf.push(lc);
+                }
+            }
+            buf.push_str("/__bootstrap__");
+            DepName::from_str_uncached(&buf)
+        })
+    }
+
     /// The name path, e.g. `pub3/user/id/100`.
     pub fn as_str(&self) -> &str {
         &self.name
@@ -290,6 +311,14 @@ mod tests {
     fn object_names_match_fig6b_shape() {
         let d = DepName::object("pub3", "User", Id(100));
         assert_eq!(d.as_str(), "pub3/user/id/100");
+    }
+
+    #[test]
+    fn bootstrap_watermark_names_cannot_collide_with_objects() {
+        let wm = DepName::bootstrap_watermark("pub3", "User");
+        assert_eq!(wm.as_str(), "pub3/user/__bootstrap__");
+        assert_ne!(wm, DepName::object("pub3", "User", Id(1)));
+        assert_ne!(wm, DepName::bootstrap_watermark("pub3", "Comment"));
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub use context::{add_read_deps, add_write_deps, in_scope, with_scope, with_user
 pub use deps::{normalize_dep_sets, DepInterner, DepName, DepSpace};
 pub use message::{Operation, WriteMessage};
 pub use migration::{check_migration, MigrationStep};
-pub use node::{Ecosystem, NodeStats, SynapseNode};
+pub use node::{BootstrapPhase, BootstrapState, BootstrapStats, Ecosystem, NodeStats, SynapseNode};
 pub use semantics::DeliveryMode;
 pub use stats::ControllerStats;
-pub use subscriber::ProcessError;
+pub use subscriber::{ChunkLoad, ProcessError};

@@ -3,17 +3,163 @@
 use crate::api::{Publication, Subscription};
 use crate::config::SynapseConfig;
 use crate::context::{self, TxBuffer};
+use crate::deps::DepName;
 use crate::publisher::{Publisher, PublisherStats};
 use crate::semantics::DeliveryMode;
-use crate::subscriber::{Subscriber, SubscriberStats};
+use crate::subscriber::{ProcessError, Subscriber, SubscriberStats};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 use synapse_broker::{Broker, Delivery, QueueConfig, QueueState};
+use synapse_db::DbError;
+use synapse_model::Id;
 use synapse_orm::{Adapter, Orm, OrmError};
-use synapse_versionstore::{GenerationStore, VersionStore};
+use synapse_versionstore::{DepKey, GenerationStore, VersionStore};
+
+/// Coarse phase of the bootstrap state machine — `Copy`-cheap so it can
+/// ride in [`NodeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BootstrapPhase {
+    /// No bootstrap running (and none has completed since the last reset).
+    #[default]
+    Idle,
+    /// Step 1: bulk version-snapshot transfer.
+    Snapshot,
+    /// Step 2: chunked object copy.
+    Copying,
+    /// Step 3: draining the backlog published meanwhile.
+    Draining,
+    /// Bootstrap completed; the node serves live traffic.
+    Live,
+}
+
+/// The bootstrap state machine: Idle → Snapshot → Copying{model, chunk} →
+/// Draining → Live, falling back to Idle when an attempt fails. The rich
+/// variant carries which model/chunk the copier is on; tests hook
+/// [`SynapseNode::set_bootstrap_probe`] on transitions to inject faults at
+/// exact phases.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum BootstrapState {
+    /// No bootstrap running.
+    #[default]
+    Idle,
+    /// Step 1: bulk version-snapshot transfer.
+    Snapshot,
+    /// Step 2: copying `model`, currently on 0-based chunk `chunk`.
+    Copying {
+        /// Model being copied.
+        model: String,
+        /// 0-based chunk index within this attempt.
+        chunk: u64,
+    },
+    /// Step 3: draining the backlog.
+    Draining,
+    /// Bootstrap completed.
+    Live,
+}
+
+impl BootstrapState {
+    /// The coarse phase of this state.
+    pub fn phase(&self) -> BootstrapPhase {
+        match self {
+            BootstrapState::Idle => BootstrapPhase::Idle,
+            BootstrapState::Snapshot => BootstrapPhase::Snapshot,
+            BootstrapState::Copying { .. } => BootstrapPhase::Copying,
+            BootstrapState::Draining => BootstrapPhase::Draining,
+            BootstrapState::Live => BootstrapPhase::Live,
+        }
+    }
+}
+
+/// Bootstrap attempt/retry/resume accounting, surfaced through
+/// [`NodeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BootstrapStats {
+    /// Current coarse phase.
+    pub phase: BootstrapPhase,
+    /// `bootstrap_from` invocations (completed or not).
+    pub attempts: u64,
+    /// Completed bootstraps (same counter as [`NodeStats::bootstraps`]).
+    pub completions: u64,
+    /// Transient step failures absorbed by the retry policy (chunk copies,
+    /// snapshot transfers) rather than failing the attempt.
+    pub retries: u64,
+    /// Models whose copy resumed from a surviving watermark instead of
+    /// starting over.
+    pub resumes: u64,
+    /// Chunks committed (watermark advanced) across all attempts.
+    pub chunks_copied: u64,
+    /// Records persisted by the copier.
+    pub records_copied: u64,
+    /// Copied records discarded because the live stream had already
+    /// delivered an equal-or-newer version.
+    pub records_reconciled: u64,
+}
+
+/// Observer of bootstrap state transitions (fault-injection hook).
+type BootstrapProbe = Box<dyn Fn(&BootstrapState) + Send + Sync>;
+
+/// Shared bootstrap bookkeeping: the state machine, its transition probe,
+/// and the attempt/retry/resume counters.
+#[derive(Default)]
+struct BootstrapTracker {
+    state: RwLock<BootstrapState>,
+    probe: RwLock<Option<BootstrapProbe>>,
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    resumes: AtomicU64,
+    chunks_copied: AtomicU64,
+    records_copied: AtomicU64,
+    records_reconciled: AtomicU64,
+}
+
+impl BootstrapTracker {
+    /// Moves the state machine and notifies the probe (outside the state
+    /// lock, so a probe may read the state or inject faults freely).
+    fn transition(&self, next: BootstrapState) {
+        *self.state.write() = next.clone();
+        if let Some(probe) = self.probe.read().as_ref() {
+            probe(&next);
+        }
+    }
+}
+
+/// RAII guard around one bootstrap attempt: sets the ORM bootstrap flag on
+/// entry and clears it on *every* exit path — the `?` early-returns in
+/// steps 1–2 used to leak the flag and permanently wedge the node in
+/// bootstrap mode. A drop without [`BootstrapGuard::complete`] also walks
+/// the state machine back to Idle, so a failed attempt leaves the node
+/// writable and re-enterable.
+struct BootstrapGuard<'a> {
+    node: &'a SynapseNode,
+    completed: bool,
+}
+
+impl<'a> BootstrapGuard<'a> {
+    fn new(node: &'a SynapseNode) -> Self {
+        node.orm.set_bootstrap(true);
+        BootstrapGuard {
+            node,
+            completed: false,
+        }
+    }
+
+    /// Marks the attempt successful: the flag still clears on drop, but
+    /// the state machine is left to the caller (which moves it to Live).
+    fn complete(mut self) {
+        self.completed = true;
+    }
+}
+
+impl Drop for BootstrapGuard<'_> {
+    fn drop(&mut self) {
+        self.node.orm.set_bootstrap(false);
+        if !self.completed {
+            self.node.bootstrap.transition(BootstrapState::Idle);
+        }
+    }
+}
 
 /// One application's Synapse runtime: its ORM, publisher, subscriber, and
 /// version stores, bound to the shared broker.
@@ -31,6 +177,8 @@ pub struct SynapseNode {
     publisher_modes: Arc<RwLock<HashMap<String, DeliveryMode>>>,
     /// Completed (re-)bootstraps — the recovery counter of §4.4.
     bootstraps: AtomicU64,
+    /// Bootstrap state machine, probe, and counters.
+    bootstrap: BootstrapTracker,
 }
 
 /// One node's counters across the whole pipeline, aggregated for fault
@@ -49,6 +197,8 @@ pub struct NodeStats {
     pub dead_lettered: usize,
     /// Completed (re-)bootstraps.
     pub bootstraps: u64,
+    /// Bootstrap state-machine phase and attempt/retry/resume counters.
+    pub bootstrap: BootstrapStats,
 }
 
 impl SynapseNode {
@@ -107,6 +257,7 @@ impl SynapseNode {
             subscriber,
             publisher_modes,
             bootstraps: AtomicU64::new(0),
+            bootstrap: BootstrapTracker::default(),
         })
     }
 
@@ -269,7 +420,39 @@ impl SynapseNode {
             journaled: self.publisher.journal_len(),
             dead_lettered: self.broker.dead_letter_len(self.app()).unwrap_or(0),
             bootstraps: self.bootstraps.load(Ordering::Relaxed),
+            bootstrap: self.bootstrap_stats(),
         }
+    }
+
+    /// Bootstrap state-machine phase and counters.
+    pub fn bootstrap_stats(&self) -> BootstrapStats {
+        BootstrapStats {
+            phase: self.bootstrap.state.read().phase(),
+            attempts: self.bootstrap.attempts.load(Ordering::Relaxed),
+            completions: self.bootstraps.load(Ordering::Relaxed),
+            retries: self.bootstrap.retries.load(Ordering::Relaxed),
+            resumes: self.bootstrap.resumes.load(Ordering::Relaxed),
+            chunks_copied: self.bootstrap.chunks_copied.load(Ordering::Relaxed),
+            records_copied: self.bootstrap.records_copied.load(Ordering::Relaxed),
+            records_reconciled: self.bootstrap.records_reconciled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The current bootstrap state (rich variant, with model/chunk).
+    pub fn bootstrap_state(&self) -> BootstrapState {
+        self.bootstrap.state.read().clone()
+    }
+
+    /// Installs a probe called on every bootstrap state transition — the
+    /// fault plane's bootstrap-phase hook: a test can kill a shard or
+    /// restart the broker exactly when the copier enters a given chunk.
+    pub fn set_bootstrap_probe(&self, probe: impl Fn(&BootstrapState) + Send + Sync + 'static) {
+        *self.bootstrap.probe.write() = Some(Box::new(probe));
+    }
+
+    /// Removes the bootstrap transition probe.
+    pub fn clear_bootstrap_probe(&self) {
+        *self.bootstrap.probe.write() = None;
     }
 
     /// Snapshot of this node's dead-letter store (consumed-but-unapplied
@@ -293,61 +476,249 @@ impl SynapseNode {
         self.bootstrap_from(publisher)
     }
 
-    /// Three-step bootstrap from a publisher node (§4.4). Also used for
-    /// *partial* bootstrap after a decommission or subscriber version-store
-    /// loss — the queue is reinstated first. Workers must already be
-    /// running (or use [`SynapseNode::start_and_bootstrap_from`]).
+    /// Three-step bootstrap from a publisher node (§4.4), rebuilt as a
+    /// chunked, watermarked, fault-survivable recovery path (the shape of
+    /// DBLog's watermark-based snapshots). Also used for *partial*
+    /// bootstrap after a decommission or subscriber version-store loss —
+    /// the queue is reinstated and the store revived first. Workers must
+    /// already be running (or use
+    /// [`SynapseNode::start_and_bootstrap_from`]).
+    ///
+    /// Fault posture:
+    /// - The ORM bootstrap flag is held by an RAII guard, so every exit
+    ///   path — including transient-fault exhaustion mid-copy — leaves the
+    ///   node writable.
+    /// - Step 2 copies in chunks of `config.bootstrap_chunk_size` records,
+    ///   committing a per-model watermark (last copied id) to the
+    ///   subscriber version store after each chunk. A transient engine or
+    ///   store fault retries the *chunk* under `config.retry` instead of
+    ///   aborting the bootstrap; if the attempt still fails, the
+    ///   watermarks survive and the next `bootstrap_from` resumes after
+    ///   the last committed chunk.
+    /// - Live messages delivered between chunks are reconciled by version
+    ///   comparison (each copied record carries the publisher's version
+    ///   for the object), so concurrent writes are neither dropped nor
+    ///   double-applied.
     pub fn bootstrap_from(&self, publisher: &SynapseNode) -> Result<(), OrmError> {
-        self.orm.set_bootstrap(true);
-        if self.is_decommissioned() {
-            self.broker.reinstate_queue(self.app());
-        }
+        let guard = BootstrapGuard::new(self);
+        self.bootstrap.attempts.fetch_add(1, Ordering::Relaxed);
+        let reinstated = if self.is_decommissioned() {
+            self.broker.reinstate_queue(self.app())
+        } else {
+            false
+        };
         if self.sub_store.is_dead() {
             self.sub_store.revive();
         }
+        if reinstated {
+            // The decommission discarded the live backlog, so watermarks
+            // from earlier attempts no longer cover writes published since
+            // those chunks were copied: restart the copy from scratch.
+            self.clear_bootstrap_watermarks(publisher)?;
+        }
 
         // Step 1: bulk-load the publisher's current versions.
-        let snapshot = publisher
-            .pub_store
-            .snapshot()
-            .map_err(|e| OrmError::Restriction(e.to_string()))?;
-        self.subscriber
-            .load_version_snapshot(&snapshot)
-            .map_err(OrmError::Restriction)?;
+        self.bootstrap.transition(BootstrapState::Snapshot);
+        let snapshot = self.retry_transient(|| {
+            publisher
+                .pub_store
+                .snapshot()
+                .map_err(|_| OrmError::Db(DbError::Unavailable))
+        })?;
+        self.retry_transient(|| {
+            self.subscriber
+                .load_version_snapshot(&snapshot)
+                .map_err(|_| OrmError::Db(DbError::Unavailable))
+        })?;
 
-        // Step 2: bulk-copy all currently published objects.
-        for sub in self.subscriptions.read().iter() {
-            if sub.from != publisher.app() {
+        // Step 2: chunked copy of all currently published objects. The
+        // subscription/publication locks are held only long enough to
+        // collect the matching pairs — not across the paged reads and
+        // marshalling (the old code pinned the `subscriptions` read lock
+        // for the whole full-table copy).
+        let pairs: Vec<(String, Publication)> = {
+            let subs = self.subscriptions.read();
+            let pubs = publisher.publications.read();
+            subs.iter()
+                .filter(|s| s.from == publisher.app())
+                .filter_map(|s| pubs.get(&s.model).map(|p| (s.model.clone(), p.clone())))
+                .collect()
+        };
+        for (model, publication) in &pairs {
+            if publication.ephemeral {
                 continue;
             }
-            if let Some(publication) = publisher.publications.read().get(&sub.model) {
-                if publication.ephemeral {
-                    continue;
+            let wm_key = self
+                .config
+                .dep_space
+                .key(&DepName::bootstrap_watermark(publisher.app(), model));
+            let mut after = self.retry_transient(|| {
+                self.sub_store
+                    .latest_version(wm_key)
+                    .map_err(|_| OrmError::Db(DbError::Unavailable))
+            })?;
+            if after > 0 {
+                self.bootstrap.resumes.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut chunk = 0u64;
+            loop {
+                self.bootstrap.transition(BootstrapState::Copying {
+                    model: model.clone(),
+                    chunk,
+                });
+                let copied = self.retry_transient(|| {
+                    self.copy_chunk(publisher, model, publication, wm_key, after)
+                })?;
+                match copied {
+                    Some(last) => {
+                        after = last;
+                        chunk += 1;
+                        self.bootstrap.chunks_copied.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
                 }
-                let records = publisher.orm.all(&sub.model)?;
-                // Marshal through the publisher so only published (and
-                // virtual) attributes cross, exactly as live updates do.
-                let marshalled: Vec<_> = records
-                    .iter()
-                    .map(|r| publisher.publisher.marshal_for_bootstrap(&publisher.orm, publication, r))
-                    .collect();
-                self.subscriber
-                    .load_objects(publisher.app(), &sub.model, &marshalled);
             }
         }
 
         // Step 3: drain messages published meanwhile. Workers may already
         // be running; otherwise the caller starts them and the flag clears
         // once the backlog is gone.
-        let drained = self.subscriber.drain(Duration::from_secs(30));
-        self.orm.set_bootstrap(false);
-        if drained {
-            self.bootstraps.fetch_add(1, Ordering::Relaxed);
-            Ok(())
-        } else {
-            Err(OrmError::Restriction(
+        self.bootstrap.transition(BootstrapState::Draining);
+        if !self.subscriber.drain(self.config.bootstrap_drain_timeout) {
+            // The guard clears the flag and resets the state machine; the
+            // watermarks survive, so the next attempt resumes the copy
+            // instead of redoing it.
+            return Err(OrmError::Restriction(
                 "bootstrap did not drain the backlog in time".into(),
-            ))
+            ));
+        }
+        // Watermarks are resume state for *failed* attempts only: a future
+        // bootstrap must re-copy from the start (rows copied this time may
+        // change again before then).
+        self.clear_bootstrap_watermarks(publisher)?;
+        guard.complete();
+        self.bootstrap.transition(BootstrapState::Live);
+        self.bootstraps.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Copies the next chunk of `model` after id `after`. Returns the last
+    /// id copied (the new watermark, already committed), or `None` when the
+    /// table is exhausted.
+    ///
+    /// Each record's publisher-side version is captured *before* the row
+    /// is re-read for marshalling. The carried marker is therefore never
+    /// newer than the copied data: a concurrent write lands with a
+    /// strictly higher version and overwrites the copy when its live
+    /// message arrives, while a copy racing behind the live stream is
+    /// discarded as stale. Capturing versions after reading the rows would
+    /// allow the fatal inverse — stale data carrying a marker equal to a
+    /// newer live write, regressing the replica permanently.
+    fn copy_chunk(
+        &self,
+        publisher: &SynapseNode,
+        model: &str,
+        publication: &Publication,
+        wm_key: DepKey,
+        after: u64,
+    ) -> Result<Option<u64>, OrmError> {
+        let chunk_size = self.config.bootstrap_chunk_size.max(1);
+        let page = publisher.orm.all_after(model, Id(after), chunk_size)?;
+        let last = match page.last() {
+            Some(record) => record.id.raw(),
+            None => return Ok(None),
+        };
+        let mut batch = Vec::with_capacity(page.len());
+        for record in &page {
+            let key = publisher
+                .config
+                .dep_space
+                .key(&DepName::object(publisher.app(), model, record.id));
+            let version = publisher
+                .pub_store
+                .latest_version(key)
+                .map_err(|_| OrmError::Db(DbError::Unavailable))?;
+            // Re-read the row now that its version floor is pinned; a row
+            // deleted meanwhile is skipped (its destroy message is in the
+            // live stream).
+            let Some(fresh) = publisher.orm.find(model, record.id)? else {
+                continue;
+            };
+            // Marshal through the publisher so only published (and
+            // virtual) attributes cross, exactly as live updates do. The
+            // marker mirrors the write-dependency convention (`version-1`
+            // for the write that produced this state).
+            let marshalled =
+                publisher
+                    .publisher
+                    .marshal_for_bootstrap(&publisher.orm, publication, &fresh);
+            batch.push((marshalled, version.saturating_sub(1)));
+        }
+        let load = self
+            .subscriber
+            .load_objects(publisher.app(), model, &batch)
+            .map_err(|e| match e {
+                ProcessError::Transient(_) => OrmError::Db(DbError::Unavailable),
+                ProcessError::Poison(msg) => OrmError::Restriction(msg),
+            })?;
+        self.bootstrap
+            .records_copied
+            .fetch_add(load.applied, Ordering::Relaxed);
+        self.bootstrap
+            .records_reconciled
+            .fetch_add(load.reconciled, Ordering::Relaxed);
+        self.sub_store
+            .load_watermark(wm_key, last)
+            .map_err(|_| OrmError::Db(DbError::Unavailable))?;
+        Ok(Some(last))
+    }
+
+    /// Drops the per-model bootstrap watermarks for `publisher`'s models.
+    fn clear_bootstrap_watermarks(&self, publisher: &SynapseNode) -> Result<(), OrmError> {
+        let models: Vec<String> = self
+            .subscriptions
+            .read()
+            .iter()
+            .filter(|s| s.from == publisher.app())
+            .map(|s| s.model.clone())
+            .collect();
+        for model in models {
+            let key = self
+                .config
+                .dep_space
+                .key(&DepName::bootstrap_watermark(publisher.app(), &model));
+            self.retry_transient(|| {
+                self.sub_store
+                    .clear_watermark(key)
+                    .map_err(|_| OrmError::Db(DbError::Unavailable))
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Runs one bootstrap step, retrying transient failures (dead store,
+    /// unavailable engine) under the node's [`RetryPolicy`] with its
+    /// deterministic backoff; deterministic errors fail immediately.
+    ///
+    /// [`RetryPolicy`]: crate::config::RetryPolicy
+    fn retry_transient<T>(
+        &self,
+        mut step: impl FnMut() -> Result<T, OrmError>,
+    ) -> Result<T, OrmError> {
+        let mut failures = 0u32;
+        loop {
+            match step() {
+                Ok(v) => return Ok(v),
+                Err(e @ OrmError::Db(DbError::Unavailable)) => {
+                    failures += 1;
+                    if self.config.retry.exhausted(failures) {
+                        return Err(e);
+                    }
+                    self.bootstrap.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.config.retry.backoff(failures));
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 }

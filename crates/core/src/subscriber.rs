@@ -597,13 +597,15 @@ impl Subscriber {
         }
     }
 
-    /// Applies one operation through the local ORM.
+    /// Applies one operation through the local ORM. Returns `Ok(true)` if
+    /// the operation was applied and `Ok(false)` if it was discarded as
+    /// stale by the freshness check.
     fn apply_op(
         &self,
         msg: &WriteMessage,
         op: &Operation,
         mode: DeliveryMode,
-    ) -> Result<(), OrmError> {
+    ) -> Result<bool, OrmError> {
         let matching: Vec<Subscription> = {
             let subs = self.subscriptions.read();
             subs.iter()
@@ -612,20 +614,35 @@ impl Subscriber {
                 .collect()
         };
         if matching.is_empty() {
-            return Ok(());
+            return Ok(true);
         }
-        // Weak-mode freshness: update objects only to their latest version
-        // (§4.2), discarding out-of-order intermediate updates.
-        if mode == DeliveryMode::Weak {
-            let key = self
-                .dep_space
-                .key(&DepName::object(&msg.app, op.model(), op.id));
-            let version = msg.dependencies.get(&key).copied().unwrap_or(0);
+        // Freshness: update objects only to their latest version (§4.2),
+        // discarding out-of-order intermediate updates. Weak mode depends
+        // on this for correctness; causal and global modes record versions
+        // too so that bootstrap's chunked copy — which reconciles against
+        // the live stream by version comparison — can never regress a row
+        // a live message already moved past the chunk's snapshot. In the
+        // ordered modes the dependency wait already serializes live
+        // applies, so the check only ever discards a copy/redelivery that
+        // lost the race.
+        let key = self
+            .dep_space
+            .key(&DepName::object(&msg.app, op.model(), op.id));
+        let version = match mode {
+            DeliveryMode::Weak => Some(msg.dependencies.get(&key).copied().unwrap_or(0)),
+            // Ordered modes only check when the message actually carries
+            // the object's dependency (a mismatched dep space on the
+            // publisher must not silently drop writes).
+            DeliveryMode::Causal | DeliveryMode::Global => {
+                msg.dependencies.get(&key).copied()
+            }
+        };
+        if let Some(version) = version {
             match self.store.advance_latest(key, version) {
                 Ok(true) => {}
                 Ok(false) => {
                     self.counters.ops_stale.fetch_add(1, Ordering::Relaxed);
-                    return Ok(());
+                    return Ok(false);
                 }
                 // A dead store is transient (revival or bootstrap heals
                 // it); surface it as the transient db error class.
@@ -636,7 +653,7 @@ impl Subscriber {
             self.apply_subscription(&sub, op)?;
         }
         self.counters.ops_applied.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        Ok(true)
     }
 
     fn apply_subscription(&self, sub: &Subscription, op: &Operation) -> Result<(), OrmError> {
@@ -677,9 +694,21 @@ impl Subscriber {
             _ => {
                 let record = match existing {
                     Some(_) => self.orm.update(&sub.model, op.id, Value::Map(plain))?,
-                    None => self
+                    None => match self
                         .orm
-                        .create_with_id(&sub.model, op.id, Value::Map(plain))?,
+                        .create_with_id(&sub.model, op.id, Value::Map(plain.clone()))
+                    {
+                        // Lost a create/create race between the find and
+                        // the insert — a live worker and the bootstrap
+                        // copier can apply the same row concurrently. The
+                        // row exists now, so finish as the update path
+                        // would have instead of poisoning the delivery
+                        // (or failing the bootstrap attempt).
+                        Err(OrmError::Db(DbError::DuplicateKey { .. })) => {
+                            self.orm.update(&sub.model, op.id, Value::Map(plain))?
+                        }
+                        other => other?,
+                    },
                 };
                 stored = Some(record);
             }
@@ -699,24 +728,70 @@ impl Subscriber {
         self.store.load_snapshot(snapshot).map_err(|e| e.to_string())
     }
 
-    /// Bootstrap step 2: persist a bulk batch of the publisher's current
-    /// objects as replicated creates.
-    pub fn load_objects(&self, pub_app: &str, model: &str, records: &[Record]) {
-        context::with_replication_flag(|| {
-            for r in records {
-                let op = Operation::from_record("create", r);
-                let fake_msg = WriteMessage {
-                    app: pub_app.to_owned(),
-                    operations: vec![],
-                    dependencies: BTreeMap::new(),
-                    published_at: 0,
-                    generation: 1,
-                };
-                let _ = model;
-                let _ = self.apply_op(&fake_msg, &op, DeliveryMode::Weak);
-            }
-        });
+    /// Bootstrap step 2: persist one chunk of the publisher's current
+    /// objects as replicated creates. Each record carries the publisher's
+    /// version for the object, so the weak-mode freshness check reconciles
+    /// the copy against live messages delivered between chunks: a copy of
+    /// a row the live stream already moved past is discarded as stale
+    /// (counted in `reconciled`) instead of regressing the replica, and a
+    /// live message older than the copy is discarded by the same check in
+    /// the worker path — no drop, no double-apply.
+    ///
+    /// Transient engine/store failures abort the chunk with an error so
+    /// the caller can retry it under the node's `RetryPolicy`; a panicking
+    /// callback is poison, exactly as in the live path.
+    pub fn load_objects(
+        &self,
+        pub_app: &str,
+        model: &str,
+        chunk: &[(Record, u64)],
+    ) -> Result<ChunkLoad, ProcessError> {
+        let _ = model;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            context::with_replication_flag(|| {
+                let mut load = ChunkLoad::default();
+                for (record, version) in chunk {
+                    let op = Operation::from_record("create", record);
+                    let key = self
+                        .dep_space
+                        .key(&DepName::object(pub_app, op.model(), op.id));
+                    let mut dependencies = BTreeMap::new();
+                    dependencies.insert(key, *version);
+                    let fake_msg = WriteMessage {
+                        app: pub_app.to_owned(),
+                        operations: vec![],
+                        dependencies,
+                        published_at: 0,
+                        generation: 1,
+                    };
+                    if self.apply_op(&fake_msg, &op, DeliveryMode::Weak)? {
+                        load.applied += 1;
+                    } else {
+                        load.reconciled += 1;
+                    }
+                }
+                Ok::<ChunkLoad, OrmError>(load)
+            })
+        }));
+        match outcome {
+            Ok(Ok(load)) => Ok(load),
+            Ok(Err(e)) => Err(classify_apply_error(e)),
+            Err(panic) => Err(ProcessError::Poison(format!(
+                "bootstrap copy callback panicked: {}",
+                panic_message(panic.as_ref())
+            ))),
+        }
     }
+}
+
+/// Outcome of loading one bootstrap chunk.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkLoad {
+    /// Records persisted by the chunk.
+    pub applied: u64,
+    /// Records discarded because the live stream had already delivered an
+    /// equal-or-newer version of the object.
+    pub reconciled: u64,
 }
 
 /// Classifies an application-layer failure: a briefly unavailable engine

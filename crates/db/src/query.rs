@@ -22,6 +22,10 @@ pub enum Filter {
     ById(Id),
     /// Rows whose primary key is in the set.
     IdIn(Vec<Id>),
+    /// Rows whose primary key is strictly greater than this one. Paired
+    /// with an ascending-id order and a limit this pages a table in
+    /// primary-key chunks (bootstrap's chunked object copy).
+    IdAfter(Id),
     /// Rows where `field == value`.
     Eq(String, Value),
     /// Conjunction.
@@ -35,6 +39,7 @@ impl Filter {
             Filter::All => true,
             Filter::ById(want) => id == *want,
             Filter::IdIn(ids) => ids.contains(&id),
+            Filter::IdAfter(after) => id > *after,
             Filter::Eq(field, want) => row.get(field).map(|v| v == want).unwrap_or(want.is_null()),
             Filter::And(fs) => fs.iter().all(|f| f.matches(id, row)),
         }
@@ -294,6 +299,15 @@ mod tests {
         let r = row("alice");
         assert!(Filter::Eq("ghost".into(), Value::Null).matches(Id(1), &r));
         assert!(!Filter::Eq("ghost".into(), "x".into()).matches(Id(1), &r));
+    }
+
+    #[test]
+    fn id_after_is_a_strict_lower_bound_and_never_well_identified() {
+        let r = row("alice");
+        assert!(!Filter::IdAfter(Id(5)).matches(Id(4), &r));
+        assert!(!Filter::IdAfter(Id(5)).matches(Id(5), &r), "strict bound");
+        assert!(Filter::IdAfter(Id(5)).matches(Id(6), &r));
+        assert_eq!(Filter::IdAfter(Id(5)).exact_id(), None);
     }
 
     #[test]

@@ -81,6 +81,11 @@ impl Table {
         match filter {
             Filter::ById(id) => vec![*id],
             Filter::IdIn(ids) => ids.clone(),
+            Filter::IdAfter(after) => self
+                .rows
+                .range((std::ops::Bound::Excluded(*after), std::ops::Bound::Unbounded))
+                .map(|(id, _)| *id)
+                .collect(),
             Filter::Eq(field, value) => {
                 if let Some(index) = self.indexes.get(field) {
                     return index
@@ -676,6 +681,36 @@ mod tests {
             .unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].1.get("name"), Some(&Value::from("alice")));
+    }
+
+    #[test]
+    fn id_after_with_limit_pages_the_table_in_order() {
+        let db = db();
+        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        for id in 1..=7 {
+            insert(&db, "t", id, row(&[("n", (id as i64).into())]));
+        }
+        let page = |after: u64, limit: usize| -> Vec<Id> {
+            db.execute(&Query::Select {
+                table: "t".into(),
+                filter: Filter::IdAfter(Id(after)),
+                order: Some(OrderBy {
+                    field: "id".into(),
+                    ascending: true,
+                }),
+                limit: Some(limit),
+            })
+            .unwrap()
+            .into_rows()
+            .unwrap()
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
+        };
+        assert_eq!(page(0, 3), vec![Id(1), Id(2), Id(3)]);
+        assert_eq!(page(3, 3), vec![Id(4), Id(5), Id(6)]);
+        assert_eq!(page(6, 3), vec![Id(7)], "short final page");
+        assert_eq!(page(7, 3), Vec::<Id>::new(), "exhausted");
     }
 
     #[test]

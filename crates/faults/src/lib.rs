@@ -25,11 +25,13 @@
 //! generation, where it is pinned by the seed.
 
 pub mod clock;
+pub mod hook;
 pub mod injector;
 pub mod plan;
 pub mod rng;
 
 pub use clock::FaultClock;
+pub use hook::PhaseHook;
 pub use injector::{Injector, InjectorStats};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, FaultSpec, Side};
 pub use rng::SeededRng;

@@ -374,6 +374,25 @@ impl Orm {
         Ok(records)
     }
 
+    /// Fetches up to `limit` objects of a model whose id is strictly
+    /// greater than `after`, ordered by id ascending. This is the paged
+    /// read behind bootstrap's chunked object copy: each chunk picks up
+    /// where the previous watermark left off.
+    pub fn all_after(&self, model: &str, after: Id, limit: usize) -> Result<Vec<Record>, OrmError> {
+        let schema = self.schema(model)?;
+        let records = self.adapter.select(
+            &schema,
+            Filter::IdAfter(after),
+            Some(OrderBy {
+                field: "id".into(),
+                ascending: true,
+            }),
+            Some(limit),
+        )?;
+        self.notify_read(&records);
+        Ok(records)
+    }
+
     /// Counts objects of a model. Counts are aggregations, not true
     /// dependencies (§4.2), so observers are *not* notified.
     pub fn count(&self, model: &str) -> Result<u64, OrmError> {

@@ -427,22 +427,62 @@ impl VersionStore {
         Ok(())
     }
 
-    /// Weak-mode freshness check: records `version` as the latest seen for
-    /// `key` and returns `true`, or returns `false` if an equal-or-newer
-    /// version was already recorded (the message is stale and must be
-    /// discarded — §4.2: "the subscriber also discards any messages with a
-    /// version lower than what is stored").
+    /// Freshness check: records `version` as the latest seen for `key` and
+    /// returns `true`, or returns `false` if a strictly newer version was
+    /// already recorded (the message is stale and must be discarded — §4.2:
+    /// "the subscriber also discards any messages with a version lower than
+    /// what is stored"). An *equal* version re-applies: the freshness mark
+    /// is written before the engine apply, so a redelivery after a transient
+    /// apply failure must be allowed through rather than dropped — replicated
+    /// applies are idempotent upserts, so re-applying is safe and dropping
+    /// would lose the write.
     pub fn advance_latest(&self, key: DepKey, version: u64) -> Result<bool, StoreError> {
         self.check_shards_alive(&[key])?;
         let shard = &self.shards[self.ring.route(key)];
         let mut entries = shard.entries.lock();
         let entry = entries.entry(key).or_default();
         if version >= entry.version {
-            entry.version = version + 1;
+            entry.version = version;
             Ok(true)
         } else {
             Ok(false)
         }
+    }
+
+    /// Reads a key's recorded latest version (0 when absent). Used by the
+    /// bootstrap copier to capture each record's publisher-side version and
+    /// to read back chunk watermarks.
+    pub fn latest_version(&self, key: DepKey) -> Result<u64, StoreError> {
+        self.check_shards_alive(&[key])?;
+        let shard = &self.shards[self.ring.route(key)];
+        let entries = shard.entries.lock();
+        Ok(entries.get(&key).map(|e| e.version).unwrap_or(0))
+    }
+
+    /// Bootstrap watermark compare-and-load: keeps the max of `value` and
+    /// the stored version for `key`, returning whatever ends up stored.
+    /// Monotone, so a retried chunk can never move a watermark backwards.
+    pub fn load_watermark(&self, key: DepKey, value: u64) -> Result<u64, StoreError> {
+        self.check_shards_alive(&[key])?;
+        let shard = &self.shards[self.ring.route(key)];
+        let mut entries = shard.entries.lock();
+        let entry = entries.entry(key).or_default();
+        entry.version = entry.version.max(value);
+        Ok(entry.version)
+    }
+
+    /// Drops a bootstrap watermark (resets the key's version to 0). Called
+    /// when a bootstrap completes — or restarts from scratch — so a later
+    /// bootstrap re-copies every record instead of resuming past rows that
+    /// may have changed since.
+    pub fn clear_watermark(&self, key: DepKey) -> Result<(), StoreError> {
+        self.check_shards_alive(&[key])?;
+        let shard = &self.shards[self.ring.route(key)];
+        let mut entries = shard.entries.lock();
+        if let Some(entry) = entries.get_mut(&key) {
+            entry.version = 0;
+        }
+        Ok(())
     }
 
     /// Reads a key's `ops` counter (0 when absent).
@@ -726,6 +766,43 @@ mod tests {
         assert!(store.advance_latest(1, 3).unwrap());
         assert!(!store.advance_latest(1, 2).unwrap(), "stale version");
         assert!(store.advance_latest(1, 4).unwrap());
+        assert_eq!(store.latest_version(1).unwrap(), 4);
+    }
+
+    /// The freshness mark is written before the engine apply, so a
+    /// redelivery of the same version (after a transient apply failure)
+    /// must pass the check and re-apply rather than be dropped.
+    #[test]
+    fn advance_latest_readmits_equal_versions() {
+        let store = VersionStore::single();
+        assert!(store.advance_latest(1, 5).unwrap());
+        assert!(store.advance_latest(1, 5).unwrap(), "redelivery re-applies");
+        assert!(!store.advance_latest(1, 4).unwrap(), "older stays stale");
+    }
+
+    #[test]
+    fn watermarks_are_monotone_and_clearable() {
+        let store = VersionStore::new(2);
+        assert_eq!(store.latest_version(7).unwrap(), 0, "absent key reads 0");
+        assert_eq!(store.load_watermark(7, 16).unwrap(), 16);
+        assert_eq!(store.load_watermark(7, 12).unwrap(), 16, "never regresses");
+        assert_eq!(store.load_watermark(7, 48).unwrap(), 48);
+        assert_eq!(store.latest_version(7).unwrap(), 48);
+        store.clear_watermark(7).unwrap();
+        assert_eq!(store.latest_version(7).unwrap(), 0);
+    }
+
+    #[test]
+    fn watermark_calls_fail_when_the_owning_shard_is_dead() {
+        let store = VersionStore::new(2);
+        store.load_watermark(3, 9).unwrap();
+        store.kill_shard(store.shard_for(3));
+        assert!(store.load_watermark(3, 10).is_err());
+        assert!(store.latest_version(3).is_err());
+        store.revive_shard(store.shard_for(3));
+        // Shard contents were lost with the kill: the watermark is gone and
+        // the caller must restart its copy from scratch.
+        assert_eq!(store.latest_version(3).unwrap(), 0);
     }
 
     #[test]

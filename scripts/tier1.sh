@@ -12,6 +12,13 @@ cargo test -q
 # Pinned-seed soak: deterministic replay of the fault schedule.
 SYNAPSE_SEED="${SYNAPSE_SEED:-24210775}" cargo test -q --test fault_soak
 
+# Live-bootstrap soak: chunked recovery under the same seed of record
+# (see EXPERIMENTS.md "§4.4 — live-bootstrap soak"). Set
+# SYNAPSE_BOOTSTRAP_SWEEP=1 to additionally run the 10-seed sweep.
+SYNAPSE_SEED="${SYNAPSE_SEED:-24210775}" \
+  SYNAPSE_BOOTSTRAP_SWEEP="${SYNAPSE_BOOTSTRAP_SWEEP:-0}" \
+  cargo test -q --test live_bootstrap
+
 # Optional bench smoke (non-gating for perf, gating for liveness): the
 # fanout bench must complete without deadlock or delivery loss.
 if [[ "${SYNAPSE_BENCH_SMOKE:-0}" == "1" ]]; then

@@ -1,10 +1,16 @@
 //! The three-step bootstrap protocol (§4.4) in detail: version snapshots
 //! before data, projection during bulk copy, live traffic during the copy,
-//! ephemeral exclusion, and decorator chains bootstrapping in stages.
+//! ephemeral exclusion, decorator chains bootstrapping in stages, and the
+//! failure paths of the chunked recovery rebuild — flag hygiene on failed
+//! attempts, watermark resume after a drain timeout, dead publisher
+//! stores, ephemeral-only publications, and reinstates racing a broker
+//! restart.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use synapse_repro::core::{Ecosystem, Publication, Subscription, SynapseConfig, SynapseNode};
+use synapse_repro::core::{
+    BootstrapPhase, Ecosystem, Publication, Subscription, SynapseConfig, SynapseNode,
+};
 use synapse_repro::db::LatencyModel;
 use synapse_repro::model::{vmap, ModelSchema};
 use synapse_repro::orm::adapters::{EphemeralAdapter, MongoidAdapter};
@@ -208,5 +214,199 @@ fn decorator_chain_bootstraps_downstream() {
         .unwrap();
     assert_eq!(u2.get("name").as_str(), Some("u1"));
     assert_eq!(u2.get("vip").as_bool(), Some(true));
+    eco.stop_all();
+}
+
+/// Regression for the stuck-bootstrap-flag bug: a bootstrap whose step 1
+/// fails (dead publisher version store) must clear the ORM bootstrap flag
+/// on its error path, leave the node writable, and let a later
+/// `bootstrap_from` succeed.
+#[test]
+fn failed_bootstrap_clears_flag_and_retry_succeeds() {
+    let eco = Ecosystem::new();
+    let publisher = publisher_with_users(&eco, 10);
+    let subscriber = eco.add_node(
+        SynapseConfig::new("late"),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
+    subscriber.orm().define_model(ModelSchema::open("Note")).unwrap();
+    subscriber
+        .subscribe(Subscription::model("User", "pub").fields(&["name"]))
+        .unwrap();
+    eco.connect();
+
+    // Step 1 cannot snapshot a dead publisher store; the retry policy
+    // exhausts and the attempt fails.
+    publisher.pub_store().kill();
+    let err = subscriber.start_and_bootstrap_from(&publisher);
+    assert!(err.is_err(), "snapshot from a dead pub store must fail");
+
+    // The old code leaked `set_bootstrap(true)` here, permanently wedging
+    // the node in bootstrap mode.
+    assert!(
+        !subscriber.orm().is_bootstrap(),
+        "failed bootstrap must clear the bootstrap flag"
+    );
+    let stats = subscriber.bootstrap_stats();
+    assert_eq!(stats.attempts, 1);
+    assert_eq!(stats.completions, 0);
+    assert!(stats.retries >= 1, "transient step failures are retried");
+    assert_eq!(stats.phase, BootstrapPhase::Idle);
+    // Still writable: local models work as if no bootstrap ever ran.
+    subscriber
+        .orm()
+        .create("Note", vmap! { "body" => "still alive" })
+        .unwrap();
+
+    // Publisher heals; the second attempt completes.
+    publisher.pub_store().revive();
+    subscriber.bootstrap_from(&publisher).unwrap();
+    assert!(!subscriber.orm().is_bootstrap());
+    assert_eq!(subscriber.orm().count("User").unwrap(), 10);
+    let stats = subscriber.bootstrap_stats();
+    assert_eq!(stats.attempts, 2);
+    assert_eq!(stats.completions, 1);
+    assert_eq!(stats.phase, BootstrapPhase::Live);
+    eco.stop_all();
+}
+
+/// A drain timeout fails the attempt but leaves the chunk watermarks in
+/// the version store, so the next attempt resumes past the copied rows
+/// instead of redoing the copy — and still converges.
+#[test]
+fn drain_timeout_fails_attempt_then_resume_converges() {
+    let eco = Ecosystem::new();
+    let publisher = publisher_with_users(&eco, 30);
+    let subscriber = eco.add_node(
+        SynapseConfig::new("late")
+            .bootstrap_chunk(8)
+            .bootstrap_drain_timeout(Duration::from_millis(300)),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
+    subscriber
+        .subscribe(Subscription::model("User", "pub").fields(&["name"]))
+        .unwrap();
+    eco.connect();
+
+    // Live writes after the binding exists put messages in the queue...
+    for i in 0..5 {
+        publisher
+            .orm()
+            .create("User", vmap! { "name" => format!("live-{i}") })
+            .unwrap();
+    }
+    // ...and with no workers running, step 3 can never drain them.
+    let err = subscriber.bootstrap_from(&publisher);
+    assert!(err.is_err(), "drain must time out with no workers");
+    assert!(!subscriber.orm().is_bootstrap());
+    let stats = subscriber.bootstrap_stats();
+    assert_eq!(stats.attempts, 1);
+    assert_eq!(stats.resumes, 0, "first attempt starts from scratch");
+    assert!(
+        stats.chunks_copied >= 4,
+        "the copy itself completed in chunks before the drain failed"
+    );
+    let copied_first = stats.records_copied;
+    assert_eq!(copied_first, 35);
+
+    // Second attempt with workers running: the watermark survived, so the
+    // copier resumes past everything already copied.
+    subscriber.start();
+    subscriber.bootstrap_from(&publisher).unwrap();
+    let stats = subscriber.bootstrap_stats();
+    assert_eq!(stats.completions, 1);
+    assert!(stats.resumes >= 1, "second attempt resumed from watermark");
+    assert_eq!(
+        stats.records_copied, copied_first,
+        "resume must not re-copy records behind the watermark"
+    );
+    assert_eq!(subscriber.orm().count("User").unwrap(), 35);
+    assert_eq!(stats.phase, BootstrapPhase::Live);
+    eco.stop_all();
+}
+
+/// A publisher whose only publication is ephemeral has nothing to copy:
+/// bootstrap completes straight through to Live with zero chunks.
+#[test]
+fn ephemeral_only_publication_completes_with_empty_copy() {
+    let eco = Ecosystem::new();
+    let frontend = eco.add_node(
+        SynapseConfig::new("frontend"),
+        Arc::new(EphemeralAdapter::new()),
+    );
+    frontend.orm().define_model(ModelSchema::open("Click")).unwrap();
+    frontend
+        .publish(Publication::model("Click").fields(&["target"]).ephemeral())
+        .unwrap();
+
+    let analytics = eco.add_node(
+        SynapseConfig::new("analytics"),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    analytics.orm().define_model(ModelSchema::open("Click")).unwrap();
+    analytics
+        .subscribe(Subscription::model("Click", "frontend").fields(&["target"]))
+        .unwrap();
+    eco.connect();
+
+    analytics.start_and_bootstrap_from(&frontend).unwrap();
+    let stats = analytics.bootstrap_stats();
+    assert_eq!(stats.completions, 1);
+    assert_eq!(stats.chunks_copied, 0);
+    assert_eq!(stats.records_copied, 0);
+    assert_eq!(stats.phase, BootstrapPhase::Live);
+    eco.stop_all();
+}
+
+/// A reinstate racing a broker restart: armed per-queue drop faults belong
+/// to the decommissioned incarnation and must not eat the reinstated
+/// queue's first live messages; a second reinstate of the now-active queue
+/// is a no-op.
+#[test]
+fn reinstate_racing_broker_restart_discards_stale_drop_faults() {
+    let eco = Ecosystem::new();
+    let publisher = publisher_with_users(&eco, 3);
+    let subscriber = eco.add_node(
+        SynapseConfig::new("late"),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
+    subscriber
+        .subscribe(Subscription::model("User", "pub").fields(&["name"]))
+        .unwrap();
+    eco.connect();
+    subscriber.start_and_bootstrap_from(&publisher).unwrap();
+    assert_eq!(subscriber.orm().count("User").unwrap(), 3);
+
+    // The queue dies with drop faults still armed; the broker restarts
+    // while it is decommissioned.
+    eco.broker().inject_drop_next("late", 5);
+    eco.broker().decommission_queue("late");
+    eco.broker().recover();
+
+    // Partial bootstrap reinstates the queue; the armed drops must have
+    // died with the old incarnation.
+    subscriber.bootstrap_from(&publisher).unwrap();
+    assert_eq!(eco.broker().stats().reinstated, 1);
+    assert!(
+        !eco.broker().reinstate_queue("late"),
+        "reinstating an active queue is a no-op"
+    );
+    for i in 0..2 {
+        publisher
+            .orm()
+            .create("User", vmap! { "name" => format!("post-{i}") })
+            .unwrap();
+    }
+    assert!(eventually(Duration::from_secs(5), || {
+        subscriber.orm().count("User").unwrap() == 5
+    }));
+    assert_eq!(
+        eco.broker().stats().dropped,
+        0,
+        "no armed drop may survive the reinstate"
+    );
     eco.stop_all();
 }

@@ -1,0 +1,471 @@
+//! Live-bootstrap soak: chunked recovery under an active fault plane.
+//!
+//! The scenario the §4.4 rebuild exists for: a subscriber bootstraps from
+//! a publisher *while* a writer keeps publishing and the fault plane keeps
+//! firing. Three deterministic fault classes strike *inside* the protocol:
+//!
+//! * a poison callback (panic during a chunk apply — the §6.5 class) kills
+//!   the first attempt mid-step-2, after two chunk watermarks committed;
+//! * a [`PhaseHook`]-aimed broker restart fires on the fifth `copying`
+//!   entry, i.e. in the middle of the *resumed* copy;
+//! * after convergence, a phase-aimed subscriber version-store shard kill
+//!   strikes a later recovery mid-copy (the aftershock), and re-entering
+//!   `bootstrap_from` must revive the store and reconverge.
+//!
+//! A seeded `FaultPlan` keeps background pressure on the pipeline for the
+//! whole write horizon (publish failures, broker restarts, db write
+//! errors, latency spikes).
+//!
+//! Asserted invariants, per seed:
+//!
+//! * every failed attempt clears the bootstrap flag and leaves the node
+//!   writable (the stuck-flag regression, under live fire);
+//! * converging attempts resume from the last chunk watermark instead of
+//!   restarting the copy (`resumes` grows with each recovery);
+//! * convergence is exact: row-for-row equality with equal counts — no
+//!   lost records, no double-applied rows, no phantom rows — with zero
+//!   dead-letters and zero broker drops/discards;
+//! * chunk/live reconciliation really happened (`records_reconciled >= 1`).
+//!
+//! `SYNAPSE_SEED=<n>` pins the schedule; `SYNAPSE_BOOTSTRAP_SWEEP=1`
+//! additionally runs a 10-seed sweep derived from the seed of record.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use synapse_repro::core::{
+    BootstrapPhase, DepName, Ecosystem, Publication, RetryPolicy, Subscription, SynapseConfig,
+    SynapseNode,
+};
+use synapse_repro::db::LatencyModel;
+use synapse_repro::faults::{
+    FaultClock, FaultEvent, FaultKind, FaultPlan, FaultSpec, Injector, PhaseHook, SeededRng, Side,
+};
+use synapse_repro::model::{vmap, ModelSchema};
+use synapse_repro::orm::adapters::MongoidAdapter;
+use synapse_repro::orm::CallbackPoint;
+
+/// Seed of record: `SYNAPSE_SEED=<n>` reproduces a specific schedule.
+fn seed_of_record() -> u64 {
+    std::env::var("SYNAPSE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_CAFE)
+}
+
+fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+fn mongo_node(eco: &Ecosystem, config: SynapseConfig) -> Arc<SynapseNode> {
+    let node = eco.add_node(
+        config,
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    node.orm().define_model(ModelSchema::open("Post")).unwrap();
+    node
+}
+
+/// Keeps the intentional chunk-apply panic from flooding test output while
+/// letting every other panic (i.e. real failures) print normally.
+fn quiet_poison_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let poison = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.contains("poison pill"))
+                .unwrap_or(false);
+            if !poison {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Ops the writer thread attempts while the bootstrap runs.
+const OPS: u64 = 160;
+/// Rows seeded before the subscriber's queue is even bound: history that
+/// can only arrive through the chunked object copy.
+const SEED_ROWS: usize = 120;
+
+/// One full soak run. Panics on any violated invariant.
+fn run_live_bootstrap(seed: u64) {
+    quiet_poison_panics();
+    let eco = Ecosystem::new();
+    let publisher = mongo_node(&eco, SynapseConfig::new("pub"));
+    publisher
+        .publish(Publication::model("Post").fields(&["body", "version"]))
+        .unwrap();
+    let subscriber = mongo_node(
+        &eco,
+        SynapseConfig::new("sub")
+            .wait_timeout(Some(Duration::from_millis(50)))
+            .workers(1)
+            // The retry budget must exceed the worst contiguous burst the
+            // plan can arm: nack requeues at the queue front, so stacked
+            // db-error bursts are consumed consecutively by one delivery.
+            .retry(RetryPolicy {
+                max_attempts: 10,
+                base_backoff: Duration::from_micros(200),
+                jitter_seed: seed,
+            })
+            .bootstrap_chunk(16)
+            .bootstrap_drain_timeout(Duration::from_secs(15)),
+    );
+    subscriber
+        .subscribe(Subscription::model("Post", "pub").fields(&["body", "version"]))
+        .unwrap();
+    // A purely local model, to prove the node stays writable after a
+    // failed attempt.
+    subscriber.orm().define_model(ModelSchema::open("Note")).unwrap();
+
+    // Poison pill for attempt 1: the copier's 33rd applied record — i.e.
+    // somewhere in the third chunk or later, with two watermarks already
+    // committed — panics once. Only the bootstrap copier runs chunk
+    // applies on this (the test's) thread, so live worker applies can
+    // never trip it.
+    let copier_thread = std::thread::current().id();
+    let copier_applies = Arc::new(AtomicU64::new(0));
+    let pill_fired = Arc::new(AtomicBool::new(false));
+    for point in [CallbackPoint::BeforeCreate, CallbackPoint::BeforeUpdate] {
+        let copier_applies = copier_applies.clone();
+        let pill_fired = pill_fired.clone();
+        subscriber.orm().on("Post", point, move |ctx, _record| {
+            if ctx.bootstrap && std::thread::current().id() == copier_thread {
+                let n = copier_applies.fetch_add(1, Ordering::SeqCst) + 1;
+                if n == 33 && !pill_fired.swap(true, Ordering::SeqCst) {
+                    panic!("{}", format!("poison pill: chunk apply {n} dies once"));
+                }
+            }
+            Ok(())
+        });
+    }
+
+    let mut seeded_ids = Vec::with_capacity(SEED_ROWS);
+    for i in 0..SEED_ROWS {
+        let row = publisher
+            .orm()
+            .create("Post", vmap! { "body" => format!("seed-{i}"), "version" => i as i64 })
+            .unwrap();
+        seeded_ids.push(row.id);
+    }
+    let first_seed = seeded_ids[0];
+    eco.connect();
+    subscriber.start();
+
+    // --- Phase-aimed faults: strike *inside* the protocol. ---
+    // Entries are 1-based per phase label; entry 5 lands mid-way through
+    // the *resumed* copy (attempt 1 dies on its third `copying` entry).
+    let mut hook = PhaseHook::new();
+    hook.on_entry("copying", 5, FaultKind::BrokerRestart);
+    let phase_injector = Injector::new(eco.broker().clone(), "sub")
+        .with_store(Side::Subscriber, subscriber.sub_store().clone());
+    let bridge = Arc::new(Mutex::new((hook, phase_injector)));
+    {
+        let bridge = bridge.clone();
+        subscriber.set_bootstrap_probe(move |state| {
+            let label = match state.phase() {
+                BootstrapPhase::Snapshot => "snapshot",
+                BootstrapPhase::Copying => "copying",
+                BootstrapPhase::Draining => "draining",
+                BootstrapPhase::Idle | BootstrapPhase::Live => return,
+            };
+            let (hook, injector) = &mut *bridge.lock().unwrap();
+            hook.enter(label, injector);
+        });
+    }
+
+    // --- Background pressure: a seeded plan over the write horizon. ---
+    // Raw broker drops are real message loss and plan-generated shard
+    // kills would race the deterministic schedule (a publisher write heals
+    // its own store via a generation bump, §4.4, and a subscriber revive
+    // would mask the aftershock), so both classes are re-aimed at
+    // transient, recoverable faults; the rest of the generated schedule
+    // (publish failures, broker restarts, db errors, latency) fires as-is.
+    let spec = FaultSpec {
+        horizon: OPS,
+        events: 10,
+        shards: subscriber.config().version_store_shards,
+        max_burst: 2,
+        spike_micros: 100,
+    };
+    let events: Vec<FaultEvent> = FaultPlan::generate(seed, &spec)
+        .events()
+        .iter()
+        .copied()
+        .filter_map(|mut e| {
+            match e.kind {
+                FaultKind::DropMessages { n } => e.kind = FaultKind::PublishFailures { n },
+                FaultKind::KillShard { .. } | FaultKind::ReviveShards { .. } => return None,
+                _ => {}
+            }
+            Some(e)
+        })
+        .collect();
+    let plan = FaultPlan::from_events(events);
+    let plan_injector = Injector::new(eco.broker().clone(), "sub")
+        .with_db(Side::Publisher, publisher.orm().db_faults())
+        .with_db(Side::Subscriber, subscriber.orm().db_faults());
+
+    // Writer thread: creates and full-row updates against the publisher,
+    // ticking the plan once per op. Writes refused by an injected
+    // publisher-side fault never happened and are only counted.
+    let writer = {
+        let publisher = publisher.clone();
+        let mut plan = plan;
+        let mut injector = plan_injector;
+        let mut ids = seeded_ids;
+        std::thread::spawn(move || {
+            let clock = FaultClock::new();
+            let mut driver = SeededRng::new(seed ^ 0xB007_57A9);
+            let mut refused = 0u64;
+            for i in 0..OPS {
+                injector.apply_due(&mut plan, clock.tick());
+                let result = if driver.gen_ratio(2, 5) {
+                    publisher
+                        .orm()
+                        .create(
+                            "Post",
+                            vmap! { "body" => format!("live-{i}"), "version" => (5000 + i) as i64 },
+                        )
+                        .map(|r| ids.push(r.id))
+                } else {
+                    let target = ids[driver.gen_below(ids.len() as u64) as usize];
+                    publisher
+                        .orm()
+                        .update(
+                            "Post",
+                            target,
+                            vmap! { "body" => format!("touch-{i}"), "version" => (1000 + i) as i64 },
+                        )
+                        .map(|_| ())
+                };
+                if result.is_err() {
+                    refused += 1;
+                }
+                std::thread::sleep(Duration::from_micros(400));
+            }
+            (refused, plan, injector)
+        })
+    };
+
+    // --- Attempt 1: must die mid-copy on the poisoned chunk apply. ---
+    let first = subscriber.bootstrap_from(&publisher);
+    assert!(first.is_err(), "the poisoned chunk apply must fail attempt 1");
+    assert!(pill_fired.load(Ordering::SeqCst), "the pill fired in the copier");
+    assert!(
+        !subscriber.orm().is_bootstrap(),
+        "a failed attempt must clear the bootstrap flag even under live fire"
+    );
+    let failed = subscriber.bootstrap_stats();
+    assert_eq!(failed.completions, 0);
+    assert!(
+        failed.chunks_copied >= 2,
+        "chunks before the poisoned one committed watermarks"
+    );
+    assert_eq!(failed.phase, BootstrapPhase::Idle);
+    // Writable: local models work as if no bootstrap ever ran.
+    subscriber
+        .orm()
+        .create("Note", vmap! { "body" => "still writable" })
+        .unwrap();
+
+    // --- Re-entry under live fire: resume from the watermark. ---
+    // The writer is still publishing and the plan is still firing; the
+    // resumed copy also runs through the phase-aimed broker restart.
+    let mut extra_failures = 0;
+    loop {
+        match subscriber.bootstrap_from(&publisher) {
+            Ok(()) => break,
+            Err(e) => {
+                assert!(!subscriber.orm().is_bootstrap());
+                extra_failures += 1;
+                assert!(extra_failures < 20, "bootstrap never converged: {e}");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+
+    // --- Writer finishes; heal the pipeline and settle. ---
+    let (refused, mut plan, mut injector) = writer.join().unwrap();
+    injector.apply_due(&mut plan, u64::MAX);
+    publisher.orm().db_faults().disarm();
+    subscriber.orm().db_faults().disarm();
+    // Republishing the journal can itself eat residual armed publish
+    // failures; drive it until the journal is empty.
+    for _ in 0..5 {
+        publisher.publisher().recover();
+        if publisher.publisher().journal_len() == 0 {
+            break;
+        }
+    }
+    assert_eq!(publisher.publisher().journal_len(), 0, "journal must drain");
+    assert!(
+        subscriber.subscriber().drain(Duration::from_secs(30)),
+        "backlog must drain once the pipeline heals"
+    );
+
+    // --- Convergence: exact, with nothing lost and nothing doubled. ---
+    let pub_rows = publisher.orm().all("Post").unwrap();
+    let sub_rows = subscriber.orm().all("Post").unwrap();
+    assert!(pub_rows.len() >= SEED_ROWS);
+    assert!(refused < OPS, "the writer must have made progress");
+    assert_eq!(
+        sub_rows.len(),
+        pub_rows.len(),
+        "no lost records and no phantom (double-applied) rows"
+    );
+    for row in &pub_rows {
+        let replica = subscriber
+            .orm()
+            .find("Post", row.id)
+            .unwrap()
+            .unwrap_or_else(|| panic!("row {} lost across the bootstrap", row.id));
+        assert_eq!(replica.get("body"), row.get("body"), "row {}", row.id);
+        assert_eq!(replica.get("version"), row.get("version"), "row {}", row.id);
+    }
+    let dl = subscriber.dead_letters();
+    assert!(
+        dl.is_empty(),
+        "no delivery may dead-letter in this soak: {dl:?}"
+    );
+    let broker_stats = eco.broker().stats();
+    assert_eq!(broker_stats.dropped, 0, "no silent broker loss");
+    assert_eq!(broker_stats.discarded, 0, "no decommission happened");
+
+    let stats = subscriber.bootstrap_stats();
+    assert!(stats.attempts >= 2);
+    assert_eq!(stats.completions, 1);
+    assert!(
+        stats.resumes >= 1,
+        "the converging attempt must resume from the chunk watermark"
+    );
+    assert!(
+        stats.records_copied as usize + stats.records_reconciled as usize >= SEED_ROWS,
+        "the copy must cover every seeded row, applied or reconciled"
+    );
+    assert_eq!(stats.phase, BootstrapPhase::Live);
+    assert!(!subscriber.orm().is_bootstrap());
+
+    // --- Aftershock: a subscriber store shard dies mid-copy. ---
+    // A phase-aimed kill strikes the third chunk of the next recovery; the
+    // attempt fails after retrying the dead shard, a re-entry revives the
+    // store, resumes past the aftershock watermark, and reconverges.
+    let wm_shard = subscriber.sub_store().shard_for(
+        subscriber
+            .config()
+            .dep_space
+            .key(&DepName::bootstrap_watermark("pub", "Post")),
+    );
+    let victim = (wm_shard + 1) % subscriber.config().version_store_shards;
+    // Plant the version-store state a live racer leaves behind: the live
+    // stream has moved `first_seed` far past anything the copier can pin,
+    // so the recovery's re-copy of that row must be discarded as stale
+    // (reconciled) instead of regressing the replica.
+    let raced_key = subscriber
+        .config()
+        .dep_space
+        .key(&DepName::object("pub", "Post", first_seed));
+    subscriber
+        .sub_store()
+        .advance_latest(raced_key, u64::MAX / 2)
+        .unwrap();
+    let pre_reconciled = subscriber.bootstrap_stats().records_reconciled;
+    {
+        let (hook, _) = &mut *bridge.lock().unwrap();
+        let at = hook.entries("copying") + 3;
+        hook.on_entry(
+            "copying",
+            at,
+            FaultKind::KillShard {
+                side: Side::Subscriber,
+                shard: victim,
+            },
+        );
+    }
+    let aftershock = subscriber.bootstrap_from(&publisher);
+    assert!(
+        aftershock.is_err(),
+        "the mid-copy shard kill must fail the aftershock attempt"
+    );
+    assert!(subscriber.sub_store().is_dead());
+    assert!(!subscriber.orm().is_bootstrap());
+    assert!(
+        subscriber.bootstrap_stats().retries >= 1,
+        "the dead shard was retried under the policy before failing"
+    );
+    subscriber.bootstrap_from(&publisher).unwrap();
+    assert!(
+        !subscriber.sub_store().is_dead(),
+        "re-entry revives the dead subscriber store"
+    );
+    let final_stats = subscriber.bootstrap_stats();
+    assert_eq!(final_stats.completions, 2);
+    assert!(
+        final_stats.resumes >= 2,
+        "the aftershock recovery also resumed from its watermark"
+    );
+    assert!(
+        final_stats.records_reconciled > pre_reconciled,
+        "the raced row was reconciled, not re-applied"
+    );
+    assert_eq!(
+        subscriber.orm().count("Post").unwrap(),
+        pub_rows.len() as u64,
+        "the aftershock recovery must not lose or duplicate rows"
+    );
+    // The reconciled row kept its converged content: no regression.
+    let raced = subscriber.orm().find("Post", first_seed).unwrap().unwrap();
+    let truth = publisher.orm().find("Post", first_seed).unwrap().unwrap();
+    assert_eq!(raced.get("body"), truth.get("body"));
+    {
+        let (hook, injector) = &*bridge.lock().unwrap();
+        assert!(hook.exhausted(), "every phase-aimed fault fired");
+        assert!(hook.entries("copying") >= 8);
+        assert!(hook.entries("snapshot") >= 4);
+        assert_eq!(injector.stats().broker_restarts, 1);
+        assert_eq!(injector.stats().shard_kills, 1);
+    }
+
+    // Live replication still works end to end.
+    let fresh = publisher
+        .orm()
+        .create("Post", vmap! { "body" => "post-aftershock", "version" => 9999 })
+        .unwrap();
+    assert!(eventually(Duration::from_secs(5), || {
+        subscriber.orm().find("Post", fresh.id).unwrap().is_some()
+    }));
+    eco.stop_all();
+}
+
+/// The pinned-seed run (`SYNAPSE_SEED` reproduces a specific schedule).
+#[test]
+fn mid_copy_faults_fail_attempts_then_resume_converges() {
+    run_live_bootstrap(seed_of_record());
+}
+
+/// Ten-seed sweep, opt-in via `SYNAPSE_BOOTSTRAP_SWEEP=1`: the invariants
+/// must hold across schedules, not just under the seed of record.
+#[test]
+fn ten_seed_sweep_holds_the_invariants() {
+    if std::env::var("SYNAPSE_BOOTSTRAP_SWEEP").as_deref() != Ok("1") {
+        eprintln!("live_bootstrap sweep skipped (set SYNAPSE_BOOTSTRAP_SWEEP=1 to run)");
+        return;
+    }
+    let base = seed_of_record();
+    for i in 0..10u64 {
+        let seed = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        eprintln!("sweep {i}: seed {seed:#x}");
+        run_live_bootstrap(seed);
+    }
+}
