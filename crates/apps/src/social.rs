@@ -339,9 +339,8 @@ fn build_analyzer(eco: &Ecosystem, latency: LatencyModel) -> Arc<App> {
         }
         Ok(())
     };
-    let a = analyze.clone();
     orm.on("Post", CallbackPoint::AfterCreate, move |ctx, r| {
-        a(ctx, "author_id", r)
+        analyze(ctx, "author_id", r)
     });
     orm.on("Reply", CallbackPoint::AfterCreate, move |ctx, r| {
         analyze(ctx, "user_id", r)

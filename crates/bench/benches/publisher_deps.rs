@@ -31,7 +31,7 @@ fn bench_publisher_deps(c: &mut Criterion) {
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
         let user = DepName::object(node.app(), "User", Id(1));
         let n = AtomicU64::new(0);
-        c.bench_function(&format!("publisher_deps/{deps}"), |b| {
+        c.bench_function(format!("publisher_deps/{deps}"), |b| {
             b.iter(|| {
                 with_user_scope(user.clone(), || {
                     add_read_deps(&refs);

@@ -11,7 +11,7 @@ fn bench_publish_bump(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(deps), &deps, |b, &deps| {
             let store = VersionStore::new(4);
             let script: Vec<(u64, bool)> =
-                (0..deps as u64).map(|k| (k, k % 4 == 0)).collect();
+                (0..deps as u64).map(|k| (k, k.is_multiple_of(4))).collect();
             b.iter(|| store.publish_bump(std::hint::black_box(&script)).unwrap());
         });
     }

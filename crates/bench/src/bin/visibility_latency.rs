@@ -1,0 +1,156 @@
+//! Fig. 10-style visibility latency: the time from the publisher's ORM
+//! intercept to the moment the write is applied and visible on the
+//! subscriber, broken down by pipeline stage, for each delivery mode.
+//!
+//! For every mode (weak, causal, global) the harness wires one publisher
+//! and one subscriber at that mode, pushes a stream of creates through
+//! the full pipeline, waits for the subscriber to report every message
+//! visible, and then reads both nodes' telemetry snapshots: the
+//! publisher's snapshot carries the intercept → dep-compute →
+//! wire-encode → broker-enqueue stages, the subscriber's carries
+//! queue-residency → pop/batch → dep-wait → apply plus the end-to-end
+//! histogram the paper plots.
+//!
+//! Prints a single JSON object to stdout; `scripts/bench.sh` wraps it
+//! with provenance metadata into `BENCH_visibility_latency.json`. The
+//! message count is tunable via `VISIBILITY_MESSAGES` (the tier-1 smoke
+//! run uses a small count).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use synapse_core::{
+    DeliveryMode, Ecosystem, ModeSlice, Publication, Stage, Subscription, SynapseConfig,
+    TelemetrySnapshot,
+};
+use synapse_db::LatencyModel;
+use synapse_model::{vmap, ModelSchema};
+use synapse_orm::adapters::{ActiveRecordAdapter, MongoidAdapter};
+
+const DEFAULT_MESSAGES: u64 = 2_000;
+
+fn message_override() -> Option<u64> {
+    std::env::var("VISIBILITY_MESSAGES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+}
+
+/// Runs `messages` creates through a publisher/subscriber pair pinned to
+/// `mode` and returns both nodes' telemetry snapshots once every message
+/// is visible on the subscriber.
+fn run(mode: DeliveryMode, messages: u64) -> (TelemetrySnapshot, TelemetrySnapshot) {
+    let eco = Ecosystem::new();
+    let publisher = eco.add_node(
+        SynapseConfig::new("pub").mode(mode),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    publisher
+        .orm()
+        .define_model(ModelSchema::open("Post"))
+        .unwrap();
+    publisher
+        .publish(Publication::model("Post").fields(&["body", "n"]))
+        .unwrap();
+
+    let subscriber = eco.add_node(
+        SynapseConfig::new("sub").mode(mode),
+        Arc::new(ActiveRecordAdapter::new("postgresql", LatencyModel::off())),
+    );
+    subscriber
+        .orm()
+        .define_model(ModelSchema::new("Post").field("body").field("n"))
+        .unwrap();
+    subscriber
+        .subscribe(Subscription::model("Post", "pub").fields(&["body", "n"]))
+        .unwrap();
+
+    assert!(eco.connect().is_empty(), "static pub/sub checks must pass");
+    eco.start_all();
+
+    for n in 0..messages {
+        publisher
+            .orm()
+            .create("Post", vmap! { "body" => "visibility probe", "n" => n })
+            .unwrap();
+    }
+
+    // Every message must become visible before the histograms are read.
+    let slice = mode.slice();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while subscriber.telemetry().delivered(slice) < messages {
+        assert!(
+            Instant::now() < deadline,
+            "{mode:?}: subscriber failed to drain ({}/{messages})",
+            subscriber.telemetry().delivered(slice)
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    eco.stop_all();
+
+    (publisher.telemetry_snapshot(), subscriber.telemetry_snapshot())
+}
+
+/// `{"count":…,"sum_ns":…,"p50_ns":…,"p99_ns":…}` for one stage summary.
+fn stage_json(snap: &TelemetrySnapshot, slice: ModeSlice, stage: Stage) -> String {
+    let s = snap.stage(slice, stage);
+    format!(
+        "{{\"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+        s.count, s.sum_nanos, s.p50_nanos, s.p99_nanos
+    )
+}
+
+fn main() {
+    let messages = message_override().unwrap_or(DEFAULT_MESSAGES).max(1);
+    let mut modes_json = String::new();
+    let mut causal_sub_snapshot = None;
+
+    for (i, mode) in [DeliveryMode::Weak, DeliveryMode::Causal, DeliveryMode::Global]
+        .into_iter()
+        .enumerate()
+    {
+        let (pub_snap, sub_snap) = run(mode, messages);
+        let slice = mode.slice();
+        if i > 0 {
+            modes_json.push_str(",\n");
+        }
+        let _ = write!(
+            modes_json,
+            "    \"{}\": {{\n      \"delivered\": {},\n      \"stages\": {{\n",
+            slice.name(),
+            sub_snap.delivered[slice.index()]
+        );
+        for (j, stage) in Stage::all().into_iter().enumerate() {
+            // Publisher-side stages come from the publishing node's
+            // snapshot, subscriber-side stages (and end-to-end) from the
+            // subscribing node's.
+            let source = if stage.is_subscriber_stage() || stage == Stage::EndToEnd {
+                &sub_snap
+            } else {
+                &pub_snap
+            };
+            let _ = writeln!(
+                modes_json,
+                "        \"{}\": {}{}",
+                stage.name(),
+                stage_json(source, slice, stage),
+                if j + 1 < Stage::all().len() { "," } else { "" }
+            );
+        }
+        modes_json.push_str("      }\n    }");
+        if mode == DeliveryMode::Causal {
+            causal_sub_snapshot = Some(sub_snap);
+        }
+    }
+
+    let snapshot = causal_sub_snapshot.expect("causal mode ran");
+    println!("{{");
+    println!("  \"messages_per_mode\": {messages},");
+    println!("  \"modes\": {{");
+    println!("{modes_json}");
+    println!("  }},");
+    // The full subscriber telemetry snapshot of the causal run — the
+    // paper's default posture — so the trajectory records counters and
+    // event-ring totals alongside the distilled stage percentiles.
+    println!("  \"causal_subscriber_snapshot\": {}", snapshot.to_json());
+    println!("}}");
+}

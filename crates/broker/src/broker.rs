@@ -200,6 +200,19 @@ impl Broker {
         exchange: &str,
         payload: impl Into<SharedStr>,
     ) -> Result<(), PublishError> {
+        self.publish_stamped(exchange, payload, 0)
+    }
+
+    /// [`Broker::publish`] carrying the publisher's monotonic origin stamp
+    /// (nanoseconds since the process telemetry epoch). The stamp rides the
+    /// delivery envelope so subscribers can compute end-to-end visibility
+    /// latency; 0 means unstamped.
+    pub fn publish_stamped(
+        &self,
+        exchange: &str,
+        payload: impl Into<SharedStr>,
+        origin_nanos: u64,
+    ) -> Result<(), PublishError> {
         if self.consume_armed_fault() {
             return Err(PublishError {
                 exchange: exchange.to_owned(),
@@ -209,7 +222,7 @@ impl Broker {
         let routes = self.inner.routes.read();
         if let Some((shared_exchange, targets)) = routes.resolved.get(exchange) {
             for queue in targets {
-                queue.enqueue(shared_exchange, &payload);
+                queue.enqueue(shared_exchange, &payload, origin_nanos);
             }
         }
         drop(routes);
@@ -229,7 +242,19 @@ impl Broker {
         I: IntoIterator,
         I::Item: Into<SharedStr>,
     {
-        let payloads: Vec<SharedStr> = payloads.into_iter().map(Into::into).collect();
+        self.publish_batch_stamped(
+            exchange,
+            payloads.into_iter().map(|p| (p.into(), 0)).collect(),
+        )
+    }
+
+    /// [`Broker::publish_batch`] with a per-payload origin stamp (see
+    /// [`Broker::publish_stamped`]).
+    pub fn publish_batch_stamped(
+        &self,
+        exchange: &str,
+        payloads: Vec<(SharedStr, u64)>,
+    ) -> Result<u64, PublishError> {
         if payloads.is_empty() {
             return Ok(0);
         }

@@ -128,6 +128,14 @@ pub struct Delivery {
     /// `true` if this delivery is a redelivery after a nack or broker
     /// recovery.
     pub redelivered: bool,
+    /// Monotonic publish stamp (nanoseconds since the process telemetry
+    /// epoch, [`synapse_telemetry::mono_nanos`]) attached by the publisher;
+    /// 0 when the publisher did not stamp the message.
+    pub origin_nanos: u64,
+    /// Monotonic stamp taken when this copy was admitted to its queue.
+    /// Survives nacks and broker recovery, so queue residency measures from
+    /// the *original* admission.
+    pub enqueued_nanos: u64,
 }
 
 #[cfg(test)]

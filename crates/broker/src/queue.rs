@@ -5,6 +5,7 @@ use crate::message::{Delivery, SharedStr};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
+use synapse_telemetry::mono_nanos;
 
 /// Queue configuration.
 #[derive(Debug, Clone, Default)]
@@ -86,7 +87,7 @@ impl QueueInner {
 
     /// Admits one payload under the held lock. Returns `true` if the copy
     /// was enqueued (vs refused, dropped, or cap-killed).
-    fn admit(&mut self, exchange: &SharedStr, payload: &SharedStr) -> bool {
+    fn admit(&mut self, exchange: &SharedStr, payload: &SharedStr, origin_nanos: u64) -> bool {
         if self.state == QueueState::Decommissioned {
             self.refused += 1;
             return false;
@@ -115,6 +116,8 @@ impl QueueInner {
             exchange: exchange.clone(),
             payload: payload.clone(),
             redelivered: false,
+            origin_nanos,
+            enqueued_nanos: mono_nanos(),
         });
         self.enqueued += 1;
         true
@@ -139,9 +142,9 @@ impl Queue {
 
     /// Enqueues a payload; enforces the decommission policy. The payload is
     /// shared, not copied.
-    pub(crate) fn enqueue(&self, exchange: &SharedStr, payload: &SharedStr) {
+    pub(crate) fn enqueue(&self, exchange: &SharedStr, payload: &SharedStr, origin_nanos: u64) {
         let mut inner = self.inner.lock();
-        let added = inner.admit(exchange, payload);
+        let added = inner.admit(exchange, payload, origin_nanos);
         let killed = inner.state == QueueState::Decommissioned;
         drop(inner);
         if killed {
@@ -155,14 +158,14 @@ impl Queue {
     /// applying the same per-copy admission policy as [`Queue::enqueue`]
     /// (so a mid-batch cap kill refuses the remainder, exactly as N
     /// individual publishes would).
-    pub(crate) fn enqueue_batch(&self, exchange: &SharedStr, payloads: &[SharedStr]) {
+    pub(crate) fn enqueue_batch(&self, exchange: &SharedStr, payloads: &[(SharedStr, u64)]) {
         if payloads.is_empty() {
             return;
         }
         let mut inner = self.inner.lock();
         let mut added = 0usize;
-        for payload in payloads {
-            if inner.admit(exchange, payload) {
+        for (payload, origin) in payloads {
+            if inner.admit(exchange, payload, *origin) {
                 added += 1;
             }
         }

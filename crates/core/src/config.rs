@@ -101,6 +101,11 @@ pub struct SynapseConfig {
     /// the attempt fails (the watermarks survive, so the next attempt
     /// resumes instead of re-copying).
     pub bootstrap_drain_timeout: Duration,
+    /// Whether the structured telemetry event ring records span-style stage
+    /// traces. Counters and latency histograms are always live (they are
+    /// plain atomic bumps); this flag only gates the ring, turning each
+    /// push into a single relaxed load when off.
+    pub telemetry_enabled: bool,
 }
 
 impl SynapseConfig {
@@ -118,6 +123,7 @@ impl SynapseConfig {
             retry: RetryPolicy::default(),
             bootstrap_chunk_size: 64,
             bootstrap_drain_timeout: Duration::from_secs(30),
+            telemetry_enabled: true,
         }
     }
 
@@ -181,6 +187,12 @@ impl SynapseConfig {
         self.bootstrap_drain_timeout = t;
         self
     }
+
+    /// Enables or disables the structured telemetry event ring.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry_enabled = enabled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +205,7 @@ mod tests {
         assert_eq!(c.publisher_mode, DeliveryMode::Causal);
         assert_eq!(c.subscriber_mode, DeliveryMode::Causal);
         assert!(c.queue_max_len.is_none());
+        assert!(c.telemetry_enabled);
         assert_eq!(c.bootstrap_chunk_size, 64);
         assert_eq!(c.bootstrap_drain_timeout, Duration::from_secs(30));
     }
@@ -221,7 +234,9 @@ mod tests {
             .queue_cap(1000)
             .wait_timeout(None)
             .bootstrap_chunk(16)
-            .bootstrap_drain_timeout(Duration::from_millis(250));
+            .bootstrap_drain_timeout(Duration::from_millis(250))
+            .telemetry(false);
+        assert!(!c.telemetry_enabled);
         assert_eq!(c.subscriber_mode, DeliveryMode::Weak);
         assert_eq!(c.subscriber_workers, 8);
         assert_eq!(c.queue_max_len, Some(1000));

@@ -27,7 +27,9 @@
 //!   [`node::Ecosystem`], the wiring harness (broker + bootstrap plumbing).
 //! * [`testing`] — the testing framework of §4.5: factories, static
 //!   publish/subscribe checks, payload emulation.
-//! * [`stats`] — publisher-overhead instrumentation behind Fig. 12.
+//! * [`stats`] — publisher-overhead instrumentation behind Fig. 12
+//!   (re-exported from `synapse-telemetry`, where the whole telemetry
+//!   plane — staged latency histograms, counters, event ring — now lives).
 
 pub mod api;
 pub mod config;
@@ -52,3 +54,4 @@ pub use node::{BootstrapPhase, BootstrapState, BootstrapStats, Ecosystem, NodeSt
 pub use semantics::DeliveryMode;
 pub use stats::ControllerStats;
 pub use subscriber::{ChunkLoad, ProcessError};
+pub use synapse_telemetry::{ModeSlice, Stage, Telemetry, TelemetrySnapshot};

@@ -15,6 +15,7 @@ use synapse_broker::{Broker, Delivery, QueueConfig, QueueState};
 use synapse_db::DbError;
 use synapse_model::Id;
 use synapse_orm::{Adapter, Orm, OrmError};
+use synapse_telemetry::{Telemetry, TelemetrySnapshot};
 use synapse_versionstore::{DepKey, GenerationStore, VersionStore};
 
 /// Coarse phase of the bootstrap state machine — `Copy`-cheap so it can
@@ -175,6 +176,9 @@ pub struct SynapseNode {
     publisher: Arc<Publisher>,
     subscriber: Arc<Subscriber>,
     publisher_modes: Arc<RwLock<HashMap<String, DeliveryMode>>>,
+    /// The node's telemetry plane: staged latency histograms, counters,
+    /// and the structured event ring, shared by publisher and subscriber.
+    telemetry: Arc<Telemetry>,
     /// Completed (re-)bootstraps — the recovery counter of §4.4.
     bootstraps: AtomicU64,
     /// Bootstrap state machine, probe, and counters.
@@ -213,6 +217,7 @@ impl SynapseNode {
         let publications = Arc::new(RwLock::new(BTreeMap::new()));
         let subscriptions = Arc::new(RwLock::new(Vec::new()));
         let publisher_modes = Arc::new(RwLock::new(HashMap::new()));
+        let telemetry = Arc::new(Telemetry::new(config.telemetry_enabled));
 
         broker.declare_queue(
             &config.app,
@@ -232,6 +237,7 @@ impl SynapseNode {
             publications.clone(),
             subscriptions.clone(),
             config.retry,
+            telemetry.clone(),
         ));
         orm.observe(publisher.clone());
 
@@ -242,6 +248,7 @@ impl SynapseNode {
             subscriptions.clone(),
             publisher_modes.clone(),
             broker.clone(),
+            telemetry.clone(),
         ));
 
         Arc::new(SynapseNode {
@@ -256,6 +263,7 @@ impl SynapseNode {
             publisher,
             subscriber,
             publisher_modes,
+            telemetry,
             bootstraps: AtomicU64::new(0),
             bootstrap: BootstrapTracker::default(),
         })
@@ -410,6 +418,48 @@ impl SynapseNode {
     /// Subscriber counters.
     pub fn subscriber_stats(&self) -> SubscriberStats {
         self.subscriber.stats()
+    }
+
+    /// The node's telemetry plane (staged latency histograms, counters,
+    /// event ring, controller-overhead table).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// One coherent export of the telemetry plane: the staged
+    /// visibility-latency histograms and delivered counts per mode, plus
+    /// every layer's counters folded into the counter list — publisher and
+    /// subscriber pipeline counters, ORM intercept counts, and the version
+    /// stores' apply/wait timing — so a single snapshot answers both "how
+    /// late" and "how much" for this node.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.telemetry.snapshot();
+        let stats = self.stats();
+        let mut extra: Vec<(String, u64)> = vec![
+            ("publisher.messages_published".into(), stats.publisher.messages_published),
+            ("publisher.operations".into(), stats.publisher.operations),
+            ("publisher.publish_retries".into(), stats.publisher.publish_retries),
+            ("publisher.publish_failures".into(), stats.publisher.publish_failures),
+            ("publisher.journaled".into(), stats.journaled as u64),
+            ("subscriber.messages_processed".into(), stats.subscriber.messages_processed),
+            ("subscriber.ops_applied".into(), stats.subscriber.ops_applied),
+            ("subscriber.ops_stale".into(), stats.subscriber.ops_stale),
+            ("subscriber.dep_timeouts".into(), stats.subscriber.dep_timeouts),
+            ("subscriber.retries".into(), stats.subscriber.retries),
+            ("subscriber.dead_lettered".into(), stats.subscriber.dead_lettered),
+            ("orm.writes_intercepted".into(), self.orm.writes_intercepted()),
+            ("orm.reads_observed".into(), self.orm.reads_observed()),
+        ];
+        for (store, name) in [(&self.pub_store, "pub_store"), (&self.sub_store, "sub_store")] {
+            let timing = store.timing();
+            extra.push((format!("{name}.applies"), timing.applies));
+            extra.push((format!("{name}.apply_nanos"), timing.apply_nanos));
+            extra.push((format!("{name}.waits"), timing.waits));
+            extra.push((format!("{name}.wait_nanos"), timing.wait_nanos));
+        }
+        snap.counters.extend(extra);
+        snap.counters.sort();
+        snap
     }
 
     /// Aggregated pipeline counters for fault accounting.

@@ -38,6 +38,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use synapse_broker::{Broker, SharedStr};
 use synapse_model::{Record, Value};
+use synapse_telemetry::{mono_nanos, Stage, Telemetry};
 use synapse_orm::{Orm, OrmError, QueryObserver, WriteExec, WriteIntent, WriteKind};
 use synapse_versionstore::{BumpScratch, DepKey, GenerationStore, StoreError, VersionStore};
 
@@ -162,14 +163,20 @@ pub struct Publisher {
     publications: Arc<RwLock<BTreeMap<String, Publication>>>,
     subscriptions: Arc<RwLock<Vec<Subscription>>>,
     locks: LockManager,
-    /// Publish journal: payloads not yet confirmed at the broker. Shared
-    /// with the broker's queues — journaling is a pointer bump, not a copy.
-    journal: Mutex<BTreeMap<u64, SharedStr>>,
+    /// Publish journal: payloads not yet confirmed at the broker, each with
+    /// its monotonic origin stamp so recovery republishes with the original
+    /// publish time. Shared with the broker's queues — journaling is a
+    /// pointer bump, not a copy.
+    journal: Mutex<BTreeMap<u64, (SharedStr, u64)>>,
     journal_seq: AtomicU64,
     /// Failure injection: while set, payloads stay journaled instead of
     /// reaching the broker (a crash between DB commit and publication).
     fail_publish: AtomicBool,
     retry: RetryPolicy,
+    /// The node's telemetry plane; publisher-side stages (intercept, dep
+    /// compute, wire encode, broker enqueue) are recorded under this
+    /// publisher's delivery-mode slice.
+    telemetry: Arc<Telemetry>,
     messages_published: AtomicU64,
     operations: AtomicU64,
     generation_bumps: AtomicU64,
@@ -191,6 +198,7 @@ impl Publisher {
         publications: Arc<RwLock<BTreeMap<String, Publication>>>,
         subscriptions: Arc<RwLock<Vec<Subscription>>>,
         retry: RetryPolicy,
+        telemetry: Arc<Telemetry>,
     ) -> Self {
         Publisher {
             app_prefix: format!("{app}/"),
@@ -210,6 +218,7 @@ impl Publisher {
             journal_seq: AtomicU64::new(0),
             fail_publish: AtomicBool::new(false),
             retry,
+            telemetry,
             messages_published: AtomicU64::new(0),
             operations: AtomicU64::new(0),
             generation_bumps: AtomicU64::new(0),
@@ -250,12 +259,15 @@ impl Publisher {
     /// broker still refuses after the retry policy stay journaled, so
     /// `recover` can be called again later without losing anything.
     pub fn recover(&self) {
-        let pending: Vec<(u64, SharedStr)> = {
+        let pending: Vec<(u64, SharedStr, u64)> = {
             let journal = self.journal.lock();
-            journal.iter().map(|(k, v)| (*k, v.clone())).collect()
+            journal
+                .iter()
+                .map(|(k, (p, origin))| (*k, p.clone(), *origin))
+                .collect()
         };
-        for (seq, payload) in pending {
-            if self.send_with_retry(&payload) {
+        for (seq, payload, origin) in pending {
+            if self.send_with_retry(&payload, origin) {
                 self.messages_published.fetch_add(1, Ordering::Relaxed);
                 self.journal.lock().remove(&seq);
             }
@@ -265,9 +277,9 @@ impl Publisher {
     /// Hands one payload to the broker under the retry policy; counts
     /// every transiently failed attempt and the final exhaustion. Returns
     /// whether the broker accepted it.
-    fn send_with_retry(&self, payload: &SharedStr) -> bool {
+    fn send_with_retry(&self, payload: &SharedStr, origin_nanos: u64) -> bool {
         for attempt in 1..=self.retry.max_attempts.max(1) {
-            match self.broker.publish(&self.app, payload) {
+            match self.broker.publish_stamped(&self.app, payload, origin_nanos) {
                 Ok(()) => return true,
                 Err(_) => {
                     self.publish_retries.fetch_add(1, Ordering::Relaxed);
@@ -471,8 +483,13 @@ impl Publisher {
         }
     }
 
-    /// Builds, journals, and publishes a message.
+    /// Builds, journals, and publishes a message. The monotonic origin
+    /// stamp taken here anchors the message's end-to-end visibility
+    /// latency; it rides the broker envelope (never the pinned wire
+    /// format) and survives in the journal for recovery republishes.
     pub(crate) fn publish_message(&self, operations: Vec<Operation>, deps: BTreeMap<DepKey, u64>) {
+        let origin_nanos = mono_nanos();
+        let mode = self.mode.slice();
         let msg = WriteMessage {
             app: self.app.clone(),
             operations,
@@ -488,8 +505,13 @@ impl Publisher {
             msg.encode_into(&mut buf);
             SharedStr::from(buf.as_str())
         });
+        let encoded_nanos = mono_nanos();
+        self.telemetry
+            .record_stage(mode, Stage::WireEncode, encoded_nanos - origin_nanos);
         let seq = self.journal_seq.fetch_add(1, Ordering::Relaxed);
-        self.journal.lock().insert(seq, payload.clone());
+        self.journal
+            .lock()
+            .insert(seq, (payload.clone(), origin_nanos));
         if self.fail_publish.load(Ordering::SeqCst) {
             // Simulated crash window: the journal retains the payload.
             return;
@@ -498,7 +520,12 @@ impl Publisher {
         // broker confirms it. Exhausted retries leave it journaled — the
         // version bump already happened, so dropping the payload here
         // would silently lose the write (§6.5's root failure mode).
-        if self.send_with_retry(&payload) {
+        if self.send_with_retry(&payload, origin_nanos) {
+            self.telemetry.record_stage(
+                mode,
+                Stage::BrokerEnqueue,
+                mono_nanos().saturating_sub(encoded_nanos),
+            );
             self.messages_published.fetch_add(1, Ordering::Relaxed);
             self.journal.lock().remove(&seq);
         }
@@ -565,6 +592,7 @@ impl QueryObserver for Publisher {
         }
 
         let mut scratch = take_scratch();
+        let intercept_nanos = start.elapsed().as_nanos() as u64;
         self.compute_deps(intent, &mut scratch);
         scratch.lock_keys.clear();
         scratch
@@ -573,6 +601,14 @@ impl QueryObserver for Publisher {
         scratch.lock_keys.sort_unstable();
         scratch.lock_keys.dedup();
         let pre_nanos = start.elapsed().as_nanos() as u64;
+        let mode = self.mode.slice();
+        self.telemetry
+            .record_stage(mode, Stage::Intercept, intercept_nanos);
+        self.telemetry.record_stage(
+            mode,
+            Stage::DepCompute,
+            pre_nanos.saturating_sub(intercept_nanos),
+        );
 
         let guard = self.locks.lock(&scratch.lock_keys);
         let record = match exec() {

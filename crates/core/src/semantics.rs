@@ -33,6 +33,15 @@ impl DeliveryMode {
     pub fn effective(publisher: DeliveryMode, subscriber: DeliveryMode) -> DeliveryMode {
         publisher.min(subscriber)
     }
+
+    /// The telemetry slice this mode's latencies are recorded under.
+    pub fn slice(self) -> synapse_telemetry::ModeSlice {
+        match self {
+            DeliveryMode::Weak => synapse_telemetry::ModeSlice::Weak,
+            DeliveryMode::Causal => synapse_telemetry::ModeSlice::Causal,
+            DeliveryMode::Global => synapse_telemetry::ModeSlice::Global,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -43,6 +52,13 @@ mod tests {
     fn modes_order_by_strength() {
         assert!(DeliveryMode::Weak < DeliveryMode::Causal);
         assert!(DeliveryMode::Causal < DeliveryMode::Global);
+    }
+
+    #[test]
+    fn slices_mirror_mode_names() {
+        for mode in [DeliveryMode::Weak, DeliveryMode::Causal, DeliveryMode::Global] {
+            assert_eq!(mode.slice().name(), mode.name());
+        }
     }
 
     #[test]

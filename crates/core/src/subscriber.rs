@@ -42,10 +42,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use synapse_broker::{Broker, Consumer, Delivery};
-use synapse_versionstore::DepKey;
 use synapse_db::DbError;
 use synapse_model::{Record, Value};
 use synapse_orm::{CallbackPoint, Orm, OrmError};
+use synapse_telemetry::{mono_nanos, Telemetry};
+use synapse_versionstore::DepKey;
 use synapse_versionstore::{DepWaitSet, StoreError, VersionStore, WaitOutcome};
 
 /// Why one processing attempt failed — the classification that decides
@@ -110,6 +111,19 @@ const BATCH_MAX: usize = 32;
 /// wakes the queue explicitly.
 const IDLE_PARK: Duration = Duration::from_millis(250);
 
+/// Stripes of the per-object apply lock (see [`Subscriber::apply_op`]).
+const APPLY_SLOTS: usize = 256;
+
+/// Subscriber-side stage durations for one successfully applied message,
+/// committed to the telemetry plane together with the end-to-end latency
+/// only once the apply succeeded (failed attempts record nothing, so per
+/// mode the stage counts always equal the delivered count).
+#[derive(Debug, Default, Clone, Copy)]
+struct StageMarks {
+    dep_wait_nanos: u64,
+    apply_nanos: u64,
+}
+
 /// Deliveries whose ORM apply succeeded but whose version-store apply and
 /// ack are deferred to the batch flush point, so each touched shard is
 /// locked (and notified) once per batch instead of once per message.
@@ -165,6 +179,19 @@ pub struct Subscriber {
     /// ack or dead-letter. Redeliveries keep their tag, so this survives
     /// nack round-trips.
     attempts: Mutex<HashMap<u64, u32>>,
+    /// The node's telemetry plane; subscriber-side stages and end-to-end
+    /// visibility latency are committed here on successful applies.
+    telemetry: Arc<Telemetry>,
+    /// Striped per-object apply locks: [`Subscriber::apply_op`] holds the
+    /// object's slot across the `advance_latest` freshness check *and* the
+    /// ORM apply, so a bootstrap copier and a live worker racing on the
+    /// same object can never interleave check and write (stale content
+    /// landing last).
+    apply_slots: Vec<Mutex<()>>,
+    /// Test hook: when cleared, `apply_op` skips the apply slot and
+    /// re-exposes the historical check-then-write race for the regression
+    /// test. Always set in production paths.
+    serialize_applies: AtomicBool,
 }
 
 impl Subscriber {
@@ -176,6 +203,7 @@ impl Subscriber {
         subscriptions: Arc<RwLock<Vec<Subscription>>>,
         publisher_modes: Arc<RwLock<HashMap<String, DeliveryMode>>>,
         broker: Broker,
+        telemetry: Arc<Telemetry>,
     ) -> Self {
         Subscriber {
             app: config.app.clone(),
@@ -194,7 +222,17 @@ impl Subscriber {
             counters: Counters::default(),
             retry: config.retry,
             attempts: Mutex::new(HashMap::new()),
+            telemetry,
+            apply_slots: (0..APPLY_SLOTS).map(|_| Mutex::new(())).collect(),
+            serialize_applies: AtomicBool::new(true),
         }
+    }
+
+    /// Test hook: disabling re-exposes the historical copier-vs-worker
+    /// apply race (the `advance_latest`/ORM-write pair running without the
+    /// per-object slot). Only the regression test should ever clear this.
+    pub fn serialize_applies(&self, on: bool) {
+        self.serialize_applies.store(on, Ordering::SeqCst);
     }
 
     /// Current counters.
@@ -269,6 +307,7 @@ impl Subscriber {
         let mut pending = PendingBatch::default();
         while !self.stop.load(Ordering::SeqCst) {
             let batch = consumer.pop_batch(BATCH_MAX, IDLE_PARK);
+            let popped_nanos = mono_nanos();
             if batch.is_empty() {
                 // Timed out, woken for shutdown, or decommissioned. A
                 // decommissioned queue stays quiet until the node performs
@@ -293,7 +332,7 @@ impl Subscriber {
                     }
                     return;
                 }
-                self.handle_delivery(&consumer, delivery, &mut pending, &mut in_flight);
+                self.handle_delivery(&consumer, delivery, popped_nanos, &mut pending, &mut in_flight);
             }
             self.flush_pending(&consumer, &mut pending);
         }
@@ -306,12 +345,14 @@ impl Subscriber {
         &'a self,
         consumer: &Consumer,
         delivery: &Delivery,
+        popped_nanos: u64,
         pending: &mut PendingBatch,
         in_flight: &mut Option<RwLockReadGuard<'a, ()>>,
     ) {
         if delivery.redelivered {
             self.counters.redeliveries.fetch_add(1, Ordering::Relaxed);
         }
+        let handle_nanos = mono_nanos();
         let decoded = WriteMessage::decode(&delivery.payload)
             .map_err(|e| ProcessError::Poison(format!("undecodable payload: {e}")));
         let outcome = match &decoded {
@@ -319,10 +360,11 @@ impl Subscriber {
             Err(e) => Err(e.clone()),
         };
         match outcome {
-            Ok(()) => {
+            Ok((mode, marks)) => {
                 if let Ok(msg) = &decoded {
                     pending.tags.push(delivery.tag);
                     pending.dep_keys.extend(msg.dep_keys());
+                    self.record_visible(delivery, mode, popped_nanos, handle_nanos, marks);
                 }
             }
             Err(ProcessError::Poison(_)) => {
@@ -377,7 +419,8 @@ impl Subscriber {
         consumer: &Consumer,
         pending: &mut PendingBatch,
         in_flight: &mut Option<RwLockReadGuard<'a, ()>>,
-    ) -> Result<(), ProcessError> {
+    ) -> Result<(DeliveryMode, StageMarks), ProcessError> {
+        let mut marks = StageMarks::default();
         if self.generation_pending(msg) {
             // The gate write-waits on in-flight readers: land our own
             // pending work and step outside the barrier before taking it.
@@ -393,9 +436,41 @@ impl Subscriber {
             if !pending.is_empty() && !matches!(self.store.satisfied_prepared(&deps), Ok(true)) {
                 self.flush_pending(consumer, pending);
             }
+            let wait_start = mono_nanos();
             self.wait_deps(&deps).map_err(ProcessError::Transient)?;
+            marks.dep_wait_nanos = mono_nanos().saturating_sub(wait_start);
         }
-        self.apply_message(msg, mode)
+        let apply_start = mono_nanos();
+        self.apply_message(msg, mode)?;
+        marks.apply_nanos = mono_nanos().saturating_sub(apply_start);
+        Ok((mode, marks))
+    }
+
+    /// Commits the staged breakdown and end-to-end visibility latency for
+    /// one successfully applied delivery. Unstamped deliveries (payload
+    /// emulation, bootstrap copies) carry `origin_nanos == 0` and are
+    /// skipped, so the histograms only ever hold real publish→visible
+    /// windows.
+    fn record_visible(
+        &self,
+        delivery: &Delivery,
+        mode: DeliveryMode,
+        popped_nanos: u64,
+        handle_nanos: u64,
+        marks: StageMarks,
+    ) {
+        if delivery.origin_nanos == 0 {
+            return;
+        }
+        let visible = mono_nanos();
+        self.telemetry.record_visible(
+            mode.slice(),
+            popped_nanos.saturating_sub(delivery.enqueued_nanos),
+            handle_nanos.saturating_sub(popped_nanos),
+            marks.dep_wait_nanos,
+            marks.apply_nanos,
+            visible.saturating_sub(delivery.origin_nanos),
+        );
     }
 
     /// Lands the pending batch: one grouped version-store apply (each
@@ -463,6 +538,8 @@ impl Subscriber {
     /// transient (retryable) or poison (dead-letter). Unlike the batched
     /// worker path, the version-store apply happens immediately.
     pub fn process_classified(&self, delivery: &Delivery) -> Result<(), ProcessError> {
+        let popped_nanos = mono_nanos();
+        let mut marks = StageMarks::default();
         let msg = WriteMessage::decode(&delivery.payload)
             .map_err(|e| ProcessError::Poison(format!("undecodable payload: {e}")))?;
         self.generation_gate(&msg)
@@ -471,12 +548,16 @@ impl Subscriber {
         let mode = self.effective_mode(&msg.app);
         match mode {
             DeliveryMode::Causal | DeliveryMode::Global => {
+                let wait_start = mono_nanos();
                 self.wait_deps(&self.filtered_wait_set(&msg, mode))
                     .map_err(ProcessError::Transient)?;
+                marks.dep_wait_nanos = mono_nanos().saturating_sub(wait_start);
             }
             DeliveryMode::Weak => {}
         }
+        let apply_start = mono_nanos();
         self.apply_message(&msg, mode)?;
+        marks.apply_nanos = mono_nanos().saturating_sub(apply_start);
         // Advance the version store only after successful application: a
         // transient failure must leave versions untouched so the redelivery
         // reprocesses from scratch (applies are idempotent upserts). Dep
@@ -484,7 +565,9 @@ impl Subscriber {
         // [`Subscriber::dead_letter`].
         self.store
             .apply(&msg.dep_keys())
-            .map_err(|e| ProcessError::Transient(e.to_string()))
+            .map_err(|e| ProcessError::Transient(e.to_string()))?;
+        self.record_visible(delivery, mode, popped_nanos, popped_nanos, marks);
+        Ok(())
     }
 
     /// Applies a decoded message's operations through the local ORM.
@@ -628,6 +711,18 @@ impl Subscriber {
         let key = self
             .dep_space
             .key(&DepName::object(&msg.app, op.model(), op.id));
+        // Hold this object's apply slot across the freshness check *and*
+        // the ORM writes below. Without it, a copier thread and a worker
+        // can interleave advance_latest/apply so that the thread carrying
+        // the *older* version writes the row last (both pass the check
+        // before either applies). One striped mutex per object serializes
+        // exactly the racing pair; unrelated objects map to other slots.
+        // `serialize_applies(false)` is a test hook that re-exposes the
+        // race for the regression test.
+        let _slot = self
+            .serialize_applies
+            .load(Ordering::SeqCst)
+            .then(|| self.apply_slots[(key % APPLY_SLOTS as u64) as usize].lock());
         let version = match mode {
             DeliveryMode::Weak => Some(msg.dependencies.get(&key).copied().unwrap_or(0)),
             // Ordered modes only check when the message actually carries

@@ -87,6 +87,10 @@ pub fn emulate_delivery(msg: &WriteMessage) -> Delivery {
         exchange: msg.app.as_str().into(),
         payload: msg.encode().into(),
         redelivered: false,
+        // Emulated deliveries never traversed the broker, so they carry no
+        // stamps and are excluded from visibility-latency telemetry.
+        origin_nanos: 0,
+        enqueued_nanos: 0,
     }
 }
 

@@ -485,7 +485,7 @@ mod tests {
         .unwrap();
         let rows = select_all(&db, "t");
         assert_eq!(rows.len(), 1);
-        assert!(rows[0].1.get("a").is_none(), "old cell stays dead");
+        assert!(!rows[0].1.contains_key("a"), "old cell stays dead");
         assert_eq!(rows[0].1["b"], Value::Int(2));
     }
 

@@ -267,7 +267,7 @@ mod tests {
             .into_rows()
             .unwrap();
         assert_eq!(res[0].1.get("a"), Some(&Value::Int(10)));
-        assert!(res[0].1.get("b").is_none());
+        assert!(!res[0].1.contains_key("b"));
     }
 
     #[test]

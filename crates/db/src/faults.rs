@@ -24,6 +24,8 @@ pub struct DbFaultStats {
     pub write_errors_injected: u64,
     /// Writes delayed by an injected latency spike.
     pub latency_spikes_charged: u64,
+    /// Reads answered from a stale snapshot (refresh lag).
+    pub stale_reads_served: u64,
 }
 
 #[derive(Default)]
@@ -33,8 +35,13 @@ struct FaultsInner {
     /// Delay the next `n` writes by `spike_micros` each.
     spike_next: AtomicU64,
     spike_micros: AtomicU64,
+    /// Serve the next `n` reads from a stale snapshot (refresh lag): the
+    /// search-engine failure class where documents are written to the
+    /// index but invisible to queries until the next refresh cycle.
+    refresh_lag_next: AtomicU64,
     write_errors_injected: AtomicU64,
     latency_spikes_charged: AtomicU64,
+    stale_reads_served: AtomicU64,
 }
 
 /// Cloneable handle arming deterministic db-level faults; clones share
@@ -63,17 +70,33 @@ impl DbFaults {
         self.inner.spike_next.fetch_add(ops, Ordering::SeqCst);
     }
 
+    /// Arms refresh lag: the next `reads` read queries are answered from
+    /// whatever stale snapshot the engine captured at arming time (an
+    /// engine that never captured one treats the gate as a no-op). Like
+    /// every other fault here the window is countdown-based — measured in
+    /// reads, not wall time — so seeded runs see identical staleness.
+    pub fn inject_refresh_lag(&self, reads: u64) {
+        self.inner.refresh_lag_next.fetch_add(reads, Ordering::SeqCst);
+    }
+
+    /// Whether the refresh-lag window is still open.
+    pub fn is_refresh_lagging(&self) -> bool {
+        self.inner.refresh_lag_next.load(Ordering::SeqCst) > 0
+    }
+
     /// Disarms all pending faults (armed-but-unfired countdowns are
     /// cleared; injection counters are kept).
     pub fn disarm(&self) {
         self.inner.write_fail_next.store(0, Ordering::SeqCst);
         self.inner.spike_next.store(0, Ordering::SeqCst);
+        self.inner.refresh_lag_next.store(0, Ordering::SeqCst);
     }
 
     /// Whether any fault countdown is still armed.
     pub fn is_armed(&self) -> bool {
         self.inner.write_fail_next.load(Ordering::SeqCst) > 0
             || self.inner.spike_next.load(Ordering::SeqCst) > 0
+            || self.inner.refresh_lag_next.load(Ordering::SeqCst) > 0
     }
 
     /// Consumes one armed fault, if any: returns the transient error or
@@ -96,11 +119,24 @@ impl DbFaults {
         Ok(())
     }
 
+    /// Consumes one armed refresh-lag read, if any: returns whether the
+    /// engine should answer this read from its stale snapshot. Called by
+    /// snapshot-capable engines on their read path.
+    pub fn gate_read(&self) -> bool {
+        if consume_one(&self.inner.refresh_lag_next) {
+            self.inner.stale_reads_served.fetch_add(1, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Counters of faults injected so far.
     pub fn stats(&self) -> DbFaultStats {
         DbFaultStats {
             write_errors_injected: self.inner.write_errors_injected.load(Ordering::SeqCst),
             latency_spikes_charged: self.inner.latency_spikes_charged.load(Ordering::SeqCst),
+            stale_reads_served: self.inner.stale_reads_served.load(Ordering::SeqCst),
         }
     }
 }
@@ -168,8 +204,22 @@ mod tests {
         let faults = DbFaults::new();
         faults.inject_write_errors(10);
         faults.inject_latency_spikes(10, Duration::from_millis(1));
+        faults.inject_refresh_lag(10);
         faults.disarm();
         assert!(!faults.is_armed());
         assert_eq!(faults.gate_write(), Ok(()));
+        assert!(!faults.gate_read());
+    }
+
+    #[test]
+    fn refresh_lag_counts_down_exactly() {
+        let faults = DbFaults::new();
+        faults.inject_refresh_lag(2);
+        assert!(faults.is_refresh_lagging());
+        assert!(faults.gate_read());
+        assert!(faults.gate_read());
+        assert!(!faults.gate_read(), "window is measured in reads");
+        assert!(!faults.is_refresh_lagging());
+        assert_eq!(faults.stats().stale_reads_served, 2);
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::engine::{Capabilities, Engine, EngineStats};
 use crate::error::DbError;
+use crate::faults::DbFaults;
 use crate::latency::LatencyModel;
 use crate::query::{Query, QueryResult, Row};
 use crate::relational::sort_rows;
@@ -57,7 +58,7 @@ fn split_alnum(text: &str) -> Vec<String> {
         .collect()
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct SearchIndex {
     docs: HashMap<Id, Row>,
     /// Per-field inverted index: field → term → (doc id → term frequency).
@@ -146,6 +147,13 @@ pub struct SearchDb {
     caps: Capabilities,
     latency: LatencyModel,
     indices: Mutex<HashMap<String, SearchIndex>>,
+    /// Snapshot captured by [`SearchDb::inject_refresh_lag`]; reads are
+    /// answered from it while the fault panel's refresh-lag window is
+    /// open, modelling the search-engine refresh interval — documents
+    /// land in the live index but stay invisible to queries until the
+    /// next refresh.
+    stale: Mutex<Option<HashMap<String, SearchIndex>>>,
+    faults: DbFaults,
     reads: AtomicU64,
     writes: AtomicU64,
 }
@@ -157,8 +165,91 @@ impl SearchDb {
             caps,
             latency,
             indices: Mutex::new(HashMap::new()),
+            stale: Mutex::new(None),
+            faults: DbFaults::new(),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+        }
+    }
+
+    /// The engine's fault panel (shared state with every clone).
+    pub fn faults(&self) -> DbFaults {
+        self.faults.clone()
+    }
+
+    /// Arms refresh lag: captures the current indices as the visible
+    /// snapshot, then answers the next `reads` read queries from it while
+    /// writes keep landing in the live index. When the countdown expires
+    /// the engine "refreshes" — the snapshot is dropped and reads see the
+    /// live index again. Countdown-based like the rest of the fault
+    /// plane, so a seeded schedule yields identical staleness every run.
+    pub fn inject_refresh_lag(&self, reads: u64) {
+        let snapshot = self.indices.lock().clone();
+        *self.stale.lock() = Some(snapshot);
+        self.faults.inject_refresh_lag(reads);
+    }
+
+    /// Answers a read query against `indices` — either the live map or
+    /// the refresh-lag snapshot.
+    fn read_query(
+        indices: &HashMap<String, SearchIndex>,
+        q: &Query,
+    ) -> Result<QueryResult, DbError> {
+        match q {
+            Query::Select {
+                table,
+                filter,
+                order,
+                limit,
+            } => {
+                let index = match indices.get(table) {
+                    Some(i) => i,
+                    None => return Ok(QueryResult::Rows(Vec::new())),
+                };
+                let mut rows: Vec<(Id, Row)> = index
+                    .docs
+                    .iter()
+                    .filter(|(id, doc)| filter.matches(**id, doc))
+                    .map(|(id, doc)| (*id, doc.clone()))
+                    .collect();
+                sort_rows(&mut rows, order);
+                if let Some(n) = limit {
+                    rows.truncate(*n);
+                }
+                Ok(QueryResult::Rows(rows))
+            }
+            Query::Count { table, filter } => {
+                let n = indices
+                    .get(table)
+                    .map(|i| {
+                        i.docs
+                            .iter()
+                            .filter(|(id, doc)| filter.matches(**id, doc))
+                            .count()
+                    })
+                    .unwrap_or(0);
+                Ok(QueryResult::Count(n as u64))
+            }
+            Query::Search {
+                table,
+                field,
+                text,
+                limit,
+            } => {
+                let hits = indices
+                    .get(table)
+                    .map(|i| i.search(field, text, *limit))
+                    .unwrap_or_default();
+                Ok(QueryResult::SearchHits(hits))
+            }
+            Query::Aggregate { table, field } => {
+                let buckets = indices
+                    .get(table)
+                    .map(|i| i.aggregate(field))
+                    .unwrap_or_default();
+                Ok(QueryResult::Buckets(buckets))
+            }
+            other => unreachable!("read_query only handles reads, got {other:?}"),
         }
     }
 
@@ -186,6 +277,21 @@ impl Engine for SearchDb {
         } else if q.is_read() {
             self.reads.fetch_add(1, Ordering::Relaxed);
             self.latency.charge_read();
+        }
+        if matches!(
+            q,
+            Query::Select { .. } | Query::Count { .. } | Query::Search { .. } | Query::Aggregate { .. }
+        ) {
+            if self.faults.gate_read() {
+                if let Some(snapshot) = self.stale.lock().as_ref() {
+                    return Self::read_query(snapshot, q);
+                }
+            } else {
+                // Refresh-lag window closed: the engine has "refreshed",
+                // so drop the snapshot and serve the live index.
+                self.stale.lock().take();
+            }
+            return Self::read_query(&self.indices.lock(), q);
         }
         let mut indices = self.indices.lock();
         match q {
@@ -257,58 +363,11 @@ impl Engine for SearchDb {
                 removed.sort_by_key(|(id, _)| *id);
                 Ok(QueryResult::Rows(removed))
             }
-            Query::Select {
-                table,
-                filter,
-                order,
-                limit,
-            } => {
-                let index = match indices.get(table) {
-                    Some(i) => i,
-                    None => return Ok(QueryResult::Rows(Vec::new())),
-                };
-                let mut rows: Vec<(Id, Row)> = index
-                    .docs
-                    .iter()
-                    .filter(|(id, doc)| filter.matches(**id, doc))
-                    .map(|(id, doc)| (*id, doc.clone()))
-                    .collect();
-                sort_rows(&mut rows, order);
-                if let Some(n) = limit {
-                    rows.truncate(*n);
-                }
-                Ok(QueryResult::Rows(rows))
-            }
-            Query::Count { table, filter } => {
-                let n = indices
-                    .get(table)
-                    .map(|i| {
-                        i.docs
-                            .iter()
-                            .filter(|(id, doc)| filter.matches(**id, doc))
-                            .count()
-                    })
-                    .unwrap_or(0);
-                Ok(QueryResult::Count(n as u64))
-            }
-            Query::Search {
-                table,
-                field,
-                text,
-                limit,
-            } => {
-                let hits = indices
-                    .get(table)
-                    .map(|i| i.search(field, text, *limit))
-                    .unwrap_or_default();
-                Ok(QueryResult::SearchHits(hits))
-            }
-            Query::Aggregate { table, field } => {
-                let buckets = indices
-                    .get(table)
-                    .map(|i| i.aggregate(field))
-                    .unwrap_or_default();
-                Ok(QueryResult::Buckets(buckets))
+            Query::Select { .. }
+            | Query::Count { .. }
+            | Query::Search { .. }
+            | Query::Aggregate { .. } => {
+                unreachable!("read queries are dispatched through read_query above")
             }
             Query::Batch(_) => Err(DbError::Unsupported("batches on search engine")),
             Query::AddEdge { .. } | Query::RemoveEdge { .. } | Query::Traverse { .. } => {
@@ -493,5 +552,68 @@ mod tests {
     fn search_on_missing_index_is_empty() {
         let db = db();
         assert!(search(&db, "anything").is_empty());
+    }
+
+    #[test]
+    fn refresh_lag_serves_stale_reads_then_refreshes() {
+        let db = db();
+        put(&db, 1, "body", "cats");
+        // Freeze visibility, then keep writing into the live index.
+        db.inject_refresh_lag(3);
+        put(&db, 2, "body", "cats and more cats");
+        // Three reads land inside the lag window: the new document is
+        // already written but invisible, exactly the search-engine
+        // refresh-interval failure mode.
+        for _ in 0..3 {
+            assert_eq!(search(&db, "cats"), vec![Id(1)]);
+        }
+        // The window expired — the engine "refreshed" and both docs show.
+        assert_eq!(search(&db, "cats").len(), 2);
+        assert_eq!(db.faults().stats().stale_reads_served, 3);
+        assert!(!db.faults().is_armed());
+    }
+
+    #[test]
+    fn refresh_lag_schedule_is_deterministic() {
+        // Same write/read schedule twice: identical staleness both runs.
+        let observed: Vec<Vec<usize>> = (0..2)
+            .map(|_| {
+                let db = db();
+                put(&db, 1, "body", "fish");
+                db.inject_refresh_lag(2);
+                put(&db, 2, "body", "fish too");
+                (0..4).map(|_| search(&db, "fish").len()).collect()
+            })
+            .collect();
+        assert_eq!(observed[0], observed[1]);
+        assert_eq!(observed[0], vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn stale_snapshot_serves_counts_and_aggregates_too() {
+        let db = db();
+        put(&db, 1, "interests", "cats");
+        db.inject_refresh_lag(1);
+        put(&db, 2, "interests", "cats");
+        match db
+            .execute(&Query::Count {
+                table: "posts".into(),
+                filter: Filter::All,
+            })
+            .unwrap()
+        {
+            QueryResult::Count(n) => assert_eq!(n, 1, "count sees the snapshot"),
+            other => panic!("unexpected result {other:?}"),
+        }
+        match db
+            .execute(&Query::Count {
+                table: "posts".into(),
+                filter: Filter::All,
+            })
+            .unwrap()
+        {
+            QueryResult::Count(n) => assert_eq!(n, 2, "window closed after one read"),
+            other => panic!("unexpected result {other:?}"),
+        }
     }
 }

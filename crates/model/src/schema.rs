@@ -33,16 +33,17 @@ impl FieldType {
     /// Checks whether `v` conforms to this type. `Null` conforms to every
     /// type (fields are nullable, as in Rails).
     pub fn accepts(self, v: &Value) -> bool {
-        match (self, v) {
-            (_, Value::Null) | (FieldType::Any, _) => true,
-            (FieldType::Bool, Value::Bool(_)) => true,
-            (FieldType::Int, Value::Int(_)) => true,
-            (FieldType::Float, Value::Float(_) | Value::Int(_)) => true,
-            (FieldType::Str, Value::Str(_)) => true,
-            (FieldType::Array, Value::Array(_)) => true,
-            (FieldType::Map, Value::Map(_)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (FieldType::Any, _)
+                | (FieldType::Bool, Value::Bool(_))
+                | (FieldType::Int, Value::Int(_))
+                | (FieldType::Float, Value::Float(_) | Value::Int(_))
+                | (FieldType::Str, Value::Str(_))
+                | (FieldType::Array, Value::Array(_))
+                | (FieldType::Map, Value::Map(_))
+        )
     }
 
     /// Human-readable name used in error messages.

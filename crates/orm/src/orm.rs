@@ -7,7 +7,7 @@ use crate::observer::{QueryObserver, WriteExec, WriteIntent, WriteKind};
 use crate::virtuals::VirtualRegistry;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use synapse_db::query::OrderBy;
 use synapse_db::{DbFaults, EngineStats, Filter};
@@ -46,6 +46,10 @@ pub struct Orm {
     idgens: Mutex<HashMap<String, Arc<IdGenerator>>>,
     bootstrap: AtomicBool,
     faults: DbFaults,
+    /// Writes that entered the observer chain (the ORM-intercept point of
+    /// the telemetry plane) and reads fanned out to observers.
+    writes_intercepted: AtomicU64,
+    reads_observed: AtomicU64,
 }
 
 impl Orm {
@@ -61,7 +65,19 @@ impl Orm {
             idgens: Mutex::new(HashMap::new()),
             bootstrap: AtomicBool::new(false),
             faults: DbFaults::new(),
+            writes_intercepted: AtomicU64::new(0),
+            reads_observed: AtomicU64::new(0),
         }
+    }
+
+    /// Writes that entered the observer chain since construction.
+    pub fn writes_intercepted(&self) -> u64 {
+        self.writes_intercepted.load(Ordering::Relaxed)
+    }
+
+    /// Read results fanned out to observers since construction.
+    pub fn reads_observed(&self) -> u64 {
+        self.reads_observed.load(Ordering::Relaxed)
     }
 
     /// Arming panel for db-level fault injection on this ORM's write path.
@@ -188,6 +204,7 @@ impl Orm {
         // before any observer runs, so no version bump or publication
         // happens for a write the database refused.
         self.faults.gate_write()?;
+        self.writes_intercepted.fetch_add(1, Ordering::Relaxed);
         let observers: Vec<Arc<dyn QueryObserver>> = self.observers.read().clone();
         self.run_write_chain(&observers, intent, exec)
     }
@@ -212,6 +229,8 @@ impl Orm {
         if records.is_empty() {
             return;
         }
+        self.reads_observed
+            .fetch_add(records.len() as u64, Ordering::Relaxed);
         for observer in self.observers.read().iter() {
             observer.on_read(self, records);
         }

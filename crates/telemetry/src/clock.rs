@@ -1,0 +1,32 @@
+//! Process-wide monotonic nanosecond clock.
+//!
+//! Stage stamps must be comparable across threads (a message is stamped on
+//! the publisher thread and read on a subscriber worker) and cheap enough
+//! for the hot path. `Instant` satisfies both but cannot ride a message as
+//! plain data, so every stamp is expressed as nanoseconds since a lazily
+//! initialized process epoch.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process telemetry epoch. Monotonic, comparable
+/// across threads; the first call pins the epoch.
+pub fn mono_nanos() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_across_calls_and_threads() {
+        let a = mono_nanos();
+        let b = std::thread::spawn(mono_nanos).join().unwrap();
+        let c = mono_nanos();
+        assert!(a <= b || a <= c, "epoch must be shared");
+        assert!(c >= a);
+    }
+}

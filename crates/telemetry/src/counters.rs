@@ -1,0 +1,160 @@
+//! A lock-free registry of named atomic counters.
+//!
+//! Registration takes a write lock once per name; after that every holder
+//! of the returned [`Counter`] handle bumps a shared `AtomicU64` with no
+//! lock. Snapshots read the registry under a short read lock and the
+//! counter cells with relaxed loads.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct CounterInner {
+    name: String,
+    value: AtomicU64,
+}
+
+/// A cheap, cloneable handle to one named counter. Bumps are relaxed
+/// atomic adds on the shared cell.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    inner: Arc<CounterInner>,
+}
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn bump(&self) {
+        self.inner.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.inner.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.inner.value.load(Ordering::Relaxed)
+    }
+
+    /// The counter's registered name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+}
+
+/// Registry of named counters. Get-or-register by name; the handle is the
+/// hot-path interface.
+#[derive(Debug, Default)]
+pub struct CounterRegistry {
+    counters: RwLock<Vec<Arc<CounterInner>>>,
+}
+
+impl CounterRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Hold the returned handle rather than calling this per bump.
+    pub fn counter(&self, name: &str) -> Counter {
+        {
+            let counters = self.counters.read();
+            if let Some(c) = counters.iter().find(|c| c.name == name) {
+                return Counter { inner: Arc::clone(c) };
+            }
+        }
+        let mut counters = self.counters.write();
+        // Re-check under the write lock: another thread may have raced the
+        // registration between our read and write acquisitions.
+        if let Some(c) = counters.iter().find(|c| c.name == name) {
+            return Counter { inner: Arc::clone(c) };
+        }
+        let inner = Arc::new(CounterInner {
+            name: name.to_owned(),
+            value: AtomicU64::new(0),
+        });
+        counters.push(Arc::clone(&inner));
+        Counter { inner }
+    }
+
+    /// One-shot add without keeping a handle (registry lookup per call —
+    /// fine off the hot path).
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Current value of `name`, 0 if never registered.
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// All counters as `(name, value)` pairs, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .counters
+            .read()
+            .iter()
+            .map(|c| (c.name.clone(), c.value.load(Ordering::Relaxed)))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counter_handles_share_one_cell() {
+        let reg = CounterRegistry::new();
+        let a = reg.counter("publisher.messages");
+        let b = reg.counter("publisher.messages");
+        a.bump();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(reg.get("publisher.messages"), 5);
+        assert_eq!(reg.get("never.registered"), 0);
+    }
+
+    #[test]
+    fn snapshot_sorted_by_name() {
+        let reg = CounterRegistry::new();
+        reg.add("z.last", 1);
+        reg.add("a.first", 2);
+        assert_eq!(
+            reg.snapshot(),
+            vec![("a.first".into(), 2), ("z.last".into(), 1)]
+        );
+    }
+
+    #[test]
+    fn concurrent_registration_loses_no_increments() {
+        let reg = Arc::new(CounterRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = Arc::clone(&reg);
+            handles.push(thread::spawn(move || {
+                let c = reg.counter("contended");
+                for _ in 0..1_000 {
+                    c.bump();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.get("contended"), 8_000);
+    }
+}

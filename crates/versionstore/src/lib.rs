@@ -28,4 +28,6 @@ pub mod store;
 
 pub use generation::GenerationStore;
 pub use ring::HashRing;
-pub use store::{BumpScratch, DepKey, DepWaitSet, StoreError, VersionStore, WaitOutcome};
+pub use store::{
+    BumpScratch, DepKey, DepWaitSet, StoreError, StoreTimingSnapshot, VersionStore, WaitOutcome,
+};

@@ -3,7 +3,7 @@
 use crate::ring::HashRing;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -82,6 +82,32 @@ impl DepWaitSet {
     }
 }
 
+/// Store-side timing: how many apply scripts and blocking waits this store
+/// ran, and the wall time they consumed. Plain relaxed atomics — cheap
+/// enough to stay unconditionally live; the node surfaces them as
+/// telemetry counters so store time is attributable without the store
+/// depending on the telemetry crate.
+#[derive(Debug, Default)]
+struct StoreTiming {
+    applies: AtomicU64,
+    apply_nanos: AtomicU64,
+    waits: AtomicU64,
+    wait_nanos: AtomicU64,
+}
+
+/// Snapshot of [`VersionStore::timing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreTimingSnapshot {
+    /// Completed apply scripts (one per message batch).
+    pub applies: u64,
+    /// Total wall time inside apply scripts.
+    pub apply_nanos: u64,
+    /// Completed blocking dependency waits.
+    pub waits: u64,
+    /// Total wall time inside blocking waits (parked time included).
+    pub wait_nanos: u64,
+}
+
 /// Per-dependency counters. On the publisher both fields are used; on a
 /// subscriber only `ops` is (plus `version` for the weak-mode
 /// latest-version check).
@@ -109,6 +135,7 @@ struct Shard {
 pub struct VersionStore {
     shards: Vec<Arc<Shard>>,
     ring: HashRing,
+    timing: StoreTiming,
 }
 
 impl VersionStore {
@@ -118,6 +145,17 @@ impl VersionStore {
         VersionStore {
             shards: (0..shards).map(|_| Arc::new(Shard::default())).collect(),
             ring,
+            timing: StoreTiming::default(),
+        }
+    }
+
+    /// Apply/wait call counts and wall time since construction.
+    pub fn timing(&self) -> StoreTimingSnapshot {
+        StoreTimingSnapshot {
+            applies: self.timing.applies.load(Ordering::Relaxed),
+            apply_nanos: self.timing.apply_nanos.load(Ordering::Relaxed),
+            waits: self.timing.waits.load(Ordering::Relaxed),
+            wait_nanos: self.timing.wait_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -322,7 +360,20 @@ impl VersionStore {
         set: &DepWaitSet,
         timeout: Duration,
     ) -> Result<WaitOutcome, StoreError> {
-        let deadline = Instant::now() + timeout;
+        let begun = Instant::now();
+        let outcome = self.wait_prepared_inner(set, begun + timeout);
+        self.timing.waits.fetch_add(1, Ordering::Relaxed);
+        self.timing
+            .wait_nanos
+            .fetch_add(begun.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        outcome
+    }
+
+    fn wait_prepared_inner(
+        &self,
+        set: &DepWaitSet,
+        deadline: Instant,
+    ) -> Result<WaitOutcome, StoreError> {
         let mut start = 0;
         while start < set.entries.len() {
             let shard_idx = set.entries[start].0 as usize;
@@ -407,6 +458,7 @@ impl VersionStore {
     /// actually touched are notified — causal waiters parked on unrelated
     /// shards are not spuriously woken.
     pub fn apply(&self, keys: &[DepKey]) -> Result<(), StoreError> {
+        let begun = Instant::now();
         self.check_shards_alive(keys)?;
         let routes: Vec<usize> = keys.iter().map(|k| self.ring.route(*k)).collect();
         let mut guards = self.lock_routed(&routes);
@@ -424,6 +476,10 @@ impl VersionStore {
                 self.shards[i].changed.notify_all();
             }
         }
+        self.timing.applies.fetch_add(1, Ordering::Relaxed);
+        self.timing
+            .apply_nanos
+            .fetch_add(begun.elapsed().as_nanos() as u64, Ordering::Relaxed);
         Ok(())
     }
 
@@ -859,7 +915,7 @@ mod tests {
         let mut out = Vec::new();
         for round in 0..20u64 {
             let deps: Vec<(DepKey, bool)> = (0..30)
-                .map(|k| (k * 7 % 13, (k + round) % 3 == 0))
+                .map(|k| (k * 7 % 13, (k + round).is_multiple_of(3)))
                 .collect();
             let expected = reference.publish_bump(&deps).unwrap();
             reused.publish_bump_into(&deps, &mut scratch, &mut out).unwrap();

@@ -4,14 +4,17 @@
 # throughput bins and writes the JSON trajectories every future PR
 # compares against (see EXPERIMENTS.md):
 #
-#   BENCH_publish_path.json    — broker deliver side (fanout bin, PR 2)
-#   BENCH_publisher_path.json  — publisher write side (publisher bin, PR 3)
+#   BENCH_publish_path.json        — broker deliver side (fanout bin, PR 2)
+#   BENCH_publisher_path.json      — publisher write side (publisher bin, PR 3)
+#   BENCH_visibility_latency.json  — Fig. 10 staged visibility latency per
+#                                    delivery mode (visibility bin, PR 5),
+#                                    including a full telemetry snapshot
 #
 # Usage:
-#   scripts/bench.sh                           # full run, writes both JSONs
+#   scripts/bench.sh                           # full run, writes all JSONs
 #   scripts/bench.sh --save-baseline           # writes the fanout baseline
 #   scripts/bench.sh --save-publisher-baseline # writes the publisher baseline
-#   scripts/bench.sh --smoke                   # both bins, tiny counts,
+#   scripts/bench.sh --smoke                   # all bins, tiny counts,
 #                                              # no JSON written (tier-1 smoke)
 #
 # Non-gating: results are recorded, not asserted, except that the smoke
@@ -32,12 +35,15 @@ OUT="BENCH_publish_path.json"
 BASELINE="BENCH_publish_path.baseline.json"
 PUB_OUT="BENCH_publisher_path.json"
 PUB_BASELINE="BENCH_publisher_path.baseline.json"
+VIS_OUT="BENCH_visibility_latency.json"
 
 if [[ "$MODE" == "smoke" ]]; then
   FANOUT_MESSAGES="${FANOUT_MESSAGES:-500}" \
     cargo run --quiet --release -p synapse-bench --bin fanout_throughput
   PUBLISHER_MESSAGES="${PUBLISHER_MESSAGES:-200}" \
     cargo run --quiet --release -p synapse-bench --bin publisher_throughput
+  VISIBILITY_MESSAGES="${VISIBILITY_MESSAGES:-100}" \
+    cargo run --quiet --release -p synapse-bench --bin visibility_latency > /dev/null
   echo "bench smoke: OK"
   exit 0
 fi
@@ -48,7 +54,8 @@ UTC="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 CRIT_LOG="$(mktemp)"
 FANOUT_LOG="$(mktemp)"
 PUB_LOG="$(mktemp)"
-trap 'rm -f "$CRIT_LOG" "$FANOUT_LOG" "$PUB_LOG"' EXIT
+VIS_LOG="$(mktemp)"
+trap 'rm -f "$CRIT_LOG" "$FANOUT_LOG" "$PUB_LOG" "$VIS_LOG"' EXIT
 
 # Criterion lines: "<name>   <ns> ns/iter"; bin lines:
 # "<scenario> <value> <unit>_per_sec".
@@ -98,6 +105,24 @@ if [[ "$MODE" == "publisher-baseline" ]]; then
   exit 0
 fi
 
+# --- Fig. 10 visibility-latency trajectory (PR 5) --------------------------
+
+write_visibility_json() {
+  # The bin already emits well-formed JSON (per-mode per-stage p50/p99
+  # plus a full telemetry snapshot); wrap it with provenance metadata.
+  cargo run --quiet --release -p synapse-bench --bin visibility_latency > "$VIS_LOG"
+  {
+    echo "{"
+    echo "  \"schema\": \"synapse-bench/v1\","
+    echo "  \"generated_by\": \"scripts/bench.sh\","
+    echo "  \"git_rev\": \"$GIT_REV\","
+    echo "  \"utc\": \"$UTC\","
+    echo "  \"visibility_latency\": $(cat "$VIS_LOG")"
+    echo "}"
+  } > "$VIS_OUT"
+  echo "bench: wrote $VIS_OUT"
+}
+
 # --- full / fanout-baseline runs -------------------------------------------
 
 for bench in broker publish_path publisher_deps versionstore wire; do
@@ -139,4 +164,5 @@ echo "bench: wrote $TARGET"
 
 if [[ "$MODE" == "full" ]]; then
   write_publisher_json "$PUB_OUT"
+  write_visibility_json
 fi

@@ -7,6 +7,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+
+# Lint gate: warnings are errors across every first-party target
+# (vendored crates are excluded — they are not ours to lint).
+FIRST_PARTY=(-p synapse-repro)
+while read -r manifest; do
+  name="$(awk -F'"' '/^name = /{print $2; exit}' "$manifest")"
+  FIRST_PARTY+=(-p "$name")
+done < <(ls crates/*/Cargo.toml)
+cargo clippy "${FIRST_PARTY[@]}" --all-targets --quiet -- -D warnings
+
 cargo test -q
 
 # Pinned-seed soak: deterministic replay of the fault schedule.

@@ -25,7 +25,7 @@ fn total_messages() -> usize {
 }
 
 fn payload_for(publisher: usize, seq: usize) -> String {
-    if seq % DL_EVERY == 0 {
+    if seq.is_multiple_of(DL_EVERY) {
         format!("p{publisher}-{seq}#dl")
     } else {
         format!("p{publisher}-{seq}")
@@ -57,7 +57,7 @@ fn concurrent_batched_fanout_loses_nothing() {
                     let batch = consumer.pop_batch(16, Duration::from_millis(20));
                     let mut tags = Vec::with_capacity(batch.len());
                     for d in &batch {
-                        if d.tag % 13 == 0 && !d.redelivered {
+                        if d.tag.is_multiple_of(13) && !d.redelivered {
                             // Exercise the requeue path: the redelivery
                             // comes back flagged and is then handled.
                             consumer.nack(d.tag);

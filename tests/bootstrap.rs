@@ -186,7 +186,7 @@ fn decorator_chain_bootstraps_downstream() {
     for user in decorator.orm().all("User").unwrap() {
         decorator
             .orm()
-            .update("User", user.id, vmap! { "vip" => user.id.raw() % 2 == 0 })
+            .update("User", user.id, vmap! { "vip" => user.id.raw().is_multiple_of(2) })
             .unwrap();
     }
 

@@ -5,7 +5,8 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use synapse_repro::core::{
-    DeliveryMode, Ecosystem, Publication, Subscription, SynapseConfig, SynapseNode,
+    DeliveryMode, Ecosystem, ModeSlice, Publication, Stage, Subscription, SynapseConfig,
+    SynapseNode,
 };
 use synapse_repro::db::LatencyModel;
 use synapse_repro::model::{vmap, Id, ModelSchema};
@@ -119,6 +120,31 @@ fn fig4_basic_integration_across_three_engine_families() {
             .map(|r| r.is_none())
             .unwrap_or(false)
     }));
+
+    // The telemetry plane observed the whole trip. Each subscriber saw the
+    // three publishes (create, update, destroy), every staged histogram is
+    // internally consistent with the end-to-end one, and the publisher's
+    // side recorded its intercept/encode stages.
+    for sub in [&sub_sql, &sub_es, &sub_mongo] {
+        let snap = sub.telemetry_snapshot();
+        snap.check_consistency()
+            .unwrap_or_else(|e| panic!("{}: {e}", sub.app()));
+        assert_eq!(snap.total_delivered(), 3, "{}", sub.app());
+        let e2e = snap.end_to_end(ModeSlice::Causal);
+        assert_eq!(e2e.count, 3, "{}", sub.app());
+        assert!(e2e.sum_nanos > 0, "{}", sub.app());
+        assert_eq!(snap.counter("subscriber.messages_processed"), 3);
+    }
+    let pub_snap = pub1.telemetry_snapshot();
+    assert_eq!(
+        pub_snap
+            .stage(ModeSlice::Causal, Stage::Intercept)
+            .count,
+        3,
+        "publisher records one intercept per write"
+    );
+    assert_eq!(pub_snap.counter("orm.writes_intercepted"), 3);
+    assert_eq!(pub_snap.counter("publisher.messages_published"), 3);
 
     eco.stop_all();
 }

@@ -356,11 +356,11 @@ fn drain_races_concurrent_publishes_without_lying() {
 
     let pub_orm = publisher.orm().clone();
     let storm = std::thread::spawn(move || {
-        for i in 0..40 {
+        for i in 0u64..40 {
             pub_orm
                 .create("Post", vmap! { "body" => format!("s{i}"), "version" => i })
                 .unwrap();
-            if i % 8 == 0 {
+            if i.is_multiple_of(8) {
                 std::thread::sleep(Duration::from_millis(2));
             }
         }

@@ -370,6 +370,40 @@ fn run_soak(seed: u64) -> SoakOutcome {
     assert_eq!(sub_stats.dead_lettered, broker_stats.dead_lettered);
     assert_eq!(pub_stats.publish_failures, 0, "retries absorb armed failures");
 
+    // --- Telemetry plane: the snapshot must be live and self-consistent
+    // even under faults. Stage counts equal the end-to-end count per mode,
+    // subscriber stage sums never exceed the end-to-end sum, and the
+    // delivered total matches what actually survived to the version-store
+    // apply. (Latency values are wall-clock and thus excluded from the
+    // determinism check below — only counters ride in SoakOutcome.)
+    let sub_snap = subscriber.telemetry_snapshot();
+    sub_snap
+        .check_consistency()
+        .unwrap_or_else(|e| panic!("inconsistent subscriber telemetry: {e}"));
+    assert!(
+        sub_snap.has_deliveries(),
+        "the soak must record visibility latencies"
+    );
+    // One visibility sample per successful apply. `messages_processed`
+    // counts only live acks; a broker restart or a dead version store at
+    // flush time voids the ack while the sample stays, and the copy is
+    // reprocessed. Every such duplicate sample therefore rides a
+    // redelivered pop, so the redelivery counter bounds the overshoot.
+    assert!(
+        sub_snap.total_delivered() >= sub_stats.messages_processed,
+        "visibility samples lost: {} < {}",
+        sub_snap.total_delivered(),
+        sub_stats.messages_processed
+    );
+    assert!(
+        sub_snap.total_delivered() - sub_stats.messages_processed <= sub_stats.redeliveries,
+        "more visibility samples than redeliveries can explain"
+    );
+    let pub_snap = publisher.telemetry_snapshot();
+    pub_snap
+        .check_consistency()
+        .unwrap_or_else(|e| panic!("inconsistent publisher telemetry: {e}"));
+
     SoakOutcome {
         injector: injector.stats(),
         operations_marshalled: pub_stats.operations,
