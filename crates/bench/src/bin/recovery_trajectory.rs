@@ -1,0 +1,169 @@
+//! Recovery-time trajectory for the durability plane: how long a durable
+//! broker takes to come back as a function of the WAL tail it must replay,
+//! and how checkpoint compaction bends that curve.
+//!
+//! Two sweeps, each over a fresh on-disk log:
+//!
+//! * **WAL-tail sweep** — publish N messages (acking a quarter, so replay
+//!   also consumes ack records), drop the broker, and time
+//!   `Broker::open_durable` cold. Recovery is replay-bound, so the
+//!   trajectory should be near-linear in the tail length.
+//! * **Checkpoint sweep** — a fixed write horizon with a checkpoint every
+//!   K messages (K = 0 means never). Each checkpoint rewrites live state
+//!   into a fresh segment and garbage-collects the history behind it, so
+//!   recovery time should collapse toward the live backlog size as K
+//!   shrinks.
+//!
+//! Prints a single JSON object to stdout; `scripts/bench.sh` wraps it with
+//! provenance metadata into `BENCH_recovery.json`. Tunables for the smoke
+//! run: `RECOVERY_TAILS` (comma-separated entry counts),
+//! `RECOVERY_TOTAL` / `RECOVERY_INTERVALS` for the checkpoint sweep.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+use synapse_broker::{Broker, FsyncPolicy, QueueConfig, WalConfig};
+
+const DEFAULT_TAILS: &[u64] = &[256, 1024, 4096];
+const DEFAULT_TOTAL: u64 = 4096;
+const DEFAULT_INTERVALS: &[u64] = &[0, 512, 128];
+
+fn temp_dir(label: &str) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "synapse-recovery-trajectory-{label}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn env_list(name: &str, default: &[u64]) -> Vec<u64> {
+    std::env::var(name)
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|p| p.trim().parse().ok())
+                .collect::<Vec<u64>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+struct Sample {
+    recovery_ns: u128,
+    replayed_entries: u64,
+    messages_recovered: u64,
+    segments_scanned: u64,
+}
+
+/// Writes `entries` messages (acking every fourth) with a checkpoint every
+/// `checkpoint_every` messages (0 = never), drops the broker, and times
+/// the cold reopen.
+fn run_one(entries: u64, checkpoint_every: u64, label: &str) -> Sample {
+    let dir = temp_dir(label);
+    // Interval fsync keeps the write phase fast while still producing a
+    // fully-synced log to replay (the final sync happens on drop-free
+    // append paths; recovery replays whatever frames are on disk).
+    let cfg = || {
+        WalConfig::new(&dir)
+            .segment_max_bytes(256 * 1024)
+            .fsync(FsyncPolicy::Interval(64))
+    };
+    {
+        let (broker, _) = Broker::open_durable(cfg()).expect("fresh open");
+        broker.declare_queue("q", QueueConfig::default());
+        broker.bind("x", "q");
+        let consumer = broker.consumer("q").expect("queue declared");
+        for i in 0..entries {
+            broker
+                .publish("x", format!("recovery-payload-{i:08}").as_str())
+                .expect("publish");
+            if i % 4 == 3 {
+                if let Some(d) = consumer.pop(Duration::ZERO) {
+                    consumer.ack(d.tag);
+                }
+            }
+            if checkpoint_every > 0 && i % checkpoint_every == checkpoint_every - 1 {
+                broker.checkpoint().expect("checkpoint");
+            }
+        }
+        broker.sync_wal().expect("final sync");
+    }
+    let start = Instant::now();
+    let (broker, report) = Broker::open_durable(cfg()).expect("cold reopen");
+    let recovery_ns = start.elapsed().as_nanos();
+    drop(broker);
+    let _ = std::fs::remove_dir_all(&dir);
+    Sample {
+        recovery_ns,
+        replayed_entries: report.replayed_entries,
+        messages_recovered: report.messages_recovered,
+        segments_scanned: report.segments_scanned,
+    }
+}
+
+fn sample_json(out: &mut String, sample: &Sample) {
+    let _ = write!(
+        out,
+        "\"recovery_ns\": {}, \"recovery_ms\": {:.3}, \"replayed_entries\": {}, \
+         \"messages_recovered\": {}, \"segments_scanned\": {}",
+        sample.recovery_ns,
+        sample.recovery_ns as f64 / 1e6,
+        sample.replayed_entries,
+        sample.messages_recovered,
+        sample.segments_scanned
+    );
+}
+
+fn main() {
+    let tails = env_list("RECOVERY_TAILS", DEFAULT_TAILS);
+    let total = env_u64("RECOVERY_TOTAL", DEFAULT_TOTAL);
+    let intervals = env_list("RECOVERY_INTERVALS", DEFAULT_INTERVALS);
+
+    let mut tail_json = String::new();
+    for (i, &entries) in tails.iter().enumerate() {
+        let sample = run_one(entries, 0, "tail");
+        if i > 0 {
+            tail_json.push_str(",\n");
+        }
+        let _ = write!(tail_json, "    {{\"entries\": {entries}, ");
+        sample_json(&mut tail_json, &sample);
+        tail_json.push('}');
+    }
+
+    let mut ckpt_json = String::new();
+    for (i, &every) in intervals.iter().enumerate() {
+        let sample = run_one(total, every, "ckpt");
+        if i > 0 {
+            ckpt_json.push_str(",\n");
+        }
+        let _ = write!(
+            ckpt_json,
+            "    {{\"total_entries\": {total}, \"checkpoint_every\": {every}, "
+        );
+        sample_json(&mut ckpt_json, &sample);
+        ckpt_json.push('}');
+    }
+
+    println!("{{");
+    println!("  \"fsync\": \"interval(64)\",");
+    println!("  \"ack_ratio\": 0.25,");
+    println!("  \"wal_tail_sweep\": [");
+    println!("{tail_json}");
+    println!("  ],");
+    println!("  \"checkpoint_sweep\": [");
+    println!("{ckpt_json}");
+    println!("  ]");
+    println!("}}");
+}

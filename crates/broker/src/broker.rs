@@ -1,9 +1,11 @@
 //! The broker facade: exchanges, bindings, consumers, failure injection.
 
 use crate::message::{Delivery, SharedStr};
-use crate::queue::{Queue, QueueConfig, QueueState};
+use crate::queue::{Queue, QueueConfig, QueueState, WalBinding};
+use crate::wal::{LogPos, Wal, WalConfig, WalRecord, WalStats};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -104,6 +106,99 @@ struct BrokerShared {
     /// CAS loop so concurrent publishers each burn exactly one armed fault.
     publish_fail_next: AtomicU64,
     publish_faults: AtomicU64,
+    /// The durability plane; `None` for a memory-only broker (the default,
+    /// whose hot path pays exactly one `Option` branch for it).
+    wal: Option<Arc<Wal>>,
+    /// What recovery rebuilt at open time; `None` for memory-only brokers.
+    recovery: Option<RecoveryReport>,
+}
+
+/// What [`Broker::open_durable`] recovered from the log.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// WAL entries replayed.
+    pub replayed_entries: u64,
+    /// Torn/corrupt frames dropped (and truncated away) during replay.
+    pub torn_entries_dropped: u64,
+    /// Segment files scanned.
+    pub segments_scanned: u64,
+    /// Queues rebuilt from the log.
+    pub queues_recovered: u64,
+    /// Pending (never-acked) deliveries restored to queue backlogs.
+    pub messages_recovered: u64,
+    /// Dead-lettered deliveries restored.
+    pub dead_recovered: u64,
+    /// Enqueue records skipped because a logged ack consumed them — the
+    /// acked work that did NOT come back, which is the zero-acked-loss
+    /// half of the recovery invariant.
+    pub acked_skipped: u64,
+}
+
+/// Per-queue state accumulated while folding replayed WAL records.
+#[derive(Default)]
+struct RecoveredQueue {
+    decommissioned: bool,
+    next_tag: u64,
+    /// tag → (exchange, payload, origin_nanos); `BTreeMap` keeps FIFO
+    /// (tag) order for free when rebuilding the backlog.
+    pending: BTreeMap<u64, (String, String, u64)>,
+    dead: Vec<(u64, String, String, u64)>,
+}
+
+impl RecoveredQueue {
+    fn apply(&mut self, record: WalRecord, report: &mut RecoveryReport) {
+        match record {
+            WalRecord::Enqueue {
+                tag,
+                exchange,
+                payload,
+                origin_nanos,
+                ..
+            } => {
+                self.pending.insert(tag, (exchange, payload, origin_nanos));
+                self.next_tag = self.next_tag.max(tag + 1);
+            }
+            WalRecord::Ack { tags, .. } => {
+                for tag in tags {
+                    if self.pending.remove(&tag).is_some() {
+                        report.acked_skipped += 1;
+                    }
+                }
+            }
+            WalRecord::DeadLetter { tag, .. } => {
+                if let Some((exchange, payload, origin)) = self.pending.remove(&tag) {
+                    self.dead.push((tag, exchange, payload, origin));
+                }
+            }
+            WalRecord::QueueKilled { .. } => {
+                self.pending.clear();
+                self.decommissioned = true;
+            }
+            WalRecord::QueueReinstated { .. } => {
+                self.pending.clear();
+                self.decommissioned = false;
+            }
+            WalRecord::Checkpoint {
+                decommissioned,
+                next_tag,
+                pending,
+                dead,
+                ..
+            } => {
+                // A checkpoint *replaces* this queue's state: everything
+                // before it in the log is already folded into it.
+                self.decommissioned = decommissioned;
+                self.next_tag = next_tag;
+                self.pending = pending
+                    .into_iter()
+                    .map(|(tag, exchange, payload, origin, _redelivered)| {
+                        (tag, (exchange, payload, origin))
+                    })
+                    .collect();
+                self.dead = dead;
+            }
+        }
+    }
 }
 
 /// An in-process message broker with RabbitMQ semantics. Cloneable handle;
@@ -135,7 +230,7 @@ pub struct Broker {
 }
 
 impl Broker {
-    /// Creates an empty broker.
+    /// Creates an empty memory-only broker (no durability plane).
     pub fn new() -> Self {
         Broker {
             inner: Arc::new(BrokerShared {
@@ -143,17 +238,126 @@ impl Broker {
                 published: AtomicU64::new(0),
                 publish_fail_next: AtomicU64::new(0),
                 publish_faults: AtomicU64::new(0),
+                wal: None,
+                recovery: None,
             }),
         }
     }
 
-    /// Declares (or re-declares, idempotently) a queue.
+    /// Opens a durable broker backed by a segmented WAL at `cfg.dir`,
+    /// replaying any existing log and rebuilding the queues it describes
+    /// *before* the broker is returned — no traffic is accepted against
+    /// half-recovered state.
+    ///
+    /// Recovered state covers queue backlogs (never-acked deliveries, in
+    /// tag order, flagged `redelivered`), dead-letter stores, lifecycle
+    /// (decommissioned queues stay decommissioned), and tag counters.
+    /// Logged acks are honored: an acked delivery never reappears.
+    /// Bindings and per-queue caps are topology, not log state — callers
+    /// re-declare and re-bind exactly as on first boot, and
+    /// [`Broker::declare_queue`] re-applies the cap to the recovered
+    /// queue. Counters restart at zero; the [`RecoveryReport`] carries
+    /// what was rebuilt.
+    pub fn open_durable(cfg: WalConfig) -> io::Result<(Broker, RecoveryReport)> {
+        let (wal, records, summary) = Wal::open(cfg)?;
+        let wal = Arc::new(wal);
+        let mut report = RecoveryReport {
+            replayed_entries: summary.entries_replayed,
+            torn_entries_dropped: summary.torn_entries_dropped,
+            segments_scanned: summary.segments_scanned,
+            ..RecoveryReport::default()
+        };
+
+        let mut recovered: BTreeMap<String, RecoveredQueue> = BTreeMap::new();
+        for record in records {
+            let queue = match &record {
+                WalRecord::Enqueue { queue, .. }
+                | WalRecord::Ack { queue, .. }
+                | WalRecord::DeadLetter { queue, .. }
+                | WalRecord::QueueKilled { queue }
+                | WalRecord::QueueReinstated { queue }
+                | WalRecord::Checkpoint { queue, .. } => queue.clone(),
+            };
+            recovered
+                .entry(queue)
+                .or_default()
+                .apply(record, &mut report);
+        }
+
+        let mut routes = Routes::default();
+        for (name, state) in recovered {
+            report.queues_recovered += 1;
+            report.messages_recovered += state.pending.len() as u64;
+            report.dead_recovered += state.dead.len() as u64;
+            let pending = state
+                .pending
+                .into_iter()
+                .map(|(tag, (exchange, payload, origin))| {
+                    (
+                        tag,
+                        SharedStr::from(exchange.as_str()),
+                        SharedStr::from(payload.as_str()),
+                        origin,
+                    )
+                })
+                .collect();
+            let dead = state
+                .dead
+                .into_iter()
+                .map(|(tag, exchange, payload, origin)| {
+                    (
+                        tag,
+                        SharedStr::from(exchange.as_str()),
+                        SharedStr::from(payload.as_str()),
+                        origin,
+                    )
+                })
+                .collect();
+            let queue = Queue::restore(
+                QueueConfig::default(),
+                Some(WalBinding {
+                    wal: wal.clone(),
+                    queue: name.clone(),
+                }),
+                state.decommissioned,
+                state.next_tag,
+                pending,
+                dead,
+            );
+            routes.queues.insert(name, Arc::new(queue));
+        }
+        routes.rebuild();
+
+        let broker = Broker {
+            inner: Arc::new(BrokerShared {
+                routes: RwLock::new(routes),
+                published: AtomicU64::new(0),
+                publish_fail_next: AtomicU64::new(0),
+                publish_faults: AtomicU64::new(0),
+                wal: Some(wal),
+                recovery: Some(report),
+            }),
+        };
+        Ok((broker, report))
+    }
+
+    /// Declares (or re-declares, idempotently) a queue. Re-declaring an
+    /// existing queue — including one rebuilt by [`Broker::open_durable`]
+    /// — updates its config in place, so recovered queues pick up their
+    /// backlog caps on the first post-restart declare.
     pub fn declare_queue(&self, name: &str, config: QueueConfig) {
         let mut routes = self.inner.routes.write();
-        routes
-            .queues
-            .entry(name.to_owned())
-            .or_insert_with(|| Arc::new(Queue::new(config)));
+        if let Some(queue) = routes.queues.get(name) {
+            queue.inner.lock().config = config;
+        } else {
+            let wal = self.inner.wal.as_ref().map(|wal| WalBinding {
+                wal: wal.clone(),
+                queue: name.to_owned(),
+            });
+            routes
+                .queues
+                .insert(name.to_owned(), Arc::new(Queue::new(config, wal)));
+        }
         routes.rebuild();
     }
 
@@ -213,7 +417,7 @@ impl Broker {
         payload: impl Into<SharedStr>,
         origin_nanos: u64,
     ) -> Result<(), PublishError> {
-        if self.consume_armed_fault() {
+        if self.consume_armed_fault() || self.wal_is_poisoned() {
             return Err(PublishError {
                 exchange: exchange.to_owned(),
             });
@@ -226,6 +430,14 @@ impl Broker {
             }
         }
         drop(routes);
+        // A WAL append that died mid-publish poisoned the log: the message
+        // was not durably accepted, so the publish itself must fail (a
+        // durable publish-Ok implies the record is on the log).
+        if self.wal_is_poisoned() {
+            return Err(PublishError {
+                exchange: exchange.to_owned(),
+            });
+        }
         self.inner.published.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -258,7 +470,7 @@ impl Broker {
         if payloads.is_empty() {
             return Ok(0);
         }
-        if self.consume_armed_fault() {
+        if self.consume_armed_fault() || self.wal_is_poisoned() {
             return Err(PublishError {
                 exchange: exchange.to_owned(),
             });
@@ -270,6 +482,12 @@ impl Broker {
             }
         }
         drop(routes);
+        // See publish_stamped: a mid-batch WAL death fails the batch.
+        if self.wal_is_poisoned() {
+            return Err(PublishError {
+                exchange: exchange.to_owned(),
+            });
+        }
         let accepted = payloads.len() as u64;
         self.inner.published.fetch_add(accepted, Ordering::Relaxed);
         Ok(accepted)
@@ -351,13 +569,7 @@ impl Broker {
     pub fn decommission_queue(&self, queue: &str) {
         let routes = self.inner.routes.read();
         if let Some(q) = routes.queues.get(queue) {
-            let mut qi = q.inner.lock();
-            qi.discarded += (qi.ready.len() + qi.unacked.len()) as u64;
-            qi.ready.clear();
-            qi.unacked.clear();
-            qi.state = QueueState::Decommissioned;
-            drop(qi);
-            q.ready_cv.notify_all();
+            q.force_decommission();
         }
     }
 
@@ -380,6 +592,76 @@ impl Broker {
         for q in routes.queues.values() {
             q.recover();
         }
+    }
+
+    fn wal_is_poisoned(&self) -> bool {
+        self.inner
+            .wal
+            .as_ref()
+            .is_some_and(|wal| wal.is_poisoned())
+    }
+
+    /// Whether this broker has a durability plane.
+    pub fn is_durable(&self) -> bool {
+        self.inner.wal.is_some()
+    }
+
+    /// The underlying WAL handle (fault injection and tests). `None` for
+    /// memory-only brokers.
+    pub fn wal(&self) -> Option<Arc<Wal>> {
+        self.inner.wal.clone()
+    }
+
+    /// Current WAL append position; `None` for memory-only brokers.
+    pub fn wal_position(&self) -> Option<LogPos> {
+        self.inner.wal.as_ref().map(|wal| wal.position())
+    }
+
+    /// WAL lifetime counters; `None` for memory-only brokers.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.inner.wal.as_ref().map(|wal| wal.stats())
+    }
+
+    /// What [`Broker::open_durable`] rebuilt; `None` for memory-only
+    /// brokers (a fresh durable broker reports an all-zero recovery).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.inner.recovery
+    }
+
+    /// Forces an fsync of the WAL tail. No-op for memory-only brokers.
+    pub fn sync_wal(&self) -> io::Result<()> {
+        match &self.inner.wal {
+            Some(wal) => wal.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Checkpoints every queue into a fresh WAL segment and garbage-
+    /// collects the segments the checkpoint supersedes. Returns the
+    /// checkpoint segment index (0 for memory-only brokers, a no-op).
+    ///
+    /// Crash-safe at every step: old segments are deleted only after all
+    /// checkpoint records are written *and synced*, so a crash
+    /// mid-checkpoint recovers from the old segments plus whatever
+    /// checkpoint prefix survived (a torn checkpoint record is truncated
+    /// away like any torn frame).
+    pub fn checkpoint(&self) -> io::Result<u64> {
+        let Some(wal) = &self.inner.wal else {
+            return Ok(0);
+        };
+        let boundary = wal.begin_checkpoint()?;
+        let queues: Vec<Arc<Queue>> = {
+            let routes = self.inner.routes.read();
+            let mut named: Vec<(&String, &Arc<Queue>)> = routes.queues.iter().collect();
+            named.sort_unstable_by_key(|(name, _)| *name);
+            named.into_iter().map(|(_, q)| q.clone()).collect()
+        };
+        for queue in queues {
+            queue.append_checkpoint()?;
+        }
+        wal.sync()?;
+        wal.gc_before(boundary)?;
+        Ok(boundary)
     }
 
     /// Aggregate counters.
@@ -862,6 +1144,141 @@ mod tests {
         assert!(r1.redelivered);
         let r2 = c.pop(Duration::from_millis(50)).unwrap();
         assert_eq!(r2.payload, "c");
+    }
+
+    #[test]
+    fn durable_broker_recovers_unacked_and_skips_acked() {
+        let dir = crate::wal::tests::temp_dir("broker-recover");
+        let cfg = WalConfig::new(&dir).fsync(crate::wal::FsyncPolicy::EveryWrite);
+        let (b, report) = Broker::open_durable(cfg.clone()).unwrap();
+        assert_eq!(report, RecoveryReport::default(), "fresh log, empty recovery");
+        b.declare_queue("q", QueueConfig::default());
+        b.bind("pub", "q");
+        for i in 0..6 {
+            b.publish("pub", format!("m{i}")).unwrap();
+        }
+        let c = b.consumer("q").unwrap();
+        // Ack m0/m1, dead-letter m2, leave m3 unacked-in-flight, m4/m5 ready.
+        for _ in 0..2 {
+            let d = c.pop(Duration::from_millis(50)).unwrap();
+            c.ack(d.tag);
+        }
+        let d = c.pop(Duration::from_millis(50)).unwrap();
+        c.dead_letter(d.tag);
+        let _in_flight = c.pop(Duration::from_millis(50)).unwrap();
+
+        // Crash: drop every handle; only the log survives.
+        drop((c, b));
+        let (b2, report) = Broker::open_durable(cfg).unwrap();
+        assert_eq!(report.queues_recovered, 1);
+        assert_eq!(report.acked_skipped, 2, "acked deliveries stay consumed");
+        assert_eq!(report.messages_recovered, 3, "m3 (in flight), m4, m5");
+        assert_eq!(report.dead_recovered, 1);
+        b2.declare_queue("q", QueueConfig::default());
+        b2.bind("pub", "q");
+        let c2 = b2.consumer("q").unwrap();
+        for expected in ["m3", "m4", "m5"] {
+            let d = c2.pop(Duration::from_millis(50)).unwrap();
+            assert_eq!(d.payload, expected);
+            assert!(d.redelivered, "recovered deliveries are flagged");
+            c2.ack(d.tag);
+        }
+        assert_eq!(b2.dead_letters("q").unwrap()[0].payload, "m2");
+        // Tags keep advancing past the recovered counter.
+        b2.publish("pub", "fresh").unwrap();
+        let d = c2.pop(Duration::from_millis(50)).unwrap();
+        assert!(d.tag >= 7, "tag counter survives recovery, got {}", d.tag);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_gc_preserves_recovery_and_shrinks_log() {
+        let dir = crate::wal::tests::temp_dir("broker-ckpt");
+        let cfg = WalConfig::new(&dir)
+            .segment_max_bytes(512)
+            .fsync(crate::wal::FsyncPolicy::Off);
+        let (b, _) = Broker::open_durable(cfg.clone()).unwrap();
+        b.declare_queue("q", QueueConfig::default());
+        b.bind("pub", "q");
+        for i in 0..80 {
+            b.publish("pub", format!("payload-{i}")).unwrap();
+        }
+        let c = b.consumer("q").unwrap();
+        for _ in 0..30 {
+            let d = c.pop(Duration::from_millis(50)).unwrap();
+            c.ack(d.tag);
+        }
+        let before = b.wal_stats().unwrap();
+        assert!(before.segments_rolled >= 2, "workload spans segments");
+        b.checkpoint().unwrap();
+        let after = b.wal_stats().unwrap();
+        assert!(after.segments_removed >= 2, "checkpoint GCs old segments");
+        drop((c, b));
+        let (b2, report) = Broker::open_durable(cfg).unwrap();
+        assert_eq!(report.messages_recovered, 50, "checkpoint state is complete");
+        b2.bind("pub", "q");
+        let c2 = b2.consumer("q").unwrap();
+        let mut got = Vec::new();
+        while let Some(d) = c2.pop(Duration::from_millis(20)) {
+            got.push(d.payload.as_str().to_owned());
+            c2.ack(d.tag);
+        }
+        let expected: Vec<String> = (30..80).map(|i| format!("payload-{i}")).collect();
+        assert_eq!(got, expected, "recovered backlog is the unacked suffix, in order");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn decommission_and_reinstate_survive_restart() {
+        let dir = crate::wal::tests::temp_dir("broker-decomm");
+        let cfg = WalConfig::new(&dir).fsync(crate::wal::FsyncPolicy::EveryWrite);
+        let (b, _) = Broker::open_durable(cfg.clone()).unwrap();
+        b.declare_queue("q", QueueConfig::default());
+        b.bind("pub", "q");
+        b.publish("pub", "doomed").unwrap();
+        b.decommission_queue("q");
+        drop(b);
+        let (b2, report) = Broker::open_durable(cfg.clone()).unwrap();
+        assert_eq!(b2.queue_state("q"), Some(QueueState::Decommissioned));
+        assert_eq!(report.messages_recovered, 0, "killed backlog stays dead");
+        b2.reinstate_queue("q");
+        drop(b2);
+        let (b3, _) = Broker::open_durable(cfg).unwrap();
+        assert_eq!(b3.queue_state("q"), Some(QueueState::Active));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_wal_fails_publishes_transiently() {
+        let dir = crate::wal::tests::temp_dir("broker-poison");
+        let cfg = WalConfig::new(&dir).fsync(crate::wal::FsyncPolicy::EveryWrite);
+        let (b, _) = Broker::open_durable(cfg.clone()).unwrap();
+        b.declare_queue("q", QueueConfig::default());
+        b.bind("pub", "q");
+        b.publish("pub", "before").unwrap();
+        b.wal().unwrap().inject_partial_append(4);
+        assert!(b.publish("pub", "torn").is_err(), "mid-append kill refuses");
+        assert!(b.publish("pub", "after").is_err(), "poisoned log stays down");
+        assert_eq!(b.queue_len("q"), Some(1), "refused publishes enqueue nothing");
+        drop(b);
+        let (b2, report) = Broker::open_durable(cfg).unwrap();
+        assert_eq!(report.messages_recovered, 1, "only the confirmed publish");
+        assert_eq!(report.torn_entries_dropped, 1);
+        b2.bind("pub", "q");
+        let c = b2.consumer("q").unwrap();
+        assert_eq!(c.pop(Duration::from_millis(50)).unwrap().payload, "before");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn redeclare_updates_the_cap_in_place() {
+        let b = broker_with("q");
+        // Re-declare with a cap: the fourth publish trips it.
+        b.declare_queue("q", QueueConfig { max_len: Some(3) });
+        for i in 0..5 {
+            b.publish("pub", i.to_string()).unwrap();
+        }
+        assert_eq!(b.queue_state("q"), Some(QueueState::Decommissioned));
     }
 
     #[test]

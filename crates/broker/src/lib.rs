@@ -13,12 +13,17 @@
 //!   subscriber ... and kills its queue once the queue size reaches a
 //!   configurable limit");
 //! * failure injection — dropped messages (the RabbitMQ-upgrade incident of
-//!   §6.5) and broker restarts that requeue in-flight deliveries.
+//!   §6.5) and broker restarts that requeue in-flight deliveries;
+//! * a durability plane ([`wal`]): a segmented, CRC-framed write-ahead log
+//!   with configurable fsync policy, per-queue checkpoints with segment GC,
+//!   and crash recovery via [`Broker::open_durable`].
 
 pub mod broker;
 pub mod message;
 pub mod queue;
+pub mod wal;
 
-pub use broker::{Broker, BrokerStats, Consumer, PublishError};
+pub use broker::{Broker, BrokerStats, Consumer, PublishError, RecoveryReport};
 pub use message::{Delivery, SharedStr};
 pub use queue::{QueueConfig, QueueState};
+pub use wal::{FsyncPolicy, LogPos, ReplaySummary, Wal, WalConfig, WalRecord, WalStats};

@@ -2,10 +2,36 @@
 //! policy.
 
 use crate::message::{Delivery, SharedStr};
+use crate::wal::{Wal, WalRecord};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use synapse_telemetry::mono_nanos;
+
+/// A queue's handle on the broker WAL: the shared log plus the queue's
+/// own name for record attribution.
+///
+/// Logging discipline: an enqueue is logged *before* the in-memory push
+/// (admission implies the record is on the log, so a confirmed publish
+/// survives a crash under `FsyncPolicy::EveryWrite`); acks, dead-letters,
+/// and lifecycle transitions are logged after the in-memory change,
+/// best-effort (losing an ack record merely redelivers after restart —
+/// at-least-once is preserved, exactly-once was never promised).
+#[derive(Debug)]
+pub(crate) struct WalBinding {
+    pub(crate) wal: Arc<Wal>,
+    pub(crate) queue: String,
+}
+
+impl WalBinding {
+    /// Best-effort append for post-change records; errors are swallowed
+    /// (the in-memory state is already authoritative for this process,
+    /// and replay-side conservatism covers the loss).
+    fn append_best_effort(&self, record: &WalRecord) {
+        let _ = self.wal.append(record);
+    }
+}
 
 /// Queue configuration.
 #[derive(Debug, Clone, Default)]
@@ -86,13 +112,23 @@ impl QueueInner {
     }
 
     /// Admits one payload under the held lock. Returns `true` if the copy
-    /// was enqueued (vs refused, dropped, or cap-killed).
-    fn admit(&mut self, exchange: &SharedStr, payload: &SharedStr, origin_nanos: u64) -> bool {
+    /// was enqueued (vs refused, dropped, or cap-killed). When the queue
+    /// is WAL-backed, the enqueue record is appended *before* the push;
+    /// an append failure refuses the copy (accepted implies logged).
+    fn admit(
+        &mut self,
+        exchange: &SharedStr,
+        payload: &SharedStr,
+        origin_nanos: u64,
+        wal: Option<&WalBinding>,
+    ) -> bool {
         if self.state == QueueState::Decommissioned {
             self.refused += 1;
             return false;
         }
         if self.drop_next > 0 {
+            // Injected silent drop: the copy vanishes before reaching the
+            // log, exactly as a lost network frame would.
             self.drop_next -= 1;
             self.dropped += 1;
             return false;
@@ -106,10 +142,28 @@ impl QueueInner {
                 self.ready.clear();
                 self.unacked.clear();
                 self.state = QueueState::Decommissioned;
+                if let Some(binding) = wal {
+                    binding.append_best_effort(&WalRecord::QueueKilled {
+                        queue: binding.queue.clone(),
+                    });
+                }
                 return false;
             }
         }
         let tag = self.next_tag;
+        if let Some(binding) = wal {
+            let record = WalRecord::Enqueue {
+                queue: binding.queue.clone(),
+                tag,
+                exchange: exchange.as_str().to_owned(),
+                payload: payload.as_str().to_owned(),
+                origin_nanos,
+            };
+            if binding.wal.append(&record).is_err() {
+                self.refused += 1;
+                return false;
+            }
+        }
         self.next_tag += 1;
         self.ready.push_back(Delivery {
             tag,
@@ -130,13 +184,61 @@ impl QueueInner {
 pub(crate) struct Queue {
     pub(crate) inner: Mutex<QueueInner>,
     pub(crate) ready_cv: Condvar,
+    /// `Some` when the owning broker is durable; immutable after creation.
+    pub(crate) wal: Option<WalBinding>,
 }
 
 impl Queue {
-    pub(crate) fn new(config: QueueConfig) -> Self {
+    pub(crate) fn new(config: QueueConfig, wal: Option<WalBinding>) -> Self {
         Queue {
             inner: Mutex::new(QueueInner::new(config)),
             ready_cv: Condvar::new(),
+            wal,
+        }
+    }
+
+    /// Rebuilds a queue from recovered WAL state. Recovered pending
+    /// deliveries are conservatively flagged `redelivered` (after a crash
+    /// there is no record of whether a delivery was ever seen) and their
+    /// `enqueued_nanos` are restamped at recovery time.
+    pub(crate) fn restore(
+        config: QueueConfig,
+        wal: Option<WalBinding>,
+        decommissioned: bool,
+        next_tag: u64,
+        pending: Vec<(u64, SharedStr, SharedStr, u64)>,
+        dead: Vec<(u64, SharedStr, SharedStr, u64)>,
+    ) -> Self {
+        let mut inner = QueueInner::new(config);
+        let now = mono_nanos();
+        for (tag, exchange, payload, origin_nanos) in pending {
+            inner.ready.push_back(Delivery {
+                tag,
+                exchange,
+                payload,
+                redelivered: true,
+                origin_nanos,
+                enqueued_nanos: now,
+            });
+        }
+        for (tag, exchange, payload, origin_nanos) in dead {
+            inner.dead.push(Delivery {
+                tag,
+                exchange,
+                payload,
+                redelivered: true,
+                origin_nanos,
+                enqueued_nanos: now,
+            });
+        }
+        inner.next_tag = next_tag.max(1);
+        if decommissioned {
+            inner.state = QueueState::Decommissioned;
+        }
+        Queue {
+            inner: Mutex::new(inner),
+            ready_cv: Condvar::new(),
+            wal,
         }
     }
 
@@ -144,7 +246,7 @@ impl Queue {
     /// shared, not copied.
     pub(crate) fn enqueue(&self, exchange: &SharedStr, payload: &SharedStr, origin_nanos: u64) {
         let mut inner = self.inner.lock();
-        let added = inner.admit(exchange, payload, origin_nanos);
+        let added = inner.admit(exchange, payload, origin_nanos, self.wal.as_ref());
         let killed = inner.state == QueueState::Decommissioned;
         drop(inner);
         if killed {
@@ -165,7 +267,7 @@ impl Queue {
         let mut inner = self.inner.lock();
         let mut added = 0usize;
         for (payload, origin) in payloads {
-            if inner.admit(exchange, payload, *origin) {
+            if inner.admit(exchange, payload, *origin, self.wal.as_ref()) {
                 added += 1;
             }
         }
@@ -242,6 +344,12 @@ impl Queue {
         let hit = inner.unacked.remove(&tag).is_some();
         if hit {
             inner.acked += 1;
+            if let Some(binding) = &self.wal {
+                binding.append_best_effort(&WalRecord::Ack {
+                    queue: binding.queue.clone(),
+                    tags: vec![tag],
+                });
+            }
         } else {
             inner.spurious_acks += 1;
         }
@@ -253,13 +361,23 @@ impl Queue {
     pub(crate) fn ack_batch(&self, tags: &[u64]) -> u64 {
         let mut inner = self.inner.lock();
         let mut hits = 0u64;
+        let mut live: Vec<u64> = Vec::new();
         for tag in tags {
             if inner.unacked.remove(tag).is_some() {
                 inner.acked += 1;
                 hits += 1;
+                if self.wal.is_some() {
+                    live.push(*tag);
+                }
             } else {
                 inner.spurious_acks += 1;
             }
+        }
+        if let (Some(binding), false) = (&self.wal, live.is_empty()) {
+            binding.append_best_effort(&WalRecord::Ack {
+                queue: binding.queue.clone(),
+                tags: live,
+            });
         }
         hits
     }
@@ -288,6 +406,12 @@ impl Queue {
         if let Some(delivery) = inner.unacked.remove(&tag) {
             inner.dead.push(delivery);
             inner.dead_lettered += 1;
+            if let Some(binding) = &self.wal {
+                binding.append_best_effort(&WalRecord::DeadLetter {
+                    queue: binding.queue.clone(),
+                    tag,
+                });
+            }
             true
         } else {
             false
@@ -331,6 +455,85 @@ impl Queue {
         inner.drop_next = 0;
         inner.reinstated += 1;
         inner.state = QueueState::Active;
+        if let Some(binding) = &self.wal {
+            binding.append_best_effort(&WalRecord::QueueReinstated {
+                queue: binding.queue.clone(),
+            });
+        }
         true
+    }
+
+    /// Force-decommissions the queue, discarding its backlog, as if it had
+    /// exceeded its cap (failure injection / operator action).
+    pub(crate) fn force_decommission(&self) {
+        let mut inner = self.inner.lock();
+        inner.discarded += (inner.ready.len() + inner.unacked.len()) as u64;
+        inner.ready.clear();
+        inner.unacked.clear();
+        inner.state = QueueState::Decommissioned;
+        if let Some(binding) = &self.wal {
+            binding.append_best_effort(&WalRecord::QueueKilled {
+                queue: binding.queue.clone(),
+            });
+        }
+        drop(inner);
+        self.ready_cv.notify_all();
+    }
+
+    /// Appends this queue's checkpoint record to the WAL. Built *and*
+    /// appended under the queue lock, so no enqueue/ack can slip between
+    /// the captured state and its log position — replay may safely treat
+    /// the checkpoint as a full replacement of everything before it.
+    /// No-op for non-durable queues.
+    pub(crate) fn append_checkpoint(&self) -> std::io::Result<()> {
+        let Some(binding) = &self.wal else {
+            return Ok(());
+        };
+        let inner = self.inner.lock();
+        let mut pending: Vec<(u64, String, String, u64, bool)> = inner
+            .ready
+            .iter()
+            .map(|d| {
+                (
+                    d.tag,
+                    d.exchange.as_str().to_owned(),
+                    d.payload.as_str().to_owned(),
+                    d.origin_nanos,
+                    d.redelivered,
+                )
+            })
+            // Unacked deliveries have been seen once: a post-crash replay
+            // of the checkpoint must hand them out flagged redelivered.
+            .chain(inner.unacked.values().map(|d| {
+                (
+                    d.tag,
+                    d.exchange.as_str().to_owned(),
+                    d.payload.as_str().to_owned(),
+                    d.origin_nanos,
+                    true,
+                )
+            }))
+            .collect();
+        pending.sort_unstable_by_key(|(tag, ..)| *tag);
+        let dead = inner
+            .dead
+            .iter()
+            .map(|d| {
+                (
+                    d.tag,
+                    d.exchange.as_str().to_owned(),
+                    d.payload.as_str().to_owned(),
+                    d.origin_nanos,
+                )
+            })
+            .collect();
+        let record = WalRecord::Checkpoint {
+            queue: binding.queue.clone(),
+            decommissioned: inner.state == QueueState::Decommissioned,
+            next_tag: inner.next_tag,
+            pending,
+            dead,
+        };
+        binding.wal.append(&record).map(|_| ())
     }
 }

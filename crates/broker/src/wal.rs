@@ -1,0 +1,1121 @@
+//! The append-only segmented write-ahead log under the broker.
+//!
+//! Every queue mutation that must survive a process crash — enqueue, ack,
+//! dead-letter, decommission, reinstate, and periodic per-queue
+//! checkpoints — is framed and appended here before (or atomically with)
+//! the in-memory state change. Recovery is a pure fold over the log:
+//! re-open the directory, replay every decodable frame, and rebuild the
+//! queues.
+//!
+//! # Segment format
+//!
+//! The log is a directory of fixed-name segment files
+//! (`segment-00000000.wal`, `segment-00000001.wal`, …), each beginning
+//! with a 16-byte header: the 8-byte magic `SYNWAL01` followed by the
+//! segment index as a little-endian `u64`. After the header come
+//! length-prefixed, CRC-framed entries:
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! ```
+//!
+//! A frame whose length overruns the file, whose CRC mismatches, or whose
+//! payload fails to decode marks the *torn tail*: replay stops there, the
+//! file is truncated back to the last good frame, and the drop is counted.
+//! Torn tails are expected — they are what a crash mid-append leaves
+//! behind — and recovery must treat them as "these records never
+//! happened", which is safe because an entry is only acknowledged upward
+//! after its append returns.
+//!
+//! # Fsync policy
+//!
+//! [`FsyncPolicy`] controls when appends are flushed to stable storage:
+//! never (`Off`), every `n` appends (`Interval`), or before every append
+//! returns (`EveryWrite`). The distinction only matters across a *power
+//! failure*; a mere process crash loses nothing that reached the OS. The
+//! fault plane models power failure with
+//! [`Wal::simulate_power_failure`], which discards everything after the
+//! last synced offset — so a soak running `EveryWrite` asserts zero loss
+//! of confirmed appends, while `Off`/`Interval` runs assert only the
+//! at-least-once envelope (the publisher journal re-covers the lost
+//! tail).
+//!
+//! # Checkpoints and GC
+//!
+//! A checkpoint is not a side file: it is a [`WalRecord::Checkpoint`]
+//! entry per queue, written into a *fresh* segment
+//! ([`Wal::begin_checkpoint`] rolls first). Replay applies a checkpoint
+//! by *replacing* the queue's pending state, so entries that interleave
+//! between the roll and the checkpoint write are absorbed (they
+//! happened-before the checkpoint under the queue lock and are therefore
+//! contained in it). Once every queue's checkpoint is written *and
+//! synced*, all strictly older segments are unreferenced and
+//! [`Wal::gc_before`] deletes them. A crash anywhere in that protocol is
+//! safe: the old segments are still on disk until the sync completes.
+
+use parking_lot::Mutex;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Magic bytes opening every segment file.
+const SEGMENT_MAGIC: &[u8; 8] = b"SYNWAL01";
+/// Segment header: magic + little-endian segment index.
+const SEGMENT_HEADER_LEN: u64 = 16;
+/// Frame header: payload length + payload CRC.
+const FRAME_HEADER_LEN: u64 = 8;
+/// Upper bound on a single frame payload; anything larger is treated as
+/// corruption rather than allocated.
+const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// When appends are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never fsync (fastest; a power failure may lose the whole tail).
+    Off,
+    /// Fsync every `n` appends (and on segment roll).
+    Interval(u32),
+    /// Fsync before every append returns (a confirmed append is durable).
+    EveryWrite,
+}
+
+impl Default for FsyncPolicy {
+    fn default() -> Self {
+        FsyncPolicy::Interval(64)
+    }
+}
+
+/// Configuration of a [`Wal`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding the segment files (created if absent).
+    pub dir: PathBuf,
+    /// Roll to a new segment once the active one reaches this size.
+    pub segment_max_bytes: u64,
+    /// Fsync policy for appends.
+    pub fsync: FsyncPolicy,
+}
+
+impl WalConfig {
+    /// A config with the default segment size (256 KiB) and fsync policy.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalConfig {
+            dir: dir.into(),
+            segment_max_bytes: 256 << 10,
+            fsync: FsyncPolicy::default(),
+        }
+    }
+
+    /// Sets the segment roll threshold.
+    pub fn segment_max_bytes(mut self, bytes: u64) -> Self {
+        self.segment_max_bytes = bytes;
+        self
+    }
+
+    /// Sets the fsync policy.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+}
+
+/// A position in the log: segment index and byte offset within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct LogPos {
+    /// Segment index.
+    pub segment: u64,
+    /// Byte offset within the segment (header included).
+    pub offset: u64,
+}
+
+/// One durable log record. Queue names and payloads are owned strings —
+/// the WAL is the cold path; the hot path shares allocations up to the
+/// encode buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A message copy admitted to `queue` under delivery tag `tag`.
+    Enqueue {
+        /// Queue the copy was admitted to.
+        queue: String,
+        /// Per-queue monotonic delivery tag — the durable message id.
+        tag: u64,
+        /// Exchange (publisher app) the copy arrived through.
+        exchange: String,
+        /// Marshalled message payload.
+        payload: String,
+        /// Publisher origin stamp riding the envelope (0 = unstamped).
+        origin_nanos: u64,
+    },
+    /// Tags consumed by acks on `queue` (batch-capable).
+    Ack {
+        /// Queue the acks apply to.
+        queue: String,
+        /// Acked delivery tags.
+        tags: Vec<u64>,
+    },
+    /// An unacked delivery routed to `queue`'s dead-letter store.
+    DeadLetter {
+        /// Queue the delivery belonged to.
+        queue: String,
+        /// The dead-lettered delivery tag.
+        tag: u64,
+    },
+    /// `queue` was decommissioned; its backlog was discarded.
+    QueueKilled {
+        /// The decommissioned queue.
+        queue: String,
+    },
+    /// `queue` was reinstated empty after a decommission.
+    QueueReinstated {
+        /// The reinstated queue.
+        queue: String,
+    },
+    /// Point-in-time state of one queue; replay *replaces* the queue's
+    /// pending/dead state with it (older entries are absorbed).
+    Checkpoint {
+        /// The checkpointed queue.
+        queue: String,
+        /// Whether the queue was decommissioned at checkpoint time.
+        decommissioned: bool,
+        /// Next delivery tag to assign.
+        next_tag: u64,
+        /// Pending (ready + unacked) deliveries:
+        /// `(tag, exchange, payload, origin_nanos, redelivered)`.
+        pending: Vec<(u64, String, String, u64, bool)>,
+        /// Dead-lettered deliveries: `(tag, exchange, payload, origin_nanos)`.
+        dead: Vec<(u64, String, String, u64)>,
+    },
+}
+
+const TAG_ENQUEUE: u8 = 1;
+const TAG_ACK: u8 = 2;
+const TAG_DEAD_LETTER: u8 = 3;
+const TAG_QUEUE_KILLED: u8 = 4;
+const TAG_QUEUE_REINSTATED: u8 = 5;
+const TAG_CHECKPOINT: u8 = 6;
+
+impl WalRecord {
+    /// Appends the record's wire encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecord::Enqueue {
+                queue,
+                tag,
+                exchange,
+                payload,
+                origin_nanos,
+            } => {
+                out.push(TAG_ENQUEUE);
+                put_str(out, queue);
+                put_u64(out, *tag);
+                put_str(out, exchange);
+                put_str(out, payload);
+                put_u64(out, *origin_nanos);
+            }
+            WalRecord::Ack { queue, tags } => {
+                out.push(TAG_ACK);
+                put_str(out, queue);
+                put_u32(out, tags.len() as u32);
+                for t in tags {
+                    put_u64(out, *t);
+                }
+            }
+            WalRecord::DeadLetter { queue, tag } => {
+                out.push(TAG_DEAD_LETTER);
+                put_str(out, queue);
+                put_u64(out, *tag);
+            }
+            WalRecord::QueueKilled { queue } => {
+                out.push(TAG_QUEUE_KILLED);
+                put_str(out, queue);
+            }
+            WalRecord::QueueReinstated { queue } => {
+                out.push(TAG_QUEUE_REINSTATED);
+                put_str(out, queue);
+            }
+            WalRecord::Checkpoint {
+                queue,
+                decommissioned,
+                next_tag,
+                pending,
+                dead,
+            } => {
+                out.push(TAG_CHECKPOINT);
+                put_str(out, queue);
+                out.push(u8::from(*decommissioned));
+                put_u64(out, *next_tag);
+                put_u32(out, pending.len() as u32);
+                for (tag, exchange, payload, origin, redelivered) in pending {
+                    put_u64(out, *tag);
+                    put_str(out, exchange);
+                    put_str(out, payload);
+                    put_u64(out, *origin);
+                    out.push(u8::from(*redelivered));
+                }
+                put_u32(out, dead.len() as u32);
+                for (tag, exchange, payload, origin) in dead {
+                    put_u64(out, *tag);
+                    put_str(out, exchange);
+                    put_str(out, payload);
+                    put_u64(out, *origin);
+                }
+            }
+        }
+    }
+
+    /// The record's wire encoding as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes one record from `bytes`; `None` on any malformation. Fully
+    /// bounds-checked — arbitrary input never panics (the torn-tail
+    /// property relies on this).
+    pub fn decode(bytes: &[u8]) -> Option<WalRecord> {
+        let mut r = ByteReader::new(bytes);
+        let record = match r.take_u8()? {
+            TAG_ENQUEUE => WalRecord::Enqueue {
+                queue: r.take_str()?,
+                tag: r.take_u64()?,
+                exchange: r.take_str()?,
+                payload: r.take_str()?,
+                origin_nanos: r.take_u64()?,
+            },
+            TAG_ACK => {
+                let queue = r.take_str()?;
+                let n = r.take_u32()? as usize;
+                // Cap before allocating: a corrupt count must not OOM.
+                if n > bytes.len() {
+                    return None;
+                }
+                let mut tags = Vec::with_capacity(n);
+                for _ in 0..n {
+                    tags.push(r.take_u64()?);
+                }
+                WalRecord::Ack { queue, tags }
+            }
+            TAG_DEAD_LETTER => WalRecord::DeadLetter {
+                queue: r.take_str()?,
+                tag: r.take_u64()?,
+            },
+            TAG_QUEUE_KILLED => WalRecord::QueueKilled {
+                queue: r.take_str()?,
+            },
+            TAG_QUEUE_REINSTATED => WalRecord::QueueReinstated {
+                queue: r.take_str()?,
+            },
+            TAG_CHECKPOINT => {
+                let queue = r.take_str()?;
+                let decommissioned = r.take_u8()? != 0;
+                let next_tag = r.take_u64()?;
+                let n_pending = r.take_u32()? as usize;
+                if n_pending > bytes.len() {
+                    return None;
+                }
+                let mut pending = Vec::with_capacity(n_pending);
+                for _ in 0..n_pending {
+                    pending.push((
+                        r.take_u64()?,
+                        r.take_str()?,
+                        r.take_str()?,
+                        r.take_u64()?,
+                        r.take_u8()? != 0,
+                    ));
+                }
+                let n_dead = r.take_u32()? as usize;
+                if n_dead > bytes.len() {
+                    return None;
+                }
+                let mut dead = Vec::with_capacity(n_dead);
+                for _ in 0..n_dead {
+                    dead.push((r.take_u64()?, r.take_str()?, r.take_str()?, r.take_u64()?));
+                }
+                WalRecord::Checkpoint {
+                    queue,
+                    decommissioned,
+                    next_tag,
+                    pending,
+                    dead,
+                }
+            }
+            _ => return None,
+        };
+        // Trailing garbage means the frame length lied about the payload.
+        if r.remaining() != 0 {
+            return None;
+        }
+        Some(record)
+    }
+}
+
+/// Little-endian `u32` append.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Little-endian `u64` append.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Length-prefixed UTF-8 string append.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked sequential reader over a byte slice; every `take_*`
+/// returns `None` instead of panicking on underrun.
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Option<u8> {
+        let b = *self.bytes.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Option<u32> {
+        let end = self.pos.checked_add(4)?;
+        let bytes = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(u32::from_le_bytes(bytes.try_into().ok()?))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Option<u64> {
+        let end = self.pos.checked_add(8)?;
+        let bytes = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Option<String> {
+        let len = self.take_u32()? as usize;
+        let end = self.pos.checked_add(len)?;
+        let bytes = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+/// IEEE CRC-32 (the Ethernet/zlib polynomial), table-driven; the table is
+/// built at compile time so the hot path is one lookup per byte.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = 0xFFFF_FFFFu32;
+    for b in bytes {
+        crc = TABLE[((crc ^ *b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Counters over one [`Wal`]'s lifetime (replay counters cover the
+/// `open` that produced it).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended.
+    pub appends: u64,
+    /// Bytes appended (frames included).
+    pub bytes_appended: u64,
+    /// Fsyncs issued.
+    pub fsyncs: u64,
+    /// Segment rolls (checkpoint rolls included).
+    pub segments_rolled: u64,
+    /// Whole segment files removed by GC.
+    pub segments_removed: u64,
+    /// Entries replayed at open.
+    pub replayed_entries: u64,
+    /// Torn/corrupt frames dropped (and truncated) at open.
+    pub torn_entries_dropped: u64,
+    /// Fsyncs swallowed by the armed dropped-fsync fault.
+    pub fsyncs_dropped: u64,
+}
+
+/// Summary of the replay performed by [`Wal::open`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Segment files scanned.
+    pub segments_scanned: u64,
+    /// Records decoded and returned.
+    pub entries_replayed: u64,
+    /// Torn/corrupt frames dropped (the file was truncated back).
+    pub torn_entries_dropped: u64,
+    /// Bytes scanned across all segments.
+    pub bytes_scanned: u64,
+}
+
+#[derive(Debug)]
+struct WalInner {
+    file: File,
+    segment: u64,
+    /// Write offset in the active segment (header included).
+    offset: u64,
+    /// Offset known durable (advanced by fsync; reset on roll).
+    synced_offset: u64,
+    /// Appends since the last fsync (for `FsyncPolicy::Interval`).
+    unsynced_appends: u32,
+    /// Reusable frame-encode buffer.
+    buf: Vec<u8>,
+}
+
+/// The segmented write-ahead log. Internally locked; share via `Arc`.
+#[derive(Debug)]
+pub struct Wal {
+    cfg: WalConfig,
+    inner: Mutex<WalInner>,
+    /// Set once a crash fault fired (or a real IO error poisoned the
+    /// log); every later append fails fast.
+    poisoned: AtomicBool,
+    /// Fault arming: the next append writes only this many frame bytes,
+    /// then poisons (kill mid-append). `u64::MAX` = disarmed.
+    partial_append_keep: AtomicU64,
+    /// Fault arming: swallow the next `n` fsyncs (dropped-fsync fault).
+    drop_fsyncs: AtomicU64,
+    appends: AtomicU64,
+    bytes_appended: AtomicU64,
+    fsyncs: AtomicU64,
+    fsyncs_dropped: AtomicU64,
+    segments_rolled: AtomicU64,
+    segments_removed: AtomicU64,
+    replayed_entries: AtomicU64,
+    torn_entries_dropped: AtomicU64,
+}
+
+/// Error returned by appends after the log was poisoned by a crash fault.
+fn poisoned_err() -> io::Error {
+    io::Error::other("wal poisoned by injected crash fault")
+}
+
+fn segment_path(dir: &std::path::Path, index: u64) -> PathBuf {
+    dir.join(format!("segment-{index:08}.wal"))
+}
+
+fn write_segment_header(file: &mut File, index: u64) -> io::Result<()> {
+    let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+    header[..8].copy_from_slice(SEGMENT_MAGIC);
+    header[8..].copy_from_slice(&index.to_le_bytes());
+    file.write_all(&header)
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `cfg.dir`, replaying every decodable
+    /// record. Returns the live log, the replayed records in append
+    /// order, and the replay summary. A torn tail is truncated away; a
+    /// corrupt frame in a non-final segment also stops replay there
+    /// (nothing after a hole can be trusted to apply in order).
+    pub fn open(cfg: WalConfig) -> io::Result<(Wal, Vec<WalRecord>, ReplaySummary)> {
+        fs::create_dir_all(&cfg.dir)?;
+        let mut indexes: Vec<u64> = fs::read_dir(&cfg.dir)?
+            .filter_map(|entry| {
+                let name = entry.ok()?.file_name().into_string().ok()?;
+                let index = name
+                    .strip_prefix("segment-")?
+                    .strip_suffix(".wal")?
+                    .parse()
+                    .ok()?;
+                Some(index)
+            })
+            .collect();
+        indexes.sort_unstable();
+
+        let mut records = Vec::new();
+        let mut summary = ReplaySummary::default();
+        let mut stop = false;
+        for (i, &index) in indexes.iter().enumerate() {
+            if stop {
+                // A hole mid-log: later segments cannot be applied in
+                // order, so they are dropped (counted, not silently).
+                summary.torn_entries_dropped += 1;
+                let _ = fs::remove_file(segment_path(&cfg.dir, index));
+                continue;
+            }
+            let is_last = i == indexes.len() - 1;
+            let path = segment_path(&cfg.dir, index);
+            let bytes = fs::read(&path)?;
+            summary.segments_scanned += 1;
+            summary.bytes_scanned += bytes.len() as u64;
+            let good_end = replay_segment(&bytes, index, &mut records, &mut summary);
+            if (good_end as u64) < bytes.len() as u64 {
+                // Torn/corrupt tail: truncate the file back to the last
+                // good frame and stop trusting anything after it.
+                let file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(good_end as u64)?;
+                file.sync_all()?;
+                if !is_last {
+                    stop = true;
+                }
+            }
+        }
+        summary.entries_replayed = records.len() as u64;
+
+        // Append to the last surviving segment, or start segment 0.
+        let active = indexes.last().copied().unwrap_or(0);
+        let path = segment_path(&cfg.dir, active);
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut offset = file.metadata()?.len();
+        if offset < SEGMENT_HEADER_LEN {
+            file.set_len(0)?;
+            write_segment_header(&mut file, active)?;
+            file.sync_all()?;
+            offset = SEGMENT_HEADER_LEN;
+        }
+
+        let wal = Wal {
+            inner: Mutex::new(WalInner {
+                file,
+                segment: active,
+                offset,
+                // Everything read back from disk is treated as durable.
+                synced_offset: offset,
+                unsynced_appends: 0,
+                buf: Vec::with_capacity(256),
+            }),
+            cfg,
+            poisoned: AtomicBool::new(false),
+            partial_append_keep: AtomicU64::new(u64::MAX),
+            drop_fsyncs: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            bytes_appended: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            fsyncs_dropped: AtomicU64::new(0),
+            segments_rolled: AtomicU64::new(0),
+            segments_removed: AtomicU64::new(0),
+            replayed_entries: AtomicU64::new(summary.entries_replayed),
+            torn_entries_dropped: AtomicU64::new(summary.torn_entries_dropped),
+        };
+        Ok((wal, records, summary))
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.cfg.dir
+    }
+
+    /// Appends one record, framed and (per policy) fsynced. Returns the
+    /// position the frame was written at.
+    pub fn append(&self, record: &WalRecord) -> io::Result<LogPos> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(poisoned_err());
+        }
+        let mut inner = self.inner.lock();
+        if inner.offset >= self.cfg.segment_max_bytes.max(SEGMENT_HEADER_LEN + 1) {
+            self.roll_locked(&mut inner)?;
+        }
+        let mut buf = std::mem::take(&mut inner.buf);
+        buf.clear();
+        // Reserve the frame header, encode in place, then backfill.
+        buf.extend_from_slice(&[0u8; FRAME_HEADER_LEN as usize]);
+        record.encode_into(&mut buf);
+        let payload_len = (buf.len() as u64 - FRAME_HEADER_LEN) as u32;
+        let crc = crc32(&buf[FRAME_HEADER_LEN as usize..]);
+        buf[..4].copy_from_slice(&payload_len.to_le_bytes());
+        buf[4..8].copy_from_slice(&crc.to_le_bytes());
+
+        // Kill-mid-append fault: write a strict prefix of the frame, then
+        // die. The torn frame is exactly what a crashed process leaves.
+        let keep = self.partial_append_keep.swap(u64::MAX, Ordering::AcqRel);
+        if keep != u64::MAX {
+            let cut = (keep as usize).min(buf.len().saturating_sub(1));
+            let result = inner.file.write_all(&buf[..cut]).and_then(|_| inner.file.sync_all());
+            inner.buf = buf;
+            self.poisoned.store(true, Ordering::Release);
+            result?;
+            return Err(poisoned_err());
+        }
+
+        let write = inner.file.write_all(&buf);
+        let frame_len = buf.len() as u64;
+        inner.buf = buf;
+        if let Err(e) = write {
+            self.poisoned.store(true, Ordering::Release);
+            return Err(e);
+        }
+        let pos = LogPos {
+            segment: inner.segment,
+            offset: inner.offset,
+        };
+        inner.offset += frame_len;
+        inner.unsynced_appends += 1;
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.bytes_appended.fetch_add(frame_len, Ordering::Relaxed);
+        match self.cfg.fsync {
+            FsyncPolicy::Off => {}
+            FsyncPolicy::EveryWrite => self.sync_locked(&mut inner)?,
+            FsyncPolicy::Interval(n) => {
+                if inner.unsynced_appends >= n.max(1) {
+                    self.sync_locked(&mut inner)?;
+                }
+            }
+        }
+        Ok(pos)
+    }
+
+    /// Forces an fsync of the active segment (subject to the armed
+    /// dropped-fsync fault).
+    pub fn sync(&self) -> io::Result<()> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(poisoned_err());
+        }
+        let mut inner = self.inner.lock();
+        self.sync_locked(&mut inner)
+    }
+
+    fn sync_locked(&self, inner: &mut WalInner) -> io::Result<()> {
+        // Dropped-fsync fault: report success without making anything
+        // durable — the reordering a lying disk/controller produces.
+        let mut armed = self.drop_fsyncs.load(Ordering::Acquire);
+        while armed > 0 {
+            match self.drop_fsyncs.compare_exchange(
+                armed,
+                armed - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.fsyncs_dropped.fetch_add(1, Ordering::Relaxed);
+                    inner.unsynced_appends = 0;
+                    return Ok(());
+                }
+                Err(observed) => armed = observed,
+            }
+        }
+        inner.file.sync_all()?;
+        inner.synced_offset = inner.offset;
+        inner.unsynced_appends = 0;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn roll_locked(&self, inner: &mut WalInner) -> io::Result<()> {
+        // Closing segments are always made fully durable, so only the
+        // active segment can ever hold an unsynced tail.
+        inner.file.sync_all()?;
+        let next = inner.segment + 1;
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(segment_path(&self.cfg.dir, next))?;
+        write_segment_header(&mut file, next)?;
+        file.sync_all()?;
+        inner.file = file;
+        inner.segment = next;
+        inner.offset = SEGMENT_HEADER_LEN;
+        inner.synced_offset = SEGMENT_HEADER_LEN;
+        inner.unsynced_appends = 0;
+        self.segments_rolled.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Current append position.
+    pub fn position(&self) -> LogPos {
+        let inner = self.inner.lock();
+        LogPos {
+            segment: inner.segment,
+            offset: inner.offset,
+        }
+    }
+
+    /// Rolls to a fresh segment and returns its index — the checkpoint
+    /// boundary: checkpoint records written after this land at or past
+    /// the returned segment, so once they are synced every strictly older
+    /// segment is garbage.
+    pub fn begin_checkpoint(&self) -> io::Result<u64> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(poisoned_err());
+        }
+        let mut inner = self.inner.lock();
+        self.roll_locked(&mut inner)?;
+        Ok(inner.segment)
+    }
+
+    /// Deletes every segment file with index < `segment`. Returns how
+    /// many were removed. Call only after the checkpoint records covering
+    /// them are synced.
+    pub fn gc_before(&self, segment: u64) -> io::Result<u64> {
+        let active = self.inner.lock().segment;
+        let mut removed = 0u64;
+        for entry in fs::read_dir(&self.cfg.dir)? {
+            let entry = entry?;
+            let Some(name) = entry.file_name().into_string().ok() else {
+                continue;
+            };
+            let Some(index) = name
+                .strip_prefix("segment-")
+                .and_then(|s| s.strip_suffix(".wal"))
+                .and_then(|s| s.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            if index < segment.min(active) {
+                fs::remove_file(entry.path())?;
+                removed += 1;
+            }
+        }
+        self.segments_removed.fetch_add(removed, Ordering::Relaxed);
+        Ok(removed)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            appends: self.appends.load(Ordering::Relaxed),
+            bytes_appended: self.bytes_appended.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            segments_rolled: self.segments_rolled.load(Ordering::Relaxed),
+            segments_removed: self.segments_removed.load(Ordering::Relaxed),
+            replayed_entries: self.replayed_entries.load(Ordering::Relaxed),
+            torn_entries_dropped: self.torn_entries_dropped.load(Ordering::Relaxed),
+            fsyncs_dropped: self.fsyncs_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether a crash fault (or IO error) has poisoned the log.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Crash fault: the next append writes only the first `keep_bytes`
+    /// of its frame (clamped to a strict prefix), then fails and poisons
+    /// the log — a process killed mid-append.
+    pub fn inject_partial_append(&self, keep_bytes: u64) {
+        self.partial_append_keep.store(keep_bytes, Ordering::Release);
+    }
+
+    /// Crash fault: the next `n` fsyncs report success without syncing,
+    /// so a later power failure loses more than the policy promises.
+    pub fn inject_drop_fsyncs(&self, n: u64) {
+        self.drop_fsyncs.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Crash fault: power failure. Everything after the last *actually
+    /// synced* offset of the active segment is discarded (closed segments
+    /// are synced on roll and survive whole), and the log is poisoned.
+    /// Reopen the directory to recover.
+    pub fn simulate_power_failure(&self) -> io::Result<()> {
+        let inner = self.inner.lock();
+        self.poisoned.store(true, Ordering::Release);
+        let path = segment_path(&self.cfg.dir, inner.segment);
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(inner.synced_offset)?;
+        file.sync_all()?;
+        Ok(())
+    }
+}
+
+/// Replays one segment's bytes into `records`; returns the byte offset
+/// just past the last good frame (truncation point for a torn tail).
+fn replay_segment(
+    bytes: &[u8],
+    expected_index: u64,
+    records: &mut Vec<WalRecord>,
+    summary: &mut ReplaySummary,
+) -> usize {
+    let header_len = SEGMENT_HEADER_LEN as usize;
+    if bytes.len() < header_len
+        || &bytes[..8] != SEGMENT_MAGIC
+        || u64::from_le_bytes(bytes[8..16].try_into().expect("len checked")) != expected_index
+    {
+        summary.torn_entries_dropped += 1;
+        return 0;
+    }
+    let mut pos = header_len;
+    loop {
+        let Some(frame_header) = bytes.get(pos..pos + FRAME_HEADER_LEN as usize) else {
+            if pos < bytes.len() {
+                summary.torn_entries_dropped += 1;
+            }
+            return pos;
+        };
+        let len = u32::from_le_bytes(frame_header[..4].try_into().expect("len checked"));
+        let crc = u32::from_le_bytes(frame_header[4..8].try_into().expect("len checked"));
+        if len > MAX_FRAME_LEN {
+            summary.torn_entries_dropped += 1;
+            return pos;
+        }
+        let start = pos + FRAME_HEADER_LEN as usize;
+        let Some(payload) = bytes.get(start..start + len as usize) else {
+            summary.torn_entries_dropped += 1;
+            return pos;
+        };
+        if crc32(payload) != crc {
+            summary.torn_entries_dropped += 1;
+            return pos;
+        }
+        let Some(record) = WalRecord::decode(payload) else {
+            summary.torn_entries_dropped += 1;
+            return pos;
+        };
+        records.push(record);
+        pos = start + len as usize;
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    /// Fresh unique directory under the system temp dir (no external
+    /// tempfile crate in this workspace).
+    pub(crate) fn temp_dir(label: &str) -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "synapse-wal-{label}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn enqueue(queue: &str, tag: u64, payload: &str) -> WalRecord {
+        WalRecord::Enqueue {
+            queue: queue.into(),
+            tag,
+            exchange: "x".into(),
+            payload: payload.into(),
+            origin_nanos: 7,
+        }
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let samples = vec![
+            enqueue("q", 3, "body"),
+            WalRecord::Ack {
+                queue: "q".into(),
+                tags: vec![1, 2, 9],
+            },
+            WalRecord::DeadLetter {
+                queue: "q".into(),
+                tag: 4,
+            },
+            WalRecord::QueueKilled { queue: "q".into() },
+            WalRecord::QueueReinstated { queue: "q".into() },
+            WalRecord::Checkpoint {
+                queue: "q".into(),
+                decommissioned: true,
+                next_tag: 10,
+                pending: vec![(5, "x".into(), "p".into(), 1, true)],
+                dead: vec![(2, "x".into(), "poison".into(), 0)],
+            },
+        ];
+        for record in samples {
+            let encoded = record.encode();
+            assert_eq!(WalRecord::decode(&encoded), Some(record));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing_garbage() {
+        let encoded = enqueue("q", 1, "body").encode();
+        for cut in 0..encoded.len() {
+            assert_eq!(WalRecord::decode(&encoded[..cut]), None, "cut at {cut}");
+        }
+        let mut padded = encoded;
+        padded.push(0);
+        assert_eq!(WalRecord::decode(&padded), None);
+    }
+
+    #[test]
+    fn append_then_reopen_replays_in_order() {
+        let dir = temp_dir("replay");
+        let cfg = WalConfig::new(&dir).fsync(FsyncPolicy::Off);
+        let (wal, records, _) = Wal::open(cfg.clone()).unwrap();
+        assert!(records.is_empty());
+        for i in 0..20u64 {
+            wal.append(&enqueue("q", i, &format!("m{i}"))).unwrap();
+        }
+        drop(wal);
+        let (_, replayed, summary) = Wal::open(cfg).unwrap();
+        assert_eq!(replayed.len(), 20);
+        assert_eq!(summary.torn_entries_dropped, 0);
+        for (i, record) in replayed.iter().enumerate() {
+            assert_eq!(record, &enqueue("q", i as u64, &format!("m{i}")));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_roll_and_replay_spans_them() {
+        let dir = temp_dir("roll");
+        let cfg = WalConfig::new(&dir)
+            .segment_max_bytes(128)
+            .fsync(FsyncPolicy::Off);
+        let (wal, _, _) = Wal::open(cfg.clone()).unwrap();
+        for i in 0..50u64 {
+            wal.append(&enqueue("q", i, "padpadpadpad")).unwrap();
+        }
+        assert!(wal.stats().segments_rolled >= 2);
+        drop(wal);
+        let (_, replayed, summary) = Wal::open(cfg).unwrap();
+        assert_eq!(replayed.len(), 50);
+        assert!(summary.segments_scanned >= 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = temp_dir("torn");
+        let cfg = WalConfig::new(&dir).fsync(FsyncPolicy::Off);
+        let (wal, _, _) = Wal::open(cfg.clone()).unwrap();
+        for i in 0..10u64 {
+            wal.append(&enqueue("q", i, "payload")).unwrap();
+        }
+        drop(wal);
+        // Chop a few bytes off the tail: the final frame is torn.
+        let path = segment_path(&dir, 0);
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        let (_, replayed, summary) = Wal::open(cfg.clone()).unwrap();
+        assert_eq!(replayed.len(), 9, "the torn final frame is dropped");
+        assert_eq!(summary.torn_entries_dropped, 1);
+        // The truncation is persistent: a second reopen is clean.
+        let (_, again, summary2) = Wal::open(cfg).unwrap();
+        assert_eq!(again.len(), 9);
+        assert_eq!(summary2.torn_entries_dropped, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_append_fault_tears_exactly_one_frame() {
+        let dir = temp_dir("partial");
+        let cfg = WalConfig::new(&dir).fsync(FsyncPolicy::EveryWrite);
+        let (wal, _, _) = Wal::open(cfg.clone()).unwrap();
+        for i in 0..5u64 {
+            wal.append(&enqueue("q", i, "survivor")).unwrap();
+        }
+        wal.inject_partial_append(6);
+        assert!(wal.append(&enqueue("q", 99, "torn")).is_err());
+        assert!(wal.is_poisoned());
+        assert!(wal.append(&enqueue("q", 100, "after")).is_err());
+        drop(wal);
+        let (_, replayed, summary) = Wal::open(cfg).unwrap();
+        assert_eq!(replayed.len(), 5, "only confirmed appends replay");
+        assert_eq!(summary.torn_entries_dropped, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn power_failure_respects_fsync_policy() {
+        // EveryWrite: nothing confirmed is lost.
+        let dir = temp_dir("power-every");
+        let cfg = WalConfig::new(&dir).fsync(FsyncPolicy::EveryWrite);
+        let (wal, _, _) = Wal::open(cfg.clone()).unwrap();
+        for i in 0..8u64 {
+            wal.append(&enqueue("q", i, "durable")).unwrap();
+        }
+        wal.simulate_power_failure().unwrap();
+        drop(wal);
+        let (_, replayed, _) = Wal::open(cfg).unwrap();
+        assert_eq!(replayed.len(), 8);
+        let _ = fs::remove_dir_all(&dir);
+
+        // Off: the whole unsynced tail is lost.
+        let dir = temp_dir("power-off");
+        let cfg = WalConfig::new(&dir).fsync(FsyncPolicy::Off);
+        let (wal, _, _) = Wal::open(cfg.clone()).unwrap();
+        for i in 0..8u64 {
+            wal.append(&enqueue("q", i, "volatile")).unwrap();
+        }
+        wal.simulate_power_failure().unwrap();
+        drop(wal);
+        let (_, replayed, _) = Wal::open(cfg).unwrap();
+        assert!(replayed.is_empty(), "unsynced appends do not survive power loss");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropped_fsyncs_lose_the_lying_window_on_power_failure() {
+        let dir = temp_dir("dropfsync");
+        let cfg = WalConfig::new(&dir).fsync(FsyncPolicy::EveryWrite);
+        let (wal, _, _) = Wal::open(cfg.clone()).unwrap();
+        for i in 0..4u64 {
+            wal.append(&enqueue("q", i, "synced")).unwrap();
+        }
+        wal.inject_drop_fsyncs(3);
+        for i in 4..7u64 {
+            wal.append(&enqueue("q", i, "lied-about")).unwrap();
+        }
+        assert_eq!(wal.stats().fsyncs_dropped, 3);
+        wal.simulate_power_failure().unwrap();
+        drop(wal);
+        let (_, replayed, _) = Wal::open(cfg).unwrap();
+        assert_eq!(replayed.len(), 4, "the dropped-fsync window is lost");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_roll_and_gc_shrink_the_log() {
+        let dir = temp_dir("gc");
+        let cfg = WalConfig::new(&dir)
+            .segment_max_bytes(256)
+            .fsync(FsyncPolicy::Off);
+        let (wal, _, _) = Wal::open(cfg.clone()).unwrap();
+        for i in 0..40u64 {
+            wal.append(&enqueue("q", i, "padpadpadpadpad")).unwrap();
+        }
+        let boundary = wal.begin_checkpoint().unwrap();
+        wal.append(&WalRecord::Checkpoint {
+            queue: "q".into(),
+            decommissioned: false,
+            next_tag: 41,
+            pending: vec![(40, "x".into(), "live".into(), 0, false)],
+            dead: vec![],
+        })
+        .unwrap();
+        wal.sync().unwrap();
+        let removed = wal.gc_before(boundary).unwrap();
+        assert!(removed >= 1);
+        drop(wal);
+        let (_, replayed, summary) = Wal::open(cfg).unwrap();
+        assert_eq!(summary.segments_scanned, 1, "only the checkpoint segment survives");
+        assert!(matches!(replayed[0], WalRecord::Checkpoint { .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

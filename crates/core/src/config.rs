@@ -2,7 +2,42 @@
 
 use crate::deps::DepSpace;
 use crate::semantics::DeliveryMode;
+use std::path::PathBuf;
 use std::time::Duration;
+use synapse_broker::FsyncPolicy;
+
+/// The node's durability plane: where (and whether) the broker WAL and
+/// version-store snapshots live.
+///
+/// Durability is off by default (`dir: None`) — the memory-only posture of
+/// the original reproduction, whose hot paths pay only an `Option` branch
+/// for the plane's existence. Setting a directory turns on both halves:
+/// the broker queues log to `<dir>/wal` and the node's version-store
+/// snapshots go to `<dir>/snapshots`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Root directory of the durability plane; `None` = memory-only.
+    pub dir: Option<PathBuf>,
+    /// Broker WAL fsync policy.
+    pub fsync: FsyncPolicy,
+    /// Broker WAL segment roll threshold.
+    pub segment_max_bytes: u64,
+    /// Snapshot the version stores after this many subscriber-processed
+    /// messages (driver-clocked, so runs are deterministic under a pinned
+    /// seed; see DESIGN.md). `None` = only explicit snapshots.
+    pub snapshot_every: Option<u64>,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            dir: None,
+            fsync: FsyncPolicy::Interval(64),
+            segment_max_bytes: 256 << 10,
+            snapshot_every: Some(256),
+        }
+    }
+}
 
 /// Retry/backoff policy for transient failures across the replication
 /// pipeline (broker publishes, subscriber processing).
@@ -106,6 +141,8 @@ pub struct SynapseConfig {
     /// plain atomic bumps); this flag only gates the ring, turning each
     /// push into a single relaxed load when off.
     pub telemetry_enabled: bool,
+    /// The durability plane (off by default).
+    pub durability: DurabilityConfig,
 }
 
 impl SynapseConfig {
@@ -124,6 +161,7 @@ impl SynapseConfig {
             bootstrap_chunk_size: 64,
             bootstrap_drain_timeout: Duration::from_secs(30),
             telemetry_enabled: true,
+            durability: DurabilityConfig::default(),
         }
     }
 
@@ -193,6 +231,26 @@ impl SynapseConfig {
         self.telemetry_enabled = enabled;
         self
     }
+
+    /// Turns on the durability plane rooted at `dir` (broker WAL under
+    /// `<dir>/wal`, version-store snapshots under `<dir>/snapshots`).
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durability.dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the broker WAL fsync policy.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.durability.fsync = policy;
+        self
+    }
+
+    /// Sets the snapshot cadence in subscriber-processed messages
+    /// (`None` = only explicit snapshots).
+    pub fn snapshot_every(mut self, messages: Option<u64>) -> Self {
+        self.durability.snapshot_every = messages;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +266,9 @@ mod tests {
         assert!(c.telemetry_enabled);
         assert_eq!(c.bootstrap_chunk_size, 64);
         assert_eq!(c.bootstrap_drain_timeout, Duration::from_secs(30));
+        assert!(c.durability.dir.is_none(), "durability is off by default");
+        assert_eq!(c.durability.fsync, FsyncPolicy::Interval(64));
+        assert_eq!(c.durability.snapshot_every, Some(256));
     }
 
     #[test]
@@ -235,8 +296,17 @@ mod tests {
             .wait_timeout(None)
             .bootstrap_chunk(16)
             .bootstrap_drain_timeout(Duration::from_millis(250))
-            .telemetry(false);
+            .telemetry(false)
+            .durable("/tmp/analytics-durability")
+            .fsync(FsyncPolicy::EveryWrite)
+            .snapshot_every(Some(32));
         assert!(!c.telemetry_enabled);
+        assert_eq!(
+            c.durability.dir.as_deref(),
+            Some(std::path::Path::new("/tmp/analytics-durability"))
+        );
+        assert_eq!(c.durability.fsync, FsyncPolicy::EveryWrite);
+        assert_eq!(c.durability.snapshot_every, Some(32));
         assert_eq!(c.subscriber_mode, DeliveryMode::Weak);
         assert_eq!(c.subscriber_workers, 8);
         assert_eq!(c.queue_max_len, Some(1000));

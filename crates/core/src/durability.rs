@@ -1,0 +1,359 @@
+//! Node-level durability: periodic version-store snapshots.
+//!
+//! The broker WAL makes queue state recoverable; this module covers the
+//! other half of a node's soft state — its publisher- and subscriber-side
+//! version stores (dependency counters, freshness marks, and the
+//! bootstrap watermarks stored as versions under reserved keys). A
+//! [`NodeSnapshot`] is a full dump of both stores plus the broker WAL
+//! position at capture time, so recovery is: load the latest snapshot,
+//! then let WAL replay and watermark-resumed bootstrap close the gap
+//! between the snapshot and the crash.
+//!
+//! # On-disk format
+//!
+//! One file per snapshot, `state-<seq>.snap`, written atomically: encode
+//! to `state-<seq>.snap.tmp`, fsync, rename, fsync again — a crash
+//! mid-write leaves a `.tmp` that [`SnapshotStore::load_latest`] ignores,
+//! never a half-readable snapshot. The body reuses the broker WAL codec
+//! (length-prefixed little-endian fields) and is covered by a whole-body
+//! CRC32, so a corrupted snapshot is skipped in favor of the next-older
+//! valid one rather than trusted.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use synapse_broker::wal::{crc32, put_u32, put_u64, ByteReader};
+use synapse_broker::LogPos;
+
+const SNAPSHOT_MAGIC: &[u8; 8] = b"SYNSNAP1";
+
+/// A point-in-time image of one node's version state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeSnapshot {
+    /// Monotonic snapshot sequence number (for file naming and pruning).
+    pub seq: u64,
+    /// Broker WAL position when the snapshot was captured; the log tail
+    /// from here forward is what recovery still has to replay.
+    pub wal_pos: LogPos,
+    /// Publisher-store dump: `(key, ops, version)`.
+    pub pub_entries: Vec<(u64, u64, u64)>,
+    /// Subscriber-store dump: `(key, ops, version)` — includes the
+    /// bootstrap watermarks, which is what lets an interrupted bootstrap
+    /// resume as a delta replay after restart.
+    pub sub_entries: Vec<(u64, u64, u64)>,
+}
+
+fn put_entries(out: &mut Vec<u8>, entries: &[(u64, u64, u64)]) {
+    put_u32(out, entries.len() as u32);
+    for (key, ops, version) in entries {
+        put_u64(out, *key);
+        put_u64(out, *ops);
+        put_u64(out, *version);
+    }
+}
+
+fn take_entries(r: &mut ByteReader<'_>, cap: usize) -> Option<Vec<(u64, u64, u64)>> {
+    let n = r.take_u32()? as usize;
+    // A corrupt count must not OOM: each entry needs 24 bytes.
+    if n > cap {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((r.take_u64()?, r.take_u64()?, r.take_u64()?));
+    }
+    Some(out)
+}
+
+impl NodeSnapshot {
+    fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(32 + 24 * (self.pub_entries.len() + self.sub_entries.len()));
+        put_u64(&mut body, self.seq);
+        put_u64(&mut body, self.wal_pos.segment);
+        put_u64(&mut body, self.wal_pos.offset);
+        put_entries(&mut body, &self.pub_entries);
+        put_entries(&mut body, &self.sub_entries);
+        let mut out = Vec::with_capacity(body.len() + 12);
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        put_u32(&mut out, crc32(&body));
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<NodeSnapshot> {
+        let body = bytes.strip_prefix(SNAPSHOT_MAGIC)?;
+        let mut r = ByteReader::new(body);
+        let crc = r.take_u32()?;
+        if crc32(&body[4..]) != crc {
+            return None;
+        }
+        let seq = r.take_u64()?;
+        let wal_pos = LogPos {
+            segment: r.take_u64()?,
+            offset: r.take_u64()?,
+        };
+        let cap = bytes.len() / 24 + 1;
+        let snapshot = NodeSnapshot {
+            seq,
+            wal_pos,
+            pub_entries: take_entries(&mut r, cap)?,
+            sub_entries: take_entries(&mut r, cap)?,
+        };
+        if r.remaining() != 0 {
+            return None;
+        }
+        Some(snapshot)
+    }
+}
+
+/// Counters over a [`SnapshotStore`]'s lifetime.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Snapshots persisted successfully.
+    pub persisted: u64,
+    /// Persists aborted by the armed mid-write fault.
+    pub interrupted: u64,
+    /// Corrupt or torn snapshot files skipped during load.
+    pub skipped_corrupt: u64,
+}
+
+/// Directory of atomic, CRC-covered snapshot files.
+pub struct SnapshotStore {
+    dir: PathBuf,
+    next_seq: AtomicU64,
+    /// Crash fault: the next persist writes a partial `.tmp` and errors
+    /// before the rename — the snapshot never becomes visible.
+    interrupt_next: AtomicBool,
+    persisted: AtomicU64,
+    interrupted: AtomicU64,
+    skipped_corrupt: AtomicU64,
+}
+
+fn parse_seq(name: &str) -> Option<u64> {
+    name.strip_prefix("state-")?
+        .strip_suffix(".snap")?
+        .parse()
+        .ok()
+}
+
+impl SnapshotStore {
+    /// Opens (or creates) the snapshot directory. Stale `.tmp` files from
+    /// interrupted persists are removed; the next sequence number resumes
+    /// past the highest existing snapshot.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<SnapshotStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut max_seq = 0u64;
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let Ok(name) = entry.file_name().into_string() else {
+                continue;
+            };
+            if name.ends_with(".tmp") {
+                let _ = fs::remove_file(entry.path());
+            } else if let Some(seq) = parse_seq(&name) {
+                max_seq = max_seq.max(seq);
+            }
+        }
+        Ok(SnapshotStore {
+            dir,
+            next_seq: AtomicU64::new(max_seq + 1),
+            interrupt_next: AtomicBool::new(false),
+            persisted: AtomicU64::new(0),
+            interrupted: AtomicU64::new(0),
+            skipped_corrupt: AtomicU64::new(0),
+        })
+    }
+
+    /// The snapshot directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Persists a snapshot atomically (tmp + fsync + rename) and prunes
+    /// every older snapshot file. The store assigns the sequence number;
+    /// the caller's `snapshot.seq` is overwritten. Returns the assigned
+    /// sequence.
+    pub fn persist(&self, snapshot: &NodeSnapshot) -> io::Result<u64> {
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        let mut snapshot = snapshot.clone();
+        snapshot.seq = seq;
+        let bytes = snapshot.encode();
+        let final_path = self.dir.join(format!("state-{seq}.snap"));
+        let tmp_path = self.dir.join(format!("state-{seq}.snap.tmp"));
+
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&tmp_path)?;
+        // Mid-write crash fault: leave a torn `.tmp` behind and fail —
+        // the rename never happens, so the older snapshot stays latest.
+        if self.interrupt_next.swap(false, Ordering::AcqRel) {
+            let cut = (bytes.len() / 2).max(1);
+            file.write_all(&bytes[..cut])?;
+            file.sync_all()?;
+            self.interrupted.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::other("snapshot persist interrupted by injected fault"));
+        }
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp_path, &final_path)?;
+        // Fsync the directory so the rename itself is durable.
+        if let Ok(dir) = File::open(&self.dir) {
+            let _ = dir.sync_all();
+        }
+        self.persisted.fetch_add(1, Ordering::Relaxed);
+
+        // Prune: everything older than the snapshot just written.
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let Ok(name) = entry.file_name().into_string() else {
+                continue;
+            };
+            if parse_seq(&name).is_some_and(|s| s < seq) {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(seq)
+    }
+
+    /// Loads the newest valid snapshot, or `None` on a fresh directory.
+    /// Torn/corrupt files (bad magic, bad CRC, truncated body) are
+    /// skipped — load falls back to the next-older valid snapshot.
+    pub fn load_latest(&self) -> io::Result<Option<NodeSnapshot>> {
+        let mut seqs: Vec<u64> = fs::read_dir(&self.dir)?
+            .filter_map(|entry| parse_seq(&entry.ok()?.file_name().into_string().ok()?))
+            .collect();
+        seqs.sort_unstable_by(|a, b| b.cmp(a));
+        for seq in seqs {
+            let path = self.dir.join(format!("state-{seq}.snap"));
+            let bytes = fs::read(&path)?;
+            match NodeSnapshot::decode(&bytes) {
+                Some(snapshot) => return Ok(Some(snapshot)),
+                None => {
+                    self.skipped_corrupt.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Crash fault: the next [`SnapshotStore::persist`] writes a partial
+    /// temp file and errors before the rename, leaving the previous
+    /// snapshot as the latest.
+    pub fn inject_interrupt_next(&self) {
+        self.interrupt_next.store(true, Ordering::Release);
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            persisted: self.persisted.load(Ordering::Relaxed),
+            interrupted: self.interrupted.load(Ordering::Relaxed),
+            skipped_corrupt: self.skipped_corrupt.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn temp_dir(label: &str) -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "synapse-snap-{label}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample() -> NodeSnapshot {
+        NodeSnapshot {
+            seq: 0,
+            wal_pos: LogPos { segment: 3, offset: 911 },
+            pub_entries: vec![(1, 10, 10), (2, 5, 0)],
+            sub_entries: vec![(1, 9, 0), (77, 0, 42)],
+        }
+    }
+
+    #[test]
+    fn snapshot_encoding_round_trips() {
+        let snap = sample();
+        let encoded = snap.encode();
+        assert_eq!(NodeSnapshot::decode(&encoded), Some(snap));
+        // Any truncation is rejected, never a panic.
+        for cut in 0..encoded.len() {
+            assert_eq!(NodeSnapshot::decode(&encoded[..cut]), None);
+        }
+        // A flipped body byte fails the CRC.
+        let mut corrupt = encoded.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        assert_eq!(NodeSnapshot::decode(&corrupt), None);
+    }
+
+    #[test]
+    fn persist_load_and_prune() {
+        let dir = temp_dir("roundtrip");
+        let store = SnapshotStore::open(&dir).unwrap();
+        assert_eq!(store.load_latest().unwrap(), None);
+        let seq1 = store.persist(&sample()).unwrap();
+        let mut newer = sample();
+        newer.pub_entries.push((99, 1, 1));
+        let seq2 = store.persist(&newer).unwrap();
+        assert!(seq2 > seq1);
+        let loaded = store.load_latest().unwrap().unwrap();
+        assert_eq!(loaded.seq, seq2);
+        assert_eq!(loaded.pub_entries.len(), 3, "latest snapshot wins");
+        // The older file was pruned.
+        let count = fs::read_dir(&dir).unwrap().count();
+        assert_eq!(count, 1);
+        // A reopened store resumes the sequence past the survivor.
+        let reopened = SnapshotStore::open(&dir).unwrap();
+        let seq3 = reopened.persist(&sample()).unwrap();
+        assert!(seq3 > seq2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_persist_keeps_the_previous_snapshot() {
+        let dir = temp_dir("interrupt");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let seq1 = store.persist(&sample()).unwrap();
+        store.inject_interrupt_next();
+        let mut newer = sample();
+        newer.sub_entries.clear();
+        assert!(store.persist(&newer).is_err(), "interrupted persist fails");
+        assert_eq!(store.stats().interrupted, 1);
+        let loaded = store.load_latest().unwrap().unwrap();
+        assert_eq!(loaded.seq, seq1, "previous snapshot is still latest");
+        assert_eq!(loaded.sub_entries, sample().sub_entries);
+        // The torn .tmp is swept on reopen and never loaded.
+        let reopened = SnapshotStore::open(&dir).unwrap();
+        assert_eq!(reopened.load_latest().unwrap().unwrap().seq, seq1);
+        assert!(fs::read_dir(&dir)
+            .unwrap()
+            .all(|e| !e.unwrap().file_name().to_string_lossy().ends_with(".tmp")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_older_valid_snapshot() {
+        let dir = temp_dir("fallback");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let seq1 = store.persist(&sample()).unwrap();
+        // Forge a newer file with garbage contents (prune has removed
+        // older files, so write it by hand past the live one).
+        fs::write(dir.join(format!("state-{}.snap", seq1 + 5)), b"garbage").unwrap();
+        let loaded = store.load_latest().unwrap().unwrap();
+        assert_eq!(loaded.seq, seq1, "corrupt newer file is skipped");
+        assert_eq!(store.stats().skipped_corrupt, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -35,6 +35,7 @@ pub mod api;
 pub mod config;
 pub mod context;
 pub mod deps;
+pub mod durability;
 pub mod message;
 pub mod migration;
 pub mod node;
@@ -45,7 +46,8 @@ pub mod subscriber;
 pub mod testing;
 
 pub use api::{Publication, Subscription};
-pub use config::{RetryPolicy, SynapseConfig};
+pub use config::{DurabilityConfig, RetryPolicy, SynapseConfig};
+pub use durability::{NodeSnapshot, SnapshotStats, SnapshotStore};
 pub use context::{add_read_deps, add_write_deps, in_scope, with_scope, with_user_scope};
 pub use deps::{normalize_dep_sets, DepInterner, DepName, DepSpace};
 pub use message::{Operation, WriteMessage};

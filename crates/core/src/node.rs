@@ -4,18 +4,20 @@ use crate::api::{Publication, Subscription};
 use crate::config::SynapseConfig;
 use crate::context::{self, TxBuffer};
 use crate::deps::DepName;
+use crate::durability::{NodeSnapshot, SnapshotStore};
 use crate::publisher::{Publisher, PublisherStats};
 use crate::semantics::DeliveryMode;
 use crate::subscriber::{ProcessError, Subscriber, SubscriberStats};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use synapse_broker::{Broker, Delivery, QueueConfig, QueueState};
+use synapse_broker::{Broker, Delivery, QueueConfig, QueueState, RecoveryReport, WalConfig};
 use synapse_db::DbError;
 use synapse_model::Id;
 use synapse_orm::{Adapter, Orm, OrmError};
-use synapse_telemetry::{Telemetry, TelemetrySnapshot};
+use synapse_telemetry::{mono_nanos, Telemetry, TelemetrySnapshot};
 use synapse_versionstore::{DepKey, GenerationStore, VersionStore};
 
 /// Coarse phase of the bootstrap state machine — `Copy`-cheap so it can
@@ -183,6 +185,11 @@ pub struct SynapseNode {
     bootstraps: AtomicU64,
     /// Bootstrap state machine, probe, and counters.
     bootstrap: BootstrapTracker,
+    /// Version-store snapshot store, when the durability plane is on.
+    snapshots: Option<SnapshotStore>,
+    /// Subscriber-processed count at the last persisted snapshot — the
+    /// reference point of the driver-clocked snapshot cadence.
+    snapshot_marker: AtomicU64,
 }
 
 /// One node's counters across the whole pipeline, aggregated for fault
@@ -218,6 +225,60 @@ impl SynapseNode {
         let subscriptions = Arc::new(RwLock::new(Vec::new()));
         let publisher_modes = Arc::new(RwLock::new(HashMap::new()));
         let telemetry = Arc::new(Telemetry::new(config.telemetry_enabled));
+
+        // Recover version state *before* any traffic: with the durability
+        // plane on, load the latest snapshot into both stores so causal
+        // waits and bootstrap watermarks see pre-crash state. The broker
+        // has already replayed its WAL by this point (Broker::open_durable
+        // runs before nodes are built), so this pass completes the node's
+        // half of recovery. Store errors degrade to a memory-only node
+        // with a counter raised, never a panic.
+        let snapshots = config.durability.dir.as_ref().and_then(|root| {
+            let t0 = mono_nanos();
+            let counters = telemetry.counters();
+            let store = match SnapshotStore::open(root.join("snapshots")) {
+                Ok(store) => store,
+                Err(_) => {
+                    counters.counter("recovery.snapshot_open_errors").bump();
+                    return None;
+                }
+            };
+            match store.load_latest() {
+                Ok(Some(snapshot)) => {
+                    let entries =
+                        (snapshot.pub_entries.len() + snapshot.sub_entries.len()) as u64;
+                    let _ = pub_store.load_dump(&snapshot.pub_entries);
+                    let _ = sub_store.load_dump(&snapshot.sub_entries);
+                    counters.counter("recovery.snapshots_loaded").bump();
+                    counters.counter("recovery.snapshot_entries").add(entries);
+                }
+                Ok(None) => {}
+                Err(_) => counters.counter("recovery.snapshot_load_errors").bump(),
+            }
+            let skipped = store.stats().skipped_corrupt;
+            if skipped > 0 {
+                counters
+                    .counter("recovery.snapshots_skipped_corrupt")
+                    .add(skipped);
+            }
+            telemetry.record_recovery(mono_nanos().saturating_sub(t0));
+            Some(store)
+        });
+        if let Some(report) = broker.recovery_report() {
+            let counters = telemetry.counters();
+            counters
+                .counter("recovery.wal_replayed_entries")
+                .add(report.replayed_entries);
+            counters
+                .counter("recovery.wal_torn_entries_dropped")
+                .add(report.torn_entries_dropped);
+            counters
+                .counter("recovery.queues_recovered")
+                .add(report.queues_recovered);
+            counters
+                .counter("recovery.messages_recovered")
+                .add(report.messages_recovered);
+        }
 
         broker.declare_queue(
             &config.app,
@@ -266,6 +327,8 @@ impl SynapseNode {
             telemetry,
             bootstraps: AtomicU64::new(0),
             bootstrap: BootstrapTracker::default(),
+            snapshots,
+            snapshot_marker: AtomicU64::new(0),
         })
     }
 
@@ -457,9 +520,86 @@ impl SynapseNode {
             extra.push((format!("{name}.waits"), timing.waits));
             extra.push((format!("{name}.wait_nanos"), timing.wait_nanos));
         }
+        // Durability-plane counters: live WAL accounting from the broker
+        // and the snapshot store's lifetime counters. (The `recovery.*`
+        // counters were bumped into the registry at construction, so they
+        // ride in through the registry snapshot.)
+        if let Some(ws) = self.broker.wal_stats() {
+            extra.push(("wal.appends".into(), ws.appends));
+            extra.push(("wal.bytes_appended".into(), ws.bytes_appended));
+            extra.push(("wal.fsyncs".into(), ws.fsyncs));
+            extra.push(("wal.segments_rolled".into(), ws.segments_rolled));
+            extra.push(("wal.segments_removed".into(), ws.segments_removed));
+        }
+        if let Some(store) = &self.snapshots {
+            let s = store.stats();
+            extra.push(("durability.snapshots_persisted".into(), s.persisted));
+            extra.push(("durability.snapshots_interrupted".into(), s.interrupted));
+        }
         snap.counters.extend(extra);
         snap.counters.sort();
         snap
+    }
+
+    /// The version-store snapshot store, when the durability plane is on
+    /// (fault hooks and lifetime counters live there).
+    pub fn snapshot_store(&self) -> Option<&SnapshotStore> {
+        self.snapshots.as_ref()
+    }
+
+    /// Persists a [`NodeSnapshot`] of both version stores — including the
+    /// bootstrap watermarks riding in the subscriber store — plus the
+    /// broker's current WAL position. Returns the assigned sequence, or
+    /// `Ok(0)` as a no-op when durability is off (mirroring
+    /// [`Broker::checkpoint`]).
+    pub fn persist_snapshot(&self) -> io::Result<u64> {
+        let Some(store) = &self.snapshots else {
+            return Ok(0);
+        };
+        let pub_entries = self
+            .pub_store
+            .dump()
+            .map_err(|e| io::Error::other(format!("pub store dump failed: {e:?}")))?;
+        let sub_entries = self
+            .sub_store
+            .dump()
+            .map_err(|e| io::Error::other(format!("sub store dump failed: {e:?}")))?;
+        let snapshot = NodeSnapshot {
+            seq: 0, // assigned by the store
+            wal_pos: self.broker.wal_position().unwrap_or_default(),
+            pub_entries,
+            sub_entries,
+        };
+        store.persist(&snapshot)
+    }
+
+    /// Driver-clocked snapshot cadence: persists a snapshot once the
+    /// subscriber has processed `durability.snapshot_every` more messages
+    /// since the last one. Message-count-based rather than wall-clock, so
+    /// seeded runs snapshot at identical points (see DESIGN.md). Returns
+    /// the persisted sequence, if one was taken; persist errors raise a
+    /// counter and leave the marker unmoved, so the next call retries.
+    pub fn maybe_snapshot(&self) -> Option<u64> {
+        let every = self.config.durability.snapshot_every?;
+        self.snapshots.as_ref()?;
+        let processed = self.subscriber.stats().messages_processed;
+        let marker = self.snapshot_marker.load(Ordering::Relaxed);
+        if processed.saturating_sub(marker) < every.max(1) {
+            return None;
+        }
+        match self.persist_snapshot() {
+            Ok(seq) => {
+                self.snapshot_marker.store(processed, Ordering::Relaxed);
+                Some(seq)
+            }
+            Err(_) => {
+                self.telemetry
+                    .counters()
+                    .counter("durability.snapshot_errors")
+                    .bump();
+                None
+            }
+        }
     }
 
     /// Aggregated pipeline counters for fault accounting.
@@ -785,6 +925,24 @@ impl Ecosystem {
     /// Creates an empty ecosystem with its own broker.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an ecosystem whose broker logs to a durable WAL rooted at
+    /// `cfg.dir`, replaying any existing log first — the restart entry
+    /// point of the durability plane. Returns the recovery report so
+    /// callers can assert exactly what the restart recovered.
+    pub fn new_durable(cfg: WalConfig) -> io::Result<(Ecosystem, RecoveryReport)> {
+        let (broker, report) = Broker::open_durable(cfg)?;
+        Ok((Ecosystem::with_broker(broker), report))
+    }
+
+    /// Creates an ecosystem around an existing broker (one opened durable
+    /// by the caller, or shared with another harness).
+    pub fn with_broker(broker: Broker) -> Ecosystem {
+        Ecosystem {
+            broker,
+            nodes: RwLock::new(BTreeMap::new()),
+        }
     }
 
     /// The shared broker.

@@ -16,6 +16,7 @@
 
 use crate::engine::{Capabilities, Engine, EngineStats};
 use crate::error::DbError;
+use crate::faults::DbFaults;
 use crate::latency::LatencyModel;
 use crate::query::{Filter as Query_Filter, Query, QueryResult, Row};
 use crate::relational::sort_rows;
@@ -168,6 +169,10 @@ pub struct ColumnarDb {
     latency: LatencyModel,
     families: Mutex<HashMap<String, ColumnFamily>>,
     clock: AtomicU64,
+    /// Fault panel: compaction stalls queue the write path behind a
+    /// simulated background compaction (the LSM failure class where
+    /// compaction saturates the disk and foreground writes back up).
+    faults: DbFaults,
     reads: AtomicU64,
     writes: AtomicU64,
 }
@@ -180,9 +185,15 @@ impl ColumnarDb {
             latency,
             families: Mutex::new(HashMap::new()),
             clock: AtomicU64::new(1),
+            faults: DbFaults::new(),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
         }
+    }
+
+    /// The engine's fault panel (shared state with every clone).
+    pub fn faults(&self) -> DbFaults {
+        self.faults.clone()
     }
 
     /// Number of flushes and compactions performed so far (for tests and
@@ -365,6 +376,10 @@ impl Engine for ColumnarDb {
         if q.is_write() {
             self.writes.fetch_add(1, Ordering::Relaxed);
             self.latency.charge_write();
+            // Stall behind the simulated compaction *before* taking the
+            // engine lock, as a real write queues behind compaction I/O,
+            // not behind other clients.
+            self.faults.gate_compaction();
         } else if q.is_read() {
             self.reads.fetch_add(1, Ordering::Relaxed);
             self.latency.charge_read();
@@ -582,6 +597,50 @@ mod tests {
         assert!(db
             .execute(&Query::Batch(vec![Query::Batch(vec![])]))
             .is_err());
+    }
+
+    #[test]
+    fn compaction_stalls_charge_writes_then_expire() {
+        let db = db();
+        db.faults()
+            .inject_compaction_stalls(2, std::time::Duration::from_micros(400));
+        let start = std::time::Instant::now();
+        for i in 0..4u64 {
+            db.execute(&Query::Insert {
+                table: "t".into(),
+                id: Id(i + 1),
+                row: row(&[("v", Value::Int(i as i64))]),
+            })
+            .unwrap();
+        }
+        assert!(start.elapsed() >= std::time::Duration::from_micros(800));
+        assert_eq!(db.faults().stats().compaction_stalls_charged, 2);
+        assert!(!db.faults().is_armed(), "stall window expired");
+        // Reads never stall and all writes landed despite the stalls.
+        assert_eq!(select_all(&db, "t").len(), 4);
+    }
+
+    #[test]
+    fn compaction_stall_schedule_is_deterministic() {
+        // Same write schedule twice: identical charge counts both runs.
+        let observed: Vec<u64> = (0..2)
+            .map(|_| {
+                let db = db();
+                db.faults()
+                    .inject_compaction_stalls(3, std::time::Duration::from_micros(50));
+                for i in 0..5u64 {
+                    db.execute(&Query::Insert {
+                        table: "t".into(),
+                        id: Id(i + 1),
+                        row: row(&[("v", Value::Int(i as i64))]),
+                    })
+                    .unwrap();
+                }
+                db.faults().stats().compaction_stalls_charged
+            })
+            .collect();
+        assert_eq!(observed[0], observed[1]);
+        assert_eq!(observed[0], 3, "countdown fires exactly, never probabilistically");
     }
 
     #[test]

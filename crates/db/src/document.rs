@@ -8,6 +8,7 @@
 
 use crate::engine::{Capabilities, Engine, EngineStats};
 use crate::error::DbError;
+use crate::faults::DbFaults;
 use crate::latency::LatencyModel;
 use crate::query::{Query, QueryResult, Row};
 use crate::relational::sort_rows;
@@ -26,6 +27,10 @@ pub struct DocumentDb {
     caps: Capabilities,
     latency: LatencyModel,
     collections: Mutex<HashMap<String, Collection>>,
+    /// Fault panel: a write-concern downgrade acks inserts/updates
+    /// without applying them (the MongoDB w=0 fire-and-forget posture,
+    /// where a success reply only means "the server took the message").
+    faults: DbFaults,
     reads: AtomicU64,
     writes: AtomicU64,
 }
@@ -37,9 +42,15 @@ impl DocumentDb {
             caps,
             latency,
             collections: Mutex::new(HashMap::new()),
+            faults: DbFaults::new(),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
         }
+    }
+
+    /// The engine's fault panel (shared state with every clone).
+    pub fn faults(&self) -> DbFaults {
+        self.faults.clone()
     }
 }
 
@@ -67,6 +78,12 @@ impl Engine for DocumentDb {
                 Ok(QueryResult::Unit)
             }
             Query::Insert { table, id, row } => {
+                // Write-concern downgrade: ack the insert without
+                // applying it — with w=0 the reply carries no duplicate
+                // check either, the client just hears "ok".
+                if self.faults.gate_write_concern() {
+                    return Ok(QueryResult::Rows(vec![(*id, row.clone())]));
+                }
                 // Document stores auto-create collections on first write.
                 let coll = colls.entry(table.clone()).or_default();
                 if coll.docs.contains_key(id) {
@@ -85,6 +102,9 @@ impl Engine for DocumentDb {
                 unset,
             } => {
                 let coll = colls.entry(table.clone()).or_default();
+                // Write-concern downgrade: echo what the update *would*
+                // have written without persisting any of it.
+                let downgraded = self.faults.gate_write_concern();
                 let mut written = Vec::new();
                 let ids: Vec<Id> = coll
                     .docs
@@ -94,13 +114,17 @@ impl Engine for DocumentDb {
                     .collect();
                 for id in ids {
                     let doc = coll.docs.get_mut(&id).expect("id just matched");
+                    let mut image = doc.clone();
                     for (k, v) in set {
-                        doc.insert(k.clone(), v.clone());
+                        image.insert(k.clone(), v.clone());
                     }
                     for k in unset {
-                        doc.remove(k);
+                        image.remove(k);
                     }
-                    written.push((id, doc.clone()));
+                    if !downgraded {
+                        *doc = image.clone();
+                    }
+                    written.push((id, image));
                 }
                 written.sort_by_key(|(id, _)| *id);
                 Ok(QueryResult::Rows(written))
@@ -206,6 +230,91 @@ mod tests {
             .iter()
             .map(|(k, v)| ((*k).to_owned(), v.clone()))
             .collect()
+    }
+
+    #[test]
+    fn write_concern_downgrade_acks_without_applying() {
+        let db = db();
+        db.execute(&Query::Insert {
+            table: "u".into(),
+            id: Id(1),
+            row: doc(&[("a", 1.into())]),
+        })
+        .unwrap();
+        db.faults().inject_write_concern_downgrade(2);
+        // Downgraded insert: success reply, nothing stored.
+        let res = db
+            .execute(&Query::Insert {
+                table: "u".into(),
+                id: Id(2),
+                row: doc(&[("a", 2.into())]),
+            })
+            .unwrap();
+        assert!(matches!(res, QueryResult::Rows(ref rows) if rows.len() == 1));
+        // Downgraded update: echoes the would-be image, persists nothing.
+        let res = db
+            .execute(&Query::Update {
+                table: "u".into(),
+                filter: Filter::ById(Id(1)),
+                set: doc(&[("a", 99.into())]),
+                unset: vec![],
+            })
+            .unwrap();
+        match res {
+            QueryResult::Rows(rows) => assert_eq!(rows[0].1["a"], Value::Int(99)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The window expired: reads see only the pre-downgrade state.
+        let n = db
+            .execute(&Query::Count {
+                table: "u".into(),
+                filter: Filter::All,
+            })
+            .unwrap()
+            .into_count()
+            .unwrap();
+        assert_eq!(n, 1, "downgraded insert was never applied");
+        let rows = db
+            .execute(&Query::Select {
+                table: "u".into(),
+                filter: Filter::ById(Id(1)),
+                order: None,
+                limit: None,
+            })
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(rows[0].1["a"], Value::Int(1), "downgraded update was lost");
+        assert_eq!(db.faults().stats().writes_ack_downgraded, 2);
+        assert!(!db.faults().is_armed());
+    }
+
+    #[test]
+    fn write_concern_downgrade_schedule_is_deterministic() {
+        // Same write schedule twice: identical surviving documents.
+        let observed: Vec<u64> = (0..2)
+            .map(|_| {
+                let db = db();
+                db.faults().inject_write_concern_downgrade(2);
+                for i in 0..5u64 {
+                    db.execute(&Query::Insert {
+                        table: "u".into(),
+                        id: Id(i + 1),
+                        row: doc(&[("v", Value::Int(i as i64))]),
+                    })
+                    .unwrap();
+                }
+                db.execute(&Query::Count {
+                    table: "u".into(),
+                    filter: Filter::All,
+                })
+                .unwrap()
+                .into_count()
+                .unwrap()
+            })
+            .collect();
+        assert_eq!(observed[0], observed[1]);
+        assert_eq!(observed[0], 3, "exactly the first two inserts were dropped");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::engine::{Capabilities, Engine, EngineStats};
 use crate::error::DbError;
+use crate::faults::DbFaults;
 use crate::latency::LatencyModel;
 use crate::query::{Query, QueryResult, Row};
 use crate::relational::sort_rows;
@@ -62,6 +63,10 @@ pub struct GraphDb {
     caps: Capabilities,
     latency: LatencyModel,
     store: Mutex<GraphStore>,
+    /// Fault panel: traversal timeouts fail [`Query::Traverse`] with a
+    /// transient error (the graph failure class where a deep walk blows
+    /// its time budget).
+    faults: DbFaults,
     reads: AtomicU64,
     writes: AtomicU64,
 }
@@ -73,9 +78,15 @@ impl GraphDb {
             caps,
             latency,
             store: Mutex::new(GraphStore::default()),
+            faults: DbFaults::new(),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
         }
+    }
+
+    /// The engine's fault panel (shared state with every clone).
+    pub fn faults(&self) -> DbFaults {
+        self.faults.clone()
     }
 
     /// Total number of (undirected) edges, for tests and stats.
@@ -238,6 +249,11 @@ impl Engine for GraphDb {
                 Ok(QueryResult::Unit)
             }
             Query::Traverse { label, from, depth } => {
+                // Timeout fault: the walk blew its budget. Transient —
+                // the engine recovers by itself, so callers retry.
+                if self.faults.gate_traversal() {
+                    return Err(DbError::Unavailable);
+                }
                 Ok(QueryResult::Ids(store.traverse(label, *from, *depth)))
             }
             Query::Batch(_) => Err(DbError::Unsupported("batches on graph engine")),
@@ -312,6 +328,54 @@ mod tests {
             QueryResult::Ids(ids) => ids,
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn traversal_timeouts_fail_transiently_then_recover() {
+        let db = db();
+        add_user(&db, 1, "a");
+        add_user(&db, 2, "b");
+        friend(&db, 1, 2);
+        db.faults().inject_traversal_timeouts(2);
+        for _ in 0..2 {
+            let res = db.execute(&Query::Traverse {
+                label: "friends".into(),
+                from: Id(1),
+                depth: 1,
+            });
+            assert_eq!(res, Err(DbError::Unavailable));
+        }
+        // The countdown expired: the same traversal now succeeds, and
+        // graph state was never touched by the failures.
+        assert_eq!(traverse(&db, 1, 1), vec![Id(2)]);
+        assert_eq!(db.faults().stats().traversal_timeouts_injected, 2);
+        assert!(!db.faults().is_armed());
+    }
+
+    #[test]
+    fn traversal_timeout_schedule_is_deterministic() {
+        // Same traversal schedule twice: identical error patterns.
+        let observed: Vec<Vec<bool>> = (0..2)
+            .map(|_| {
+                let db = db();
+                add_user(&db, 1, "a");
+                add_user(&db, 2, "b");
+                friend(&db, 1, 2);
+                db.faults().inject_traversal_timeouts(2);
+                (0..4)
+                    .map(|_| {
+                        db.execute(&Query::Traverse {
+                            label: "friends".into(),
+                            from: Id(1),
+                            depth: 1,
+                        })
+                        .is_err()
+                    })
+                    .collect()
+            })
+            .collect();
+        assert_eq!(observed[0], observed[1]);
+        assert_eq!(observed[0], vec![true, true, false, false]);
     }
 
     #[test]

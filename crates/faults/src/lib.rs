@@ -25,12 +25,14 @@
 //! generation, where it is pinned by the seed.
 
 pub mod clock;
+pub mod crash;
 pub mod hook;
 pub mod injector;
 pub mod plan;
 pub mod rng;
 
 pub use clock::FaultClock;
+pub use crash::{CrashEvent, CrashPlan, CrashPoint};
 pub use hook::PhaseHook;
 pub use injector::{Injector, InjectorStats};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, FaultSpec, Side};

@@ -56,6 +56,10 @@ pub struct Telemetry {
     /// Messages whose end-to-end visibility latency was recorded, per
     /// delivery-mode slice — the "counts match delivered messages" anchor.
     delivered: [AtomicU64; MODES],
+    /// Durations of crash-recovery passes (WAL replay + snapshot load),
+    /// in nanoseconds — one recording per restart that had state to
+    /// recover, so the histogram doubles as a restart counter.
+    recovery: Histogram,
 }
 
 impl Telemetry {
@@ -69,6 +73,7 @@ impl Telemetry {
             ring: EventRing::new(ring::DEFAULT_CAPACITY, enabled),
             controllers: ControllerStats::new(),
             delivered: Default::default(),
+            recovery: Histogram::new(),
         }
     }
 
@@ -90,6 +95,17 @@ impl Telemetry {
     /// The per-controller overhead collector (Fig. 12).
     pub fn controllers(&self) -> &ControllerStats {
         &self.controllers
+    }
+
+    /// The recovery-duration histogram: one recording per restart that
+    /// replayed a WAL tail or loaded a snapshot.
+    pub fn recovery_histogram(&self) -> &Histogram {
+        &self.recovery
+    }
+
+    /// Records one crash-recovery pass's duration.
+    pub fn record_recovery(&self, nanos: u64) {
+        self.recovery.record(nanos);
     }
 
     /// Records one stage duration.
@@ -139,6 +155,14 @@ impl Telemetry {
         );
         snap.events = self.ring.len() as u64;
         snap.events_dropped = self.ring.dropped();
+        let recovery = self.recovery.snapshot();
+        if recovery.count > 0 {
+            snap.counters.push(("recovery.passes".into(), recovery.count));
+            snap.counters.push(("recovery.duration_p50_nanos".into(), recovery.p50()));
+            snap.counters.push(("recovery.duration_p99_nanos".into(), recovery.p99()));
+            snap.counters.push(("recovery.duration_total_nanos".into(), recovery.sum));
+            snap.counters.sort();
+        }
         snap
     }
 }
@@ -171,6 +195,24 @@ mod tests {
         assert_eq!(snap.delivered[ModeSlice::Global.index()], 0);
         snap.check_consistency().expect("visible records are consistent");
         assert_eq!(snap.events, 3);
+    }
+
+    #[test]
+    fn recovery_histogram_folds_into_counters() {
+        let t = Telemetry::new(true);
+        let clean = t.snapshot();
+        assert!(
+            clean.counters.iter().all(|(k, _)| !k.starts_with("recovery.")),
+            "no recovery counters before any recovery pass"
+        );
+        t.record_recovery(1_000);
+        t.record_recovery(2_000);
+        let snap = t.snapshot();
+        let get = |k: &str| snap.counters.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        assert_eq!(get("recovery.passes"), Some(2));
+        assert_eq!(get("recovery.duration_total_nanos"), Some(3_000));
+        assert!(get("recovery.duration_p50_nanos").unwrap() >= 1_000);
+        assert_eq!(t.recovery_histogram().count(), 2);
     }
 
     #[test]

@@ -586,6 +586,49 @@ impl VersionStore {
         Ok(())
     }
 
+    /// Bulk-dumps all entries as `(key, ops, version)` — the durability
+    /// plane's snapshot form. Unlike [`VersionStore::snapshot`] (the §4.4
+    /// bootstrap bulk-send, which carries only `ops`), a dump also carries
+    /// each entry's `version`, so freshness marks *and* bootstrap
+    /// watermarks (stored as versions under reserved keys) survive a
+    /// crash-restart. Sorted by key for a deterministic on-disk image.
+    pub fn dump(&self) -> Result<Vec<(DepKey, u64, u64)>, StoreError> {
+        self.check_alive()?;
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let entries = shard.entries.lock();
+            out.extend(entries.iter().map(|(k, e)| (*k, e.ops, e.version)));
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Bulk-loads `(key, ops, version)` triples, keeping the max of each
+    /// field against any existing entry, and wakes waiters on touched
+    /// shards. Max-merge makes the load idempotent and safe to combine
+    /// with live traffic racing in after recovery.
+    pub fn load_dump(&self, entries: &[(DepKey, u64, u64)]) -> Result<(), StoreError> {
+        self.check_alive()?;
+        let routes: Vec<usize> = entries.iter().map(|(k, ..)| self.ring.route(*k)).collect();
+        let mut guards = self.lock_routed(&routes);
+        for ((key, ops, version), shard_idx) in entries.iter().zip(&routes) {
+            let entry = guards[*shard_idx]
+                .as_mut()
+                .expect("routed shard locked")
+                .entry(*key)
+                .or_default();
+            entry.ops = entry.ops.max(*ops);
+            entry.version = entry.version.max(*version);
+        }
+        for (i, guard) in guards.into_iter().enumerate() {
+            if let Some(guard) = guard {
+                drop(guard);
+                self.shards[i].changed.notify_all();
+            }
+        }
+        Ok(())
+    }
+
     /// Clears every counter (generation change, §4.4: subscribers "flush
     /// their version store").
     pub fn flush(&self) -> Result<(), StoreError> {
@@ -859,6 +902,55 @@ mod tests {
         // Shard contents were lost with the kill: the watermark is gone and
         // the caller must restart its copy from scratch.
         assert_eq!(store.latest_version(3).unwrap(), 0);
+    }
+
+    #[test]
+    fn dump_roundtrips_ops_and_versions() {
+        let store = VersionStore::new(4);
+        store.publish_bump(&[(1, true), (2, false)]).unwrap();
+        store.publish_bump(&[(1, true)]).unwrap();
+        store.load_watermark(9, 42).unwrap();
+        let dump = store.dump().unwrap();
+        assert!(dump.windows(2).all(|w| w[0].0 < w[1].0), "sorted by key");
+
+        let restored = VersionStore::new(2);
+        restored.load_dump(&dump).unwrap();
+        assert_eq!(restored.ops(1).unwrap(), 2);
+        assert_eq!(restored.latest_version(1).unwrap(), 2, "versions survive");
+        assert_eq!(restored.ops(2).unwrap(), 1);
+        assert_eq!(
+            restored.latest_version(9).unwrap(),
+            42,
+            "watermarks (stored as versions) survive the round trip"
+        );
+    }
+
+    #[test]
+    fn load_dump_max_merges_both_fields() {
+        let store = VersionStore::single();
+        store.apply(&[1]).unwrap();
+        store.apply(&[1]).unwrap();
+        store.advance_latest(1, 7).unwrap();
+        // Stale dump: neither field regresses.
+        store.load_dump(&[(1, 1, 3)]).unwrap();
+        assert_eq!(store.ops(1).unwrap(), 2);
+        assert_eq!(store.latest_version(1).unwrap(), 7);
+        // Newer dump: both fields advance.
+        store.load_dump(&[(1, 10, 12)]).unwrap();
+        assert_eq!(store.ops(1).unwrap(), 10);
+        assert_eq!(store.latest_version(1).unwrap(), 12);
+    }
+
+    #[test]
+    fn load_dump_wakes_waiters() {
+        let store = Arc::new(VersionStore::new(2));
+        let waiter = {
+            let store = store.clone();
+            thread::spawn(move || store.wait_for(&[(5, 3)], Duration::from_secs(5)).unwrap())
+        };
+        thread::sleep(Duration::from_millis(30));
+        store.load_dump(&[(5, 3, 3)]).unwrap();
+        assert_eq!(waiter.join().unwrap(), WaitOutcome::Ready);
     }
 
     #[test]

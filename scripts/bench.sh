@@ -9,6 +9,9 @@
 #   BENCH_visibility_latency.json  — Fig. 10 staged visibility latency per
 #                                    delivery mode (visibility bin, PR 5),
 #                                    including a full telemetry snapshot
+#   BENCH_recovery.json            — durable-broker recovery time vs WAL
+#                                    tail length, plus the checkpoint-
+#                                    interval sweep (recovery bin, PR 6)
 #
 # Usage:
 #   scripts/bench.sh                           # full run, writes all JSONs
@@ -36,6 +39,7 @@ BASELINE="BENCH_publish_path.baseline.json"
 PUB_OUT="BENCH_publisher_path.json"
 PUB_BASELINE="BENCH_publisher_path.baseline.json"
 VIS_OUT="BENCH_visibility_latency.json"
+REC_OUT="BENCH_recovery.json"
 
 if [[ "$MODE" == "smoke" ]]; then
   FANOUT_MESSAGES="${FANOUT_MESSAGES:-500}" \
@@ -44,6 +48,10 @@ if [[ "$MODE" == "smoke" ]]; then
     cargo run --quiet --release -p synapse-bench --bin publisher_throughput
   VISIBILITY_MESSAGES="${VISIBILITY_MESSAGES:-100}" \
     cargo run --quiet --release -p synapse-bench --bin visibility_latency > /dev/null
+  RECOVERY_TAILS="${RECOVERY_TAILS:-64,256}" \
+    RECOVERY_TOTAL="${RECOVERY_TOTAL:-256}" \
+    RECOVERY_INTERVALS="${RECOVERY_INTERVALS:-0,64}" \
+    cargo run --quiet --release -p synapse-bench --bin recovery_trajectory > /dev/null
   echo "bench smoke: OK"
   exit 0
 fi
@@ -123,6 +131,27 @@ write_visibility_json() {
   echo "bench: wrote $VIS_OUT"
 }
 
+# --- recovery-time trajectory (PR 6) ---------------------------------------
+
+write_recovery_json() {
+  # The bin already emits well-formed JSON (WAL-tail and checkpoint
+  # sweeps); wrap it with provenance metadata.
+  local rec_log
+  rec_log="$(mktemp)"
+  cargo run --quiet --release -p synapse-bench --bin recovery_trajectory > "$rec_log"
+  {
+    echo "{"
+    echo "  \"schema\": \"synapse-bench/v1\","
+    echo "  \"generated_by\": \"scripts/bench.sh\","
+    echo "  \"git_rev\": \"$GIT_REV\","
+    echo "  \"utc\": \"$UTC\","
+    echo "  \"recovery\": $(cat "$rec_log")"
+    echo "}"
+  } > "$REC_OUT"
+  rm -f "$rec_log"
+  echo "bench: wrote $REC_OUT"
+}
+
 # --- full / fanout-baseline runs -------------------------------------------
 
 for bench in broker publish_path publisher_deps versionstore wire; do
@@ -165,4 +194,5 @@ echo "bench: wrote $TARGET"
 if [[ "$MODE" == "full" ]]; then
   write_publisher_json "$PUB_OUT"
   write_visibility_json
+  write_recovery_json
 fi

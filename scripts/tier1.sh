@@ -29,6 +29,15 @@ SYNAPSE_SEED="${SYNAPSE_SEED:-24210775}" \
   SYNAPSE_BOOTSTRAP_SWEEP="${SYNAPSE_BOOTSTRAP_SWEEP:-0}" \
   cargo test -q --test live_bootstrap
 
+# Crash-restart soak: the durability plane under the seeded kill
+# schedule (see EXPERIMENTS.md "crash-restart soak"). Zero acked-message
+# loss across every crash point, and a restart resumes an interrupted
+# bootstrap from its snapshot-carried watermark. Set
+# SYNAPSE_CRASH_SWEEP=1 to additionally run the 10-seed sweep.
+SYNAPSE_SEED="${SYNAPSE_SEED:-24210775}" \
+  SYNAPSE_CRASH_SWEEP="${SYNAPSE_CRASH_SWEEP:-0}" \
+  cargo test -q --test crash_restart
+
 # Optional bench smoke (non-gating for perf, gating for liveness): the
 # fanout bench must complete without deadlock or delivery loss.
 if [[ "${SYNAPSE_BENCH_SMOKE:-0}" == "1" ]]; then

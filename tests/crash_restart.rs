@@ -1,0 +1,567 @@
+//! Crash-restart soak: the durability plane under a seeded kill schedule.
+//!
+//! Two layers, one invariant — **acked work never resurrects and
+//! durably-accepted work never vanishes**, no matter where the process
+//! dies:
+//!
+//! * **Broker layer** (`wal_survives_every_crash_point`): a seeded
+//!   [`CrashPlan`] drives rounds of publish/pop/ack against a durable
+//!   broker and kills it at a rotating crash point — mid-append (a torn
+//!   frame poisons the log), torn tail (garbage bytes after the last good
+//!   frame), dropped fsyncs followed by power failure (the disk lied), and
+//!   a crash right after a checkpoint compaction. Every reopen must replay
+//!   a consistent prefix: all durably-confirmed unacked messages present,
+//!   no acked message redelivered, no phantom payloads.
+//! * **Node layer** (`node_recovery_resumes_interrupted_bootstrap`): a
+//!   subscriber with the durability plane on dies mid-bootstrap (a poison
+//!   pill kills the chunk copy after two watermarks committed), persists a
+//!   version-store snapshot, and is rebuilt from disk. Recovery must load
+//!   the snapshot *before traffic* (asserted through the
+//!   `recovery.*` telemetry counters), replay the broker WAL, and the next
+//!   `bootstrap_from` must resume from the snapshot-carried watermark as a
+//!   delta copy (`resumes >= 1`, `records_copied` strictly below a full
+//!   re-copy) rather than restarting from row zero.
+//!
+//! `SYNAPSE_SEED=<n>` pins the schedule; `SYNAPSE_CRASH_SWEEP=1` runs a
+//! ten-seed sweep of the broker soak on top of the seed of record.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use synapse_repro::broker::{
+    Broker, FsyncPolicy, QueueConfig, WalConfig,
+};
+use synapse_repro::core::{Ecosystem, Publication, Subscription, SynapseConfig, SynapseNode};
+use synapse_repro::db::LatencyModel;
+use synapse_repro::faults::{CrashPlan, CrashPoint, SeededRng};
+use synapse_repro::model::{vmap, ModelSchema};
+use synapse_repro::orm::adapters::MongoidAdapter;
+use synapse_repro::orm::CallbackPoint;
+
+/// Seed of record: `SYNAPSE_SEED=<n>` reproduces a specific schedule.
+fn seed_of_record() -> u64 {
+    std::env::var("SYNAPSE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_CAFE)
+}
+
+/// Fresh unique directory under the system temp dir (no external tempfile
+/// crate in this workspace).
+fn temp_dir(label: &str) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "synapse-crash-restart-{label}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+/// The highest-numbered WAL segment file in `dir` — the active tail the
+/// torn-tail faults damage.
+fn latest_segment(dir: &std::path::Path) -> PathBuf {
+    std::fs::read_dir(dir)
+        .expect("wal dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("segment-") && n.ends_with(".wal"))
+        })
+        .max()
+        .expect("at least one segment")
+}
+
+/// Appends `n` garbage bytes to the active segment: the on-disk residue of
+/// an append that died partway (a torn tail the next open must truncate).
+fn tear_tail(dir: &std::path::Path, n: u64) {
+    use std::io::Write;
+    let path = latest_segment(dir);
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .expect("open segment");
+    file.write_all(&vec![0xFF; n as usize]).expect("tear tail");
+    file.sync_all().expect("sync torn tail");
+}
+
+/// Rounds in the broker-layer soak. The crash-point rotation in
+/// [`CrashPlan::generate`] guarantees all four points fire within any
+/// window of four rounds, so six rounds cover every point at least once.
+const ROUNDS: usize = 6;
+/// Upper bound on publishes per round (the plan draws `after_ops` from
+/// `1..=OPS_PER_ROUND`).
+const OPS_PER_ROUND: u64 = 40;
+
+/// One full broker-layer soak run. Panics on any violated invariant.
+fn run_crash_soak(seed: u64) {
+    let dir = temp_dir("broker");
+    // EveryWrite makes publish-Ok a durability promise (the frame is
+    // synced before the call returns), which is what the zero-acked-loss
+    // ledger below audits. Small segments force mid-soak rolls so replay
+    // crosses segment boundaries.
+    let cfg = || {
+        WalConfig::new(&dir)
+            .segment_max_bytes(4096)
+            .fsync(FsyncPolicy::EveryWrite)
+    };
+    let plan = CrashPlan::generate(seed, ROUNDS, OPS_PER_ROUND);
+    let mut rng = SeededRng::new(seed ^ 0xC4A5_4B17);
+
+    // The durability ledger. `confirmed`: publish returned Ok under a
+    // truthful disk and no ack was ever durably logged — these MUST
+    // survive every crash. `acked`: an ack was durably logged — these must
+    // NEVER be redelivered. `suspect`: published into a lying-fsync
+    // window — they may or may not survive (the disk lied, not the WAL),
+    // but if they do survive they are real deliveries, not phantoms.
+    let mut confirmed: BTreeSet<String> = BTreeSet::new();
+    let mut acked: BTreeSet<String> = BTreeSet::new();
+    let mut suspect: BTreeSet<String> = BTreeSet::new();
+    let mut seq = 0u64;
+    let mut total_replayed = 0u64;
+    let mut total_torn = 0u64;
+    let mut points_fired: BTreeSet<&'static str> = BTreeSet::new();
+
+    for (round, event) in plan.events.iter().enumerate() {
+        let (broker, report) = Broker::open_durable(cfg()).expect("open_durable never fails");
+        total_replayed += report.replayed_entries;
+        total_torn += report.torn_entries_dropped;
+        broker.declare_queue("q", QueueConfig::default());
+        broker.bind("x", "q");
+        let consumer = broker.consumer("q").expect("queue declared");
+
+        // --- Audit the recovered state against the ledger. ---
+        let mut present: BTreeMap<String, u64> = BTreeMap::new();
+        while let Some(d) = consumer.pop(Duration::ZERO) {
+            present.insert(d.payload.as_str().to_owned(), d.tag);
+        }
+        for p in &acked {
+            assert!(
+                !present.contains_key(p),
+                "round {round}: acked payload {p:?} resurrected after restart"
+            );
+        }
+        for p in &confirmed {
+            assert!(
+                present.contains_key(p),
+                "round {round}: durably-confirmed payload {p:?} lost across restart"
+            );
+        }
+        for p in present.keys() {
+            assert!(
+                confirmed.contains(p) || suspect.contains(p),
+                "round {round}: phantom payload {p:?} replayed from nowhere"
+            );
+        }
+
+        // Retire survivors of the last lying-fsync window: acking them now
+        // (under a truthful disk again) makes the ack durable.
+        for p in std::mem::take(&mut suspect) {
+            if let Some(&tag) = present.get(&p) {
+                assert!(consumer.ack(tag), "ack of recovered suspect");
+                acked.insert(p);
+            }
+        }
+        // Ack a seeded subset of the confirmed backlog.
+        for p in confirmed.clone() {
+            if rng.gen_ratio(1, 2) {
+                let tag = present[&p];
+                assert!(consumer.ack(tag), "ack of confirmed payload");
+                confirmed.remove(&p);
+                acked.insert(p);
+            }
+        }
+        // Seeded checkpoint: compact history so replay also runs from a
+        // Checkpoint record (with live unacked state) instead of raw
+        // enqueues only.
+        if rng.gen_ratio(1, 3) {
+            broker.checkpoint().expect("checkpoint");
+        }
+
+        // --- This round's write traffic. ---
+        for _ in 0..event.after_ops {
+            let p = format!("r{round}-m{seq}");
+            seq += 1;
+            broker.publish("x", p.as_str()).expect("healthy publish");
+            confirmed.insert(p);
+        }
+
+        // --- Kill the process at the plan's crash point. ---
+        match event.point {
+            CrashPoint::MidAppend => {
+                points_fired.insert("mid-append");
+                let wal = broker.wal().expect("durable broker has a wal");
+                wal.inject_partial_append(event.cut_back % 7);
+                let p = format!("r{round}-torn-{seq}");
+                seq += 1;
+                assert!(
+                    broker.publish("x", p.as_str()).is_err(),
+                    "a publish whose append died mid-frame must fail"
+                );
+                assert!(
+                    broker.publish("x", "post-poison").is_err(),
+                    "a poisoned log must refuse all further publishes"
+                );
+            }
+            CrashPoint::TornTail => {
+                points_fired.insert("torn-tail");
+                drop(consumer);
+                drop(broker);
+                tear_tail(&dir, event.cut_back);
+                continue;
+            }
+            CrashPoint::DroppedFsync => {
+                points_fired.insert("dropped-fsync");
+                let wal = broker.wal().expect("durable broker has a wal");
+                wal.inject_drop_fsyncs(1_000);
+                for _ in 0..(event.cut_back % 6 + 1) {
+                    let p = format!("r{round}-lied-{seq}");
+                    seq += 1;
+                    if broker.publish("x", p.as_str()).is_ok() {
+                        suspect.insert(p);
+                    }
+                }
+                wal.simulate_power_failure().expect("power failure");
+                assert!(
+                    broker.publish("x", "post-power-failure").is_err(),
+                    "a power-failed log must refuse further publishes"
+                );
+            }
+            CrashPoint::MidSnapshot => {
+                points_fired.insert("mid-snapshot");
+                // Crash immediately after a checkpoint compaction: the
+                // post-checkpoint tail is torn, so replay must restore the
+                // whole backlog from the Checkpoint record alone.
+                broker.checkpoint().expect("checkpoint before crash");
+                drop(consumer);
+                drop(broker);
+                tear_tail(&dir, event.cut_back);
+                continue;
+            }
+        }
+        drop(consumer);
+        drop(broker);
+    }
+
+    // --- Final convergence: drain everything after the last crash. ---
+    let (broker, report) = Broker::open_durable(cfg()).expect("final open");
+    total_replayed += report.replayed_entries;
+    total_torn += report.torn_entries_dropped;
+    broker.declare_queue("q", QueueConfig::default());
+    let consumer = broker.consumer("q").expect("queue declared");
+    let mut survivors = BTreeSet::new();
+    while let Some(d) = consumer.pop(Duration::ZERO) {
+        survivors.insert(d.payload.as_str().to_owned());
+        assert!(consumer.ack(d.tag));
+    }
+    for p in &confirmed {
+        assert!(
+            survivors.contains(p),
+            "confirmed payload {p:?} lost by the end of the soak"
+        );
+    }
+    for p in &acked {
+        assert!(
+            !survivors.contains(p),
+            "acked payload {p:?} redelivered at the end of the soak"
+        );
+    }
+    for p in &survivors {
+        assert!(
+            confirmed.contains(p) || suspect.contains(p),
+            "phantom payload {p:?} in the final drain"
+        );
+    }
+    assert_eq!(
+        points_fired.len(),
+        CrashPoint::ALL.len(),
+        "the rotation must exercise every crash point: {points_fired:?}"
+    );
+    assert!(total_replayed > 0, "recovery replayed WAL entries");
+    assert!(
+        total_torn >= 1,
+        "torn-tail rounds must be detected and truncated"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The pinned-seed broker-layer run.
+#[test]
+fn wal_survives_every_crash_point() {
+    run_crash_soak(seed_of_record());
+}
+
+/// Ten-seed sweep, opt-in via `SYNAPSE_CRASH_SWEEP=1`.
+#[test]
+fn ten_seed_sweep_holds_the_invariants() {
+    if std::env::var("SYNAPSE_CRASH_SWEEP").as_deref() != Ok("1") {
+        eprintln!("crash_restart sweep skipped (set SYNAPSE_CRASH_SWEEP=1 to run)");
+        return;
+    }
+    let base = seed_of_record();
+    for i in 0..10u64 {
+        let seed = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        eprintln!("sweep {i}: seed {seed:#x}");
+        run_crash_soak(seed);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Node layer: snapshot + WAL recovery resumes an interrupted bootstrap.
+// --------------------------------------------------------------------------
+
+/// Keeps the intentional chunk-apply panic from flooding test output while
+/// letting every other panic (i.e. real failures) print normally.
+fn quiet_poison_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let poison = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.contains("poison pill"))
+                .unwrap_or(false);
+            if !poison {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Rows seeded before the subscriber's queue is bound: history that can
+/// only arrive through the chunked object copy.
+const SEED_ROWS: usize = 48;
+/// Live rows written after the failed attempt, so the broker WAL carries
+/// real enqueue/ack traffic across the restart.
+const LIVE_ROWS: usize = 6;
+
+fn counter(snap: &synapse_repro::core::TelemetrySnapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+#[test]
+fn node_recovery_resumes_interrupted_bootstrap() {
+    quiet_poison_panics();
+    let seed = seed_of_record();
+    let root = temp_dir("node");
+    let wal_dir = root.join("wal");
+    let sub_dir = root.join("sub");
+    // The databases play the role of the surviving disks: the same adapter
+    // Arcs are handed to the rebuilt nodes after the "crash".
+    let pub_adapter = Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off()));
+    let sub_adapter = Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off()));
+
+    let wal_cfg = || WalConfig::new(&wal_dir).fsync(FsyncPolicy::Interval(4));
+    let build = |eco: &Ecosystem| -> (Arc<SynapseNode>, Arc<SynapseNode>) {
+        let publisher = eco.add_node(SynapseConfig::new("pub"), pub_adapter.clone());
+        publisher.orm().define_model(ModelSchema::open("Post")).unwrap();
+        publisher
+            .publish(Publication::model("Post").fields(&["body", "version"]))
+            .unwrap();
+        let subscriber = eco.add_node(
+            SynapseConfig::new("sub")
+                .wait_timeout(Some(Duration::from_millis(50)))
+                .workers(1)
+                .bootstrap_chunk(8)
+                .bootstrap_drain_timeout(Duration::from_secs(10))
+                .durable(&sub_dir)
+                .snapshot_every(None),
+            sub_adapter.clone(),
+        );
+        subscriber.orm().define_model(ModelSchema::open("Post")).unwrap();
+        subscriber
+            .subscribe(Subscription::model("Post", "pub").fields(&["body", "version"]))
+            .unwrap();
+        (publisher, subscriber)
+    };
+
+    // --- Incarnation 1: die mid-bootstrap, persist a snapshot. ---
+    let (eco, report) = Ecosystem::new_durable(wal_cfg()).expect("durable ecosystem");
+    assert_eq!(report.replayed_entries, 0, "fresh log, empty recovery");
+    let (publisher, subscriber) = build(&eco);
+
+    // Poison pill: the copier's 17th applied record — chunk three, with
+    // two chunk watermarks already committed — panics once.
+    let copier_thread = std::thread::current().id();
+    let copier_applies = Arc::new(AtomicU64::new(0));
+    let pill_fired = Arc::new(AtomicBool::new(false));
+    for point in [CallbackPoint::BeforeCreate, CallbackPoint::BeforeUpdate] {
+        let copier_applies = copier_applies.clone();
+        let pill_fired = pill_fired.clone();
+        subscriber.orm().on("Post", point, move |ctx, _record| {
+            if ctx.bootstrap && std::thread::current().id() == copier_thread {
+                let n = copier_applies.fetch_add(1, Ordering::SeqCst) + 1;
+                if n == 17 && !pill_fired.swap(true, Ordering::SeqCst) {
+                    panic!("{}", format!("poison pill: chunk apply {n} dies once"));
+                }
+            }
+            Ok(())
+        });
+    }
+
+    for i in 0..SEED_ROWS {
+        publisher
+            .orm()
+            .create("Post", vmap! { "body" => format!("seed-{i}"), "version" => i as i64 })
+            .unwrap();
+    }
+    eco.connect();
+    subscriber.start();
+
+    let first = subscriber.bootstrap_from(&publisher);
+    assert!(first.is_err(), "the poisoned chunk apply must fail attempt 1");
+    assert!(pill_fired.load(Ordering::SeqCst), "the pill fired in the copier");
+    assert!(!subscriber.orm().is_bootstrap());
+    let failed = subscriber.bootstrap_stats();
+    assert_eq!(failed.completions, 0);
+    assert!(
+        failed.chunks_copied >= 2,
+        "chunks before the poisoned one committed watermarks"
+    );
+
+    // Live traffic after the failure: the broker WAL picks up real
+    // enqueue/ack records the restart will replay.
+    let mut live_ids = Vec::new();
+    for i in 0..LIVE_ROWS {
+        let row = publisher
+            .orm()
+            .create(
+                "Post",
+                vmap! { "body" => format!("live-{i}"), "version" => (1000 + i) as i64 },
+            )
+            .unwrap();
+        live_ids.push(row.id);
+    }
+    let last_live = *live_ids.last().unwrap();
+    assert!(
+        eventually(Duration::from_secs(5), || {
+            subscriber.orm().find("Post", last_live).unwrap().is_some()
+        }),
+        "live replication applies even while bootstrap is incomplete"
+    );
+
+    // Persist the version-store snapshot — watermarks included. The first
+    // attempt is interrupted by an injected fault; the store must keep the
+    // previous-latest intact and the retry must land.
+    let store = subscriber.snapshot_store().expect("durability plane is on");
+    store.inject_interrupt_next();
+    assert!(
+        subscriber.persist_snapshot().is_err(),
+        "the injected interrupt must fail this persist"
+    );
+    subscriber.persist_snapshot().expect("retry persists");
+    let sstats = store.stats();
+    assert_eq!(sstats.interrupted, 1);
+    assert_eq!(sstats.persisted, 1);
+    let snap = subscriber.telemetry_snapshot();
+    assert_eq!(counter(&snap, "durability.snapshots_persisted"), 1);
+    assert_eq!(counter(&snap, "durability.snapshots_interrupted"), 1);
+    let copied_before_crash = failed.records_copied;
+    assert!(copied_before_crash >= 16, "two committed chunks of eight");
+
+    eco.stop_all();
+    drop(subscriber);
+    drop(publisher);
+    drop(eco);
+
+    // --- Incarnation 2: rebuild from disk; recovery precedes traffic. ---
+    let (eco, report) = Ecosystem::new_durable(wal_cfg()).expect("durable reopen");
+    assert!(
+        report.replayed_entries > 0,
+        "the restart replays the WAL the first incarnation wrote"
+    );
+    let (publisher, subscriber) = build(&eco);
+
+    // Recovery telemetry: the snapshot was loaded during construction —
+    // before connect/start — and the WAL replay was folded in.
+    let snap = subscriber.telemetry_snapshot();
+    assert_eq!(counter(&snap, "recovery.snapshots_loaded"), 1);
+    assert!(
+        counter(&snap, "recovery.snapshot_entries") > 0,
+        "the loaded snapshot carried version entries (incl. watermarks)"
+    );
+    assert!(
+        counter(&snap, "recovery.wal_replayed_entries") > 0,
+        "the broker recovery report is visible through node telemetry"
+    );
+    assert_eq!(counter(&snap, "recovery.snapshot_load_errors"), 0);
+    assert!(
+        counter(&snap, "recovery.passes") >= 1,
+        "the recovery duration histogram recorded the pass"
+    );
+
+    eco.connect();
+    subscriber.start();
+
+    // The resumed bootstrap is a delta replay: the snapshot-carried
+    // watermark skips the two chunks the first incarnation copied.
+    subscriber.bootstrap_from(&publisher).expect("resumed bootstrap converges");
+    let stats = subscriber.bootstrap_stats();
+    assert_eq!(stats.completions, 1);
+    assert!(
+        stats.resumes >= 1,
+        "the watermark survived the restart via the snapshot"
+    );
+    let total = (SEED_ROWS + LIVE_ROWS) as u64;
+    assert!(
+        stats.records_copied < total,
+        "delta replay: {} rows re-copied of {total} — a full re-copy means \
+         the watermark was lost",
+        stats.records_copied
+    );
+
+    // Exact convergence, crash or no crash.
+    let pub_rows = publisher.orm().all("Post").unwrap();
+    let sub_rows = subscriber.orm().all("Post").unwrap();
+    assert_eq!(pub_rows.len(), SEED_ROWS + LIVE_ROWS);
+    assert_eq!(sub_rows.len(), pub_rows.len(), "no lost and no doubled rows");
+    for row in &pub_rows {
+        let replica = subscriber
+            .orm()
+            .find("Post", row.id)
+            .unwrap()
+            .unwrap_or_else(|| panic!("row {} lost across the crash", row.id));
+        assert_eq!(replica.get("body"), row.get("body"), "row {}", row.id);
+        assert_eq!(replica.get("version"), row.get("version"), "row {}", row.id);
+    }
+
+    // Live replication still works end to end, and the driver-clocked
+    // snapshot cadence is live again on the rebuilt node. The rebuilt
+    // publisher's in-memory id generator restarted at 1, so seed it the
+    // way a restarted app would: from the database's max id.
+    let next_id = synapse_repro::model::Id(pub_rows.iter().map(|r| r.id.0).max().unwrap() + 1);
+    let fresh = publisher
+        .orm()
+        .create_with_id(
+            "Post",
+            next_id,
+            vmap! { "body" => format!("post-crash-{seed}"), "version" => 9999 },
+        )
+        .unwrap();
+    assert!(eventually(Duration::from_secs(5), || {
+        subscriber.orm().find("Post", fresh.id).unwrap().is_some()
+    }));
+    subscriber.persist_snapshot().expect("post-recovery snapshot");
+    eco.stop_all();
+    let _ = std::fs::remove_dir_all(&root);
+}
