@@ -9,7 +9,12 @@
 //! database, as in the paper. Scaled from 400 AWS instances to threads on
 //! one machine.
 //!
-//! Run with: `cargo run --release -p synapse-bench --bin fig13b_throughput [max_workers] [ms_per_step]`
+//! Run with: `cargo run --release -p synapse-bench --bin fig13b_throughput [workers] [ms_per_step]`
+//!
+//! `workers` is either a maximum (sweeps powers of two up to it, the
+//! figure's classic x-axis) or an explicit comma list such as `4,16,64`
+//! to drive the same counts as the delivery-plane scaling sweep
+//! (`scaling_sweep`) through the full ORM→broker→apply pipeline.
 
 use std::time::Duration;
 use synapse_apps::stress::{self, StressConfig};
@@ -64,20 +69,29 @@ fn run_pair(pub_vendor: &str, sub_vendor: &str, workers: usize, step: Duration) 
     throughput
 }
 
+/// Parses the workers argument: a comma list (`4,16,64`) is taken
+/// verbatim; a single number is a maximum swept in powers of two.
+fn parse_worker_counts(spec: Option<String>) -> Vec<usize> {
+    match spec {
+        Some(s) if s.contains(',') => s
+            .split(',')
+            .filter_map(|w| w.trim().parse().ok())
+            .filter(|&w| w > 0)
+            .collect(),
+        other => {
+            let max = other.and_then(|s| s.parse().ok()).unwrap_or(8);
+            (0..).map(|i| 1 << i).take_while(|w| *w <= max).collect()
+        }
+    }
+}
+
 fn main() {
-    let max_workers: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let worker_counts = parse_worker_counts(std::env::args().nth(1));
     let step_ms: u64 = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(400);
     let step = Duration::from_millis(step_ms);
-    let worker_counts: Vec<usize> = (0..)
-        .map(|i| 1 << i)
-        .take_while(|w| *w <= max_workers)
-        .collect();
 
     println!("Fig. 13(b) — throughput (msg/s) vs. workers, per DB combination");
     println!("(workload: 25% posts / 75% comments; engines run calibrated latency)\n");

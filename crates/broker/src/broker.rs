@@ -1,7 +1,7 @@
 //! The broker facade: exchanges, bindings, consumers, failure injection.
 
 use crate::message::{Delivery, SharedStr};
-use crate::queue::{Queue, QueueConfig, QueueState, WalBinding};
+use crate::queue::{tag_seq, Queue, QueueConfig, QueueState, WalBinding};
 use crate::wal::{LogPos, Wal, WalConfig, WalRecord, WalStats};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
@@ -37,6 +37,13 @@ pub struct BrokerStats {
     pub publish_faults: u64,
     /// Queues reinstated after a decommission.
     pub reinstated: u64,
+    /// Counted condvar wakeups issued by enqueues (the thundering-herd
+    /// fix: at most `min(added, sleepers)` per enqueue batch).
+    pub wakeups: u64,
+    /// Successful work-steal operations across all queues.
+    pub steals: u64,
+    /// Deliveries migrated between workers by stealing.
+    pub stolen: u64,
 }
 
 /// Transient error returned by [`Broker::publish`] under injected faults.
@@ -138,9 +145,11 @@ pub struct RecoveryReport {
 #[derive(Default)]
 struct RecoveredQueue {
     decommissioned: bool,
-    next_tag: u64,
+    /// Next tag *sequence* number (tags encode `(seq << 8) | hint`; the
+    /// hint re-derives partition membership deterministically on replay).
+    next_seq: u64,
     /// tag → (exchange, payload, origin_nanos); `BTreeMap` keeps FIFO
-    /// (tag) order for free when rebuilding the backlog.
+    /// (tag, i.e. seq) order for free when rebuilding the backlog.
     pending: BTreeMap<u64, (String, String, u64)>,
     dead: Vec<(u64, String, String, u64)>,
 }
@@ -156,7 +165,7 @@ impl RecoveredQueue {
                 ..
             } => {
                 self.pending.insert(tag, (exchange, payload, origin_nanos));
-                self.next_tag = self.next_tag.max(tag + 1);
+                self.next_seq = self.next_seq.max(tag_seq(tag) + 1);
             }
             WalRecord::Ack { tags, .. } => {
                 for tag in tags {
@@ -186,9 +195,10 @@ impl RecoveredQueue {
                 ..
             } => {
                 // A checkpoint *replaces* this queue's state: everything
-                // before it in the log is already folded into it.
+                // before it in the log is already folded into it. Its
+                // `next_tag` field carries the next sequence number.
                 self.decommissioned = decommissioned;
-                self.next_tag = next_tag;
+                self.next_seq = next_tag;
                 self.pending = pending
                     .into_iter()
                     .map(|(tag, exchange, payload, origin, _redelivered)| {
@@ -320,7 +330,7 @@ impl Broker {
                     queue: name.clone(),
                 }),
                 state.decommissioned,
-                state.next_tag,
+                state.next_seq,
                 pending,
                 dead,
             );
@@ -344,11 +354,13 @@ impl Broker {
     /// Declares (or re-declares, idempotently) a queue. Re-declaring an
     /// existing queue — including one rebuilt by [`Broker::open_durable`]
     /// — updates its config in place, so recovered queues pick up their
-    /// backlog caps on the first post-restart declare.
+    /// backlog caps and partition counts on the first post-restart
+    /// declare (a changed partition count deterministically re-routes the
+    /// recovered backlog by each delivery's tag hint).
     pub fn declare_queue(&self, name: &str, config: QueueConfig) {
         let mut routes = self.inner.routes.write();
         if let Some(queue) = routes.queues.get(name) {
-            queue.inner.lock().config = config;
+            queue.reconfigure(config);
         } else {
             let wal = self.inner.wal.as_ref().map(|wal| WalBinding {
                 wal: wal.clone(),
@@ -417,6 +429,22 @@ impl Broker {
         payload: impl Into<SharedStr>,
         origin_nanos: u64,
     ) -> Result<(), PublishError> {
+        self.publish_routed(exchange, payload, origin_nanos, 0)
+    }
+
+    /// [`Broker::publish_stamped`] carrying a partition routing key
+    /// (typically the written object's dependency key). The key's low
+    /// byte is folded into the delivery tag and picks the destination
+    /// partition in every bound queue, so one object's messages stay in
+    /// one partition in publish order. Key 0 is the unkeyed/legacy route
+    /// (partition 0, strict global FIFO).
+    pub fn publish_routed(
+        &self,
+        exchange: &str,
+        payload: impl Into<SharedStr>,
+        origin_nanos: u64,
+        key: u64,
+    ) -> Result<(), PublishError> {
         if self.consume_armed_fault() || self.wal_is_poisoned() {
             return Err(PublishError {
                 exchange: exchange.to_owned(),
@@ -426,7 +454,7 @@ impl Broker {
         let routes = self.inner.routes.read();
         if let Some((shared_exchange, targets)) = routes.resolved.get(exchange) {
             for queue in targets {
-                queue.enqueue(shared_exchange, &payload, origin_nanos);
+                queue.enqueue_routed(shared_exchange, &payload, origin_nanos, key);
             }
         }
         drop(routes);
@@ -493,6 +521,42 @@ impl Broker {
         Ok(accepted)
     }
 
+    /// [`Broker::publish_batch_stamped`] with a per-payload partition
+    /// routing key: `(payload, origin_nanos, key)`. Each bound queue
+    /// groups the batch by destination partition and takes one lock per
+    /// *touched* partition, so concurrent batches to disjoint partitions
+    /// never contend. Relative payload order is preserved within each
+    /// partition (and therefore per routing key).
+    pub fn publish_batch_routed(
+        &self,
+        exchange: &str,
+        payloads: Vec<(SharedStr, u64, u64)>,
+    ) -> Result<u64, PublishError> {
+        if payloads.is_empty() {
+            return Ok(0);
+        }
+        if self.consume_armed_fault() || self.wal_is_poisoned() {
+            return Err(PublishError {
+                exchange: exchange.to_owned(),
+            });
+        }
+        let routes = self.inner.routes.read();
+        if let Some((shared_exchange, targets)) = routes.resolved.get(exchange) {
+            for queue in targets {
+                queue.enqueue_batch_routed(shared_exchange, &payloads);
+            }
+        }
+        drop(routes);
+        if self.wal_is_poisoned() {
+            return Err(PublishError {
+                exchange: exchange.to_owned(),
+            });
+        }
+        let accepted = payloads.len() as u64;
+        self.inner.published.fetch_add(accepted, Ordering::Relaxed);
+        Ok(accepted)
+    }
+
     /// Returns a consumer handle for `queue`, or `None` if undeclared.
     pub fn consumer(&self, queue: &str) -> Option<Consumer> {
         let routes = self.inner.routes.read();
@@ -505,24 +569,42 @@ impl Broker {
     /// Current state of a queue.
     pub fn queue_state(&self, queue: &str) -> Option<QueueState> {
         let routes = self.inner.routes.read();
-        routes.queues.get(queue).map(|q| q.inner.lock().state)
+        routes.queues.get(queue).map(|q| q.state_snapshot())
     }
 
-    /// Current backlog length of a queue.
+    /// Current backlog length of a queue. Lock-free: reads the relaxed
+    /// gauge the partitions maintain, so telemetry polling never contends
+    /// with the delivery hot path.
     pub fn queue_len(&self, queue: &str) -> Option<usize> {
         let routes = self.inner.routes.read();
-        routes.queues.get(queue).map(|q| q.inner.lock().ready.len())
+        routes.queues.get(queue).map(|q| q.len())
     }
 
     /// Number of deliveries popped but not yet acked, nacked, or
     /// dead-lettered. A queue is fully drained only when both this and
-    /// [`Broker::queue_len`] are zero.
+    /// [`Broker::queue_len`] are zero. Lock-free gauge read.
     pub fn queue_unacked_len(&self, queue: &str) -> Option<usize> {
         let routes = self.inner.routes.read();
-        routes
-            .queues
-            .get(queue)
-            .map(|q| q.inner.lock().unacked.len())
+        routes.queues.get(queue).map(|q| q.unacked_len())
+    }
+
+    /// Number of partitions a queue was declared with.
+    pub fn queue_partitions(&self, queue: &str) -> Option<usize> {
+        let routes = self.inner.routes.read();
+        routes.queues.get(queue).map(|q| q.partition_count())
+    }
+
+    /// Per-partition ready depths of a queue (lock-free gauge reads); the
+    /// telemetry plane's partition-depth gauges.
+    pub fn partition_depths(&self, queue: &str) -> Option<Vec<usize>> {
+        let routes = self.inner.routes.read();
+        routes.queues.get(queue).map(|q| q.partition_depths())
+    }
+
+    /// Number of consumers currently parked on a queue's condvar.
+    pub fn queue_sleepers(&self, queue: &str) -> Option<usize> {
+        let routes = self.inner.routes.read();
+        routes.queues.get(queue).map(|q| q.sleepers())
     }
 
     /// Wakes every consumer parked on `queue` (their in-flight batch pops
@@ -554,7 +636,7 @@ impl Broker {
     pub fn inject_drop_next(&self, queue: &str, n: u64) {
         let routes = self.inner.routes.read();
         if let Some(q) = routes.queues.get(queue) {
-            q.inner.lock().drop_next += n;
+            q.inject_drop_next(n);
         }
     }
 
@@ -579,10 +661,11 @@ impl Broker {
         routes.queues.get(queue).map(|q| q.dead_letters())
     }
 
-    /// Number of dead-lettered deliveries held for `queue`.
+    /// Number of dead-lettered deliveries held for `queue` (lock-free
+    /// gauge read).
     pub fn dead_letter_len(&self, queue: &str) -> Option<usize> {
         let routes = self.inner.routes.read();
-        routes.queues.get(queue).map(|q| q.inner.lock().dead.len())
+        routes.queues.get(queue).map(|q| q.dead_len())
     }
 
     /// Failure injection: broker restart. All unacked deliveries return to
@@ -673,7 +756,7 @@ impl Broker {
             ..BrokerStats::default()
         };
         for q in routes.queues.values() {
-            let qi = q.inner.lock();
+            let qi = q.counters();
             stats.enqueued += qi.enqueued;
             stats.acked += qi.acked;
             stats.dropped += qi.dropped;
@@ -684,6 +767,9 @@ impl Broker {
             stats.spurious_acks += qi.spurious_acks;
             stats.spurious_nacks += qi.spurious_nacks;
             stats.reinstated += qi.reinstated;
+            stats.wakeups += qi.wakeups;
+            stats.steals += qi.steals;
+            stats.stolen += qi.stolen;
         }
         stats
     }
@@ -723,6 +809,39 @@ impl Consumer {
         self.queue.pop_batch(max, timeout)
     }
 
+    /// Number of partitions in this consumer's queue.
+    pub fn partition_count(&self) -> usize {
+        self.queue.partition_count()
+    }
+
+    /// Drains up to `max` deliveries from one partition. A zero timeout
+    /// is a non-blocking poll (the work-stealing workers' home-partition
+    /// scan); otherwise parks on the queue condvar until the deadline.
+    pub fn pop_batch_from(&self, partition: usize, max: usize, timeout: Duration) -> Vec<Delivery> {
+        self.queue.pop_batch_from(partition, max, timeout)
+    }
+
+    /// Steals up to `min(max, ceil(ready/2))` deliveries from the front
+    /// of a victim partition's ready run (non-blocking). The stolen
+    /// deliveries' tags still name the victim partition, so
+    /// [`Consumer::ack`] routes them correctly from any worker.
+    pub fn steal_batch(&self, partition: usize, max: usize) -> Vec<Delivery> {
+        self.queue.steal_batch(partition, max)
+    }
+
+    /// Parks until the queue has ready deliveries, is decommissioned, or
+    /// is woken by [`Broker::wake_queue`] — or until `timeout` passes.
+    /// Returns `false` only on timeout; `true` means "rescan now".
+    pub fn wait_ready(&self, timeout: Duration) -> bool {
+        self.queue.wait_ready(timeout)
+    }
+
+    /// Whether ready deliveries exist outside `tag`'s own partition
+    /// (lock-free). See the subscriber's dependency-wait yield protocol.
+    pub fn ready_elsewhere(&self, tag: u64) -> bool {
+        self.queue.ready_elsewhere(tag)
+    }
+
     /// Acknowledges a delivery; returns `false` for unknown tags.
     pub fn ack(&self, tag: u64) -> bool {
         self.queue.ack(tag)
@@ -749,7 +868,7 @@ impl Consumer {
 
     /// Whether the queue has been decommissioned.
     pub fn is_decommissioned(&self) -> bool {
-        self.queue.inner.lock().state == QueueState::Decommissioned
+        self.queue.is_decommissioned()
     }
 }
 
@@ -934,7 +1053,7 @@ mod tests {
     #[test]
     fn batch_into_capped_queue_kills_once_and_refuses_rest() {
         let b = Broker::new();
-        b.declare_queue("q", QueueConfig { max_len: Some(3) });
+        b.declare_queue("q", QueueConfig { max_len: Some(3), ..QueueConfig::default() });
         b.bind("pub", "q");
         b.publish_batch("pub", ["0", "1", "2", "3", "4"]).unwrap();
         assert_eq!(b.queue_state("q"), Some(QueueState::Decommissioned));
@@ -1028,7 +1147,7 @@ mod tests {
     #[test]
     fn decommission_accounts_for_discarded_backlog() {
         let b = Broker::new();
-        b.declare_queue("q", QueueConfig { max_len: Some(3) });
+        b.declare_queue("q", QueueConfig { max_len: Some(3), ..QueueConfig::default() });
         b.bind("pub", "q");
         for i in 0..5 {
             b.publish("pub", i.to_string()).unwrap();
@@ -1097,7 +1216,7 @@ mod tests {
     #[test]
     fn queue_cap_triggers_decommission() {
         let b = Broker::new();
-        b.declare_queue("q", QueueConfig { max_len: Some(5) });
+        b.declare_queue("q", QueueConfig { max_len: Some(5), ..QueueConfig::default() });
         b.bind("pub", "q");
         for i in 0..10 {
             b.publish("pub", i.to_string()).unwrap();
@@ -1274,11 +1393,232 @@ mod tests {
     fn redeclare_updates_the_cap_in_place() {
         let b = broker_with("q");
         // Re-declare with a cap: the fourth publish trips it.
-        b.declare_queue("q", QueueConfig { max_len: Some(3) });
+        b.declare_queue("q", QueueConfig { max_len: Some(3), ..QueueConfig::default() });
         for i in 0..5 {
             b.publish("pub", i.to_string()).unwrap();
         }
         assert_eq!(b.queue_state("q"), Some(QueueState::Decommissioned));
+    }
+
+    /// Satellite: counted wakeups. Two workers park on the queue; a
+    /// single publish must wake exactly one of them (no thundering herd),
+    /// and the wakeup counter must record exactly one notify.
+    #[test]
+    fn single_publish_wakes_exactly_one_parked_worker() {
+        let b = broker_with("q");
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let c = b.consumer("q").unwrap();
+            handles.push(thread::spawn(move || {
+                c.pop_batch(8, Duration::from_millis(600))
+            }));
+        }
+        // Wait until both workers are actually parked before publishing.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while b.queue_sleepers("q") != Some(2) {
+            assert!(std::time::Instant::now() < deadline, "workers never parked");
+            thread::sleep(Duration::from_millis(2));
+        }
+        b.publish("pub", "solo").unwrap();
+        let results: Vec<Vec<Delivery>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let nonempty = results.iter().filter(|r| !r.is_empty()).count();
+        assert_eq!(nonempty, 1, "exactly one worker received the message");
+        assert_eq!(b.stats().wakeups, 1, "one message, one counted notify_one");
+    }
+
+    /// A batch of N messages into a pool of M sleepers issues at most
+    /// min(N, M) wakeups, never a notify_all storm.
+    #[test]
+    fn batch_wakeups_are_counted_not_broadcast() {
+        let b = broker_with("q");
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = b.consumer("q").unwrap();
+            handles.push(thread::spawn(move || {
+                c.pop_batch(1, Duration::from_millis(600)).len()
+            }));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while b.queue_sleepers("q") != Some(4) {
+            assert!(std::time::Instant::now() < deadline, "workers never parked");
+            thread::sleep(Duration::from_millis(2));
+        }
+        b.publish_batch("pub", ["a", "b"]).unwrap();
+        let got: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(got, 2, "both messages delivered");
+        assert_eq!(b.stats().wakeups, 2, "two messages into four sleepers: two wakeups");
+    }
+
+    /// Keyed publishes spread across partitions but keep per-key FIFO:
+    /// each key's messages live in one partition in publish order.
+    #[test]
+    fn routed_publishes_keep_per_key_fifo_across_partitions() {
+        let b = broker_with("q");
+        for round in 0..5u64 {
+            for key in 1..=3u64 {
+                b.publish_routed("pub", format!("k{key}-{round}"), 0, key)
+                    .unwrap();
+            }
+        }
+        let depths = b.partition_depths("q").unwrap();
+        assert_eq!(depths.iter().sum::<usize>(), 15);
+        assert_eq!(depths[1], 5, "key 1 lives wholly in partition 1");
+        assert_eq!(depths[2], 5);
+        assert_eq!(depths[3], 5);
+        let c = b.consumer("q").unwrap();
+        let mut per_key: HashMap<char, Vec<String>> = HashMap::new();
+        for d in c.pop_batch(64, Duration::from_millis(50)) {
+            let p = d.payload.as_str();
+            per_key
+                .entry(p.chars().nth(1).unwrap())
+                .or_default()
+                .push(p.to_owned());
+            c.ack(d.tag);
+        }
+        for key in ['1', '2', '3'] {
+            let expected: Vec<String> = (0..5).map(|r| format!("k{key}-{r}")).collect();
+            assert_eq!(per_key[&key], expected, "per-key FIFO for key {key}");
+        }
+    }
+
+    /// Work stealing takes ceil(half) of the victim's ready run from the
+    /// FRONT (oldest first), moves it in flight, and acks route back to
+    /// the victim partition via the tag hint.
+    #[test]
+    fn steal_takes_half_the_victims_front_run() {
+        let b = broker_with("q");
+        for i in 0..4 {
+            b.publish_routed("pub", format!("m{i}"), 0, 1).unwrap();
+        }
+        let c = b.consumer("q").unwrap();
+        let stolen = c.steal_batch(1, 16);
+        assert_eq!(
+            stolen.iter().map(|d| d.payload.as_str()).collect::<Vec<_>>(),
+            ["m0", "m1"],
+            "steal takes the oldest half"
+        );
+        let rest = c.pop_batch_from(1, 16, Duration::ZERO);
+        assert_eq!(
+            rest.iter().map(|d| d.payload.as_str()).collect::<Vec<_>>(),
+            ["m2", "m3"]
+        );
+        let tags: Vec<u64> = stolen.iter().chain(&rest).map(|d| d.tag).collect();
+        assert_eq!(c.ack_batch(&tags), 4, "stolen tags ack through the hint route");
+        assert_eq!(b.queue_unacked_len("q"), Some(0));
+        let s = b.stats();
+        assert_eq!(s.steals, 1);
+        assert_eq!(s.stolen, 2);
+        // A lone message can still be stolen (ceil(1/2) == 1).
+        b.publish_routed("pub", "lone", 0, 1).unwrap();
+        assert_eq!(c.steal_batch(1, 16).len(), 1);
+    }
+
+    /// Re-declaring with a different partition count deterministically
+    /// re-routes the backlog by each tag's hint — per-key order intact.
+    #[test]
+    fn redeclare_with_new_partition_count_reroutes_backlog() {
+        let b = Broker::new();
+        b.declare_queue("q", QueueConfig { max_len: None, partitions: 4 });
+        b.bind("pub", "q");
+        for round in 0..3u64 {
+            for key in 0..8u64 {
+                b.publish_routed("pub", format!("k{key}-{round}"), 0, key)
+                    .unwrap();
+            }
+        }
+        assert_eq!(b.queue_partitions("q"), Some(4));
+        b.declare_queue("q", QueueConfig { max_len: None, partitions: 2 });
+        assert_eq!(b.queue_partitions("q"), Some(2));
+        let depths = b.partition_depths("q").unwrap();
+        assert_eq!(depths, vec![12, 12], "even/odd keys split across 2 partitions");
+        let c = b.consumer("q").unwrap();
+        let mut per_key: HashMap<String, Vec<String>> = HashMap::new();
+        for d in c.pop_batch(64, Duration::from_millis(50)) {
+            let p = d.payload.as_str();
+            let key = p[1..p.find('-').unwrap()].to_owned();
+            per_key.entry(key).or_default().push(p.to_owned());
+            c.ack(d.tag);
+        }
+        for key in 0..8 {
+            let expected: Vec<String> = (0..3).map(|r| format!("k{key}-{r}")).collect();
+            assert_eq!(per_key[&key.to_string()], expected, "key {key} stays FIFO");
+        }
+    }
+
+    /// The partitioned layout survives a durable restart: replay re-routes
+    /// every pending delivery to the partition its tag hint names, so two
+    /// reopens of the same log build identical layouts.
+    #[test]
+    fn partitioned_backlog_recovers_deterministically() {
+        let dir = crate::wal::tests::temp_dir("broker-partitioned");
+        let cfg = WalConfig::new(&dir).fsync(crate::wal::FsyncPolicy::EveryWrite);
+        let (b, _) = Broker::open_durable(cfg.clone()).unwrap();
+        b.declare_queue("q", QueueConfig::default());
+        b.bind("pub", "q");
+        for round in 0..4u64 {
+            for key in 1..=3u64 {
+                b.publish_routed("pub", format!("k{key}-{round}"), 0, key)
+                    .unwrap();
+            }
+        }
+        // Consume and ack key 2's first two messages so replay must skip
+        // them inside one partition while preserving the others.
+        let c = b.consumer("q").unwrap();
+        let from2 = c.pop_batch_from(2, 2, Duration::ZERO);
+        assert_eq!(from2.len(), 2);
+        for d in &from2 {
+            assert!(c.ack(d.tag));
+        }
+        drop((c, b));
+
+        let depths_of = |cfg: WalConfig| {
+            let (b2, _) = Broker::open_durable(cfg).unwrap();
+            b2.declare_queue("q", QueueConfig::default());
+            b2.bind("pub", "q");
+            let depths = b2.partition_depths("q").unwrap();
+            let c2 = b2.consumer("q").unwrap();
+            let mut per_key: HashMap<String, Vec<String>> = HashMap::new();
+            for d in c2.pop_batch(64, Duration::from_millis(50)) {
+                assert!(d.redelivered, "recovered deliveries are flagged");
+                let p = d.payload.as_str();
+                let key = p[1..p.find('-').unwrap()].to_owned();
+                per_key.entry(key).or_default().push(p.to_owned());
+            }
+            (depths, per_key)
+        };
+        let (depths_a, keys_a) = depths_of(cfg.clone());
+        let (depths_b, keys_b) = depths_of(cfg);
+        assert_eq!(depths_a, depths_b, "replay is deterministic");
+        assert_eq!(keys_a, keys_b);
+        assert_eq!(depths_a[1], 4);
+        assert_eq!(depths_a[2], 2, "key 2's acked pair stays consumed");
+        assert_eq!(depths_a[3], 4);
+        assert_eq!(
+            keys_a["2"],
+            vec!["k2-2".to_owned(), "k2-3".to_owned()],
+            "the unacked suffix of key 2, in order"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wait_ready_unparks_on_publish_and_counts_one_wakeup() {
+        let b = broker_with("q");
+        let c = b.consumer("q").unwrap();
+        let h = thread::spawn(move || {
+            let woke = c.wait_ready(Duration::from_secs(5));
+            (woke, c.pop_batch_from(0, 8, Duration::ZERO).len())
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while b.queue_sleepers("q") != Some(1) {
+            assert!(std::time::Instant::now() < deadline, "worker never parked");
+            thread::sleep(Duration::from_millis(2));
+        }
+        b.publish("pub", "late").unwrap();
+        let (woke, got) = h.join().unwrap();
+        assert!(woke, "wait_ready returned before its timeout");
+        assert_eq!(got, 1, "the unkeyed publish landed in partition 0");
+        assert_eq!(b.stats().wakeups, 1);
     }
 
     #[test]

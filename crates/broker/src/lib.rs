@@ -25,5 +25,5 @@ pub mod wal;
 
 pub use broker::{Broker, BrokerStats, Consumer, PublishError, RecoveryReport};
 pub use message::{Delivery, SharedStr};
-pub use queue::{QueueConfig, QueueState};
+pub use queue::{tag_hint, tag_seq, QueueConfig, QueueState, PARTITION_HINT_SPAN};
 pub use wal::{FsyncPolicy, LogPos, ReplaySummary, Wal, WalConfig, WalRecord, WalStats};

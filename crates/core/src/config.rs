@@ -125,6 +125,15 @@ pub struct SynapseConfig {
     pub subscriber_workers: usize,
     /// Queue backlog cap before decommission (§4.4); `None` = unbounded.
     pub queue_max_len: Option<usize>,
+    /// Partitions in this service's broker queue (the scale-out delivery
+    /// plane): each partition has its own lock and ready run, routed by the
+    /// written object's dependency key so one object's messages stay in one
+    /// partition. `0` = the broker's default partition count.
+    pub queue_partitions: usize,
+    /// Whether idle subscriber workers steal ready runs from partitions
+    /// they don't own. On by default; off pins each worker strictly to its
+    /// home partitions (useful for isolating partition-ordering tests).
+    pub work_stealing: bool,
     /// Retry/backoff policy for transient failures (broker publishes,
     /// subscriber processing); exhaustion dead-letters or journals.
     pub retry: RetryPolicy,
@@ -157,6 +166,8 @@ impl SynapseConfig {
             dep_wait_timeout: Some(Duration::from_secs(10)),
             subscriber_workers: 2,
             queue_max_len: None,
+            queue_partitions: 0,
+            work_stealing: true,
             retry: RetryPolicy::default(),
             bootstrap_chunk_size: 64,
             bootstrap_drain_timeout: Duration::from_secs(30),
@@ -205,6 +216,18 @@ impl SynapseConfig {
     /// Sets the queue cap.
     pub fn queue_cap(mut self, cap: usize) -> Self {
         self.queue_max_len = Some(cap);
+        self
+    }
+
+    /// Sets the queue partition count (`0` = broker default).
+    pub fn queue_partitions(mut self, n: usize) -> Self {
+        self.queue_partitions = n;
+        self
+    }
+
+    /// Enables or disables work stealing between subscriber workers.
+    pub fn work_stealing(mut self, on: bool) -> Self {
+        self.work_stealing = on;
         self
     }
 
@@ -263,6 +286,8 @@ mod tests {
         assert_eq!(c.publisher_mode, DeliveryMode::Causal);
         assert_eq!(c.subscriber_mode, DeliveryMode::Causal);
         assert!(c.queue_max_len.is_none());
+        assert_eq!(c.queue_partitions, 0, "0 defers to the broker default");
+        assert!(c.work_stealing);
         assert!(c.telemetry_enabled);
         assert_eq!(c.bootstrap_chunk_size, 64);
         assert_eq!(c.bootstrap_drain_timeout, Duration::from_secs(30));
@@ -293,6 +318,8 @@ mod tests {
             .mode(DeliveryMode::Weak)
             .workers(8)
             .queue_cap(1000)
+            .queue_partitions(16)
+            .work_stealing(false)
             .wait_timeout(None)
             .bootstrap_chunk(16)
             .bootstrap_drain_timeout(Duration::from_millis(250))
@@ -310,6 +337,8 @@ mod tests {
         assert_eq!(c.subscriber_mode, DeliveryMode::Weak);
         assert_eq!(c.subscriber_workers, 8);
         assert_eq!(c.queue_max_len, Some(1000));
+        assert_eq!(c.queue_partitions, 16);
+        assert!(!c.work_stealing);
         assert!(c.dep_wait_timeout.is_none());
         assert_eq!(c.bootstrap_chunk_size, 16);
         assert_eq!(c.bootstrap_drain_timeout, Duration::from_millis(250));

@@ -284,6 +284,7 @@ impl SynapseNode {
             &config.app,
             QueueConfig {
                 max_len: config.queue_max_len,
+                partitions: config.queue_partitions,
             },
         );
 
@@ -510,9 +511,30 @@ impl SynapseNode {
             ("subscriber.dep_timeouts".into(), stats.subscriber.dep_timeouts),
             ("subscriber.retries".into(), stats.subscriber.retries),
             ("subscriber.dead_lettered".into(), stats.subscriber.dead_lettered),
+            ("subscriber.steals".into(), stats.subscriber.steals),
+            ("subscriber.messages_stolen".into(), stats.subscriber.messages_stolen),
             ("orm.writes_intercepted".into(), self.orm.writes_intercepted()),
             ("orm.reads_observed".into(), self.orm.reads_observed()),
         ];
+        // Delivery-plane gauges and counters: the queue-depth reads are
+        // lock-free (relaxed atomics maintained by the partitions), so this
+        // poll never contends with the publish/pop hot path.
+        let app = &self.config.app;
+        if let Some(depth) = self.broker.queue_len(app) {
+            extra.push(("broker.queue_depth".into(), depth as u64));
+        }
+        if let Some(unacked) = self.broker.queue_unacked_len(app) {
+            extra.push(("broker.queue_unacked".into(), unacked as u64));
+        }
+        if let Some(depths) = self.broker.partition_depths(app) {
+            for (i, d) in depths.iter().enumerate() {
+                extra.push((format!("broker.partition_depth.{i}"), *d as u64));
+            }
+        }
+        let broker_stats = self.broker.stats();
+        extra.push(("broker.wakeups".into(), broker_stats.wakeups));
+        extra.push(("broker.steals".into(), broker_stats.steals));
+        extra.push(("broker.stolen".into(), broker_stats.stolen));
         for (store, name) in [(&self.pub_store, "pub_store"), (&self.sub_store, "sub_store")] {
             let timing = store.timing();
             extra.push((format!("{name}.applies"), timing.applies));

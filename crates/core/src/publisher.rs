@@ -164,10 +164,13 @@ pub struct Publisher {
     subscriptions: Arc<RwLock<Vec<Subscription>>>,
     locks: LockManager,
     /// Publish journal: payloads not yet confirmed at the broker, each with
-    /// its monotonic origin stamp so recovery republishes with the original
-    /// publish time. Shared with the broker's queues — journaling is a
-    /// pointer bump, not a copy.
-    journal: Mutex<BTreeMap<u64, (SharedStr, u64)>>,
+    /// its monotonic origin stamp (so recovery republishes with the
+    /// original publish time) and its partition routing key (so a recovery
+    /// republish lands in the same partition as the original would have,
+    /// keeping per-object partition residency stable across crashes).
+    /// Shared with the broker's queues — journaling is a pointer bump, not
+    /// a copy.
+    journal: Mutex<BTreeMap<u64, (SharedStr, u64, u64)>>,
     journal_seq: AtomicU64,
     /// Failure injection: while set, payloads stay journaled instead of
     /// reaching the broker (a crash between DB commit and publication).
@@ -259,15 +262,15 @@ impl Publisher {
     /// broker still refuses after the retry policy stay journaled, so
     /// `recover` can be called again later without losing anything.
     pub fn recover(&self) {
-        let pending: Vec<(u64, SharedStr, u64)> = {
+        let pending: Vec<(u64, SharedStr, u64, u64)> = {
             let journal = self.journal.lock();
             journal
                 .iter()
-                .map(|(k, (p, origin))| (*k, p.clone(), *origin))
+                .map(|(k, (p, origin, key))| (*k, p.clone(), *origin, *key))
                 .collect()
         };
-        for (seq, payload, origin) in pending {
-            if self.send_with_retry(&payload, origin) {
+        for (seq, payload, origin, key) in pending {
+            if self.send_with_retry(&payload, origin, key) {
                 self.messages_published.fetch_add(1, Ordering::Relaxed);
                 self.journal.lock().remove(&seq);
             }
@@ -277,9 +280,12 @@ impl Publisher {
     /// Hands one payload to the broker under the retry policy; counts
     /// every transiently failed attempt and the final exhaustion. Returns
     /// whether the broker accepted it.
-    fn send_with_retry(&self, payload: &SharedStr, origin_nanos: u64) -> bool {
+    fn send_with_retry(&self, payload: &SharedStr, origin_nanos: u64, route_key: u64) -> bool {
         for attempt in 1..=self.retry.max_attempts.max(1) {
-            match self.broker.publish_stamped(&self.app, payload, origin_nanos) {
+            match self
+                .broker
+                .publish_routed(&self.app, payload, origin_nanos, route_key)
+            {
                 Ok(()) => return true,
                 Err(_) => {
                     self.publish_retries.fetch_add(1, Ordering::Relaxed);
@@ -490,6 +496,22 @@ impl Publisher {
     pub(crate) fn publish_message(&self, operations: Vec<Operation>, deps: BTreeMap<DepKey, u64>) {
         let origin_nanos = mono_nanos();
         let mode = self.mode.slice();
+        // Partition routing key: the first operation's object dependency —
+        // the same dep that heads `write_deps` in the intercept path — so
+        // all of one object's messages ride one broker partition in publish
+        // order. Combined transaction messages route by their first write.
+        // Global mode publishes a total order (every message depends on its
+        // predecessor), so spreading it across partitions would only make
+        // subscribers hunt for the chain head — it routes on the key-0
+        // legacy lane (partition 0, strict global FIFO) instead.
+        let route_key = if self.mode == DeliveryMode::Global {
+            0
+        } else {
+            operations
+                .first()
+                .map(|op| self.dep_space.key(&self.interner.object(&self.app, op.model(), op.id)))
+                .unwrap_or(0)
+        };
         let msg = WriteMessage {
             app: self.app.clone(),
             operations,
@@ -511,7 +533,7 @@ impl Publisher {
         let seq = self.journal_seq.fetch_add(1, Ordering::Relaxed);
         self.journal
             .lock()
-            .insert(seq, (payload.clone(), origin_nanos));
+            .insert(seq, (payload.clone(), origin_nanos, route_key));
         if self.fail_publish.load(Ordering::SeqCst) {
             // Simulated crash window: the journal retains the payload.
             return;
@@ -520,7 +542,7 @@ impl Publisher {
         // broker confirms it. Exhausted retries leave it journaled — the
         // version bump already happened, so dropping the payload here
         // would silently lose the write (§6.5's root failure mode).
-        if self.send_with_retry(&payload, origin_nanos) {
+        if self.send_with_retry(&payload, origin_nanos, route_key) {
             self.telemetry.record_stage(
                 mode,
                 Stage::BrokerEnqueue,

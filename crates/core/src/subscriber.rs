@@ -2,12 +2,22 @@
 //! replicated persistence.
 //!
 //! Each subscriber app owns one broker queue; its messages are "processed
-//! in parallel by multiple subscriber workers" (§4). A worker parks on the
-//! queue's condvar and drains up to a batch of ready deliveries per wakeup
-//! (`Consumer::pop_batch`); version-store dependency updates and acks for
-//! the batch are grouped and flushed together, so each touched version-store
-//! shard is locked once per batch instead of once per key and only touched
-//! shards are notified. Per message, a worker:
+//! in parallel by multiple subscriber workers" (§4). The queue is
+//! partitioned (see the broker crate), and the workers form a
+//! work-stealing pool over it: worker `i` of `N` owns the home partitions
+//! `{p : p % N == i}` and drains them round-robin with non-blocking
+//! `pop_batch_from` polls; when every home partition is empty it steals
+//! half a victim partition's ready run (`steal_batch`, scan origin rotated
+//! by worker index so concurrent thieves fan out), and only when the whole
+//! queue is dry does it park on the queue's wake signal. Version-store
+//! dependency updates and acks for each batch are grouped and flushed
+//! together, so each touched version-store shard is locked once per batch
+//! instead of once per key and only touched shards are notified. Stealing
+//! never weakens delivery semantics: it is the same concurrency the pool
+//! always had (two workers holding messages of one partition in flight),
+//! and per-object ordering is enforced at apply time by the dependency
+//! waits (causal/global) and the striped freshness check (weak). Per
+//! message, a worker:
 //!
 //! 1. checks the publisher generation, running the global barrier of §4.4
 //!    when it increases (drain in-flight messages, flush the version store);
@@ -100,6 +110,10 @@ pub struct SubscriberStats {
     pub poison_messages: u64,
     /// Transient failures that exhausted the retry policy.
     pub retries_exhausted: u64,
+    /// Successful steals (an idle worker took a victim partition's run).
+    pub steals: u64,
+    /// Messages acquired through stealing.
+    pub messages_stolen: u64,
 }
 
 /// Max deliveries a worker drains per condvar wakeup. Bounds the latency
@@ -114,6 +128,17 @@ const IDLE_PARK: Duration = Duration::from_millis(250);
 /// Stripes of the per-object apply lock (see [`Subscriber::apply_op`]).
 const APPLY_SLOTS: usize = 256;
 
+/// Outcome of running one delivery through the batched state machine.
+enum Processed {
+    /// Applied; stage marks ready for the telemetry commit.
+    Applied(DeliveryMode, StageMarks),
+    /// Dependency wait stalled while other partitions hold ready work —
+    /// the worker should hand the delivery back and drain them instead
+    /// (the liveness the single-FIFO queue used to provide by ordering:
+    /// an intra-app dependency was always popped before its dependent).
+    Yielded,
+}
+
 /// Subscriber-side stage durations for one successfully applied message,
 /// committed to the telemetry plane together with the end-to-end latency
 /// only once the apply succeeded (failed attempts record nothing, so per
@@ -122,6 +147,15 @@ const APPLY_SLOTS: usize = 256;
 struct StageMarks {
     dep_wait_nanos: u64,
     apply_nanos: u64,
+}
+
+/// Outcome of the batched path's dependency wait.
+enum DepWait {
+    /// Dependencies satisfied (or given up per the timeout policy).
+    Ready,
+    /// Stalled while other partitions hold ready work — hand the delivery
+    /// back and drain them first.
+    Yield,
 }
 
 /// Deliveries whose ORM apply succeeded but whose version-store apply and
@@ -152,6 +186,8 @@ struct Counters {
     dead_lettered: AtomicU64,
     poison_messages: AtomicU64,
     retries_exhausted: AtomicU64,
+    steals: AtomicU64,
+    messages_stolen: AtomicU64,
 }
 
 /// The subscriber runtime for one service. See the module docs.
@@ -173,6 +209,8 @@ pub struct Subscriber {
     gen_barrier: RwLock<()>,
     stop: Arc<AtomicBool>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Whether idle workers steal from partitions outside their home set.
+    work_stealing: bool,
     counters: Counters,
     retry: RetryPolicy,
     /// Transient-failure attempts per in-flight delivery tag; cleared on
@@ -219,6 +257,7 @@ impl Subscriber {
             gen_barrier: RwLock::new(()),
             stop: Arc::new(AtomicBool::new(false)),
             workers: Mutex::new(Vec::new()),
+            work_stealing: config.work_stealing,
             counters: Counters::default(),
             retry: config.retry,
             attempts: Mutex::new(HashMap::new()),
@@ -249,6 +288,8 @@ impl Subscriber {
             dead_lettered: self.counters.dead_lettered.load(Ordering::Relaxed),
             poison_messages: self.counters.poison_messages.load(Ordering::Relaxed),
             retries_exhausted: self.counters.retries_exhausted.load(Ordering::Relaxed),
+            steals: self.counters.steals.load(Ordering::Relaxed),
+            messages_stolen: self.counters.messages_stolen.load(Ordering::Relaxed),
         }
     }
 
@@ -259,10 +300,10 @@ impl Subscriber {
             None => return,
         };
         let mut workers = self.workers.lock();
-        for _ in 0..n {
+        for i in 0..n {
             let sub = Arc::clone(self);
             let consumer = consumer.clone();
-            workers.push(std::thread::spawn(move || sub.worker_loop(consumer)));
+            workers.push(std::thread::spawn(move || sub.worker_loop(consumer, i, n)));
         }
     }
 
@@ -303,10 +344,65 @@ impl Subscriber {
             && self.broker.queue_unacked_len(&self.app) == Some(0)
     }
 
-    fn worker_loop(&self, consumer: Consumer) {
+    /// Acquires the next batch for worker `worker` of `total`: drain home
+    /// partitions round-robin (non-blocking), then steal from a victim
+    /// partition, then park on the queue's wake signal. `cursor` rotates
+    /// the home scan origin across calls so one hot home partition cannot
+    /// starve its siblings between wakeups.
+    fn next_batch(
+        &self,
+        consumer: &Consumer,
+        worker: usize,
+        total: usize,
+        cursor: &mut usize,
+    ) -> Vec<Delivery> {
+        let parts = consumer.partition_count();
+        // Home scan: partitions {p : p % total == worker}.
+        let home: Vec<usize> = (0..parts).filter(|p| p % total == worker).collect();
+        if !home.is_empty() {
+            for i in 0..home.len() {
+                let p = home[(*cursor + i) % home.len()];
+                let batch = consumer.pop_batch_from(p, BATCH_MAX, Duration::ZERO);
+                if !batch.is_empty() {
+                    *cursor = (*cursor + i + 1) % home.len();
+                    return batch;
+                }
+            }
+        }
+        // Steal scan: every other partition, origin rotated by worker
+        // index so concurrent thieves start on different victims.
+        if self.work_stealing {
+            for i in 0..parts {
+                let p = (worker + 1 + i) % parts;
+                if p % total == worker {
+                    continue;
+                }
+                let batch = consumer.steal_batch(p, BATCH_MAX);
+                if !batch.is_empty() {
+                    self.counters.steals.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .messages_stolen
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    return batch;
+                }
+            }
+        }
+        // Queue-wide dry: park until a publish (or shutdown wake) arrives,
+        // then let the caller re-scan.
+        if consumer.wait_ready(IDLE_PARK) && !self.work_stealing {
+            // Ready work exists but may be homed to another worker; with
+            // stealing off this worker cannot take it, so back off instead
+            // of re-scanning in a hot loop.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Vec::new()
+    }
+
+    fn worker_loop(&self, consumer: Consumer, worker: usize, total: usize) {
         let mut pending = PendingBatch::default();
+        let mut cursor = 0usize;
         while !self.stop.load(Ordering::SeqCst) {
-            let batch = consumer.pop_batch(BATCH_MAX, IDLE_PARK);
+            let batch = self.next_batch(&consumer, worker, total.max(1), &mut cursor);
             let popped_nanos = mono_nanos();
             if batch.is_empty() {
                 // Timed out, woken for shutdown, or decommissioned. A
@@ -325,14 +421,26 @@ impl Subscriber {
             for (i, delivery) in batch.iter().enumerate() {
                 if self.stop.load(Ordering::SeqCst) {
                     // Shutting down: land finished work, requeue the rest
-                    // without charging attempts.
+                    // without charging attempts (reverse nack restores the
+                    // partition's original front order).
                     self.flush_pending(&consumer, &mut pending);
-                    for rest in &batch[i..] {
+                    for rest in batch[i..].iter().rev() {
                         consumer.nack(rest.tag);
                     }
                     return;
                 }
-                self.handle_delivery(&consumer, delivery, popped_nanos, &mut pending, &mut in_flight);
+                if !self.handle_delivery(&consumer, delivery, popped_nanos, &mut pending, &mut in_flight)
+                {
+                    // Dependency wait yielded: land finished work, hand the
+                    // unprocessed tail back (reverse nack keeps partition
+                    // order), and rescan — ready work elsewhere may be the
+                    // very messages this tail is waiting on.
+                    self.flush_pending(&consumer, &mut pending);
+                    for rest in batch[i..].iter().rev() {
+                        consumer.nack(rest.tag);
+                    }
+                    break;
+                }
             }
             self.flush_pending(&consumer, &mut pending);
         }
@@ -340,7 +448,9 @@ impl Subscriber {
 
     /// Processes one delivery of a batch: decode once, run the message
     /// machine, and either stage it on the pending batch (success) or take
-    /// the dead-letter/backoff exits of the single-message path.
+    /// the dead-letter/backoff exits of the single-message path. Returns
+    /// `false` when the delivery yielded its dependency wait — the caller
+    /// must hand the rest of the batch back and rescan.
     fn handle_delivery<'a>(
         &'a self,
         consumer: &Consumer,
@@ -348,7 +458,7 @@ impl Subscriber {
         popped_nanos: u64,
         pending: &mut PendingBatch,
         in_flight: &mut Option<RwLockReadGuard<'a, ()>>,
-    ) {
+    ) -> bool {
         if delivery.redelivered {
             self.counters.redeliveries.fetch_add(1, Ordering::Relaxed);
         }
@@ -356,11 +466,12 @@ impl Subscriber {
         let decoded = WriteMessage::decode(&delivery.payload)
             .map_err(|e| ProcessError::Poison(format!("undecodable payload: {e}")));
         let outcome = match &decoded {
-            Ok(msg) => self.process_decoded(msg, consumer, pending, in_flight),
+            Ok(msg) => self.process_decoded(msg, delivery.tag, consumer, pending, in_flight),
             Err(e) => Err(e.clone()),
         };
         match outcome {
-            Ok((mode, marks)) => {
+            Ok(Processed::Yielded) => return false,
+            Ok(Processed::Applied(mode, marks)) => {
                 if let Ok(msg) = &decoded {
                     pending.tags.push(delivery.tag);
                     pending.dep_keys.extend(msg.dep_keys());
@@ -381,7 +492,7 @@ impl Subscriber {
                     // so restarts never push an innocent message toward
                     // the dead-letter store.
                     consumer.nack(delivery.tag);
-                    return;
+                    return true;
                 }
                 let attempts = {
                     let mut map = self.attempts.lock();
@@ -405,6 +516,7 @@ impl Subscriber {
                 }
             }
         }
+        true
     }
 
     /// The per-message state machine of the batched path. Identical to
@@ -416,10 +528,11 @@ impl Subscriber {
     fn process_decoded<'a>(
         &'a self,
         msg: &WriteMessage,
+        tag: u64,
         consumer: &Consumer,
         pending: &mut PendingBatch,
         in_flight: &mut Option<RwLockReadGuard<'a, ()>>,
-    ) -> Result<(DeliveryMode, StageMarks), ProcessError> {
+    ) -> Result<Processed, ProcessError> {
         let mut marks = StageMarks::default();
         if self.generation_pending(msg) {
             // The gate write-waits on in-flight readers: land our own
@@ -437,13 +550,70 @@ impl Subscriber {
                 self.flush_pending(consumer, pending);
             }
             let wait_start = mono_nanos();
-            self.wait_deps(&deps).map_err(ProcessError::Transient)?;
+            match self.wait_deps_batched(consumer, &deps, tag) {
+                Ok(DepWait::Ready) => {}
+                Ok(DepWait::Yield) => return Ok(Processed::Yielded),
+                Err(e) => return Err(ProcessError::Transient(e)),
+            }
             marks.dep_wait_nanos = mono_nanos().saturating_sub(wait_start);
         }
         let apply_start = mono_nanos();
         self.apply_message(msg, mode)?;
         marks.apply_nanos = mono_nanos().saturating_sub(apply_start);
-        Ok((mode, marks))
+        Ok(Processed::Applied(mode, marks))
+    }
+
+    /// The batched path's dependency wait. Unlike [`Subscriber::wait_deps`]
+    /// (the single-message path, which blocks until satisfied, stopped, or
+    /// deadline), this wait yields whenever a short slice times out while
+    /// *other partitions* hold ready deliveries: with a partitioned queue,
+    /// the message that satisfies this dependency may be sitting ready in
+    /// a partition nobody has reached yet, and blocking every worker on
+    /// such inversions is a livelock (the pre-partitioning queue never had
+    /// this case — its single FIFO popped intra-app dependencies before
+    /// their dependents). When nothing is ready elsewhere the wait degrades
+    /// to the classic blocking loop, preserving wait-forever semantics for
+    /// genuinely lost dependencies (`dep_wait_timeout: None`, §6.5).
+    fn wait_deps_batched(
+        &self,
+        consumer: &Consumer,
+        deps: &DepWaitSet,
+        tag: u64,
+    ) -> Result<DepWait, String> {
+        let deadline = self
+            .dep_wait_timeout
+            .map(|t| std::time::Instant::now() + t);
+        // The first slice is short: if the dependency is mid-apply on
+        // another worker the store wakes us in microseconds either way,
+        // but if it is sitting unpopped in another partition, every
+        // millisecond spent here is pure added visibility latency before
+        // the yield below lets a worker go find it.
+        let mut slice = Duration::from_millis(1);
+        loop {
+            match self.store.wait_prepared(deps, slice) {
+                Ok(WaitOutcome::Ready) => return Ok(DepWait::Ready),
+                Ok(WaitOutcome::TimedOut) => {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return Err("stopped while waiting for dependencies".into());
+                    }
+                    if let Some(d) = deadline {
+                        if std::time::Instant::now() >= d {
+                            self.counters.dep_timeouts.fetch_add(1, Ordering::Relaxed);
+                            return Ok(DepWait::Ready); // give up and process (§6.5)
+                        }
+                    }
+                    if consumer.ready_elsewhere(tag) {
+                        return Ok(DepWait::Yield);
+                    }
+                    // Nothing ready anywhere else: settle into the classic
+                    // blocking cadence (wait-forever semantics, §6.5).
+                    slice = Duration::from_millis(10);
+                }
+                Err(StoreError::Dead) => {
+                    return Err("subscriber version store died".into());
+                }
+            }
+        }
     }
 
     /// Commits the staged breakdown and end-to-end visibility latency for

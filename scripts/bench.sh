@@ -12,6 +12,10 @@
 #   BENCH_recovery.json            — durable-broker recovery time vs WAL
 #                                    tail length, plus the checkpoint-
 #                                    interval sweep (recovery bin, PR 6)
+#   BENCH_scaling.json             — delivery-plane worker sweep: partitioned
+#                                    queues + work stealing vs the single-lock
+#                                    baseline at 4/16/64/256 workers
+#                                    (scaling bin, PR 7)
 #
 # Usage:
 #   scripts/bench.sh                           # full run, writes all JSONs
@@ -40,6 +44,7 @@ PUB_OUT="BENCH_publisher_path.json"
 PUB_BASELINE="BENCH_publisher_path.baseline.json"
 VIS_OUT="BENCH_visibility_latency.json"
 REC_OUT="BENCH_recovery.json"
+SCALE_OUT="BENCH_scaling.json"
 
 if [[ "$MODE" == "smoke" ]]; then
   FANOUT_MESSAGES="${FANOUT_MESSAGES:-500}" \
@@ -52,6 +57,7 @@ if [[ "$MODE" == "smoke" ]]; then
     RECOVERY_TOTAL="${RECOVERY_TOTAL:-256}" \
     RECOVERY_INTERVALS="${RECOVERY_INTERVALS:-0,64}" \
     cargo run --quiet --release -p synapse-bench --bin recovery_trajectory > /dev/null
+  cargo run --quiet --release -p synapse-bench --bin scaling_sweep -- --smoke > /dev/null
   echo "bench smoke: OK"
   exit 0
 fi
@@ -63,7 +69,8 @@ CRIT_LOG="$(mktemp)"
 FANOUT_LOG="$(mktemp)"
 PUB_LOG="$(mktemp)"
 VIS_LOG="$(mktemp)"
-trap 'rm -f "$CRIT_LOG" "$FANOUT_LOG" "$PUB_LOG" "$VIS_LOG"' EXIT
+SCALE_LOG="$(mktemp)"
+trap 'rm -f "$CRIT_LOG" "$FANOUT_LOG" "$PUB_LOG" "$VIS_LOG" "$SCALE_LOG"' EXIT
 
 # Criterion lines: "<name>   <ns> ns/iter"; bin lines:
 # "<scenario> <value> <unit>_per_sec".
@@ -152,6 +159,42 @@ write_recovery_json() {
   echo "bench: wrote $REC_OUT"
 }
 
+# --- delivery-plane worker-sweep trajectory (PR 7) -------------------------
+
+write_scaling_json() {
+  # The bin prints one "scaling/<arm>_<W>w <rate> msgs_per_sec" line per
+  # run; the per-worker-count speedups (partitioned over the single-lock
+  # baseline, the ISSUE 7 acceptance number at 64 workers) are computed
+  # here from those lines.
+  cargo run --quiet --release -p synapse-bench --bin scaling_sweep | tee "$SCALE_LOG"
+  {
+    echo "{"
+    echo "  \"schema\": \"synapse-bench/v1\","
+    echo "  \"generated_by\": \"scripts/bench.sh\","
+    echo "  \"git_rev\": \"$GIT_REV\","
+    echo "  \"utc\": \"$UTC\","
+    echo "  \"delivery_msgs_per_sec\": {"
+    rates_json "$SCALE_LOG"
+    echo "  },"
+    echo "  \"partitioned_speedup_vs_single_lock\": {"
+    awk '
+      /^scaling\/baseline_/    { w=$1; sub(/^scaling\/baseline_/, "", w); order[++n]=w; base[w]=$2+0 }
+      /^scaling\/partitioned_/ { w=$1; sub(/^scaling\/partitioned_/, "", w); part[w]=$2+0 }
+      END {
+        for (i = 1; i <= n; i++) {
+          w = order[i]
+          if (base[w] > 0 && w in part) {
+            printf "%s    \"%s\": %.2f", sep, w, part[w]/base[w]; sep=",\n"
+          }
+        }
+        print ""
+      }' "$SCALE_LOG"
+    echo "  }"
+    echo "}"
+  } > "$SCALE_OUT"
+  echo "bench: wrote $SCALE_OUT"
+}
+
 # --- full / fanout-baseline runs -------------------------------------------
 
 for bench in broker publish_path publisher_deps versionstore wire; do
@@ -195,4 +238,5 @@ if [[ "$MODE" == "full" ]]; then
   write_publisher_json "$PUB_OUT"
   write_visibility_json
   write_recovery_json
+  write_scaling_json
 fi

@@ -38,6 +38,13 @@ SYNAPSE_SEED="${SYNAPSE_SEED:-24210775}" \
   SYNAPSE_CRASH_SWEEP="${SYNAPSE_CRASH_SWEEP:-0}" \
   cargo test -q --test crash_restart
 
+# Delivery-plane scaling smoke (gating for liveness, not perf): the
+# partitioned work-stealing arm must drain a tiny trace with zero
+# acked-loss at every worker count and must not collapse below the
+# single-lock baseline (a collapse means livelock or accidental
+# serialization in the partition/steal path).
+cargo run --quiet --release -p synapse-bench --bin scaling_sweep -- --smoke
+
 # Optional bench smoke (non-gating for perf, gating for liveness): the
 # fanout bench must complete without deadlock or delivery loss.
 if [[ "${SYNAPSE_BENCH_SMOKE:-0}" == "1" ]]; then

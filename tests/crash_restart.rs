@@ -321,6 +321,120 @@ fn ten_seed_sweep_holds_the_invariants() {
     }
 }
 
+/// Partitioned-layout crash point: keyed publishes land in
+/// hash-determined partitions; after a torn-tail crash, WAL replay must
+/// rebuild the exact same partition membership (the tag's hint byte is
+/// the routing fact of record, so it needs no extra log records), with
+/// every durably-unacked message back in its home partition in publish
+/// order and nothing acked resurrected. In-flight pops are not logged —
+/// only acks are — so a reopen deterministically restores "published
+/// minus acked", per partition.
+#[test]
+fn partition_layout_survives_reopen() {
+    use synapse_repro::broker::tag_hint;
+
+    const PARTS: usize = 8;
+    const KEYS: u64 = 12;
+    let dir = temp_dir("partition-layout");
+    let cfg = || {
+        WalConfig::new(&dir)
+            .segment_max_bytes(4096)
+            .fsync(FsyncPolicy::EveryWrite)
+    };
+    let qcfg = QueueConfig {
+        max_len: None,
+        partitions: PARTS,
+    };
+    let home = |key: u64| (key % 256) as usize % PARTS;
+
+    let (broker, _) = Broker::open_durable(cfg()).expect("first open");
+    broker.declare_queue("q", qcfg.clone());
+    broker.bind("x", "q");
+    let consumer = broker.consumer("q").expect("queue declared");
+
+    // 48 keyed messages over 12 keys, payloads carrying (key, sequence).
+    let mut published: BTreeMap<u64, u64> = BTreeMap::new();
+    for i in 0..48u64 {
+        let key = 1 + i % KEYS;
+        let seq = published.entry(key).or_default();
+        broker
+            .publish_routed("x", format!("k{key}-{seq}"), 0, key)
+            .expect("healthy publish");
+        *seq += 1;
+    }
+
+    // Crash with a mixed ledger: a few in-flight (popped, never acked —
+    // these must come back), a few durably acked (must not), the rest
+    // never popped.
+    let inflight = consumer.pop_batch_from(home(3), 3, Duration::ZERO);
+    assert_eq!(inflight.len(), 3, "partition for key 3 had a backlog");
+    let mut acked: BTreeMap<u64, u64> = BTreeMap::new();
+    for d in consumer.pop_batch_from(home(5), 2, Duration::ZERO) {
+        assert!(consumer.ack(d.tag));
+        let key = tag_hint(d.tag) as u64; // keys 1..=12 < 256: the hint is the key
+        *acked.entry(key).or_default() += 1;
+    }
+    drop(consumer);
+    drop(broker);
+    tear_tail(&dir, 17);
+
+    let (broker, report) = Broker::open_durable(cfg()).expect("reopen");
+    assert!(report.replayed_entries > 0, "replay saw the keyed traffic");
+    broker.declare_queue("q", qcfg);
+    assert_eq!(broker.queue_partitions("q"), Some(PARTS));
+    let consumer = broker.consumer("q").expect("queue declared");
+
+    // Membership is a pure function of the replayed tags: every partition
+    // holds exactly its keys' published-minus-acked messages.
+    let mut expected = vec![0usize; PARTS];
+    for (key, n) in &published {
+        expected[home(*key)] += *n as usize;
+    }
+    for (key, n) in &acked {
+        expected[home(*key)] -= *n as usize;
+    }
+    assert_eq!(
+        broker.partition_depths("q").expect("partitioned queue"),
+        expected,
+        "reopen rebuilt the exact pre-crash partition membership"
+    );
+
+    // Drain each partition: deliveries carry their partition in the tag
+    // hint, and each key replays its full sequence in publish order with
+    // exactly the acked prefix missing.
+    let mut seen: BTreeMap<u64, u64> = BTreeMap::new();
+    for p in 0..PARTS {
+        loop {
+            let batch = consumer.pop_batch_from(p, 16, Duration::ZERO);
+            if batch.is_empty() {
+                break;
+            }
+            for d in batch {
+                assert_eq!(tag_hint(d.tag) as usize % PARTS, p, "tag hint names its partition");
+                let (key, seq) = d
+                    .payload
+                    .as_str()
+                    .strip_prefix('k')
+                    .and_then(|s| s.split_once('-'))
+                    .map(|(k, s)| (k.parse::<u64>().unwrap(), s.parse::<u64>().unwrap()))
+                    .unwrap();
+                let next = seen.entry(key).or_insert_with(|| acked.get(&key).copied().unwrap_or(0));
+                assert_eq!(seq, *next, "key {key} replays in publish order");
+                *next += 1;
+                assert!(consumer.ack(d.tag));
+            }
+        }
+    }
+    for (key, n) in &published {
+        assert_eq!(
+            seen.get(key).copied().unwrap_or(0),
+            *n,
+            "key {key} drained to its publish count"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 // --------------------------------------------------------------------------
 // Node layer: snapshot + WAL recovery resumes an interrupted bootstrap.
 // --------------------------------------------------------------------------

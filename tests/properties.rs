@@ -522,6 +522,187 @@ proptest! {
             );
         }
     }
+    /// Partitioned delivery FIFO: with keyed routing, any interleaving of
+    /// `publish_batch_routed`, targeted `pop_batch_from`, and
+    /// `steal_batch` (with immediate acks, so no redelivery) yields every
+    /// key's payloads in exact publish order — a key lives in one
+    /// partition, and pops and steals both take from the front of that
+    /// partition's ready run.
+    #[test]
+    fn routed_partitions_preserve_per_key_fifo(
+        script in prop::collection::vec((0u8..3, 1usize..7, 0usize..300), 1..48),
+        partitions in 1usize..9,
+    ) {
+        use std::collections::BTreeMap;
+        use std::time::Duration;
+        use synapse_repro::broker::{Broker, Delivery, QueueConfig};
+
+        let broker = Broker::new();
+        broker.declare_queue("q", QueueConfig { max_len: None, partitions });
+        broker.bind("x", "q");
+        let consumer = broker.consumer("q").unwrap();
+        let parts = consumer.partition_count();
+
+        let mut published: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut seen: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut check = |d: &Delivery| -> Result<(), TestCaseError> {
+            let (key, seq) = d
+                .payload
+                .as_str()
+                .strip_prefix('k')
+                .and_then(|s| s.split_once('-'))
+                .map(|(k, s)| (k.parse::<u64>().unwrap(), s.parse::<u64>().unwrap()))
+                .unwrap();
+            let expect = seen.entry(key).or_default();
+            prop_assert_eq!(seq, *expect, "key {} out of publish order", key);
+            *expect += 1;
+            Ok(())
+        };
+        for (action, n, sel) in &script {
+            match action {
+                0 => {
+                    // Batch of `n` messages over a rotating window of the
+                    // five keys; payloads carry (key, per-key sequence).
+                    let batch: Vec<(synapse_repro::broker::SharedStr, u64, u64)> = (0..*n)
+                        .map(|i| {
+                            let key = 1 + ((*sel + i) % 5) as u64;
+                            let seq = published.entry(key).or_default();
+                            let payload = format!("k{key}-{seq}");
+                            *seq += 1;
+                            (payload.into(), 0, key)
+                        })
+                        .collect();
+                    broker.publish_batch_routed("x", batch).unwrap();
+                }
+                1 => {
+                    for d in consumer.pop_batch_from(*sel % parts, *n, Duration::ZERO) {
+                        check(&d)?;
+                        consumer.ack(d.tag);
+                    }
+                }
+                _ => {
+                    for d in consumer.steal_batch(*sel % parts, *n) {
+                        check(&d)?;
+                        consumer.ack(d.tag);
+                    }
+                }
+            }
+        }
+        // Drain the tail partition by partition: per-key order must hold
+        // to the last message, and nothing may be left behind.
+        for p in 0..parts {
+            loop {
+                let batch = consumer.pop_batch_from(p, 16, Duration::ZERO);
+                if batch.is_empty() { break; }
+                for d in batch {
+                    check(&d)?;
+                    consumer.ack(d.tag);
+                }
+            }
+        }
+        prop_assert_eq!(seen, published, "every key drained to its publish count");
+    }
+
+    /// At-least-once survives work stealing: across interleavings of keyed
+    /// batch publishes, targeted pops, steals, batch acks, nacks, and
+    /// broker restarts, an acked payload never reappears and every unacked
+    /// payload stays deliverable — stealing relocates a delivery, it never
+    /// duplicates or loses one.
+    #[test]
+    fn stolen_deliveries_preserve_at_least_once(
+        script in prop::collection::vec((0u8..6, 1usize..7, 0usize..300), 1..48),
+        partitions in 1usize..9,
+    ) {
+        use std::collections::{BTreeSet, VecDeque};
+        use std::time::Duration;
+        use synapse_repro::broker::{Broker, Delivery, QueueConfig};
+
+        let broker = Broker::new();
+        broker.declare_queue("q", QueueConfig { max_len: None, partitions });
+        broker.bind("x", "q");
+        let consumer = broker.consumer("q").unwrap();
+        let parts = consumer.partition_count();
+
+        let mut next = 0u64;
+        let mut acked: BTreeSet<String> = BTreeSet::new();
+        let mut outstanding: BTreeSet<String> = BTreeSet::new();
+        let mut inflight: VecDeque<Delivery> = VecDeque::new();
+        for (action, n, sel) in &script {
+            match action {
+                0 => {
+                    let batch: Vec<(synapse_repro::broker::SharedStr, u64, u64)> = (0..*n)
+                        .map(|_| {
+                            let payload = format!("m{next}");
+                            let key = 1 + next % 7;
+                            next += 1;
+                            outstanding.insert(payload.clone());
+                            (payload.into(), 0, key)
+                        })
+                        .collect();
+                    broker.publish_batch_routed("x", batch).unwrap();
+                }
+                1 => {
+                    for d in consumer.pop_batch_from(*sel % parts, *n, Duration::ZERO) {
+                        prop_assert!(
+                            !acked.contains(d.payload.as_str()),
+                            "delivered again after ack: {}", d.payload
+                        );
+                        inflight.push_back(d);
+                    }
+                }
+                2 => {
+                    for d in consumer.steal_batch(*sel % parts, *n) {
+                        prop_assert!(
+                            !acked.contains(d.payload.as_str()),
+                            "delivered again after ack: {}", d.payload
+                        );
+                        inflight.push_back(d);
+                    }
+                }
+                3 => {
+                    let take: Vec<Delivery> =
+                        (0..*n).filter_map(|_| inflight.pop_front()).collect();
+                    let tags: Vec<u64> = take.iter().map(|d| d.tag).collect();
+                    let hits = consumer.ack_batch(&tags);
+                    prop_assert_eq!(
+                        hits as usize, take.len(),
+                        "in-flight tags are live between restarts"
+                    );
+                    for d in &take {
+                        acked.insert(d.payload.to_string());
+                        outstanding.remove(d.payload.as_str());
+                    }
+                }
+                4 => {
+                    if let Some(d) = inflight.pop_front() {
+                        consumer.nack(d.tag);
+                    }
+                }
+                _ => {
+                    broker.recover();
+                    inflight.clear();
+                }
+            }
+        }
+
+        // Final drain over the whole queue: exactly the undecided payloads
+        // must come back, wherever stealing left them.
+        broker.recover();
+        let mut delivered: BTreeSet<String> = BTreeSet::new();
+        loop {
+            let batch = consumer.pop_batch(8, Duration::from_millis(10));
+            if batch.is_empty() { break; }
+            for d in batch {
+                prop_assert!(
+                    !acked.contains(d.payload.as_str()),
+                    "delivered again after ack: {}", d.payload
+                );
+                delivered.insert(d.payload.to_string());
+                consumer.ack(d.tag);
+            }
+        }
+        prop_assert_eq!(delivered, outstanding);
+    }
 }
 
 /// End-to-end convergence under random operation sequences: whatever the
