@@ -705,6 +705,17 @@ impl Broker {
         self.inner.wal.as_ref().map(|wal| wal.stats())
     }
 
+    /// Frames-per-group-commit histogram; `None` for memory-only brokers.
+    pub fn wal_group_size(&self) -> Option<synapse_telemetry::HistogramSnapshot> {
+        self.inner.wal.as_ref().map(|wal| wal.group_size_snapshot())
+    }
+
+    /// Group-commit follower wait histogram (nanoseconds); `None` for
+    /// memory-only brokers.
+    pub fn wal_commit_wait(&self) -> Option<synapse_telemetry::HistogramSnapshot> {
+        self.inner.wal.as_ref().map(|wal| wal.commit_wait_snapshot())
+    }
+
     /// What [`Broker::open_durable`] rebuilt; `None` for memory-only
     /// brokers (a fresh durable broker reports an all-zero recovery).
     pub fn recovery_report(&self) -> Option<RecoveryReport> {

@@ -26,4 +26,6 @@ pub mod wal;
 pub use broker::{Broker, BrokerStats, Consumer, PublishError, RecoveryReport};
 pub use message::{Delivery, SharedStr};
 pub use queue::{tag_hint, tag_seq, QueueConfig, QueueState, PARTITION_HINT_SPAN};
-pub use wal::{FsyncPolicy, LogPos, ReplaySummary, Wal, WalConfig, WalRecord, WalStats};
+pub use wal::{
+    AckDurability, FsyncPolicy, LogPos, ReplaySummary, Wal, WalConfig, WalRecord, WalStats,
+};

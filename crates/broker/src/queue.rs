@@ -37,8 +37,9 @@
 //! sees the message.
 
 use crate::message::{Delivery, SharedStr};
-use crate::wal::{Wal, WalRecord};
+use crate::wal::{frame_enqueue_into, frame_record_into, Wal, WalRecord};
 use parking_lot::{Condvar, Mutex, RwLock};
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -92,10 +93,18 @@ pub(crate) struct WalBinding {
 impl WalBinding {
     /// Best-effort append for post-change records; errors are swallowed
     /// (the in-memory state is already authoritative for this process,
-    /// and replay-side conservatism covers the loss).
+    /// and replay-side conservatism covers the loss). Routed through the
+    /// configured ack-durability lane: relaxed records stage into the
+    /// next group commit instead of stalling the hot path.
     fn append_best_effort(&self, record: &WalRecord) {
-        let _ = self.wal.append(record);
+        let _ = self.wal.append_lifecycle(record);
     }
+}
+
+thread_local! {
+    /// Per-thread staging buffer for WAL frames built under partition
+    /// locks — record encoding happens here, outside every WAL lock.
+    static STAGE_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Queue configuration.
@@ -455,74 +464,118 @@ impl Queue {
         false
     }
 
-    /// Admits one payload under the held partition lock. Returns `true`
-    /// if the copy was enqueued (vs refused, dropped, or cap-killed).
-    /// When the queue is WAL-backed, the enqueue record is appended
-    /// *before* the push; an append failure refuses the copy (accepted
-    /// implies logged). A cap kill sets the decommissioned state and
-    /// refuses the triggering copy; the caller sweeps the surviving
-    /// backlog out of every partition once its own lock is released.
-    fn admit_locked(
+    /// First half of admission, under the held partition lock: policy
+    /// checks (decommission, armed drop, cap kill), tag allocation, and
+    /// — when durable — framing the enqueue record straight into
+    /// `wal_buf` (outside every WAL lock). Returns the delivery to push
+    /// once the staged frames commit; `None` means refused, dropped, or
+    /// cap-killed with nothing of this copy staged. A cap kill sets the
+    /// decommissioned state, stages the kill record behind the already
+    /// staged enqueues, and refuses the triggering copy; the caller
+    /// sweeps the surviving backlog once its own lock is released.
+    #[allow(clippy::too_many_arguments)]
+    fn stage_locked(
         &self,
-        part: &Partition,
-        inner: &mut PartitionInner,
         exchange: &SharedStr,
         payload: &SharedStr,
         origin_nanos: u64,
         hint: u8,
-    ) -> bool {
+        staged_so_far: usize,
+        wal_buf: &mut Vec<u8>,
+        frames: &mut u32,
+    ) -> Option<Delivery> {
         if self.is_decommissioned() {
             self.counters.refused.fetch_add(1, Ordering::Relaxed);
-            return false;
+            return None;
         }
         if self.consume_armed_drop() {
             // Injected silent drop: the copy vanishes before reaching the
             // log, exactly as a lost network frame would.
             self.counters.dropped.fetch_add(1, Ordering::Relaxed);
-            return false;
+            return None;
         }
         let max = self.max_len.load(Ordering::Relaxed);
-        if max != usize::MAX && self.ready_total.load(Ordering::SeqCst) >= max {
+        // `staged_so_far` counts this run's admitted-but-uncommitted
+        // copies, which `ready_total` doesn't yet include — the cap
+        // trips at exactly the copy N individual publishes would.
+        if max != usize::MAX
+            && self.ready_total.load(Ordering::SeqCst) + staged_so_far >= max
+        {
             // Kill the queue: stop accepting and refuse the triggering
-            // copy. The backlog discard is completed by the caller's
-            // post-release sweep (state is set first, so no new copy can
-            // slip in behind it).
+            // copy. The kill record rides the same staged batch, after
+            // the enqueues admitted before it.
             self.counters.refused.fetch_add(1, Ordering::Relaxed);
             self.state.store(STATE_DECOMMISSIONED, Ordering::SeqCst);
             if let Some(binding) = &self.wal {
-                binding.append_best_effort(&WalRecord::QueueKilled {
-                    queue: binding.queue.clone(),
-                });
+                frame_record_into(
+                    wal_buf,
+                    &WalRecord::QueueKilled {
+                        queue: binding.queue.clone(),
+                    },
+                );
+                *frames += 1;
             }
-            return false;
+            return None;
         }
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let tag = (seq << 8) | u64::from(hint);
         if let Some(binding) = &self.wal {
-            let record = WalRecord::Enqueue {
-                queue: binding.queue.clone(),
+            frame_enqueue_into(
+                wal_buf,
+                &binding.queue,
                 tag,
-                exchange: exchange.as_str().to_owned(),
-                payload: payload.as_str().to_owned(),
+                exchange.as_str(),
+                payload.as_str(),
                 origin_nanos,
-            };
-            if binding.wal.append(&record).is_err() {
-                self.counters.refused.fetch_add(1, Ordering::Relaxed);
-                return false;
-            }
+            );
+            *frames += 1;
         }
-        inner.ready.push_back(Delivery {
+        Some(Delivery {
             tag,
             exchange: exchange.clone(),
             payload: payload.clone(),
             redelivered: false,
             origin_nanos,
             enqueued_nanos: mono_nanos(),
-        });
-        part.len.fetch_add(1, Ordering::Relaxed);
-        self.ready_total.fetch_add(1, Ordering::SeqCst);
-        self.counters.enqueued.fetch_add(1, Ordering::Relaxed);
-        true
+        })
+    }
+
+    /// Second half of admission: commits the staged frames (one
+    /// group-commit wait for the whole run) and pushes the admitted
+    /// deliveries — still under the partition lock. Commit-before-push
+    /// is the durability contract (an enqueue is on the log before it is
+    /// visible), and holding the lock across the commit keeps
+    /// same-partition FIFO: a later tag can never commit and push ahead
+    /// of an earlier one. Returns how many deliveries were enqueued; a
+    /// commit failure refuses the entire run (nothing reached the log,
+    /// nothing becomes visible).
+    fn commit_staged_locked(
+        &self,
+        part: &Partition,
+        inner: &mut PartitionInner,
+        wal_buf: &[u8],
+        frames: u32,
+        staged: Vec<Delivery>,
+    ) -> usize {
+        if let Some(binding) = &self.wal {
+            if frames > 0 && binding.wal.commit_frames(wal_buf, frames).is_err() {
+                self.counters
+                    .refused
+                    .fetch_add(staged.len() as u64, Ordering::Relaxed);
+                return 0;
+            }
+        }
+        let n = staged.len();
+        if n == 0 {
+            return 0;
+        }
+        for d in staged {
+            inner.ready.push_back(d);
+        }
+        part.len.fetch_add(n, Ordering::Relaxed);
+        self.ready_total.fetch_add(n, Ordering::SeqCst);
+        self.counters.enqueued.fetch_add(n as u64, Ordering::Relaxed);
+        n
     }
 
     /// Discards ready + unacked backlog from every partition, counting it.
@@ -629,10 +682,16 @@ impl Queue {
         let parts = self.partitions.read();
         let hint = hint_of_key(key);
         let p = &parts[hint as usize % parts.len()];
-        let added = {
+        let added = STAGE_BUF.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            buf.clear();
+            let mut frames = 0u32;
             let mut inner = p.inner.lock();
-            usize::from(self.admit_locked(p, &mut inner, exchange, payload, origin_nanos, hint))
-        };
+            let staged = self
+                .stage_locked(exchange, payload, origin_nanos, hint, 0, &mut buf, &mut frames)
+                .map_or_else(Vec::new, |d| vec![d]);
+            self.commit_staged_locked(p, &mut inner, &buf, frames, staged)
+        });
         self.finish_enqueue(&parts, added);
     }
 
@@ -661,21 +720,74 @@ impl Queue {
             .map(|(i, (_, _, key))| ((hint_of_key(*key) as usize % count) as u32, i as u32))
             .collect();
         order.sort_by_key(|(p, _)| *p);
-        let mut added = 0usize;
-        let mut i = 0usize;
-        while i < order.len() {
-            let pi = order[i].0;
-            let p = &parts[pi as usize];
-            let mut inner = p.inner.lock();
-            while i < order.len() && order[i].0 == pi {
-                let (payload, origin, key) = &payloads[order[i].1 as usize];
-                if self.admit_locked(p, &mut inner, exchange, payload, *origin, hint_of_key(*key))
-                {
-                    added += 1;
+        let added = STAGE_BUF.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            buf.clear();
+            let mut frames = 0u32;
+            // Stage every partition run while *holding* its lock —
+            // ascending partition order, the checkpoint's lock
+            // discipline, so multi-lock holders can never deadlock each
+            // other — then commit the entire batch's frames with ONE
+            // group-commit wait. Committing per run would pay one
+            // strict commit latency per touched partition, serially;
+            // one wait per publish call is the point of the staged
+            // batch. Holding the locks across the commit keeps
+            // commit-before-push and same-partition FIFO, exactly as
+            // the per-run path did.
+            let mut locked: Vec<(u32, _, Vec<Delivery>)> = Vec::new();
+            let mut total_staged = 0usize;
+            let mut i = 0usize;
+            while i < order.len() {
+                let pi = order[i].0;
+                let p = &parts[pi as usize];
+                let mut staged: Vec<Delivery> = Vec::new();
+                let inner = p.inner.lock();
+                while i < order.len() && order[i].0 == pi {
+                    let (payload, origin, key) = &payloads[order[i].1 as usize];
+                    if let Some(d) = self.stage_locked(
+                        exchange,
+                        payload,
+                        *origin,
+                        hint_of_key(*key),
+                        total_staged,
+                        &mut buf,
+                        &mut frames,
+                    ) {
+                        staged.push(d);
+                        total_staged += 1;
+                    }
+                    i += 1;
                 }
-                i += 1;
+                locked.push((pi, inner, staged));
             }
-        }
+            let commit_ok = match &self.wal {
+                Some(binding) if frames > 0 => binding.wal.commit_frames(&buf, frames).is_ok(),
+                _ => true,
+            };
+            let mut added = 0usize;
+            for (pi, mut inner, staged) in locked {
+                if !commit_ok {
+                    // Nothing reached the log: the whole batch is
+                    // refused, nothing becomes visible.
+                    self.counters
+                        .refused
+                        .fetch_add(staged.len() as u64, Ordering::Relaxed);
+                    continue;
+                }
+                let n = staged.len();
+                if n == 0 {
+                    continue;
+                }
+                for d in staged {
+                    inner.ready.push_back(d);
+                }
+                parts[pi as usize].len.fetch_add(n, Ordering::Relaxed);
+                self.ready_total.fetch_add(n, Ordering::SeqCst);
+                self.counters.enqueued.fetch_add(n as u64, Ordering::Relaxed);
+                added += n;
+            }
+            added
+        });
         self.finish_enqueue(&parts, added);
     }
 
@@ -687,15 +799,27 @@ impl Queue {
         }
         let parts = self.partitions.read();
         let p = &parts[0];
-        let mut added = 0usize;
-        {
+        let added = STAGE_BUF.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            buf.clear();
+            let mut frames = 0u32;
+            let mut staged: Vec<Delivery> = Vec::new();
             let mut inner = p.inner.lock();
             for (payload, origin) in payloads {
-                if self.admit_locked(p, &mut inner, exchange, payload, *origin, 0) {
-                    added += 1;
+                if let Some(d) = self.stage_locked(
+                    exchange,
+                    payload,
+                    *origin,
+                    0,
+                    staged.len(),
+                    &mut buf,
+                    &mut frames,
+                ) {
+                    staged.push(d);
                 }
             }
-        }
+            self.commit_staged_locked(p, &mut inner, &buf, frames, staged)
+        });
         self.finish_enqueue(&parts, added);
     }
 
@@ -1128,6 +1252,16 @@ impl Queue {
             pending,
             dead,
         };
-        binding.wal.append(&record).map(|_| ())
+        // Frame locally (outside every WAL lock), then join the group
+        // commit. Blocking here while holding all partition locks is
+        // deadlock-free: the commit protocol takes only the WAL's own
+        // staging and IO locks, never a partition lock, and the leader
+        // finishes every epoch in bounded time — so this thread's epoch
+        // is always drained. Concurrent enqueues blocked on *this*
+        // queue's partitions simply wait their turn; enqueues to other
+        // queues share the group commit with the checkpoint itself.
+        let mut buf = Vec::with_capacity(256);
+        frame_record_into(&mut buf, &record);
+        binding.wal.commit_frames(&buf, 1)
     }
 }

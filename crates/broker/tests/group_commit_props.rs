@@ -1,0 +1,176 @@
+//! Property test for the group-commit WAL: equivalence with per-record
+//! appends.
+//!
+//! The group-commit protocol changes *how* frames reach the disk (staged
+//! batches, one fsync per leader round, multi-frame writes that never
+//! split across a segment roll) but must never change *what* the log
+//! means. The property: for any single-threaded operation sequence, a
+//! broker logging through group commit and a broker logging through the
+//! legacy per-record path recover to identical queue states — same
+//! partition depths, same per-partition payload order, same dead-letter
+//! store. Segment boundaries are allowed to differ (a staged batch rolls
+//! once, its per-record twin may roll mid-batch); the replayed state is
+//! not.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+use synapse_broker::{Broker, FsyncPolicy, QueueConfig, SharedStr, WalConfig};
+
+const PARTS: usize = 4;
+
+fn temp_dir(label: &str) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "synapse-gc-props-{label}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One step of the driven sequence. Keys stay below 256 so the tag hint
+/// *is* the key and partition membership is a pure function of the op
+/// stream.
+#[derive(Debug, Clone)]
+enum Op {
+    /// `publish_routed` with this routing key.
+    Publish { key: u64 },
+    /// `publish_batch_routed`: one staged multi-frame append on the
+    /// group-commit side, N separate appends on the legacy side.
+    PublishBatch { keys: Vec<u64> },
+    /// Pop up to `n` from partition `part`, ack them all.
+    PopAck { part: usize, n: usize },
+    /// Pop up to `n` from partition `part`, dead-letter them all.
+    PopDead { part: usize, n: usize },
+    /// Checkpoint compaction (rolls the segment, GCs history).
+    Checkpoint,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The vendored proptest's `prop_oneof!` is uniform; repeating the
+    // publish arms biases the mix toward traffic over drains.
+    prop_oneof![
+        (1u64..200).prop_map(|key| Op::Publish { key }),
+        (1u64..200).prop_map(|key| Op::Publish { key }),
+        prop::collection::vec(1u64..200, 1..6).prop_map(|keys| Op::PublishBatch { keys }),
+        prop::collection::vec(1u64..200, 1..6).prop_map(|keys| Op::PublishBatch { keys }),
+        (0usize..PARTS, 1usize..5).prop_map(|(part, n)| Op::PopAck { part, n }),
+        (0usize..PARTS, 1usize..4).prop_map(|(part, n)| Op::PopDead { part, n }),
+        Just(Op::Checkpoint),
+    ]
+}
+
+/// Drives `ops` against a fresh durable broker, drops it (flushing any
+/// staged tail), reopens, and returns the observable queue state:
+/// partition depths, per-partition drained payloads in pop order, and the
+/// dead-letter payload set.
+fn drive_and_recover(
+    dir: &std::path::Path,
+    group_commit: bool,
+    ops: &[Op],
+) -> (Vec<usize>, Vec<Vec<String>>, Vec<String>) {
+    let cfg = || {
+        WalConfig::new(dir)
+            .segment_max_bytes(2048)
+            .fsync(FsyncPolicy::Interval(4))
+            .group_commit(group_commit)
+    };
+    let qcfg = QueueConfig {
+        max_len: None,
+        partitions: PARTS,
+    };
+    let (broker, _) = Broker::open_durable(cfg()).expect("fresh open");
+    broker.declare_queue("q", qcfg.clone());
+    broker.bind("x", "q");
+    let consumer = broker.consumer("q").expect("queue declared");
+
+    let mut seq = 0u64;
+    for op in ops {
+        match op {
+            Op::Publish { key } => {
+                let p = format!("m{seq}-k{key}");
+                seq += 1;
+                broker.publish_routed("x", p, 0, *key).expect("publish");
+            }
+            Op::PublishBatch { keys } => {
+                let batch: Vec<(SharedStr, u64, u64)> = keys
+                    .iter()
+                    .map(|key| {
+                        let p = format!("m{seq}-k{key}");
+                        seq += 1;
+                        (SharedStr::from(p), 0, *key)
+                    })
+                    .collect();
+                broker.publish_batch_routed("x", batch).expect("batch publish");
+            }
+            Op::PopAck { part, n } => {
+                for d in consumer.pop_batch_from(*part, *n, Duration::ZERO) {
+                    assert!(consumer.ack(d.tag), "ack of a live delivery");
+                }
+            }
+            Op::PopDead { part, n } => {
+                for d in consumer.pop_batch_from(*part, *n, Duration::ZERO) {
+                    assert!(consumer.dead_letter(d.tag), "dead-letter of a live delivery");
+                }
+            }
+            Op::Checkpoint => {
+                broker.checkpoint().expect("checkpoint");
+            }
+        }
+    }
+    drop(consumer);
+    drop(broker);
+
+    let (broker, report) = Broker::open_durable(cfg()).expect("reopen");
+    assert_eq!(report.torn_entries_dropped, 0, "clean close leaves no torn tail");
+    broker.declare_queue("q", qcfg);
+    let consumer = broker.consumer("q").expect("queue declared");
+    let depths = broker.partition_depths("q").expect("partitioned queue");
+    let mut drained: Vec<Vec<String>> = vec![Vec::new(); PARTS];
+    for (part, out) in drained.iter_mut().enumerate() {
+        loop {
+            let batch = consumer.pop_batch_from(part, 16, Duration::ZERO);
+            if batch.is_empty() {
+                break;
+            }
+            out.extend(batch.iter().map(|d| d.payload.as_str().to_owned()));
+        }
+    }
+    let mut dead: Vec<String> = broker
+        .dead_letters("q")
+        .unwrap_or_default()
+        .iter()
+        .map(|d| d.payload.as_str().to_owned())
+        .collect();
+    dead.sort();
+    let _ = std::fs::remove_dir_all(dir);
+    (depths, drained, dead)
+}
+
+proptest! {
+    // The vendored runner's default 64 cases, each a sequence of up to 40
+    // ops, sweep publishes, staged batches, acks, dead letters, and
+    // checkpoints through both log shapes.
+    #[test]
+    fn group_commit_replays_like_per_record_appends(
+        ops in prop::collection::vec(op_strategy(), 1..40)
+    ) {
+        let grouped = drive_and_recover(&temp_dir("grouped"), true, &ops);
+        let legacy = drive_and_recover(&temp_dir("legacy"), false, &ops);
+        prop_assert_eq!(
+            &grouped.0, &legacy.0,
+            "partition depths diverge between group-commit and per-record logs"
+        );
+        prop_assert_eq!(
+            &grouped.1, &legacy.1,
+            "per-partition replay order diverges"
+        );
+        prop_assert_eq!(
+            &grouped.2, &legacy.2,
+            "dead-letter stores diverge"
+        );
+    }
+}

@@ -127,9 +127,12 @@ proptest! {
         cut_ppm in 0u64..=1_000_000,
     ) {
         let dir = temp_dir("torn");
+        // Large enough that these tiny record streams never roll; small
+        // enough that preallocating the segment stays cheap per case.
         let cfg = WalConfig::new(&dir)
-            .segment_max_bytes(u64::MAX)
+            .segment_max_bytes(64 << 10)
             .fsync(FsyncPolicy::Off);
+        let end;
         {
             let (wal, replayed, _) = Wal::open(cfg.clone()).expect("fresh open");
             prop_assert!(replayed.is_empty());
@@ -137,14 +140,17 @@ proptest! {
                 wal.append(r).expect("append");
             }
             wal.sync().expect("sync");
+            end = wal.position().offset;
         }
-        // Tear the (single) segment at an arbitrary byte — including
-        // inside the header and at offset 0.
+        // Tear the (single) segment at an arbitrary byte of its *valid*
+        // extent — including inside the header and at offset 0. (The
+        // file itself is longer: segments are preallocated to capacity,
+        // so the byte past `end` is already the zero tail replay treats
+        // as the clean end of the log.)
         let path = dir.join("segment-00000000.wal");
-        let len = std::fs::metadata(&path).expect("segment exists").len();
-        let cut = len * cut_ppm / 1_000_000;
+        let cut = end * cut_ppm / 1_000_000;
         let file = std::fs::OpenOptions::new().write(true).open(&path).expect("open");
-        file.set_len(cut.min(len)).expect("truncate");
+        file.set_len(cut).expect("truncate");
         drop(file);
 
         let (_wal, replayed, summary) = Wal::open(cfg).expect("reopen never fails");
@@ -169,19 +175,20 @@ proptest! {
     ) {
         let dir = temp_dir("appendable");
         let cfg = WalConfig::new(&dir)
-            .segment_max_bytes(u64::MAX)
+            .segment_max_bytes(64 << 10)
             .fsync(FsyncPolicy::EveryWrite);
+        let end;
         {
             let (wal, _, _) = Wal::open(cfg.clone()).expect("fresh open");
             for r in &records {
                 wal.append(r).expect("append");
             }
+            end = wal.position().offset;
         }
         let path = dir.join("segment-00000000.wal");
-        let len = std::fs::metadata(&path).expect("segment exists").len();
-        let cut = len * cut_ppm / 1_000_000;
+        let cut = end * cut_ppm / 1_000_000;
         let file = std::fs::OpenOptions::new().write(true).open(&path).expect("open");
-        file.set_len(cut.min(len)).expect("truncate");
+        file.set_len(cut).expect("truncate");
         drop(file);
 
         // A recovered log accepts new appends, and a third open replays

@@ -47,6 +47,7 @@ pub mod testing;
 
 pub use api::{Publication, Subscription};
 pub use config::{DurabilityConfig, RetryPolicy, SynapseConfig};
+pub use synapse_broker::AckDurability;
 pub use durability::{NodeSnapshot, SnapshotStats, SnapshotStore};
 pub use context::{add_read_deps, add_write_deps, in_scope, with_scope, with_user_scope};
 pub use deps::{normalize_dep_sets, DepInterner, DepName, DepSpace};

@@ -552,6 +552,15 @@ impl SynapseNode {
             extra.push(("wal.fsyncs".into(), ws.fsyncs));
             extra.push(("wal.segments_rolled".into(), ws.segments_rolled));
             extra.push(("wal.segments_removed".into(), ws.segments_removed));
+            extra.push(("wal.group_commits".into(), ws.group_commits));
+        }
+        if let Some(gs) = self.broker.wal_group_size() {
+            extra.push(("wal.group_size_p50".into(), gs.p50()));
+            extra.push(("wal.group_size_p99".into(), gs.p99()));
+        }
+        if let Some(cw) = self.broker.wal_commit_wait() {
+            extra.push(("wal.commit_wait_p50_nanos".into(), cw.p50()));
+            extra.push(("wal.commit_wait_p99_nanos".into(), cw.p99()));
         }
         if let Some(store) = &self.snapshots {
             let s = store.stats();

@@ -33,15 +33,21 @@ pub enum CrashPoint {
     /// Kill while a version-store snapshot is half-written
     /// (`SnapshotStore::inject_interrupt_next`).
     MidSnapshot,
+    /// Kill mid-group-commit: a leader's multi-frame staged batch reaches
+    /// the disk only as a strict prefix — complete frames of the batch
+    /// survive and replay, the cut frame is torn-tail truncated
+    /// (`Wal::inject_partial_append` with a multi-record batch in flight).
+    MidGroupCommit,
 }
 
 impl CrashPoint {
     /// All crash points, in rotation order.
-    pub const ALL: [CrashPoint; 4] = [
+    pub const ALL: [CrashPoint; 5] = [
         CrashPoint::MidAppend,
         CrashPoint::TornTail,
         CrashPoint::DroppedFsync,
         CrashPoint::MidSnapshot,
+        CrashPoint::MidGroupCommit,
     ];
 }
 
@@ -108,8 +114,10 @@ mod tests {
     fn every_point_is_covered_per_rotation_window() {
         for seed in 0..16u64 {
             let plan = CrashPlan::generate(seed, 8, 40);
-            let first_window: HashSet<CrashPoint> =
-                plan.events[..4].iter().map(|e| e.point).collect();
+            let first_window: HashSet<CrashPoint> = plan.events[..CrashPoint::ALL.len()]
+                .iter()
+                .map(|e| e.point)
+                .collect();
             assert_eq!(
                 first_window.len(),
                 CrashPoint::ALL.len(),

@@ -16,6 +16,10 @@
 #                                    queues + work stealing vs the single-lock
 #                                    baseline at 4/16/64/256 workers
 #                                    (scaling bin, PR 7)
+#   BENCH_durable_scaling.json     — durable delivery worker sweep: group-commit
+#                                    WAL vs the single-lock per-write append
+#                                    path vs memory-only at 4/16/64 workers
+#                                    (durable_scaling bin, PR 8)
 #
 # Usage:
 #   scripts/bench.sh                           # full run, writes all JSONs
@@ -45,6 +49,7 @@ PUB_BASELINE="BENCH_publisher_path.baseline.json"
 VIS_OUT="BENCH_visibility_latency.json"
 REC_OUT="BENCH_recovery.json"
 SCALE_OUT="BENCH_scaling.json"
+DUR_OUT="BENCH_durable_scaling.json"
 
 if [[ "$MODE" == "smoke" ]]; then
   FANOUT_MESSAGES="${FANOUT_MESSAGES:-500}" \
@@ -58,6 +63,7 @@ if [[ "$MODE" == "smoke" ]]; then
     RECOVERY_INTERVALS="${RECOVERY_INTERVALS:-0,64}" \
     cargo run --quiet --release -p synapse-bench --bin recovery_trajectory > /dev/null
   cargo run --quiet --release -p synapse-bench --bin scaling_sweep -- --smoke > /dev/null
+  cargo run --quiet --release -p synapse-bench --bin durable_scaling -- --smoke > /dev/null
   echo "bench smoke: OK"
   exit 0
 fi
@@ -70,7 +76,8 @@ FANOUT_LOG="$(mktemp)"
 PUB_LOG="$(mktemp)"
 VIS_LOG="$(mktemp)"
 SCALE_LOG="$(mktemp)"
-trap 'rm -f "$CRIT_LOG" "$FANOUT_LOG" "$PUB_LOG" "$VIS_LOG" "$SCALE_LOG"' EXIT
+DUR_LOG="$(mktemp)"
+trap 'rm -f "$CRIT_LOG" "$FANOUT_LOG" "$PUB_LOG" "$VIS_LOG" "$SCALE_LOG" "$DUR_LOG"' EXIT
 
 # Criterion lines: "<name>   <ns> ns/iter"; bin lines:
 # "<scenario> <value> <unit>_per_sec".
@@ -195,6 +202,57 @@ write_scaling_json() {
   echo "bench: wrote $SCALE_OUT"
 }
 
+# --- durable delivery worker-sweep trajectory (PR 8) -----------------------
+
+write_durable_scaling_json() {
+  # The bin prints one "durable/<arm>_<W>w <rate> msgs_per_sec" line per
+  # arm and worker count. The two ISSUE 8 acceptance numbers at 64
+  # workers — group-commit speedup over the per-write append path, and
+  # how far durable delivery sits from memory-only — are computed here
+  # per worker count from those lines.
+  cargo run --quiet --release -p synapse-bench --bin durable_scaling | tee "$DUR_LOG"
+  {
+    echo "{"
+    echo "  \"schema\": \"synapse-bench/v1\","
+    echo "  \"generated_by\": \"scripts/bench.sh\","
+    echo "  \"git_rev\": \"$GIT_REV\","
+    echo "  \"utc\": \"$UTC\","
+    echo "  \"durable_msgs_per_sec\": {"
+    rates_json "$DUR_LOG"
+    echo "  },"
+    echo "  \"group_speedup_vs_perwrite\": {"
+    awk '
+      /^durable\/group_/    { w=$1; sub(/^durable\/group_/, "", w); order[++n]=w; grp[w]=$2+0 }
+      /^durable\/perwrite_/ { w=$1; sub(/^durable\/perwrite_/, "", w); per[w]=$2+0 }
+      END {
+        for (i = 1; i <= n; i++) {
+          w = order[i]
+          if (per[w] > 0 && w in grp) {
+            printf "%s    \"%s\": %.2f", sep, w, grp[w]/per[w]; sep=",\n"
+          }
+        }
+        print ""
+      }' "$DUR_LOG"
+    echo "  },"
+    echo "  \"memory_over_group\": {"
+    awk '
+      /^durable\/group_/  { w=$1; sub(/^durable\/group_/, "", w); order[++n]=w; grp[w]=$2+0 }
+      /^durable\/memory_/ { w=$1; sub(/^durable\/memory_/, "", w); mem[w]=$2+0 }
+      END {
+        for (i = 1; i <= n; i++) {
+          w = order[i]
+          if (grp[w] > 0 && w in mem) {
+            printf "%s    \"%s\": %.2f", sep, w, mem[w]/grp[w]; sep=",\n"
+          }
+        }
+        print ""
+      }' "$DUR_LOG"
+    echo "  }"
+    echo "}"
+  } > "$DUR_OUT"
+  echo "bench: wrote $DUR_OUT"
+}
+
 # --- full / fanout-baseline runs -------------------------------------------
 
 for bench in broker publish_path publisher_deps versionstore wire; do
@@ -239,4 +297,5 @@ if [[ "$MODE" == "full" ]]; then
   write_visibility_json
   write_recovery_json
   write_scaling_json
+  write_durable_scaling_json
 fi

@@ -6,7 +6,23 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# `--smoke` runs the liveness subset only: release build plus the
+# delivery-plane and durable-mode smoke gates — the fast pre-push check.
+MODE="full"
+case "${1:-}" in
+  --smoke) MODE="smoke" ;;
+  "") ;;
+  *) echo "usage: scripts/tier1.sh [--smoke]" >&2; exit 2 ;;
+esac
+
 cargo build --release
+
+if [[ "$MODE" == "smoke" ]]; then
+  cargo run --quiet --release -p synapse-bench --bin scaling_sweep -- --smoke
+  cargo run --quiet --release -p synapse-bench --bin durable_scaling -- --smoke
+  echo "tier1 --smoke: OK"
+  exit 0
+fi
 
 # Lint gate: warnings are errors across every first-party target
 # (vendored crates are excluded — they are not ours to lint).
@@ -44,6 +60,13 @@ SYNAPSE_SEED="${SYNAPSE_SEED:-24210775}" \
 # single-lock baseline (a collapse means livelock or accidental
 # serialization in the partition/steal path).
 cargo run --quiet --release -p synapse-bench --bin scaling_sweep -- --smoke
+
+# Durable-mode liveness gate (gating for liveness, not perf): the
+# group-commit WAL must drain a tiny durable trace with zero acked-loss
+# at every worker count, must not collapse below the per-write append
+# baseline, and a publish→deliver→crash→recover round trip under
+# Interval fsync must come back with exactly published-minus-acked.
+cargo run --quiet --release -p synapse-bench --bin durable_scaling -- --smoke
 
 # Optional bench smoke (non-gating for perf, gating for liveness): the
 # fanout bench must complete without deadlock or delivery loss.

@@ -8,8 +8,10 @@
 //!   [`CrashPlan`] drives rounds of publish/pop/ack against a durable
 //!   broker and kills it at a rotating crash point — mid-append (a torn
 //!   frame poisons the log), torn tail (garbage bytes after the last good
-//!   frame), dropped fsyncs followed by power failure (the disk lied), and
-//!   a crash right after a checkpoint compaction. Every reopen must replay
+//!   frame), dropped fsyncs followed by power failure (the disk lied),
+//!   a crash right after a checkpoint compaction, and mid-group-commit
+//!   (a leader's multi-frame staged batch reaches disk only as a strict
+//!   prefix). Every reopen must replay
 //!   a consistent prefix: all durably-confirmed unacked messages present,
 //!   no acked message redelivered, no phantom payloads.
 //! * **Node layer** (`node_recovery_resumes_interrupted_bootstrap`): a
@@ -30,9 +32,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use synapse_repro::broker::{
-    Broker, FsyncPolicy, QueueConfig, WalConfig,
-};
+use synapse_repro::broker::{Broker, FsyncPolicy, QueueConfig, SharedStr, WalConfig};
 use synapse_repro::core::{Ecosystem, Publication, Subscription, SynapseConfig, SynapseNode};
 use synapse_repro::db::LatencyModel;
 use synapse_repro::faults::{CrashPlan, CrashPoint, SeededRng};
@@ -101,8 +101,8 @@ fn tear_tail(dir: &std::path::Path, n: u64) {
 }
 
 /// Rounds in the broker-layer soak. The crash-point rotation in
-/// [`CrashPlan::generate`] guarantees all four points fire within any
-/// window of four rounds, so six rounds cover every point at least once.
+/// [`CrashPlan::generate`] guarantees all five points fire within any
+/// window of five rounds, so six rounds cover every point at least once.
 const ROUNDS: usize = 6;
 /// Upper bound on publishes per round (the plan draws `after_ops` from
 /// `1..=OPS_PER_ROUND`).
@@ -252,6 +252,36 @@ fn run_crash_soak(seed: u64) {
                 drop(broker);
                 tear_tail(&dir, event.cut_back);
                 continue;
+            }
+            CrashPoint::MidGroupCommit => {
+                points_fired.insert("mid-group-commit");
+                let wal = broker.wal().expect("durable broker has a wal");
+                // The cut lands somewhere inside a four-frame staged batch
+                // (write_batch always clamps to a strict prefix): complete
+                // prefix frames reach disk and replay as live, the cut
+                // frame is torn-tail truncated on reopen.
+                wal.inject_partial_append(20 + event.cut_back * 3);
+                let mut batch: Vec<(SharedStr, u64, u64)> = Vec::new();
+                let mut staged: Vec<String> = Vec::new();
+                for i in 0..4u64 {
+                    let p = format!("r{round}-gc-{seq}");
+                    seq += 1;
+                    staged.push(p.clone());
+                    batch.push((SharedStr::from(p), 0, 1 + i));
+                }
+                assert!(
+                    broker.publish_batch_routed("x", batch).is_err(),
+                    "a batch whose group commit died mid-write must fail"
+                );
+                // The publisher saw Err, so none of these are promised.
+                // Complete prefix frames may still replay as live —
+                // at-least-once allows their presence but forbids
+                // requiring them, exactly the `suspect` contract.
+                suspect.extend(staged);
+                assert!(
+                    broker.publish("x", "post-batch-poison").is_err(),
+                    "a poisoned log must refuse all further publishes"
+                );
             }
         }
         drop(consumer);
