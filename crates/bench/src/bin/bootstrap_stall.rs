@@ -1,0 +1,231 @@
+//! Bootstrap stall elimination: live delivery throughput with and without
+//! a concurrent watermark-interleaved bootstrap.
+//!
+//! The headline claim of the §4.4 rebuild is that a chunked copy no
+//! longer pauses the live stream: chunks ride the partitioned delivery
+//! queue behind live traffic instead of forcing a stop-the-world drain.
+//! This harness measures that directly. Both arms drive the same live
+//! write load through a publisher/subscriber pair seeded with a large
+//! backlog of Posts:
+//!
+//! * `live_only` — the subscriber bootstraps *first*, then the live load
+//!   runs against a converged node (the steady-state ceiling);
+//! * `live_during_bootstrap` — the live load and the full chunked copy
+//!   run concurrently, and the arm's rate is measured over exactly the
+//!   live (causal-slice) deliveries, not the copies.
+//!
+//! Prints `bootstrap_stall/<arm> <rate> msgs_per_sec` lines plus
+//! `bootstrap_stall/<metric> <value> ns` lines (steady vs. during-copy
+//! live queue-residency p99, and the longest gap between consecutive
+//! subscriber-side applies inside the bootstrap window), consumed by
+//! `scripts/bench.sh` into `BENCH_bootstrap_stall.json`. Tunables:
+//! `STALL_SEED_ROWS` (default 4000), `STALL_LIVE_OPS` (default 2000).
+//!
+//! `--smoke` runs tiny counts and gates on liveness: the copy must merge
+//! through the queue, convergence must be exact, no apply gap during the
+//! copy may exceed one second, and the during-bootstrap arm must not
+//! collapse below 0.2x the live-only arm (a collapse means the copy is
+//! starving or pausing live delivery again).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use synapse_core::{
+    Ecosystem, ModeSlice, Publication, Stage, Subscription, SynapseConfig, SynapseNode,
+};
+use synapse_db::LatencyModel;
+use synapse_model::{vmap, ModelSchema};
+use synapse_orm::adapters::MongoidAdapter;
+use synapse_orm::CallbackPoint;
+
+fn env_count(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn mongo_node(eco: &Ecosystem, config: SynapseConfig) -> Arc<SynapseNode> {
+    let node = eco.add_node(
+        config,
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    node.orm().define_model(ModelSchema::open("Post")).unwrap();
+    node
+}
+
+struct RunResult {
+    /// Live (causal-slice) deliveries per second over the measured load.
+    rate: f64,
+    /// Live queue-residency p99 at the end of the run.
+    live_p99_nanos: u64,
+    /// Longest gap between consecutive subscriber applies inside the
+    /// bootstrap window (0 for the live-only arm).
+    max_gap_nanos: u64,
+    /// Copies merged through the delivery queue during the run.
+    copies_merged: u64,
+}
+
+/// Runs one arm: seeds `seed_rows` Posts, then drives `live_ops` creates
+/// from a writer thread and measures how fast they become visible on the
+/// subscriber. With `concurrent_bootstrap` the chunked copy runs in the
+/// middle of the live load; otherwise it completes before the clock
+/// starts.
+fn run(seed_rows: u64, live_ops: u64, concurrent_bootstrap: bool) -> RunResult {
+    let eco = Ecosystem::new();
+    let publisher = mongo_node(&eco, SynapseConfig::new("pub"));
+    publisher
+        .publish(Publication::model("Post").fields(&["body", "version"]))
+        .unwrap();
+    let subscriber = mongo_node(
+        &eco,
+        SynapseConfig::new("sub")
+            .wait_timeout(Some(Duration::from_millis(50)))
+            .workers(2)
+            .bootstrap_chunk(16)
+            .bootstrap_window_timeout(Duration::from_millis(250)),
+    );
+    subscriber
+        .subscribe(Subscription::model("Post", "pub").fields(&["body", "version"]))
+        .unwrap();
+
+    // Apply clock: every subscriber-side Post write stamps the shared
+    // cell; gaps between stamps measure delivery liveness under the copy.
+    let t0 = Instant::now();
+    let last_apply = Arc::new(AtomicU64::new(0));
+    let max_gap = Arc::new(AtomicU64::new(0));
+    for point in [CallbackPoint::AfterCreate, CallbackPoint::AfterUpdate] {
+        let last_apply = last_apply.clone();
+        let max_gap = max_gap.clone();
+        subscriber.orm().on("Post", point, move |_ctx, _record| {
+            let now = t0.elapsed().as_nanos() as u64;
+            let prev = last_apply.swap(now, Ordering::Relaxed);
+            if prev > 0 && now > prev {
+                max_gap.fetch_max(now - prev, Ordering::Relaxed);
+            }
+            Ok(())
+        });
+    }
+
+    for i in 0..seed_rows {
+        publisher
+            .orm()
+            .create("Post", vmap! { "body" => format!("seed-{i}"), "version" => i as i64 })
+            .unwrap();
+    }
+    eco.connect();
+    subscriber.start();
+
+    if !concurrent_bootstrap {
+        // Steady-state arm: converge first, measure live-only after.
+        subscriber.bootstrap_from(&publisher).unwrap();
+        assert!(subscriber.subscriber().drain(Duration::from_secs(60)));
+    }
+
+    let delivered_before = subscriber.telemetry().delivered(ModeSlice::Causal);
+    // Reset the gap clock so the measurement window starts at the load,
+    // not at the seed copy the live-only arm just drained.
+    last_apply.store(0, Ordering::Relaxed);
+    max_gap.store(0, Ordering::Relaxed);
+
+    let start = Instant::now();
+    let writer = {
+        let publisher = publisher.clone();
+        std::thread::spawn(move || {
+            for i in 0..live_ops {
+                publisher
+                    .orm()
+                    .create(
+                        "Post",
+                        vmap! { "body" => format!("live-{i}"), "version" => (seed_rows + i) as i64 },
+                    )
+                    .unwrap();
+                std::thread::yield_now();
+            }
+        })
+    };
+    if concurrent_bootstrap {
+        subscriber.bootstrap_from(&publisher).unwrap();
+        let stats = subscriber.bootstrap_stats();
+        assert_eq!(stats.completions, 1, "the concurrent bootstrap must converge");
+    }
+    writer.join().unwrap();
+
+    // Every live message must become visible before the clock stops.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while subscriber.telemetry().delivered(ModeSlice::Causal) < delivered_before + live_ops {
+        assert!(
+            Instant::now() < deadline,
+            "subscriber failed to drain the live load ({}/{live_ops})",
+            subscriber.telemetry().delivered(ModeSlice::Causal) - delivered_before,
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let elapsed = start.elapsed();
+    assert!(subscriber.subscriber().drain(Duration::from_secs(60)));
+
+    assert_eq!(
+        subscriber.orm().count("Post").unwrap(),
+        publisher.orm().count("Post").unwrap(),
+        "exact convergence with the writer racing the copy"
+    );
+    let snap = subscriber.telemetry_snapshot();
+    let result = RunResult {
+        rate: live_ops as f64 / elapsed.as_secs_f64(),
+        live_p99_nanos: snap.stage(ModeSlice::Causal, Stage::QueueResidency).p99_nanos,
+        max_gap_nanos: if concurrent_bootstrap {
+            max_gap.load(Ordering::Relaxed)
+        } else {
+            0
+        },
+        copies_merged: subscriber.bootstrap_stats().copies_merged,
+    };
+    eco.stop_all();
+    result
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed_rows = env_count("STALL_SEED_ROWS", if smoke { 400 } else { 4_000 });
+    let live_ops = env_count("STALL_LIVE_OPS", if smoke { 300 } else { 2_000 });
+
+    let live_only = run(seed_rows, live_ops, false);
+    let during = run(seed_rows, live_ops, true);
+    assert!(
+        during.copies_merged > 0,
+        "the concurrent copy must ride the partitioned delivery queue"
+    );
+
+    println!("bootstrap_stall/live_only {:.0} msgs_per_sec", live_only.rate);
+    println!("bootstrap_stall/live_during_bootstrap {:.0} msgs_per_sec", during.rate);
+    println!("bootstrap_stall/steady_residency_p99 {} ns", live_only.live_p99_nanos);
+    println!("bootstrap_stall/bootstrap_residency_p99 {} ns", during.live_p99_nanos);
+    println!("bootstrap_stall/max_apply_gap {} ns", during.max_gap_nanos);
+    eprintln!(
+        "# live retention under bootstrap: {:.2}x ({} copies merged)",
+        during.rate / live_only.rate,
+        during.copies_merged
+    );
+
+    if smoke {
+        // Liveness gates only — the recorded full-trace artifact carries
+        // the perf numbers. A during-bootstrap arm far below the
+        // steady-state ceiling, or a long apply gap, means the copy is
+        // pausing live delivery again.
+        assert!(
+            during.max_gap_nanos < 1_000_000_000,
+            "smoke: a {}ms apply gap opened during the copy",
+            during.max_gap_nanos / 1_000_000
+        );
+        assert!(
+            during.rate >= live_only.rate * 0.2,
+            "smoke: live delivery collapsed under the copy ({:.0} vs {:.0} msgs/s)",
+            during.rate,
+            live_only.rate
+        );
+        println!(
+            "bootstrap_stall smoke ok: {live_ops} live msgs drained during a {seed_rows}-row copy"
+        );
+    }
+}

@@ -69,6 +69,39 @@ impl std::fmt::Display for PublishError {
 
 impl std::error::Error for PublishError {}
 
+/// Reserved exchange name carried by bootstrap watermark markers. Not a
+/// real exchange: markers are injected per-queue by
+/// [`Broker::publish_watermark`], never routed through bindings, and a
+/// subscriber recognizes them by this name on the delivery envelope.
+pub const WATERMARK_EXCHANGE: &str = "__synapse.watermark__";
+
+/// Reserved exchange name carried by bootstrap chunk-copy deliveries
+/// merged into a subscriber's own queue by
+/// [`Broker::publish_to_queue`]. Distinguishes copies (strict
+/// version-admission, no dependency wait) from live traffic.
+pub const BOOTSTRAP_EXCHANGE: &str = "__synapse.bootstrap__";
+
+/// Encodes a watermark marker payload: `wm:<lo|hi>:<session>:<chunk>`.
+/// Human-readable on purpose — markers show up in WAL dumps and
+/// dead-letter inspections during debugging.
+pub fn watermark_payload(session: u64, chunk: u64, high: bool) -> String {
+    format!("wm:{}:{session}:{chunk}", if high { "hi" } else { "lo" })
+}
+
+/// Decodes a watermark marker payload into `(session, chunk, high)`;
+/// `None` for anything that is not a well-formed marker.
+pub fn parse_watermark(payload: &str) -> Option<(u64, u64, bool)> {
+    let rest = payload.strip_prefix("wm:")?;
+    let (bound, rest) = rest.split_once(':')?;
+    let high = match bound {
+        "hi" => true,
+        "lo" => false,
+        _ => return None,
+    };
+    let (session, chunk) = rest.split_once(':')?;
+    Some((session.parse().ok()?, chunk.parse().ok()?, high))
+}
+
 /// Topology: declared queues, exchange bindings, and the routing table
 /// resolved from them. Mutated only by declare/bind (rare); the publish hot
 /// path takes a read lock and walks `resolved`.
@@ -179,6 +212,28 @@ impl RecoveredQueue {
                     self.dead.push((tag, exchange, payload, origin));
                 }
             }
+            WalRecord::Watermark {
+                tag,
+                session,
+                chunk,
+                high,
+                ..
+            } => {
+                // An unconsumed marker must survive a crash: the subscriber's
+                // reconciliation window for that chunk is still open, so
+                // replay resynthesizes the marker delivery in its original
+                // position. The payload is self-describing, so checkpointed
+                // markers round-trip through `Checkpoint.pending` for free.
+                self.pending.insert(
+                    tag,
+                    (
+                        WATERMARK_EXCHANGE.to_owned(),
+                        watermark_payload(session, chunk, high),
+                        0,
+                    ),
+                );
+                self.next_seq = self.next_seq.max(tag_seq(tag) + 1);
+            }
             WalRecord::QueueKilled { .. } => {
                 self.pending.clear();
                 self.decommissioned = true;
@@ -284,6 +339,7 @@ impl Broker {
                 WalRecord::Enqueue { queue, .. }
                 | WalRecord::Ack { queue, .. }
                 | WalRecord::DeadLetter { queue, .. }
+                | WalRecord::Watermark { queue, .. }
                 | WalRecord::QueueKilled { queue }
                 | WalRecord::QueueReinstated { queue }
                 | WalRecord::Checkpoint { queue, .. } => queue.clone(),
@@ -543,7 +599,7 @@ impl Broker {
         let routes = self.inner.routes.read();
         if let Some((shared_exchange, targets)) = routes.resolved.get(exchange) {
             for queue in targets {
-                queue.enqueue_batch_routed(shared_exchange, &payloads);
+                queue.enqueue_batch_routed(shared_exchange, &payloads, false);
             }
         }
         drop(routes);
@@ -555,6 +611,84 @@ impl Broker {
         let accepted = payloads.len() as u64;
         self.inner.published.fetch_add(accepted, Ordering::Relaxed);
         Ok(accepted)
+    }
+
+    /// Injects a bootstrap watermark marker into every partition of
+    /// `queue` (DBLog-style lo/hi watermark, one marker per partition so
+    /// each worker observes its own lane's boundary). Markers bypass
+    /// bindings, backlog caps, and armed publish/drop faults — they are
+    /// control traffic from the node's own bootstrap, not publisher data —
+    /// but are WAL-framed atomically so an unconsumed marker survives a
+    /// crash in its original stream position.
+    ///
+    /// Returns the number of markers enqueued: 0 if the queue is unknown,
+    /// decommissioned, or the WAL refused the frame; otherwise the
+    /// partition count.
+    pub fn publish_watermark(&self, queue: &str, session: u64, chunk: u64, high: bool) -> usize {
+        if self.wal_is_poisoned() {
+            return 0;
+        }
+        let routes = self.inner.routes.read();
+        let Some(q) = routes.queues.get(queue) else {
+            return 0;
+        };
+        let exchange = SharedStr::from(WATERMARK_EXCHANGE);
+        let payload = SharedStr::from(watermark_payload(session, chunk, high).as_str());
+        q.enqueue_watermark(&exchange, &payload, session, chunk, high)
+    }
+
+    /// Enqueues payloads directly into one named queue, bypassing exchange
+    /// bindings (and armed publish faults — this is the node's own
+    /// bootstrap merging chunk copies into its subscriber's queue, not a
+    /// publisher on the wire). Payloads are `(payload, origin_nanos,
+    /// route_key)` exactly as in [`Broker::publish_batch_routed`], so
+    /// copies land in the same partition as live traffic for their key.
+    ///
+    /// Returns the number accepted; short counts (queue unknown,
+    /// decommissioned, or WAL commit failure) mean the remainder was NOT
+    /// enqueued and the caller should retry the chunk.
+    pub fn publish_to_queue(
+        &self,
+        queue: &str,
+        exchange: &str,
+        payloads: Vec<(SharedStr, u64, u64)>,
+    ) -> usize {
+        if payloads.is_empty() {
+            return 0;
+        }
+        if self.wal_is_poisoned() {
+            return 0;
+        }
+        let routes = self.inner.routes.read();
+        let Some(q) = routes.queues.get(queue) else {
+            return 0;
+        };
+        let shared_exchange = SharedStr::from(exchange);
+        // Bootstrap merges are cap-exempt: the copier is flow-controlled
+        // by its chunk windows, and a cap kill here would sweep the live
+        // backlog the resume watermarks depend on.
+        let added = q.enqueue_batch_routed(&shared_exchange, &payloads, true);
+        drop(routes);
+        if self.wal_is_poisoned() {
+            return 0;
+        }
+        self.inner.published.fetch_add(added as u64, Ordering::Relaxed);
+        added
+    }
+
+    /// Lineage signals for bootstrap-resume decisions: cumulative
+    /// `(discarded, refused, dropped)` counts for `queue`. Movement in the
+    /// loss counters (discarded — backlog swept by a decommission — or
+    /// dropped) between two bootstrap attempts means live-stream coverage
+    /// was broken, so committed copy watermarks can no longer be trusted
+    /// to resume from. Refused publishes are reported too but are not a
+    /// loss signal: the publisher journal republishes them.
+    pub fn queue_discard_stats(&self, queue: &str) -> Option<(u64, u64, u64)> {
+        let routes = self.inner.routes.read();
+        routes.queues.get(queue).map(|q| {
+            let c = q.counters();
+            (c.discarded, c.refused, c.dropped)
+        })
     }
 
     /// Returns a consumer handle for `queue`, or `None` if undeclared.
@@ -880,6 +1014,16 @@ impl Consumer {
     /// Whether the queue has been decommissioned.
     pub fn is_decommissioned(&self) -> bool {
         self.queue.is_decommissioned()
+    }
+
+    /// Blocks until the queue is quiescent — zero ready deliveries AND
+    /// zero unacked in-flight — or `timeout` passes. Event-driven: parks
+    /// on a condvar that acks/dead-letters/sweeps notify, so there is no
+    /// busy-poll. Returns whether the queue was quiescent on return.
+    /// Subscribers ack only after the version-store apply commits, so
+    /// quiescent implies every accepted delivery is applied.
+    pub fn wait_quiescent(&self, timeout: Duration) -> bool {
+        self.queue.wait_quiescent(timeout)
     }
 }
 

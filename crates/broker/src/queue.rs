@@ -36,8 +36,15 @@
 //! never be missed: either the enqueuer sees the sleeper, or the sleeper
 //! sees the message.
 
+use crate::broker::WATERMARK_EXCHANGE;
 use crate::message::{Delivery, SharedStr};
 use crate::wal::{frame_enqueue_into, frame_record_into, Wal, WalRecord};
+
+/// True when a delivery is a watermark control marker rather than
+/// application backlog (markers are exempt from the backlog cap).
+fn is_marker(d: &Delivery) -> bool {
+    d.exchange == WATERMARK_EXCHANGE
+}
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -213,6 +220,11 @@ pub(crate) struct Queue {
     /// only the condvar handshake — no queue state lives under it.
     idle: Mutex<()>,
     idle_cv: Condvar,
+    /// Signalled (under `idle`) whenever the queue transitions to
+    /// quiescent — no ready and no unacked deliveries. Backs the
+    /// event-driven [`Queue::wait_quiescent`] that replaced the
+    /// subscriber's drain busy-poll.
+    quiet_cv: Condvar,
     /// `SeqCst` mirror of how many consumers are parked (or committing to
     /// park) on `idle_cv`; pairs with `ready_total` for lost-wakeup-free
     /// counted notification.
@@ -232,6 +244,12 @@ pub(crate) struct Queue {
     /// Ready deliveries across all partitions (the lock-free depth gauge
     /// and the enqueue/park handshake word).
     ready_total: AtomicUsize,
+    /// How many of `ready_total` are watermark control markers. Markers
+    /// are transient protocol traffic bounded by `2 × partitions` per
+    /// bootstrap chunk, not application backlog, so the cap check
+    /// subtracts them — otherwise a trailing chunk's unconsumed markers
+    /// could trip a small cap and kill a healthy queue under live load.
+    marker_ready: AtomicUsize,
     /// In-flight (popped, unacked) deliveries across all partitions.
     unacked_total: AtomicUsize,
     /// Dead-letter store: deliveries a consumer gave up on. Out of the
@@ -254,6 +272,7 @@ impl Queue {
             partitions: RwLock::new(build_partitions(config.effective_partitions())),
             idle: Mutex::new(()),
             idle_cv: Condvar::new(),
+            quiet_cv: Condvar::new(),
             sleepers: AtomicUsize::new(0),
             wake_epoch: AtomicU64::new(0),
             state: AtomicU8::new(STATE_ACTIVE),
@@ -261,6 +280,7 @@ impl Queue {
             max_len: AtomicUsize::new(config.encoded_max_len()),
             drop_next: AtomicU64::new(0),
             ready_total: AtomicUsize::new(0),
+            marker_ready: AtomicUsize::new(0),
             unacked_total: AtomicUsize::new(0),
             dead: Mutex::new(Vec::new()),
             dead_len: AtomicUsize::new(0),
@@ -292,14 +312,18 @@ impl Queue {
             for (tag, exchange, payload, origin_nanos) in pending {
                 let p = &parts[partition_of(tag, count)];
                 let mut inner = p.inner.lock();
-                inner.ready.push_back(Delivery {
+                let delivery = Delivery {
                     tag,
                     exchange,
                     payload,
                     redelivered: true,
                     origin_nanos,
                     enqueued_nanos: now,
-                });
+                };
+                if is_marker(&delivery) {
+                    queue.marker_ready.fetch_add(1, Ordering::SeqCst);
+                }
+                inner.ready.push_back(delivery);
                 p.len.fetch_add(1, Ordering::Relaxed);
                 queue.ready_total.fetch_add(1, Ordering::SeqCst);
             }
@@ -473,6 +497,13 @@ impl Queue {
     /// decommissioned state, stages the kill record behind the already
     /// staged enqueues, and refuses the triggering copy; the caller
     /// sweeps the surviving backlog once its own lock is released.
+    ///
+    /// `exempt_cap` skips the cap kill (not the decommission check): the
+    /// backlog cap is slow-consumer protection against unbounded *live*
+    /// backlog (§4.4), while the node's own bootstrap merges are
+    /// flow-controlled by the chunk/window protocol — letting a chunk
+    /// merge trip the kill would sweep the live backlog and break the
+    /// very lineage the resume watermarks depend on.
     #[allow(clippy::too_many_arguments)]
     fn stage_locked(
         &self,
@@ -481,6 +512,7 @@ impl Queue {
         origin_nanos: u64,
         hint: u8,
         staged_so_far: usize,
+        exempt_cap: bool,
         wal_buf: &mut Vec<u8>,
         frames: &mut u32,
     ) -> Option<Delivery> {
@@ -498,9 +530,13 @@ impl Queue {
         // `staged_so_far` counts this run's admitted-but-uncommitted
         // copies, which `ready_total` doesn't yet include — the cap
         // trips at exactly the copy N individual publishes would.
-        if max != usize::MAX
-            && self.ready_total.load(Ordering::SeqCst) + staged_so_far >= max
-        {
+        // Watermark markers are subtracted: they are bounded control
+        // traffic, not the unbounded backlog the cap protects against.
+        let backlog = self
+            .ready_total
+            .load(Ordering::SeqCst)
+            .saturating_sub(self.marker_ready.load(Ordering::SeqCst));
+        if !exempt_cap && max != usize::MAX && backlog + staged_so_far >= max {
             // Kill the queue: stop accepting and refuse the triggering
             // copy. The kill record rides the same staged batch, after
             // the enqueues admitted before it.
@@ -596,6 +632,9 @@ impl Queue {
             inner.ready.clear();
             inner.unacked.clear();
         }
+        // Every ready delivery is gone, markers included.
+        self.marker_ready.store(0, Ordering::SeqCst);
+        self.maybe_notify_quiet();
     }
 
     /// Post-enqueue epilogue: completes a cap kill (sweep + wake everyone
@@ -688,7 +727,7 @@ impl Queue {
             let mut frames = 0u32;
             let mut inner = p.inner.lock();
             let staged = self
-                .stage_locked(exchange, payload, origin_nanos, hint, 0, &mut buf, &mut frames)
+                .stage_locked(exchange, payload, origin_nanos, hint, 0, false, &mut buf, &mut frames)
                 .map_or_else(Vec::new, |d| vec![d]);
             self.commit_staged_locked(p, &mut inner, &buf, frames, staged)
         });
@@ -701,13 +740,18 @@ impl Queue {
     /// [`Queue::enqueue_routed`] (a mid-batch cap kill refuses the
     /// remainder, exactly as N individual publishes would). Within each
     /// partition the batch's relative payload order is preserved.
+    /// Returns how many copies were admitted (refused/dropped copies are
+    /// counted but not enqueued). `exempt_cap` marks the node's own
+    /// bootstrap merges, which must not trip the backlog-cap kill (see
+    /// [`Queue::stage_locked`]).
     pub(crate) fn enqueue_batch_routed(
         &self,
         exchange: &SharedStr,
         payloads: &[(SharedStr, u64, u64)],
-    ) {
+        exempt_cap: bool,
+    ) -> usize {
         if payloads.is_empty() {
-            return;
+            return 0;
         }
         let parts = self.partitions.read();
         let count = parts.len();
@@ -750,6 +794,7 @@ impl Queue {
                         *origin,
                         hint_of_key(*key),
                         total_staged,
+                        exempt_cap,
                         &mut buf,
                         &mut frames,
                     ) {
@@ -789,6 +834,7 @@ impl Queue {
             added
         });
         self.finish_enqueue(&parts, added);
+        added
     }
 
     /// Legacy unkeyed batch enqueue (everything routes to partition 0,
@@ -812,6 +858,7 @@ impl Queue {
                     *origin,
                     0,
                     staged.len(),
+                    false,
                     &mut buf,
                     &mut frames,
                 ) {
@@ -836,12 +883,19 @@ impl Queue {
         if n == 0 {
             return;
         }
+        let mut markers = 0usize;
         for _ in 0..n {
             let delivery = inner.ready.pop_front().expect("len checked");
+            if is_marker(&delivery) {
+                markers += 1;
+            }
             inner.unacked.insert(delivery.tag, delivery.clone());
             out.push(delivery);
         }
         part.len.fetch_sub(n, Ordering::Relaxed);
+        if markers > 0 {
+            self.marker_ready.fetch_sub(markers, Ordering::SeqCst);
+        }
         self.ready_total.fetch_sub(n, Ordering::SeqCst);
         self.unacked_total.fetch_add(n, Ordering::SeqCst);
     }
@@ -860,6 +914,9 @@ impl Queue {
                     if let Some(delivery) = inner.ready.pop_front() {
                         inner.unacked.insert(delivery.tag, delivery.clone());
                         p.len.fetch_sub(1, Ordering::Relaxed);
+                        if is_marker(&delivery) {
+                            self.marker_ready.fetch_sub(1, Ordering::SeqCst);
+                        }
                         self.ready_total.fetch_sub(1, Ordering::SeqCst);
                         self.unacked_total.fetch_add(1, Ordering::SeqCst);
                         return Some(delivery);
@@ -1004,6 +1061,114 @@ impl Queue {
         self.idle_cv.notify_all();
     }
 
+    /// Whether the queue holds no ready and no in-flight deliveries.
+    #[inline]
+    fn is_quiescent(&self) -> bool {
+        self.ready_total.load(Ordering::SeqCst) == 0
+            && self.unacked_total.load(Ordering::SeqCst) == 0
+    }
+
+    /// Wakes quiescence waiters if the queue just emptied. Called after
+    /// every operation that can retire the last in-flight delivery (ack,
+    /// dead-letter, sweep). The notify runs under the idle mutex, which a
+    /// `wait_quiescent` caller holds from its check to its park — so the
+    /// waiter either observes the empty counters or is parked when the
+    /// notify lands; the wakeup cannot be lost.
+    fn maybe_notify_quiet(&self) {
+        if self.is_quiescent() {
+            let _guard = self.idle.lock();
+            self.quiet_cv.notify_all();
+        }
+    }
+
+    /// Blocks until the queue is quiescent (no ready, no unacked) or the
+    /// deadline passes; returns whether it is quiescent. Event-driven:
+    /// parks on `quiet_cv` between transitions instead of polling.
+    pub(crate) fn wait_quiescent(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.idle.lock();
+        loop {
+            if self.is_quiescent() {
+                return true;
+            }
+            if self.quiet_cv.wait_until(&mut guard, deadline).timed_out() {
+                return self.is_quiescent();
+            }
+        }
+    }
+
+    /// Injects one bootstrap watermark marker into *every* partition of
+    /// the live stream (DBLog chunk interleaving). Each marker is a real
+    /// delivery — tag hint = partition index, so replay and acks route it
+    /// home — logged as a [`WalRecord::Watermark`] so an unconsumed
+    /// marker survives a crash. Markers bypass the cap and armed-drop
+    /// faults (they are control flow, two per chunk per partition, and a
+    /// silently dropped marker would wedge the copier's window wait).
+    /// Returns how many partitions were marked: the full count on
+    /// success, 0 when the queue is decommissioned or the WAL refuses
+    /// the commit.
+    pub(crate) fn enqueue_watermark(
+        &self,
+        exchange: &SharedStr,
+        payload: &SharedStr,
+        session: u64,
+        chunk: u64,
+        high: bool,
+    ) -> usize {
+        let parts = self.partitions.read();
+        if self.is_decommissioned() {
+            return 0;
+        }
+        // All partition locks in index order (the checkpoint's lock
+        // discipline), so the markers commit as one atomic group and no
+        // same-chunk copy can interleave ahead of its own high marker.
+        let mut guards: Vec<_> = parts.iter().map(|p| p.inner.lock()).collect();
+        let mut staged: Vec<Delivery> = Vec::with_capacity(parts.len());
+        let mut buf = Vec::with_capacity(64 * parts.len());
+        let mut frames = 0u32;
+        for i in 0..parts.len() {
+            let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+            let tag = (seq << 8) | i as u64;
+            if let Some(binding) = &self.wal {
+                frame_record_into(
+                    &mut buf,
+                    &WalRecord::Watermark {
+                        queue: binding.queue.clone(),
+                        tag,
+                        session,
+                        chunk,
+                        high,
+                    },
+                );
+                frames += 1;
+            }
+            staged.push(Delivery {
+                tag,
+                exchange: exchange.clone(),
+                payload: payload.clone(),
+                redelivered: false,
+                origin_nanos: 0,
+                enqueued_nanos: mono_nanos(),
+            });
+        }
+        if let Some(binding) = &self.wal {
+            if frames > 0 && binding.wal.commit_frames(&buf, frames).is_err() {
+                return 0;
+            }
+        }
+        let added = staged.len();
+        for (i, d) in staged.into_iter().enumerate() {
+            guards[i].ready.push_back(d);
+            parts[i].len.fetch_add(1, Ordering::Relaxed);
+        }
+        self.marker_ready.fetch_add(added, Ordering::SeqCst);
+        self.ready_total.fetch_add(added, Ordering::SeqCst);
+        self.counters.enqueued.fetch_add(added as u64, Ordering::Relaxed);
+        drop(guards);
+        self.finish_enqueue(&parts, added);
+        added
+    }
+
     pub(crate) fn ack(&self, tag: u64) -> bool {
         let parts = self.partitions.read();
         let p = &parts[partition_of(tag, parts.len())];
@@ -1012,6 +1177,7 @@ impl Queue {
         if hit {
             self.unacked_total.fetch_sub(1, Ordering::SeqCst);
             self.counters.acked.fetch_add(1, Ordering::Relaxed);
+            self.maybe_notify_quiet();
             if let Some(binding) = &self.wal {
                 binding.append_best_effort(&WalRecord::Ack {
                     queue: binding.queue.clone(),
@@ -1065,6 +1231,7 @@ impl Queue {
             }
         }
         drop(parts);
+        self.maybe_notify_quiet();
         if let (Some(binding), false) = (&self.wal, live.is_empty()) {
             binding.append_best_effort(&WalRecord::Ack {
                 queue: binding.queue.clone(),
@@ -1074,19 +1241,32 @@ impl Queue {
         hits
     }
 
-    /// Returns the delivery to the front of its partition, marked
-    /// redelivered.
+    /// Returns the delivery to its partition, marked redelivered, at its
+    /// tag-ordered position (usually the front). A blind `push_front`
+    /// here is not enough: two workers reverse-nacking their batch tails
+    /// into the *same* partition can interleave, scrambling the
+    /// partition's FIFO order — and once an older message sits behind a
+    /// newer one, causally-chained traffic (all of one user's writes
+    /// share a partition) can deadlock in a circular dependency wait.
+    /// Inserting by tag keeps the ready run sorted under any
+    /// interleaving, so the oldest outstanding message is always the
+    /// next one popped.
     pub(crate) fn nack(&self, tag: u64) -> bool {
         let parts = self.partitions.read();
         let p = &parts[partition_of(tag, parts.len())];
         let mut inner = p.inner.lock();
         if let Some(mut delivery) = inner.unacked.remove(&tag) {
             delivery.redelivered = true;
-            inner.ready.push_front(delivery);
+            let marker = is_marker(&delivery);
+            let pos = inner.ready.partition_point(|d| d.tag < tag);
+            inner.ready.insert(pos, delivery);
             p.len.fetch_add(1, Ordering::Relaxed);
             drop(inner);
             drop(parts);
             self.unacked_total.fetch_sub(1, Ordering::SeqCst);
+            if marker {
+                self.marker_ready.fetch_add(1, Ordering::SeqCst);
+            }
             self.ready_total.fetch_add(1, Ordering::SeqCst);
             self.counters.redelivered.fetch_add(1, Ordering::Relaxed);
             self.wake_ready(1);
@@ -1107,6 +1287,7 @@ impl Queue {
         drop(parts);
         if let Some(delivery) = removed {
             self.unacked_total.fetch_sub(1, Ordering::SeqCst);
+            self.maybe_notify_quiet();
             self.dead.lock().push(delivery);
             self.dead_len.fetch_add(1, Ordering::Relaxed);
             self.counters.dead_lettered.fetch_add(1, Ordering::Relaxed);
@@ -1139,11 +1320,19 @@ impl Queue {
             let mut unacked: Vec<Delivery> = inner.unacked.drain().map(|(_, d)| d).collect();
             unacked.sort_by_key(|d| d.tag);
             let n = unacked.len();
-            for mut d in unacked.into_iter().rev() {
+            let markers = unacked.iter().filter(|d| is_marker(d)).count();
+            for mut d in unacked {
                 d.redelivered = true;
-                inner.ready.push_front(d);
+                // Tag-ordered insert, same as `nack`: a previously nacked
+                // delivery may already sit in `ready` with an older tag
+                // than some of these.
+                let pos = inner.ready.partition_point(|r| r.tag < d.tag);
+                inner.ready.insert(pos, d);
             }
             p.len.fetch_add(n, Ordering::Relaxed);
+            if markers > 0 {
+                self.marker_ready.fetch_add(markers, Ordering::SeqCst);
+            }
             self.ready_total.fetch_add(n, Ordering::SeqCst);
             self.unacked_total.fetch_sub(n, Ordering::SeqCst);
             self.counters.redelivered.fetch_add(n as u64, Ordering::Relaxed);

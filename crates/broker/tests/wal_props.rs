@@ -48,6 +48,15 @@ fn record_strategy() -> impl Strategy<Value = WalRecord> {
         (queue, any::<u64>()).prop_map(|(queue, tag)| WalRecord::DeadLetter { queue, tag }),
         queue.prop_map(|queue| WalRecord::QueueKilled { queue }),
         queue.prop_map(|queue| WalRecord::QueueReinstated { queue }),
+        (queue, any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
+            |(queue, tag, session, chunk, high)| WalRecord::Watermark {
+                queue,
+                tag,
+                session,
+                chunk,
+                high,
+            }
+        ),
         (
             queue,
             any::<bool>(),

@@ -178,10 +178,12 @@ pub struct SynapseConfig {
     /// Each chunk commits a watermark, so smaller chunks lose less work to
     /// a mid-copy fault at the cost of more paged reads.
     pub bootstrap_chunk_size: usize,
-    /// How long step 3 of bootstrap waits for the backlog to drain before
-    /// the attempt fails (the watermarks survive, so the next attempt
-    /// resumes instead of re-copying).
-    pub bootstrap_drain_timeout: Duration,
+    /// How long the bootstrap copier waits for every queue partition to
+    /// consume a chunk's high watermark before proceeding without the
+    /// reconciliation pre-filter. Correctness never depends on the wait
+    /// (per-row version admission discards the same stale copies), so
+    /// this bounds latency, not safety.
+    pub bootstrap_window_timeout: Duration,
     /// Whether the structured telemetry event ring records span-style stage
     /// traces. Counters and latency histograms are always live (they are
     /// plain atomic bumps); this flag only gates the ring, turning each
@@ -207,7 +209,7 @@ impl SynapseConfig {
             work_stealing: true,
             retry: RetryPolicy::default(),
             bootstrap_chunk_size: 64,
-            bootstrap_drain_timeout: Duration::from_secs(30),
+            bootstrap_window_timeout: Duration::from_millis(500),
             telemetry_enabled: true,
             durability: DurabilityConfig::default(),
         }
@@ -280,9 +282,9 @@ impl SynapseConfig {
         self
     }
 
-    /// Sets the bootstrap drain timeout.
-    pub fn bootstrap_drain_timeout(mut self, t: Duration) -> Self {
-        self.bootstrap_drain_timeout = t;
+    /// Sets the bootstrap watermark-window timeout.
+    pub fn bootstrap_window_timeout(mut self, t: Duration) -> Self {
+        self.bootstrap_window_timeout = t;
         self
     }
 
@@ -353,7 +355,7 @@ mod tests {
         assert!(c.work_stealing);
         assert!(c.telemetry_enabled);
         assert_eq!(c.bootstrap_chunk_size, 64);
-        assert_eq!(c.bootstrap_drain_timeout, Duration::from_secs(30));
+        assert_eq!(c.bootstrap_window_timeout, Duration::from_millis(500));
         assert!(c.durability.dir.is_none(), "durability is off by default");
         assert_eq!(c.durability.fsync, FsyncPolicy::Interval(64));
         assert_eq!(c.durability.snapshot_every, Some(256));
@@ -393,7 +395,7 @@ mod tests {
             .work_stealing(false)
             .wait_timeout(None)
             .bootstrap_chunk(16)
-            .bootstrap_drain_timeout(Duration::from_millis(250))
+            .bootstrap_window_timeout(Duration::from_millis(250))
             .telemetry(false)
             .durable("/tmp/analytics-durability")
             .fsync(FsyncPolicy::EveryWrite)
@@ -428,6 +430,6 @@ mod tests {
         assert!(!c.work_stealing);
         assert!(c.dep_wait_timeout.is_none());
         assert_eq!(c.bootstrap_chunk_size, 16);
-        assert_eq!(c.bootstrap_drain_timeout, Duration::from_millis(250));
+        assert_eq!(c.bootstrap_window_timeout, Duration::from_millis(250));
     }
 }

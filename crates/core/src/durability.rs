@@ -26,7 +26,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use synapse_broker::wal::{crc32, put_u32, put_u64, ByteReader};
 use synapse_broker::LogPos;
 
-const SNAPSHOT_MAGIC: &[u8; 8] = b"SYNSNAP1";
+// SYNSNAP2: the version field carries the store's explicit-write flag in
+// its low bit (`(version << 1) | versioned`), so destroy tombstones
+// survive restarts. SYNSNAP1 snapshots fail the magic check and recovery
+// falls back to full WAL replay + bootstrap, which is always safe.
+const SNAPSHOT_MAGIC: &[u8; 8] = b"SYNSNAP2";
 
 /// A point-in-time image of one node's version state.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -36,24 +40,28 @@ pub struct NodeSnapshot {
     /// Broker WAL position when the snapshot was captured; the log tail
     /// from here forward is what recovery still has to replay.
     pub wal_pos: LogPos,
-    /// Publisher-store dump: `(key, ops, version)`.
-    pub pub_entries: Vec<(u64, u64, u64)>,
-    /// Subscriber-store dump: `(key, ops, version)` — includes the
-    /// bootstrap watermarks, which is what lets an interrupted bootstrap
-    /// resume as a delta replay after restart.
-    pub sub_entries: Vec<(u64, u64, u64)>,
+    /// Publisher-store dump: `(key, ops, version, versioned)`.
+    pub pub_entries: Vec<(u64, u64, u64, bool)>,
+    /// Subscriber-store dump: `(key, ops, version, versioned)` — includes
+    /// the bootstrap watermarks (and destroy tombstones via the
+    /// `versioned` flag), which is what lets an interrupted bootstrap
+    /// resume as a delta replay after restart without resurrecting
+    /// deleted rows.
+    pub sub_entries: Vec<(u64, u64, u64, bool)>,
 }
 
-fn put_entries(out: &mut Vec<u8>, entries: &[(u64, u64, u64)]) {
+fn put_entries(out: &mut Vec<u8>, entries: &[(u64, u64, u64, bool)]) {
     put_u32(out, entries.len() as u32);
-    for (key, ops, version) in entries {
+    for (key, ops, version, versioned) in entries {
         put_u64(out, *key);
         put_u64(out, *ops);
-        put_u64(out, *version);
+        // Versions are monotone counters far below 2^63; the low bit
+        // carries the explicit-write flag so the entry stays 24 bytes.
+        put_u64(out, (*version << 1) | u64::from(*versioned));
     }
 }
 
-fn take_entries(r: &mut ByteReader<'_>, cap: usize) -> Option<Vec<(u64, u64, u64)>> {
+fn take_entries(r: &mut ByteReader<'_>, cap: usize) -> Option<Vec<(u64, u64, u64, bool)>> {
     let n = r.take_u32()? as usize;
     // A corrupt count must not OOM: each entry needs 24 bytes.
     if n > cap {
@@ -61,7 +69,10 @@ fn take_entries(r: &mut ByteReader<'_>, cap: usize) -> Option<Vec<(u64, u64, u64
     }
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        out.push((r.take_u64()?, r.take_u64()?, r.take_u64()?));
+        let key = r.take_u64()?;
+        let ops = r.take_u64()?;
+        let tagged = r.take_u64()?;
+        out.push((key, ops, tagged >> 1, tagged & 1 == 1));
     }
     Some(out)
 }
@@ -277,8 +288,8 @@ mod tests {
         NodeSnapshot {
             seq: 0,
             wal_pos: LogPos { segment: 3, offset: 911 },
-            pub_entries: vec![(1, 10, 10), (2, 5, 0)],
-            sub_entries: vec![(1, 9, 0), (77, 0, 42)],
+            pub_entries: vec![(1, 10, 10, true), (2, 5, 0, false)],
+            sub_entries: vec![(1, 9, 0, true), (77, 0, 42, false)],
         }
     }
 
@@ -305,7 +316,7 @@ mod tests {
         assert_eq!(store.load_latest().unwrap(), None);
         let seq1 = store.persist(&sample()).unwrap();
         let mut newer = sample();
-        newer.pub_entries.push((99, 1, 1));
+        newer.pub_entries.push((99, 1, 1, true));
         let seq2 = store.persist(&newer).unwrap();
         assert!(seq2 > seq1);
         let loaded = store.load_latest().unwrap().unwrap();

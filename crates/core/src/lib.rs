@@ -56,5 +56,5 @@ pub use migration::{check_migration, MigrationStep};
 pub use node::{BootstrapPhase, BootstrapState, BootstrapStats, Ecosystem, NodeStats, SynapseNode};
 pub use semantics::DeliveryMode;
 pub use stats::ControllerStats;
-pub use subscriber::{ChunkLoad, ProcessError};
+pub use subscriber::{CopyOutcome, ProcessError};
 pub use synapse_telemetry::{ModeSlice, Stage, Telemetry, TelemetrySnapshot};

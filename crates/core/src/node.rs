@@ -5,20 +5,42 @@ use crate::config::SynapseConfig;
 use crate::context::{self, TxBuffer};
 use crate::deps::DepName;
 use crate::durability::{NodeSnapshot, SnapshotStore};
+use crate::message::{Operation, WriteMessage};
 use crate::publisher::{Publisher, PublisherStats};
 use crate::semantics::DeliveryMode;
 use crate::subscriber::{ProcessError, Subscriber, SubscriberStats};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use synapse_broker::{Broker, Delivery, QueueConfig, QueueState, RecoveryReport, WalConfig};
+use std::time::{Duration, Instant};
+use synapse_broker::{
+    Broker, Delivery, QueueConfig, QueueState, RecoveryReport, SharedStr, WalConfig,
+    BOOTSTRAP_EXCHANGE,
+};
 use synapse_db::DbError;
-use synapse_model::Id;
+use synapse_model::{Id, Record};
 use synapse_orm::{Adapter, Orm, OrmError};
 use synapse_telemetry::{mono_nanos, Telemetry, TelemetrySnapshot};
 use synapse_versionstore::{DepKey, GenerationStore, VersionStore};
+
+/// How long [`SynapseNode::bootstrap_from`]'s finalize step waits for the
+/// subscriber to account for the merged chunk copies before going Live
+/// anyway. This bounds only the *caller's* blocking time — workers keep
+/// draining live traffic throughout — and on expiry the node still goes
+/// Live safely: the copies are durably enqueued and version-store
+/// admission makes their late application a no-op or an upsert, never a
+/// regression.
+const FINALIZE_SETTLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Outcome of one committed chunk copy.
+struct ChunkCopy {
+    /// Last id selected (the new watermark, already committed).
+    last: u64,
+    /// Copies merged into the delivery queue (zero on the sync path).
+    merged: u64,
+}
 
 /// Coarse phase of the bootstrap state machine — `Copy`-cheap so it can
 /// ride in [`NodeStats`].
@@ -29,19 +51,26 @@ pub enum BootstrapPhase {
     Idle,
     /// Step 1: bulk version-snapshot transfer.
     Snapshot,
-    /// Step 2: chunked object copy.
+    /// Step 2a: selecting a chunk between its lo/hi watermarks.
     Copying,
-    /// Step 3: draining the backlog published meanwhile.
-    Draining,
+    /// Step 2b: reconciling a selected chunk against the live writes
+    /// observed inside its watermark window, then merging the survivors
+    /// into the delivery queue.
+    Reconciling,
+    /// All chunks merged; waiting (without pausing delivery) for the
+    /// subscriber to account for them, then clearing resume watermarks.
+    Finalizing,
     /// Bootstrap completed; the node serves live traffic.
     Live,
 }
 
-/// The bootstrap state machine: Idle → Snapshot → Copying{model, chunk} →
-/// Draining → Live, falling back to Idle when an attempt fails. The rich
-/// variant carries which model/chunk the copier is on; tests hook
-/// [`SynapseNode::set_bootstrap_probe`] on transitions to inject faults at
-/// exact phases.
+/// The bootstrap state machine: Idle → Snapshot → (Copying{model, chunk} →
+/// Reconciling{model, chunk})* → Finalizing → Live, falling back to Idle
+/// when an attempt fails. The rich variants carry which model/chunk the
+/// copier is on; tests hook [`SynapseNode::set_bootstrap_probe`] on
+/// transitions to inject faults at exact phases. There is no drain state:
+/// chunk copies merge into the partitioned delivery queue behind the live
+/// stream, so delivery never pauses.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum BootstrapState {
     /// No bootstrap running.
@@ -49,15 +78,25 @@ pub enum BootstrapState {
     Idle,
     /// Step 1: bulk version-snapshot transfer.
     Snapshot,
-    /// Step 2: copying `model`, currently on 0-based chunk `chunk`.
+    /// Step 2a: selecting chunk `chunk` (0-based) of `model` between its
+    /// lo and hi watermark markers.
     Copying {
         /// Model being copied.
         model: String,
         /// 0-based chunk index within this attempt.
         chunk: u64,
     },
-    /// Step 3: draining the backlog.
-    Draining,
+    /// Step 2b: reconciling chunk `chunk` of `model` against the live
+    /// writes its watermark window observed, then merging the survivors.
+    Reconciling {
+        /// Model being reconciled.
+        model: String,
+        /// 0-based chunk index within this attempt.
+        chunk: u64,
+    },
+    /// All chunks merged; settling the merged copies and clearing resume
+    /// watermarks. Live delivery continues throughout.
+    Finalizing,
     /// Bootstrap completed.
     Live,
 }
@@ -69,7 +108,8 @@ impl BootstrapState {
             BootstrapState::Idle => BootstrapPhase::Idle,
             BootstrapState::Snapshot => BootstrapPhase::Snapshot,
             BootstrapState::Copying { .. } => BootstrapPhase::Copying,
-            BootstrapState::Draining => BootstrapPhase::Draining,
+            BootstrapState::Reconciling { .. } => BootstrapPhase::Reconciling,
+            BootstrapState::Finalizing => BootstrapPhase::Finalizing,
             BootstrapState::Live => BootstrapPhase::Live,
         }
     }
@@ -96,8 +136,20 @@ pub struct BootstrapStats {
     /// Records persisted by the copier.
     pub records_copied: u64,
     /// Copied records discarded because the live stream had already
-    /// delivered an equal-or-newer version.
+    /// delivered an equal-or-newer version — either dropped by the
+    /// watermark-window pre-filter or refused by version-store admission.
     pub records_reconciled: u64,
+    /// Chunk copies merged into the partitioned delivery queue (the
+    /// pause-free path; the synchronous no-worker fallback applies
+    /// directly and leaves this at zero).
+    pub copies_merged: u64,
+    /// Watermark windows that timed out before both markers were observed
+    /// (the copy proceeded on version-store admission alone).
+    pub windows_timed_out: u64,
+    /// Post-convergence watermark cleanups that failed and were deferred
+    /// to the next attempt instead of failing an otherwise-complete
+    /// bootstrap.
+    pub cleanup_deferred: u64,
 }
 
 /// Observer of bootstrap state transitions (fault-injection hook).
@@ -115,6 +167,22 @@ struct BootstrapTracker {
     chunks_copied: AtomicU64,
     records_copied: AtomicU64,
     records_reconciled: AtomicU64,
+    copies_merged: AtomicU64,
+    cleanup_deferred: AtomicU64,
+    /// Set when a post-convergence watermark cleanup failed: the next
+    /// attempt must clear the stale watermarks *before* trusting any
+    /// resume state.
+    watermarks_dirty: AtomicBool,
+    /// Lineage floor: the queue's cumulative `(discarded, dropped)` pair
+    /// as of the last bootstrap attempt. Movement between attempts means
+    /// the live stream lost coverage, so committed copy watermarks can no
+    /// longer be resumed from. (Queue-refused publishes are deliberately
+    /// not part of the signal: a refused message stays in the publisher's
+    /// journal and is republished, so coverage is delayed, not broken.)
+    lineage: Mutex<Option<(u64, u64)>>,
+    /// Armed chunk-copy failures (fault hook): the next N `copy_chunk`
+    /// invocations fail transiently before doing any work.
+    copy_fail_next: AtomicU64,
 }
 
 impl BootstrapTracker {
@@ -655,7 +723,18 @@ impl SynapseNode {
             resumes: self.bootstrap.resumes.load(Ordering::Relaxed),
             chunks_copied: self.bootstrap.chunks_copied.load(Ordering::Relaxed),
             records_copied: self.bootstrap.records_copied.load(Ordering::Relaxed),
-            records_reconciled: self.bootstrap.records_reconciled.load(Ordering::Relaxed),
+            // Reconciliation happens in two places: the copier's
+            // watermark-window pre-filter (tallied here) and version-store
+            // admission in the subscriber's copy path (tallied there);
+            // fold both in so the stat means "copies the live stream won".
+            records_reconciled: self
+                .bootstrap
+                .records_reconciled
+                .load(Ordering::Relaxed)
+                .saturating_add(self.subscriber.stats().copies_reconciled),
+            copies_merged: self.bootstrap.copies_merged.load(Ordering::Relaxed),
+            windows_timed_out: self.subscriber.watermark_gate().windows_timed_out(),
+            cleanup_deferred: self.bootstrap.cleanup_deferred.load(Ordering::Relaxed),
         }
     }
 
@@ -674,6 +753,15 @@ impl SynapseNode {
     /// Removes the bootstrap transition probe.
     pub fn clear_bootstrap_probe(&self) {
         *self.bootstrap.probe.write() = None;
+    }
+
+    /// Arms the copy-failure fault hook: the next `n` chunk copies fail
+    /// with a transient error before doing any work, exercising the
+    /// copier's retry/resume path exactly as a flaky engine or store
+    /// would (the chunk-level analogue of
+    /// `Broker::inject_publish_failures`).
+    pub fn inject_copy_failures(&self, n: u64) {
+        self.bootstrap.copy_fail_next.fetch_add(n, Ordering::SeqCst);
     }
 
     /// Snapshot of this node's dead-letter store (consumed-but-unapplied
@@ -697,13 +785,19 @@ impl SynapseNode {
         self.bootstrap_from(publisher)
     }
 
-    /// Three-step bootstrap from a publisher node (§4.4), rebuilt as a
-    /// chunked, watermarked, fault-survivable recovery path (the shape of
-    /// DBLog's watermark-based snapshots). Also used for *partial*
+    /// Pause-free bootstrap from a publisher node (§4.4), rebuilt as
+    /// DBLog-style watermark interleaving: each chunk is selected between
+    /// a lo and a hi watermark marker injected into the live stream, rows
+    /// the live stream touched inside that window are discarded in favor
+    /// of the live messages, and the surviving copies are merged into the
+    /// partitioned delivery queue behind the live traffic. There is no
+    /// drain phase — delivery never pauses. Also used for *partial*
     /// bootstrap after a decommission or subscriber version-store loss —
     /// the queue is reinstated and the store revived first. Workers must
     /// already be running (or use
-    /// [`SynapseNode::start_and_bootstrap_from`]).
+    /// [`SynapseNode::start_and_bootstrap_from`]); without workers the
+    /// copier falls back to applying chunks synchronously, since nothing
+    /// would consume the merged queue.
     ///
     /// Fault posture:
     /// - The ORM bootstrap flag is held by an RAII guard, so every exit
@@ -715,14 +809,20 @@ impl SynapseNode {
     ///   store fault retries the *chunk* under `config.retry` instead of
     ///   aborting the bootstrap; if the attempt still fails, the
     ///   watermarks survive and the next `bootstrap_from` resumes after
-    ///   the last committed chunk.
-    /// - Live messages delivered between chunks are reconciled by version
-    ///   comparison (each copied record carries the publisher's version
-    ///   for the object), so concurrent writes are neither dropped nor
-    ///   double-applied.
+    ///   the last committed chunk — but only while the queue's discard
+    ///   lineage shows the live stream stayed gap-free in between.
+    /// - Concurrent writes are reconciled twice: the watermark window
+    ///   pre-filters rows the live stream touched mid-chunk, and
+    ///   version-store admission ([`VersionStore::admit_copy`]) refuses
+    ///   any copy whose marker does not strictly beat the locally known
+    ///   version — including destroy tombstones, so a row deleted
+    ///   mid-chunk cannot be resurrected by its in-flight copy.
     pub fn bootstrap_from(&self, publisher: &SynapseNode) -> Result<(), OrmError> {
         let guard = BootstrapGuard::new(self);
-        self.bootstrap.attempts.fetch_add(1, Ordering::Relaxed);
+        // The attempt counter doubles as the watermark session id: markers
+        // from an abandoned attempt carry a stale session and are ignored
+        // by the gate.
+        let session = self.bootstrap.attempts.fetch_add(1, Ordering::Relaxed) + 1;
         let reinstated = if self.is_decommissioned() {
             self.broker.reinstate_queue(self.app())
         } else {
@@ -731,11 +831,30 @@ impl SynapseNode {
         if self.sub_store.is_dead() {
             self.sub_store.revive();
         }
-        if reinstated {
-            // The decommission discarded the live backlog, so watermarks
-            // from earlier attempts no longer cover writes published since
-            // those chunks were copied: restart the copy from scratch.
+        // Committed copy watermarks are resume state, but only while the
+        // live stream stayed gap-free since they were written: every
+        // copied chunk relies on later live messages to carry the writes
+        // it raced with. Any movement in the queue's cumulative loss
+        // counters since the last attempt — a decommission sweeping the
+        // backlog, injected drops — breaks that marker lineage and forces
+        // the copy to restart. Refused publishes do NOT break lineage:
+        // they stay in the publisher's journal and are republished. A
+        // reinstate with no recorded floor (fresh process) is
+        // conservatively treated as broken; a reinstate whose
+        // decommission swept nothing keeps its watermarks.
+        let lineage_now = self.lineage_signal();
+        let lineage_broken = {
+            let mut floor = self.bootstrap.lineage.lock();
+            let broken = match (floor.as_ref(), lineage_now.as_ref()) {
+                (Some(prev), Some(now)) => prev != now,
+                _ => reinstated,
+            };
+            *floor = lineage_now;
+            broken
+        };
+        if lineage_broken || self.bootstrap.watermarks_dirty.load(Ordering::SeqCst) {
             self.clear_bootstrap_watermarks(publisher)?;
+            self.bootstrap.watermarks_dirty.store(false, Ordering::SeqCst);
         }
 
         // Step 1: bulk-load the publisher's current versions.
@@ -752,11 +871,10 @@ impl SynapseNode {
                 .map_err(|_| OrmError::Db(DbError::Unavailable))
         })?;
 
-        // Step 2: chunked copy of all currently published objects. The
-        // subscription/publication locks are held only long enough to
-        // collect the matching pairs — not across the paged reads and
-        // marshalling (the old code pinned the `subscriptions` read lock
-        // for the whole full-table copy).
+        // Step 2: watermark-interleaved chunked copy of all currently
+        // published objects. The subscription/publication locks are held
+        // only long enough to collect the matching pairs — not across the
+        // paged reads and marshalling.
         let pairs: Vec<(String, Publication)> = {
             let subs = self.subscriptions.read();
             let pubs = publisher.publications.read();
@@ -765,7 +883,63 @@ impl SynapseNode {
                 .filter_map(|s| pubs.get(&s.model).map(|p| (s.model.clone(), p.clone())))
                 .collect()
         };
-        for (model, publication) in &pairs {
+        let workers_live = self.subscriber.workers_running();
+        let gate = self.subscriber.watermark_gate().clone();
+        let sub_baseline = self.subscriber.stats();
+        if workers_live {
+            gate.activate();
+        }
+        let copied = self.copy_models(publisher, &pairs, session, workers_live);
+        if workers_live {
+            gate.deactivate();
+        }
+        let merged = copied?;
+
+        // Finalize: there is no drain pause. The merged copies ride the
+        // partitioned queue behind live traffic; wait (bounded, without
+        // stopping the workers) until the subscriber has accounted for
+        // them, so a caller returning from bootstrap sees the copied rows.
+        self.bootstrap.transition(BootstrapState::Finalizing);
+        if merged > 0 {
+            self.await_copy_convergence(merged, &sub_baseline);
+        }
+        // Watermarks are resume state for *failed* attempts only: a future
+        // bootstrap must re-copy from the start (rows copied this time may
+        // change again before then). A cleanup failure here must not fail
+        // an otherwise-complete bootstrap — defer it: mark the watermarks
+        // dirty so the next attempt clears them before trusting any
+        // resume state, and go Live.
+        if self.clear_bootstrap_watermarks(publisher).is_err() {
+            self.bootstrap.cleanup_deferred.fetch_add(1, Ordering::Relaxed);
+            self.bootstrap.watermarks_dirty.store(true, Ordering::SeqCst);
+            self.telemetry
+                .counters()
+                .counter("bootstrap.cleanup_deferred")
+                .bump();
+        }
+        *self.bootstrap.lineage.lock() = self.lineage_signal();
+        guard.complete();
+        self.bootstrap.transition(BootstrapState::Live);
+        self.bootstraps.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Step 2 driver: copies every non-ephemeral pair in
+    /// watermark-interleaved chunks, resuming each model from any
+    /// surviving watermark. Returns how many copies were merged into the
+    /// delivery queue (zero on the synchronous no-worker path).
+    fn copy_models(
+        &self,
+        publisher: &SynapseNode,
+        pairs: &[(String, Publication)],
+        session: u64,
+        workers_live: bool,
+    ) -> Result<u64, OrmError> {
+        let mut merged = 0u64;
+        // Gate windows are numbered across models so every (session,
+        // window) pair in this attempt is unique.
+        let mut window = 0u64;
+        for (model, publication) in pairs {
             if publication.ephemeral {
                 continue;
             }
@@ -788,11 +962,23 @@ impl SynapseNode {
                     chunk,
                 });
                 let copied = self.retry_transient(|| {
-                    self.copy_chunk(publisher, model, publication, wm_key, after)
+                    self.copy_chunk(
+                        publisher,
+                        model,
+                        publication,
+                        wm_key,
+                        after,
+                        session,
+                        window,
+                        chunk,
+                        workers_live,
+                    )
                 })?;
+                window += 1;
                 match copied {
-                    Some(last) => {
-                        after = last;
+                    Some(outcome) => {
+                        after = outcome.last;
+                        merged += outcome.merged;
                         chunk += 1;
                         self.bootstrap.chunks_copied.fetch_add(1, Ordering::Relaxed);
                     }
@@ -800,41 +986,68 @@ impl SynapseNode {
                 }
             }
         }
-
-        // Step 3: drain messages published meanwhile. Workers may already
-        // be running; otherwise the caller starts them and the flag clears
-        // once the backlog is gone.
-        self.bootstrap.transition(BootstrapState::Draining);
-        if !self.subscriber.drain(self.config.bootstrap_drain_timeout) {
-            // The guard clears the flag and resets the state machine; the
-            // watermarks survive, so the next attempt resumes the copy
-            // instead of redoing it.
-            return Err(OrmError::Restriction(
-                "bootstrap did not drain the backlog in time".into(),
-            ));
-        }
-        // Watermarks are resume state for *failed* attempts only: a future
-        // bootstrap must re-copy from the start (rows copied this time may
-        // change again before then).
-        self.clear_bootstrap_watermarks(publisher)?;
-        guard.complete();
-        self.bootstrap.transition(BootstrapState::Live);
-        self.bootstraps.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        Ok(merged)
     }
 
-    /// Copies the next chunk of `model` after id `after`. Returns the last
-    /// id copied (the new watermark, already committed), or `None` when the
-    /// table is exhausted.
+    /// Bounded, delivery-neutral wait for the subscriber to account for
+    /// `merged` chunk copies enqueued this attempt — applied, reconciled
+    /// away, or dead-lettered — measured as counter deltas against
+    /// `baseline`. Only the bootstrap caller blocks; the workers keep
+    /// draining live traffic the whole time. On deadline the node still
+    /// goes Live: the copies are durably enqueued and version-store
+    /// admission makes late application safe at any point.
+    fn await_copy_convergence(&self, merged: u64, baseline: &SubscriberStats) {
+        let deadline = Instant::now() + FINALIZE_SETTLE_TIMEOUT;
+        let mut pause = Duration::from_micros(50);
+        loop {
+            let now = self.subscriber.stats();
+            let accounted = now
+                .copies_applied
+                .saturating_sub(baseline.copies_applied)
+                .saturating_add(
+                    now.copies_reconciled
+                        .saturating_sub(baseline.copies_reconciled),
+                )
+                .saturating_add(now.dead_lettered.saturating_sub(baseline.dead_lettered));
+            if accounted >= merged {
+                return;
+            }
+            if Instant::now() >= deadline {
+                self.telemetry
+                    .counters()
+                    .counter("bootstrap.finalize_timeouts")
+                    .bump();
+                return;
+            }
+            std::thread::sleep(pause);
+            pause = (pause * 2).min(Duration::from_millis(5));
+        }
+    }
+
+    /// Copies the next chunk of `model` after id `after`, interleaved with
+    /// the live stream under a DBLog-style watermark window. Returns the
+    /// committed [`ChunkCopy`], or `None` when the table is exhausted.
     ///
-    /// Each record's publisher-side version is captured *before* the row
-    /// is re-read for marshalling. The carried marker is therefore never
-    /// newer than the copied data: a concurrent write lands with a
-    /// strictly higher version and overwrites the copy when its live
-    /// message arrives, while a copy racing behind the live stream is
-    /// discarded as stale. Capturing versions after reading the rows would
-    /// allow the fatal inverse — stale data carrying a marker equal to a
-    /// newer live write, regressing the replica permanently.
+    /// The sequence per chunk: open a gate window and inject the lo
+    /// marker into every partition of the live queue, select the chunk,
+    /// inject the hi marker, wait (bounded) for the window, then drop
+    /// every selected row the live stream wrote to inside the window —
+    /// those rows' current state is already in flight as live messages.
+    /// Survivors are encoded as real [`WriteMessage`]s and merged into the
+    /// partitioned queue, key-routed so each copy lands in the same
+    /// partition (and therefore behind) the live traffic for its object.
+    ///
+    /// Each record's publisher-side ops count is captured *before* the row
+    /// is re-read for marshalling, and the carried marker is `ops - 1` —
+    /// the same write-dependency convention live messages use. The marker
+    /// is therefore never newer than the copied data: a concurrent write
+    /// lands with a strictly higher version and overwrites the copy, while
+    /// a copy racing behind the live stream loses version-store admission
+    /// (ties included — see [`VersionStore::admit_copy`]) and is
+    /// discarded. Capturing the marker after reading the row would allow
+    /// the fatal inverse: stale data carrying a marker that beats a newer
+    /// live write, regressing the replica permanently.
+    #[allow(clippy::too_many_arguments)]
     fn copy_chunk(
         &self,
         publisher: &SynapseNode,
@@ -842,56 +1055,158 @@ impl SynapseNode {
         publication: &Publication,
         wm_key: DepKey,
         after: u64,
-    ) -> Result<Option<u64>, OrmError> {
+        session: u64,
+        window: u64,
+        chunk: u64,
+        workers_live: bool,
+    ) -> Result<Option<ChunkCopy>, OrmError> {
+        // Armed copy-failure hook: fail before any work, as a flaky
+        // engine mid-chunk would.
+        if self
+            .bootstrap
+            .copy_fail_next
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            return Err(OrmError::Db(DbError::Unavailable));
+        }
+        // A partially-dead subscriber store can neither admit this chunk's
+        // copies nor keep a trustworthy resume watermark (§4.2: a partial
+        // store has no complete dependency picture), so fail the chunk
+        // transiently — the retry policy absorbs a racing revive, and a
+        // failed attempt's re-entry revives the store itself.
+        if self.sub_store.is_dead() {
+            return Err(OrmError::Db(DbError::Unavailable));
+        }
         let chunk_size = self.config.bootstrap_chunk_size.max(1);
+        let gate = self.subscriber.watermark_gate();
+        // Interleave only while workers consume the queue: markers and
+        // merged copies ride the delivery plane, and with no workers
+        // nothing would ever drain them. The gate window must exist
+        // *before* the lo marker is published, or a fast worker would
+        // observe the marker against a stale window and drop it.
+        let mut interleave = false;
+        if workers_live {
+            let partitions = self.broker.queue_partitions(self.app()).unwrap_or(1);
+            gate.begin_chunk(session, window, partitions);
+            interleave = self.broker.publish_watermark(self.app(), session, window, false) > 0;
+        }
         let page = publisher.orm.all_after(model, Id(after), chunk_size)?;
         let last = match page.last() {
             Some(record) => record.id.raw(),
-            None => return Ok(None),
+            None => {
+                if interleave {
+                    // Close the empty window so its lo markers don't
+                    // dangle unmatched in the stream.
+                    self.broker.publish_watermark(self.app(), session, window, true);
+                }
+                return Ok(None);
+            }
         };
-        let mut batch = Vec::with_capacity(page.len());
+        let mut batch: Vec<(DepKey, u64, Record)> = Vec::with_capacity(page.len());
         for record in &page {
             let key = publisher
                 .config
                 .dep_space
                 .key(&DepName::object(publisher.app(), model, record.id));
-            let version = publisher
+            let ops = publisher
                 .pub_store
-                .latest_version(key)
+                .ops(key)
                 .map_err(|_| OrmError::Db(DbError::Unavailable))?;
-            // Re-read the row now that its version floor is pinned; a row
+            let marker = ops.saturating_sub(1);
+            // Re-read the row now that its marker floor is pinned; a row
             // deleted meanwhile is skipped (its destroy message is in the
-            // live stream).
+            // live stream, and the tombstone it leaves in the version
+            // store refuses any copy of this row from a *later* chunk).
             let Some(fresh) = publisher.orm.find(model, record.id)? else {
                 continue;
             };
             // Marshal through the publisher so only published (and
-            // virtual) attributes cross, exactly as live updates do. The
-            // marker mirrors the write-dependency convention (`version-1`
-            // for the write that produced this state).
+            // virtual) attributes cross, exactly as live updates do.
             let marshalled =
                 publisher
                     .publisher
                     .marshal_for_bootstrap(&publisher.orm, publication, &fresh);
-            batch.push((marshalled, version.saturating_sub(1)));
+            batch.push((key, marker, marshalled));
         }
-        let load = self
-            .subscriber
-            .load_objects(publisher.app(), model, &batch)
-            .map_err(|e| match e {
-                ProcessError::Transient(_) => OrmError::Db(DbError::Unavailable),
-                ProcessError::Poison(msg) => OrmError::Restriction(msg),
-            })?;
-        self.bootstrap
-            .records_copied
-            .fetch_add(load.applied, Ordering::Relaxed);
-        self.bootstrap
-            .records_reconciled
-            .fetch_add(load.reconciled, Ordering::Relaxed);
+        let mut merged = 0u64;
+        if interleave {
+            self.broker.publish_watermark(self.app(), session, window, true);
+            self.bootstrap.transition(BootstrapState::Reconciling {
+                model: model.to_owned(),
+                chunk,
+            });
+            // The window wait is an optimization, not a correctness gate:
+            // on timeout the un-filtered copies still face version-store
+            // admission, which refuses anything the live stream beat.
+            let _ = gate.await_window(session, window, self.config.bootstrap_window_timeout);
+            let touched = gate.take_touched();
+            if !touched.is_empty() {
+                let before = batch.len();
+                batch.retain(|(key, _, _)| !touched.contains(key));
+                self.bootstrap
+                    .records_reconciled
+                    .fetch_add((before - batch.len()) as u64, Ordering::Relaxed);
+            }
+            if !batch.is_empty() {
+                let origin = mono_nanos();
+                let mut payloads = Vec::with_capacity(batch.len());
+                for (key, marker, record) in &batch {
+                    let op = Operation::from_record("create", record);
+                    let mut dependencies = BTreeMap::new();
+                    dependencies.insert(*key, *marker);
+                    let msg = WriteMessage {
+                        app: publisher.app().to_owned(),
+                        operations: vec![op],
+                        dependencies,
+                        published_at: 0,
+                        generation: 1,
+                    };
+                    payloads.push((SharedStr::from(msg.encode().as_str()), origin, *key));
+                }
+                let want = payloads.len();
+                let sent = self
+                    .broker
+                    .publish_to_queue(self.app(), BOOTSTRAP_EXCHANGE, payloads);
+                if sent != want {
+                    // Short count: the WAL refused the frame or the queue
+                    // vanished. The watermark was not committed, so the
+                    // retry re-selects and re-reconciles this chunk;
+                    // duplicates of the copies that did land are refused
+                    // by admission.
+                    return Err(OrmError::Db(DbError::Unavailable));
+                }
+                merged = want as u64;
+                self.bootstrap
+                    .copies_merged
+                    .fetch_add(merged, Ordering::Relaxed);
+                self.bootstrap
+                    .records_copied
+                    .fetch_add(merged, Ordering::Relaxed);
+            }
+        } else {
+            // Synchronous fallback: no workers, so apply each survivor
+            // directly through the subscriber's copy-admission path.
+            for (_, marker, record) in &batch {
+                let applied = self
+                    .subscriber
+                    .apply_copy_record(publisher.app(), record, *marker)
+                    .map_err(|e| match e {
+                        ProcessError::Transient(_) => OrmError::Db(DbError::Unavailable),
+                        ProcessError::Poison(msg) => OrmError::Restriction(msg),
+                    })?;
+                // A refusal is counted by the subscriber's
+                // `copies_reconciled` (bootstrap_stats folds it in), so
+                // only admissions are tallied here.
+                if applied {
+                    self.bootstrap.records_copied.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         self.sub_store
             .load_watermark(wm_key, last)
             .map_err(|_| OrmError::Db(DbError::Unavailable))?;
-        Ok(Some(last))
+        Ok(Some(ChunkCopy { last, merged }))
     }
 
     /// Drops the per-model bootstrap watermarks for `publisher`'s models.
@@ -922,6 +1237,15 @@ impl SynapseNode {
     /// deterministic backoff; deterministic errors fail immediately.
     ///
     /// [`RetryPolicy`]: crate::config::RetryPolicy
+    /// The subset of the queue's cumulative counters whose movement means
+    /// real live-stream loss: `(discarded, dropped)`. Refused publishes
+    /// are excluded — the publisher journal republishes them.
+    fn lineage_signal(&self) -> Option<(u64, u64)> {
+        self.broker
+            .queue_discard_stats(self.app())
+            .map(|(discarded, _refused, dropped)| (discarded, dropped))
+    }
+
     fn retry_transient<T>(
         &self,
         mut step: impl FnMut() -> Result<T, OrmError>,

@@ -51,13 +51,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use synapse_broker::{Broker, Consumer, Delivery};
+use synapse_broker::{
+    parse_watermark, tag_hint, Broker, Consumer, Delivery, BOOTSTRAP_EXCHANGE, WATERMARK_EXCHANGE,
+};
 use synapse_db::DbError;
 use synapse_model::{Record, Value};
 use synapse_orm::{CallbackPoint, Orm, OrmError};
 use synapse_telemetry::{mono_nanos, Telemetry};
 use synapse_versionstore::DepKey;
-use synapse_versionstore::{DepWaitSet, StoreError, VersionStore, WaitOutcome};
+use synapse_versionstore::{DepWaitSet, StoreError, VersionStore, WaitOutcome, WatermarkGate};
 
 /// Why one processing attempt failed — the classification that decides
 /// between redelivery and the dead-letter store.
@@ -114,6 +116,13 @@ pub struct SubscriberStats {
     pub steals: u64,
     /// Messages acquired through stealing.
     pub messages_stolen: u64,
+    /// Bootstrap chunk-copy records admitted and persisted.
+    pub copies_applied: u64,
+    /// Bootstrap chunk-copy records discarded by version admission (the
+    /// live stream had already applied an equal-or-newer write).
+    pub copies_reconciled: u64,
+    /// Watermark markers consumed and reported to the gate.
+    pub watermarks_noted: u64,
 }
 
 /// Max deliveries a worker drains per condvar wakeup. Bounds the latency
@@ -188,6 +197,9 @@ struct Counters {
     retries_exhausted: AtomicU64,
     steals: AtomicU64,
     messages_stolen: AtomicU64,
+    copies_applied: AtomicU64,
+    copies_reconciled: AtomicU64,
+    watermarks_noted: AtomicU64,
 }
 
 /// The subscriber runtime for one service. See the module docs.
@@ -230,6 +242,12 @@ pub struct Subscriber {
     /// re-exposes the historical check-then-write race for the regression
     /// test. Always set in production paths.
     serialize_applies: AtomicBool,
+    /// The DBLog-style reconciliation window shared with the bootstrap
+    /// copier: workers report consumed watermark markers and in-window
+    /// applies here; the copier pre-filters chunk rows against the keys
+    /// collected. Inactive (one relaxed load per delivery) outside
+    /// bootstrap sessions.
+    gate: Arc<WatermarkGate>,
 }
 
 impl Subscriber {
@@ -264,7 +282,21 @@ impl Subscriber {
             telemetry,
             apply_slots: (0..APPLY_SLOTS).map(|_| Mutex::new(())).collect(),
             serialize_applies: AtomicBool::new(true),
+            gate: Arc::new(WatermarkGate::new()),
         }
+    }
+
+    /// The watermark gate shared with the node's bootstrap copier.
+    pub fn watermark_gate(&self) -> &Arc<WatermarkGate> {
+        &self.gate
+    }
+
+    /// Whether any worker threads are currently running. The bootstrap
+    /// copier checks this to decide between the queue-merged path (workers
+    /// consume markers and copies) and the synchronous fallback (no one
+    /// would ever drain the queue).
+    pub fn workers_running(&self) -> bool {
+        !self.workers.lock().is_empty()
     }
 
     /// Test hook: disabling re-exposes the historical copier-vs-worker
@@ -290,6 +322,9 @@ impl Subscriber {
             retries_exhausted: self.counters.retries_exhausted.load(Ordering::Relaxed),
             steals: self.counters.steals.load(Ordering::Relaxed),
             messages_stolen: self.counters.messages_stolen.load(Ordering::Relaxed),
+            copies_applied: self.counters.copies_applied.load(Ordering::Relaxed),
+            copies_reconciled: self.counters.copies_reconciled.load(Ordering::Relaxed),
+            watermarks_noted: self.counters.watermarks_noted.load(Ordering::Relaxed),
         }
     }
 
@@ -320,22 +355,34 @@ impl Subscriber {
         self.stop.store(false, Ordering::SeqCst);
     }
 
-    /// Blocks until the queue is fully drained (used by tests and the
-    /// bootstrap's step 3): no ready backlog, no popped-but-unacked
-    /// deliveries, and no in-flight batch (the write side of the barrier
-    /// is free only when every popped delivery has been flushed).
+    /// Blocks until the queue is fully settled (a test/ops helper, *not* a
+    /// bootstrap phase — the watermark-interleaved bootstrap never stops
+    /// live delivery): no ready backlog, no popped-but-unacked deliveries,
+    /// and no in-flight batch (the write side of the barrier is free only
+    /// when every popped delivery has been flushed). Event-driven: parks
+    /// on the queue's quiescence condvar, which acks and dead-letters
+    /// notify, instead of polling.
     pub fn drain(&self, timeout: Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
-        while std::time::Instant::now() < deadline {
-            if self.queue_quiescent() {
-                let _barrier = self.gen_barrier.write();
-                if self.queue_quiescent() {
-                    return true;
-                }
+        let Some(consumer) = self.broker.consumer(&self.app) else {
+            return false;
+        };
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if !consumer.wait_quiescent(remaining) {
+                return false;
             }
-            std::thread::sleep(Duration::from_millis(5));
+            // Quiescent queue + free write barrier = every popped delivery
+            // is flushed. Re-check quiescence under the barrier: a worker
+            // may have popped new work between the wait and the lock.
+            let _barrier = self.gen_barrier.write();
+            if self.queue_quiescent() {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
         }
-        false
     }
 
     /// No backlog and nothing popped-but-unresolved.
@@ -462,6 +509,17 @@ impl Subscriber {
         if delivery.redelivered {
             self.counters.redeliveries.fetch_add(1, Ordering::Relaxed);
         }
+        // Bootstrap control traffic rides the live queue on reserved
+        // exchanges — branch before decoding, they are not WriteMessages
+        // (markers) or take a different apply path (chunk copies).
+        if delivery.exchange == WATERMARK_EXCHANGE {
+            self.note_watermark(consumer, delivery);
+            return true;
+        }
+        if delivery.exchange == BOOTSTRAP_EXCHANGE {
+            self.handle_copy(consumer, delivery, popped_nanos, pending, in_flight);
+            return true;
+        }
         let handle_nanos = mono_nanos();
         let decoded = WriteMessage::decode(&delivery.payload)
             .map_err(|e| ProcessError::Poison(format!("undecodable payload: {e}")));
@@ -475,6 +533,7 @@ impl Subscriber {
                 if let Ok(msg) = &decoded {
                     pending.tags.push(delivery.tag);
                     pending.dep_keys.extend(msg.dep_keys());
+                    self.note_live_apply(consumer.partition_count(), delivery.tag, msg);
                     self.record_visible(delivery, mode, popped_nanos, handle_nanos, marks);
                 }
             }
@@ -697,6 +756,220 @@ impl Subscriber {
         self.counters.dead_lettered.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Consumes a watermark marker: report it to the gate (which ignores
+    /// markers of stale sessions/chunks, e.g. crash redeliveries of an
+    /// abandoned attempt) and ack. Markers carry no dependencies and no
+    /// origin stamp, so they bypass the pending batch and the latency
+    /// histograms entirely.
+    fn note_watermark(&self, consumer: &Consumer, delivery: &Delivery) {
+        if let Some((session, chunk, high)) = parse_watermark(&delivery.payload) {
+            let parts = consumer.partition_count().max(1);
+            let partition = tag_hint(delivery.tag) as usize % parts;
+            self.gate.note_marker(session, chunk, partition, high);
+            self.counters.watermarks_noted.fetch_add(1, Ordering::Relaxed);
+        }
+        consumer.ack(delivery.tag);
+    }
+
+    /// Reports a live message's written-object keys to the watermark gate
+    /// when a reconciliation window is open on this delivery's partition.
+    /// Only *written* objects count: the copier drops chunk rows for
+    /// touched keys in favor of the live write's payload, so a key that
+    /// was merely read must not suppress its copy.
+    fn note_live_apply(&self, partitions: usize, tag: u64, msg: &WriteMessage) {
+        if !self.gate.is_active() {
+            return;
+        }
+        let partition = tag_hint(tag) as usize % partitions.max(1);
+        let keys: Vec<DepKey> = msg
+            .operations
+            .iter()
+            .map(|op| self.dep_space.key(&DepName::object(&msg.app, op.model(), op.id)))
+            .collect();
+        self.gate.note_applied(partition, &keys);
+    }
+
+    /// Processes one bootstrap chunk-copy delivery. Copies ack with *no*
+    /// dependency keys: they do not correspond to publisher bump
+    /// operations (step 1's version snapshot already carried their `ops`),
+    /// so landing them must not advance the subscriber's dependency
+    /// counters. Transient failures nack with the live path's backoff and
+    /// dead-letter budget — `admit_copy` re-checks on redelivery, so a
+    /// redelivered copy that lost to the live stream in the meantime is
+    /// discarded, not re-applied.
+    fn handle_copy<'a>(
+        &'a self,
+        consumer: &Consumer,
+        delivery: &Delivery,
+        popped_nanos: u64,
+        pending: &mut PendingBatch,
+        in_flight: &mut Option<RwLockReadGuard<'a, ()>>,
+    ) {
+        let handle_nanos = mono_nanos();
+        let decoded = WriteMessage::decode(&delivery.payload)
+            .map_err(|e| ProcessError::Poison(format!("undecodable copy payload: {e}")));
+        let outcome = match &decoded {
+            Ok(msg) => {
+                let apply_start = mono_nanos();
+                self.apply_copy_message(msg).map(|_| StageMarks {
+                    dep_wait_nanos: 0,
+                    apply_nanos: mono_nanos().saturating_sub(apply_start),
+                })
+            }
+            Err(e) => Err(e.clone()),
+        };
+        match outcome {
+            Ok(marks) => {
+                pending.tags.push(delivery.tag);
+                self.record_visible(
+                    delivery,
+                    DeliveryMode::Weak,
+                    popped_nanos,
+                    handle_nanos,
+                    marks,
+                );
+            }
+            Err(ProcessError::Poison(_)) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                self.counters.poison_messages.fetch_add(1, Ordering::Relaxed);
+                if consumer.dead_letter(delivery.tag) {
+                    self.attempts.lock().remove(&delivery.tag);
+                    self.counters.dead_lettered.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(ProcessError::Transient(_)) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                if self.stop.load(Ordering::SeqCst) {
+                    consumer.nack(delivery.tag);
+                    return;
+                }
+                let attempts = {
+                    let mut map = self.attempts.lock();
+                    let entry = map.entry(delivery.tag).or_insert(0);
+                    *entry += 1;
+                    *entry
+                };
+                if self.retry.exhausted(attempts) {
+                    // A transiently-failing chunk copy never dead-letters:
+                    // it is an idempotent, admission-guarded upsert whose
+                    // silent loss would break the coverage contract of the
+                    // copy watermark it rode behind (resume assumes every
+                    // merged copy eventually lands or is refused). Reset
+                    // the budget and keep redelivering — the loop ends
+                    // when the store or engine heals, typically at the
+                    // next bootstrap attempt's revive. Undecodable copies
+                    // still dead-letter through the poison arm above.
+                    self.counters.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+                    self.attempts.lock().remove(&delivery.tag);
+                } else {
+                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                // As in the live path: land finished work and release
+                // the in-flight marker before sleeping.
+                self.flush_pending(consumer, pending);
+                *in_flight = None;
+                std::thread::sleep(self.retry.backoff(attempts));
+                consumer.nack(delivery.tag);
+                *in_flight = Some(self.gen_barrier.read());
+            }
+        }
+    }
+
+    /// Applies one decoded chunk-copy message: every operation is admitted
+    /// through the version store's strict copy check and persisted as a
+    /// replicated upsert. Returns how many records were applied vs.
+    /// discarded by admission.
+    fn apply_copy_message(&self, msg: &WriteMessage) -> Result<CopyOutcome, ProcessError> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            context::with_scope(|| {
+                context::with_replication_flag(|| {
+                    let mut load = CopyOutcome::default();
+                    for op in &msg.operations {
+                        if self.apply_copy_op(msg, op)? {
+                            load.applied += 1;
+                        } else {
+                            load.reconciled += 1;
+                        }
+                    }
+                    Ok::<CopyOutcome, OrmError>(load)
+                })
+            })
+            .0
+        }));
+        match outcome {
+            Ok(Ok(load)) => Ok(load),
+            Ok(Err(e)) => Err(classify_apply_error(e)),
+            Err(panic) => Err(ProcessError::Poison(format!(
+                "bootstrap copy callback panicked: {}",
+                panic_message(panic.as_ref())
+            ))),
+        }
+    }
+
+    /// Applies one chunk-copy operation: strict version admission (ties
+    /// lose to the live stream — see [`VersionStore::admit_copy`] for why
+    /// re-upserting a tying copy can resurrect a deleted row), then the
+    /// normal subscription apply under the object's apply slot.
+    fn apply_copy_op(&self, msg: &WriteMessage, op: &Operation) -> Result<bool, OrmError> {
+        let matching: Vec<Subscription> = {
+            let subs = self.subscriptions.read();
+            subs.iter()
+                .filter(|s| s.from == msg.app && op.types.iter().any(|t| t == &s.model))
+                .cloned()
+                .collect()
+        };
+        if matching.is_empty() {
+            return Ok(true);
+        }
+        let key = self
+            .dep_space
+            .key(&DepName::object(&msg.app, op.model(), op.id));
+        let marker = msg.dependencies.get(&key).copied().unwrap_or(0);
+        let _slot = self
+            .serialize_applies
+            .load(Ordering::SeqCst)
+            .then(|| self.apply_slots[(key % APPLY_SLOTS as u64) as usize].lock());
+        match self.store.admit_copy(key, marker) {
+            Ok(true) => {}
+            Ok(false) => {
+                self.counters.copies_reconciled.fetch_add(1, Ordering::Relaxed);
+                return Ok(false);
+            }
+            Err(_) => return Err(OrmError::Db(DbError::Unavailable)),
+        }
+        for sub in matching {
+            self.apply_subscription(&sub, op)?;
+        }
+        self.counters.copies_applied.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Synchronous chunk-copy apply — the bootstrap copier's fallback when
+    /// no worker pool is running to drain the queue-merged path. Returns
+    /// `Ok(true)` if the record was applied, `Ok(false)` if version
+    /// admission discarded it in favor of the live stream.
+    pub fn apply_copy_record(
+        &self,
+        pub_app: &str,
+        record: &Record,
+        marker: u64,
+    ) -> Result<bool, ProcessError> {
+        let op = Operation::from_record("create", record);
+        let key = self
+            .dep_space
+            .key(&DepName::object(pub_app, op.model(), op.id));
+        let mut dependencies = BTreeMap::new();
+        dependencies.insert(key, marker);
+        let msg = WriteMessage {
+            app: pub_app.to_owned(),
+            operations: vec![op],
+            dependencies,
+            published_at: 0,
+            generation: 1,
+        };
+        self.apply_copy_message(&msg).map(|load| load.applied > 0)
+    }
+
     /// Processes one delivery end to end (untyped error; see
     /// [`Subscriber::process_classified`] for the retry/dead-letter
     /// classification the worker loop uses).
@@ -710,6 +983,20 @@ impl Subscriber {
     pub fn process_classified(&self, delivery: &Delivery) -> Result<(), ProcessError> {
         let popped_nanos = mono_nanos();
         let mut marks = StageMarks::default();
+        if delivery.exchange == WATERMARK_EXCHANGE {
+            if let Some((session, chunk, high)) = parse_watermark(&delivery.payload) {
+                let parts = self.broker.queue_partitions(&self.app).unwrap_or(1).max(1);
+                self.gate
+                    .note_marker(session, chunk, tag_hint(delivery.tag) as usize % parts, high);
+                self.counters.watermarks_noted.fetch_add(1, Ordering::Relaxed);
+            }
+            return Ok(());
+        }
+        if delivery.exchange == BOOTSTRAP_EXCHANGE {
+            let msg = WriteMessage::decode(&delivery.payload)
+                .map_err(|e| ProcessError::Poison(format!("undecodable copy payload: {e}")))?;
+            return self.apply_copy_message(&msg).map(|_| ());
+        }
         let msg = WriteMessage::decode(&delivery.payload)
             .map_err(|e| ProcessError::Poison(format!("undecodable payload: {e}")))?;
         self.generation_gate(&msg)
@@ -728,6 +1015,8 @@ impl Subscriber {
         let apply_start = mono_nanos();
         self.apply_message(&msg, mode)?;
         marks.apply_nanos = mono_nanos().saturating_sub(apply_start);
+        let parts = self.broker.queue_partitions(&self.app).unwrap_or(1);
+        self.note_live_apply(parts, delivery.tag, &msg);
         // Advance the version store only after successful application: a
         // transient failure must leave versions untouched so the redelivery
         // reprocesses from scratch (applies are idempotent upserts). Dep
@@ -992,70 +1281,16 @@ impl Subscriber {
     pub fn load_version_snapshot(&self, snapshot: &[(u64, u64)]) -> Result<(), String> {
         self.store.load_snapshot(snapshot).map_err(|e| e.to_string())
     }
-
-    /// Bootstrap step 2: persist one chunk of the publisher's current
-    /// objects as replicated creates. Each record carries the publisher's
-    /// version for the object, so the weak-mode freshness check reconciles
-    /// the copy against live messages delivered between chunks: a copy of
-    /// a row the live stream already moved past is discarded as stale
-    /// (counted in `reconciled`) instead of regressing the replica, and a
-    /// live message older than the copy is discarded by the same check in
-    /// the worker path — no drop, no double-apply.
-    ///
-    /// Transient engine/store failures abort the chunk with an error so
-    /// the caller can retry it under the node's `RetryPolicy`; a panicking
-    /// callback is poison, exactly as in the live path.
-    pub fn load_objects(
-        &self,
-        pub_app: &str,
-        model: &str,
-        chunk: &[(Record, u64)],
-    ) -> Result<ChunkLoad, ProcessError> {
-        let _ = model;
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            context::with_replication_flag(|| {
-                let mut load = ChunkLoad::default();
-                for (record, version) in chunk {
-                    let op = Operation::from_record("create", record);
-                    let key = self
-                        .dep_space
-                        .key(&DepName::object(pub_app, op.model(), op.id));
-                    let mut dependencies = BTreeMap::new();
-                    dependencies.insert(key, *version);
-                    let fake_msg = WriteMessage {
-                        app: pub_app.to_owned(),
-                        operations: vec![],
-                        dependencies,
-                        published_at: 0,
-                        generation: 1,
-                    };
-                    if self.apply_op(&fake_msg, &op, DeliveryMode::Weak)? {
-                        load.applied += 1;
-                    } else {
-                        load.reconciled += 1;
-                    }
-                }
-                Ok::<ChunkLoad, OrmError>(load)
-            })
-        }));
-        match outcome {
-            Ok(Ok(load)) => Ok(load),
-            Ok(Err(e)) => Err(classify_apply_error(e)),
-            Err(panic) => Err(ProcessError::Poison(format!(
-                "bootstrap copy callback panicked: {}",
-                panic_message(panic.as_ref())
-            ))),
-        }
-    }
 }
 
-/// Outcome of loading one bootstrap chunk.
+/// Outcome of applying one bootstrap chunk-copy message.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct ChunkLoad {
-    /// Records persisted by the chunk.
+pub struct CopyOutcome {
+    /// Records admitted and persisted.
     pub applied: u64,
-    /// Records discarded because the live stream had already delivered an
-    /// equal-or-newer version of the object.
+    /// Records discarded because the live stream had already applied an
+    /// equal-or-newer write for the object (ties included — re-upserting a
+    /// tying copy could resurrect a deleted row).
     pub reconciled: u64,
 }
 

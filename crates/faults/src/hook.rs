@@ -5,7 +5,8 @@
 //! inside a recovery protocol ("kill a shard while the copier is on its
 //! second chunk"). A [`PhaseHook`] closes that gap: tests register faults
 //! against named protocol phases (the labels are chosen by the test — for
-//! bootstrap they are typically `"snapshot"`, `"copying"`, `"draining"`),
+//! bootstrap they are typically `"snapshot"`, `"copying"`, `"reconciling"`,
+//! `"finalizing"`),
 //! and the system under test reports each phase entry through
 //! [`PhaseHook::enter`], which fires every registration due at that entry
 //! through the [`Injector`].
@@ -124,7 +125,7 @@ mod tests {
         hook.on_entry("copying", 1, FaultKind::DropMessages { n: 1 });
         hook.on_entry("copying", 1, FaultKind::BrokerRestart);
 
-        assert_eq!(hook.enter("draining", &mut injector), 0, "unregistered phase");
+        assert_eq!(hook.enter("reconciling", &mut injector), 0, "unregistered phase");
         assert_eq!(hook.enter("snapshot", &mut injector), 1);
         assert_eq!(hook.enter("copying", &mut injector), 2, "both fire in order");
         assert_eq!(injector.stats().publish_failures_scheduled, 2);

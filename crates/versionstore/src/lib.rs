@@ -25,9 +25,11 @@
 pub mod generation;
 pub mod ring;
 pub mod store;
+pub mod watermark;
 
 pub use generation::GenerationStore;
 pub use ring::HashRing;
 pub use store::{
     BumpScratch, DepKey, DepWaitSet, StoreError, StoreTimingSnapshot, VersionStore, WaitOutcome,
 };
+pub use watermark::WatermarkGate;

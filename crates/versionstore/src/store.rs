@@ -108,13 +108,23 @@ pub struct StoreTimingSnapshot {
     pub wait_nanos: u64,
 }
 
-/// Per-dependency counters. On the publisher both fields are used; on a
+/// Per-dependency counters. On the publisher both counters are used; on a
 /// subscriber only `ops` is (plus `version` for the weak-mode
 /// latest-version check).
+///
+/// `versioned` records whether `version` was ever *explicitly* written for
+/// this key (by a live apply's freshness mark or an admitted bootstrap
+/// copy) — an entry created as a side effect of `ops` bookkeeping has
+/// `version == 0` without meaning "version 0 was observed". Bootstrap
+/// reconciliation needs the distinction: a copy with marker 0 must be
+/// admitted against a never-versioned key (a row created before any
+/// subscriber existed) but discarded against a key whose version 0 was
+/// recorded by an applied destroy (the deleted-row-resurrection bug).
 #[derive(Debug, Default, Clone, Copy)]
 struct Entry {
     ops: u64,
     version: u64,
+    versioned: bool,
 }
 
 #[derive(Default)]
@@ -499,6 +509,31 @@ impl VersionStore {
         let entry = entries.entry(key).or_default();
         if version >= entry.version {
             entry.version = version;
+            entry.versioned = true;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Bootstrap-copy admission check: records `marker` as the latest
+    /// version for `key` and returns `true` iff the copy is fresher than
+    /// everything the live stream has applied. Unlike
+    /// [`VersionStore::advance_latest`], equal versions are *discarded*:
+    /// a copy that ties with an applied live write is the same publisher
+    /// operation observed twice, and the live apply already holds the
+    /// authoritative payload — re-upserting the copy could resurrect a
+    /// row the live stream has since destroyed. A never-versioned key
+    /// admits any marker (including 0: rows created before the copy
+    /// started carry marker 0 and no live write has touched them).
+    pub fn admit_copy(&self, key: DepKey, marker: u64) -> Result<bool, StoreError> {
+        self.check_shards_alive(&[key])?;
+        let shard = &self.shards[self.ring.route(key)];
+        let mut entries = shard.entries.lock();
+        let entry = entries.entry(key).or_default();
+        if !entry.versioned || marker > entry.version {
+            entry.version = marker;
+            entry.versioned = true;
             Ok(true)
         } else {
             Ok(false)
@@ -586,32 +621,39 @@ impl VersionStore {
         Ok(())
     }
 
-    /// Bulk-dumps all entries as `(key, ops, version)` — the durability
-    /// plane's snapshot form. Unlike [`VersionStore::snapshot`] (the §4.4
-    /// bootstrap bulk-send, which carries only `ops`), a dump also carries
-    /// each entry's `version`, so freshness marks *and* bootstrap
-    /// watermarks (stored as versions under reserved keys) survive a
-    /// crash-restart. Sorted by key for a deterministic on-disk image.
-    pub fn dump(&self) -> Result<Vec<(DepKey, u64, u64)>, StoreError> {
+    /// Bulk-dumps all entries as `(key, ops, version, versioned)` — the
+    /// durability plane's snapshot form. Unlike [`VersionStore::snapshot`]
+    /// (the §4.4 bootstrap bulk-send, which carries only `ops`), a dump
+    /// also carries each entry's `version` and its explicit-write flag, so
+    /// freshness marks, destroy tombstones (version 0 with the flag set),
+    /// *and* bootstrap watermarks (stored as versions under reserved keys)
+    /// survive a crash-restart. Sorted by key for a deterministic on-disk
+    /// image.
+    pub fn dump(&self) -> Result<Vec<(DepKey, u64, u64, bool)>, StoreError> {
         self.check_alive()?;
         let mut out = Vec::new();
         for shard in &self.shards {
             let entries = shard.entries.lock();
-            out.extend(entries.iter().map(|(k, e)| (*k, e.ops, e.version)));
+            out.extend(
+                entries
+                    .iter()
+                    .map(|(k, e)| (*k, e.ops, e.version, e.versioned)),
+            );
         }
         out.sort_unstable();
         Ok(out)
     }
 
-    /// Bulk-loads `(key, ops, version)` triples, keeping the max of each
-    /// field against any existing entry, and wakes waiters on touched
-    /// shards. Max-merge makes the load idempotent and safe to combine
-    /// with live traffic racing in after recovery.
-    pub fn load_dump(&self, entries: &[(DepKey, u64, u64)]) -> Result<(), StoreError> {
+    /// Bulk-loads `(key, ops, version, versioned)` tuples, keeping the max
+    /// of each counter (and the OR of the explicit-write flag) against any
+    /// existing entry, and wakes waiters on touched shards. Max-merge makes
+    /// the load idempotent and safe to combine with live traffic racing in
+    /// after recovery.
+    pub fn load_dump(&self, entries: &[(DepKey, u64, u64, bool)]) -> Result<(), StoreError> {
         self.check_alive()?;
         let routes: Vec<usize> = entries.iter().map(|(k, ..)| self.ring.route(*k)).collect();
         let mut guards = self.lock_routed(&routes);
-        for ((key, ops, version), shard_idx) in entries.iter().zip(&routes) {
+        for ((key, ops, version, versioned), shard_idx) in entries.iter().zip(&routes) {
             let entry = guards[*shard_idx]
                 .as_mut()
                 .expect("routed shard locked")
@@ -619,6 +661,7 @@ impl VersionStore {
                 .or_default();
             entry.ops = entry.ops.max(*ops);
             entry.version = entry.version.max(*version);
+            entry.versioned |= *versioned;
         }
         for (i, guard) in guards.into_iter().enumerate() {
             if let Some(guard) = guard {
@@ -932,13 +975,57 @@ mod tests {
         store.apply(&[1]).unwrap();
         store.advance_latest(1, 7).unwrap();
         // Stale dump: neither field regresses.
-        store.load_dump(&[(1, 1, 3)]).unwrap();
+        store.load_dump(&[(1, 1, 3, false)]).unwrap();
         assert_eq!(store.ops(1).unwrap(), 2);
         assert_eq!(store.latest_version(1).unwrap(), 7);
         // Newer dump: both fields advance.
-        store.load_dump(&[(1, 10, 12)]).unwrap();
+        store.load_dump(&[(1, 10, 12, true)]).unwrap();
         assert_eq!(store.ops(1).unwrap(), 10);
         assert_eq!(store.latest_version(1).unwrap(), 12);
+    }
+
+    /// A copy admitted against a never-versioned key (marker 0 included:
+    /// rows created before the bootstrap started) must land; a copy tying
+    /// with or older than an explicitly-recorded version must be
+    /// discarded — including the version-0 tombstone an applied destroy
+    /// leaves behind (the deleted-row-resurrection bug).
+    #[test]
+    fn admit_copy_distinguishes_tombstones_from_unversioned_keys() {
+        let store = VersionStore::new(2);
+        // Entry exists from ops bookkeeping (snapshot load) but was never
+        // explicitly versioned: a marker-0 copy must be admitted.
+        store.load_snapshot(&[(1, 1)]).unwrap();
+        assert!(store.admit_copy(1, 0).unwrap(), "unversioned key admits");
+        assert!(!store.admit_copy(1, 0).unwrap(), "second identical copy ties");
+
+        // An applied destroy records version 0 explicitly; a stale copy of
+        // the pre-delete row (marker 0) must now be discarded.
+        assert!(store.advance_latest(2, 0).unwrap());
+        assert!(!store.admit_copy(2, 0).unwrap(), "tombstone wins over copy");
+
+        // A copy strictly newer than the applied version is admitted; the
+        // live stream's own `>=` readmit still re-applies its version.
+        assert!(store.advance_latest(3, 4).unwrap());
+        assert!(!store.admit_copy(3, 4).unwrap(), "tie goes to live stream");
+        assert!(store.admit_copy(3, 5).unwrap(), "strictly newer copy lands");
+        assert!(store.advance_latest(3, 5).unwrap(), "live readmits equal");
+    }
+
+    /// The explicit-write flag must survive a dump/load round trip:
+    /// restoring a snapshot must not turn tombstones back into
+    /// unversioned keys (which would re-admit stale copies after a
+    /// crash-restart).
+    #[test]
+    fn dump_preserves_versioned_flag() {
+        let store = VersionStore::new(2);
+        store.load_snapshot(&[(1, 3)]).unwrap(); // never versioned
+        store.advance_latest(2, 0).unwrap(); // tombstone
+        let dump = store.dump().unwrap();
+
+        let restored = VersionStore::single();
+        restored.load_dump(&dump).unwrap();
+        assert!(restored.admit_copy(1, 0).unwrap(), "still unversioned");
+        assert!(!restored.admit_copy(2, 0).unwrap(), "tombstone survived");
     }
 
     #[test]
@@ -949,7 +1036,7 @@ mod tests {
             thread::spawn(move || store.wait_for(&[(5, 3)], Duration::from_secs(5)).unwrap())
         };
         thread::sleep(Duration::from_millis(30));
-        store.load_dump(&[(5, 3, 3)]).unwrap();
+        store.load_dump(&[(5, 3, 3, false)]).unwrap();
         assert_eq!(waiter.join().unwrap(), WaitOutcome::Ready);
     }
 

@@ -20,6 +20,11 @@
 #                                    WAL vs the single-lock per-write append
 #                                    path vs memory-only at 4/16/64 workers
 #                                    (durable_scaling bin, PR 8)
+#   BENCH_bootstrap_stall.json     — live delivery throughput with vs without
+#                                    a concurrent watermark-interleaved
+#                                    bootstrap, plus residency p99 and the
+#                                    longest apply gap under the copy
+#                                    (bootstrap_stall bin, PR 9)
 #
 # Usage:
 #   scripts/bench.sh                           # full run, writes all JSONs
@@ -50,6 +55,7 @@ VIS_OUT="BENCH_visibility_latency.json"
 REC_OUT="BENCH_recovery.json"
 SCALE_OUT="BENCH_scaling.json"
 DUR_OUT="BENCH_durable_scaling.json"
+STALL_OUT="BENCH_bootstrap_stall.json"
 
 if [[ "$MODE" == "smoke" ]]; then
   FANOUT_MESSAGES="${FANOUT_MESSAGES:-500}" \
@@ -64,6 +70,7 @@ if [[ "$MODE" == "smoke" ]]; then
     cargo run --quiet --release -p synapse-bench --bin recovery_trajectory > /dev/null
   cargo run --quiet --release -p synapse-bench --bin scaling_sweep -- --smoke > /dev/null
   cargo run --quiet --release -p synapse-bench --bin durable_scaling -- --smoke > /dev/null
+  cargo run --quiet --release -p synapse-bench --bin bootstrap_stall -- --smoke > /dev/null
   echo "bench smoke: OK"
   exit 0
 fi
@@ -77,7 +84,8 @@ PUB_LOG="$(mktemp)"
 VIS_LOG="$(mktemp)"
 SCALE_LOG="$(mktemp)"
 DUR_LOG="$(mktemp)"
-trap 'rm -f "$CRIT_LOG" "$FANOUT_LOG" "$PUB_LOG" "$VIS_LOG" "$SCALE_LOG" "$DUR_LOG"' EXIT
+STALL_LOG="$(mktemp)"
+trap 'rm -f "$CRIT_LOG" "$FANOUT_LOG" "$PUB_LOG" "$VIS_LOG" "$SCALE_LOG" "$DUR_LOG" "$STALL_LOG"' EXIT
 
 # Criterion lines: "<name>   <ns> ns/iter"; bin lines:
 # "<scenario> <value> <unit>_per_sec".
@@ -253,6 +261,41 @@ write_durable_scaling_json() {
   echo "bench: wrote $DUR_OUT"
 }
 
+# --- bootstrap stall-elimination trajectory (PR 9) -------------------------
+
+write_bootstrap_stall_json() {
+  # The bin prints "bootstrap_stall/<arm> <rate> msgs_per_sec" for the
+  # live-only and live-during-bootstrap arms plus "<metric> <value> ns"
+  # lines (residency p99s, longest apply gap under the copy). The ISSUE 9
+  # acceptance story — live delivery never pauses while a copy runs — is
+  # carried by the gap and retention numbers computed here.
+  cargo run --quiet --release -p synapse-bench --bin bootstrap_stall | tee "$STALL_LOG"
+  {
+    echo "{"
+    echo "  \"schema\": \"synapse-bench/v1\","
+    echo "  \"generated_by\": \"scripts/bench.sh\","
+    echo "  \"git_rev\": \"$GIT_REV\","
+    echo "  \"utc\": \"$UTC\","
+    echo "  \"live_msgs_per_sec\": {"
+    rates_json "$STALL_LOG"
+    echo "  },"
+    echo "  \"nanos\": {"
+    awk '/ ns$/ { name=$1; sub(/^bootstrap_stall\//, "", name);
+                  printf "%s    \"%s\": %s", sep, name, $2; sep=",\n" }
+         END { print "" }' "$STALL_LOG"
+    echo "  },"
+    awk '
+      /^bootstrap_stall\/live_only /             { only=$2+0 }
+      /^bootstrap_stall\/live_during_bootstrap / { during=$2+0 }
+      END {
+        if (only > 0) printf "  \"live_retention_under_bootstrap\": %.2f\n", during/only
+        else          print  "  \"live_retention_under_bootstrap\": null"
+      }' "$STALL_LOG"
+    echo "}"
+  } > "$STALL_OUT"
+  echo "bench: wrote $STALL_OUT"
+}
+
 # --- full / fanout-baseline runs -------------------------------------------
 
 for bench in broker publish_path publisher_deps versionstore wire; do
@@ -298,4 +341,5 @@ if [[ "$MODE" == "full" ]]; then
   write_recovery_json
   write_scaling_json
   write_durable_scaling_json
+  write_bootstrap_stall_json
 fi

@@ -7,7 +7,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # `--smoke` runs the liveness subset only: release build plus the
-# delivery-plane and durable-mode smoke gates — the fast pre-push check.
+# delivery-plane, durable-mode, and bootstrap-stall smoke gates — the
+# fast pre-push check.
 MODE="full"
 case "${1:-}" in
   --smoke) MODE="smoke" ;;
@@ -20,6 +21,7 @@ cargo build --release
 if [[ "$MODE" == "smoke" ]]; then
   cargo run --quiet --release -p synapse-bench --bin scaling_sweep -- --smoke
   cargo run --quiet --release -p synapse-bench --bin durable_scaling -- --smoke
+  cargo run --quiet --release -p synapse-bench --bin bootstrap_stall -- --smoke
   echo "tier1 --smoke: OK"
   exit 0
 fi
@@ -67,6 +69,14 @@ cargo run --quiet --release -p synapse-bench --bin scaling_sweep -- --smoke
 # baseline, and a publish→deliver→crash→recover round trip under
 # Interval fsync must come back with exactly published-minus-acked.
 cargo run --quiet --release -p synapse-bench --bin durable_scaling -- --smoke
+
+# Bootstrap stall-elimination gate (gating for liveness, not perf): a
+# watermark-interleaved copy running concurrently with a live write load
+# must converge exactly, must merge its chunks through the delivery
+# queue, must never open a >1s apply gap on the subscriber, and must not
+# collapse live throughput below 0.2x the steady-state arm — any of
+# those means the copy is pausing live delivery again.
+cargo run --quiet --release -p synapse-bench --bin bootstrap_stall -- --smoke
 
 # Optional bench smoke (non-gating for perf, gating for liveness): the
 # fanout bench must complete without deadlock or delivery loss.

@@ -1,15 +1,18 @@
 //! The three-step bootstrap protocol (§4.4) in detail: version snapshots
 //! before data, projection during bulk copy, live traffic during the copy,
 //! ephemeral exclusion, decorator chains bootstrapping in stages, and the
-//! failure paths of the chunked recovery rebuild — flag hygiene on failed
-//! attempts, watermark resume after a drain timeout, dead publisher
-//! stores, ephemeral-only publications, and reinstates racing a broker
-//! restart.
+//! failure paths of the watermark-interleaved recovery rebuild — flag
+//! hygiene on failed attempts, watermark resume after a mid-copy fault,
+//! watermark lineage across decommission/reinstate, deferred watermark
+//! cleanup, dead publisher stores, ephemeral-only publications, and
+//! reinstates racing a broker restart.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use synapse_repro::core::{
-    BootstrapPhase, Ecosystem, Publication, Subscription, SynapseConfig, SynapseNode,
+    BootstrapPhase, BootstrapState, Ecosystem, Publication, Subscription, SynapseConfig,
+    SynapseNode,
 };
 use synapse_repro::db::LatencyModel;
 use synapse_repro::model::{vmap, ModelSchema};
@@ -271,17 +274,35 @@ fn failed_bootstrap_clears_flag_and_retry_succeeds() {
     eco.stop_all();
 }
 
-/// A drain timeout fails the attempt but leaves the chunk watermarks in
-/// the version store, so the next attempt resumes past the copied rows
-/// instead of redoing the copy — and still converges.
+/// Arms one retry budget's worth of transient chunk-copy failures the
+/// first time the copier enters `chunk` (0-based). Returns the once-flag.
+fn arm_copy_fault_at_chunk(node: &Arc<SynapseNode>, chunk: u64) -> Arc<AtomicBool> {
+    let armed = Arc::new(AtomicBool::new(false));
+    let target = node.clone();
+    let flag = armed.clone();
+    let at = chunk;
+    let budget = node.config().retry.max_attempts as u64;
+    node.set_bootstrap_probe(move |state| {
+        if let BootstrapState::Copying { chunk, .. } = state {
+            if *chunk == at && !flag.swap(true, Ordering::SeqCst) {
+                target.inject_copy_failures(budget);
+            }
+        }
+    });
+    armed
+}
+
+/// A mid-copy fault exhausts the retry policy and fails the attempt, but
+/// leaves the committed chunk watermarks in the version store, so the next
+/// attempt resumes past the copied rows instead of redoing the copy — and
+/// still converges. (Runs on the synchronous no-worker path; the live
+/// backlog drains once workers start.)
 #[test]
-fn drain_timeout_fails_attempt_then_resume_converges() {
+fn copy_fault_fails_attempt_then_resume_converges() {
     let eco = Ecosystem::new();
     let publisher = publisher_with_users(&eco, 30);
     let subscriber = eco.add_node(
-        SynapseConfig::new("late")
-            .bootstrap_chunk(8)
-            .bootstrap_drain_timeout(Duration::from_millis(300)),
+        SynapseConfig::new("late").bootstrap_chunk(8),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
     subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
@@ -290,40 +311,206 @@ fn drain_timeout_fails_attempt_then_resume_converges() {
         .unwrap();
     eco.connect();
 
-    // Live writes after the binding exists put messages in the queue...
+    // Live writes after the binding exists put messages in the queue and
+    // rows in the publisher db; the copy must cover the rows, the workers
+    // (started later) the messages.
     for i in 0..5 {
         publisher
             .orm()
             .create("User", vmap! { "name" => format!("live-{i}") })
             .unwrap();
     }
-    // ...and with no workers running, step 3 can never drain them.
+    // The copier's third chunk (two watermarks committed) hits a burst of
+    // transient faults that exhausts the retry policy.
+    let armed = arm_copy_fault_at_chunk(&subscriber, 2);
     let err = subscriber.bootstrap_from(&publisher);
-    assert!(err.is_err(), "drain must time out with no workers");
+    assert!(err.is_err(), "the armed chunk fault must fail the attempt");
+    assert!(armed.load(Ordering::SeqCst));
     assert!(!subscriber.orm().is_bootstrap());
     let stats = subscriber.bootstrap_stats();
     assert_eq!(stats.attempts, 1);
     assert_eq!(stats.resumes, 0, "first attempt starts from scratch");
-    assert!(
-        stats.chunks_copied >= 4,
-        "the copy itself completed in chunks before the drain failed"
+    assert_eq!(
+        stats.chunks_copied, 2,
+        "the chunks before the faulted one committed watermarks"
     );
+    assert!(stats.retries >= 1, "the chunk retried before exhausting");
     let copied_first = stats.records_copied;
-    assert_eq!(copied_first, 35);
+    assert_eq!(copied_first, 16);
 
-    // Second attempt with workers running: the watermark survived, so the
-    // copier resumes past everything already copied.
-    subscriber.start();
+    // Second attempt: the watermark survived, so the copier resumes past
+    // everything already copied and covers the rest.
     subscriber.bootstrap_from(&publisher).unwrap();
     let stats = subscriber.bootstrap_stats();
     assert_eq!(stats.completions, 1);
     assert!(stats.resumes >= 1, "second attempt resumed from watermark");
     assert_eq!(
-        stats.records_copied, copied_first,
+        stats.records_copied,
+        35,
         "resume must not re-copy records behind the watermark"
+    );
+    assert_eq!(
+        stats.copies_merged, 0,
+        "with no workers the copy applies synchronously, not via the queue"
     );
     assert_eq!(subscriber.orm().count("User").unwrap(), 35);
     assert_eq!(stats.phase, BootstrapPhase::Live);
+
+    // The queued live messages drain once workers run; applying them over
+    // their own copies must not double anything.
+    subscriber.start();
+    assert!(subscriber.subscriber().drain(Duration::from_secs(10)));
+    assert_eq!(subscriber.orm().count("User").unwrap(), 35);
+    eco.stop_all();
+}
+
+/// Watermark lineage across decommission/reinstate, the keep path: a
+/// decommission that swept nothing leaves live-stream coverage intact, so
+/// a reinstating bootstrap must keep its committed watermarks and resume.
+#[test]
+fn reinstate_with_unswept_backlog_keeps_resume_watermarks() {
+    let eco = Ecosystem::new();
+    let publisher = publisher_with_users(&eco, 40);
+    let subscriber = eco.add_node(
+        SynapseConfig::new("late").bootstrap_chunk(8),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
+    subscriber
+        .subscribe(Subscription::model("User", "pub").fields(&["name"]))
+        .unwrap();
+    eco.connect();
+
+    let armed = arm_copy_fault_at_chunk(&subscriber, 2);
+    assert!(subscriber.bootstrap_from(&publisher).is_err());
+    assert!(armed.load(Ordering::SeqCst));
+    assert_eq!(subscriber.bootstrap_stats().records_copied, 16);
+
+    // The queue dies with an *empty* backlog: nothing is swept, so the
+    // discard lineage does not move and the watermarks stay trustworthy.
+    eco.broker().decommission_queue("late");
+    subscriber.bootstrap_from(&publisher).unwrap();
+    let stats = subscriber.bootstrap_stats();
+    assert_eq!(stats.completions, 1);
+    assert!(
+        stats.resumes >= 1,
+        "an unswept reinstate must keep the watermarks and resume"
+    );
+    assert_eq!(
+        stats.records_copied, 40,
+        "rows behind the watermark were not re-copied"
+    );
+    assert_eq!(subscriber.orm().count("User").unwrap(), 40);
+    assert_eq!(eco.broker().stats().reinstated, 1);
+    eco.stop_all();
+}
+
+/// Watermark lineage across decommission/reinstate, the clear path: a
+/// decommission that swept queued messages broke live-stream coverage —
+/// the copied chunks relied on those messages to carry the writes they
+/// raced with — so a reinstating bootstrap must clear its watermarks and
+/// restart the copy from scratch, which also re-covers the swept rows.
+#[test]
+fn reinstate_after_swept_backlog_clears_resume_watermarks() {
+    let eco = Ecosystem::new();
+    let publisher = publisher_with_users(&eco, 40);
+    let subscriber = eco.add_node(
+        SynapseConfig::new("late").bootstrap_chunk(8),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
+    subscriber
+        .subscribe(Subscription::model("User", "pub").fields(&["name"]))
+        .unwrap();
+    eco.connect();
+
+    // Live writes land in the bound queue (and the publisher db).
+    for i in 0..3 {
+        publisher
+            .orm()
+            .create("User", vmap! { "name" => format!("live-{i}") })
+            .unwrap();
+    }
+    let armed = arm_copy_fault_at_chunk(&subscriber, 2);
+    assert!(subscriber.bootstrap_from(&publisher).is_err());
+    assert!(armed.load(Ordering::SeqCst));
+
+    // The decommission sweeps the three queued messages: real loss, and
+    // the discard lineage moves.
+    eco.broker().decommission_queue("late");
+    subscriber.bootstrap_from(&publisher).unwrap();
+    let stats = subscriber.bootstrap_stats();
+    assert_eq!(stats.completions, 1);
+    assert_eq!(
+        stats.resumes, 0,
+        "a swept backlog breaks marker lineage: no resume"
+    );
+    // The full re-copy covers the swept writes too: exact convergence.
+    assert_eq!(subscriber.orm().count("User").unwrap(), 43);
+    assert!(eco.broker().stats().discarded >= 3);
+    eco.stop_all();
+}
+
+/// A watermark-cleanup failure after convergence must not fail the
+/// attempt: the node still transitions to Live, the deferral is counted,
+/// and the *next* attempt clears the stale resume state before trusting
+/// any watermark.
+#[test]
+fn cleanup_failure_defers_and_node_still_goes_live() {
+    let eco = Ecosystem::new();
+    let publisher = publisher_with_users(&eco, 20);
+    let subscriber = eco.add_node(
+        SynapseConfig::new("late").bootstrap_chunk(8),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
+    subscriber
+        .subscribe(Subscription::model("User", "pub").fields(&["name"]))
+        .unwrap();
+    eco.connect();
+
+    // Kill the watermark's home shard between the last chunk and the
+    // cleanup: the probe fires on the Finalizing transition, which sits
+    // exactly there.
+    let wm_shard = subscriber.sub_store().shard_for(
+        subscriber
+            .config()
+            .dep_space
+            .key(&synapse_repro::core::DepName::bootstrap_watermark("pub", "User")),
+    );
+    let killed = Arc::new(AtomicBool::new(false));
+    {
+        let store = subscriber.sub_store().clone();
+        let killed = killed.clone();
+        subscriber.set_bootstrap_probe(move |state| {
+            if matches!(state, BootstrapState::Finalizing)
+                && !killed.swap(true, Ordering::SeqCst)
+            {
+                store.kill_shard(wm_shard);
+            }
+        });
+    }
+    subscriber.bootstrap_from(&publisher).unwrap();
+    assert!(killed.load(Ordering::SeqCst));
+    let stats = subscriber.bootstrap_stats();
+    assert_eq!(stats.completions, 1, "cleanup failure must not fail the attempt");
+    assert_eq!(stats.phase, BootstrapPhase::Live);
+    assert_eq!(stats.cleanup_deferred, 1);
+    assert_eq!(
+        subscriber.telemetry_snapshot().counter("bootstrap.cleanup_deferred"),
+        1
+    );
+    assert_eq!(subscriber.orm().count("User").unwrap(), 20);
+
+    // The next attempt revives the store, clears the (dirty) watermark
+    // state first, and completes cleanly from scratch.
+    subscriber.clear_bootstrap_probe();
+    subscriber.bootstrap_from(&publisher).unwrap();
+    let stats = subscriber.bootstrap_stats();
+    assert_eq!(stats.completions, 2);
+    assert_eq!(stats.cleanup_deferred, 1, "the deferral happened once");
+    assert!(!subscriber.sub_store().is_dead());
+    assert_eq!(subscriber.orm().count("User").unwrap(), 20);
     eco.stop_all();
 }
 

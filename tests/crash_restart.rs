@@ -15,21 +15,24 @@
 //!   a consistent prefix: all durably-confirmed unacked messages present,
 //!   no acked message redelivered, no phantom payloads.
 //! * **Node layer** (`node_recovery_resumes_interrupted_bootstrap`): a
-//!   subscriber with the durability plane on dies mid-bootstrap (a poison
-//!   pill kills the chunk copy after two watermarks committed), persists a
-//!   version-store snapshot, and is rebuilt from disk. Recovery must load
-//!   the snapshot *before traffic* (asserted through the
-//!   `recovery.*` telemetry counters), replay the broker WAL, and the next
-//!   `bootstrap_from` must resume from the snapshot-carried watermark as a
-//!   delta copy (`resumes >= 1`, `records_copied` strictly below a full
-//!   re-copy) rather than restarting from row zero.
+//!   subscriber with the durability plane on dies mid-bootstrap (an armed
+//!   chunk-copy fault kills the interleaved copy after two watermarks
+//!   committed — their lo/hi marker records already in the broker WAL),
+//!   persists a version-store snapshot, and is rebuilt from disk after a
+//!   torn-tail corruption of the active segment. Recovery must truncate
+//!   the tear, load the snapshot *before traffic* (asserted through the
+//!   `recovery.*` telemetry counters), replay the broker WAL — watermark
+//!   markers included — and the next `bootstrap_from` must resume from
+//!   the snapshot-carried watermark as a delta copy (`resumes >= 1`,
+//!   `records_copied` strictly below a full re-copy) rather than
+//!   restarting from row zero.
 //!
 //! `SYNAPSE_SEED=<n>` pins the schedule; `SYNAPSE_CRASH_SWEEP=1` runs a
 //! ten-seed sweep of the broker soak on top of the seed of record.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use synapse_repro::broker::{Broker, FsyncPolicy, QueueConfig, SharedStr, WalConfig};
@@ -38,7 +41,6 @@ use synapse_repro::db::LatencyModel;
 use synapse_repro::faults::{CrashPlan, CrashPoint, SeededRng};
 use synapse_repro::model::{vmap, ModelSchema};
 use synapse_repro::orm::adapters::MongoidAdapter;
-use synapse_repro::orm::CallbackPoint;
 
 /// Seed of record: `SYNAPSE_SEED=<n>` reproduces a specific schedule.
 fn seed_of_record() -> u64 {
@@ -469,25 +471,6 @@ fn partition_layout_survives_reopen() {
 // Node layer: snapshot + WAL recovery resumes an interrupted bootstrap.
 // --------------------------------------------------------------------------
 
-/// Keeps the intentional chunk-apply panic from flooding test output while
-/// letting every other panic (i.e. real failures) print normally.
-fn quiet_poison_panics() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        let default = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            let poison = info
-                .payload()
-                .downcast_ref::<String>()
-                .map(|s| s.contains("poison pill"))
-                .unwrap_or(false);
-            if !poison {
-                default(info);
-            }
-        }));
-    });
-}
-
 /// Rows seeded before the subscriber's queue is bound: history that can
 /// only arrive through the chunked object copy.
 const SEED_ROWS: usize = 48;
@@ -505,7 +488,6 @@ fn counter(snap: &synapse_repro::core::TelemetrySnapshot, name: &str) -> u64 {
 
 #[test]
 fn node_recovery_resumes_interrupted_bootstrap() {
-    quiet_poison_panics();
     let seed = seed_of_record();
     let root = temp_dir("node");
     let wal_dir = root.join("wal");
@@ -527,7 +509,6 @@ fn node_recovery_resumes_interrupted_bootstrap() {
                 .wait_timeout(Some(Duration::from_millis(50)))
                 .workers(1)
                 .bootstrap_chunk(8)
-                .bootstrap_drain_timeout(Duration::from_secs(10))
                 .durable(&sub_dir)
                 .snapshot_every(None),
             sub_adapter.clone(),
@@ -544,22 +525,21 @@ fn node_recovery_resumes_interrupted_bootstrap() {
     assert_eq!(report.replayed_entries, 0, "fresh log, empty recovery");
     let (publisher, subscriber) = build(&eco);
 
-    // Poison pill: the copier's 17th applied record — chunk three, with
-    // two chunk watermarks already committed — panics once.
-    let copier_thread = std::thread::current().id();
-    let copier_applies = Arc::new(AtomicU64::new(0));
-    let pill_fired = Arc::new(AtomicBool::new(false));
-    for point in [CallbackPoint::BeforeCreate, CallbackPoint::BeforeUpdate] {
-        let copier_applies = copier_applies.clone();
-        let pill_fired = pill_fired.clone();
-        subscriber.orm().on("Post", point, move |ctx, _record| {
-            if ctx.bootstrap && std::thread::current().id() == copier_thread {
-                let n = copier_applies.fetch_add(1, Ordering::SeqCst) + 1;
-                if n == 17 && !pill_fired.swap(true, Ordering::SeqCst) {
-                    panic!("{}", format!("poison pill: chunk apply {n} dies once"));
+    // Mid-interleave fault: the first time the copier enters its third
+    // chunk — two chunk watermarks committed, their lo/hi markers already
+    // written to the broker WAL — a burst of transient copy faults
+    // exhausts the retry policy and kills the attempt.
+    let fault_armed = Arc::new(AtomicBool::new(false));
+    {
+        let fault_armed = fault_armed.clone();
+        let target = subscriber.clone();
+        let budget = subscriber.config().retry.max_attempts as u64;
+        subscriber.set_bootstrap_probe(move |state| {
+            if let synapse_repro::core::BootstrapState::Copying { chunk: 2, .. } = state {
+                if !fault_armed.swap(true, Ordering::SeqCst) {
+                    target.inject_copy_failures(budget);
                 }
             }
-            Ok(())
         });
     }
 
@@ -573,8 +553,8 @@ fn node_recovery_resumes_interrupted_bootstrap() {
     subscriber.start();
 
     let first = subscriber.bootstrap_from(&publisher);
-    assert!(first.is_err(), "the poisoned chunk apply must fail attempt 1");
-    assert!(pill_fired.load(Ordering::SeqCst), "the pill fired in the copier");
+    assert!(first.is_err(), "the armed chunk fault must fail attempt 1");
+    assert!(fault_armed.load(Ordering::SeqCst), "the fault armed in the copier");
     assert!(!subscriber.orm().is_bootstrap());
     let failed = subscriber.bootstrap_stats();
     assert_eq!(failed.completions, 0);
@@ -628,11 +608,23 @@ fn node_recovery_resumes_interrupted_bootstrap() {
     drop(publisher);
     drop(eco);
 
+    // The crash leaves a torn tail on the active segment — garbage bytes
+    // after the last good frame, as if the process died mid-append while
+    // the interleaved copy's watermark markers were being logged.
+    tear_tail(&wal_dir, 37);
+
     // --- Incarnation 2: rebuild from disk; recovery precedes traffic. ---
+    // The log it replays carries the first incarnation's watermark-marker
+    // records (lo/hi for the two committed chunks) alongside the enqueue/
+    // ack traffic; replay must fold both and truncate the torn tail.
     let (eco, report) = Ecosystem::new_durable(wal_cfg()).expect("durable reopen");
     assert!(
         report.replayed_entries > 0,
         "the restart replays the WAL the first incarnation wrote"
+    );
+    assert!(
+        report.torn_entries_dropped >= 1,
+        "the torn tail was detected and truncated on reopen"
     );
     let (publisher, subscriber) = build(&eco);
 

@@ -1,11 +1,16 @@
-//! Live-bootstrap soak: chunked recovery under an active fault plane.
+//! Live-bootstrap soak: watermark-interleaved recovery under an active
+//! fault plane.
 //!
 //! The scenario the §4.4 rebuild exists for: a subscriber bootstraps from
 //! a publisher *while* a writer keeps publishing and the fault plane keeps
-//! firing. Three deterministic fault classes strike *inside* the protocol:
+//! firing. The copy is DBLog-style — lo/hi watermark markers bracket each
+//! chunk select, survivors merge into the partitioned delivery queue
+//! behind live traffic, and there is no drain pause. Three deterministic
+//! fault classes strike *inside* the protocol:
 //!
-//! * a poison callback (panic during a chunk apply — the §6.5 class) kills
-//!   the first attempt mid-step-2, after two chunk watermarks committed;
+//! * an armed chunk-copy fault (the transient-engine class) exhausts the
+//!   retry policy on attempt 1's third chunk, after two chunk watermarks
+//!   committed;
 //! * a [`PhaseHook`]-aimed broker restart fires on the fifth `copying`
 //!   entry, i.e. in the middle of the *resumed* copy;
 //! * after convergence, a phase-aimed subscriber version-store shard kill
@@ -25,17 +30,24 @@
 //! * convergence is exact: row-for-row equality with equal counts — no
 //!   lost records, no double-applied rows, no phantom rows — with zero
 //!   dead-letters and zero broker drops/discards;
-//! * chunk/live reconciliation really happened (`records_reconciled >= 1`).
+//! * chunk/live reconciliation really happened (`records_reconciled >= 1`)
+//!   and the copy actually rode the delivery queue (`copies_merged >= 1`).
+//!
+//! Two further tests pin the rebuild's headline claims directly:
+//! [`bootstrap_interleaves_without_stalling_live_delivery`] (queue
+//! residency and delivery-gap bounds while a copy runs) and
+//! [`delete_mid_chunk_is_not_resurrected_by_its_in_flight_copy`] (the
+//! stale-copy resurrection regression).
 //!
 //! `SYNAPSE_SEED=<n>` pins the schedule; `SYNAPSE_BOOTSTRAP_SWEEP=1`
 //! additionally runs a 10-seed sweep derived from the seed of record.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use synapse_repro::core::{
-    BootstrapPhase, DepName, Ecosystem, Publication, RetryPolicy, Subscription, SynapseConfig,
-    SynapseNode,
+    BootstrapPhase, BootstrapState, DepName, Ecosystem, ModeSlice, Publication, RetryPolicy, Stage,
+    Subscription, SynapseConfig, SynapseNode,
 };
 use synapse_repro::db::LatencyModel;
 use synapse_repro::faults::{
@@ -73,25 +85,6 @@ fn mongo_node(eco: &Ecosystem, config: SynapseConfig) -> Arc<SynapseNode> {
     node
 }
 
-/// Keeps the intentional chunk-apply panic from flooding test output while
-/// letting every other panic (i.e. real failures) print normally.
-fn quiet_poison_panics() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        let default = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            let poison = info
-                .payload()
-                .downcast_ref::<String>()
-                .map(|s| s.contains("poison pill"))
-                .unwrap_or(false);
-            if !poison {
-                default(info);
-            }
-        }));
-    });
-}
-
 /// Ops the writer thread attempts while the bootstrap runs.
 const OPS: u64 = 160;
 /// Rows seeded before the subscriber's queue is even bound: history that
@@ -100,7 +93,6 @@ const SEED_ROWS: usize = 120;
 
 /// One full soak run. Panics on any violated invariant.
 fn run_live_bootstrap(seed: u64) {
-    quiet_poison_panics();
     let eco = Ecosystem::new();
     let publisher = mongo_node(&eco, SynapseConfig::new("pub"));
     publisher
@@ -120,7 +112,7 @@ fn run_live_bootstrap(seed: u64) {
                 jitter_seed: seed,
             })
             .bootstrap_chunk(16)
-            .bootstrap_drain_timeout(Duration::from_secs(15)),
+            .bootstrap_window_timeout(Duration::from_millis(250)),
     );
     subscriber
         .subscribe(Subscription::model("Post", "pub").fields(&["body", "version"]))
@@ -128,28 +120,6 @@ fn run_live_bootstrap(seed: u64) {
     // A purely local model, to prove the node stays writable after a
     // failed attempt.
     subscriber.orm().define_model(ModelSchema::open("Note")).unwrap();
-
-    // Poison pill for attempt 1: the copier's 33rd applied record — i.e.
-    // somewhere in the third chunk or later, with two watermarks already
-    // committed — panics once. Only the bootstrap copier runs chunk
-    // applies on this (the test's) thread, so live worker applies can
-    // never trip it.
-    let copier_thread = std::thread::current().id();
-    let copier_applies = Arc::new(AtomicU64::new(0));
-    let pill_fired = Arc::new(AtomicBool::new(false));
-    for point in [CallbackPoint::BeforeCreate, CallbackPoint::BeforeUpdate] {
-        let copier_applies = copier_applies.clone();
-        let pill_fired = pill_fired.clone();
-        subscriber.orm().on("Post", point, move |ctx, _record| {
-            if ctx.bootstrap && std::thread::current().id() == copier_thread {
-                let n = copier_applies.fetch_add(1, Ordering::SeqCst) + 1;
-                if n == 33 && !pill_fired.swap(true, Ordering::SeqCst) {
-                    panic!("{}", format!("poison pill: chunk apply {n} dies once"));
-                }
-            }
-            Ok(())
-        });
-    }
 
     let mut seeded_ids = Vec::with_capacity(SEED_ROWS);
     for i in 0..SEED_ROWS {
@@ -171,13 +141,27 @@ fn run_live_bootstrap(seed: u64) {
     let phase_injector = Injector::new(eco.broker().clone(), "sub")
         .with_store(Side::Subscriber, subscriber.sub_store().clone());
     let bridge = Arc::new(Mutex::new((hook, phase_injector)));
+    // Chunk-copy fault for attempt 1: the first time the copier enters its
+    // third chunk (two watermarks already committed), arm exactly one
+    // retry budget's worth of transient copy failures — the chunk retries,
+    // exhausts the policy, and the attempt dies mid-step-2.
+    let copy_fault_armed = Arc::new(AtomicBool::new(false));
     {
         let bridge = bridge.clone();
+        let copy_fault_armed = copy_fault_armed.clone();
+        let fault_target = subscriber.clone();
+        let budget = subscriber.config().retry.max_attempts as u64;
         subscriber.set_bootstrap_probe(move |state| {
+            if let BootstrapState::Copying { chunk: 2, .. } = state {
+                if !copy_fault_armed.swap(true, Ordering::SeqCst) {
+                    fault_target.inject_copy_failures(budget);
+                }
+            }
             let label = match state.phase() {
                 BootstrapPhase::Snapshot => "snapshot",
                 BootstrapPhase::Copying => "copying",
-                BootstrapPhase::Draining => "draining",
+                BootstrapPhase::Reconciling => "reconciling",
+                BootstrapPhase::Finalizing => "finalizing",
                 BootstrapPhase::Idle | BootstrapPhase::Live => return,
             };
             let (hook, injector) = &mut *bridge.lock().unwrap();
@@ -259,10 +243,13 @@ fn run_live_bootstrap(seed: u64) {
         })
     };
 
-    // --- Attempt 1: must die mid-copy on the poisoned chunk apply. ---
+    // --- Attempt 1: must die mid-copy on the armed chunk fault. ---
     let first = subscriber.bootstrap_from(&publisher);
-    assert!(first.is_err(), "the poisoned chunk apply must fail attempt 1");
-    assert!(pill_fired.load(Ordering::SeqCst), "the pill fired in the copier");
+    assert!(first.is_err(), "the armed chunk fault must fail attempt 1");
+    assert!(
+        copy_fault_armed.load(Ordering::SeqCst),
+        "the copy fault armed in the copier"
+    );
     assert!(
         !subscriber.orm().is_bootstrap(),
         "a failed attempt must clear the bootstrap flag even under live fire"
@@ -351,6 +338,10 @@ fn run_live_bootstrap(seed: u64) {
         "the converging attempt must resume from the chunk watermark"
     );
     assert!(
+        stats.copies_merged >= 1,
+        "the interleaved copy must ride the delivery queue, not a side door"
+    );
+    assert!(
         stats.records_copied as usize + stats.records_reconciled as usize >= SEED_ROWS,
         "the copy must cover every seeded row, applied or reconciled"
     );
@@ -409,6 +400,12 @@ fn run_live_bootstrap(seed: u64) {
         !subscriber.sub_store().is_dead(),
         "re-entry revives the dead subscriber store"
     );
+    // Copies merged by the failed aftershock attempt may still be settling
+    // behind this attempt's; wait for the queue to empty before counting.
+    assert!(
+        subscriber.subscriber().drain(Duration::from_secs(30)),
+        "merged copies settle after the aftershock recovery"
+    );
     let final_stats = subscriber.bootstrap_stats();
     assert_eq!(final_stats.completions, 2);
     assert!(
@@ -417,7 +414,7 @@ fn run_live_bootstrap(seed: u64) {
     );
     assert!(
         final_stats.records_reconciled > pre_reconciled,
-        "the raced row was reconciled, not re-applied"
+        "the raced rows were reconciled, not re-applied"
     );
     assert_eq!(
         subscriber.orm().count("Post").unwrap(),
@@ -433,6 +430,10 @@ fn run_live_bootstrap(seed: u64) {
         assert!(hook.exhausted(), "every phase-aimed fault fired");
         assert!(hook.entries("copying") >= 8);
         assert!(hook.entries("snapshot") >= 4);
+        assert!(
+            hook.entries("reconciling") >= 4,
+            "interleaved chunks reconciled against their watermark windows"
+        );
         assert_eq!(injector.stats().broker_restarts, 1);
         assert_eq!(injector.stats().shard_kills, 1);
     }
@@ -468,4 +469,245 @@ fn ten_seed_sweep_holds_the_invariants() {
         eprintln!("sweep {i}: seed {seed:#x}");
         run_live_bootstrap(seed);
     }
+}
+
+/// The headline claim of the rebuild, measured rather than inferred: a
+/// large concurrent copy must not stall live delivery.
+///
+/// Phase A establishes a steady-state queue-residency baseline for live
+/// (causal) deliveries; phase B runs a ~94-chunk bootstrap while a writer
+/// keeps publishing. Asserts:
+///
+/// * live-delivery queue-residency p99 over steady state + bootstrap
+///   combined stays within a small factor of the steady-state baseline —
+///   a drain-style pause would park live messages for the whole copy and
+///   blow the tail out by orders of magnitude;
+/// * no gap between consecutive subscriber-side applies during the
+///   bootstrap window exceeds 600ms — comfortably above one batch-poll
+///   interval (the workers' 50ms empty-queue wait) plus scheduler noise
+///   on a loaded CI host, far below the whole-copy pause (the full
+///   ~1.3s bootstrap window) the old drain design imposed;
+/// * copies really rode the delivery queue (weak-slice residency samples
+///   and `copies_merged > 0`), and convergence is exact.
+#[test]
+fn bootstrap_interleaves_without_stalling_live_delivery() {
+    const STALL_SEED_ROWS: usize = 1500;
+    const STEADY_OPS: u64 = 300;
+    const BOOT_OPS: u64 = 900;
+
+    let eco = Ecosystem::new();
+    let publisher = mongo_node(&eco, SynapseConfig::new("pub"));
+    publisher
+        .publish(Publication::model("Post").fields(&["body", "version"]))
+        .unwrap();
+    let subscriber = mongo_node(
+        &eco,
+        SynapseConfig::new("sub")
+            .wait_timeout(Some(Duration::from_millis(50)))
+            .workers(2)
+            .bootstrap_chunk(16)
+            .bootstrap_window_timeout(Duration::from_millis(250)),
+    );
+    subscriber
+        .subscribe(Subscription::model("Post", "pub").fields(&["body", "version"]))
+        .unwrap();
+
+    // Apply clock: every subscriber-side Post write stamps the shared
+    // vector; gaps between stamps measure delivery liveness.
+    let t0 = Instant::now();
+    let applies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    for point in [CallbackPoint::AfterCreate, CallbackPoint::AfterUpdate] {
+        let applies = applies.clone();
+        subscriber.orm().on("Post", point, move |_ctx, _record| {
+            applies
+                .lock()
+                .unwrap()
+                .push(t0.elapsed().as_nanos() as u64);
+            Ok(())
+        });
+    }
+
+    for i in 0..STALL_SEED_ROWS {
+        publisher
+            .orm()
+            .create("Post", vmap! { "body" => format!("seed-{i}"), "version" => i as i64 })
+            .unwrap();
+    }
+    eco.connect();
+    subscriber.start();
+
+    // --- Phase A: live-only steady state, then baseline. ---
+    for i in 0..STEADY_OPS {
+        publisher
+            .orm()
+            .create("Post", vmap! { "body" => format!("steady-{i}"), "version" => 0_i64 })
+            .unwrap();
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    assert!(subscriber.subscriber().drain(Duration::from_secs(30)));
+    let steady = subscriber.telemetry_snapshot();
+    let steady_live = steady.stage(ModeSlice::Causal, Stage::QueueResidency);
+    let (steady_count, steady_p99) = (steady_live.count, steady_live.p99_nanos);
+    assert!(steady_count > 0, "steady live deliveries recorded residency");
+
+    // --- Phase B: the copy runs while the writer keeps publishing. ---
+    let writer = {
+        let publisher = publisher.clone();
+        std::thread::spawn(move || {
+            for i in 0..BOOT_OPS {
+                publisher
+                    .orm()
+                    .create(
+                        "Post",
+                        vmap! { "body" => format!("live-{i}"), "version" => (5000 + i) as i64 },
+                    )
+                    .unwrap();
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        })
+    };
+    std::thread::sleep(Duration::from_millis(20));
+    let boot_started = t0.elapsed().as_nanos() as u64;
+    subscriber.bootstrap_from(&publisher).unwrap();
+    let boot_ended = t0.elapsed().as_nanos() as u64;
+    writer.join().unwrap();
+    assert!(subscriber.subscriber().drain(Duration::from_secs(30)));
+
+    let stats = subscriber.bootstrap_stats();
+    assert_eq!(stats.completions, 1);
+    assert_eq!(stats.phase, BootstrapPhase::Live);
+    assert!(
+        stats.copies_merged > 0,
+        "the copy must ride the partitioned delivery queue"
+    );
+    assert_eq!(
+        subscriber.orm().count("Post").unwrap(),
+        publisher.orm().count("Post").unwrap(),
+        "exact convergence with a writer racing the whole copy"
+    );
+
+    // (1) Residency tail: combined steady+bootstrap p99 within a small
+    // factor of the steady baseline (floored to absorb scheduler noise on
+    // loaded CI machines). The bootstrap window contributes at least as
+    // many live samples as steady state, so a drain-style stall — live
+    // messages parked for the duration of a ~94-chunk copy — cannot hide
+    // from the combined tail.
+    let after = subscriber.telemetry_snapshot();
+    let live_after = after.stage(ModeSlice::Causal, Stage::QueueResidency);
+    assert!(
+        live_after.count > steady_count,
+        "live deliveries continued during the bootstrap"
+    );
+    let bound = (steady_p99.saturating_mul(10)).max(25_000_000);
+    assert!(
+        live_after.p99_nanos <= bound,
+        "live queue-residency p99 {}µs exceeds {}µs (10x steady-state p99 {}µs, floored at 25ms): \
+         the copy stalled live delivery",
+        live_after.p99_nanos / 1_000,
+        bound / 1_000,
+        steady_p99 / 1_000,
+    );
+    assert!(
+        after.stage(ModeSlice::Weak, Stage::QueueResidency).count > 0,
+        "merged copies are telemetered through the same residency stage"
+    );
+
+    // (2) Delivery-gap bound across the bootstrap window.
+    let stamps = applies.lock().unwrap().clone();
+    let mut in_window: Vec<u64> = stamps
+        .into_iter()
+        .filter(|t| (boot_started..=boot_ended).contains(t))
+        .collect();
+    in_window.sort_unstable();
+    assert!(
+        !in_window.is_empty(),
+        "deliveries must apply during the bootstrap window"
+    );
+    let mut max_gap = 0u64;
+    let mut prev = boot_started;
+    for t in &in_window {
+        max_gap = max_gap.max(t - prev);
+        prev = *t;
+    }
+    max_gap = max_gap.max(boot_ended - prev);
+    assert!(
+        max_gap < 600_000_000,
+        "a {}ms delivery gap opened during the bootstrap window ({}ms total)",
+        max_gap / 1_000_000,
+        (boot_ended - boot_started) / 1_000_000,
+    );
+    eco.stop_all();
+}
+
+/// The stale-copy resurrection regression, seeded deterministically: a row
+/// is deleted on the publisher *after* its chunk was selected but *before*
+/// the chunk merges — the in-flight copy must lose to the tombstone.
+///
+/// The destroy is fired from the bootstrap probe on the chunk's
+/// `Reconciling` transition, which by construction sits between the page
+/// select and the merge publish. Both the live destroy and the merged copy
+/// are key-routed to the same partition, so the tombstone applies first
+/// and copy admission must refuse the resurrection.
+#[test]
+fn delete_mid_chunk_is_not_resurrected_by_its_in_flight_copy() {
+    let eco = Ecosystem::new();
+    let publisher = mongo_node(&eco, SynapseConfig::new("pub"));
+    publisher
+        .publish(Publication::model("Post").fields(&["body", "version"]))
+        .unwrap();
+    let subscriber = mongo_node(
+        &eco,
+        SynapseConfig::new("sub")
+            .wait_timeout(Some(Duration::from_millis(50)))
+            .workers(1)
+            .bootstrap_chunk(16),
+    );
+    subscriber
+        .subscribe(Subscription::model("Post", "pub").fields(&["body", "version"]))
+        .unwrap();
+
+    let mut ids = Vec::new();
+    for i in 0..64 {
+        let row = publisher
+            .orm()
+            .create("Post", vmap! { "body" => format!("seed-{i}"), "version" => i as i64 })
+            .unwrap();
+        ids.push(row.id);
+    }
+    eco.connect();
+    subscriber.start();
+
+    // A row in the middle of chunk 1 (rows 17–32 in id order).
+    let victim = ids[20];
+    let fired = Arc::new(AtomicBool::new(false));
+    {
+        let publisher = publisher.clone();
+        let fired = fired.clone();
+        subscriber.set_bootstrap_probe(move |state| {
+            if let BootstrapState::Reconciling { chunk: 1, .. } = state {
+                if !fired.swap(true, Ordering::SeqCst) {
+                    // Chunk 1's page is already selected with `victim` in
+                    // it; this destroy races the merge.
+                    publisher.orm().destroy("Post", victim).unwrap();
+                }
+            }
+        });
+    }
+    subscriber.bootstrap_from(&publisher).unwrap();
+    assert!(fired.load(Ordering::SeqCst), "the destroy raced chunk 1");
+    assert!(subscriber.subscriber().drain(Duration::from_secs(30)));
+
+    assert!(publisher.orm().find("Post", victim).unwrap().is_none());
+    assert!(
+        subscriber.orm().find("Post", victim).unwrap().is_none(),
+        "a row deleted mid-chunk must not be resurrected by its in-flight copy"
+    );
+    assert_eq!(subscriber.orm().count("Post").unwrap(), 63);
+    let stats = subscriber.bootstrap_stats();
+    assert!(
+        stats.records_reconciled >= 1,
+        "the raced copy was reconciled away, not silently lost"
+    );
+    assert!(subscriber.dead_letters().is_empty());
+    eco.stop_all();
 }
