@@ -14,13 +14,13 @@ use std::collections::BTreeMap;
 const STOP_WORDS: &[&str] = &[
     "a", "about", "after", "all", "also", "an", "and", "any", "are", "as", "at", "be", "because",
     "been", "but", "by", "can", "come", "could", "day", "do", "even", "first", "for", "from",
-    "get", "give", "go", "have", "he", "her", "here", "him", "his", "how", "i", "if", "in",
-    "into", "is", "it", "its", "just", "know", "like", "look", "make", "man", "many", "me",
-    "more", "my", "new", "no", "not", "now", "of", "on", "one", "only", "or", "other", "our",
-    "out", "over", "people", "say", "see", "she", "so", "some", "take", "than", "that", "the",
-    "their", "them", "then", "there", "these", "they", "things", "think", "this", "time", "to",
-    "two", "up", "use", "very", "want", "was", "way", "we", "well", "what", "when", "which",
-    "who", "will", "with", "would", "you", "your", "really", "love",
+    "get", "give", "go", "have", "he", "her", "here", "him", "his", "how", "i", "if", "in", "into",
+    "is", "it", "its", "just", "know", "like", "look", "make", "man", "many", "me", "more", "my",
+    "new", "no", "not", "now", "of", "on", "one", "only", "or", "other", "our", "out", "over",
+    "people", "say", "see", "she", "so", "some", "take", "than", "that", "the", "their", "them",
+    "then", "there", "these", "they", "things", "think", "this", "time", "to", "two", "up", "use",
+    "very", "want", "was", "way", "we", "well", "what", "when", "which", "who", "will", "with",
+    "would", "you", "your", "really", "love",
 ];
 
 /// Extracts up to `limit` topics of interest from `text`, most frequent

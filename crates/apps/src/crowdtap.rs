@@ -9,7 +9,9 @@
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use synapse_core::{DeliveryMode, Ecosystem, Publication, Subscription, SynapseConfig, SynapseNode};
+use synapse_core::{
+    DeliveryMode, Ecosystem, Publication, Subscription, SynapseConfig, SynapseNode,
+};
 use synapse_db::LatencyModel;
 use synapse_model::{vmap, Id, ModelSchema, Value};
 use synapse_mvc::App;
@@ -101,7 +103,11 @@ fn build_main(eco: &Ecosystem, latency: LatencyModel) -> Arc<App> {
     node.publish(Publication::model("Award").fields(&["name", "brand_id"]))
         .unwrap();
     node.publish(Publication::model("Action").fields(&[
-        "user_id", "brand_id", "kind", "status", "last_seen",
+        "user_id",
+        "brand_id",
+        "kind",
+        "status",
+        "last_seen",
     ]))
     .unwrap();
     node.publish(Publication::model("ActivityLog").fields(&["user_id", "event"]))
@@ -123,7 +129,8 @@ fn build_main(eco: &Ecosystem, latency: LatencyModel) -> Arc<App> {
         if req.get("bump_views").as_bool() == Some(true) {
             if let Some(b) = &brand {
                 let views = b.get("views").as_int().unwrap_or(0) + 1;
-                app.orm().update("Brand", b.id, vmap! { "views" => views })?;
+                app.orm()
+                    .update("Brand", b.id, vmap! { "views" => views })?;
             }
         }
         Ok(brand.map(|b| b.to_value()).unwrap_or(Value::Null))
@@ -171,7 +178,8 @@ fn build_main(eco: &Ecosystem, latency: LatencyModel) -> Arc<App> {
             app.orm()
                 .update("Action", action.id, vmap! { "status" => "completed" })?;
             let points = user.get("points").as_int().unwrap_or(0) + 10;
-            app.orm().update("User", user.id, vmap! { "points" => points })?;
+            app.orm()
+                .update("User", user.id, vmap! { "points" => points })?;
             app.orm().create(
                 "ActivityLog",
                 vmap! { "user_id" => user.id.raw(), "event" => "action_completed" },
@@ -180,7 +188,8 @@ fn build_main(eco: &Ecosystem, latency: LatencyModel) -> Arc<App> {
                 let brand_id = Id(action.get("brand_id").as_int().unwrap_or(1) as u64);
                 if let Some(brand) = app.orm().find("Brand", brand_id)? {
                     let views = brand.get("views").as_int().unwrap_or(0) + 1;
-                    app.orm().update("Brand", brand.id, vmap! { "views" => views })?;
+                    app.orm()
+                        .update("Brand", brand.id, vmap! { "views" => views })?;
                 }
             }
         }
@@ -203,7 +212,8 @@ fn wire_service(node: &Arc<SynapseNode>, name: &str, mailer_outbox: &mut Arc<Mut
         "targeting" => {
             orm.define_model(ModelSchema::open("User")).unwrap();
             orm.define_model(ModelSchema::open("Action")).unwrap();
-            orm.define_model(ModelSchema::open("SocialProfile")).unwrap();
+            orm.define_model(ModelSchema::open("SocialProfile"))
+                .unwrap();
             node.subscribe(Subscription::model("User", "main_app").fields(&["name", "points"]))
                 .unwrap();
             node.subscribe(
@@ -217,7 +227,8 @@ fn wire_service(node: &Arc<SynapseNode>, name: &str, mailer_outbox: &mut Arc<Mut
         }
         "fb_crawler" => {
             orm.define_model(ModelSchema::open("User")).unwrap();
-            orm.define_model(ModelSchema::open("SocialProfile")).unwrap();
+            orm.define_model(ModelSchema::open("SocialProfile"))
+                .unwrap();
             node.subscribe(Subscription::model("User", "main_app").field("name"))
                 .unwrap();
             node.publish(Publication::model("SocialProfile").fields(&["user_id", "likes"]))
@@ -225,10 +236,8 @@ fn wire_service(node: &Arc<SynapseNode>, name: &str, mailer_outbox: &mut Arc<Mut
         }
         "mailer" => {
             orm.define_model(ModelSchema::open("User")).unwrap();
-            node.subscribe(
-                Subscription::model("User", "main_app").fields(&["name", "email"]),
-            )
-            .unwrap();
+            node.subscribe(Subscription::model("User", "main_app").fields(&["name", "email"]))
+                .unwrap();
             let outbox = mailer_outbox.clone();
             // Fig. 2: welcome emails for new users, suppressed in bootstrap.
             orm.on("User", CallbackPoint::AfterCreate, move |ctx, user| {
@@ -244,17 +253,16 @@ fn wire_service(node: &Arc<SynapseNode>, name: &str, mailer_outbox: &mut Arc<Mut
         "spree" => {
             orm.define_model(ModelSchema::new("User").field("name").field("points"))
                 .unwrap();
-            node.subscribe(
-                Subscription::model("User", "main_app").fields(&["name", "points"]),
-            )
-            .unwrap();
+            node.subscribe(Subscription::model("User", "main_app").fields(&["name", "points"]))
+                .unwrap();
         }
         "analytics" => {
             orm.define_model(ModelSchema::open("Action")).unwrap();
             orm.define_model(ModelSchema::open("User")).unwrap();
-            node.subscribe(Subscription::model("Action", "main_app").fields(&[
-                "user_id", "brand_id", "kind", "status",
-            ]))
+            node.subscribe(
+                Subscription::model("Action", "main_app")
+                    .fields(&["user_id", "brand_id", "kind", "status"]),
+            )
             .unwrap();
             node.subscribe(Subscription::model("User", "main_app").field("points"))
                 .unwrap();
@@ -264,10 +272,8 @@ fn wire_service(node: &Arc<SynapseNode>, name: &str, mailer_outbox: &mut Arc<Mut
             orm.define_model(ModelSchema::open("Award")).unwrap();
             node.subscribe(Subscription::model("Brand", "main_app").field("name"))
                 .unwrap();
-            node.subscribe(
-                Subscription::model("Award", "main_app").fields(&["name", "brand_id"]),
-            )
-            .unwrap();
+            node.subscribe(Subscription::model("Award", "main_app").fields(&["name", "brand_id"]))
+                .unwrap();
         }
         "reporting" => {
             orm.define_model(ModelSchema::open("Action")).unwrap();
@@ -287,7 +293,10 @@ pub fn seed(main: &App, users: usize, brands: usize) -> Vec<Id> {
     let mut brand_ids = Vec::new();
     for b in 0..brands.max(1) {
         let brand = orm
-            .create("Brand", vmap! { "name" => format!("brand-{b}"), "views" => 0 })
+            .create(
+                "Brand",
+                vmap! { "name" => format!("brand-{b}"), "views" => 0 },
+            )
             .expect("seed brand");
         orm.create(
             "Award",

@@ -242,10 +242,8 @@ fn build_mailer(eco: &Ecosystem, latency: LatencyModel) -> (Arc<App>, Arc<Mutex<
     orm.define_model(ModelSchema::open("Friendship")).unwrap();
     node.subscribe(Subscription::model("User", "diaspora").fields(&["name", "email"]))
         .unwrap();
-    node.subscribe(
-        Subscription::model("Friendship", "diaspora").fields(&["user1_id", "user2_id"]),
-    )
-    .unwrap();
+    node.subscribe(Subscription::model("Friendship", "diaspora").fields(&["user1_id", "user2_id"]))
+        .unwrap();
     // Posts are observed, never stored.
     node.subscribe(
         Subscription::model("Post", "diaspora")
@@ -332,8 +330,7 @@ fn build_analyzer(eco: &Ecosystem, latency: LatencyModel) -> Arc<App> {
                 })
                 .unwrap_or_default();
             let merged = merge_interests(&existing, &topics, 10);
-            let interests =
-                Value::Array(merged.into_iter().map(Value::from).collect());
+            let interests = Value::Array(merged.into_iter().map(Value::from).collect());
             ctx.orm
                 .update("User", user.id, vmap! { "interests" => interests })?;
         }
@@ -362,12 +359,8 @@ fn build_spree(eco: &Ecosystem, latency: LatencyModel) -> Arc<App> {
             .field("price"),
     )
     .unwrap();
-    orm.define_model(
-        ModelSchema::new("User")
-            .field("name")
-            .field("interests"),
-    )
-    .unwrap();
+    orm.define_model(ModelSchema::new("User").field("name").field("interests"))
+        .unwrap();
     node.subscribe(Subscription::model("User", "diaspora").field("name"))
         .unwrap();
     node.subscribe(Subscription::model("User", "analyzer").field("interests"))
@@ -426,7 +419,9 @@ pub fn seed_users(diaspora: &App, names: &[(&str, &str)]) -> Vec<Id> {
         let res = diaspora
             .dispatch(
                 "users/create",
-                &Request::anonymous().param("name", *name).param("email", *email),
+                &Request::anonymous()
+                    .param("name", *name)
+                    .param("email", *email),
             )
             .expect("seed user");
         ids.push(Id(res.as_int().unwrap() as u64));

@@ -127,9 +127,11 @@ pub fn build_pair_with_latencies(
         .subscribe(Subscription::model("Post", &pub_app).fields(&["author_id", "body"]))
         .unwrap();
     subscriber
-        .subscribe(
-            Subscription::model("Comment", &pub_app).fields(&["post_id", "author_id", "body"]),
-        )
+        .subscribe(Subscription::model("Comment", &pub_app).fields(&[
+            "post_id",
+            "author_id",
+            "body",
+        ]))
         .unwrap();
 
     StressPair {
@@ -159,10 +161,11 @@ fn stress_schema(model: &str, vendor: &str) -> ModelSchema {
 /// heavy processing", scaled down for a single machine.
 pub fn install_callback_delay(node: &SynapseNode, delay: Duration) {
     for model in ["Post", "Comment"] {
-        node.orm().on(model, CallbackPoint::AfterCreate, move |_, _| {
-            std::thread::sleep(delay);
-            Ok(())
-        });
+        node.orm()
+            .on(model, CallbackPoint::AfterCreate, move |_, _| {
+                std::thread::sleep(delay);
+                Ok(())
+            });
     }
 }
 
@@ -192,9 +195,11 @@ pub fn run_load(pair: &StressPair, config: &StressConfig) -> LoadReport {
     let publisher = &pair.publisher;
     for u in 0..config.users {
         // Idempotent seeding: repeated load phases reuse the population.
-        let _ = publisher
-            .orm()
-            .create_with_id("User", Id(u + 1), vmap! { "name" => format!("user-{u}") });
+        let _ = publisher.orm().create_with_id(
+            "User",
+            Id(u + 1),
+            vmap! { "name" => format!("user-{u}") },
+        );
     }
     let posts_created = Arc::new(AtomicU64::new(0));
     let comments_created = Arc::new(AtomicU64::new(0));
@@ -216,10 +221,10 @@ pub fn run_load(pair: &StressPair, config: &StressConfig) -> LoadReport {
                         let make_post = rng.gen_range(0u32..100) < config.post_percent
                             || latest_post.load(Ordering::Relaxed) == 0;
                         if make_post {
-                            if let Ok(post) = publisher.orm().create(
-                                "Post",
-                                vmap! { "author_id" => user, "body" => "helo" },
-                            ) {
+                            if let Ok(post) = publisher
+                                .orm()
+                                .create("Post", vmap! { "author_id" => user, "body" => "helo" })
+                            {
                                 latest_post.fetch_max(post.id.raw(), Ordering::Relaxed);
                                 posts_created.fetch_add(1, Ordering::Relaxed);
                             }

@@ -8,26 +8,30 @@ use synapse_broker::{Broker, QueueConfig};
 fn bench_publish_fanout(c: &mut Criterion) {
     let mut group = c.benchmark_group("broker/publish_fanout");
     for queues in [1usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(queues), &queues, |b, &queues| {
-            let broker = Broker::new();
-            for q in 0..queues {
-                let name = format!("q{q}");
-                broker.declare_queue(&name, QueueConfig::default());
-                broker.bind("pub", &name);
-            }
-            // Drain continuously so queues stay small.
-            let consumers: Vec<_> = (0..queues)
-                .map(|q| broker.consumer(&format!("q{q}")).unwrap())
-                .collect();
-            b.iter(|| {
-                broker.publish("pub", "{\"op\":\"bench\"}").unwrap();
-                for consumer in &consumers {
-                    if let Some(d) = consumer.pop(Duration::from_millis(10)) {
-                        consumer.ack(d.tag);
-                    }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(queues),
+            &queues,
+            |b, &queues| {
+                let broker = Broker::new();
+                for q in 0..queues {
+                    let name = format!("q{q}");
+                    broker.declare_queue(&name, QueueConfig::default());
+                    broker.bind("pub", &name);
                 }
-            });
-        });
+                // Drain continuously so queues stay small.
+                let consumers: Vec<_> = (0..queues)
+                    .map(|q| broker.consumer(&format!("q{q}")).unwrap())
+                    .collect();
+                b.iter(|| {
+                    broker.publish("pub", "{\"op\":\"bench\"}").unwrap();
+                    for consumer in &consumers {
+                        if let Some(d) = consumer.pop(Duration::from_millis(10)) {
+                            consumer.ack(d.tag);
+                        }
+                    }
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -36,26 +40,32 @@ fn bench_publish_fanout_batched(c: &mut Criterion) {
     let mut group = c.benchmark_group("broker/publish_fanout_batched");
     const BATCH: usize = 32;
     for queues in [1usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(queues), &queues, |b, &queues| {
-            let broker = Broker::new();
-            for q in 0..queues {
-                let name = format!("q{q}");
-                broker.declare_queue(&name, QueueConfig::default());
-                broker.bind("pub", &name);
-            }
-            let consumers: Vec<_> = (0..queues)
-                .map(|q| broker.consumer(&format!("q{q}")).unwrap())
-                .collect();
-            let payloads = ["{\"op\":\"bench\"}"; BATCH];
-            b.iter(|| {
-                broker.publish_batch("pub", payloads.iter().copied()).unwrap();
-                for consumer in &consumers {
-                    let batch = consumer.pop_batch(BATCH, Duration::from_millis(10));
-                    let tags: Vec<u64> = batch.iter().map(|d| d.tag).collect();
-                    consumer.ack_batch(&tags);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(queues),
+            &queues,
+            |b, &queues| {
+                let broker = Broker::new();
+                for q in 0..queues {
+                    let name = format!("q{q}");
+                    broker.declare_queue(&name, QueueConfig::default());
+                    broker.bind("pub", &name);
                 }
-            });
-        });
+                let consumers: Vec<_> = (0..queues)
+                    .map(|q| broker.consumer(&format!("q{q}")).unwrap())
+                    .collect();
+                let payloads = ["{\"op\":\"bench\"}"; BATCH];
+                b.iter(|| {
+                    broker
+                        .publish_batch("pub", payloads.iter().copied())
+                        .unwrap();
+                    for consumer in &consumers {
+                        let batch = consumer.pop_batch(BATCH, Duration::from_millis(10));
+                        let tags: Vec<u64> = batch.iter().map(|d| d.tag).collect();
+                        consumer.ack_batch(&tags);
+                    }
+                });
+            },
+        );
     }
     group.finish();
 }

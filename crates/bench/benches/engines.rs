@@ -16,7 +16,13 @@ fn insert_row(n: u64) -> Row {
 
 fn bench_inserts(c: &mut Criterion) {
     let mut group = c.benchmark_group("engines/insert");
-    for vendor in ["postgresql", "mongodb", "cassandra", "elasticsearch", "neo4j"] {
+    for vendor in [
+        "postgresql",
+        "mongodb",
+        "cassandra",
+        "elasticsearch",
+        "neo4j",
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(vendor), &vendor, |b, vendor| {
             let engine = profiles::by_name(vendor, LatencyModel::off());
             engine

@@ -47,7 +47,8 @@ fn bench_transaction_batching(c: &mut Criterion) {
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
     node.orm().define_model(ModelSchema::open("Post")).unwrap();
-    node.publish(Publication::model("Post").fields(&["n"])).unwrap();
+    node.publish(Publication::model("Post").fields(&["n"]))
+        .unwrap();
     let n = AtomicU64::new(0);
     c.bench_function("publish_path/txn_4_writes_1_message", |b| {
         b.iter(|| {

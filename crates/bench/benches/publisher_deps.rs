@@ -8,7 +8,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use synapse_core::{add_read_deps, with_user_scope, DepName, Ecosystem, Publication, SynapseConfig};
+use synapse_core::{
+    add_read_deps, with_user_scope, DepName, Ecosystem, Publication, SynapseConfig,
+};
 use synapse_db::LatencyModel;
 use synapse_model::{vmap, Id, ModelSchema};
 use synapse_orm::adapters::MongoidAdapter;

@@ -30,6 +30,7 @@ fn sample_message(ops: usize, deps: usize) -> WriteMessage {
         dependencies,
         published_at: 1_700_000_000_000_000,
         generation: 1,
+        vectors: BTreeMap::new(),
     }
 }
 

@@ -111,7 +111,10 @@ fn run(seed_rows: u64, live_ops: u64, concurrent_bootstrap: bool) -> RunResult {
     for i in 0..seed_rows {
         publisher
             .orm()
-            .create("Post", vmap! { "body" => format!("seed-{i}"), "version" => i as i64 })
+            .create(
+                "Post",
+                vmap! { "body" => format!("seed-{i}"), "version" => i as i64 },
+            )
             .unwrap();
     }
     eco.connect();
@@ -148,7 +151,10 @@ fn run(seed_rows: u64, live_ops: u64, concurrent_bootstrap: bool) -> RunResult {
     if concurrent_bootstrap {
         subscriber.bootstrap_from(&publisher).unwrap();
         let stats = subscriber.bootstrap_stats();
-        assert_eq!(stats.completions, 1, "the concurrent bootstrap must converge");
+        assert_eq!(
+            stats.completions, 1,
+            "the concurrent bootstrap must converge"
+        );
     }
     writer.join().unwrap();
 
@@ -173,7 +179,9 @@ fn run(seed_rows: u64, live_ops: u64, concurrent_bootstrap: bool) -> RunResult {
     let snap = subscriber.telemetry_snapshot();
     let result = RunResult {
         rate: live_ops as f64 / elapsed.as_secs_f64(),
-        live_p99_nanos: snap.stage(ModeSlice::Causal, Stage::QueueResidency).p99_nanos,
+        live_p99_nanos: snap
+            .stage(ModeSlice::Causal, Stage::QueueResidency)
+            .p99_nanos,
         max_gap_nanos: if concurrent_bootstrap {
             max_gap.load(Ordering::Relaxed)
         } else {
@@ -197,10 +205,22 @@ fn main() {
         "the concurrent copy must ride the partitioned delivery queue"
     );
 
-    println!("bootstrap_stall/live_only {:.0} msgs_per_sec", live_only.rate);
-    println!("bootstrap_stall/live_during_bootstrap {:.0} msgs_per_sec", during.rate);
-    println!("bootstrap_stall/steady_residency_p99 {} ns", live_only.live_p99_nanos);
-    println!("bootstrap_stall/bootstrap_residency_p99 {} ns", during.live_p99_nanos);
+    println!(
+        "bootstrap_stall/live_only {:.0} msgs_per_sec",
+        live_only.rate
+    );
+    println!(
+        "bootstrap_stall/live_during_bootstrap {:.0} msgs_per_sec",
+        during.rate
+    );
+    println!(
+        "bootstrap_stall/steady_residency_p99 {} ns",
+        live_only.live_p99_nanos
+    );
+    println!(
+        "bootstrap_stall/bootstrap_residency_p99 {} ns",
+        during.live_p99_nanos
+    );
     println!("bootstrap_stall/max_apply_gap {} ns", during.max_gap_nanos);
     eprintln!(
         "# live retention under bootstrap: {:.2}x ({} copies merged)",

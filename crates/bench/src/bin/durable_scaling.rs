@@ -69,7 +69,8 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// The Crowdtap routing trace of `scaling_sweep`: 25% posts across 500
 /// users, 75% comments onto 20 hot posts; keys nonzero so they hash-route.
 fn trace(messages: usize) -> Vec<(SharedStr, u64, u64)> {
-    let payload: SharedStr = "{\"op\":\"update\",\"types\":[\"Post\"],\"attrs\":\"durable\"}".into();
+    let payload: SharedStr =
+        "{\"op\":\"update\",\"types\":[\"Post\"],\"attrs\":\"durable\"}".into();
     let mut rng = 0xd00d_feed_u64;
     (0..messages)
         .map(|_| {
@@ -305,7 +306,11 @@ fn crash_recover_round_trip() {
 
     let mut batch = Vec::new();
     for i in 0..MSGS {
-        batch.push((SharedStr::from(format!("live-{i}")), 0u64, 1 + i as u64 % 97));
+        batch.push((
+            SharedStr::from(format!("live-{i}")),
+            0u64,
+            1 + i as u64 % 97,
+        ));
     }
     broker
         .publish_batch_routed("pub", batch)

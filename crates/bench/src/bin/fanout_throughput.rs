@@ -98,7 +98,9 @@ fn run_batched(messages: u64) -> f64 {
     let mut sent = 0u64;
     while sent < messages {
         let n = CHUNK.min(messages - sent);
-        broker.publish_batch("pub", chunk[..n as usize].iter().copied()).unwrap();
+        broker
+            .publish_batch("pub", chunk[..n as usize].iter().copied())
+            .unwrap();
         sent += n;
     }
     for h in handles {

@@ -194,9 +194,10 @@ fn fig12b(calls: usize) {
             apps.diaspora
                 .dispatch(
                     "posts/create",
-                    &Request::as_user(user)
-                        .param("app_work_us", 1796_i64)
-                        .param("body", format!("post {i} about topic-{}", rng.gen_range(0..5))),
+                    &Request::as_user(user).param("app_work_us", 1796_i64).param(
+                        "body",
+                        format!("post {i} about topic-{}", rng.gen_range(0..5)),
+                    ),
                 )
                 .unwrap();
             apps.discourse

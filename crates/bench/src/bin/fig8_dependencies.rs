@@ -67,8 +67,11 @@ fn main() {
 
     // W1: User1 creates a post.
     let post = with_user_scope(dep("User", u1.id), || {
-        orm.create("Post", vmap! { "author_id" => u1.id.raw(), "body" => "helo" })
-            .unwrap()
+        orm.create(
+            "Post",
+            vmap! { "author_id" => u1.id.raw(), "body" => "helo" },
+        )
+        .unwrap()
     })
     .0;
 
@@ -94,7 +97,8 @@ fn main() {
 
     // W4: User1 fixes the post.
     with_user_scope(dep("User", u1.id), || {
-        orm.update("Post", post.id, vmap! { "body" => "hello" }).unwrap();
+        orm.update("Post", post.id, vmap! { "body" => "hello" })
+            .unwrap();
     });
 
     // Collect the four messages (skip the two user creations).
@@ -124,12 +128,7 @@ fn main() {
             .unwrap_or_else(|| k.to_string())
     };
     println!("Fig. 8 — messages and dependencies (expected values from the figure)\n");
-    let expected = [
-        "u1:0 p1:0",
-        "u2:0 c1:0 p1:1",
-        "u1:1 c2:0 p1:1",
-        "u1:2 p1:3",
-    ];
+    let expected = ["u1:0 p1:0", "u2:0 c1:0 p1:1", "u1:1 c2:0 p1:1", "u1:2 p1:3"];
     let mut rows = Vec::new();
     for (i, msg) in messages.iter().enumerate() {
         let mut deps: Vec<String> = msg
@@ -143,14 +142,26 @@ fn main() {
         assert_eq!(deps, want, "M{} dependencies", i + 1);
         rows.push(vec![
             format!("M{}", i + 1),
-            format!("{} {}", msg.operations[0].operation, msg.operations[0].model()),
+            format!(
+                "{} {}",
+                msg.operations[0].operation,
+                msg.operations[0].model()
+            ),
             deps.join(" "),
             expected[i].to_string(),
         ]);
     }
     println!(
         "{}",
-        render_table(&["msg", "operation", "dependencies (measured)", "expected (paper)"], &rows)
+        render_table(
+            &[
+                "msg",
+                "operation",
+                "dependencies (measured)",
+                "expected (paper)"
+            ],
+            &rows
+        )
     );
 
     // And the subscriber processes them respecting the dependency graph

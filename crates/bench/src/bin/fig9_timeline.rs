@@ -45,22 +45,28 @@ fn sample_a() {
     // Instrument arrivals with callbacks.
     let t = timeline.clone();
     let s = start;
-    apps.analyzer.orm().on("Post", CallbackPoint::AfterCreate, move |_, _| {
-        record(&t, s, "③ semantic analyzer received the post");
-        Ok(())
-    });
+    apps.analyzer
+        .orm()
+        .on("Post", CallbackPoint::AfterCreate, move |_, _| {
+            record(&t, s, "③ semantic analyzer received the post");
+            Ok(())
+        });
     let t = timeline.clone();
-    apps.mailer.orm().on("Post", CallbackPoint::AfterCreate, move |_, _| {
-        record(&t, s, "② mailer received the post");
-        Ok(())
-    });
+    apps.mailer
+        .orm()
+        .on("Post", CallbackPoint::AfterCreate, move |_, _| {
+            record(&t, s, "② mailer received the post");
+            Ok(())
+        });
     let t = timeline.clone();
-    apps.spree.orm().on("User", CallbackPoint::AfterUpdate, move |_, u| {
-        if !u.get("interests").is_null() {
-            record(&t, s, "⑤ spree received the decorated User (interests)");
-        }
-        Ok(())
-    });
+    apps.spree
+        .orm()
+        .on("User", CallbackPoint::AfterUpdate, move |_, u| {
+            if !u.get("interests").is_null() {
+                record(&t, s, "⑤ spree received the decorated User (interests)");
+            }
+            Ok(())
+        });
     eco.start_all();
 
     let users = synapse_apps::social::seed_users(&apps.diaspora, &[("alice", "a@x.com")]);
@@ -92,15 +98,21 @@ fn sample_b() {
 
     let t = timeline.clone();
     let o = order.clone();
-    apps.mailer.orm().on("Post", CallbackPoint::AfterCreate, move |_, post| {
-        let author = post.get("author_id").as_int().unwrap_or(0);
-        let body = post.get("body").as_str().unwrap_or("?").to_owned();
-        record(&t, start, format!("mailer processed {body} (user {author})"));
-        o.lock().push((author, body));
-        // Simulate notification work so parallelism is visible.
-        std::thread::sleep(Duration::from_millis(30));
-        Ok(())
-    });
+    apps.mailer
+        .orm()
+        .on("Post", CallbackPoint::AfterCreate, move |_, post| {
+            let author = post.get("author_id").as_int().unwrap_or(0);
+            let body = post.get("body").as_str().unwrap_or("?").to_owned();
+            record(
+                &t,
+                start,
+                format!("mailer processed {body} (user {author})"),
+            );
+            o.lock().push((author, body));
+            // Simulate notification work so parallelism is visible.
+            std::thread::sleep(Duration::from_millis(30));
+            Ok(())
+        });
 
     // Start everything EXCEPT the mailer: it is disconnected.
     for app in ["diaspora", "discourse", "analyzer", "spree"] {
@@ -113,11 +125,7 @@ fn sample_b() {
     );
     for (i, round) in ["first", "second"].iter().enumerate() {
         for (u, name) in users.iter().zip(["alice", "bob"]) {
-            record(
-                &timeline,
-                start,
-                format!("{} posts ({} post)", name, round),
-            );
+            record(&timeline, start, format!("{} posts ({} post)", name, round));
             apps.diaspora
                 .dispatch(
                     "posts/create",

@@ -14,7 +14,9 @@
 
 use std::sync::Arc;
 use std::time::Instant;
-use synapse_core::{add_read_deps, with_user_scope, DepName, Ecosystem, Publication, SynapseConfig};
+use synapse_core::{
+    add_read_deps, with_user_scope, DepName, Ecosystem, Publication, SynapseConfig,
+};
 use synapse_db::LatencyModel;
 use synapse_model::{vmap, Id, ModelSchema};
 use synapse_orm::adapters::MongoidAdapter;

@@ -67,7 +67,8 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// Keys are the written object's dependency key — nonzero, so they route
 /// by hash instead of the key-0 legacy lane.
 fn trace(messages: usize) -> Vec<(SharedStr, u64, u64)> {
-    let payload: SharedStr = "{\"op\":\"update\",\"types\":[\"Post\"],\"attrs\":\"scaling\"}".into();
+    let payload: SharedStr =
+        "{\"op\":\"update\",\"types\":[\"Post\"],\"attrs\":\"scaling\"}".into();
     let mut rng = 0x5ca1_ab1e_u64;
     (0..messages)
         .map(|_| {
@@ -160,7 +161,10 @@ struct RunResult {
 /// Publishes the trace from `PUBLISHERS` threads in `PUB_BATCH` chunks,
 /// yielding between calls so delivery interleaves with publishing on a
 /// single core — the same pacing in both arms.
-fn spawn_publishers<F>(trace: Arc<Vec<(SharedStr, u64, u64)>>, publish: F) -> Vec<std::thread::JoinHandle<()>>
+fn spawn_publishers<F>(
+    trace: Arc<Vec<(SharedStr, u64, u64)>>,
+    publish: F,
+) -> Vec<std::thread::JoinHandle<()>>
 where
     F: Fn(&[(SharedStr, u64, u64)]) + Send + Sync + 'static,
 {
@@ -348,7 +352,10 @@ fn main() {
         let partitioned = run_partitioned(Arc::clone(&trace), w);
         assert_drained("partitioned", w, messages, &partitioned);
         println!("scaling/baseline_{w}w {:.0} msgs_per_sec", baseline.rate);
-        println!("scaling/partitioned_{w}w {:.0} msgs_per_sec", partitioned.rate);
+        println!(
+            "scaling/partitioned_{w}w {:.0} msgs_per_sec",
+            partitioned.rate
+        );
         rates.push((w, baseline.rate, partitioned.rate));
     }
     for (w, base, part) in &rates {

@@ -87,7 +87,10 @@ fn run(mode: DeliveryMode, messages: u64) -> (TelemetrySnapshot, TelemetrySnapsh
     }
     eco.stop_all();
 
-    (publisher.telemetry_snapshot(), subscriber.telemetry_snapshot())
+    (
+        publisher.telemetry_snapshot(),
+        subscriber.telemetry_snapshot(),
+    )
 }
 
 /// `{"count":…,"sum_ns":…,"p50_ns":…,"p99_ns":…}` for one stage summary.
@@ -104,9 +107,13 @@ fn main() {
     let mut modes_json = String::new();
     let mut causal_sub_snapshot = None;
 
-    for (i, mode) in [DeliveryMode::Weak, DeliveryMode::Causal, DeliveryMode::Global]
-        .into_iter()
-        .enumerate()
+    for (i, mode) in [
+        DeliveryMode::Weak,
+        DeliveryMode::Causal,
+        DeliveryMode::Global,
+    ]
+    .into_iter()
+    .enumerate()
     {
         let (pub_snap, sub_snap) = run(mode, messages);
         let slice = mode.slice();

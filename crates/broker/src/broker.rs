@@ -672,7 +672,9 @@ impl Broker {
         if self.wal_is_poisoned() {
             return 0;
         }
-        self.inner.published.fetch_add(added as u64, Ordering::Relaxed);
+        self.inner
+            .published
+            .fetch_add(added as u64, Ordering::Relaxed);
         added
     }
 
@@ -812,10 +814,7 @@ impl Broker {
     }
 
     fn wal_is_poisoned(&self) -> bool {
-        self.inner
-            .wal
-            .as_ref()
-            .is_some_and(|wal| wal.is_poisoned())
+        self.inner.wal.as_ref().is_some_and(|wal| wal.is_poisoned())
     }
 
     /// Whether this broker has a durability plane.
@@ -847,7 +846,10 @@ impl Broker {
     /// Group-commit follower wait histogram (nanoseconds); `None` for
     /// memory-only brokers.
     pub fn wal_commit_wait(&self) -> Option<synapse_telemetry::HistogramSnapshot> {
-        self.inner.wal.as_ref().map(|wal| wal.commit_wait_snapshot())
+        self.inner
+            .wal
+            .as_ref()
+            .map(|wal| wal.commit_wait_snapshot())
     }
 
     /// What [`Broker::open_durable`] rebuilt; `None` for memory-only
@@ -1061,8 +1063,16 @@ mod tests {
         b.bind("pub", "q1");
         b.bind("pub", "q2");
         b.publish("pub", "shared-body").unwrap();
-        let d1 = b.consumer("q1").unwrap().pop(Duration::from_millis(50)).unwrap();
-        let d2 = b.consumer("q2").unwrap().pop(Duration::from_millis(50)).unwrap();
+        let d1 = b
+            .consumer("q1")
+            .unwrap()
+            .pop(Duration::from_millis(50))
+            .unwrap();
+        let d2 = b
+            .consumer("q2")
+            .unwrap()
+            .pop(Duration::from_millis(50))
+            .unwrap();
         assert!(
             std::ptr::eq(d1.payload.as_str(), d2.payload.as_str()),
             "both queues must share the published allocation"
@@ -1109,9 +1119,7 @@ mod tests {
     #[test]
     fn publish_batch_preserves_fifo_and_counts() {
         let b = broker_with("q");
-        let accepted = b
-            .publish_batch("pub", ["a", "b", "c"])
-            .unwrap();
+        let accepted = b.publish_batch("pub", ["a", "b", "c"]).unwrap();
         assert_eq!(accepted, 3);
         let c = b.consumer("q").unwrap();
         for expected in ["a", "b", "c"] {
@@ -1208,7 +1216,13 @@ mod tests {
     #[test]
     fn batch_into_capped_queue_kills_once_and_refuses_rest() {
         let b = Broker::new();
-        b.declare_queue("q", QueueConfig { max_len: Some(3), ..QueueConfig::default() });
+        b.declare_queue(
+            "q",
+            QueueConfig {
+                max_len: Some(3),
+                ..QueueConfig::default()
+            },
+        );
         b.bind("pub", "q");
         b.publish_batch("pub", ["0", "1", "2", "3", "4"]).unwrap();
         assert_eq!(b.queue_state("q"), Some(QueueState::Decommissioned));
@@ -1302,7 +1316,13 @@ mod tests {
     #[test]
     fn decommission_accounts_for_discarded_backlog() {
         let b = Broker::new();
-        b.declare_queue("q", QueueConfig { max_len: Some(3), ..QueueConfig::default() });
+        b.declare_queue(
+            "q",
+            QueueConfig {
+                max_len: Some(3),
+                ..QueueConfig::default()
+            },
+        );
         b.bind("pub", "q");
         for i in 0..5 {
             b.publish("pub", i.to_string()).unwrap();
@@ -1326,7 +1346,11 @@ mod tests {
         let s = b.stats();
         assert_eq!(s.discarded, 1);
         assert_eq!(s.refused, 1);
-        assert!(b.consumer("q").unwrap().pop(Duration::from_millis(20)).is_none());
+        assert!(b
+            .consumer("q")
+            .unwrap()
+            .pop(Duration::from_millis(20))
+            .is_none());
     }
 
     #[test]
@@ -1371,7 +1395,13 @@ mod tests {
     #[test]
     fn queue_cap_triggers_decommission() {
         let b = Broker::new();
-        b.declare_queue("q", QueueConfig { max_len: Some(5), ..QueueConfig::default() });
+        b.declare_queue(
+            "q",
+            QueueConfig {
+                max_len: Some(5),
+                ..QueueConfig::default()
+            },
+        );
         b.bind("pub", "q");
         for i in 0..10 {
             b.publish("pub", i.to_string()).unwrap();
@@ -1425,7 +1455,11 @@ mod tests {
         let dir = crate::wal::tests::temp_dir("broker-recover");
         let cfg = WalConfig::new(&dir).fsync(crate::wal::FsyncPolicy::EveryWrite);
         let (b, report) = Broker::open_durable(cfg.clone()).unwrap();
-        assert_eq!(report, RecoveryReport::default(), "fresh log, empty recovery");
+        assert_eq!(
+            report,
+            RecoveryReport::default(),
+            "fresh log, empty recovery"
+        );
         b.declare_queue("q", QueueConfig::default());
         b.bind("pub", "q");
         for i in 0..6 {
@@ -1489,7 +1523,10 @@ mod tests {
         assert!(after.segments_removed >= 2, "checkpoint GCs old segments");
         drop((c, b));
         let (b2, report) = Broker::open_durable(cfg).unwrap();
-        assert_eq!(report.messages_recovered, 50, "checkpoint state is complete");
+        assert_eq!(
+            report.messages_recovered, 50,
+            "checkpoint state is complete"
+        );
         b2.bind("pub", "q");
         let c2 = b2.consumer("q").unwrap();
         let mut got = Vec::new();
@@ -1498,7 +1535,10 @@ mod tests {
             c2.ack(d.tag);
         }
         let expected: Vec<String> = (30..80).map(|i| format!("payload-{i}")).collect();
-        assert_eq!(got, expected, "recovered backlog is the unacked suffix, in order");
+        assert_eq!(
+            got, expected,
+            "recovered backlog is the unacked suffix, in order"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1532,8 +1572,15 @@ mod tests {
         b.publish("pub", "before").unwrap();
         b.wal().unwrap().inject_partial_append(4);
         assert!(b.publish("pub", "torn").is_err(), "mid-append kill refuses");
-        assert!(b.publish("pub", "after").is_err(), "poisoned log stays down");
-        assert_eq!(b.queue_len("q"), Some(1), "refused publishes enqueue nothing");
+        assert!(
+            b.publish("pub", "after").is_err(),
+            "poisoned log stays down"
+        );
+        assert_eq!(
+            b.queue_len("q"),
+            Some(1),
+            "refused publishes enqueue nothing"
+        );
         drop(b);
         let (b2, report) = Broker::open_durable(cfg).unwrap();
         assert_eq!(report.messages_recovered, 1, "only the confirmed publish");
@@ -1548,7 +1595,13 @@ mod tests {
     fn redeclare_updates_the_cap_in_place() {
         let b = broker_with("q");
         // Re-declare with a cap: the fourth publish trips it.
-        b.declare_queue("q", QueueConfig { max_len: Some(3), ..QueueConfig::default() });
+        b.declare_queue(
+            "q",
+            QueueConfig {
+                max_len: Some(3),
+                ..QueueConfig::default()
+            },
+        );
         for i in 0..5 {
             b.publish("pub", i.to_string()).unwrap();
         }
@@ -1601,7 +1654,11 @@ mod tests {
         b.publish_batch("pub", ["a", "b"]).unwrap();
         let got: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(got, 2, "both messages delivered");
-        assert_eq!(b.stats().wakeups, 2, "two messages into four sleepers: two wakeups");
+        assert_eq!(
+            b.stats().wakeups,
+            2,
+            "two messages into four sleepers: two wakeups"
+        );
     }
 
     /// Keyed publishes spread across partitions but keep per-key FIFO:
@@ -1648,7 +1705,10 @@ mod tests {
         let c = b.consumer("q").unwrap();
         let stolen = c.steal_batch(1, 16);
         assert_eq!(
-            stolen.iter().map(|d| d.payload.as_str()).collect::<Vec<_>>(),
+            stolen
+                .iter()
+                .map(|d| d.payload.as_str())
+                .collect::<Vec<_>>(),
             ["m0", "m1"],
             "steal takes the oldest half"
         );
@@ -1658,7 +1718,11 @@ mod tests {
             ["m2", "m3"]
         );
         let tags: Vec<u64> = stolen.iter().chain(&rest).map(|d| d.tag).collect();
-        assert_eq!(c.ack_batch(&tags), 4, "stolen tags ack through the hint route");
+        assert_eq!(
+            c.ack_batch(&tags),
+            4,
+            "stolen tags ack through the hint route"
+        );
         assert_eq!(b.queue_unacked_len("q"), Some(0));
         let s = b.stats();
         assert_eq!(s.steals, 1);
@@ -1673,7 +1737,13 @@ mod tests {
     #[test]
     fn redeclare_with_new_partition_count_reroutes_backlog() {
         let b = Broker::new();
-        b.declare_queue("q", QueueConfig { max_len: None, partitions: 4 });
+        b.declare_queue(
+            "q",
+            QueueConfig {
+                max_len: None,
+                partitions: 4,
+            },
+        );
         b.bind("pub", "q");
         for round in 0..3u64 {
             for key in 0..8u64 {
@@ -1682,10 +1752,20 @@ mod tests {
             }
         }
         assert_eq!(b.queue_partitions("q"), Some(4));
-        b.declare_queue("q", QueueConfig { max_len: None, partitions: 2 });
+        b.declare_queue(
+            "q",
+            QueueConfig {
+                max_len: None,
+                partitions: 2,
+            },
+        );
         assert_eq!(b.queue_partitions("q"), Some(2));
         let depths = b.partition_depths("q").unwrap();
-        assert_eq!(depths, vec![12, 12], "even/odd keys split across 2 partitions");
+        assert_eq!(
+            depths,
+            vec![12, 12],
+            "even/odd keys split across 2 partitions"
+        );
         let c = b.consumer("q").unwrap();
         let mut per_key: HashMap<String, Vec<String>> = HashMap::new();
         for d in c.pop_batch(64, Duration::from_millis(50)) {

@@ -377,7 +377,11 @@ impl Queue {
             p.inner.lock().ready.push_back(d);
         }
         for (tag, d) in unacked {
-            fresh[partition_of(tag, target)].inner.lock().unacked.insert(tag, d);
+            fresh[partition_of(tag, target)]
+                .inner
+                .lock()
+                .unacked
+                .insert(tag, d);
         }
         *parts = fresh;
     }
@@ -610,7 +614,9 @@ impl Queue {
         }
         part.len.fetch_add(n, Ordering::Relaxed);
         self.ready_total.fetch_add(n, Ordering::SeqCst);
-        self.counters.enqueued.fetch_add(n as u64, Ordering::Relaxed);
+        self.counters
+            .enqueued
+            .fetch_add(n as u64, Ordering::Relaxed);
         n
     }
 
@@ -623,7 +629,9 @@ impl Queue {
             if n == 0 {
                 continue;
             }
-            self.counters.discarded.fetch_add(n as u64, Ordering::Relaxed);
+            self.counters
+                .discarded
+                .fetch_add(n as u64, Ordering::Relaxed);
             self.ready_total
                 .fetch_sub(inner.ready.len(), Ordering::SeqCst);
             self.unacked_total
@@ -727,7 +735,16 @@ impl Queue {
             let mut frames = 0u32;
             let mut inner = p.inner.lock();
             let staged = self
-                .stage_locked(exchange, payload, origin_nanos, hint, 0, false, &mut buf, &mut frames)
+                .stage_locked(
+                    exchange,
+                    payload,
+                    origin_nanos,
+                    hint,
+                    0,
+                    false,
+                    &mut buf,
+                    &mut frames,
+                )
                 .map_or_else(Vec::new, |d| vec![d]);
             self.commit_staged_locked(p, &mut inner, &buf, frames, staged)
         });
@@ -828,7 +845,9 @@ impl Queue {
                 }
                 parts[pi as usize].len.fetch_add(n, Ordering::Relaxed);
                 self.ready_total.fetch_add(n, Ordering::SeqCst);
-                self.counters.enqueued.fetch_add(n as u64, Ordering::Relaxed);
+                self.counters
+                    .enqueued
+                    .fetch_add(n as u64, Ordering::Relaxed);
                 added += n;
             }
             added
@@ -963,9 +982,7 @@ impl Queue {
                     return out;
                 }
             }
-            if self.is_decommissioned()
-                || self.wake_epoch.load(Ordering::SeqCst) != entry_epoch
-            {
+            if self.is_decommissioned() || self.wake_epoch.load(Ordering::SeqCst) != entry_epoch {
                 return Vec::new();
             }
             if !self.park_until(deadline, entry_epoch) {
@@ -1163,7 +1180,9 @@ impl Queue {
         }
         self.marker_ready.fetch_add(added, Ordering::SeqCst);
         self.ready_total.fetch_add(added, Ordering::SeqCst);
-        self.counters.enqueued.fetch_add(added as u64, Ordering::Relaxed);
+        self.counters
+            .enqueued
+            .fetch_add(added as u64, Ordering::Relaxed);
         drop(guards);
         self.finish_enqueue(&parts, added);
         added
@@ -1226,7 +1245,9 @@ impl Queue {
             }
             drop(inner);
             if removed > 0 {
-                self.counters.acked.fetch_add(removed as u64, Ordering::Relaxed);
+                self.counters
+                    .acked
+                    .fetch_add(removed as u64, Ordering::Relaxed);
                 self.unacked_total.fetch_sub(removed, Ordering::SeqCst);
             }
         }
@@ -1335,7 +1356,9 @@ impl Queue {
             }
             self.ready_total.fetch_add(n, Ordering::SeqCst);
             self.unacked_total.fetch_sub(n, Ordering::SeqCst);
-            self.counters.redelivered.fetch_add(n as u64, Ordering::Relaxed);
+            self.counters
+                .redelivered
+                .fetch_add(n as u64, Ordering::Relaxed);
         }
         drop(parts);
         let _guard = self.idle.lock();

@@ -603,7 +603,11 @@ pub fn crc32(bytes: &[u8]) -> u32 {
             let mut c = i as u32;
             let mut k = 0;
             while k < 8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
                 k += 1;
             }
             table[i] = c;
@@ -980,26 +984,25 @@ impl Wal {
         // returns to its caller — typically a publisher still holding
         // queue locks upstream, which would otherwise serialise every
         // conflicting publisher behind the sync for its full duration.
-        let (sync_tx, flusher) = if shared.cfg.group_commit
-            && matches!(shared.cfg.fsync, FsyncPolicy::Interval(_))
-        {
-            let (tx, rx) = mpsc::channel::<PendingSync>();
-            let for_thread = Arc::clone(&shared);
-            match std::thread::Builder::new()
-                .name("synapse-wal-flusher".into())
-                // Errors poison the log; the next append fails fast.
-                .spawn(move || {
-                    while let Ok(sync) = rx.recv() {
-                        let _ = for_thread.finish_sync(sync);
-                    }
-                }) {
-                Ok(handle) => (Some(tx), Some(handle)),
-                // No thread to be had: syncs complete in the leader.
-                Err(_) => (None, None),
-            }
-        } else {
-            (None, None)
-        };
+        let (sync_tx, flusher) =
+            if shared.cfg.group_commit && matches!(shared.cfg.fsync, FsyncPolicy::Interval(_)) {
+                let (tx, rx) = mpsc::channel::<PendingSync>();
+                let for_thread = Arc::clone(&shared);
+                match std::thread::Builder::new()
+                    .name("synapse-wal-flusher".into())
+                    // Errors poison the log; the next append fails fast.
+                    .spawn(move || {
+                        while let Ok(sync) = rx.recv() {
+                            let _ = for_thread.finish_sync(sync);
+                        }
+                    }) {
+                    Ok(handle) => (Some(tx), Some(handle)),
+                    // No thread to be had: syncs complete in the leader.
+                    Err(_) => (None, None),
+                }
+            } else {
+                (None, None)
+            };
         let wal = Wal {
             shared,
             sync_tx: Mutex::new(sync_tx),
@@ -1101,9 +1104,9 @@ impl Wal {
             let mut inner = self.inner.lock();
             let mut pos = 0usize;
             while pos < bytes.len() {
-                let len = u32::from_le_bytes(
-                    bytes[pos..pos + 4].try_into().expect("framed by caller"),
-                ) as usize;
+                let len =
+                    u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("framed by caller"))
+                        as usize;
                 let end = pos + FRAME_HEADER_LEN as usize + len;
                 self.write_batch_locked(&mut inner, &bytes[pos..end], 1)?;
                 pos = end;
@@ -1192,11 +1195,7 @@ impl Wal {
     ///   publishes the epoch, *hands leadership off*, and carries out the
     ///   sync while a staged waiter elects itself and keeps the write
     ///   pipeline moving — the fsync stops gating throughput entirely.
-    fn lead_until<'a>(
-        &'a self,
-        mut g: MutexGuard<'a, GroupInner>,
-        target: u64,
-    ) -> io::Result<()> {
+    fn lead_until<'a>(&'a self, mut g: MutexGuard<'a, GroupInner>, target: u64) -> io::Result<()> {
         'lead: loop {
             g.leader_active = true;
             loop {
@@ -1300,12 +1299,7 @@ impl Wal {
     /// (which tears the *batch* at an arbitrary byte — complete prefix
     /// frames survive as if their appends had happened), and counters.
     /// No fsync — policy handling is the caller's.
-    fn write_batch_raw(
-        &self,
-        inner: &mut WalInner,
-        batch: &[u8],
-        frames: u32,
-    ) -> io::Result<()> {
+    fn write_batch_raw(&self, inner: &mut WalInner, batch: &[u8], frames: u32) -> io::Result<()> {
         if inner.offset >= self.cfg.segment_max_bytes.max(SEGMENT_HEADER_LEN + 1) {
             self.roll_locked(inner)?;
         }
@@ -1399,7 +1393,6 @@ impl Wal {
             }
         }
     }
-
 }
 
 /// The completion half of a pipelined sync — on [`WalShared`] so the
@@ -1649,7 +1642,8 @@ impl Wal {
     /// of its frame (clamped to a strict prefix), then fails and poisons
     /// the log — a process killed mid-append.
     pub fn inject_partial_append(&self, keep_bytes: u64) {
-        self.partial_append_keep.store(keep_bytes, Ordering::Release);
+        self.partial_append_keep
+            .store(keep_bytes, Ordering::Release);
     }
 
     /// Crash fault: the next `n` fsyncs report success without syncing,
@@ -1766,10 +1760,8 @@ pub(crate) mod tests {
     pub(crate) fn temp_dir(label: &str) -> PathBuf {
         static SEQ: AtomicU32 = AtomicU32::new(0);
         let n = SEQ.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "synapse-wal-{label}-{}-{n}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("synapse-wal-{label}-{}-{n}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -1933,7 +1925,10 @@ pub(crate) mod tests {
         wal.simulate_power_failure().unwrap();
         drop(wal);
         let (_, replayed, _) = Wal::open(cfg).unwrap();
-        assert!(replayed.is_empty(), "unsynced appends do not survive power loss");
+        assert!(
+            replayed.is_empty(),
+            "unsynced appends do not survive power loss"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -1981,7 +1976,10 @@ pub(crate) mod tests {
         assert!(removed >= 1);
         drop(wal);
         let (_, replayed, summary) = Wal::open(cfg).unwrap();
-        assert_eq!(summary.segments_scanned, 1, "only the checkpoint segment survives");
+        assert_eq!(
+            summary.segments_scanned, 1,
+            "only the checkpoint segment survives"
+        );
         assert!(matches!(replayed[0], WalRecord::Checkpoint { .. }));
         let _ = fs::remove_dir_all(&dir);
     }

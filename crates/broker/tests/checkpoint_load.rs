@@ -45,10 +45,13 @@ fn checkpoint_compaction_survives_concurrent_group_commits() {
     };
     let (broker, _) = Broker::open_durable(cfg()).expect("fresh open");
     let broker = Arc::new(broker);
-    broker.declare_queue("q", QueueConfig {
-        max_len: None,
-        partitions: PARTS,
-    });
+    broker.declare_queue(
+        "q",
+        QueueConfig {
+            max_len: None,
+            partitions: PARTS,
+        },
+    );
     broker.bind("x", "q");
 
     let done = Arc::new(AtomicBool::new(false));
@@ -138,15 +141,21 @@ fn checkpoint_compaction_survives_concurrent_group_commits() {
 
     let acked = Arc::try_unwrap(acked).unwrap().into_inner().unwrap();
     let stats = broker.wal_stats().expect("durable broker");
-    assert!(stats.group_commits >= 1, "the load ran through group commit");
+    assert!(
+        stats.group_commits >= 1,
+        "the load ran through group commit"
+    );
     drop(broker);
 
     // Recovery is the arbiter: exactly published-minus-acked survives.
     let (broker, _) = Broker::open_durable(cfg()).expect("reopen");
-    broker.declare_queue("q", QueueConfig {
-        max_len: None,
-        partitions: PARTS,
-    });
+    broker.declare_queue(
+        "q",
+        QueueConfig {
+            max_len: None,
+            partitions: PARTS,
+        },
+    );
     let consumer = broker.consumer("q").expect("queue declared");
     let mut survivors = BTreeSet::new();
     while let Some(d) = consumer.pop(Duration::ZERO) {

@@ -104,7 +104,9 @@ fn drive_and_recover(
                         (SharedStr::from(p), 0, *key)
                     })
                     .collect();
-                broker.publish_batch_routed("x", batch).expect("batch publish");
+                broker
+                    .publish_batch_routed("x", batch)
+                    .expect("batch publish");
             }
             Op::PopAck { part, n } => {
                 for d in consumer.pop_batch_from(*part, *n, Duration::ZERO) {
@@ -113,7 +115,10 @@ fn drive_and_recover(
             }
             Op::PopDead { part, n } => {
                 for d in consumer.pop_batch_from(*part, *n, Duration::ZERO) {
-                    assert!(consumer.dead_letter(d.tag), "dead-letter of a live delivery");
+                    assert!(
+                        consumer.dead_letter(d.tag),
+                        "dead-letter of a live delivery"
+                    );
                 }
             }
             Op::Checkpoint => {
@@ -125,7 +130,10 @@ fn drive_and_recover(
     drop(broker);
 
     let (broker, report) = Broker::open_durable(cfg()).expect("reopen");
-    assert_eq!(report.torn_entries_dropped, 0, "clean close leaves no torn tail");
+    assert_eq!(
+        report.torn_entries_dropped, 0,
+        "clean close leaves no torn tail"
+    );
     broker.declare_queue("q", qcfg);
     let consumer = broker.consumer("q").expect("queue declared");
     let depths = broker.partition_depths("q").expect("partitioned queue");

@@ -48,15 +48,20 @@ fn record_strategy() -> impl Strategy<Value = WalRecord> {
         (queue, any::<u64>()).prop_map(|(queue, tag)| WalRecord::DeadLetter { queue, tag }),
         queue.prop_map(|queue| WalRecord::QueueKilled { queue }),
         queue.prop_map(|queue| WalRecord::QueueReinstated { queue }),
-        (queue, any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
-            |(queue, tag, session, chunk, high)| WalRecord::Watermark {
+        (
+            queue,
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>()
+        )
+            .prop_map(|(queue, tag, session, chunk, high)| WalRecord::Watermark {
                 queue,
                 tag,
                 session,
                 chunk,
                 high,
-            }
-        ),
+            }),
         (
             queue,
             any::<bool>(),
@@ -67,15 +72,15 @@ fn record_strategy() -> impl Strategy<Value = WalRecord> {
             ),
             prop::collection::vec((any::<u64>(), text, text, any::<u64>()), 0..5),
         )
-            .prop_map(
-                |(queue, decommissioned, next_tag, pending, dead)| WalRecord::Checkpoint {
+            .prop_map(|(queue, decommissioned, next_tag, pending, dead)| {
+                WalRecord::Checkpoint {
                     queue,
                     decommissioned,
                     next_tag,
                     pending,
                     dead,
                 }
-            ),
+            }),
     ]
 }
 

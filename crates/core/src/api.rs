@@ -27,6 +27,11 @@ pub struct Publication {
     pub fields: Vec<String>,
     /// `true` for DB-less published models (§3.1 ephemerals).
     pub ephemeral: bool,
+    /// `true` when other services may concurrently write this model too
+    /// (multi-writer replication): outgoing messages carry version vectors
+    /// and concurrent remote writes are conflict-resolved instead of
+    /// rejected by the §3.1 single-writer ownership rule.
+    pub bidirectional: bool,
 }
 
 impl Publication {
@@ -36,6 +41,7 @@ impl Publication {
             model: model.into(),
             fields: Vec::new(),
             ephemeral: false,
+            bidirectional: false,
         }
     }
 
@@ -54,6 +60,12 @@ impl Publication {
     /// Marks the model as an ephemeral (published, never persisted).
     pub fn ephemeral(mut self) -> Self {
         self.ephemeral = true;
+        self
+    }
+
+    /// Marks the publication bidirectional (multi-writer replication).
+    pub fn bidirectional(mut self) -> Self {
+        self.bidirectional = true;
         self
     }
 }
@@ -82,6 +94,11 @@ pub struct Subscription {
     pub renames: BTreeMap<String, String>,
     /// `true` for observer models (subscribed, never persisted).
     pub observer: bool,
+    /// `true` when this service also *publishes* the same model
+    /// (multi-writer replication): the subscription's attributes stay
+    /// locally writable, and concurrent incoming writes go through the
+    /// model's registered conflict resolver instead of blind apply.
+    pub bidirectional: bool,
 }
 
 impl Subscription {
@@ -93,6 +110,7 @@ impl Subscription {
             fields: Vec::new(),
             renames: BTreeMap::new(),
             observer: false,
+            bidirectional: false,
         }
     }
 
@@ -123,6 +141,12 @@ impl Subscription {
         self
     }
 
+    /// Marks the subscription bidirectional (multi-writer replication).
+    pub fn bidirectional(mut self) -> Self {
+        self.bidirectional = true;
+        self
+    }
+
     /// The local attribute name an incoming field maps to.
     pub fn local_field<'a>(&'a self, incoming: &'a str) -> &'a str {
         self.renames
@@ -144,7 +168,9 @@ mod tests {
 
     #[test]
     fn publication_builder_collects_fields() {
-        let p = Publication::model("User").field("name").fields(&["likes", "email"]);
+        let p = Publication::model("User")
+            .field("name")
+            .fields(&["likes", "email"]);
         assert_eq!(p.fields, vec!["name", "likes", "email"]);
         assert!(!p.ephemeral);
         assert!(Publication::model("Click").ephemeral().ephemeral);

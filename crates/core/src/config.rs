@@ -1,8 +1,10 @@
 //! Per-service Synapse configuration.
 
-use crate::deps::DepSpace;
+use crate::deps::{writer_id, DepSpace};
+use crate::resolve::{ConflictCtx, ConflictResolver, MergeFn, Resolution, ResolverRegistry};
 use crate::semantics::DeliveryMode;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 use synapse_broker::{AckDurability, FsyncPolicy};
 
@@ -191,6 +193,10 @@ pub struct SynapseConfig {
     pub telemetry_enabled: bool,
     /// The durability plane (off by default).
     pub durability: DurabilityConfig,
+    /// Per-model conflict resolvers for multi-writer (bidirectional)
+    /// replication; unregistered models resolve last-writer-wins by
+    /// version-vector stamp.
+    pub resolvers: ResolverRegistry,
 }
 
 impl SynapseConfig {
@@ -212,7 +218,14 @@ impl SynapseConfig {
             bootstrap_window_timeout: Duration::from_millis(500),
             telemetry_enabled: true,
             durability: DurabilityConfig::default(),
+            resolvers: ResolverRegistry::new(),
         }
+    }
+
+    /// This service's writer id in version vectors: a stable hash of the
+    /// app name (never 0, which is reserved for pre-vector scalar history).
+    pub fn writer_id(&self) -> u64 {
+        writer_id(&self.app)
     }
 
     /// Sets both publisher and subscriber modes.
@@ -339,6 +352,24 @@ impl SynapseConfig {
         self.durability.ack_durability = mode;
         self
     }
+
+    /// Registers a conflict resolver for `model` (multi-writer replication
+    /// only; models without one resolve last-writer-wins).
+    pub fn resolver(mut self, model: impl Into<String>, r: Arc<dyn ConflictResolver>) -> Self {
+        self.resolvers.register(model, r);
+        self
+    }
+
+    /// Registers a merge-callback resolver for `model` — the closure form
+    /// of [`SynapseConfig::resolver`].
+    pub fn merge_resolver(
+        mut self,
+        model: impl Into<String>,
+        f: impl Fn(&ConflictCtx<'_>) -> Resolution + Send + Sync + 'static,
+    ) -> Self {
+        self.resolvers.register(model, Arc::new(MergeFn::new(f)));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -367,6 +398,20 @@ mod tests {
             c.durability.wal_config().is_none(),
             "no WAL config while durability is off"
         );
+    }
+
+    #[test]
+    fn resolver_registration_and_writer_id() {
+        let c = SynapseConfig::new("crowdtap");
+        assert!(c.resolvers.is_empty(), "no resolvers by default");
+        assert_eq!(c.resolvers.get("User").name(), "lww");
+        assert_ne!(c.writer_id(), 0, "0 is reserved for legacy history");
+        assert_eq!(c.writer_id(), SynapseConfig::new("crowdtap").writer_id());
+        assert_ne!(c.writer_id(), SynapseConfig::new("spree").writer_id());
+
+        let c = c.merge_resolver("User", |_| Resolution::KeepLocal);
+        assert_eq!(c.resolvers.get("User").name(), "merge");
+        assert_eq!(c.resolvers.get("Post").name(), "lww");
     }
 
     #[test]

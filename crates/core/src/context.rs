@@ -63,6 +63,9 @@ pub struct TxBuffer {
     /// from *before* the transaction — its own operations satisfy the
     /// intra-transaction dependencies atomically.
     pub bumped: std::collections::BTreeMap<DepKey, u64>,
+    /// Version vectors of buffered bidirectional writes, joined per key
+    /// (multi-writer replication).
+    pub vectors: std::collections::BTreeMap<DepKey, synapse_versionstore::VersionVector>,
 }
 
 /// Per-scope measurement summary returned by [`with_scope`].

@@ -40,6 +40,36 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
+/// The stable writer id of an application — the version-vector component
+/// key its writes bump. Derived from the app name with the same FNV-1a
+/// hash as dependency names, so every node computes identical ids without
+/// coordination. Id 0 is reserved for scalar-era (unattributed) versions
+/// ([`synapse_versionstore::LEGACY_WRITER`]); the hash of a non-empty app
+/// name is never 0, and an empty name maps to 1.
+pub fn writer_id(app: &str) -> u64 {
+    match fnv1a(app) {
+        0 => 1,
+        id => id,
+    }
+}
+
+/// The writer-independent namespace version vectors of bidirectional
+/// (multi-writer) models live under. Ordinary dependency names are
+/// namespaced by the *publishing* app (`app/model/id/N`), which is exactly
+/// right for single-writer replication but would split a multi-writer
+/// object's history across one key per writer — concurrent writes would
+/// never meet for comparison. Mesh names (`~mesh/model/id/N`) give every
+/// writer of an object the *same* key; the `~` prefix keeps them out of
+/// any real app's namespace (app names do not start with `~`).
+pub const MESH_NAMESPACE: &str = "~mesh";
+
+/// The mesh dependency name of one multi-writer object:
+/// `~mesh/model/id/<id>` — identical on every node that publishes or
+/// subscribes to the model bidirectionally.
+pub fn mesh_object(model: &str, id: Id) -> DepName {
+    DepName::object(MESH_NAMESPACE, model, id)
+}
+
 /// A human-readable dependency name with its cached stable pre-hash.
 #[derive(Debug, Clone)]
 pub struct DepName {
@@ -117,8 +147,7 @@ impl PartialEq for DepName {
         // Hash inequality decides almost every comparison without touching
         // the bytes; the string check keeps semantics exact under a 64-bit
         // collision.
-        self.hash == other.hash
-            && (Arc::ptr_eq(&self.name, &other.name) || self.name == other.name)
+        self.hash == other.hash && (Arc::ptr_eq(&self.name, &other.name) || self.name == other.name)
     }
 }
 
@@ -210,9 +239,7 @@ impl DepInterner {
         let dep = DepName::from_str_uncached(name);
         let mut names = self.names.write();
         if names.len() < INTERNER_CAP {
-            names
-                .entry(Arc::clone(&dep.name))
-                .or_insert(dep.hash);
+            names.entry(Arc::clone(&dep.name)).or_insert(dep.hash);
         }
         dep
     }

@@ -25,12 +25,16 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use synapse_broker::wal::{crc32, put_u32, put_u64, ByteReader};
 use synapse_broker::LogPos;
+use synapse_versionstore::DumpEntry;
 
-// SYNSNAP2: the version field carries the store's explicit-write flag in
-// its low bit (`(version << 1) | versioned`), so destroy tombstones
-// survive restarts. SYNSNAP1 snapshots fail the magic check and recovery
-// falls back to full WAL replay + bootstrap, which is always safe.
-const SNAPSHOT_MAGIC: &[u8; 8] = b"SYNSNAP2";
+// SYNSNAP3: entries carry the full per-writer version vector plus the LWW
+// winner stamp, so multi-writer conflict state survives restarts.
+// SYNSNAP2 files (scalar versions, explicit-write flag in the version's
+// low bit) still load: their scalars decode onto the legacy vector
+// component. SYNSNAP1 snapshots fail the magic check and recovery falls
+// back to full WAL replay + bootstrap, which is always safe.
+const SNAPSHOT_MAGIC: &[u8; 8] = b"SYNSNAP3";
+const SNAPSHOT_MAGIC_V2: &[u8; 8] = b"SYNSNAP2";
 
 /// A point-in-time image of one node's version state.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -40,30 +44,78 @@ pub struct NodeSnapshot {
     /// Broker WAL position when the snapshot was captured; the log tail
     /// from here forward is what recovery still has to replay.
     pub wal_pos: LogPos,
-    /// Publisher-store dump: `(key, ops, version, versioned)`.
-    pub pub_entries: Vec<(u64, u64, u64, bool)>,
-    /// Subscriber-store dump: `(key, ops, version, versioned)` — includes
-    /// the bootstrap watermarks (and destroy tombstones via the
-    /// `versioned` flag), which is what lets an interrupted bootstrap
-    /// resume as a delta replay after restart without resurrecting
-    /// deleted rows.
-    pub sub_entries: Vec<(u64, u64, u64, bool)>,
+    /// Publisher-store dump.
+    pub pub_entries: Vec<DumpEntry>,
+    /// Subscriber-store dump — includes the bootstrap watermarks (and
+    /// destroy tombstones via the `versioned` flag), which is what lets
+    /// an interrupted bootstrap resume as a delta replay after restart
+    /// without resurrecting deleted rows.
+    pub sub_entries: Vec<DumpEntry>,
 }
 
-fn put_entries(out: &mut Vec<u8>, entries: &[(u64, u64, u64, bool)]) {
+fn put_entries(out: &mut Vec<u8>, entries: &[DumpEntry]) {
     put_u32(out, entries.len() as u32);
-    for (key, ops, version, versioned) in entries {
-        put_u64(out, *key);
-        put_u64(out, *ops);
-        // Versions are monotone counters far below 2^63; the low bit
-        // carries the explicit-write flag so the entry stays 24 bytes.
-        put_u64(out, (*version << 1) | u64::from(*versioned));
+    for entry in entries {
+        put_u64(out, entry.key);
+        put_u64(out, entry.ops);
+        put_u64(out, entry.winner_writer);
+        // Stamps are history-length sums far below 2^63; the low bit
+        // carries the explicit-write flag.
+        put_u64(out, (entry.winner_sum << 1) | u64::from(entry.versioned));
+        put_u32(out, entry.vector.len() as u32);
+        for (writer, counter) in &entry.vector {
+            put_u64(out, *writer);
+            put_u64(out, *counter);
+        }
     }
 }
 
-fn take_entries(r: &mut ByteReader<'_>, cap: usize) -> Option<Vec<(u64, u64, u64, bool)>> {
+fn take_entries(r: &mut ByteReader<'_>, cap: usize) -> Option<Vec<DumpEntry>> {
     let n = r.take_u32()? as usize;
-    // A corrupt count must not OOM: each entry needs 24 bytes.
+    // A corrupt count must not OOM: each entry needs at least 36 bytes.
+    if n > cap {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = r.take_u64()?;
+        let ops = r.take_u64()?;
+        let winner_writer = r.take_u64()?;
+        let tagged = r.take_u64()?;
+        let comps = r.take_u32()? as usize;
+        if comps > cap {
+            return None;
+        }
+        let mut vector = Vec::with_capacity(comps);
+        for _ in 0..comps {
+            let writer = r.take_u64()?;
+            let counter = r.take_u64()?;
+            vector.push((writer, counter));
+        }
+        out.push(DumpEntry {
+            key,
+            ops,
+            versioned: tagged & 1 == 1,
+            winner_sum: tagged >> 1,
+            winner_writer,
+            vector,
+        });
+    }
+    Some(out)
+}
+
+fn put_entries_v2(out: &mut Vec<u8>, entries: &[DumpEntry]) {
+    put_u32(out, entries.len() as u32);
+    for entry in entries {
+        let version = entry.vector.iter().map(|(_, c)| *c).max().unwrap_or(0);
+        put_u64(out, entry.key);
+        put_u64(out, entry.ops);
+        put_u64(out, (version << 1) | u64::from(entry.versioned));
+    }
+}
+
+fn take_entries_v2(r: &mut ByteReader<'_>, cap: usize) -> Option<Vec<DumpEntry>> {
+    let n = r.take_u32()? as usize;
     if n > cap {
         return None;
     }
@@ -72,14 +124,15 @@ fn take_entries(r: &mut ByteReader<'_>, cap: usize) -> Option<Vec<(u64, u64, u64
         let key = r.take_u64()?;
         let ops = r.take_u64()?;
         let tagged = r.take_u64()?;
-        out.push((key, ops, tagged >> 1, tagged & 1 == 1));
+        out.push(DumpEntry::scalar(key, ops, tagged >> 1, tagged & 1 == 1));
     }
     Some(out)
 }
 
 impl NodeSnapshot {
     fn encode(&self) -> Vec<u8> {
-        let mut body = Vec::with_capacity(32 + 24 * (self.pub_entries.len() + self.sub_entries.len()));
+        let mut body =
+            Vec::with_capacity(32 + 36 * (self.pub_entries.len() + self.sub_entries.len()));
         put_u64(&mut body, self.seq);
         put_u64(&mut body, self.wal_pos.segment);
         put_u64(&mut body, self.wal_pos.offset);
@@ -92,8 +145,30 @@ impl NodeSnapshot {
         out
     }
 
+    /// Encodes in the scalar-era SYNSNAP2 format, flattening each vector
+    /// to its largest component. Retained so compatibility tests (and a
+    /// downgrade escape hatch) can produce files an old binary — and the
+    /// current loader's compat path — both read.
+    pub fn encode_legacy(&self) -> Vec<u8> {
+        let mut body =
+            Vec::with_capacity(32 + 24 * (self.pub_entries.len() + self.sub_entries.len()));
+        put_u64(&mut body, self.seq);
+        put_u64(&mut body, self.wal_pos.segment);
+        put_u64(&mut body, self.wal_pos.offset);
+        put_entries_v2(&mut body, &self.pub_entries);
+        put_entries_v2(&mut body, &self.sub_entries);
+        let mut out = Vec::with_capacity(body.len() + 12);
+        out.extend_from_slice(SNAPSHOT_MAGIC_V2);
+        put_u32(&mut out, crc32(&body));
+        out.extend_from_slice(&body);
+        out
+    }
+
     fn decode(bytes: &[u8]) -> Option<NodeSnapshot> {
-        let body = bytes.strip_prefix(SNAPSHOT_MAGIC)?;
+        let (body, legacy) = match bytes.strip_prefix(SNAPSHOT_MAGIC) {
+            Some(body) => (body, false),
+            None => (bytes.strip_prefix(SNAPSHOT_MAGIC_V2)?, true),
+        };
         let mut r = ByteReader::new(body);
         let crc = r.take_u32()?;
         if crc32(&body[4..]) != crc {
@@ -105,11 +180,16 @@ impl NodeSnapshot {
             offset: r.take_u64()?,
         };
         let cap = bytes.len() / 24 + 1;
+        let (pub_entries, sub_entries) = if legacy {
+            (take_entries_v2(&mut r, cap)?, take_entries_v2(&mut r, cap)?)
+        } else {
+            (take_entries(&mut r, cap)?, take_entries(&mut r, cap)?)
+        };
         let snapshot = NodeSnapshot {
             seq,
             wal_pos,
-            pub_entries: take_entries(&mut r, cap)?,
-            sub_entries: take_entries(&mut r, cap)?,
+            pub_entries,
+            sub_entries,
         };
         if r.remaining() != 0 {
             return None;
@@ -205,7 +285,9 @@ impl SnapshotStore {
             file.write_all(&bytes[..cut])?;
             file.sync_all()?;
             self.interrupted.fetch_add(1, Ordering::Relaxed);
-            return Err(io::Error::other("snapshot persist interrupted by injected fault"));
+            return Err(io::Error::other(
+                "snapshot persist interrupted by injected fault",
+            ));
         }
         file.write_all(&bytes)?;
         file.sync_all()?;
@@ -276,10 +358,8 @@ mod tests {
     fn temp_dir(label: &str) -> PathBuf {
         static SEQ: AtomicU32 = AtomicU32::new(0);
         let n = SEQ.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "synapse-snap-{label}-{}-{n}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("synapse-snap-{label}-{}-{n}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -287,9 +367,25 @@ mod tests {
     fn sample() -> NodeSnapshot {
         NodeSnapshot {
             seq: 0,
-            wal_pos: LogPos { segment: 3, offset: 911 },
-            pub_entries: vec![(1, 10, 10, true), (2, 5, 0, false)],
-            sub_entries: vec![(1, 9, 0, true), (77, 0, 42, false)],
+            wal_pos: LogPos {
+                segment: 3,
+                offset: 911,
+            },
+            pub_entries: vec![
+                DumpEntry::scalar(1, 10, 10, true),
+                DumpEntry::scalar(2, 5, 0, false),
+            ],
+            sub_entries: vec![
+                DumpEntry::scalar(1, 9, 0, true),
+                DumpEntry {
+                    key: 77,
+                    ops: 4,
+                    versioned: true,
+                    winner_sum: 7,
+                    winner_writer: 22,
+                    vector: vec![(11, 3), (22, 4)],
+                },
+            ],
         }
     }
 
@@ -316,7 +412,7 @@ mod tests {
         assert_eq!(store.load_latest().unwrap(), None);
         let seq1 = store.persist(&sample()).unwrap();
         let mut newer = sample();
-        newer.pub_entries.push((99, 1, 1, true));
+        newer.pub_entries.push(DumpEntry::scalar(99, 1, 1, true));
         let seq2 = store.persist(&newer).unwrap();
         assert!(seq2 > seq1);
         let loaded = store.load_latest().unwrap().unwrap();
@@ -348,9 +444,42 @@ mod tests {
         // The torn .tmp is swept on reopen and never loaded.
         let reopened = SnapshotStore::open(&dir).unwrap();
         assert_eq!(reopened.load_latest().unwrap().unwrap().seq, seq1);
-        assert!(fs::read_dir(&dir)
+        assert!(fs::read_dir(&dir).unwrap().all(|e| !e
             .unwrap()
-            .all(|e| !e.unwrap().file_name().to_string_lossy().ends_with(".tmp")));
+            .file_name()
+            .to_string_lossy()
+            .ends_with(".tmp")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Pre-vector SYNSNAP2 files still load: scalar versions land on the
+    /// legacy vector component with the explicit-write flag intact, and a
+    /// current-format snapshot written afterwards supersedes them.
+    #[test]
+    fn legacy_snapshot_files_load_into_vector_entries() {
+        let dir = temp_dir("legacy");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let mut old = sample();
+        old.seq = 1;
+        fs::write(dir.join("state-1.snap"), old.encode_legacy()).unwrap();
+
+        let reopened = SnapshotStore::open(&dir).unwrap();
+        let loaded = reopened.load_latest().unwrap().unwrap();
+        assert_eq!(loaded.seq, 1);
+        assert_eq!(loaded.pub_entries[0], DumpEntry::scalar(1, 10, 10, true));
+        // The multi-writer entry flattens to its max counter in v2 form,
+        // but keeps key/ops/versioned — enough for scalar-era recovery.
+        let flat = &loaded.sub_entries[1];
+        assert_eq!((flat.key, flat.ops, flat.versioned), (77, 4, true));
+        assert_eq!(flat.vector, vec![(0, 4)], "scalar rides the legacy writer");
+        drop(store);
+
+        // A new-format persist on the same directory supersedes the old
+        // file and round-trips full vectors.
+        let seq = reopened.persist(&sample()).unwrap();
+        let latest = reopened.load_latest().unwrap().unwrap();
+        assert_eq!(latest.seq, seq);
+        assert_eq!(latest.sub_entries[1].vector, vec![(11, 3), (22, 4)]);
         let _ = fs::remove_dir_all(&dir);
     }
 

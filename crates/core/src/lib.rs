@@ -40,6 +40,7 @@ pub mod message;
 pub mod migration;
 pub mod node;
 pub mod publisher;
+pub mod resolve;
 pub mod semantics;
 pub mod stats;
 pub mod subscriber;
@@ -47,14 +48,19 @@ pub mod testing;
 
 pub use api::{Publication, Subscription};
 pub use config::{DurabilityConfig, RetryPolicy, SynapseConfig};
-pub use synapse_broker::AckDurability;
-pub use durability::{NodeSnapshot, SnapshotStats, SnapshotStore};
 pub use context::{add_read_deps, add_write_deps, in_scope, with_scope, with_user_scope};
-pub use deps::{normalize_dep_sets, DepInterner, DepName, DepSpace};
+pub use deps::{
+    mesh_object, normalize_dep_sets, writer_id, DepInterner, DepName, DepSpace, MESH_NAMESPACE,
+};
+pub use durability::{NodeSnapshot, SnapshotStats, SnapshotStore};
 pub use message::{Operation, WriteMessage};
 pub use migration::{check_migration, MigrationStep};
 pub use node::{BootstrapPhase, BootstrapState, BootstrapStats, Ecosystem, NodeStats, SynapseNode};
+pub use resolve::{
+    ConflictCtx, ConflictResolver, LwwResolver, MergeFn, Resolution, ResolverRegistry,
+};
 pub use semantics::DeliveryMode;
 pub use stats::ControllerStats;
 pub use subscriber::{CopyOutcome, ProcessError};
+pub use synapse_broker::AckDurability;
 pub use synapse_telemetry::{ModeSlice, Stage, Telemetry, TelemetrySnapshot};

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 use synapse_model::{wire, Id, ModelError, Record, Value};
-use synapse_versionstore::DepKey;
+use synapse_versionstore::{DepKey, VersionVector};
 
 /// One replicated operation within a message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,7 +48,7 @@ impl Operation {
 }
 
 /// A complete write message.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct WriteMessage {
     /// Publishing application.
     pub app: String,
@@ -61,6 +61,14 @@ pub struct WriteMessage {
     pub published_at: u64,
     /// Publisher generation (§4.4 recovery).
     pub generation: u64,
+    /// Per-object version vectors for written dependencies — only
+    /// populated for bidirectional (multi-writer) models, where the
+    /// scalar dependency value cannot express which foreign writes this
+    /// one causally follows. Empty for single-writer messages, and
+    /// *omitted from the wire* when empty, so single-writer encodings
+    /// stay byte-identical to the scalar era (old payloads in WAL
+    /// segments decode as an empty map).
+    pub vectors: BTreeMap<DepKey, VersionVector>,
 }
 
 impl WriteMessage {
@@ -127,6 +135,42 @@ impl WriteMessage {
         }
         out.push_str("],\"published_at\":");
         wire::encode_i64(self.published_at as i64, out);
+        if !self.vectors.is_empty() {
+            // "vectors" sorts after "published_at", so appending it here
+            // keeps the canonical key order — and omitting it when empty
+            // keeps single-writer messages byte-identical to the scalar
+            // format.
+            out.push_str(",\"vectors\":{");
+            let mut vec_keys: Vec<DepKey> = self.vectors.keys().copied().collect();
+            vec_keys.sort_unstable_by(|a, b| {
+                let (mut abuf, mut bbuf) = ([0u8; 20], [0u8; 20]);
+                dec_digits(&mut abuf, *a).cmp(dec_digits(&mut bbuf, *b))
+            });
+            for (i, key) in vec_keys.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                wire::encode_u64(*key, out);
+                out.push_str("\":{");
+                let mut writers: Vec<(u64, u64)> = self.vectors[key].components().to_vec();
+                writers.sort_unstable_by(|(a, _), (b, _)| {
+                    let (mut abuf, mut bbuf) = ([0u8; 20], [0u8; 20]);
+                    dec_digits(&mut abuf, *a).cmp(dec_digits(&mut bbuf, *b))
+                });
+                for (j, (writer, counter)) in writers.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    wire::encode_u64(*writer, out);
+                    out.push_str("\":");
+                    wire::encode_i64(*counter as i64, out);
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
         out.push('}');
     }
 
@@ -163,11 +207,7 @@ impl WriteMessage {
                 .get("id")
                 .as_int()
                 .ok_or_else(|| ModelError::Malformed("missing id".into()))?;
-            let attributes = op
-                .get("attributes")
-                .as_map()
-                .cloned()
-                .unwrap_or_default();
+            let attributes = op.get("attributes").as_map().cloned().unwrap_or_default();
             operations.push(Operation {
                 operation,
                 types,
@@ -187,6 +227,28 @@ impl WriteMessage {
                 dependencies.insert(key, version as u64);
             }
         }
+        let mut vectors = BTreeMap::new();
+        if let Some(vecs) = v.get("vectors").as_map() {
+            for (k, val) in vecs {
+                let key: DepKey = k
+                    .parse()
+                    .map_err(|_| ModelError::Malformed(format!("bad vector key {k}")))?;
+                let comps = val
+                    .as_map()
+                    .ok_or_else(|| ModelError::Malformed("bad vector entry".into()))?;
+                let mut vector = VersionVector::new();
+                for (writer, counter) in comps {
+                    let writer: u64 = writer
+                        .parse()
+                        .map_err(|_| ModelError::Malformed(format!("bad writer id {writer}")))?;
+                    let counter = counter
+                        .as_int()
+                        .ok_or_else(|| ModelError::Malformed("bad vector counter".into()))?;
+                    vector.set(writer, counter as u64);
+                }
+                vectors.insert(key, vector);
+            }
+        }
         let published_at = v.get("published_at").as_int().unwrap_or(0) as u64;
         let generation = v.get("generation").as_int().unwrap_or(1) as u64;
         Ok(WriteMessage {
@@ -195,6 +257,7 @@ impl WriteMessage {
             dependencies,
             published_at,
             generation,
+            vectors,
         })
     }
 
@@ -207,6 +270,20 @@ impl WriteMessage {
     /// Dependency keys only (for the subscriber's post-processing apply).
     pub fn dep_keys(&self) -> Vec<DepKey> {
         self.dependencies.keys().copied().collect()
+    }
+
+    /// The version vector an incoming write carries for `key`, given the
+    /// writer id of the publishing app. Multi-writer messages carry it
+    /// explicitly in `vectors`; single-writer (and scalar-era) messages
+    /// derive it from the scalar dependency value as a single component
+    /// owned by the message's writer.
+    pub fn vector_for(&self, key: DepKey, writer: u64) -> Option<VersionVector> {
+        if let Some(vector) = self.vectors.get(&key) {
+            return Some(vector.clone());
+        }
+        self.dependencies
+            .get(&key)
+            .map(|version| VersionVector::component(writer, *version))
     }
 }
 
@@ -256,6 +333,7 @@ mod tests {
             dependencies,
             published_at: 1_413_014_340_000_000,
             generation: 1,
+            vectors: BTreeMap::new(),
         }
     }
 
@@ -376,6 +454,7 @@ mod tests {
             dependencies: BTreeMap::new(),
             published_at: 0,
             generation: 0,
+            vectors: BTreeMap::new(),
         };
         assert_eq!(msg.encode(), reference_encode(&msg));
     }
@@ -385,5 +464,46 @@ mod tests {
         let msg = fig6b_message();
         assert_eq!(msg.dep_list(), vec![(77, 42)]);
         assert_eq!(msg.dep_keys(), vec![77]);
+    }
+
+    /// Multi-writer vectors ride an optional trailing field: present only
+    /// when non-empty, so a single-writer message's bytes are exactly the
+    /// scalar-era encoding.
+    #[test]
+    fn vectors_roundtrip_and_stay_off_single_writer_wire() {
+        let plain = fig6b_message();
+        assert!(!plain.encode().contains("vectors"));
+
+        let mut msg = fig6b_message();
+        msg.vectors
+            .insert(77, VersionVector::from_components(&[(9, 2), (10, 5)]));
+        let text = msg.encode();
+        // Writer keys sort lexicographically by decimal, like dep keys.
+        assert!(
+            text.contains(r#""vectors":{"77":{"10":5,"9":2}}"#),
+            "unexpected encoding: {text}"
+        );
+        let decoded = WriteMessage::decode(&text).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    /// Scalar-era payloads (no `vectors` field) decode with an empty map
+    /// and fall back to a single-component vector derived from the
+    /// dependency value.
+    #[test]
+    fn vector_for_falls_back_to_scalar_dependency() {
+        let msg = fig6b_message();
+        let decoded = WriteMessage::decode(&msg.encode()).unwrap();
+        assert!(decoded.vectors.is_empty());
+        let derived = decoded.vector_for(77, 9).unwrap();
+        assert_eq!(derived.components(), &[(9, 42)]);
+        assert_eq!(decoded.vector_for(12345, 9), None);
+
+        let mut multi = fig6b_message();
+        multi
+            .vectors
+            .insert(77, VersionVector::from_components(&[(9, 2), (10, 5)]));
+        let explicit = multi.vector_for(77, 9).unwrap();
+        assert_eq!(explicit.components(), &[(9, 2), (10, 5)]);
     }
 }

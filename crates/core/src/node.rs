@@ -23,7 +23,7 @@ use synapse_db::DbError;
 use synapse_model::{Id, Record};
 use synapse_orm::{Adapter, Orm, OrmError};
 use synapse_telemetry::{mono_nanos, Telemetry, TelemetrySnapshot};
-use synapse_versionstore::{DepKey, GenerationStore, VersionStore};
+use synapse_versionstore::{DepKey, GenerationStore, VersionStore, VersionVector};
 
 /// How long [`SynapseNode::bootstrap_from`]'s finalize step waits for the
 /// subscriber to account for the merged chunk copies before going Live
@@ -313,8 +313,7 @@ impl SynapseNode {
             };
             match store.load_latest() {
                 Ok(Some(snapshot)) => {
-                    let entries =
-                        (snapshot.pub_entries.len() + snapshot.sub_entries.len()) as u64;
+                    let entries = (snapshot.pub_entries.len() + snapshot.sub_entries.len()) as u64;
                     let _ = pub_store.load_dump(&snapshot.pub_entries);
                     let _ = sub_store.load_dump(&snapshot.sub_entries);
                     counters.counter("recovery.snapshots_loaded").bump();
@@ -444,10 +443,14 @@ impl SynapseNode {
     /// Declares a publication (the `publish do … end` block).
     ///
     /// Enforces the decorator rule of §3.1: a service cannot publish
-    /// attributes it subscribes to.
+    /// attributes it subscribes to. Bidirectional models are exempt — a
+    /// multi-writer mesh publishes and subscribes the *same* attributes by
+    /// design, with concurrent writes handled by conflict resolution.
     pub fn publish(&self, publication: Publication) -> Result<(), OrmError> {
         let subs = self.subscriptions.read();
-        if let Some(sub) = subs.iter().find(|s| s.model == publication.model) {
+        if let Some(sub) = subs.iter().find(|s| {
+            s.model == publication.model && !(s.bidirectional && publication.bidirectional)
+        }) {
             for f in &publication.fields {
                 if sub.local_fields().contains(&f.as_str()) {
                     return Err(OrmError::Restriction(format!(
@@ -469,9 +472,13 @@ impl SynapseNode {
     /// Declares a subscription (the `subscribe from: … do … end` block) and
     /// binds this app's queue to the publisher's exchange.
     pub fn subscribe(&self, subscription: Subscription) -> Result<(), OrmError> {
-        // Decorator rule, checked from the other side.
+        // Decorator rule, checked from the other side (bidirectional
+        // models are exempt, as in [`SynapseNode::publish`]).
         let pubs = self.publications.read();
-        if let Some(publication) = pubs.get(&subscription.model) {
+        if let Some(publication) = pubs
+            .get(&subscription.model)
+            .filter(|p| !(p.bidirectional && subscription.bidirectional))
+        {
             for f in subscription.local_fields() {
                 if publication.fields.iter().any(|pf| pf == f) {
                     return Err(OrmError::Restriction(format!(
@@ -568,20 +575,47 @@ impl SynapseNode {
         let mut snap = self.telemetry.snapshot();
         let stats = self.stats();
         let mut extra: Vec<(String, u64)> = vec![
-            ("publisher.messages_published".into(), stats.publisher.messages_published),
+            (
+                "publisher.messages_published".into(),
+                stats.publisher.messages_published,
+            ),
             ("publisher.operations".into(), stats.publisher.operations),
-            ("publisher.publish_retries".into(), stats.publisher.publish_retries),
-            ("publisher.publish_failures".into(), stats.publisher.publish_failures),
+            (
+                "publisher.publish_retries".into(),
+                stats.publisher.publish_retries,
+            ),
+            (
+                "publisher.publish_failures".into(),
+                stats.publisher.publish_failures,
+            ),
             ("publisher.journaled".into(), stats.journaled as u64),
-            ("subscriber.messages_processed".into(), stats.subscriber.messages_processed),
-            ("subscriber.ops_applied".into(), stats.subscriber.ops_applied),
+            (
+                "subscriber.messages_processed".into(),
+                stats.subscriber.messages_processed,
+            ),
+            (
+                "subscriber.ops_applied".into(),
+                stats.subscriber.ops_applied,
+            ),
             ("subscriber.ops_stale".into(), stats.subscriber.ops_stale),
-            ("subscriber.dep_timeouts".into(), stats.subscriber.dep_timeouts),
+            (
+                "subscriber.dep_timeouts".into(),
+                stats.subscriber.dep_timeouts,
+            ),
             ("subscriber.retries".into(), stats.subscriber.retries),
-            ("subscriber.dead_lettered".into(), stats.subscriber.dead_lettered),
+            (
+                "subscriber.dead_lettered".into(),
+                stats.subscriber.dead_lettered,
+            ),
             ("subscriber.steals".into(), stats.subscriber.steals),
-            ("subscriber.messages_stolen".into(), stats.subscriber.messages_stolen),
-            ("orm.writes_intercepted".into(), self.orm.writes_intercepted()),
+            (
+                "subscriber.messages_stolen".into(),
+                stats.subscriber.messages_stolen,
+            ),
+            (
+                "orm.writes_intercepted".into(),
+                self.orm.writes_intercepted(),
+            ),
             ("orm.reads_observed".into(), self.orm.reads_observed()),
         ];
         // Delivery-plane gauges and counters: the queue-depth reads are
@@ -603,7 +637,10 @@ impl SynapseNode {
         extra.push(("broker.wakeups".into(), broker_stats.wakeups));
         extra.push(("broker.steals".into(), broker_stats.steals));
         extra.push(("broker.stolen".into(), broker_stats.stolen));
-        for (store, name) in [(&self.pub_store, "pub_store"), (&self.sub_store, "sub_store")] {
+        for (store, name) in [
+            (&self.pub_store, "pub_store"),
+            (&self.sub_store, "sub_store"),
+        ] {
             let timing = store.timing();
             extra.push((format!("{name}.applies"), timing.applies));
             extra.push((format!("{name}.apply_nanos"), timing.apply_nanos));
@@ -854,7 +891,9 @@ impl SynapseNode {
         };
         if lineage_broken || self.bootstrap.watermarks_dirty.load(Ordering::SeqCst) {
             self.clear_bootstrap_watermarks(publisher)?;
-            self.bootstrap.watermarks_dirty.store(false, Ordering::SeqCst);
+            self.bootstrap
+                .watermarks_dirty
+                .store(false, Ordering::SeqCst);
         }
 
         // Step 1: bulk-load the publisher's current versions.
@@ -910,8 +949,12 @@ impl SynapseNode {
         // dirty so the next attempt clears them before trusting any
         // resume state, and go Live.
         if self.clear_bootstrap_watermarks(publisher).is_err() {
-            self.bootstrap.cleanup_deferred.fetch_add(1, Ordering::Relaxed);
-            self.bootstrap.watermarks_dirty.store(true, Ordering::SeqCst);
+            self.bootstrap
+                .cleanup_deferred
+                .fetch_add(1, Ordering::Relaxed);
+            self.bootstrap
+                .watermarks_dirty
+                .store(true, Ordering::SeqCst);
             self.telemetry
                 .counters()
                 .counter("bootstrap.cleanup_deferred")
@@ -1089,7 +1132,10 @@ impl SynapseNode {
         if workers_live {
             let partitions = self.broker.queue_partitions(self.app()).unwrap_or(1);
             gate.begin_chunk(session, window, partitions);
-            interleave = self.broker.publish_watermark(self.app(), session, window, false) > 0;
+            interleave = self
+                .broker
+                .publish_watermark(self.app(), session, window, false)
+                > 0;
         }
         let page = publisher.orm.all_after(model, Id(after), chunk_size)?;
         let last = match page.last() {
@@ -1098,22 +1144,47 @@ impl SynapseNode {
                 if interleave {
                     // Close the empty window so its lo markers don't
                     // dangle unmatched in the stream.
-                    self.broker.publish_watermark(self.app(), session, window, true);
+                    self.broker
+                        .publish_watermark(self.app(), session, window, true);
                 }
                 return Ok(None);
             }
         };
-        let mut batch: Vec<(DepKey, u64, Record)> = Vec::with_capacity(page.len());
+        let mut batch: Vec<(DepKey, u64, Option<VersionVector>, Record)> =
+            Vec::with_capacity(page.len());
         for record in &page {
-            let key = publisher
-                .config
-                .dep_space
-                .key(&DepName::object(publisher.app(), model, record.id));
+            let key =
+                publisher
+                    .config
+                    .dep_space
+                    .key(&DepName::object(publisher.app(), model, record.id));
             let ops = publisher
                 .pub_store
                 .ops(key)
                 .map_err(|_| OrmError::Db(DbError::Unavailable))?;
             let marker = ops.saturating_sub(1);
+            // Bidirectional copies carry the publisher's full version
+            // vector (captured before the re-read, like the marker):
+            // scalar markers on the legacy floor could wrongly dominate a
+            // remote writer's component, so admission must compare the
+            // real vector instead. The vector lives under the
+            // writer-independent mesh key in the publisher's sub store —
+            // the entry its own stamps and every remote writer's applied
+            // writes fold into.
+            let vector = if publication.bidirectional {
+                let mesh = publisher
+                    .config
+                    .dep_space
+                    .key(&crate::deps::mesh_object(model, record.id));
+                Some(
+                    publisher
+                        .sub_store
+                        .latest_vector(mesh)
+                        .map_err(|_| OrmError::Db(DbError::Unavailable))?,
+                )
+            } else {
+                None
+            };
             // Re-read the row now that its marker floor is pinned; a row
             // deleted meanwhile is skipped (its destroy message is in the
             // live stream, and the tombstone it leaves in the version
@@ -1127,11 +1198,12 @@ impl SynapseNode {
                 publisher
                     .publisher
                     .marshal_for_bootstrap(&publisher.orm, publication, &fresh);
-            batch.push((key, marker, marshalled));
+            batch.push((key, marker, vector, marshalled));
         }
         let mut merged = 0u64;
         if interleave {
-            self.broker.publish_watermark(self.app(), session, window, true);
+            self.broker
+                .publish_watermark(self.app(), session, window, true);
             self.bootstrap.transition(BootstrapState::Reconciling {
                 model: model.to_owned(),
                 chunk,
@@ -1143,7 +1215,7 @@ impl SynapseNode {
             let touched = gate.take_touched();
             if !touched.is_empty() {
                 let before = batch.len();
-                batch.retain(|(key, _, _)| !touched.contains(key));
+                batch.retain(|(key, _, _, _)| !touched.contains(key));
                 self.bootstrap
                     .records_reconciled
                     .fetch_add((before - batch.len()) as u64, Ordering::Relaxed);
@@ -1151,16 +1223,25 @@ impl SynapseNode {
             if !batch.is_empty() {
                 let origin = mono_nanos();
                 let mut payloads = Vec::with_capacity(batch.len());
-                for (key, marker, record) in &batch {
+                for (key, marker, vector, record) in &batch {
                     let op = Operation::from_record("create", record);
                     let mut dependencies = BTreeMap::new();
                     dependencies.insert(*key, *marker);
+                    let mut vectors = BTreeMap::new();
+                    if let Some(v) = vector {
+                        let mesh = publisher
+                            .config
+                            .dep_space
+                            .key(&crate::deps::mesh_object(model, record.id));
+                        vectors.insert(mesh, v.clone());
+                    }
                     let msg = WriteMessage {
                         app: publisher.app().to_owned(),
                         operations: vec![op],
                         dependencies,
                         published_at: 0,
                         generation: 1,
+                        vectors,
                     };
                     payloads.push((SharedStr::from(msg.encode().as_str()), origin, *key));
                 }
@@ -1187,10 +1268,10 @@ impl SynapseNode {
         } else {
             // Synchronous fallback: no workers, so apply each survivor
             // directly through the subscriber's copy-admission path.
-            for (_, marker, record) in &batch {
+            for (_, marker, vector, record) in &batch {
                 let applied = self
                     .subscriber
-                    .apply_copy_record(publisher.app(), record, *marker)
+                    .apply_copy_record(publisher.app(), record, *marker, vector.clone())
                     .map_err(|e| match e {
                         ProcessError::Transient(_) => OrmError::Db(DbError::Unavailable),
                         ProcessError::Poison(msg) => OrmError::Restriction(msg),
@@ -1199,7 +1280,9 @@ impl SynapseNode {
                 // `copies_reconciled` (bootstrap_stats folds it in), so
                 // only admissions are tallied here.
                 if applied {
-                    self.bootstrap.records_copied.fetch_add(1, Ordering::Relaxed);
+                    self.bootstrap
+                        .records_copied
+                        .fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -1338,7 +1421,10 @@ impl Ecosystem {
                         sub.from
                     )),
                     Some(publisher) => {
-                        node.set_publisher_mode(sub.from.clone().as_str(), publisher.config().publisher_mode);
+                        node.set_publisher_mode(
+                            sub.from.clone().as_str(),
+                            publisher.config().publisher_mode,
+                        );
                         let pubs = publisher.publications();
                         match pubs.iter().find(|p| p.model == sub.model) {
                             None => violations.push(format!(
@@ -1358,6 +1444,28 @@ impl Ecosystem {
                                             f
                                         ));
                                     }
+                                }
+                                // Multi-writer mesh consistency: a
+                                // bidirectional subscription only works
+                                // against a publication that stamps its
+                                // writes with version vectors, and vice
+                                // versa — a mismatch silently degrades to
+                                // last-apply-wins on one side.
+                                if sub.bidirectional && !publication.bidirectional {
+                                    violations.push(format!(
+                                        "{}: bidirectional subscription to {}/{} but the publication is not bidirectional",
+                                        node.app(),
+                                        sub.from,
+                                        sub.model
+                                    ));
+                                }
+                                if publication.bidirectional && !sub.bidirectional {
+                                    violations.push(format!(
+                                        "{}: subscription to bidirectional {}/{} must itself be bidirectional",
+                                        node.app(),
+                                        sub.from,
+                                        sub.model
+                                    ));
                                 }
                             }
                         }

@@ -27,7 +27,7 @@
 use crate::api::{Publication, Subscription};
 use crate::config::RetryPolicy;
 use crate::context::{self, TxBuffer};
-use crate::deps::{normalize_dep_sets_with, DepInterner, DepName, DepSpace};
+use crate::deps::{normalize_dep_sets_with, writer_id, DepInterner, DepName, DepSpace};
 use crate::message::{now_micros, Operation, WriteMessage};
 use crate::semantics::DeliveryMode;
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -38,9 +38,11 @@ use std::sync::Arc;
 use std::time::Instant;
 use synapse_broker::{Broker, SharedStr};
 use synapse_model::{Record, Value};
-use synapse_telemetry::{mono_nanos, Stage, Telemetry};
 use synapse_orm::{Orm, OrmError, QueryObserver, WriteExec, WriteIntent, WriteKind};
-use synapse_versionstore::{BumpScratch, DepKey, GenerationStore, StoreError, VersionStore};
+use synapse_telemetry::{mono_nanos, Stage, Telemetry};
+use synapse_versionstore::{
+    BumpScratch, DepKey, GenerationStore, StoreError, VersionStore, VersionVector,
+};
 
 /// All-or-nothing lock manager over effective dependency keys.
 ///
@@ -150,6 +152,8 @@ pub struct Publisher {
     app_prefix: String,
     /// The app's global-ordering dependency, built once.
     global_dep: DepName,
+    /// This app's writer id in version vectors (multi-writer replication).
+    writer: u64,
     /// Per-node dependency-name interner (see [`DepInterner`]).
     interner: DepInterner,
     mode: DeliveryMode,
@@ -206,6 +210,7 @@ impl Publisher {
         Publisher {
             app_prefix: format!("{app}/"),
             global_dep: DepName::global(&app),
+            writer: writer_id(&app),
             interner: DepInterner::new(),
             app,
             mode,
@@ -312,12 +317,17 @@ impl Publisher {
     }
 
     /// Enforces §3.1 ownership: subscribers cannot create/delete imported
-    /// models nor update imported attributes.
+    /// models nor update imported attributes. Bidirectional subscriptions
+    /// opt out — every peer is a writer and concurrent writes are handled
+    /// by the conflict-resolution plane instead of prevented here.
     fn check_ownership(&self, intent: &WriteIntent) -> Result<(), OrmError> {
         if context::is_replicating() {
             return Ok(());
         }
         if let Some(sub) = self.subscription_for(&intent.model) {
+            if sub.bidirectional {
+                return Ok(());
+            }
             match intent.kind {
                 WriteKind::Create | WriteKind::Delete => {
                     return Err(OrmError::Restriction(format!(
@@ -426,7 +436,10 @@ impl Publisher {
     /// assembles the dependency map. `scratch.bumped` is left holding the
     /// keys whose `ops` counter was incremented (needed to rebase
     /// dependencies of later operations in the same transaction).
-    fn bump_versions(&self, scratch: &mut PublishScratch) -> Result<BTreeMap<DepKey, u64>, StoreError> {
+    fn bump_versions(
+        &self,
+        scratch: &mut PublishScratch,
+    ) -> Result<BTreeMap<DepKey, u64>, StoreError> {
         scratch.script.clear();
         scratch.externals.clear();
         scratch.bumped.clear();
@@ -443,7 +456,9 @@ impl Publisher {
                 scratch.script.push((key, false));
             }
         }
-        scratch.bumped.extend(scratch.script.iter().map(|(k, _)| *k));
+        scratch
+            .bumped
+            .extend(scratch.script.iter().map(|(k, _)| *k));
         self.store
             .publish_bump_into(&scratch.script, &mut scratch.bump, &mut scratch.bump_out)?;
         let mut deps: BTreeMap<DepKey, u64> = scratch.bump_out.iter().copied().collect();
@@ -454,16 +469,41 @@ impl Publisher {
         Ok(deps)
     }
 
-    /// Publishes (or buffers) one operation with its dependency map.
-    fn emit(&self, op: Operation, deps: BTreeMap<DepKey, u64>, bumped: &[DepKey]) {
+    /// Stamps a bidirectional write's version vector: everything this node
+    /// has seen for the object — all writers' components, tracked in the
+    /// subscriber-side store — plus one increment of its own component.
+    /// The stamped vector is recorded back into the sub store so later
+    /// local writes extend it and concurrent incoming writes classify
+    /// against it. Returns `None` when the sub store is dead (the message
+    /// then falls back to its scalar dependency at the subscriber).
+    fn stamp_vector(&self, object_key: DepKey) -> Option<VersionVector> {
+        let mut vector = self.sub_store.latest_vector(object_key).ok()?;
+        vector.set(self.writer, vector.get(self.writer) + 1);
+        self.sub_store
+            .advance_vector(object_key, &vector, self.writer)
+            .ok()?;
+        Some(vector)
+    }
+
+    /// Publishes (or buffers) one operation with its dependency map and,
+    /// for bidirectional models, the object's stamped version vector.
+    fn emit(
+        &self,
+        op: Operation,
+        deps: BTreeMap<DepKey, u64>,
+        bumped: &[DepKey],
+        stamp: Option<(DepKey, VersionVector)>,
+    ) {
         self.operations.fetch_add(1, Ordering::Relaxed);
         let dep_count = deps.len() as u64;
         // The operation is moved into whichever sink takes it; the slot
         // hands it through the scope closure without a clone.
         let mut slot = Some(op);
+        let mut stamp_slot = stamp;
         let buffered = context::scope_mut(|scope| {
             if let Some(buf) = scope.tx_buffer.as_mut() {
-                buf.operations.push(slot.take().expect("operation emitted once"));
+                buf.operations
+                    .push(slot.take().expect("operation emitted once"));
                 for (k, v) in &deps {
                     // Rebase by the increments earlier buffered operations
                     // already contributed, so the message only waits on
@@ -475,6 +515,11 @@ impl Publisher {
                 for k in bumped {
                     *buf.bumped.entry(*k).or_default() += 1;
                 }
+                if let Some((key, vector)) = stamp_slot.take() {
+                    // Two buffered writes of one object join into the later
+                    // vector (set-then-join is the identity on the earlier).
+                    buf.vectors.entry(key).or_default().join(&vector);
+                }
                 true
             } else {
                 scope.messages += 1;
@@ -485,7 +530,8 @@ impl Publisher {
         .unwrap_or(false);
         if !buffered {
             let op = slot.take().expect("unbuffered operation retained");
-            self.publish_message(vec![op], deps);
+            let vectors = stamp_slot.into_iter().collect();
+            self.publish_message(vec![op], deps, vectors);
         }
     }
 
@@ -493,7 +539,12 @@ impl Publisher {
     /// stamp taken here anchors the message's end-to-end visibility
     /// latency; it rides the broker envelope (never the pinned wire
     /// format) and survives in the journal for recovery republishes.
-    pub(crate) fn publish_message(&self, operations: Vec<Operation>, deps: BTreeMap<DepKey, u64>) {
+    pub(crate) fn publish_message(
+        &self,
+        operations: Vec<Operation>,
+        deps: BTreeMap<DepKey, u64>,
+        vectors: BTreeMap<DepKey, VersionVector>,
+    ) {
         let origin_nanos = mono_nanos();
         let mode = self.mode.slice();
         // Partition routing key: the first operation's object dependency —
@@ -509,7 +560,10 @@ impl Publisher {
         } else {
             operations
                 .first()
-                .map(|op| self.dep_space.key(&self.interner.object(&self.app, op.model(), op.id)))
+                .map(|op| {
+                    self.dep_space
+                        .key(&self.interner.object(&self.app, op.model(), op.id))
+                })
                 .unwrap_or(0)
         };
         let msg = WriteMessage {
@@ -518,6 +572,7 @@ impl Publisher {
             dependencies: deps,
             published_at: now_micros(),
             generation: self.generations.current(),
+            vectors,
         };
         // Encode into the thread's scratch buffer, then freeze one
         // right-sized Arc allocation for journal + broker.
@@ -563,7 +618,7 @@ impl Publisher {
             scope.messages += 1;
             scope.deps_published += dep_count;
         });
-        self.publish_message(buffer.operations, buffer.dependencies);
+        self.publish_message(buffer.operations, buffer.dependencies, buffer.vectors);
     }
 
     /// Handles a dead publisher version store: bump the generation in the
@@ -655,7 +710,21 @@ impl QueryObserver for Publisher {
         };
         let marshalled = self.marshal(orm, &publication, &record);
         let op = Operation::from_record(intent.kind.wire_name(), &marshalled);
-        self.emit(op, deps, &scratch.bumped);
+        // Bidirectional models stamp the object's version vector while the
+        // object lock is held, so local writes of one object extend a
+        // single per-writer history. The vector lives under the
+        // writer-independent *mesh* key — every writer of the object
+        // stamps and classifies against the same entry, which is what
+        // lets concurrent remote writes meet this one for comparison.
+        let stamp = if publication.bidirectional {
+            let mesh_key = self
+                .dep_space
+                .key(&crate::deps::mesh_object(&intent.model, record.id));
+            self.stamp_vector(mesh_key).map(|v| (mesh_key, v))
+        } else {
+            None
+        };
+        self.emit(op, deps, &scratch.bumped, stamp);
         drop(guard);
 
         // Maintain the in-controller causal chain.

@@ -56,7 +56,11 @@ mod tests {
 
     #[test]
     fn slices_mirror_mode_names() {
-        for mode in [DeliveryMode::Weak, DeliveryMode::Causal, DeliveryMode::Global] {
+        for mode in [
+            DeliveryMode::Weak,
+            DeliveryMode::Causal,
+            DeliveryMode::Global,
+        ] {
             assert_eq!(mode.slice().name(), mode.name());
         }
     }

@@ -41,8 +41,9 @@
 use crate::api::Subscription;
 use crate::config::{RetryPolicy, SynapseConfig};
 use crate::context;
-use crate::deps::{DepName, DepSpace};
+use crate::deps::{writer_id, DepName, DepSpace};
 use crate::message::{Operation, WriteMessage};
+use crate::resolve::{ConflictCtx, Resolution, ResolverRegistry};
 use crate::semantics::DeliveryMode;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use std::collections::{BTreeMap, HashMap};
@@ -57,9 +58,11 @@ use synapse_broker::{
 use synapse_db::DbError;
 use synapse_model::{Record, Value};
 use synapse_orm::{CallbackPoint, Orm, OrmError};
-use synapse_telemetry::{mono_nanos, Telemetry};
+use synapse_telemetry::{mono_nanos, Counter, Telemetry};
 use synapse_versionstore::DepKey;
-use synapse_versionstore::{DepWaitSet, StoreError, VersionStore, WaitOutcome, WatermarkGate};
+use synapse_versionstore::{
+    DepWaitSet, StoreError, VectorAdmit, VersionStore, WaitOutcome, WatermarkGate,
+};
 
 /// Why one processing attempt failed — the classification that decides
 /// between redelivery and the dead-letter store.
@@ -123,6 +126,15 @@ pub struct SubscriberStats {
     pub copies_reconciled: u64,
     /// Watermark markers consumed and reported to the gate.
     pub watermarks_noted: u64,
+    /// Concurrent (conflicting) incoming writes detected on bidirectional
+    /// models.
+    pub conflicts_detected: u64,
+    /// Conflicts resolved by the default last-writer-wins policy.
+    pub conflicts_resolved_lww: u64,
+    /// Conflicts resolved by a registered merge resolver.
+    pub conflicts_resolved_merge: u64,
+    /// Incoming writes discarded because the local history dominated them.
+    pub conflicts_discarded_dominated: u64,
 }
 
 /// Max deliveries a worker drains per condvar wakeup. Bounds the latency
@@ -202,6 +214,29 @@ struct Counters {
     watermarks_noted: AtomicU64,
 }
 
+/// Conflict counters of the multi-writer plane. These live in the node's
+/// telemetry [`CounterRegistry`](synapse_telemetry::CounterRegistry) (so
+/// they fold into `telemetry_snapshot()` like every other named counter);
+/// the handles here are the subscriber's lock-free bump path.
+struct ConflictCounters {
+    detected: Counter,
+    resolved_lww: Counter,
+    resolved_merge: Counter,
+    discarded_dominated: Counter,
+}
+
+impl ConflictCounters {
+    fn new(telemetry: &Telemetry) -> Self {
+        let counters = telemetry.counters();
+        ConflictCounters {
+            detected: counters.counter("conflicts.detected"),
+            resolved_lww: counters.counter("conflicts.resolved_lww"),
+            resolved_merge: counters.counter("conflicts.resolved_merge"),
+            discarded_dominated: counters.counter("conflicts.discarded_dominated"),
+        }
+    }
+}
+
 /// The subscriber runtime for one service. See the module docs.
 pub struct Subscriber {
     app: String,
@@ -224,6 +259,10 @@ pub struct Subscriber {
     /// Whether idle workers steal from partitions outside their home set.
     work_stealing: bool,
     counters: Counters,
+    /// Conflict counters (handles into the telemetry registry).
+    conflicts: ConflictCounters,
+    /// Per-model conflict resolvers for bidirectional subscriptions.
+    resolvers: ResolverRegistry,
     retry: RetryPolicy,
     /// Transient-failure attempts per in-flight delivery tag; cleared on
     /// ack or dead-letter. Redeliveries keep their tag, so this survives
@@ -277,6 +316,8 @@ impl Subscriber {
             workers: Mutex::new(Vec::new()),
             work_stealing: config.work_stealing,
             counters: Counters::default(),
+            conflicts: ConflictCounters::new(&telemetry),
+            resolvers: config.resolvers.clone(),
             retry: config.retry,
             attempts: Mutex::new(HashMap::new()),
             telemetry,
@@ -325,6 +366,10 @@ impl Subscriber {
             copies_applied: self.counters.copies_applied.load(Ordering::Relaxed),
             copies_reconciled: self.counters.copies_reconciled.load(Ordering::Relaxed),
             watermarks_noted: self.counters.watermarks_noted.load(Ordering::Relaxed),
+            conflicts_detected: self.conflicts.detected.get(),
+            conflicts_resolved_lww: self.conflicts.resolved_lww.get(),
+            conflicts_resolved_merge: self.conflicts.resolved_merge.get(),
+            conflicts_discarded_dominated: self.conflicts.discarded_dominated.get(),
         }
     }
 
@@ -476,8 +521,13 @@ impl Subscriber {
                     }
                     return;
                 }
-                if !self.handle_delivery(&consumer, delivery, popped_nanos, &mut pending, &mut in_flight)
-                {
+                if !self.handle_delivery(
+                    &consumer,
+                    delivery,
+                    popped_nanos,
+                    &mut pending,
+                    &mut in_flight,
+                ) {
                     // Dependency wait yielded: land finished work, hand the
                     // unprocessed tail back (reverse nack keeps partition
                     // order), and rescan — ready work elsewhere may be the
@@ -541,7 +591,9 @@ impl Subscriber {
                 // Deterministic failure: redelivering would wedge the
                 // queue (§6.5) — dead-letter now.
                 self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                self.counters.poison_messages.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .poison_messages
+                    .fetch_add(1, Ordering::Relaxed);
                 self.dead_letter(consumer, delivery.tag, decoded.ok().as_ref());
             }
             Err(ProcessError::Transient(_)) => {
@@ -560,7 +612,9 @@ impl Subscriber {
                     *entry
                 };
                 if self.retry.exhausted(attempts) {
-                    self.counters.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .retries_exhausted
+                        .fetch_add(1, Ordering::Relaxed);
                     self.dead_letter(consumer, delivery.tag, decoded.ok().as_ref());
                 } else {
                     self.counters.retries.fetch_add(1, Ordering::Relaxed);
@@ -639,9 +693,7 @@ impl Subscriber {
         deps: &DepWaitSet,
         tag: u64,
     ) -> Result<DepWait, String> {
-        let deadline = self
-            .dep_wait_timeout
-            .map(|t| std::time::Instant::now() + t);
+        let deadline = self.dep_wait_timeout.map(|t| std::time::Instant::now() + t);
         // The first slice is short: if the dependency is mid-apply on
         // another worker the store wakes us in microseconds either way,
         // but if it is sitting unpopped in another partition, every
@@ -766,7 +818,9 @@ impl Subscriber {
             let parts = consumer.partition_count().max(1);
             let partition = tag_hint(delivery.tag) as usize % parts;
             self.gate.note_marker(session, chunk, partition, high);
-            self.counters.watermarks_noted.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .watermarks_noted
+                .fetch_add(1, Ordering::Relaxed);
         }
         consumer.ack(delivery.tag);
     }
@@ -784,7 +838,10 @@ impl Subscriber {
         let keys: Vec<DepKey> = msg
             .operations
             .iter()
-            .map(|op| self.dep_space.key(&DepName::object(&msg.app, op.model(), op.id)))
+            .map(|op| {
+                self.dep_space
+                    .key(&DepName::object(&msg.app, op.model(), op.id))
+            })
             .collect();
         self.gate.note_applied(partition, &keys);
     }
@@ -831,7 +888,9 @@ impl Subscriber {
             }
             Err(ProcessError::Poison(_)) => {
                 self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                self.counters.poison_messages.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .poison_messages
+                    .fetch_add(1, Ordering::Relaxed);
                 if consumer.dead_letter(delivery.tag) {
                     self.attempts.lock().remove(&delivery.tag);
                     self.counters.dead_lettered.fetch_add(1, Ordering::Relaxed);
@@ -859,7 +918,9 @@ impl Subscriber {
                     // when the store or engine heals, typically at the
                     // next bootstrap attempt's revive. Undecodable copies
                     // still dead-letter through the poison arm above.
-                    self.counters.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .retries_exhausted
+                        .fetch_add(1, Ordering::Relaxed);
                     self.attempts.lock().remove(&delivery.tag);
                 } else {
                     self.counters.retries.fetch_add(1, Ordering::Relaxed);
@@ -925,14 +986,33 @@ impl Subscriber {
             .dep_space
             .key(&DepName::object(&msg.app, op.model(), op.id));
         let marker = msg.dependencies.get(&key).copied().unwrap_or(0);
+        // Copies of bidirectional models carry the publisher's full
+        // version vector under the writer-independent mesh key and are
+        // admitted by strict vector dominance; single-writer copies keep
+        // the scalar marker rule. The slot stripes by the same key the
+        // admission runs against.
+        let mesh_key = matching.iter().any(|s| s.bidirectional).then(|| {
+            self.dep_space
+                .key(&crate::deps::mesh_object(op.model(), op.id))
+        });
+        let mesh_vector = mesh_key.and_then(|mk| msg.vectors.get(&mk).map(|v| (mk, v)));
+        let slot_key = mesh_vector.map(|(mk, _)| mk).unwrap_or(key);
         let _slot = self
             .serialize_applies
             .load(Ordering::SeqCst)
-            .then(|| self.apply_slots[(key % APPLY_SLOTS as u64) as usize].lock());
-        match self.store.admit_copy(key, marker) {
+            .then(|| self.apply_slots[(slot_key % APPLY_SLOTS as u64) as usize].lock());
+        let admitted = match mesh_vector {
+            Some((mk, vector)) => self
+                .store
+                .admit_copy_vector(mk, vector, writer_id(&msg.app)),
+            None => self.store.admit_copy(key, marker),
+        };
+        match admitted {
             Ok(true) => {}
             Ok(false) => {
-                self.counters.copies_reconciled.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .copies_reconciled
+                    .fetch_add(1, Ordering::Relaxed);
                 return Ok(false);
             }
             Err(_) => return Err(OrmError::Db(DbError::Unavailable)),
@@ -953,6 +1033,7 @@ impl Subscriber {
         pub_app: &str,
         record: &Record,
         marker: u64,
+        vector: Option<synapse_versionstore::VersionVector>,
     ) -> Result<bool, ProcessError> {
         let op = Operation::from_record("create", record);
         let key = self
@@ -960,12 +1041,22 @@ impl Subscriber {
             .key(&DepName::object(pub_app, op.model(), op.id));
         let mut dependencies = BTreeMap::new();
         dependencies.insert(key, marker);
+        let mut vectors = BTreeMap::new();
+        if let Some(v) = vector {
+            // A vector-carrying copy is a bidirectional model's: its
+            // history lives under the mesh key.
+            let mesh = self
+                .dep_space
+                .key(&crate::deps::mesh_object(op.model(), op.id));
+            vectors.insert(mesh, v);
+        }
         let msg = WriteMessage {
             app: pub_app.to_owned(),
             operations: vec![op],
             dependencies,
             published_at: 0,
             generation: 1,
+            vectors,
         };
         self.apply_copy_message(&msg).map(|load| load.applied > 0)
     }
@@ -986,9 +1077,15 @@ impl Subscriber {
         if delivery.exchange == WATERMARK_EXCHANGE {
             if let Some((session, chunk, high)) = parse_watermark(&delivery.payload) {
                 let parts = self.broker.queue_partitions(&self.app).unwrap_or(1).max(1);
-                self.gate
-                    .note_marker(session, chunk, tag_hint(delivery.tag) as usize % parts, high);
-                self.counters.watermarks_noted.fetch_add(1, Ordering::Relaxed);
+                self.gate.note_marker(
+                    session,
+                    chunk,
+                    tag_hint(delivery.tag) as usize % parts,
+                    high,
+                );
+                self.counters
+                    .watermarks_noted
+                    .fetch_add(1, Ordering::Relaxed);
             }
             return Ok(());
         }
@@ -1115,9 +1212,7 @@ impl Subscriber {
         // Wait in short slices so the stop flag stays responsive; an
         // overall deadline implements the configurable give-up of §6.5
         // (`None` = the paper's strict causal mode: wait forever).
-        let deadline = self
-            .dep_wait_timeout
-            .map(|t| std::time::Instant::now() + t);
+        let deadline = self.dep_wait_timeout.map(|t| std::time::Instant::now() + t);
         loop {
             match self.store.wait_prepared(deps, Duration::from_millis(100)) {
                 Ok(WaitOutcome::Ready) => return Ok(()),
@@ -1170,6 +1265,15 @@ impl Subscriber {
         let key = self
             .dep_space
             .key(&DepName::object(&msg.app, op.model(), op.id));
+        // Multi-writer models track their version vectors under the
+        // writer-independent mesh key, so every writer's history of the
+        // object lands on one entry; the slot is striped by the same key
+        // so concurrent applies of one logical object serialize even when
+        // they arrive from different publishers.
+        let mesh_key = matching.iter().any(|s| s.bidirectional).then(|| {
+            self.dep_space
+                .key(&crate::deps::mesh_object(op.model(), op.id))
+        });
         // Hold this object's apply slot across the freshness check *and*
         // the ORM writes below. Without it, a copier thread and a worker
         // can interleave advance_latest/apply so that the thread carrying
@@ -1178,29 +1282,57 @@ impl Subscriber {
         // exactly the racing pair; unrelated objects map to other slots.
         // `serialize_applies(false)` is a test hook that re-exposes the
         // race for the regression test.
+        let slot_key = mesh_key.unwrap_or(key);
         let _slot = self
             .serialize_applies
             .load(Ordering::SeqCst)
-            .then(|| self.apply_slots[(key % APPLY_SLOTS as u64) as usize].lock());
-        let version = match mode {
-            DeliveryMode::Weak => Some(msg.dependencies.get(&key).copied().unwrap_or(0)),
-            // Ordered modes only check when the message actually carries
-            // the object's dependency (a mismatched dep space on the
-            // publisher must not silently drop writes).
-            DeliveryMode::Causal | DeliveryMode::Global => {
-                msg.dependencies.get(&key).copied()
-            }
-        };
-        if let Some(version) = version {
-            match self.store.advance_latest(key, version) {
-                Ok(true) => {}
-                Ok(false) => {
-                    self.counters.ops_stale.fetch_add(1, Ordering::Relaxed);
-                    return Ok(false);
+            .then(|| self.apply_slots[(slot_key % APPLY_SLOTS as u64) as usize].lock());
+        // Multi-writer classification by version-vector dominance:
+        // dominating histories apply, dominated ones are discarded, and
+        // concurrent forks go to the model's conflict resolver. In weak
+        // mode this runs at raw apply time; in causal/global mode the dep
+        // wait has already completed, so the local row is causally
+        // complete when the resolver sees the pair. A bidirectional
+        // subscription fed by a pre-vector publisher (no vector on the
+        // wire) falls through to the scalar freshness rule below.
+        let mut classified = false;
+        if let Some(mesh) = mesh_key {
+            let writer = writer_id(&msg.app);
+            if let Some(vector) = msg.vector_for(mesh, writer) {
+                classified = true;
+                match self.store.advance_vector(mesh, &vector, writer) {
+                    Ok(VectorAdmit::Fresh) => {}
+                    Ok(VectorAdmit::Stale) => {
+                        self.counters.ops_stale.fetch_add(1, Ordering::Relaxed);
+                        self.conflicts.discarded_dominated.bump();
+                        return Ok(false);
+                    }
+                    Ok(VectorAdmit::Concurrent { lww_wins }) => {
+                        return self.resolve_conflict(op, &matching, &vector, writer, lww_wins);
+                    }
+                    Err(_) => return Err(OrmError::Db(DbError::Unavailable)),
                 }
-                // A dead store is transient (revival or bootstrap heals
-                // it); surface it as the transient db error class.
-                Err(_) => return Err(OrmError::Db(DbError::Unavailable)),
+            }
+        }
+        if !classified {
+            let version = match mode {
+                DeliveryMode::Weak => Some(msg.dependencies.get(&key).copied().unwrap_or(0)),
+                // Ordered modes only check when the message actually carries
+                // the object's dependency (a mismatched dep space on the
+                // publisher must not silently drop writes).
+                DeliveryMode::Causal | DeliveryMode::Global => msg.dependencies.get(&key).copied(),
+            };
+            if let Some(version) = version {
+                match self.store.advance_latest(key, version) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        self.counters.ops_stale.fetch_add(1, Ordering::Relaxed);
+                        return Ok(false);
+                    }
+                    // A dead store is transient (revival or bootstrap heals
+                    // it); surface it as the transient db error class.
+                    Err(_) => return Err(OrmError::Db(DbError::Unavailable)),
+                }
             }
         }
         for sub in matching {
@@ -1208,6 +1340,108 @@ impl Subscriber {
         }
         self.counters.ops_applied.fetch_add(1, Ordering::Relaxed);
         Ok(true)
+    }
+
+    /// Resolves one concurrent incoming write (still under the object's
+    /// apply slot, so the read-modify-write of a merge cannot interleave
+    /// with another apply of the same object). Each matching subscription
+    /// consults its model's registered resolver; the operation counts as
+    /// applied when any resolution wrote the row.
+    fn resolve_conflict(
+        &self,
+        op: &Operation,
+        matching: &[Subscription],
+        vector: &synapse_versionstore::VersionVector,
+        writer: u64,
+        lww_wins: bool,
+    ) -> Result<bool, OrmError> {
+        self.conflicts.detected.bump();
+        let start = mono_nanos();
+        let mut applied = false;
+        let (mut used_lww, mut used_merge) = (false, false);
+        for sub in matching {
+            let resolver = Arc::clone(self.resolvers.get(&sub.model));
+            // Project the incoming attributes to local names — the map the
+            // apply path would upsert if the incoming side wins.
+            let incoming: BTreeMap<String, Value> = sub
+                .fields
+                .iter()
+                .filter_map(|f| {
+                    op.attributes
+                        .get(f)
+                        .map(|v| (sub.local_field(f).to_owned(), v.clone()))
+                })
+                .collect();
+            let local = self.orm.find(&sub.model, op.id)?;
+            let ctx = ConflictCtx {
+                model: &sub.model,
+                id: op.id,
+                operation: &op.operation,
+                incoming: &incoming,
+                local: local.as_ref().map(|r| &r.attrs),
+                incoming_vector: vector,
+                incoming_writer: writer,
+                lww_wins,
+            };
+            let resolution = resolver.resolve(&ctx);
+            if resolver.name() == "lww" {
+                used_lww = true;
+            } else {
+                used_merge = true;
+            }
+            match resolution {
+                Resolution::KeepLocal => {}
+                Resolution::TakeIncoming => {
+                    self.apply_subscription(sub, op)?;
+                    applied = true;
+                }
+                Resolution::Merge(attrs) => {
+                    self.upsert_resolved(sub, op, attrs)?;
+                    applied = true;
+                }
+            }
+        }
+        self.telemetry
+            .record_resolution(mono_nanos().saturating_sub(start));
+        if used_lww {
+            self.conflicts.resolved_lww.bump();
+        }
+        if used_merge {
+            self.conflicts.resolved_merge.bump();
+        }
+        if applied {
+            self.counters.ops_applied.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(true)
+    }
+
+    /// Upserts a resolver's merged attributes as the conflicted row's new
+    /// content (a replicated write: nothing republishes).
+    fn upsert_resolved(
+        &self,
+        sub: &Subscription,
+        op: &Operation,
+        attrs: BTreeMap<String, Value>,
+    ) -> Result<(), OrmError> {
+        if sub.observer {
+            return Ok(());
+        }
+        match self.orm.find(&sub.model, op.id)? {
+            Some(_) => self
+                .orm
+                .update(&sub.model, op.id, Value::Map(attrs))
+                .map(|_| ()),
+            None => match self
+                .orm
+                .create_with_id(&sub.model, op.id, Value::Map(attrs.clone()))
+            {
+                Err(OrmError::Db(DbError::DuplicateKey { .. })) => self
+                    .orm
+                    .update(&sub.model, op.id, Value::Map(attrs))
+                    .map(|_| ()),
+                other => other.map(|_| ()),
+            },
+        }
     }
 
     fn apply_subscription(&self, sub: &Subscription, op: &Operation) -> Result<(), OrmError> {
@@ -1230,8 +1464,10 @@ impl Subscriber {
             // Observers run callbacks without persisting (§3.1).
             let mut record = Record::with_attrs(sub.model.clone(), op.id, plain);
             let (before, after) = callback_points(&op.operation);
-            self.orm.run_model_callbacks(&sub.model, before, &mut record)?;
-            self.orm.run_model_callbacks(&sub.model, after, &mut record)?;
+            self.orm
+                .run_model_callbacks(&sub.model, before, &mut record)?;
+            self.orm
+                .run_model_callbacks(&sub.model, after, &mut record)?;
             return Ok(());
         }
 
@@ -1248,21 +1484,23 @@ impl Subscriber {
             _ => {
                 let record = match existing {
                     Some(_) => self.orm.update(&sub.model, op.id, Value::Map(plain))?,
-                    None => match self
-                        .orm
-                        .create_with_id(&sub.model, op.id, Value::Map(plain.clone()))
-                    {
-                        // Lost a create/create race between the find and
-                        // the insert — a live worker and the bootstrap
-                        // copier can apply the same row concurrently. The
-                        // row exists now, so finish as the update path
-                        // would have instead of poisoning the delivery
-                        // (or failing the bootstrap attempt).
-                        Err(OrmError::Db(DbError::DuplicateKey { .. })) => {
-                            self.orm.update(&sub.model, op.id, Value::Map(plain))?
+                    None => {
+                        match self
+                            .orm
+                            .create_with_id(&sub.model, op.id, Value::Map(plain.clone()))
+                        {
+                            // Lost a create/create race between the find and
+                            // the insert — a live worker and the bootstrap
+                            // copier can apply the same row concurrently. The
+                            // row exists now, so finish as the update path
+                            // would have instead of poisoning the delivery
+                            // (or failing the bootstrap attempt).
+                            Err(OrmError::Db(DbError::DuplicateKey { .. })) => {
+                                self.orm.update(&sub.model, op.id, Value::Map(plain))?
+                            }
+                            other => other?,
                         }
-                        other => other?,
-                    },
+                    }
                 };
                 stored = Some(record);
             }
@@ -1279,7 +1517,9 @@ impl Subscriber {
 
     /// Bootstrap step 1: bulk-load the publisher's version snapshot (§4.4).
     pub fn load_version_snapshot(&self, snapshot: &[(u64, u64)]) -> Result<(), String> {
-        self.store.load_snapshot(snapshot).map_err(|e| e.to_string())
+        self.store
+            .load_snapshot(snapshot)
+            .map_err(|e| e.to_string())
     }
 }
 

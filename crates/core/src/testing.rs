@@ -38,9 +38,7 @@ impl FactorySet {
     where
         F: Fn(u64) -> Value + Send + Sync + 'static,
     {
-        self.factories
-            .write()
-            .insert(model.to_owned(), Arc::new(f));
+        self.factories.write().insert(model.to_owned(), Arc::new(f));
     }
 
     /// Builds the `seq`-th sample record for `model`.
@@ -76,6 +74,7 @@ pub fn emulate_message(
         dependencies: BTreeMap::new(),
         published_at: now_micros(),
         generation: 1,
+        vectors: BTreeMap::new(),
     }
 }
 

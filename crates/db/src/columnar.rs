@@ -60,7 +60,12 @@ struct ColumnFamily {
 }
 
 impl ColumnFamily {
-    fn write_cells(&mut self, id: Id, ts: u64, cells: impl IntoIterator<Item = (String, Option<Value>)>) {
+    fn write_cells(
+        &mut self,
+        id: Id,
+        ts: u64,
+        cells: impl IntoIterator<Item = (String, Option<Value>)>,
+    ) {
         let row = self.memtable.entry(id).or_default();
         for (col, value) in cells {
             row.insert(col, Cell { ts, value });
@@ -640,7 +645,10 @@ mod tests {
             })
             .collect();
         assert_eq!(observed[0], observed[1]);
-        assert_eq!(observed[0], 3, "countdown fires exactly, never probabilistically");
+        assert_eq!(
+            observed[0], 3,
+            "countdown fires exactly, never probabilistically"
+        );
     }
 
     #[test]

@@ -98,7 +98,9 @@ impl DbFaults {
     /// every other fault here the window is countdown-based — measured in
     /// reads, not wall time — so seeded runs see identical staleness.
     pub fn inject_refresh_lag(&self, reads: u64) {
-        self.inner.refresh_lag_next.fetch_add(reads, Ordering::SeqCst);
+        self.inner
+            .refresh_lag_next
+            .fetch_add(reads, Ordering::SeqCst);
     }
 
     /// Whether the refresh-lag window is still open.
@@ -120,7 +122,9 @@ impl DbFaults {
 
     /// Arms traversal timeouts for the next `n` traversals.
     pub fn inject_traversal_timeouts(&self, n: u64) {
-        self.inner.traversal_fail_next.fetch_add(n, Ordering::SeqCst);
+        self.inner
+            .traversal_fail_next
+            .fetch_add(n, Ordering::SeqCst);
     }
 
     /// Arms a write-concern downgrade: the next `n` writes are acked

@@ -83,7 +83,10 @@ impl Table {
             Filter::IdIn(ids) => ids.clone(),
             Filter::IdAfter(after) => self
                 .rows
-                .range((std::ops::Bound::Excluded(*after), std::ops::Bound::Unbounded))
+                .range((
+                    std::ops::Bound::Excluded(*after),
+                    std::ops::Bound::Unbounded,
+                ))
                 .map(|(id, _)| *id)
                 .collect(),
             Filter::Eq(field, value) => {
@@ -337,8 +340,7 @@ impl RelationalDb {
                     Some(t) => {
                         self.lock_rows(&mut inner, t, table, &[*id])?;
                         let tx = inner.txns.get_mut(&t).expect("txn checked above");
-                        tx.overlay
-                            .insert((table.clone(), *id), Some(row.clone()));
+                        tx.overlay.insert((table.clone(), *id), Some(row.clone()));
                     }
                     None => {
                         self.wait_unlocked(&mut inner, table, &[*id])?;
@@ -438,8 +440,7 @@ impl RelationalDb {
                 let mut rows: Vec<(Id, Row)> = ids
                     .into_iter()
                     .map(|id| {
-                        let row =
-                            Self::visible_row(&inner, txn, table, id).expect("visible row");
+                        let row = Self::visible_row(&inner, txn, table, id).expect("visible row");
                         (id, row)
                     })
                     .collect();
@@ -457,9 +458,9 @@ impl RelationalDb {
                 Ok(QueryResult::Count(n as u64))
             }
             Query::Batch(_) => Err(DbError::Unsupported("batches (use a transaction)")),
-            Query::Search { .. } | Query::Aggregate { .. } => {
-                Err(DbError::Unsupported("full-text search on relational engine"))
-            }
+            Query::Search { .. } | Query::Aggregate { .. } => Err(DbError::Unsupported(
+                "full-text search on relational engine",
+            )),
             Query::AddEdge { .. } | Query::RemoveEdge { .. } | Query::Traverse { .. } => {
                 Err(DbError::Unsupported("graph queries on relational engine"))
             }
@@ -686,7 +687,8 @@ mod tests {
     #[test]
     fn id_after_with_limit_pages_the_table_in_order() {
         let db = db();
-        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Query::CreateTable { table: "t".into() })
+            .unwrap();
         for id in 1..=7 {
             insert(&db, "t", id, row(&[("n", (id as i64).into())]));
         }
@@ -716,7 +718,8 @@ mod tests {
     #[test]
     fn returning_echoes_written_rows_on_postgres() {
         let db = db();
-        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Query::CreateTable { table: "t".into() })
+            .unwrap();
         let res = insert(&db, "t", 1, row(&[("a", 1.into())]));
         assert!(matches!(res, QueryResult::Rows(_)));
     }
@@ -724,7 +727,8 @@ mod tests {
     #[test]
     fn mysql_returns_only_affected_ids() {
         let db = profiles::mysql(LatencyModel::off());
-        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Query::CreateTable { table: "t".into() })
+            .unwrap();
         let res = insert(&db, "t", 1, row(&[("a", 1.into())]));
         assert_eq!(res, QueryResult::AffectedIds(vec![Id(1)]));
         let res = db
@@ -741,7 +745,8 @@ mod tests {
     #[test]
     fn duplicate_key_rejected() {
         let db = db();
-        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Query::CreateTable { table: "t".into() })
+            .unwrap();
         insert(&db, "t", 1, Row::new());
         let err = db
             .execute(&Query::Insert {
@@ -785,7 +790,8 @@ mod tests {
     #[test]
     fn update_with_filter_changes_all_matches() {
         let db = db();
-        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Query::CreateTable { table: "t".into() })
+            .unwrap();
         for i in 1..=3 {
             insert(&db, "t", i, row(&[("group", "a".into())]));
         }
@@ -804,7 +810,8 @@ mod tests {
     #[test]
     fn delete_removes_rows_and_returns_them() {
         let db = db();
-        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Query::CreateTable { table: "t".into() })
+            .unwrap();
         insert(&db, "t", 1, row(&[("a", 1.into())]));
         let res = db
             .execute(&Query::Delete {
@@ -827,7 +834,8 @@ mod tests {
     #[test]
     fn secondary_index_serves_eq_filters() {
         let db = db();
-        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Query::CreateTable { table: "t".into() })
+            .unwrap();
         for i in 1..=100 {
             insert(&db, "t", i, row(&[("bucket", Value::Int((i % 10) as i64))]));
         }
@@ -867,7 +875,8 @@ mod tests {
     #[test]
     fn select_order_and_limit() {
         let db = db();
-        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Query::CreateTable { table: "t".into() })
+            .unwrap();
         for (i, n) in [(1u64, 30i64), (2, 10), (3, 20)] {
             insert(&db, "t", i, row(&[("n", n.into())]));
         }
@@ -891,7 +900,8 @@ mod tests {
     #[test]
     fn txn_isolation_until_commit() {
         let db = db();
-        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Query::CreateTable { table: "t".into() })
+            .unwrap();
         let txn = db.begin().unwrap();
         db.execute_in(
             txn,
@@ -941,7 +951,8 @@ mod tests {
     #[test]
     fn rollback_discards_staged_writes_and_releases_locks() {
         let db = db();
-        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Query::CreateTable { table: "t".into() })
+            .unwrap();
         insert(&db, "t", 1, row(&[("a", 1.into())]));
         let txn = db.begin().unwrap();
         db.execute_in(
@@ -979,7 +990,8 @@ mod tests {
     #[test]
     fn prepared_txn_rejects_further_queries() {
         let db = db();
-        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Query::CreateTable { table: "t".into() })
+            .unwrap();
         let txn = db.begin().unwrap();
         db.prepare(txn).unwrap();
         let err = db
@@ -1003,7 +1015,8 @@ mod tests {
         let mut raw = db();
         raw.set_lock_timeout(Duration::from_millis(50));
         let db = Arc::new(raw);
-        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Query::CreateTable { table: "t".into() })
+            .unwrap();
         insert(&db, "t", 1, row(&[("a", 1.into())]));
         let t1 = db.begin().unwrap();
         db.execute_in(
@@ -1034,7 +1047,8 @@ mod tests {
     #[test]
     fn waiting_writer_proceeds_after_commit() {
         let db = Arc::new(db());
-        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Query::CreateTable { table: "t".into() })
+            .unwrap();
         insert(&db, "t", 1, row(&[("a", 1.into())]));
         let t1 = db.begin().unwrap();
         db.execute_in(
@@ -1076,7 +1090,8 @@ mod tests {
     #[test]
     fn stats_track_rows_and_ops() {
         let db = db();
-        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Query::CreateTable { table: "t".into() })
+            .unwrap();
         insert(&db, "t", 1, row(&[("a", 1.into())]));
         let _ = db.execute(&Query::Select {
             table: "t".into(),
@@ -1094,7 +1109,8 @@ mod tests {
     #[test]
     fn filter_matching_on_array_values() {
         let db = db();
-        db.execute(&Query::CreateTable { table: "t".into() }).unwrap();
+        db.execute(&Query::CreateTable { table: "t".into() })
+            .unwrap();
         let tags = synapse_model::varray!["cats", "dogs"];
         insert(&db, "t", 1, row(&[("tags", tags.clone())]));
         let rows = db

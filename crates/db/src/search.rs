@@ -280,7 +280,10 @@ impl Engine for SearchDb {
         }
         if matches!(
             q,
-            Query::Select { .. } | Query::Count { .. } | Query::Search { .. } | Query::Aggregate { .. }
+            Query::Select { .. }
+                | Query::Count { .. }
+                | Query::Search { .. }
+                | Query::Aggregate { .. }
         ) {
             if self.faults.gate_read() {
                 if let Some(snapshot) = self.stale.lock().as_ref() {
@@ -445,10 +448,7 @@ mod tests {
             Analyzer::Standard.tokenize("The Quick, brown FOX!"),
             vec!["quick", "brown", "fox"]
         );
-        assert_eq!(
-            Analyzer::Keyword.tokenize("The Quick"),
-            vec!["the quick"]
-        );
+        assert_eq!(Analyzer::Keyword.tokenize("The Quick"), vec!["the quick"]);
     }
 
     #[test]

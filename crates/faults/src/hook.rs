@@ -84,9 +84,7 @@ impl PhaseHook {
 
     /// Whether every registered fault has fired.
     pub fn exhausted(&self) -> bool {
-        self.faults
-            .values()
-            .all(|fs| fs.iter().all(|f| f.fired))
+        self.faults.values().all(|fs| fs.iter().all(|f| f.fired))
     }
 }
 
@@ -110,7 +108,11 @@ mod tests {
         hook.on_entry("copying", 2, FaultKind::DropMessages { n: 3 });
 
         assert_eq!(hook.enter("copying", &mut injector), 0, "first entry clean");
-        assert_eq!(hook.enter("copying", &mut injector), 1, "second entry fires");
+        assert_eq!(
+            hook.enter("copying", &mut injector),
+            1,
+            "second entry fires"
+        );
         assert_eq!(hook.enter("copying", &mut injector), 0, "no re-fire");
         assert_eq!(injector.stats().drops_scheduled, 3);
         assert_eq!(hook.entries("copying"), 3);
@@ -125,9 +127,17 @@ mod tests {
         hook.on_entry("copying", 1, FaultKind::DropMessages { n: 1 });
         hook.on_entry("copying", 1, FaultKind::BrokerRestart);
 
-        assert_eq!(hook.enter("reconciling", &mut injector), 0, "unregistered phase");
+        assert_eq!(
+            hook.enter("reconciling", &mut injector),
+            0,
+            "unregistered phase"
+        );
         assert_eq!(hook.enter("snapshot", &mut injector), 1);
-        assert_eq!(hook.enter("copying", &mut injector), 2, "both fire in order");
+        assert_eq!(
+            hook.enter("copying", &mut injector),
+            2,
+            "both fire in order"
+        );
         assert_eq!(injector.stats().publish_failures_scheduled, 2);
         assert_eq!(injector.stats().drops_scheduled, 1);
         assert_eq!(injector.stats().broker_restarts, 1);

@@ -158,7 +158,13 @@ mod tests {
     use crate::plan::FaultSpec;
     use synapse_broker::QueueConfig;
 
-    fn harness() -> (Broker, Arc<VersionStore>, Arc<VersionStore>, DbFaults, DbFaults) {
+    fn harness() -> (
+        Broker,
+        Arc<VersionStore>,
+        Arc<VersionStore>,
+        DbFaults,
+        DbFaults,
+    ) {
         let broker = Broker::new();
         broker.declare_queue("q", QueueConfig::default());
         broker.bind("x", "q");

@@ -229,8 +229,7 @@ mod tests {
         for (i, event) in plan.events().iter().enumerate() {
             if let FaultKind::KillShard { side, .. } = event.kind {
                 let healed = plan.events()[i..].iter().any(|later| {
-                    later.at_tick > event.at_tick
-                        && later.kind == FaultKind::ReviveShards { side }
+                    later.at_tick > event.at_tick && later.kind == FaultKind::ReviveShards { side }
                 });
                 assert!(healed, "kill at tick {} never revived", event.at_tick);
             }

@@ -130,11 +130,12 @@ impl Value {
             Value::Int(_) | Value::Float(_) => 8,
             Value::Str(s) => s.len() + 8,
             Value::Array(a) => a.iter().map(Value::approx_size).sum::<usize>() + 16,
-            Value::Map(m) => m
-                .iter()
-                .map(|(k, v)| k.len() + v.approx_size())
-                .sum::<usize>()
-                + 16,
+            Value::Map(m) => {
+                m.iter()
+                    .map(|(k, v)| k.len() + v.approx_size())
+                    .sum::<usize>()
+                    + 16
+            }
         }
     }
 

@@ -372,7 +372,9 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32, ModelError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit"))?;
@@ -496,8 +498,22 @@ mod tests {
     #[test]
     fn decode_rejects_malformed_inputs() {
         for bad in [
-            "", "{", "}", "[1,", "{\"a\"}", "nul", "tru", "01x", "-", "\"abc",
-            "\"\\q\"", "{\"a\":1,}", "[1 2]", "1 2", "\"\\u12\"", "{1:2}",
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\"}",
+            "nul",
+            "tru",
+            "01x",
+            "-",
+            "\"abc",
+            "\"\\q\"",
+            "{\"a\":1,}",
+            "[1 2]",
+            "1 2",
+            "\"\\u12\"",
+            "{1:2}",
         ] {
             assert!(decode(bad).is_err(), "should reject {bad:?}");
         }

@@ -50,8 +50,7 @@ pub type Response = Value;
 
 /// A controller body: business logic acting on the models through the
 /// app's ORM.
-pub type Controller =
-    Arc<dyn Fn(&App, &Request) -> Result<Response, OrmError> + Send + Sync>;
+pub type Controller = Arc<dyn Fn(&App, &Request) -> Result<Response, OrmError> + Send + Sync>;
 
 /// One MVC application: a Synapse node plus a controller registry.
 pub struct App {
@@ -117,8 +116,7 @@ impl App {
             }
             None => synapse_core::with_scope(|| body(self, request)),
         };
-        self.stats
-            .record(controller, start.elapsed(), scope_stats);
+        self.stats.record(controller, start.elapsed(), scope_stats);
         result
     }
 
@@ -131,8 +129,8 @@ impl App {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use synapse_core::{Publication, SynapseConfig};
     use synapse_broker::Broker;
+    use synapse_core::{Publication, SynapseConfig};
     use synapse_db::LatencyModel;
     use synapse_model::{vmap, ModelSchema};
     use synapse_orm::adapters::MongoidAdapter;
@@ -144,7 +142,8 @@ mod tests {
             Broker::new(),
         );
         node.orm().define_model(ModelSchema::open("Post")).unwrap();
-        node.publish(Publication::model("Post").field("body")).unwrap();
+        node.publish(Publication::model("Post").field("body"))
+            .unwrap();
         App::new(node)
     }
 
@@ -185,7 +184,8 @@ mod tests {
             Ok(Value::Null)
         });
         for _ in 0..5 {
-            app.dispatch("posts/create", &Request::as_user(Id(1))).unwrap();
+            app.dispatch("posts/create", &Request::as_user(Id(1)))
+                .unwrap();
             app.dispatch("posts/index", &Request::anonymous()).unwrap();
         }
         let create = app.stats().row("posts/create").unwrap();

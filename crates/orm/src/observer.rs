@@ -17,8 +17,8 @@
 
 use crate::error::OrmError;
 use crate::orm::Orm;
-use synapse_model::{Id, Record, Value};
 use std::collections::BTreeMap;
+use synapse_model::{Id, Record, Value};
 
 /// Kind of a write operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -11,9 +11,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use synapse_db::query::OrderBy;
 use synapse_db::{DbFaults, EngineStats, Filter};
-use synapse_model::{
-    AssociationKind, Id, IdGenerator, ModelSchema, Record, SchemaSet, Value,
-};
+use synapse_model::{AssociationKind, Id, IdGenerator, ModelSchema, Record, SchemaSet, Value};
 
 /// Attribute changes for an update: field name → new value.
 pub type Changes = BTreeMap<String, Value>;
@@ -268,9 +266,7 @@ impl Orm {
         let adapter = self.adapter.clone();
         let record_ref = &record;
         let schema_ref = &schema;
-        let mut stored = self.run_write(&intent, &mut || {
-            adapter.insert(schema_ref, record_ref)
-        })?;
+        let mut stored = self.run_write(&intent, &mut || adapter.insert(schema_ref, record_ref))?;
         self.run_callbacks(model, CallbackPoint::AfterCreate, &mut stored)?;
         Ok(stored)
     }
@@ -312,9 +308,8 @@ impl Orm {
         let adapter = self.adapter.clone();
         let attrs_ref = &merged.attrs;
         let schema_ref = &schema;
-        let mut stored = self.run_write(&intent, &mut || {
-            adapter.update(schema_ref, id, attrs_ref)
-        })?;
+        let mut stored =
+            self.run_write(&intent, &mut || adapter.update(schema_ref, id, attrs_ref))?;
         self.run_callbacks(model, CallbackPoint::AfterUpdate, &mut stored)?;
         Ok(stored)
     }
@@ -430,10 +425,12 @@ impl Orm {
         let assoc = schema
             .associations
             .get(assoc_name)
-            .ok_or_else(|| OrmError::Model(synapse_model::ModelError::UnknownField {
-                model: record.model.clone(),
-                field: assoc_name.to_owned(),
-            }))?
+            .ok_or_else(|| {
+                OrmError::Model(synapse_model::ModelError::UnknownField {
+                    model: record.model.clone(),
+                    field: assoc_name.to_owned(),
+                })
+            })?
             .clone();
         match assoc.kind {
             AssociationKind::BelongsTo => {
@@ -655,7 +652,10 @@ mod tests {
         let (orm, adapter) = sql_orm("postgresql");
         let interests = varray!["cats", "dogs"];
         let u = orm
-            .create("User", vmap! { "name" => "a", "interests" => interests.clone() })
+            .create(
+                "User",
+                vmap! { "name" => "a", "interests" => interests.clone() },
+            )
             .unwrap();
         // Without `serialize`, the stored value is the flattened text.
         assert_eq!(
@@ -677,7 +677,11 @@ mod tests {
         let u2 = orm.update("User", u.id, vmap! { "name" => "b" }).unwrap();
         assert_eq!(u2.get("name").as_str(), Some("b"));
         let gone = orm.destroy("User", u.id).unwrap();
-        assert_eq!(gone.get("name").as_str(), Some("b"), "pre-image via pre-read");
+        assert_eq!(
+            gone.get("name").as_str(),
+            Some("b"),
+            "pre-image via pre-read"
+        );
     }
 
     #[test]

@@ -65,14 +65,18 @@ impl CounterRegistry {
         {
             let counters = self.counters.read();
             if let Some(c) = counters.iter().find(|c| c.name == name) {
-                return Counter { inner: Arc::clone(c) };
+                return Counter {
+                    inner: Arc::clone(c),
+                };
             }
         }
         let mut counters = self.counters.write();
         // Re-check under the write lock: another thread may have raced the
         // registration between our read and write acquisitions.
         if let Some(c) = counters.iter().find(|c| c.name == name) {
-            return Counter { inner: Arc::clone(c) };
+            return Counter {
+                inner: Arc::clone(c),
+            };
         }
         let inner = Arc::new(CounterInner {
             name: name.to_owned(),

@@ -60,6 +60,11 @@ pub struct Telemetry {
     /// in nanoseconds — one recording per restart that had state to
     /// recover, so the histogram doubles as a restart counter.
     recovery: Histogram,
+    /// Durations of conflict resolutions (multi-writer replication), in
+    /// nanoseconds — one recording per concurrent write pair handed to a
+    /// resolver, so the histogram also counts detected conflicts that
+    /// reached resolution.
+    resolution: Histogram,
 }
 
 impl Telemetry {
@@ -74,6 +79,7 @@ impl Telemetry {
             controllers: ControllerStats::new(),
             delivered: Default::default(),
             recovery: Histogram::new(),
+            resolution: Histogram::new(),
         }
     }
 
@@ -108,6 +114,17 @@ impl Telemetry {
         self.recovery.record(nanos);
     }
 
+    /// The conflict-resolution latency histogram: one recording per
+    /// concurrent write pair handed to a resolver.
+    pub fn resolution_histogram(&self) -> &Histogram {
+        &self.resolution
+    }
+
+    /// Records one conflict resolution's duration.
+    pub fn record_resolution(&self, nanos: u64) {
+        self.resolution.record(nanos);
+    }
+
     /// Records one stage duration.
     pub fn record_stage(&self, mode: ModeSlice, stage: Stage, nanos: u64) {
         self.pipeline.record(mode, stage, nanos);
@@ -128,11 +145,13 @@ impl Telemetry {
         apply_nanos: u64,
         end_to_end_nanos: u64,
     ) {
-        self.pipeline.record(mode, Stage::QueueResidency, residency_nanos);
+        self.pipeline
+            .record(mode, Stage::QueueResidency, residency_nanos);
         self.pipeline.record(mode, Stage::PopBatch, pop_nanos);
         self.pipeline.record(mode, Stage::DepWait, dep_wait_nanos);
         self.pipeline.record(mode, Stage::Apply, apply_nanos);
-        self.pipeline.record(mode, Stage::EndToEnd, end_to_end_nanos);
+        self.pipeline
+            .record(mode, Stage::EndToEnd, end_to_end_nanos);
         self.delivered[mode.index()].fetch_add(1, Ordering::Relaxed);
         self.ring.push(mode, Stage::EndToEnd, end_to_end_nanos);
     }
@@ -157,10 +176,24 @@ impl Telemetry {
         snap.events_dropped = self.ring.dropped();
         let recovery = self.recovery.snapshot();
         if recovery.count > 0 {
-            snap.counters.push(("recovery.passes".into(), recovery.count));
-            snap.counters.push(("recovery.duration_p50_nanos".into(), recovery.p50()));
-            snap.counters.push(("recovery.duration_p99_nanos".into(), recovery.p99()));
-            snap.counters.push(("recovery.duration_total_nanos".into(), recovery.sum));
+            snap.counters
+                .push(("recovery.passes".into(), recovery.count));
+            snap.counters
+                .push(("recovery.duration_p50_nanos".into(), recovery.p50()));
+            snap.counters
+                .push(("recovery.duration_p99_nanos".into(), recovery.p99()));
+            snap.counters
+                .push(("recovery.duration_total_nanos".into(), recovery.sum));
+            snap.counters.sort();
+        }
+        let resolution = self.resolution.snapshot();
+        if resolution.count > 0 {
+            snap.counters
+                .push(("conflicts.resolution_p50_nanos".into(), resolution.p50()));
+            snap.counters
+                .push(("conflicts.resolution_p99_nanos".into(), resolution.p99()));
+            snap.counters
+                .push(("conflicts.resolution_total_nanos".into(), resolution.sum));
             snap.counters.sort();
         }
         snap
@@ -193,7 +226,8 @@ mod tests {
         assert_eq!(snap.delivered[ModeSlice::Causal.index()], 2);
         assert_eq!(snap.delivered[ModeSlice::Weak.index()], 1);
         assert_eq!(snap.delivered[ModeSlice::Global.index()], 0);
-        snap.check_consistency().expect("visible records are consistent");
+        snap.check_consistency()
+            .expect("visible records are consistent");
         assert_eq!(snap.events, 3);
     }
 
@@ -202,7 +236,10 @@ mod tests {
         let t = Telemetry::new(true);
         let clean = t.snapshot();
         assert!(
-            clean.counters.iter().all(|(k, _)| !k.starts_with("recovery.")),
+            clean
+                .counters
+                .iter()
+                .all(|(k, _)| !k.starts_with("recovery.")),
             "no recovery counters before any recovery pass"
         );
         t.record_recovery(1_000);
@@ -213,6 +250,26 @@ mod tests {
         assert_eq!(get("recovery.duration_total_nanos"), Some(3_000));
         assert!(get("recovery.duration_p50_nanos").unwrap() >= 1_000);
         assert_eq!(t.recovery_histogram().count(), 2);
+    }
+
+    #[test]
+    fn resolution_histogram_folds_into_counters() {
+        let t = Telemetry::new(true);
+        let clean = t.snapshot();
+        assert!(
+            clean
+                .counters
+                .iter()
+                .all(|(k, _)| !k.starts_with("conflicts.")),
+            "no conflict counters before any resolution"
+        );
+        t.record_resolution(500);
+        t.record_resolution(1_500);
+        let snap = t.snapshot();
+        let get = |k: &str| snap.counters.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        assert_eq!(get("conflicts.resolution_total_nanos"), Some(2_000));
+        assert!(get("conflicts.resolution_p99_nanos").unwrap() >= 1_500);
+        assert_eq!(t.resolution_histogram().count(), 2);
     }
 
     #[test]

@@ -196,6 +196,9 @@ mod tests {
         assert_eq!(p.histogram(ModeSlice::Global, Stage::DepWait).count(), 1);
         assert_eq!(p.histogram(ModeSlice::Weak, Stage::DepWait).count(), 0);
         let snap = p.snapshot();
-        assert_eq!(snap[ModeSlice::Causal.index()][Stage::DepWait.index()].count, 2);
+        assert_eq!(
+            snap[ModeSlice::Causal.index()][Stage::DepWait.index()].count,
+            2
+        );
     }
 }

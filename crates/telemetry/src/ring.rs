@@ -95,8 +95,7 @@ impl EventRing {
     /// concurrently with the scan may be missed or partially reordered —
     /// the ring is a debugging aid, not a ledger.
     pub fn snapshot(&self) -> Vec<TelemetryEvent> {
-        let mut out: Vec<TelemetryEvent> =
-            self.slots.iter().filter_map(|s| *s.lock()).collect();
+        let mut out: Vec<TelemetryEvent> = self.slots.iter().filter_map(|s| *s.lock()).collect();
         out.sort_by_key(|e| e.seq);
         out
     }

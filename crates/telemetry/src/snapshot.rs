@@ -285,7 +285,8 @@ impl TelemetrySnapshot {
             }
             let fields: Vec<&str> = line.split(' ').collect();
             let parse = |s: &str| -> Result<u64, String> {
-                s.parse::<u64>().map_err(|e| format!("bad number {s:?}: {e}"))
+                s.parse::<u64>()
+                    .map_err(|e| format!("bad number {s:?}: {e}"))
             };
             match fields.as_slice() {
                 ["delivered", mode, n] => {
@@ -350,15 +351,14 @@ mod tests {
     fn from_wire_rejects_garbage() {
         assert!(TelemetrySnapshot::from_wire("nope/v0\n").is_err());
         assert!(TelemetrySnapshot::from_wire("telemetry/v1\nstage bad").is_err());
-        assert!(
-            TelemetrySnapshot::from_wire("telemetry/v1\ndelivered sideways 3\n").is_err()
-        );
+        assert!(TelemetrySnapshot::from_wire("telemetry/v1\ndelivered sideways 3\n").is_err());
     }
 
     #[test]
     fn consistency_holds_for_visible_commits() {
         let snap = populated();
-        snap.check_consistency().expect("committed records consistent");
+        snap.check_consistency()
+            .expect("committed records consistent");
         assert_eq!(snap.total_delivered(), 2);
         assert!(snap.has_deliveries());
         assert_eq!(snap.counter("publisher.messages"), 2);

@@ -25,11 +25,14 @@
 pub mod generation;
 pub mod ring;
 pub mod store;
+pub mod vector;
 pub mod watermark;
 
 pub use generation::GenerationStore;
 pub use ring::HashRing;
 pub use store::{
-    BumpScratch, DepKey, DepWaitSet, StoreError, StoreTimingSnapshot, VersionStore, WaitOutcome,
+    BumpScratch, DepKey, DepWaitSet, DumpEntry, StoreError, StoreTimingSnapshot, VectorAdmit,
+    VersionStore, WaitOutcome,
 };
+pub use vector::{Dominance, VersionVector, INLINE_COMPONENTS, LEGACY_WRITER};
 pub use watermark::WatermarkGate;

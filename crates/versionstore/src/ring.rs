@@ -84,10 +84,7 @@ mod tests {
             counts[ring.route(k)] += 1;
         }
         for (i, c) in counts.iter().enumerate() {
-            assert!(
-                (5_000..15_000).contains(c),
-                "shard {i} got {c} of 80k keys"
-            );
+            assert!((5_000..15_000).contains(c), "shard {i} got {c} of 80k keys");
         }
     }
 

@@ -1,6 +1,7 @@
 //! The sharded version store and its atomic scripts.
 
 use crate::ring::HashRing;
+use crate::vector::{Dominance, VersionVector, LEGACY_WRITER};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -42,6 +43,30 @@ pub enum WaitOutcome {
     /// The deadline passed with at least one dependency unsatisfied —
     /// the situation behind the §6.5 production deadlock.
     TimedOut,
+}
+
+/// Outcome of a vector freshness check ([`VersionStore::advance_vector`]):
+/// the dominance classification of an incoming write against the stored
+/// per-object vector, with the store's LWW verdict attached when the two
+/// are concurrent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VectorAdmit {
+    /// The incoming write dominates (or equals) everything applied so far:
+    /// apply it. Equal vectors re-apply, preserving the scalar-era
+    /// redelivery semantics.
+    Fresh,
+    /// The stored vector dominates the incoming write: it is stale,
+    /// discard it.
+    Stale,
+    /// Neither history contains the other — a genuine multi-writer
+    /// conflict. `lww_wins` is the store's default verdict: whether the
+    /// incoming version's LWW stamp (history length, then writer id)
+    /// beats the stamp of the content currently stored. The resolver
+    /// plane may honor it (LWW) or ignore it (merge callbacks).
+    Concurrent {
+        /// Whether the incoming version wins last-writer-wins.
+        lww_wins: bool,
+    },
 }
 
 /// Caller-owned scratch buffers for [`VersionStore::publish_bump_into`].
@@ -108,23 +133,86 @@ pub struct StoreTimingSnapshot {
     pub wait_nanos: u64,
 }
 
-/// Per-dependency counters. On the publisher both counters are used; on a
-/// subscriber only `ops` is (plus `version` for the weak-mode
-/// latest-version check).
+/// Per-dependency counters. On the publisher `ops` and the (legacy
+/// component of the) vector are used; on a subscriber `ops` plus the full
+/// per-writer vector for the freshness/dominance check.
 ///
-/// `versioned` records whether `version` was ever *explicitly* written for
-/// this key (by a live apply's freshness mark or an admitted bootstrap
-/// copy) — an entry created as a side effect of `ops` bookkeeping has
-/// `version == 0` without meaning "version 0 was observed". Bootstrap
+/// `versioned` records whether the vector was ever *explicitly* written
+/// for this key (by a live apply's freshness mark or an admitted bootstrap
+/// copy) — an entry created as a side effect of `ops` bookkeeping has an
+/// empty vector without meaning "version 0 was observed". Bootstrap
 /// reconciliation needs the distinction: a copy with marker 0 must be
 /// admitted against a never-versioned key (a row created before any
 /// subscriber existed) but discarded against a key whose version 0 was
 /// recorded by an applied destroy (the deleted-row-resurrection bug).
-#[derive(Debug, Default, Clone, Copy)]
+///
+/// `winner_sum`/`winner_writer` are the LWW stamp of the content the
+/// replica currently holds for the key: the stamp of the last version that
+/// won admission (fresh apply or concurrent LWW win). Stamps only ever
+/// increase — a dominating version's history is strictly longer than what
+/// it dominates — so "keep the max stamp" is order-independent and two
+/// replicas that see the same writes converge on the same winner.
+#[derive(Debug, Default, Clone)]
 struct Entry {
     ops: u64,
-    version: u64,
+    vector: VersionVector,
+    winner_sum: u64,
+    winner_writer: u64,
     versioned: bool,
+}
+
+impl Entry {
+    /// Folds `stamp` into the winner stamp, returning whether it won.
+    fn note_stamp(&mut self, stamp: (u64, u64)) -> bool {
+        if stamp > (self.winner_sum, self.winner_writer) {
+            self.winner_sum = stamp.0;
+            self.winner_writer = stamp.1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One durable version-store entry — the on-disk form of [`Entry`]. Unlike
+/// the bootstrap snapshot (`(key, ops)` pairs), a dump carries the full
+/// per-writer vector, the explicit-write flag, and the LWW winner stamp,
+/// so freshness marks, destroy tombstones, bootstrap watermarks, *and*
+/// conflict-resolution state survive a crash-restart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DumpEntry {
+    /// The dependency key.
+    pub key: DepKey,
+    /// The dependency-counter value.
+    pub ops: u64,
+    /// Whether the vector was ever explicitly written (tombstones!).
+    pub versioned: bool,
+    /// LWW stamp of the currently-held content: total history length.
+    pub winner_sum: u64,
+    /// LWW stamp of the currently-held content: tie-break writer id.
+    pub winner_writer: u64,
+    /// Sorted `(writer, counter)` vector components.
+    pub vector: Vec<(u64, u64)>,
+}
+
+impl DumpEntry {
+    /// A scalar-era (pre-vector) entry: the legacy `(key, ops, version,
+    /// versioned)` tuple, mapped onto the reserved legacy writer — the
+    /// form old-format snapshots decode into.
+    pub fn scalar(key: DepKey, ops: u64, version: u64, versioned: bool) -> Self {
+        DumpEntry {
+            key,
+            ops,
+            versioned,
+            winner_sum: version,
+            winner_writer: LEGACY_WRITER,
+            vector: if version > 0 {
+                vec![(LEGACY_WRITER, version)]
+            } else {
+                Vec::new()
+            },
+        }
+    }
 }
 
 #[derive(Default)]
@@ -186,7 +274,10 @@ impl VersionStore {
     /// Key-routed operations fail only when one of *their* shards is dead.
     fn check_shards_alive(&self, keys: &[DepKey]) -> Result<(), StoreError> {
         for key in keys {
-            if self.shards[self.ring.route(*key)].dead.load(Ordering::SeqCst) {
+            if self.shards[self.ring.route(*key)]
+                .dead
+                .load(Ordering::SeqCst)
+            {
                 return Err(StoreError::Dead);
             }
         }
@@ -253,9 +344,7 @@ impl VersionStore {
     /// dependency picture (§4.2), and recovery (generation bump + flush or
     /// bootstrap) is whole-store.
     pub fn is_dead(&self) -> bool {
-        self.shards
-            .iter()
-            .any(|s| s.dead.load(Ordering::SeqCst))
+        self.shards.iter().any(|s| s.dead.load(Ordering::SeqCst))
     }
 
     /// Locks every shard named in `routes` in index order (cross-shard
@@ -325,10 +414,14 @@ impl VersionStore {
             let entry = guard.entry(*key).or_default();
             entry.ops += 1;
             let value = if *is_write {
-                entry.version = entry.ops;
-                entry.version - 1
+                // The publisher's own version mark rides the legacy
+                // component: a pub-store entry has exactly one writer —
+                // this store's owner — so the unattributed slot is its
+                // natural home and dumps stay readable as scalars.
+                entry.vector.set(LEGACY_WRITER, entry.ops);
+                entry.ops - 1
             } else {
-                entry.version
+                entry.vector.max_counter()
             };
             out.push((*key, value));
         }
@@ -493,73 +586,143 @@ impl VersionStore {
         Ok(())
     }
 
-    /// Freshness check: records `version` as the latest seen for `key` and
-    /// returns `true`, or returns `false` if a strictly newer version was
-    /// already recorded (the message is stale and must be discarded — §4.2:
-    /// "the subscriber also discards any messages with a version lower than
-    /// what is stored"). An *equal* version re-applies: the freshness mark
-    /// is written before the engine apply, so a redelivery after a transient
-    /// apply failure must be allowed through rather than dropped — replicated
-    /// applies are idempotent upserts, so re-applying is safe and dropping
-    /// would lose the write.
-    pub fn advance_latest(&self, key: DepKey, version: u64) -> Result<bool, StoreError> {
+    /// Vector freshness check — the multi-writer generalization of the
+    /// scalar `advance_latest`. Classifies `incoming` (the write's version
+    /// vector, authored by `writer`) against the stored vector:
+    ///
+    /// * **dominates or equal** → [`VectorAdmit::Fresh`]: the stored
+    ///   vector advances to the join and the write must be applied. Equal
+    ///   vectors re-apply — the freshness mark is written before the
+    ///   engine apply, so a redelivery after a transient apply failure
+    ///   must pass rather than be dropped (applies are idempotent
+    ///   upserts).
+    /// * **dominated** → [`VectorAdmit::Stale`]: discard (§4.2: "the
+    ///   subscriber also discards any messages with a version lower than
+    ///   what is stored").
+    /// * **concurrent** → [`VectorAdmit::Concurrent`]: the stored vector
+    ///   still advances to the join (both histories are now known here)
+    ///   and the LWW verdict is returned for the resolver plane. The
+    ///   winner stamp is folded in either way, so replicas converge on
+    ///   the max-stamp version no matter the delivery order.
+    pub fn advance_vector(
+        &self,
+        key: DepKey,
+        incoming: &VersionVector,
+        writer: u64,
+    ) -> Result<VectorAdmit, StoreError> {
         self.check_shards_alive(&[key])?;
         let shard = &self.shards[self.ring.route(key)];
         let mut entries = shard.entries.lock();
         let entry = entries.entry(key).or_default();
-        if version >= entry.version {
-            entry.version = version;
-            entry.versioned = true;
-            Ok(true)
-        } else {
-            Ok(false)
+        let stamp = incoming.lww_stamp(writer);
+        match incoming.compare(&entry.vector) {
+            Dominance::Dominates | Dominance::Equal => {
+                entry.vector.join(incoming);
+                entry.versioned = true;
+                entry.note_stamp(stamp);
+                Ok(VectorAdmit::Fresh)
+            }
+            Dominance::Dominated => Ok(VectorAdmit::Stale),
+            Dominance::Concurrent => {
+                entry.vector.join(incoming);
+                entry.versioned = true;
+                let lww_wins = entry.note_stamp(stamp);
+                Ok(VectorAdmit::Concurrent { lww_wins })
+            }
         }
     }
 
-    /// Bootstrap-copy admission check: records `marker` as the latest
-    /// version for `key` and returns `true` iff the copy is fresher than
-    /// everything the live stream has applied. Unlike
-    /// [`VersionStore::advance_latest`], equal versions are *discarded*:
+    /// Scalar freshness check: records `version` as the latest seen for
+    /// `key` and returns `true`, or `false` if a strictly newer version was
+    /// already recorded. Equal versions re-apply (redelivery). This is the
+    /// single-writer view of [`VersionStore::advance_vector`] — the scalar
+    /// rides the legacy vector component, whose floor semantics reproduce
+    /// the old `version >= stored` comparison exactly.
+    pub fn advance_latest(&self, key: DepKey, version: u64) -> Result<bool, StoreError> {
+        Ok(matches!(
+            self.advance_vector(key, &VersionVector::scalar(version), LEGACY_WRITER)?,
+            VectorAdmit::Fresh
+        ))
+    }
+
+    /// Bootstrap-copy admission check against a full vector: admits the
+    /// copy iff the key was never explicitly versioned or the copy's
+    /// vector *strictly dominates* the stored one. Unlike
+    /// [`VersionStore::advance_vector`], equal vectors are *discarded* —
     /// a copy that ties with an applied live write is the same publisher
     /// operation observed twice, and the live apply already holds the
-    /// authoritative payload — re-upserting the copy could resurrect a
-    /// row the live stream has since destroyed. A never-versioned key
-    /// admits any marker (including 0: rows created before the copy
-    /// started carry marker 0 and no live write has touched them).
-    pub fn admit_copy(&self, key: DepKey, marker: u64) -> Result<bool, StoreError> {
+    /// authoritative payload — and so are concurrent ones: ties (and
+    /// races) lose to the live stream, which resolves conflicts with full
+    /// context while a copy is just a point-in-time row image.
+    pub fn admit_copy_vector(
+        &self,
+        key: DepKey,
+        incoming: &VersionVector,
+        writer: u64,
+    ) -> Result<bool, StoreError> {
         self.check_shards_alive(&[key])?;
         let shard = &self.shards[self.ring.route(key)];
         let mut entries = shard.entries.lock();
         let entry = entries.entry(key).or_default();
-        if !entry.versioned || marker > entry.version {
-            entry.version = marker;
+        let admit = !entry.versioned || incoming.compare(&entry.vector) == Dominance::Dominates;
+        if admit {
+            entry.vector.join(incoming);
             entry.versioned = true;
-            Ok(true)
-        } else {
-            Ok(false)
+            entry.note_stamp(incoming.lww_stamp(writer));
         }
+        Ok(admit)
     }
 
-    /// Reads a key's recorded latest version (0 when absent). Used by the
-    /// bootstrap copier to capture each record's publisher-side version and
-    /// to read back chunk watermarks.
+    /// Scalar bootstrap-copy admission: a never-versioned key admits any
+    /// marker (including 0: rows created before the copy started carry
+    /// marker 0 and no live write has touched them); otherwise the marker
+    /// must be strictly newer than the recorded version — ties lose to
+    /// the live stream (the deleted-row-resurrection rule).
+    pub fn admit_copy(&self, key: DepKey, marker: u64) -> Result<bool, StoreError> {
+        self.admit_copy_vector(key, &VersionVector::scalar(marker), LEGACY_WRITER)
+    }
+
+    /// Reads a key's recorded latest version as a scalar — the largest
+    /// vector component (0 when absent). Used by the bootstrap copier to
+    /// capture each record's publisher-side version and to read back chunk
+    /// watermarks (which only ever carry the legacy component).
     pub fn latest_version(&self, key: DepKey) -> Result<u64, StoreError> {
         self.check_shards_alive(&[key])?;
         let shard = &self.shards[self.ring.route(key)];
         let entries = shard.entries.lock();
-        Ok(entries.get(&key).map(|e| e.version).unwrap_or(0))
+        Ok(entries
+            .get(&key)
+            .map(|e| e.vector.max_counter())
+            .unwrap_or(0))
+    }
+
+    /// Reads a key's full recorded version vector (empty when absent).
+    /// The publisher stamps outgoing writes of bidirectional models with
+    /// this (joined with its own bumped component), so a write advertises
+    /// every foreign write it causally follows.
+    pub fn latest_vector(&self, key: DepKey) -> Result<VersionVector, StoreError> {
+        self.check_shards_alive(&[key])?;
+        let shard = &self.shards[self.ring.route(key)];
+        let entries = shard.entries.lock();
+        Ok(entries
+            .get(&key)
+            .map(|e| e.vector.clone())
+            .unwrap_or_default())
     }
 
     /// Bootstrap watermark compare-and-load: keeps the max of `value` and
     /// the stored version for `key`, returning whatever ends up stored.
     /// Monotone, so a retried chunk can never move a watermark backwards.
+    /// Watermarks live on the legacy vector component — they are plain
+    /// resume cursors, not multi-writer histories.
     pub fn load_watermark(&self, key: DepKey, value: u64) -> Result<u64, StoreError> {
         self.check_shards_alive(&[key])?;
         let shard = &self.shards[self.ring.route(key)];
         let mut entries = shard.entries.lock();
         let entry = entries.entry(key).or_default();
-        entry.version = entry.version.max(value);
-        Ok(entry.version)
+        let stored = entry.vector.get(LEGACY_WRITER).max(value);
+        entry.vector.set(LEGACY_WRITER, stored);
+        Ok(stored)
     }
 
     /// Drops a bootstrap watermark (resets the key's version to 0). Called
@@ -571,7 +734,7 @@ impl VersionStore {
         let shard = &self.shards[self.ring.route(key)];
         let mut entries = shard.entries.lock();
         if let Some(entry) = entries.get_mut(&key) {
-            entry.version = 0;
+            entry.vector.set(LEGACY_WRITER, 0);
         }
         Ok(())
     }
@@ -621,47 +784,53 @@ impl VersionStore {
         Ok(())
     }
 
-    /// Bulk-dumps all entries as `(key, ops, version, versioned)` — the
-    /// durability plane's snapshot form. Unlike [`VersionStore::snapshot`]
-    /// (the §4.4 bootstrap bulk-send, which carries only `ops`), a dump
-    /// also carries each entry's `version` and its explicit-write flag, so
-    /// freshness marks, destroy tombstones (version 0 with the flag set),
-    /// *and* bootstrap watermarks (stored as versions under reserved keys)
-    /// survive a crash-restart. Sorted by key for a deterministic on-disk
-    /// image.
-    pub fn dump(&self) -> Result<Vec<(DepKey, u64, u64, bool)>, StoreError> {
+    /// Bulk-dumps all entries as [`DumpEntry`] values — the durability
+    /// plane's snapshot form. Unlike [`VersionStore::snapshot`] (the §4.4
+    /// bootstrap bulk-send, which carries only `ops`), a dump also carries
+    /// each entry's full version vector, its explicit-write flag, and its
+    /// LWW winner stamp, so freshness marks, destroy tombstones (an empty
+    /// vector with the flag set), bootstrap watermarks, *and* resolution
+    /// state survive a crash-restart. Sorted by key for a deterministic
+    /// on-disk image.
+    pub fn dump(&self) -> Result<Vec<DumpEntry>, StoreError> {
         self.check_alive()?;
         let mut out = Vec::new();
         for shard in &self.shards {
             let entries = shard.entries.lock();
-            out.extend(
-                entries
-                    .iter()
-                    .map(|(k, e)| (*k, e.ops, e.version, e.versioned)),
-            );
+            out.extend(entries.iter().map(|(k, e)| DumpEntry {
+                key: *k,
+                ops: e.ops,
+                versioned: e.versioned,
+                winner_sum: e.winner_sum,
+                winner_writer: e.winner_writer,
+                vector: e.vector.components().to_vec(),
+            }));
         }
-        out.sort_unstable();
+        out.sort_unstable_by_key(|e| e.key);
         Ok(out)
     }
 
-    /// Bulk-loads `(key, ops, version, versioned)` tuples, keeping the max
-    /// of each counter (and the OR of the explicit-write flag) against any
-    /// existing entry, and wakes waiters on touched shards. Max-merge makes
-    /// the load idempotent and safe to combine with live traffic racing in
-    /// after recovery.
-    pub fn load_dump(&self, entries: &[(DepKey, u64, u64, bool)]) -> Result<(), StoreError> {
+    /// Bulk-loads [`DumpEntry`] values, keeping the max of each counter
+    /// (component-wise for the vector, stamp-wise for the winner, OR for
+    /// the explicit-write flag) against any existing entry, and wakes
+    /// waiters on touched shards. Max-merge makes the load idempotent and
+    /// safe to combine with live traffic racing in after recovery.
+    pub fn load_dump(&self, entries: &[DumpEntry]) -> Result<(), StoreError> {
         self.check_alive()?;
-        let routes: Vec<usize> = entries.iter().map(|(k, ..)| self.ring.route(*k)).collect();
+        let routes: Vec<usize> = entries.iter().map(|e| self.ring.route(e.key)).collect();
         let mut guards = self.lock_routed(&routes);
-        for ((key, ops, version, versioned), shard_idx) in entries.iter().zip(&routes) {
+        for (dumped, shard_idx) in entries.iter().zip(&routes) {
             let entry = guards[*shard_idx]
                 .as_mut()
                 .expect("routed shard locked")
-                .entry(*key)
+                .entry(dumped.key)
                 .or_default();
-            entry.ops = entry.ops.max(*ops);
-            entry.version = entry.version.max(*version);
-            entry.versioned |= *versioned;
+            entry.ops = entry.ops.max(dumped.ops);
+            entry
+                .vector
+                .join(&VersionVector::from_components(&dumped.vector));
+            entry.versioned |= dumped.versioned;
+            entry.note_stamp((dumped.winner_sum, dumped.winner_writer));
         }
         for (i, guard) in guards.into_iter().enumerate() {
             if let Some(guard) = guard {
@@ -685,10 +854,7 @@ impl VersionStore {
 
     /// Number of entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.entries.lock().len())
-            .sum()
+        self.shards.iter().map(|s| s.entries.lock().len()).sum()
     }
 
     /// Returns `true` if the store holds no entries.
@@ -954,7 +1120,10 @@ mod tests {
         store.publish_bump(&[(1, true)]).unwrap();
         store.load_watermark(9, 42).unwrap();
         let dump = store.dump().unwrap();
-        assert!(dump.windows(2).all(|w| w[0].0 < w[1].0), "sorted by key");
+        assert!(
+            dump.windows(2).all(|w| w[0].key < w[1].key),
+            "sorted by key"
+        );
 
         let restored = VersionStore::new(2);
         restored.load_dump(&dump).unwrap();
@@ -975,11 +1144,15 @@ mod tests {
         store.apply(&[1]).unwrap();
         store.advance_latest(1, 7).unwrap();
         // Stale dump: neither field regresses.
-        store.load_dump(&[(1, 1, 3, false)]).unwrap();
+        store
+            .load_dump(&[DumpEntry::scalar(1, 1, 3, false)])
+            .unwrap();
         assert_eq!(store.ops(1).unwrap(), 2);
         assert_eq!(store.latest_version(1).unwrap(), 7);
         // Newer dump: both fields advance.
-        store.load_dump(&[(1, 10, 12, true)]).unwrap();
+        store
+            .load_dump(&[DumpEntry::scalar(1, 10, 12, true)])
+            .unwrap();
         assert_eq!(store.ops(1).unwrap(), 10);
         assert_eq!(store.latest_version(1).unwrap(), 12);
     }
@@ -996,7 +1169,10 @@ mod tests {
         // explicitly versioned: a marker-0 copy must be admitted.
         store.load_snapshot(&[(1, 1)]).unwrap();
         assert!(store.admit_copy(1, 0).unwrap(), "unversioned key admits");
-        assert!(!store.admit_copy(1, 0).unwrap(), "second identical copy ties");
+        assert!(
+            !store.admit_copy(1, 0).unwrap(),
+            "second identical copy ties"
+        );
 
         // An applied destroy records version 0 explicitly; a stale copy of
         // the pre-delete row (marker 0) must now be discarded.
@@ -1036,8 +1212,129 @@ mod tests {
             thread::spawn(move || store.wait_for(&[(5, 3)], Duration::from_secs(5)).unwrap())
         };
         thread::sleep(Duration::from_millis(30));
-        store.load_dump(&[(5, 3, 3, false)]).unwrap();
+        store
+            .load_dump(&[DumpEntry::scalar(5, 3, 3, false)])
+            .unwrap();
         assert_eq!(waiter.join().unwrap(), WaitOutcome::Ready);
+    }
+
+    /// Two writers advancing disjoint components are classified as
+    /// concurrent; the join is recorded so a causally-later write from
+    /// either side dominates afterwards.
+    #[test]
+    fn advance_vector_classifies_concurrent_writers() {
+        let store = VersionStore::single();
+        let (a, b) = (11u64, 22u64);
+        assert_eq!(
+            store
+                .advance_vector(1, &VersionVector::component(a, 1), a)
+                .unwrap(),
+            VectorAdmit::Fresh
+        );
+        // Writer B never saw A's write: concurrent. B's stamp (1, 22)
+        // beats A's (1, 11) on the writer tie-break.
+        assert_eq!(
+            store
+                .advance_vector(1, &VersionVector::component(b, 1), b)
+                .unwrap(),
+            VectorAdmit::Concurrent { lww_wins: true }
+        );
+        // A write that has seen both components dominates the join.
+        let merged = VersionVector::from_components(&[(a, 2), (b, 1)]);
+        assert_eq!(
+            store.advance_vector(1, &merged, a).unwrap(),
+            VectorAdmit::Fresh
+        );
+        // Anything older than the join is stale.
+        assert_eq!(
+            store
+                .advance_vector(1, &VersionVector::component(a, 1), a)
+                .unwrap(),
+            VectorAdmit::Stale
+        );
+    }
+
+    /// The LWW verdict is order-independent: whichever of two concurrent
+    /// versions arrives second, the max-stamp version ends up the winner
+    /// on every replica.
+    #[test]
+    fn lww_verdict_converges_across_delivery_orders() {
+        let (a, b) = (11u64, 22u64);
+        let va = VersionVector::component(a, 1);
+        let vb = VersionVector::component(b, 1);
+
+        let first = VersionStore::single();
+        first.advance_vector(1, &va, a).unwrap();
+        let verdict_ab = first.advance_vector(1, &vb, b).unwrap();
+
+        let second = VersionStore::single();
+        second.advance_vector(1, &vb, b).unwrap();
+        let verdict_ba = second.advance_vector(1, &va, a).unwrap();
+
+        // B has the higher writer id, so B's version wins on both sides:
+        // delivered second it wins, delivered first it holds.
+        assert_eq!(verdict_ab, VectorAdmit::Concurrent { lww_wins: true });
+        assert_eq!(verdict_ba, VectorAdmit::Concurrent { lww_wins: false });
+    }
+
+    /// Concurrent copies lose to the live stream: only strict vector
+    /// dominance admits a bootstrap row against a versioned key.
+    #[test]
+    fn admit_copy_vector_requires_strict_dominance() {
+        let store = VersionStore::single();
+        let (a, b) = (11u64, 22u64);
+        store
+            .advance_vector(1, &VersionVector::component(a, 2), a)
+            .unwrap();
+        assert!(
+            !store
+                .admit_copy_vector(1, &VersionVector::component(b, 9), b)
+                .unwrap(),
+            "concurrent copy loses to live"
+        );
+        assert!(
+            !store
+                .admit_copy_vector(1, &VersionVector::component(a, 2), a)
+                .unwrap(),
+            "tie loses to live"
+        );
+        let newer = VersionVector::from_components(&[(a, 3), (b, 9)]);
+        assert!(
+            store.admit_copy_vector(1, &newer, a).unwrap(),
+            "strictly dominating copy lands"
+        );
+    }
+
+    /// Vector entries round-trip through dump/load: components, the
+    /// explicit-write flag, and the winner stamp all survive, and the
+    /// merge keeps the max of each.
+    #[test]
+    fn dump_roundtrips_vector_entries() {
+        let store = VersionStore::new(2);
+        let (a, b) = (11u64, 22u64);
+        store
+            .advance_vector(1, &VersionVector::component(a, 1), a)
+            .unwrap();
+        store
+            .advance_vector(1, &VersionVector::component(b, 2), b)
+            .unwrap();
+        let dump = store.dump().unwrap();
+        let entry = dump.iter().find(|e| e.key == 1).unwrap();
+        assert_eq!(entry.vector, vec![(a, 1), (b, 2)]);
+        assert_eq!((entry.winner_sum, entry.winner_writer), (2, b));
+
+        let restored = VersionStore::single();
+        restored.load_dump(&dump).unwrap();
+        let vec_back = restored.latest_vector(1).unwrap();
+        assert_eq!(vec_back.components(), &[(a, 1), (b, 2)]);
+        // The restored stamp still outranks A's version 1: a redelivery
+        // of the loser stays a loser after recovery.
+        assert_eq!(
+            restored
+                .advance_vector(1, &VersionVector::component(a, 1), a)
+                .unwrap(),
+            VectorAdmit::Stale
+        );
     }
 
     #[test]
@@ -1097,7 +1394,9 @@ mod tests {
                 .map(|k| (k * 7 % 13, (k + round).is_multiple_of(3)))
                 .collect();
             let expected = reference.publish_bump(&deps).unwrap();
-            reused.publish_bump_into(&deps, &mut scratch, &mut out).unwrap();
+            reused
+                .publish_bump_into(&deps, &mut scratch, &mut out)
+                .unwrap();
             assert_eq!(out, expected);
         }
     }

@@ -1,0 +1,408 @@
+//! Per-writer version vectors — the multi-writer generalization of the
+//! store's scalar per-object version.
+//!
+//! A [`VersionVector`] maps a *writer id* (the stable hash of the writing
+//! application's name) to that writer's per-object counter. Scalar
+//! versions from the single-writer era live on as component
+//! [`LEGACY_WRITER`] (id 0): a legacy component acts as a *floor* under
+//! every real writer's component when two vectors are compared, because in
+//! the single-writer world each object key had exactly one (unrecorded)
+//! writer — so the unattributed count *is* that writer's count, whichever
+//! writer later claims the key.
+//!
+//! Comparison yields a [`Dominance`]: `Dominates`/`Dominated` when one
+//! side's history contains the other's, `Equal` for identical vectors, and
+//! `Concurrent` when each side has seen writes the other has not — the
+//! case the conflict-resolution plane exists for.
+//!
+//! The representation is a small-vec: up to [`INLINE_COMPONENTS`]
+//! `(writer, counter)` pairs inline (the 1–2 writer common case allocates
+//! nothing), spilling to a heap vector beyond that. Components are kept
+//! sorted by writer id so joins and comparisons are linear merges and the
+//! wire encoding is deterministic.
+
+/// Writer id reserved for unattributed (pre-vector, scalar-era) versions.
+pub const LEGACY_WRITER: u64 = 0;
+
+/// Components stored inline before spilling to the heap.
+pub const INLINE_COMPONENTS: usize = 2;
+
+/// Outcome of comparing two version vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dominance {
+    /// Identical histories.
+    Equal,
+    /// `self` has seen everything `other` has, and more.
+    Dominates,
+    /// `other` has seen everything `self` has, and more.
+    Dominated,
+    /// Each side has seen writes the other has not.
+    Concurrent,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Repr {
+    Inline {
+        len: u8,
+        slots: [(u64, u64); INLINE_COMPONENTS],
+    },
+    Spilled(Vec<(u64, u64)>),
+}
+
+/// A compact per-writer version vector. See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionVector {
+    repr: Repr,
+}
+
+impl Default for VersionVector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VersionVector {
+    /// The empty vector (no writer has a recorded component).
+    pub fn new() -> Self {
+        VersionVector {
+            repr: Repr::Inline {
+                len: 0,
+                slots: [(0, 0); INLINE_COMPONENTS],
+            },
+        }
+    }
+
+    /// A vector with a single `(writer, counter)` component.
+    pub fn component(writer: u64, counter: u64) -> Self {
+        let mut v = Self::new();
+        v.set(writer, counter);
+        v
+    }
+
+    /// A legacy scalar version as a vector (component [`LEGACY_WRITER`]).
+    pub fn scalar(version: u64) -> Self {
+        Self::component(LEGACY_WRITER, version)
+    }
+
+    /// Builds a vector from `(writer, counter)` pairs in any order;
+    /// duplicate writers keep their max.
+    pub fn from_components(components: &[(u64, u64)]) -> Self {
+        let mut v = Self::new();
+        for (writer, counter) in components {
+            if *counter > v.get(*writer) {
+                v.set(*writer, *counter);
+            }
+        }
+        v
+    }
+
+    /// The sorted `(writer, counter)` component slice.
+    pub fn components(&self) -> &[(u64, u64)] {
+        match &self.repr {
+            Repr::Inline { len, slots } => &slots[..*len as usize],
+            Repr::Spilled(v) => v,
+        }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components().len()
+    }
+
+    /// Whether no component is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The counter recorded for `writer` (0 when absent).
+    pub fn get(&self, writer: u64) -> u64 {
+        let comps = self.components();
+        match comps.binary_search_by_key(&writer, |(w, _)| *w) {
+            Ok(i) => comps[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// The largest counter across all components (0 when empty). This is
+    /// the scalar a legacy reader sees — watermark keys and pub-store
+    /// version marks only ever carry the legacy component, so for them it
+    /// reads back exactly the scalar that was stored.
+    pub fn max_counter(&self) -> u64 {
+        self.components().iter().map(|(_, c)| *c).max().unwrap_or(0)
+    }
+
+    /// Sum of all counters — the total-history length the LWW stamp
+    /// orders by.
+    pub fn sum(&self) -> u64 {
+        self.components()
+            .iter()
+            .fold(0u64, |acc, (_, c)| acc.saturating_add(*c))
+    }
+
+    /// Sets `writer`'s component to `counter` (inserting it if absent,
+    /// removing it when `counter` is 0).
+    pub fn set(&mut self, writer: u64, counter: u64) {
+        match &mut self.repr {
+            Repr::Inline { len, slots } => {
+                let n = *len as usize;
+                match slots[..n].binary_search_by_key(&writer, |(w, _)| *w) {
+                    Ok(i) => {
+                        if counter == 0 {
+                            slots.copy_within(i + 1..n, i);
+                            *len -= 1;
+                        } else {
+                            slots[i].1 = counter;
+                        }
+                    }
+                    Err(i) => {
+                        if counter == 0 {
+                            return;
+                        }
+                        if n < INLINE_COMPONENTS {
+                            slots.copy_within(i..n, i + 1);
+                            slots[i] = (writer, counter);
+                            *len += 1;
+                        } else {
+                            let mut spilled = slots[..n].to_vec();
+                            spilled.insert(i, (writer, counter));
+                            self.repr = Repr::Spilled(spilled);
+                        }
+                    }
+                }
+            }
+            Repr::Spilled(v) => match v.binary_search_by_key(&writer, |(w, _)| *w) {
+                Ok(i) => {
+                    if counter == 0 {
+                        v.remove(i);
+                    } else {
+                        v[i].1 = counter;
+                    }
+                }
+                Err(i) => {
+                    if counter != 0 {
+                        v.insert(i, (writer, counter));
+                    }
+                }
+            },
+        }
+    }
+
+    /// Component-wise max with `other` (the lattice join): afterwards
+    /// `self` dominates-or-equals both inputs.
+    pub fn join(&mut self, other: &VersionVector) {
+        for (writer, counter) in other.components() {
+            if *counter > self.get(*writer) {
+                self.set(*writer, *counter);
+            }
+        }
+    }
+
+    /// Whether any component belongs to a real (non-legacy) writer.
+    fn has_real_writers(&self) -> bool {
+        self.components().iter().any(|(w, _)| *w != LEGACY_WRITER)
+    }
+
+    /// Compares the histories of `self` and `other`.
+    ///
+    /// The legacy component (writer 0) floors every real writer's
+    /// component: stored scalar 5 vs incoming `{A: 3}` reads as `A`
+    /// already at 5 — exactly the scalar comparison the single-writer era
+    /// performed, since the unattributed count belonged to the key's one
+    /// writer. When neither side has real writers the legacy components
+    /// compare directly as scalars.
+    pub fn compare(&self, other: &VersionVector) -> Dominance {
+        let a0 = self.get(LEGACY_WRITER);
+        let b0 = other.get(LEGACY_WRITER);
+        if !self.has_real_writers() && !other.has_real_writers() {
+            return match a0.cmp(&b0) {
+                std::cmp::Ordering::Equal => Dominance::Equal,
+                std::cmp::Ordering::Greater => Dominance::Dominates,
+                std::cmp::Ordering::Less => Dominance::Dominated,
+            };
+        }
+        let (mut ahead, mut behind) = (false, false);
+        let a = self.components();
+        let b = other.components();
+        let (mut i, mut j) = (0, 0);
+        loop {
+            let wa = a.get(i).map(|(w, _)| *w);
+            let wb = b.get(j).map(|(w, _)| *w);
+            let writer = match (wa, wb) {
+                (None, None) => break,
+                (Some(w), None) => w,
+                (None, Some(w)) => w,
+                (Some(x), Some(y)) => x.min(y),
+            };
+            if Some(writer) == wa {
+                i += 1;
+            }
+            if Some(writer) == wb {
+                j += 1;
+            }
+            if writer == LEGACY_WRITER {
+                continue;
+            }
+            let av = self.get(writer).max(a0);
+            let bv = other.get(writer).max(b0);
+            if av > bv {
+                ahead = true;
+            } else if bv > av {
+                behind = true;
+            }
+            if ahead && behind {
+                return Dominance::Concurrent;
+            }
+        }
+        match (ahead, behind) {
+            (false, false) => Dominance::Equal,
+            (true, false) => Dominance::Dominates,
+            (false, true) => Dominance::Dominated,
+            (true, true) => Dominance::Concurrent,
+        }
+    }
+
+    /// The LWW stamp `(total history length, tie-break writer)` of a
+    /// version whose vector is `self` and whose writer is `writer` —
+    /// compared lexicographically, so longer histories win and the higher
+    /// writer id breaks exact ties. Distinct versions never share a stamp:
+    /// one writer's successive versions of an object strictly grow its own
+    /// component (so the sum), and equal sums from different writers
+    /// differ in the writer.
+    pub fn lww_stamp(&self, writer: u64) -> (u64, u64) {
+        (self.sum(), writer)
+    }
+}
+
+impl std::fmt::Display for VersionVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, (w, c)) in self.components().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{w}:{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_vector_compares_equal_to_itself() {
+        let v = VersionVector::new();
+        assert!(v.is_empty());
+        assert_eq!(v.compare(&VersionVector::new()), Dominance::Equal);
+        assert_eq!(v.max_counter(), 0);
+        assert_eq!(v.sum(), 0);
+    }
+
+    #[test]
+    fn scalar_vectors_compare_like_scalars() {
+        let a = VersionVector::scalar(5);
+        let b = VersionVector::scalar(3);
+        assert_eq!(a.compare(&b), Dominance::Dominates);
+        assert_eq!(b.compare(&a), Dominance::Dominated);
+        assert_eq!(a.compare(&VersionVector::scalar(5)), Dominance::Equal);
+        assert_eq!(a.compare(&VersionVector::new()), Dominance::Dominates);
+    }
+
+    #[test]
+    fn set_keeps_components_sorted_and_spills_past_inline() {
+        let mut v = VersionVector::new();
+        v.set(30, 3);
+        v.set(10, 1);
+        v.set(20, 2);
+        assert_eq!(v.components(), &[(10, 1), (20, 2), (30, 3)]);
+        assert_eq!(v.get(20), 2);
+        v.set(20, 0);
+        assert_eq!(v.components(), &[(10, 1), (30, 3)]);
+        v.set(10, 7);
+        assert_eq!(v.get(10), 7);
+    }
+
+    #[test]
+    fn inline_removal_compacts_without_spilling() {
+        let mut v = VersionVector::new();
+        v.set(1, 1);
+        v.set(2, 2);
+        v.set(1, 0);
+        assert_eq!(v.components(), &[(2, 2)]);
+        v.set(3, 0);
+        assert_eq!(v.components(), &[(2, 2)]);
+    }
+
+    #[test]
+    fn dominance_detects_concurrency() {
+        let a = VersionVector::from_components(&[(1, 2), (2, 1)]);
+        let b = VersionVector::from_components(&[(1, 1), (2, 3)]);
+        assert_eq!(a.compare(&b), Dominance::Concurrent);
+        assert_eq!(b.compare(&a), Dominance::Concurrent);
+
+        let c = VersionVector::from_components(&[(1, 2), (2, 3)]);
+        assert_eq!(c.compare(&a), Dominance::Dominates);
+        assert_eq!(a.compare(&c), Dominance::Dominated);
+        assert_eq!(c.compare(&c.clone()), Dominance::Equal);
+    }
+
+    #[test]
+    fn one_sided_components_read_as_zero() {
+        let a = VersionVector::component(1, 4);
+        let b = VersionVector::component(2, 4);
+        assert_eq!(a.compare(&b), Dominance::Concurrent);
+        assert_eq!(
+            a.compare(&VersionVector::component(1, 3)),
+            Dominance::Dominates
+        );
+    }
+
+    /// The upgrade path: a stored legacy scalar floors the incoming
+    /// writer's component, reproducing the scalar-era comparison.
+    #[test]
+    fn legacy_component_floors_real_writers() {
+        let stored = VersionVector::scalar(5);
+        assert_eq!(
+            stored.compare(&VersionVector::component(9, 3)),
+            Dominance::Dominates,
+            "legacy 5 vs writer at 3: incoming is stale"
+        );
+        assert_eq!(
+            stored.compare(&VersionVector::component(9, 7)),
+            Dominance::Dominated,
+            "incoming writer moved past the legacy scalar"
+        );
+        assert_eq!(
+            stored.compare(&VersionVector::component(9, 5)),
+            Dominance::Equal,
+            "exact tie readmits, as the scalar >= did"
+        );
+    }
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VersionVector::from_components(&[(1, 2), (2, 1)]);
+        let b = VersionVector::from_components(&[(1, 1), (2, 3), (3, 4)]);
+        a.join(&b);
+        assert_eq!(a.components(), &[(1, 2), (2, 3), (3, 4)]);
+        assert_eq!(a.compare(&b), Dominance::Dominates);
+    }
+
+    #[test]
+    fn lww_stamps_order_by_sum_then_writer() {
+        let a = VersionVector::from_components(&[(1, 2), (2, 1)]);
+        let b = VersionVector::component(2, 3);
+        assert_eq!(a.sum(), 3);
+        assert_eq!(b.sum(), 3);
+        assert!(b.lww_stamp(2) > a.lww_stamp(1), "equal sums: writer breaks");
+        let c = VersionVector::component(1, 4);
+        assert!(c.lww_stamp(1) > b.lww_stamp(2), "longer history wins");
+    }
+
+    #[test]
+    fn display_renders_sorted_components() {
+        let v = VersionVector::from_components(&[(2, 3), (1, 1)]);
+        assert_eq!(v.to_string(), "{1:1, 2:3}");
+    }
+}

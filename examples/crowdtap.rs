@@ -44,7 +44,10 @@ fn main() {
     assert!(eventually(Duration::from_secs(10), || {
         apps.mailer_outbox.lock().len() == users.len()
     }));
-    println!("mailer sent {} welcome emails", apps.mailer_outbox.lock().len());
+    println!(
+        "mailer sent {} welcome emails",
+        apps.mailer_outbox.lock().len()
+    );
 
     // Users complete actions through the Fig. 12(a) controllers.
     for (i, user) in users.iter().enumerate() {

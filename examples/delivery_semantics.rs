@@ -6,9 +6,7 @@
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use synapse_repro::core::{
-    DeliveryMode, Ecosystem, Publication, Subscription, SynapseConfig,
-};
+use synapse_repro::core::{DeliveryMode, Ecosystem, Publication, Subscription, SynapseConfig};
 use synapse_repro::db::LatencyModel;
 use synapse_repro::model::{vmap, ModelSchema};
 use synapse_repro::orm::adapters::MongoidAdapter;
@@ -30,7 +28,10 @@ fn main() {
         SynapseConfig::new("pub"),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    publisher.orm().define_model(ModelSchema::open("Post")).unwrap();
+    publisher
+        .orm()
+        .define_model(ModelSchema::open("Post"))
+        .unwrap();
     publisher
         .publish(Publication::model("Post").fields(&["body", "version"]))
         .unwrap();
@@ -41,7 +42,10 @@ fn main() {
         SynapseConfig::new("causal_sub").wait_timeout(Some(Duration::from_millis(300))),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    causal.orm().define_model(ModelSchema::open("Post")).unwrap();
+    causal
+        .orm()
+        .define_model(ModelSchema::open("Post"))
+        .unwrap();
     causal
         .subscribe(Subscription::model("Post", "pub").fields(&["body", "version"]))
         .unwrap();

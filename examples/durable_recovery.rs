@@ -32,7 +32,10 @@ fn build(
     state_dir: &std::path::Path,
 ) -> (Arc<SynapseNode>, Arc<SynapseNode>) {
     let publisher = eco.add_node(SynapseConfig::new("pub"), pub_db.clone());
-    publisher.orm().define_model(ModelSchema::open("Order")).unwrap();
+    publisher
+        .orm()
+        .define_model(ModelSchema::open("Order"))
+        .unwrap();
     publisher
         .publish(Publication::model("Order").fields(&["item", "qty"]))
         .unwrap();
@@ -43,7 +46,10 @@ fn build(
             .snapshot_every(Some(8)),
         sub_db.clone(),
     );
-    subscriber.orm().define_model(ModelSchema::open("Order")).unwrap();
+    subscriber
+        .orm()
+        .define_model(ModelSchema::open("Order"))
+        .unwrap();
     subscriber
         .subscribe(Subscription::model("Order", "pub").fields(&["item", "qty"]))
         .unwrap();
@@ -60,7 +66,8 @@ fn counter(node: &SynapseNode, name: &str) -> u64 {
 }
 
 fn main() {
-    let root = std::env::temp_dir().join(format!("synapse-durable-recovery-{}", std::process::id()));
+    let root =
+        std::env::temp_dir().join(format!("synapse-durable-recovery-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
     let wal_cfg = || WalConfig::new(root.join("wal")).fsync(FsyncPolicy::EveryWrite);
 
@@ -118,8 +125,14 @@ fn main() {
         report.acked_skipped
     );
     assert!(report.replayed_entries > 0);
-    assert_eq!(report.messages_recovered, 4, "the in-flight orders survived");
-    assert!(report.acked_skipped >= 12, "processed orders do not come back");
+    assert_eq!(
+        report.messages_recovered, 4,
+        "the in-flight orders survived"
+    );
+    assert!(
+        report.acked_skipped >= 12,
+        "processed orders do not come back"
+    );
 
     let (publisher, subscriber) = build(&eco, &pub_db, &sub_db, &root.join("state"));
     assert_eq!(
@@ -141,7 +154,11 @@ fn main() {
     // ...and live replication keeps working in the new incarnation.
     let fresh = publisher
         .orm()
-        .create_with_id("Order", Id(17), vmap! { "item" => "sku-post-crash", "qty" => 99 })
+        .create_with_id(
+            "Order",
+            Id(17),
+            vmap! { "item" => "sku-post-crash", "qty" => 99 },
+        )
         .unwrap();
     loop {
         if let Some(r) = subscriber.orm().find("Order", fresh.id).unwrap() {

@@ -8,11 +8,11 @@
 
 use std::sync::Arc;
 use std::time::Duration;
-use synapse_repro::core::{
-    Ecosystem, Publication, RetryPolicy, Subscription, SynapseConfig,
-};
+use synapse_repro::core::{Ecosystem, Publication, RetryPolicy, Subscription, SynapseConfig};
 use synapse_repro::db::LatencyModel;
-use synapse_repro::faults::{FaultClock, FaultEvent, FaultKind, FaultPlan, FaultSpec, Injector, Side};
+use synapse_repro::faults::{
+    FaultClock, FaultEvent, FaultKind, FaultPlan, FaultSpec, Injector, Side,
+};
 use synapse_repro::model::{vmap, ModelSchema};
 use synapse_repro::orm::adapters::MongoidAdapter;
 use synapse_repro::orm::CallbackPoint;
@@ -42,7 +42,10 @@ fn main() {
         SynapseConfig::new("pub"),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    publisher.orm().define_model(ModelSchema::open("Post")).unwrap();
+    publisher
+        .orm()
+        .define_model(ModelSchema::open("Post"))
+        .unwrap();
     publisher
         .publish(Publication::model("Post").fields(&["body", "version"]))
         .unwrap();
@@ -58,7 +61,10 @@ fn main() {
             }),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    subscriber.orm().define_model(ModelSchema::open("Post")).unwrap();
+    subscriber
+        .orm()
+        .define_model(ModelSchema::open("Post"))
+        .unwrap();
     subscriber
         .subscribe(Subscription::model("Post", "pub").fields(&["body", "version"]))
         .unwrap();
@@ -98,7 +104,10 @@ fn main() {
             e
         })
         .collect();
-    println!("plan: {} scheduled fault events over {OPS} ops", events.len());
+    println!(
+        "plan: {} scheduled fault events over {OPS} ops",
+        events.len()
+    );
     for e in &events {
         println!("  tick {:>4}  {:?}", e.at_tick, e.kind);
     }
@@ -148,7 +157,7 @@ fn main() {
         pub_stats.messages_published,
         pub_stats.publish_retries,
         publisher.publisher().journal_len(),
-        );
+    );
     println!(
         "subscriber: processed={} retries={} redeliveries={} poison={} dead_lettered={} rows={sub_rows}",
         sub_stats.messages_processed,
@@ -169,5 +178,8 @@ fn main() {
         "zero silent loss: every delivery ends acked or dead-lettered"
     );
     assert_eq!(sub_rows as u64, pub_rows as u64 - sub_stats.dead_lettered);
-    println!("\nconverged: subscriber == publisher modulo {} dead-lettered poison rows", sub_stats.dead_lettered);
+    println!(
+        "\nconverged: subscriber == publisher modulo {} dead-lettered poison rows",
+        sub_stats.dead_lettered
+    );
 }

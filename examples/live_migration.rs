@@ -21,7 +21,10 @@ fn main() {
         SynapseConfig::new("main_v1"),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    old_app.orm().define_model(ModelSchema::open("User")).unwrap();
+    old_app
+        .orm()
+        .define_model(ModelSchema::open("User"))
+        .unwrap();
     old_app
         .publish(Publication::model("User").fields(&["name", "email"]))
         .unwrap();
@@ -36,7 +39,10 @@ fn main() {
             )
             .unwrap();
     }
-    println!("main_v1 (MongoDB) has {} users", old_app.orm().count("User").unwrap());
+    println!(
+        "main_v1 (MongoDB) has {} users",
+        old_app.orm().count("User").unwrap()
+    );
 
     // The new version runs on TokuMX and subscribes to ALL the old app's
     // data — deployed while v1 keeps serving production traffic.
@@ -44,7 +50,10 @@ fn main() {
         SynapseConfig::new("main_v2"),
         Arc::new(MongoidAdapter::new("tokumx", LatencyModel::off())),
     );
-    new_app.orm().define_model(ModelSchema::open("User")).unwrap();
+    new_app
+        .orm()
+        .define_model(ModelSchema::open("User"))
+        .unwrap();
     new_app
         .subscribe(Subscription::model("User", "main_v1").fields(&["name", "email"]))
         .unwrap();
@@ -79,12 +88,15 @@ fn main() {
     // generator continues where the replicated sequence left off.
     old_app.stop();
     new_app.stop();
-    let first_own = new_app
-        .orm()
-        .create("User", vmap! { "name" => "post-cutover", "email" => "new@x.com" });
+    let first_own = new_app.orm().create(
+        "User",
+        vmap! { "name" => "post-cutover", "email" => "new@x.com" },
+    );
     // v2 still *subscribes* to User, so creating locally is refused until
     // the subscription is retired — exactly the discipline that kept the
     // rollback window open at Crowdtap.
     assert!(first_own.is_err());
-    println!("cutover complete; v2 refuses local writes until v1 is retired (rollback stays possible)");
+    println!(
+        "cutover complete; v2 refuses local writes until v1 is retired (rollback stays possible)"
+    );
 }

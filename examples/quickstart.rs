@@ -21,7 +21,8 @@ fn main() {
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
     pub1.orm().define_model(ModelSchema::open("User")).unwrap();
-    pub1.publish(Publication::model("User").field("name")).unwrap();
+    pub1.publish(Publication::model("User").field("name"))
+        .unwrap();
 
     // Subscriber side (Sub1): subscribe from: :Pub1 do field :name; end
     let sub1 = eco.add_node(

@@ -1,15 +1,25 @@
 //! The social product recommender of §5.2 (Fig. 11), end to end:
 //! Diaspora + Discourse → semantic analyzer (decorator) → Spree, with a
-//! mailer observing posts.
+//! mailer observing posts — followed by a second act: two regional
+//! Diaspora deployments forming a two-writer mesh over the same User and
+//! Post rows, diverging under a seeded fault schedule and converging
+//! through version-vector conflict resolution (LWW for posts, a custom
+//! merge for user bios).
 //!
 //! Run with: `cargo run --example social_ecosystem`
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use synapse_repro::apps::social;
-use synapse_repro::core::Ecosystem;
+use synapse_repro::core::{
+    DeliveryMode, Ecosystem, Publication, Resolution, Subscription, SynapseConfig, SynapseNode,
+};
 use synapse_repro::db::LatencyModel;
-use synapse_repro::model::Id;
+use synapse_repro::faults::SeededRng;
+use synapse_repro::model::{vmap, Id, ModelSchema, Value};
 use synapse_repro::mvc::Request;
+use synapse_repro::orm::adapters::{ActiveRecordAdapter, MongoidAdapter};
 
 fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
     let deadline = Instant::now() + timeout;
@@ -63,8 +73,7 @@ fn main() {
     apps.diaspora
         .dispatch(
             "posts/create",
-            &Request::as_user(alice)
-                .param("body", "went hiking again, hiking trails all weekend"),
+            &Request::as_user(alice).param("body", "went hiking again, hiking trails all weekend"),
         )
         .unwrap();
 
@@ -112,5 +121,194 @@ fn main() {
         println!("  → {}", p.get("name").as_str().unwrap());
     }
 
+    eco.stop_all();
+
+    two_writer_mesh();
+}
+
+/// Act two: `diaspora_us` and `diaspora_eu` both accept writes to the same
+/// User profiles and Posts. A seeded fault schedule partitions the
+/// regions mid-write storm; once healed, every replica pair converges —
+/// Post bodies by last-writer-wins, User bios through a custom merge
+/// resolver that keeps the longer bio.
+fn two_writer_mesh() {
+    println!("\n-- two-writer mesh: diaspora_us <-> diaspora_eu --");
+    let eco = Ecosystem::new();
+    let merge_bios = |config: SynapseConfig| {
+        config.merge_resolver("User", |ctx| {
+            let incoming = ctx
+                .incoming
+                .get("bio")
+                .and_then(|v| v.as_str())
+                .unwrap_or("");
+            let local = ctx
+                .local
+                .and_then(|attrs| attrs.get("bio"))
+                .and_then(|v| v.as_str())
+                .unwrap_or("");
+            // Keep the longer bio (ties to the lexicographic max): a
+            // commutative pick, so both regions settle identically.
+            if (local.len(), local) >= (incoming.len(), incoming) {
+                Resolution::KeepLocal
+            } else {
+                let mut merged = BTreeMap::new();
+                merged.insert("bio".to_owned(), Value::from(incoming));
+                Resolution::Merge(merged)
+            }
+        })
+    };
+    let us = eco.add_node(
+        merge_bios(SynapseConfig::new("diaspora_us").mode(DeliveryMode::Weak)),
+        Arc::new(ActiveRecordAdapter::new("postgresql", LatencyModel::off())),
+    );
+    let eu = eco.add_node(
+        merge_bios(SynapseConfig::new("diaspora_eu").mode(DeliveryMode::Weak)),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    for node in [&us, &eu] {
+        node.orm()
+            .define_model(ModelSchema::new("User").field("name").field("bio"))
+            .unwrap();
+        node.orm()
+            .define_model(ModelSchema::new("Post").field("body"))
+            .unwrap();
+        node.publish(
+            Publication::model("User")
+                .fields(&["name", "bio"])
+                .bidirectional(),
+        )
+        .unwrap();
+        node.publish(Publication::model("Post").field("body").bidirectional())
+            .unwrap();
+    }
+    for (node, peer) in [(&us, "diaspora_eu"), (&eu, "diaspora_us")] {
+        node.subscribe(
+            Subscription::model("User", peer)
+                .fields(&["name", "bio"])
+                .bidirectional(),
+        )
+        .unwrap();
+        node.subscribe(
+            Subscription::model("Post", peer)
+                .field("body")
+                .bidirectional(),
+        )
+        .unwrap();
+    }
+    let violations = eco.connect();
+    assert!(violations.is_empty(), "{violations:?}");
+    eco.start_all();
+
+    // Shared rows originate in one region and replicate to the other.
+    let carol = us
+        .orm()
+        .create("User", vmap! { "name" => "carol", "bio" => "hi" })
+        .unwrap();
+    let post = us
+        .orm()
+        .create("Post", vmap! { "body" => "first" })
+        .unwrap();
+    assert!(eventually(Duration::from_secs(10), || {
+        eu.orm().find("User", carol.id).unwrap().is_some()
+            && eu.orm().find("Post", post.id).unwrap().is_some()
+    }));
+
+    // A seeded fault plane: partition/heal windows interleaved with
+    // overlapping writes from both regions. Deterministic for a seed, so
+    // the divergence the mesh must repair is reproducible.
+    let mut rng = SeededRng::new(42);
+    let nodes: [&SynapseNode; 2] = [&us, &eu];
+    let mut partitioned = [false; 2];
+    for step in 0..24u64 {
+        let region = rng.gen_below(2) as usize;
+        match rng.gen_below(4) {
+            0 => {
+                partitioned[region] = true;
+                nodes[region].publisher().inject_publish_failure(true);
+            }
+            1 => {
+                partitioned[region] = false;
+                nodes[region].publisher().inject_publish_failure(false);
+                nodes[region].publisher().recover();
+            }
+            2 => {
+                let _ = nodes[region].orm().update(
+                    "Post",
+                    post.id,
+                    vmap! { "body" => format!("r{region}-s{step}") },
+                );
+            }
+            _ => {
+                let _ = nodes[region].orm().update(
+                    "User",
+                    carol.id,
+                    vmap! { "bio" => format!("bio from region {region} at step {step}") },
+                );
+            }
+        }
+    }
+    // Heal both regions and drain the journals.
+    for node in nodes {
+        node.publisher().inject_publish_failure(false);
+        node.publisher().recover();
+    }
+
+    // Convergence: identical rows on both sides once the mesh quiesces.
+    assert!(
+        eventually(Duration::from_secs(20), || {
+            let same_post = us
+                .orm()
+                .find("Post", post.id)
+                .unwrap()
+                .map(|r| r.get("body").clone())
+                == eu
+                    .orm()
+                    .find("Post", post.id)
+                    .unwrap()
+                    .map(|r| r.get("body").clone());
+            let same_bio = us
+                .orm()
+                .find("User", carol.id)
+                .unwrap()
+                .map(|r| r.get("bio").clone())
+                == eu
+                    .orm()
+                    .find("User", carol.id)
+                    .unwrap()
+                    .map(|r| r.get("bio").clone());
+            same_post
+                && same_bio
+                && us.publisher().journal_len() == 0
+                && eu.publisher().journal_len() == 0
+        }),
+        "regions never converged"
+    );
+    let body = us
+        .orm()
+        .find("Post", post.id)
+        .unwrap()
+        .unwrap()
+        .get("body")
+        .clone();
+    let bio = us
+        .orm()
+        .find("User", carol.id)
+        .unwrap()
+        .unwrap()
+        .get("bio")
+        .clone();
+    println!("converged post body (LWW): {body}");
+    println!("converged user bio (merge): {bio}");
+    for node in nodes {
+        let stats = node.subscriber_stats();
+        println!(
+            "{}: conflicts detected={} lww={} merge={} dominated={}",
+            node.app(),
+            stats.conflicts_detected,
+            stats.conflicts_resolved_lww,
+            stats.conflicts_resolved_merge,
+            stats.conflicts_discarded_dominated,
+        );
+    }
     eco.stop_all();
 }

@@ -32,7 +32,8 @@ fn main() {
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
     pub1.orm().define_model(ModelSchema::open("Post")).unwrap();
-    pub1.publish(Publication::model("Post").field("body")).unwrap();
+    pub1.publish(Publication::model("Post").field("body"))
+        .unwrap();
 
     let sub1 = eco.add_node(
         SynapseConfig::new("sub1")

@@ -25,6 +25,11 @@
 #                                    bootstrap, plus residency p99 and the
 #                                    longest apply gap under the copy
 #                                    (bootstrap_stall bin, PR 9)
+#   BENCH_convergence.json         — multi-writer mesh: two-writer conflict-
+#                                    rate sweep over shrinking shared pools,
+#                                    merge-resolver arm, and the single-writer
+#                                    plain-vs-bidirectional overhead A/B
+#                                    (convergence bin, PR 10)
 #
 # Usage:
 #   scripts/bench.sh                           # full run, writes all JSONs
@@ -56,6 +61,7 @@ REC_OUT="BENCH_recovery.json"
 SCALE_OUT="BENCH_scaling.json"
 DUR_OUT="BENCH_durable_scaling.json"
 STALL_OUT="BENCH_bootstrap_stall.json"
+CONV_OUT="BENCH_convergence.json"
 
 if [[ "$MODE" == "smoke" ]]; then
   FANOUT_MESSAGES="${FANOUT_MESSAGES:-500}" \
@@ -71,6 +77,7 @@ if [[ "$MODE" == "smoke" ]]; then
   cargo run --quiet --release -p synapse-bench --bin scaling_sweep -- --smoke > /dev/null
   cargo run --quiet --release -p synapse-bench --bin durable_scaling -- --smoke > /dev/null
   cargo run --quiet --release -p synapse-bench --bin bootstrap_stall -- --smoke > /dev/null
+  cargo run --quiet --release -p synapse-bench --bin convergence -- --smoke > /dev/null
   echo "bench smoke: OK"
   exit 0
 fi
@@ -85,7 +92,8 @@ VIS_LOG="$(mktemp)"
 SCALE_LOG="$(mktemp)"
 DUR_LOG="$(mktemp)"
 STALL_LOG="$(mktemp)"
-trap 'rm -f "$CRIT_LOG" "$FANOUT_LOG" "$PUB_LOG" "$VIS_LOG" "$SCALE_LOG" "$DUR_LOG" "$STALL_LOG"' EXIT
+CONV_LOG="$(mktemp)"
+trap 'rm -f "$CRIT_LOG" "$FANOUT_LOG" "$PUB_LOG" "$VIS_LOG" "$SCALE_LOG" "$DUR_LOG" "$STALL_LOG" "$CONV_LOG"' EXIT
 
 # Criterion lines: "<name>   <ns> ns/iter"; bin lines:
 # "<scenario> <value> <unit>_per_sec".
@@ -296,6 +304,40 @@ write_bootstrap_stall_json() {
   echo "bench: wrote $STALL_OUT"
 }
 
+# --- multi-writer convergence trajectory (PR 10) ----------------------------
+
+write_convergence_json() {
+  # The bin prints "convergence/<arm> <rate> msgs_per_sec" lines plus
+  # "convergence/conflicts_<arm> <count> conflicts" lines. The ISSUE 10
+  # acceptance number — the single-writer overhead of turning the vector
+  # plane on (bidirectional over plain) — is computed here.
+  cargo run --quiet --release -p synapse-bench --bin convergence | tee "$CONV_LOG"
+  {
+    echo "{"
+    echo "  \"schema\": \"synapse-bench/v1\","
+    echo "  \"generated_by\": \"scripts/bench.sh\","
+    echo "  \"git_rev\": \"$GIT_REV\","
+    echo "  \"utc\": \"$UTC\","
+    echo "  \"msgs_per_sec\": {"
+    rates_json "$CONV_LOG"
+    echo "  },"
+    echo "  \"conflicts_detected\": {"
+    awk '/ conflicts$/ { name=$1; sub(/^convergence\/conflicts_/, "", name);
+                         printf "%s    \"%s\": %s", sep, name, $2; sep=",\n" }
+         END { print "" }' "$CONV_LOG"
+    echo "  },"
+    awk '
+      /^convergence\/single_writer_plain /         { plain=$2+0 }
+      /^convergence\/single_writer_bidirectional / { bidi=$2+0 }
+      END {
+        if (plain > 0) printf "  \"single_writer_bidirectional_retention\": %.2f\n", bidi/plain
+        else           print  "  \"single_writer_bidirectional_retention\": null"
+      }' "$CONV_LOG"
+    echo "}"
+  } > "$CONV_OUT"
+  echo "bench: wrote $CONV_OUT"
+}
+
 # --- full / fanout-baseline runs -------------------------------------------
 
 for bench in broker publish_path publisher_deps versionstore wire; do
@@ -342,4 +384,5 @@ if [[ "$MODE" == "full" ]]; then
   write_scaling_json
   write_durable_scaling_json
   write_bootstrap_stall_json
+  write_convergence_json
 fi

@@ -22,17 +22,19 @@ if [[ "$MODE" == "smoke" ]]; then
   cargo run --quiet --release -p synapse-bench --bin scaling_sweep -- --smoke
   cargo run --quiet --release -p synapse-bench --bin durable_scaling -- --smoke
   cargo run --quiet --release -p synapse-bench --bin bootstrap_stall -- --smoke
+  cargo run --quiet --release -p synapse-bench --bin convergence -- --smoke
   echo "tier1 --smoke: OK"
   exit 0
 fi
 
-# Lint gate: warnings are errors across every first-party target
-# (vendored crates are excluded — they are not ours to lint).
+# Format + lint gates: first-party code must be rustfmt-clean and
+# warning-free (vendored crates are excluded — they are not ours to lint).
 FIRST_PARTY=(-p synapse-repro)
 while read -r manifest; do
   name="$(awk -F'"' '/^name = /{print $2; exit}' "$manifest")"
   FIRST_PARTY+=(-p "$name")
 done < <(ls crates/*/Cargo.toml)
+cargo fmt "${FIRST_PARTY[@]}" -- --check
 cargo clippy "${FIRST_PARTY[@]}" --all-targets --quiet -- -D warnings
 
 cargo test -q
@@ -77,6 +79,12 @@ cargo run --quiet --release -p synapse-bench --bin durable_scaling -- --smoke
 # collapse live throughput below 0.2x the steady-state arm — any of
 # those means the copy is pausing live delivery again.
 cargo run --quiet --release -p synapse-bench --bin bootstrap_stall -- --smoke
+
+# Multi-writer convergence gate (gating for liveness, not perf): every
+# two-writer mesh arm must converge exactly under both LWW and a merge
+# resolver, and turning the vector plane on must not collapse the
+# single-writer path.
+cargo run --quiet --release -p synapse-bench --bin convergence -- --smoke
 
 # Optional bench smoke (non-gating for perf, gating for liveness): the
 # fanout bench must complete without deadlock or delivery loss.

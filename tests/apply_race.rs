@@ -39,6 +39,7 @@ fn object_msg(operation: &str, key: u64, version: u64, name: &str) -> WriteMessa
         dependencies: [(key, version)].into_iter().collect(),
         published_at: 0,
         generation: 1,
+        vectors: BTreeMap::new(),
     }
 }
 
@@ -58,7 +59,8 @@ fn race_once(serialize: bool) -> String {
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
     pub1.orm().define_model(ModelSchema::open("User")).unwrap();
-    pub1.publish(Publication::model("User").field("name")).unwrap();
+    pub1.publish(Publication::model("User").field("name"))
+        .unwrap();
 
     let sub = eco.add_node(
         SynapseConfig::new("sub1").mode(DeliveryMode::Weak),
@@ -90,23 +92,23 @@ fn race_once(serialize: bool) -> String {
     {
         let b_inside = b_inside.clone();
         let fresh_done = fresh_done.clone();
-        sub.orm().on("User", CallbackPoint::BeforeUpdate, move |_, rec| {
-            if rec.get("name").as_str() == Some("v1") {
-                let (lock, cvar) = &*b_inside;
-                *lock.lock().unwrap() = true;
-                cvar.notify_all();
-                // Bounded wait: under the fix the fresh apply *cannot*
-                // proceed while we hold the slot, so this times out and B
-                // simply applies first.
-                let deadline = std::time::Instant::now() + Duration::from_millis(400);
-                while !fresh_done.load(Ordering::SeqCst)
-                    && std::time::Instant::now() < deadline
-                {
-                    std::thread::sleep(Duration::from_millis(5));
+        sub.orm()
+            .on("User", CallbackPoint::BeforeUpdate, move |_, rec| {
+                if rec.get("name").as_str() == Some("v1") {
+                    let (lock, cvar) = &*b_inside;
+                    *lock.lock().unwrap() = true;
+                    cvar.notify_all();
+                    // Bounded wait: under the fix the fresh apply *cannot*
+                    // proceed while we hold the slot, so this times out and B
+                    // simply applies first.
+                    let deadline = std::time::Instant::now() + Duration::from_millis(400);
+                    while !fresh_done.load(Ordering::SeqCst) && std::time::Instant::now() < deadline
+                    {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
                 }
-            }
-            Ok(())
-        });
+                Ok(())
+            });
     }
 
     let stale = emulate_delivery(&object_msg("update", key, 1, "v1"));
@@ -120,9 +122,7 @@ fn race_once(serialize: bool) -> String {
         let (lock, cvar) = &*b_inside;
         let mut inside = lock.lock().unwrap();
         while !*inside {
-            let (guard, timeout) = cvar
-                .wait_timeout(inside, Duration::from_secs(2))
-                .unwrap();
+            let (guard, timeout) = cvar.wait_timeout(inside, Duration::from_secs(2)).unwrap();
             inside = guard;
             assert!(!timeout.timed_out(), "B never reached the race window");
         }

@@ -55,7 +55,10 @@ fn late_subscriber_bootstraps_projected_history() {
         SynapseConfig::new("late"),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
+    subscriber
+        .orm()
+        .define_model(ModelSchema::open("User"))
+        .unwrap();
     subscriber
         .subscribe(Subscription::model("User", "pub").fields(&["name"]))
         .unwrap();
@@ -86,7 +89,10 @@ fn writes_during_bootstrap_are_not_lost() {
         SynapseConfig::new("late"),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
+    subscriber
+        .orm()
+        .define_model(ModelSchema::open("User"))
+        .unwrap();
     subscriber
         .subscribe(Subscription::model("User", "pub").fields(&["name"]))
         .unwrap();
@@ -129,7 +135,10 @@ fn ephemeral_models_are_skipped_by_bootstrap() {
         SynapseConfig::new("frontend"),
         Arc::new(EphemeralAdapter::new()),
     );
-    frontend.orm().define_model(ModelSchema::open("Click")).unwrap();
+    frontend
+        .orm()
+        .define_model(ModelSchema::open("Click"))
+        .unwrap();
     frontend
         .publish(Publication::model("Click").fields(&["target"]).ephemeral())
         .unwrap();
@@ -144,7 +153,10 @@ fn ephemeral_models_are_skipped_by_bootstrap() {
         SynapseConfig::new("analytics"),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    analytics.orm().define_model(ModelSchema::open("Click")).unwrap();
+    analytics
+        .orm()
+        .define_model(ModelSchema::open("Click"))
+        .unwrap();
     analytics
         .subscribe(Subscription::model("Click", "frontend").fields(&["target"]))
         .unwrap();
@@ -176,7 +188,10 @@ fn decorator_chain_bootstraps_downstream() {
         SynapseConfig::new("dec"),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    decorator.orm().define_model(ModelSchema::open("User")).unwrap();
+    decorator
+        .orm()
+        .define_model(ModelSchema::open("User"))
+        .unwrap();
     decorator
         .subscribe(Subscription::model("User", "pub").fields(&["name"]))
         .unwrap();
@@ -189,7 +204,11 @@ fn decorator_chain_bootstraps_downstream() {
     for user in decorator.orm().all("User").unwrap() {
         decorator
             .orm()
-            .update("User", user.id, vmap! { "vip" => user.id.raw().is_multiple_of(2) })
+            .update(
+                "User",
+                user.id,
+                vmap! { "vip" => user.id.raw().is_multiple_of(2) },
+            )
             .unwrap();
     }
 
@@ -198,7 +217,10 @@ fn decorator_chain_bootstraps_downstream() {
         SynapseConfig::new("down"),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    downstream.orm().define_model(ModelSchema::open("User")).unwrap();
+    downstream
+        .orm()
+        .define_model(ModelSchema::open("User"))
+        .unwrap();
     downstream
         .subscribe(Subscription::model("User", "pub").fields(&["name"]))
         .unwrap();
@@ -232,8 +254,14 @@ fn failed_bootstrap_clears_flag_and_retry_succeeds() {
         SynapseConfig::new("late"),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
-    subscriber.orm().define_model(ModelSchema::open("Note")).unwrap();
+    subscriber
+        .orm()
+        .define_model(ModelSchema::open("User"))
+        .unwrap();
+    subscriber
+        .orm()
+        .define_model(ModelSchema::open("Note"))
+        .unwrap();
     subscriber
         .subscribe(Subscription::model("User", "pub").fields(&["name"]))
         .unwrap();
@@ -305,7 +333,10 @@ fn copy_fault_fails_attempt_then_resume_converges() {
         SynapseConfig::new("late").bootstrap_chunk(8),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
+    subscriber
+        .orm()
+        .define_model(ModelSchema::open("User"))
+        .unwrap();
     subscriber
         .subscribe(Subscription::model("User", "pub").fields(&["name"]))
         .unwrap();
@@ -345,8 +376,7 @@ fn copy_fault_fails_attempt_then_resume_converges() {
     assert_eq!(stats.completions, 1);
     assert!(stats.resumes >= 1, "second attempt resumed from watermark");
     assert_eq!(
-        stats.records_copied,
-        35,
+        stats.records_copied, 35,
         "resume must not re-copy records behind the watermark"
     );
     assert_eq!(
@@ -375,7 +405,10 @@ fn reinstate_with_unswept_backlog_keeps_resume_watermarks() {
         SynapseConfig::new("late").bootstrap_chunk(8),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
+    subscriber
+        .orm()
+        .define_model(ModelSchema::open("User"))
+        .unwrap();
     subscriber
         .subscribe(Subscription::model("User", "pub").fields(&["name"]))
         .unwrap();
@@ -418,7 +451,10 @@ fn reinstate_after_swept_backlog_clears_resume_watermarks() {
         SynapseConfig::new("late").bootstrap_chunk(8),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
+    subscriber
+        .orm()
+        .define_model(ModelSchema::open("User"))
+        .unwrap();
     subscriber
         .subscribe(Subscription::model("User", "pub").fields(&["name"]))
         .unwrap();
@@ -463,7 +499,10 @@ fn cleanup_failure_defers_and_node_still_goes_live() {
         SynapseConfig::new("late").bootstrap_chunk(8),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
+    subscriber
+        .orm()
+        .define_model(ModelSchema::open("User"))
+        .unwrap();
     subscriber
         .subscribe(Subscription::model("User", "pub").fields(&["name"]))
         .unwrap();
@@ -472,20 +511,17 @@ fn cleanup_failure_defers_and_node_still_goes_live() {
     // Kill the watermark's home shard between the last chunk and the
     // cleanup: the probe fires on the Finalizing transition, which sits
     // exactly there.
-    let wm_shard = subscriber.sub_store().shard_for(
-        subscriber
-            .config()
-            .dep_space
-            .key(&synapse_repro::core::DepName::bootstrap_watermark("pub", "User")),
-    );
+    let wm_shard = subscriber
+        .sub_store()
+        .shard_for(subscriber.config().dep_space.key(
+            &synapse_repro::core::DepName::bootstrap_watermark("pub", "User"),
+        ));
     let killed = Arc::new(AtomicBool::new(false));
     {
         let store = subscriber.sub_store().clone();
         let killed = killed.clone();
         subscriber.set_bootstrap_probe(move |state| {
-            if matches!(state, BootstrapState::Finalizing)
-                && !killed.swap(true, Ordering::SeqCst)
-            {
+            if matches!(state, BootstrapState::Finalizing) && !killed.swap(true, Ordering::SeqCst) {
                 store.kill_shard(wm_shard);
             }
         });
@@ -493,11 +529,16 @@ fn cleanup_failure_defers_and_node_still_goes_live() {
     subscriber.bootstrap_from(&publisher).unwrap();
     assert!(killed.load(Ordering::SeqCst));
     let stats = subscriber.bootstrap_stats();
-    assert_eq!(stats.completions, 1, "cleanup failure must not fail the attempt");
+    assert_eq!(
+        stats.completions, 1,
+        "cleanup failure must not fail the attempt"
+    );
     assert_eq!(stats.phase, BootstrapPhase::Live);
     assert_eq!(stats.cleanup_deferred, 1);
     assert_eq!(
-        subscriber.telemetry_snapshot().counter("bootstrap.cleanup_deferred"),
+        subscriber
+            .telemetry_snapshot()
+            .counter("bootstrap.cleanup_deferred"),
         1
     );
     assert_eq!(subscriber.orm().count("User").unwrap(), 20);
@@ -523,7 +564,10 @@ fn ephemeral_only_publication_completes_with_empty_copy() {
         SynapseConfig::new("frontend"),
         Arc::new(EphemeralAdapter::new()),
     );
-    frontend.orm().define_model(ModelSchema::open("Click")).unwrap();
+    frontend
+        .orm()
+        .define_model(ModelSchema::open("Click"))
+        .unwrap();
     frontend
         .publish(Publication::model("Click").fields(&["target"]).ephemeral())
         .unwrap();
@@ -532,7 +576,10 @@ fn ephemeral_only_publication_completes_with_empty_copy() {
         SynapseConfig::new("analytics"),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    analytics.orm().define_model(ModelSchema::open("Click")).unwrap();
+    analytics
+        .orm()
+        .define_model(ModelSchema::open("Click"))
+        .unwrap();
     analytics
         .subscribe(Subscription::model("Click", "frontend").fields(&["target"]))
         .unwrap();
@@ -559,7 +606,10 @@ fn reinstate_racing_broker_restart_discards_stale_drop_faults() {
         SynapseConfig::new("late"),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
+    subscriber
+        .orm()
+        .define_model(ModelSchema::open("User"))
+        .unwrap();
     subscriber
         .subscribe(Subscription::model("User", "pub").fields(&["name"]))
         .unwrap();

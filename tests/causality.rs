@@ -26,7 +26,10 @@ fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
     false
 }
 
-fn wired_pair(mode: DeliveryMode, workers: usize) -> (Ecosystem, Arc<SynapseNode>, Arc<SynapseNode>) {
+fn wired_pair(
+    mode: DeliveryMode,
+    workers: usize,
+) -> (Ecosystem, Arc<SynapseNode>, Arc<SynapseNode>) {
     let eco = Ecosystem::new();
     let publisher = eco.add_node(
         SynapseConfig::new("pub").mode(mode),
@@ -183,7 +186,10 @@ fn weak_subscriber_of_causal_publisher_ignores_dependencies() {
         SynapseConfig::new("pub").publisher_mode(DeliveryMode::Causal),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    publisher.orm().define_model(ModelSchema::open("Post")).unwrap();
+    publisher
+        .orm()
+        .define_model(ModelSchema::open("Post"))
+        .unwrap();
     publisher
         .publish(Publication::model("Post").fields(&["body"]))
         .unwrap();
@@ -191,7 +197,10 @@ fn weak_subscriber_of_causal_publisher_ignores_dependencies() {
         SynapseConfig::new("sub").subscriber_mode(DeliveryMode::Weak),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    subscriber.orm().define_model(ModelSchema::open("Post")).unwrap();
+    subscriber
+        .orm()
+        .define_model(ModelSchema::open("Post"))
+        .unwrap();
     subscriber
         .subscribe(Subscription::model("Post", "pub").fields(&["body"]))
         .unwrap();
@@ -202,10 +211,19 @@ fn weak_subscriber_of_causal_publisher_ignores_dependencies() {
     );
 
     // Drop a message, publish more; the weak subscriber never stalls.
-    let p = publisher.orm().create("Post", vmap! { "body" => "a" }).unwrap();
+    let p = publisher
+        .orm()
+        .create("Post", vmap! { "body" => "a" })
+        .unwrap();
     eco.broker().inject_drop_next("sub", 1);
-    publisher.orm().update("Post", p.id, vmap! { "body" => "b" }).unwrap();
-    publisher.orm().update("Post", p.id, vmap! { "body" => "c" }).unwrap();
+    publisher
+        .orm()
+        .update("Post", p.id, vmap! { "body" => "b" })
+        .unwrap();
+    publisher
+        .orm()
+        .update("Post", p.id, vmap! { "body" => "c" })
+        .unwrap();
     eco.start_all();
     assert!(eventually(Duration::from_secs(5), || {
         subscriber
@@ -229,13 +247,21 @@ fn subscriber_mode_degrades_to_publisher_mode() {
         SynapseConfig::new("pub").publisher_mode(DeliveryMode::Weak),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    publisher.orm().define_model(ModelSchema::open("Post")).unwrap();
-    publisher.publish(Publication::model("Post").fields(&["body"])).unwrap();
+    publisher
+        .orm()
+        .define_model(ModelSchema::open("Post"))
+        .unwrap();
+    publisher
+        .publish(Publication::model("Post").fields(&["body"]))
+        .unwrap();
     let subscriber = eco.add_node(
         SynapseConfig::new("sub").subscriber_mode(DeliveryMode::Causal),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    subscriber.orm().define_model(ModelSchema::open("Post")).unwrap();
+    subscriber
+        .orm()
+        .define_model(ModelSchema::open("Post"))
+        .unwrap();
     subscriber
         .subscribe(Subscription::model("Post", "pub").fields(&["body"]))
         .unwrap();
@@ -262,11 +288,17 @@ fn transactions_combine_writes_into_one_message() {
             .unwrap();
         publisher
             .orm()
-            .create("Comment", vmap! { "post_id" => post.id.raw(), "body" => "c1" })
+            .create(
+                "Comment",
+                vmap! { "post_id" => post.id.raw(), "body" => "c1" },
+            )
             .unwrap();
         publisher
             .orm()
-            .create("Comment", vmap! { "post_id" => post.id.raw(), "body" => "c2" })
+            .create(
+                "Comment",
+                vmap! { "post_id" => post.id.raw(), "body" => "c2" },
+            )
             .unwrap();
     });
     let after = publisher.publisher_stats().messages_published;

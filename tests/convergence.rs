@@ -1,0 +1,460 @@
+//! Multi-writer convergence: two writers of one bidirectional model
+//! diverge under partitions and concurrent writes, then converge to an
+//! identical final state once the mesh heals — under the default
+//! last-writer-wins resolver and under a user merge resolver.
+//!
+//! The deterministic tests force the interesting interleavings directly
+//! (publish-failure windows as partitions; hand-built version vectors
+//! through the delivery emulator); the seeded property tests drive random
+//! interleaved publish/partition/heal schedules through the full stack.
+
+use proptest::prelude::*;
+use proptest::test_runner::{Config, TestRunner};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use synapse_repro::core::testing::emulate_delivery;
+use synapse_repro::core::{
+    mesh_object, writer_id, DeliveryMode, Ecosystem, Operation, Publication, Resolution,
+    Subscription, SynapseConfig, SynapseNode, WriteMessage,
+};
+use synapse_repro::db::LatencyModel;
+use synapse_repro::model::{vmap, Id, ModelSchema, Record, Value};
+use synapse_repro::orm::adapters::{ActiveRecordAdapter, MongoidAdapter};
+use synapse_repro::versionstore::VersionVector;
+
+fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+/// Builds a two-writer mesh: both nodes publish *and* subscribe the same
+/// `User` fields bidirectionally. `configure` lets a test register
+/// resolvers on each node's config before the node is built.
+fn mesh(
+    eco: &Ecosystem,
+    app_a: &str,
+    app_b: &str,
+    fields: &[&str],
+    configure: impl Fn(SynapseConfig) -> SynapseConfig,
+) -> (Arc<SynapseNode>, Arc<SynapseNode>) {
+    let a = eco.add_node(
+        configure(SynapseConfig::new(app_a).mode(DeliveryMode::Weak)),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    let b = eco.add_node(
+        configure(SynapseConfig::new(app_b).mode(DeliveryMode::Weak)),
+        Arc::new(ActiveRecordAdapter::new("postgresql", LatencyModel::off())),
+    );
+    for node in [&a, &b] {
+        let mut schema = ModelSchema::new("User");
+        for f in fields {
+            schema = schema.field(*f);
+        }
+        node.orm().define_model(schema).unwrap();
+        node.publish(Publication::model("User").fields(fields).bidirectional())
+            .unwrap();
+    }
+    a.subscribe(
+        Subscription::model("User", app_b)
+            .fields(fields)
+            .bidirectional(),
+    )
+    .unwrap();
+    b.subscribe(
+        Subscription::model("User", app_a)
+            .fields(fields)
+            .bidirectional(),
+    )
+    .unwrap();
+    let violations = eco.connect();
+    assert!(violations.is_empty(), "{violations:?}");
+    eco.start_all();
+    (a, b)
+}
+
+/// Waits until both nodes stop processing messages (their publisher
+/// journals are empty and subscriber counters stop moving), then returns.
+/// Convergence assertions only make sense on a quiescent mesh.
+fn quiesce(a: &SynapseNode, b: &SynapseNode) {
+    let snapshot = |n: &SynapseNode| {
+        let s = n.subscriber_stats();
+        (
+            s.messages_processed,
+            s.ops_applied,
+            n.publisher().journal_len(),
+        )
+    };
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut last = (snapshot(a), snapshot(b));
+    let mut calm = 0;
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(30));
+        let now = (snapshot(a), snapshot(b));
+        let journals_empty = now.0 .2 == 0 && now.1 .2 == 0;
+        if now == last && journals_empty {
+            calm += 1;
+            if calm >= 5 {
+                return;
+            }
+        } else {
+            calm = 0;
+        }
+        last = now;
+    }
+    panic!("mesh never quiesced");
+}
+
+fn field_of(node: &SynapseNode, id: Id, field: &str) -> Value {
+    node.orm()
+        .find("User", id)
+        .unwrap()
+        .map(|r| r.get(field).clone())
+        .unwrap_or(Value::Null)
+}
+
+/// Partition both writers, apply one concurrent update on each side, heal,
+/// and require convergence to the deterministic LWW winner: the vectors
+/// fork with equal sums, so the higher writer id wins on both nodes.
+#[test]
+fn partitioned_writers_converge_under_lww() {
+    let eco = Ecosystem::new();
+    let (a, b) = mesh(&eco, "mesh_a", "mesh_b", &["name"], |c| c);
+
+    let user = a.orm().create("User", vmap! { "name" => "seed" }).unwrap();
+    assert!(eventually(Duration::from_secs(5), || {
+        field_of(&b, user.id, "name").as_str() == Some("seed")
+    }));
+
+    // Partition: both writers journal instead of reaching the broker.
+    a.publisher().inject_publish_failure(true);
+    b.publisher().inject_publish_failure(true);
+    a.orm()
+        .update("User", user.id, vmap! { "name" => "from_a" })
+        .unwrap();
+    b.orm()
+        .update("User", user.id, vmap! { "name" => "from_b" })
+        .unwrap();
+
+    // Heal: journals drain, each side receives the other's concurrent
+    // write.
+    a.publisher().inject_publish_failure(false);
+    b.publisher().inject_publish_failure(false);
+    a.publisher().recover();
+    b.publisher().recover();
+    quiesce(&a, &b);
+
+    // Fork stamps: A's update carries {A:2}, B's carries {A:1,B:1} — equal
+    // sums, so the greater writer id wins identically everywhere.
+    let winner = if writer_id("mesh_a") > writer_id("mesh_b") {
+        "from_a"
+    } else {
+        "from_b"
+    };
+    for node in [&a, &b] {
+        assert_eq!(
+            field_of(node, user.id, "name").as_str(),
+            Some(winner),
+            "{} did not converge to the LWW winner",
+            node.app()
+        );
+    }
+    // Both sides saw the fork and resolved it with the default policy.
+    for node in [&a, &b] {
+        let stats = node.subscriber_stats();
+        assert!(stats.conflicts_detected >= 1, "{}", node.app());
+        assert!(stats.conflicts_resolved_lww >= 1, "{}", node.app());
+        assert_eq!(stats.conflicts_resolved_merge, 0, "{}", node.app());
+    }
+    // The counters fold into the exported telemetry snapshot.
+    assert!(a.telemetry_snapshot().counter("conflicts.detected") >= 1);
+    eco.stop_all();
+}
+
+/// The same forced fork under a user merge resolver: each side writes its
+/// own score field, and the registered resolver folds the pair with a
+/// per-field max — a commutative merge, so both replicas converge to the
+/// union of the two writes (which plain LWW would have discarded).
+#[test]
+fn partitioned_writers_merge_with_custom_resolver() {
+    let eco = Ecosystem::new();
+    let fields = &["score_a", "score_b"];
+    let merge = |config: SynapseConfig| {
+        config.merge_resolver("User", |ctx| {
+            let mut merged = BTreeMap::new();
+            for field in ["score_a", "score_b"] {
+                let local = ctx
+                    .local
+                    .and_then(|attrs| attrs.get(field))
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(0);
+                let incoming = ctx
+                    .incoming
+                    .get(field)
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(0);
+                merged.insert(field.to_owned(), Value::from(local.max(incoming)));
+            }
+            Resolution::Merge(merged)
+        })
+    };
+    let (a, b) = mesh(&eco, "mesh_a", "mesh_b", fields, merge);
+
+    let user = a
+        .orm()
+        .create("User", vmap! { "score_a" => 0, "score_b" => 0 })
+        .unwrap();
+    assert!(eventually(Duration::from_secs(5), || {
+        b.orm().find("User", user.id).unwrap().is_some()
+    }));
+
+    a.publisher().inject_publish_failure(true);
+    b.publisher().inject_publish_failure(true);
+    a.orm()
+        .update("User", user.id, vmap! { "score_a" => 7 })
+        .unwrap();
+    b.orm()
+        .update("User", user.id, vmap! { "score_b" => 9 })
+        .unwrap();
+    a.publisher().inject_publish_failure(false);
+    b.publisher().inject_publish_failure(false);
+    a.publisher().recover();
+    b.publisher().recover();
+    quiesce(&a, &b);
+
+    for node in [&a, &b] {
+        assert_eq!(
+            field_of(node, user.id, "score_a").as_int(),
+            Some(7),
+            "{} lost A's write",
+            node.app()
+        );
+        assert_eq!(
+            field_of(node, user.id, "score_b").as_int(),
+            Some(9),
+            "{} lost B's write",
+            node.app()
+        );
+        let stats = node.subscriber_stats();
+        assert!(stats.conflicts_detected >= 1, "{}", node.app());
+        assert!(stats.conflicts_resolved_merge >= 1, "{}", node.app());
+    }
+    eco.stop_all();
+}
+
+/// Deterministic classification through hand-built vectors: one node
+/// subscribed bidirectionally to two remote writers receives a fresh
+/// write, a concurrent fork (→ resolver, LWW tiebreak by writer id), a
+/// dominated straggler (→ discarded), and a dominating follow-up.
+#[test]
+fn forced_concurrent_vectors_classify_and_resolve() {
+    const OBJECT: Id = Id(11);
+    let eco = Ecosystem::new();
+    let node = eco.add_node(
+        SynapseConfig::new("observer").mode(DeliveryMode::Weak),
+        Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
+    );
+    node.orm()
+        .define_model(ModelSchema::new("User").field("name"))
+        .unwrap();
+    for from in ["wa", "wb"] {
+        node.subscribe(
+            Subscription::model("User", from)
+                .field("name")
+                .bidirectional(),
+        )
+        .unwrap();
+        node.set_publisher_mode(from, DeliveryMode::Weak);
+    }
+
+    let mesh_key = node.config().dep_space.key(&mesh_object("User", OBJECT));
+    let msg = |app: &str, operation: &str, name: &str, vector: VersionVector| {
+        let mut attrs = BTreeMap::new();
+        attrs.insert("name".to_owned(), Value::from(name));
+        let record = Record::with_attrs("User", OBJECT, attrs);
+        WriteMessage {
+            app: app.to_owned(),
+            operations: vec![Operation::from_record(operation, &record)],
+            dependencies: BTreeMap::new(),
+            published_at: 0,
+            generation: 1,
+            vectors: [(mesh_key, vector)].into_iter().collect(),
+        }
+    };
+    let (wa, wb) = (writer_id("wa"), writer_id("wb"));
+
+    // ① Fresh create from writer A.
+    node.subscriber()
+        .process(&emulate_delivery(&msg(
+            "wa",
+            "create",
+            "from_a",
+            VersionVector::component(wa, 1),
+        )))
+        .unwrap();
+    assert_eq!(field_of(&node, OBJECT, "name").as_str(), Some("from_a"));
+
+    // ② Concurrent fork from writer B: equal sums, LWW breaks the tie by
+    // writer id, identically on every replica.
+    node.subscriber()
+        .process(&emulate_delivery(&msg(
+            "wb",
+            "update",
+            "from_b",
+            VersionVector::component(wb, 1),
+        )))
+        .unwrap();
+    let winner = if wb > wa { "from_b" } else { "from_a" };
+    assert_eq!(field_of(&node, OBJECT, "name").as_str(), Some(winner));
+    let stats = node.subscriber_stats();
+    assert_eq!(stats.conflicts_detected, 1);
+    assert_eq!(stats.conflicts_resolved_lww, 1);
+
+    // ③ Dominated straggler: {A:1} against the joined {A:1,B:1} history.
+    node.subscriber()
+        .process(&emulate_delivery(&msg(
+            "wa",
+            "update",
+            "stale_a",
+            VersionVector::component(wa, 1),
+        )))
+        .unwrap();
+    assert_eq!(field_of(&node, OBJECT, "name").as_str(), Some(winner));
+    assert_eq!(node.subscriber_stats().conflicts_discarded_dominated, 1);
+
+    // ④ Dominating follow-up applies without touching the resolver.
+    node.subscriber()
+        .process(&emulate_delivery(&msg(
+            "wa",
+            "update",
+            "settled",
+            VersionVector::from_components(&[(wa, 2), (wb, 1)]),
+        )))
+        .unwrap();
+    assert_eq!(field_of(&node, OBJECT, "name").as_str(), Some("settled"));
+    assert_eq!(node.subscriber_stats().conflicts_detected, 1);
+}
+
+/// One step of a seeded schedule.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Writer 0/1 updates the row with a value derived from the step index.
+    Write(usize),
+    /// Writer 0/1 loses its broker link (writes journal locally).
+    Partition(usize),
+    /// Writer 0/1 regains the broker and drains its journal.
+    Heal(usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    // Writes listed twice: half the schedule mutates, the other half
+    // toggles partitions.
+    prop_oneof![
+        (0usize..2).prop_map(Step::Write),
+        (0usize..2).prop_map(Step::Write),
+        (0usize..2).prop_map(Step::Partition),
+        (0usize..2).prop_map(Step::Heal),
+    ]
+}
+
+/// Drives one random schedule through a live mesh and asserts both
+/// replicas converge to the identical row once healed and quiescent.
+fn run_schedule(schedule: &[Step], use_merge: bool) {
+    let eco = Ecosystem::new();
+    let configure = move |config: SynapseConfig| {
+        if use_merge {
+            // Lexicographic-max merge: deterministic and commutative, so
+            // any resolution order converges.
+            config.merge_resolver("User", |ctx| {
+                let incoming = ctx.incoming.get("name").and_then(|v| v.as_str());
+                let local = ctx
+                    .local
+                    .and_then(|attrs| attrs.get("name"))
+                    .and_then(|v| v.as_str());
+                match (incoming, local) {
+                    (Some(i), Some(l)) if l >= i => Resolution::KeepLocal,
+                    (Some(_), _) => Resolution::TakeIncoming,
+                    (None, _) => Resolution::KeepLocal,
+                }
+            })
+        } else {
+            config
+        }
+    };
+    let (a, b) = mesh(&eco, "mesh_a", "mesh_b", &["name"], configure);
+    let nodes = [&a, &b];
+
+    let user = a.orm().create("User", vmap! { "name" => "seed" }).unwrap();
+    assert!(eventually(Duration::from_secs(5), || {
+        b.orm().find("User", user.id).unwrap().is_some()
+    }));
+
+    for (i, step) in schedule.iter().enumerate() {
+        match step {
+            Step::Write(w) => {
+                // A partitioned or racing writer can fail transiently; the
+                // schedule just moves on, like a retrying controller.
+                let _ = nodes[*w].orm().update(
+                    "User",
+                    user.id,
+                    vmap! { "name" => format!("w{w}-{i}") },
+                );
+            }
+            Step::Partition(w) => nodes[*w].publisher().inject_publish_failure(true),
+            Step::Heal(w) => {
+                nodes[*w].publisher().inject_publish_failure(false);
+                nodes[*w].publisher().recover();
+            }
+        }
+    }
+    // Final heal: every journaled write reaches the mesh.
+    for node in nodes {
+        node.publisher().inject_publish_failure(false);
+        node.publisher().recover();
+    }
+    quiesce(&a, &b);
+
+    let final_a = field_of(&a, user.id, "name");
+    let final_b = field_of(&b, user.id, "name");
+    assert_eq!(
+        final_a, final_b,
+        "replicas diverged after {schedule:?} (merge={use_merge})"
+    );
+    eco.stop_all();
+}
+
+/// Runs `cases` seeded schedules against a full live mesh (each case
+/// spins an ecosystem with worker threads, so the count stays small).
+fn run_seeded_cases(use_merge: bool) {
+    let mut runner = TestRunner::new(Config {
+        cases: 6,
+        ..Config::default()
+    });
+    let strategy = prop::collection::vec(step_strategy(), 1..14);
+    runner
+        .run(&strategy, |schedule| {
+            run_schedule(&schedule, use_merge);
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// Random interleaved publish/partition/heal schedules converge to an
+/// identical final state under the default LWW resolver.
+#[test]
+fn seeded_schedules_converge_under_lww() {
+    run_seeded_cases(false);
+}
+
+/// The same schedules converge under a commutative user merge resolver
+/// registered on both writers.
+#[test]
+fn seeded_schedules_converge_under_merge() {
+    run_seeded_cases(true);
+}

@@ -442,7 +442,11 @@ fn partition_layout_survives_reopen() {
                 break;
             }
             for d in batch {
-                assert_eq!(tag_hint(d.tag) as usize % PARTS, p, "tag hint names its partition");
+                assert_eq!(
+                    tag_hint(d.tag) as usize % PARTS,
+                    p,
+                    "tag hint names its partition"
+                );
                 let (key, seq) = d
                     .payload
                     .as_str()
@@ -450,7 +454,9 @@ fn partition_layout_survives_reopen() {
                     .and_then(|s| s.split_once('-'))
                     .map(|(k, s)| (k.parse::<u64>().unwrap(), s.parse::<u64>().unwrap()))
                     .unwrap();
-                let next = seen.entry(key).or_insert_with(|| acked.get(&key).copied().unwrap_or(0));
+                let next = seen
+                    .entry(key)
+                    .or_insert_with(|| acked.get(&key).copied().unwrap_or(0));
                 assert_eq!(seq, *next, "key {key} replays in publish order");
                 *next += 1;
                 assert!(consumer.ack(d.tag));
@@ -500,7 +506,10 @@ fn node_recovery_resumes_interrupted_bootstrap() {
     let wal_cfg = || WalConfig::new(&wal_dir).fsync(FsyncPolicy::Interval(4));
     let build = |eco: &Ecosystem| -> (Arc<SynapseNode>, Arc<SynapseNode>) {
         let publisher = eco.add_node(SynapseConfig::new("pub"), pub_adapter.clone());
-        publisher.orm().define_model(ModelSchema::open("Post")).unwrap();
+        publisher
+            .orm()
+            .define_model(ModelSchema::open("Post"))
+            .unwrap();
         publisher
             .publish(Publication::model("Post").fields(&["body", "version"]))
             .unwrap();
@@ -513,7 +522,10 @@ fn node_recovery_resumes_interrupted_bootstrap() {
                 .snapshot_every(None),
             sub_adapter.clone(),
         );
-        subscriber.orm().define_model(ModelSchema::open("Post")).unwrap();
+        subscriber
+            .orm()
+            .define_model(ModelSchema::open("Post"))
+            .unwrap();
         subscriber
             .subscribe(Subscription::model("Post", "pub").fields(&["body", "version"]))
             .unwrap();
@@ -546,7 +558,10 @@ fn node_recovery_resumes_interrupted_bootstrap() {
     for i in 0..SEED_ROWS {
         publisher
             .orm()
-            .create("Post", vmap! { "body" => format!("seed-{i}"), "version" => i as i64 })
+            .create(
+                "Post",
+                vmap! { "body" => format!("seed-{i}"), "version" => i as i64 },
+            )
             .unwrap();
     }
     eco.connect();
@@ -554,7 +569,10 @@ fn node_recovery_resumes_interrupted_bootstrap() {
 
     let first = subscriber.bootstrap_from(&publisher);
     assert!(first.is_err(), "the armed chunk fault must fail attempt 1");
-    assert!(fault_armed.load(Ordering::SeqCst), "the fault armed in the copier");
+    assert!(
+        fault_armed.load(Ordering::SeqCst),
+        "the fault armed in the copier"
+    );
     assert!(!subscriber.orm().is_bootstrap());
     let failed = subscriber.bootstrap_stats();
     assert_eq!(failed.completions, 0);
@@ -651,7 +669,9 @@ fn node_recovery_resumes_interrupted_bootstrap() {
 
     // The resumed bootstrap is a delta replay: the snapshot-carried
     // watermark skips the two chunks the first incarnation copied.
-    subscriber.bootstrap_from(&publisher).expect("resumed bootstrap converges");
+    subscriber
+        .bootstrap_from(&publisher)
+        .expect("resumed bootstrap converges");
     let stats = subscriber.bootstrap_stats();
     assert_eq!(stats.completions, 1);
     assert!(
@@ -670,7 +690,11 @@ fn node_recovery_resumes_interrupted_bootstrap() {
     let pub_rows = publisher.orm().all("Post").unwrap();
     let sub_rows = subscriber.orm().all("Post").unwrap();
     assert_eq!(pub_rows.len(), SEED_ROWS + LIVE_ROWS);
-    assert_eq!(sub_rows.len(), pub_rows.len(), "no lost and no doubled rows");
+    assert_eq!(
+        sub_rows.len(),
+        pub_rows.len(),
+        "no lost and no doubled rows"
+    );
     for row in &pub_rows {
         let replica = subscriber
             .orm()
@@ -697,7 +721,177 @@ fn node_recovery_resumes_interrupted_bootstrap() {
     assert!(eventually(Duration::from_secs(5), || {
         subscriber.orm().find("Post", fresh.id).unwrap().is_some()
     }));
-    subscriber.persist_snapshot().expect("post-recovery snapshot");
+    subscriber
+        .persist_snapshot()
+        .expect("post-recovery snapshot");
+    eco.stop_all();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Reads the 8-byte magic of the newest `state-<seq>.snap` file in `dir`.
+fn latest_snapshot_magic(dir: &std::path::Path) -> [u8; 8] {
+    let path = std::fs::read_dir(dir)
+        .expect("snapshot dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("state-") && n.ends_with(".snap"))
+        })
+        .max_by_key(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| {
+                    n.strip_prefix("state-")?
+                        .strip_suffix(".snap")?
+                        .parse::<u64>()
+                        .ok()
+                })
+                .unwrap_or(0)
+        })
+        .expect("at least one snapshot file");
+    let bytes = std::fs::read(&path).expect("read snapshot");
+    bytes[..8].try_into().expect("snapshot has a magic header")
+}
+
+/// Mixed-format reopen: a node whose snapshot directory holds a
+/// scalar-era SYNSNAP2 file (as left behind by a pre-vector binary) must
+/// recover from it — entries land on the legacy vector component, replicated
+/// state survives, and freshness still discards stale redeliveries. The
+/// next persist upgrades the directory to the current SYNSNAP3 format,
+/// which the store then prefers on a further reopen.
+#[test]
+fn legacy_format_snapshot_recovers_and_upgrades_on_next_persist() {
+    let root = temp_dir("legacy-snap");
+    let wal_dir = root.join("wal");
+    let sub_dir = root.join("sub");
+    let pub_adapter = Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off()));
+    let sub_adapter = Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off()));
+
+    let wal_cfg = || WalConfig::new(&wal_dir).fsync(FsyncPolicy::Interval(4));
+    let build = |eco: &Ecosystem| -> (Arc<SynapseNode>, Arc<SynapseNode>) {
+        let publisher = eco.add_node(SynapseConfig::new("pub"), pub_adapter.clone());
+        publisher
+            .orm()
+            .define_model(ModelSchema::open("Post"))
+            .unwrap();
+        publisher
+            .publish(Publication::model("Post").fields(&["body", "version"]))
+            .unwrap();
+        let subscriber = eco.add_node(
+            SynapseConfig::new("sub")
+                .wait_timeout(Some(Duration::from_millis(50)))
+                .workers(1)
+                .durable(&sub_dir)
+                .snapshot_every(None),
+            sub_adapter.clone(),
+        );
+        subscriber
+            .orm()
+            .define_model(ModelSchema::open("Post"))
+            .unwrap();
+        subscriber
+            .subscribe(Subscription::model("Post", "pub").fields(&["body", "version"]))
+            .unwrap();
+        (publisher, subscriber)
+    };
+
+    // --- Incarnation 1: replicate some rows, persist a snapshot. ---
+    let (eco, _) = Ecosystem::new_durable(wal_cfg()).expect("durable ecosystem");
+    let (publisher, subscriber) = build(&eco);
+    eco.connect();
+    eco.start_all();
+    let mut ids = Vec::new();
+    for i in 0..12 {
+        let row = publisher
+            .orm()
+            .create(
+                "Post",
+                vmap! { "body" => format!("v2-era-{i}"), "version" => i as i64 },
+            )
+            .unwrap();
+        ids.push(row.id);
+    }
+    let last = *ids.last().unwrap();
+    assert!(eventually(Duration::from_secs(5), || {
+        subscriber.orm().find("Post", last).unwrap().is_some()
+    }));
+    subscriber.persist_snapshot().expect("snapshot persists");
+    let store = subscriber.snapshot_store().expect("durability plane is on");
+    let snap_dir = store.dir().to_path_buf();
+    assert_eq!(latest_snapshot_magic(&snap_dir), *b"SYNSNAP3");
+    eco.stop_all();
+    drop((subscriber, publisher, eco));
+
+    // Downgrade the on-disk file to the scalar-era format in place — the
+    // directory now looks exactly as a pre-vector binary left it.
+    let offline = synapse_repro::core::SnapshotStore::open(&snap_dir).expect("reopen offline");
+    let current = offline
+        .load_latest()
+        .expect("readable")
+        .expect("a snapshot was persisted");
+    assert!(
+        !current.sub_entries.is_empty(),
+        "the snapshot carried subscriber version entries"
+    );
+    std::fs::write(
+        snap_dir.join(format!("state-{}.snap", current.seq)),
+        current.encode_legacy(),
+    )
+    .expect("rewrite as legacy");
+    drop(offline);
+    assert_eq!(latest_snapshot_magic(&snap_dir), *b"SYNSNAP2");
+
+    // --- Incarnation 2: rebuild from the legacy file. ---
+    let (eco, report) = Ecosystem::new_durable(wal_cfg()).expect("durable reopen");
+    assert!(
+        report.replayed_entries > 0,
+        "the WAL from incarnation 1 replays"
+    );
+    let (publisher, subscriber) = build(&eco);
+    let snap = subscriber.telemetry_snapshot();
+    assert_eq!(
+        counter(&snap, "recovery.snapshots_loaded"),
+        1,
+        "the SYNSNAP2 file loaded through the compat path"
+    );
+    assert!(counter(&snap, "recovery.snapshot_entries") > 0);
+    assert_eq!(counter(&snap, "recovery.snapshot_load_errors"), 0);
+    eco.connect();
+    eco.start_all();
+
+    // Replicated state survived the format downgrade.
+    for &id in &ids {
+        assert!(
+            subscriber.orm().find("Post", id).unwrap().is_some(),
+            "row {id} recovered from the legacy snapshot"
+        );
+    }
+    // The recovered scalar freshness marks still gate redelivery: versions
+    // restored from the v2 entries make a fresh update apply normally.
+    let next_id = synapse_repro::model::Id(ids.iter().map(|i| i.0).max().unwrap() + 1);
+    publisher
+        .orm()
+        .create_with_id(
+            "Post",
+            next_id,
+            vmap! { "body" => "post-downgrade", "version" => 99 },
+        )
+        .unwrap();
+    assert!(eventually(Duration::from_secs(5), || {
+        subscriber.orm().find("Post", next_id).unwrap().is_some()
+    }));
+
+    // The next persist writes the current format and supersedes the
+    // legacy file; a further reopen prefers it.
+    subscriber.persist_snapshot().expect("upgrade persist");
+    assert_eq!(latest_snapshot_magic(&snap_dir), *b"SYNSNAP3");
+    let reopened = synapse_repro::core::SnapshotStore::open(&snap_dir).expect("reopen upgraded");
+    let upgraded = reopened.load_latest().expect("readable").expect("present");
+    assert!(
+        upgraded.seq > current.seq,
+        "the upgraded snapshot is newest"
+    );
     eco.stop_all();
     let _ = std::fs::remove_dir_all(&root);
 }

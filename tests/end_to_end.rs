@@ -29,7 +29,10 @@ fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
 
 fn wait_replicated(node: &SynapseNode, model: &str, id: Id) -> bool {
     eventually(Duration::from_secs(5), || {
-        node.orm().find(model, id).map(|r| r.is_some()).unwrap_or(false)
+        node.orm()
+            .find(model, id)
+            .map(|r| r.is_some())
+            .unwrap_or(false)
     })
 }
 
@@ -44,7 +47,8 @@ fn fig4_basic_integration_across_three_engine_families() {
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
     pub1.orm().define_model(ModelSchema::open("User")).unwrap();
-    pub1.publish(Publication::model("User").field("name")).unwrap();
+    pub1.publish(Publication::model("User").field("name"))
+        .unwrap();
 
     let sub_sql = eco.add_node(
         SynapseConfig::new("sub1a"),
@@ -62,7 +66,10 @@ fn fig4_basic_integration_across_three_engine_families() {
         SynapseConfig::new("sub1b"),
         Arc::new(StretcherAdapter::new(LatencyModel::off())),
     );
-    sub_es.orm().define_model(ModelSchema::open("User")).unwrap();
+    sub_es
+        .orm()
+        .define_model(ModelSchema::open("User"))
+        .unwrap();
     sub_es
         .subscribe(Subscription::model("User", "pub1").field("name"))
         .unwrap();
@@ -146,9 +153,7 @@ fn fig4_basic_integration_across_three_engine_families() {
     }
     let pub_snap = pub1.telemetry_snapshot();
     assert_eq!(
-        pub_snap
-            .stage(ModeSlice::Causal, Stage::Intercept)
-            .count,
+        pub_snap.stage(ModeSlice::Causal, Stage::Intercept).count,
         3,
         "publisher records one intercept per write"
     );
@@ -167,7 +172,10 @@ fn subscribers_are_read_only_for_imported_data() {
         SynapseConfig::new("owner"),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    publisher.orm().define_model(ModelSchema::open("User")).unwrap();
+    publisher
+        .orm()
+        .define_model(ModelSchema::open("User"))
+        .unwrap();
     publisher
         .publish(Publication::model("User").field("name"))
         .unwrap();
@@ -176,18 +184,27 @@ fn subscribers_are_read_only_for_imported_data() {
         SynapseConfig::new("follower"),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
+    subscriber
+        .orm()
+        .define_model(ModelSchema::open("User"))
+        .unwrap();
     subscriber
         .subscribe(Subscription::model("User", "owner").field("name"))
         .unwrap();
     eco.connect();
     eco.start_all();
 
-    let user = publisher.orm().create("User", vmap! { "name" => "a" }).unwrap();
+    let user = publisher
+        .orm()
+        .create("User", vmap! { "name" => "a" })
+        .unwrap();
     assert!(wait_replicated(&subscriber, "User", user.id));
 
     // Create and delete are forbidden on the subscriber.
-    assert!(subscriber.orm().create("User", vmap! { "name" => "x" }).is_err());
+    assert!(subscriber
+        .orm()
+        .create("User", vmap! { "name" => "x" })
+        .is_err());
     assert!(subscriber.orm().destroy("User", user.id).is_err());
     // Updating the imported attribute is forbidden...
     assert!(subscriber
@@ -214,7 +231,8 @@ fn decorator_chain_merges_attributes_downstream() {
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
     pub1.orm().define_model(ModelSchema::open("User")).unwrap();
-    pub1.publish(Publication::model("User").field("name")).unwrap();
+    pub1.publish(Publication::model("User").field("name"))
+        .unwrap();
 
     let dec2 = eco.add_node(
         SynapseConfig::new("dec2"),
@@ -239,7 +257,10 @@ fn decorator_chain_merges_attributes_downstream() {
     assert!(eco.connect().is_empty());
     eco.start_all();
 
-    let user = pub1.orm().create("User", vmap! { "name" => "carol" }).unwrap();
+    let user = pub1
+        .orm()
+        .create("User", vmap! { "name" => "carol" })
+        .unwrap();
     assert!(wait_replicated(&dec2, "User", user.id));
 
     // The decorator computes and publishes interests.
@@ -313,26 +334,37 @@ fn sql_friendships_become_graph_edges_via_observer() {
     )
     .unwrap();
     let adapter_for_add = neo4j_adapter.clone();
-    sub2.orm().on("Friendship", CallbackPoint::AfterCreate, move |_, r| {
-        let u1 = Id(r.get("user1_id").as_int().unwrap_or(0) as u64);
-        let u2 = Id(r.get("user2_id").as_int().unwrap_or(0) as u64);
-        adapter_for_add.add_edge("friends", u1, u2)?;
-        Ok(())
-    });
+    sub2.orm()
+        .on("Friendship", CallbackPoint::AfterCreate, move |_, r| {
+            let u1 = Id(r.get("user1_id").as_int().unwrap_or(0) as u64);
+            let u2 = Id(r.get("user2_id").as_int().unwrap_or(0) as u64);
+            adapter_for_add.add_edge("friends", u1, u2)?;
+            Ok(())
+        });
     let adapter_for_remove = neo4j_adapter.clone();
-    sub2.orm().on("Friendship", CallbackPoint::AfterDestroy, move |_, r| {
-        let u1 = Id(r.get("user1_id").as_int().unwrap_or(0) as u64);
-        let u2 = Id(r.get("user2_id").as_int().unwrap_or(0) as u64);
-        adapter_for_remove.remove_edge("friends", u1, u2)?;
-        Ok(())
-    });
+    sub2.orm()
+        .on("Friendship", CallbackPoint::AfterDestroy, move |_, r| {
+            let u1 = Id(r.get("user1_id").as_int().unwrap_or(0) as u64);
+            let u2 = Id(r.get("user2_id").as_int().unwrap_or(0) as u64);
+            adapter_for_remove.remove_edge("friends", u1, u2)?;
+            Ok(())
+        });
 
     assert!(eco.connect().is_empty());
     eco.start_all();
 
-    let alice = pub2.orm().create("User", vmap! { "name" => "alice" }).unwrap();
-    let bob = pub2.orm().create("User", vmap! { "name" => "bob" }).unwrap();
-    let carol = pub2.orm().create("User", vmap! { "name" => "carol" }).unwrap();
+    let alice = pub2
+        .orm()
+        .create("User", vmap! { "name" => "alice" })
+        .unwrap();
+    let bob = pub2
+        .orm()
+        .create("User", vmap! { "name" => "bob" })
+        .unwrap();
+    let carol = pub2
+        .orm()
+        .create("User", vmap! { "name" => "carol" })
+        .unwrap();
     pub2.orm()
         .create(
             "Friendship",
@@ -400,21 +432,24 @@ fn mongodb_arrays_into_sql_via_virtual_attribute() {
         .subscribe(Subscription::model("User", "pub3").field_as("interests", "interests_virt"))
         .unwrap();
     // The virtual setter: replace the user's Interest rows.
-    sub3b.orm().virtuals().setter("User", "interests_virt", |orm, record, value| {
-        let existing = orm.where_eq("Interest", "user_id", record.id.raw())?;
-        for e in existing {
-            orm.destroy("Interest", e.id)?;
-        }
-        if let Some(tags) = value.as_array() {
-            for tag in tags {
-                orm.create(
-                    "Interest",
-                    vmap! { "tag" => tag.clone(), "user_id" => record.id.raw() },
-                )?;
+    sub3b
+        .orm()
+        .virtuals()
+        .setter("User", "interests_virt", |orm, record, value| {
+            let existing = orm.where_eq("Interest", "user_id", record.id.raw())?;
+            for e in existing {
+                orm.destroy("Interest", e.id)?;
             }
-        }
-        Ok(())
-    });
+            if let Some(tags) = value.as_array() {
+                for tag in tags {
+                    orm.create(
+                        "Interest",
+                        vmap! { "tag" => tag.clone(), "user_id" => record.id.raw() },
+                    )?;
+                }
+            }
+            Ok(())
+        });
 
     assert!(eco.connect().is_empty());
     eco.start_all();
@@ -462,16 +497,26 @@ fn ephemeral_clicks_reach_analytics_without_local_storage() {
         SynapseConfig::new("frontend"),
         Arc::new(synapse_repro::orm::adapters::EphemeralAdapter::new()),
     );
-    frontend.orm().define_model(ModelSchema::open("Click")).unwrap();
     frontend
-        .publish(Publication::model("Click").fields(&["target", "user_id"]).ephemeral())
+        .orm()
+        .define_model(ModelSchema::open("Click"))
+        .unwrap();
+    frontend
+        .publish(
+            Publication::model("Click")
+                .fields(&["target", "user_id"])
+                .ephemeral(),
+        )
         .unwrap();
 
     let analytics = eco.add_node(
         SynapseConfig::new("analytics").mode(DeliveryMode::Weak),
         Arc::new(StretcherAdapter::new(LatencyModel::off())),
     );
-    analytics.orm().define_model(ModelSchema::open("Click")).unwrap();
+    analytics
+        .orm()
+        .define_model(ModelSchema::open("Click"))
+        .unwrap();
     analytics
         .subscribe(Subscription::model("Click", "frontend").fields(&["target", "user_id"]))
         .unwrap();
@@ -489,7 +534,11 @@ fn ephemeral_clicks_reach_analytics_without_local_storage() {
     assert_eq!(frontend.orm().count("Click").unwrap(), 0);
     // ...but analytics got every event.
     assert!(eventually(Duration::from_secs(5), || {
-        analytics.orm().count("Click").map(|n| n == 20).unwrap_or(false)
+        analytics
+            .orm()
+            .count("Click")
+            .map(|n| n == 20)
+            .unwrap_or(false)
     }));
 
     eco.stop_all();
@@ -504,17 +553,32 @@ fn static_checks_catch_unpublished_subscriptions() {
         SynapseConfig::new("pub"),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    publisher.orm().define_model(ModelSchema::open("User")).unwrap();
-    publisher.publish(Publication::model("User").field("name")).unwrap();
+    publisher
+        .orm()
+        .define_model(ModelSchema::open("User"))
+        .unwrap();
+    publisher
+        .publish(Publication::model("User").field("name"))
+        .unwrap();
 
     let subscriber = eco.add_node(
         SynapseConfig::new("sub"),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    subscriber.orm().define_model(ModelSchema::open("User")).unwrap();
-    subscriber.orm().define_model(ModelSchema::open("Ghost")).unwrap();
     subscriber
-        .subscribe(Subscription::model("User", "pub").field("name").field("email"))
+        .orm()
+        .define_model(ModelSchema::open("User"))
+        .unwrap();
+    subscriber
+        .orm()
+        .define_model(ModelSchema::open("Ghost"))
+        .unwrap();
+    subscriber
+        .subscribe(
+            Subscription::model("User", "pub")
+                .field("name")
+                .field("email"),
+        )
         .unwrap();
     subscriber
         .subscribe(Subscription::model("Ghost", "pub").field("x"))

@@ -9,8 +9,8 @@ use synapse_repro::core::{
     DeliveryMode, Ecosystem, Publication, Subscription, SynapseConfig, SynapseNode,
 };
 use synapse_repro::db::LatencyModel;
-use synapse_repro::model::{vmap, Id};
 use synapse_repro::model::ModelSchema;
+use synapse_repro::model::{vmap, Id};
 use synapse_repro::orm::adapters::MongoidAdapter;
 
 fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
@@ -180,11 +180,7 @@ fn weak_mode_discards_stale_redeliveries() {
 fn queue_cap_decommissions_and_partial_bootstrap_recovers() {
     let eco = Ecosystem::new();
     let publisher = publishing_node(&eco, "pub");
-    let subscriber = subscribing_node(
-        &eco,
-        SynapseConfig::new("sub").queue_cap(10),
-        "pub",
-    );
+    let subscriber = subscribing_node(&eco, SynapseConfig::new("sub").queue_cap(10), "pub");
     eco.connect();
     // Subscriber is down (workers not started); flood past the cap.
     for i in 0..50 {
@@ -317,14 +313,16 @@ fn drain_waits_for_in_flight_messages() {
     eco.connect();
 
     // Slow down application so the in-flight window is wide open.
-    subscriber
-        .orm()
-        .on("Post", synapse_repro::orm::CallbackPoint::AfterCreate, |ctx, _| {
+    subscriber.orm().on(
+        "Post",
+        synapse_repro::orm::CallbackPoint::AfterCreate,
+        |ctx, _| {
             if !ctx.bootstrap {
                 std::thread::sleep(Duration::from_millis(150));
             }
             Ok(())
-        });
+        },
+    );
     eco.start_all();
 
     let post = publisher

@@ -333,7 +333,10 @@ fn run_soak(seed: u64) -> SoakOutcome {
         } else {
             expected_rows += 1;
             let replica = replica.unwrap_or_else(|| {
-                panic!("row {} silently lost (not replicated, not dead-lettered)", row.id)
+                panic!(
+                    "row {} silently lost (not replicated, not dead-lettered)",
+                    row.id
+                )
             });
             assert_eq!(replica.get("body"), row.get("body"), "row {}", row.id);
             assert_eq!(replica.get("version"), row.get("version"), "row {}", row.id);
@@ -368,7 +371,10 @@ fn run_soak(seed: u64) -> SoakOutcome {
         "more duplicates than broker restarts can explain"
     );
     assert_eq!(sub_stats.dead_lettered, broker_stats.dead_lettered);
-    assert_eq!(pub_stats.publish_failures, 0, "retries absorb armed failures");
+    assert_eq!(
+        pub_stats.publish_failures, 0,
+        "retries absorb armed failures"
+    );
 
     // --- Telemetry plane: the snapshot must be live and self-consistent
     // even under faults. Stage counts equal the end-to-end count per mode,

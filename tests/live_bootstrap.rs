@@ -119,13 +119,19 @@ fn run_live_bootstrap(seed: u64) {
         .unwrap();
     // A purely local model, to prove the node stays writable after a
     // failed attempt.
-    subscriber.orm().define_model(ModelSchema::open("Note")).unwrap();
+    subscriber
+        .orm()
+        .define_model(ModelSchema::open("Note"))
+        .unwrap();
 
     let mut seeded_ids = Vec::with_capacity(SEED_ROWS);
     for i in 0..SEED_ROWS {
         let row = publisher
             .orm()
-            .create("Post", vmap! { "body" => format!("seed-{i}"), "version" => i as i64 })
+            .create(
+                "Post",
+                vmap! { "body" => format!("seed-{i}"), "version" => i as i64 },
+            )
             .unwrap();
         seeded_ids.push(row.id);
     }
@@ -441,7 +447,10 @@ fn run_live_bootstrap(seed: u64) {
     // Live replication still works end to end.
     let fresh = publisher
         .orm()
-        .create("Post", vmap! { "body" => "post-aftershock", "version" => 9999 })
+        .create(
+            "Post",
+            vmap! { "body" => "post-aftershock", "version" => 9999 },
+        )
         .unwrap();
     assert!(eventually(Duration::from_secs(5), || {
         subscriber.orm().find("Post", fresh.id).unwrap().is_some()
@@ -519,10 +528,7 @@ fn bootstrap_interleaves_without_stalling_live_delivery() {
     for point in [CallbackPoint::AfterCreate, CallbackPoint::AfterUpdate] {
         let applies = applies.clone();
         subscriber.orm().on("Post", point, move |_ctx, _record| {
-            applies
-                .lock()
-                .unwrap()
-                .push(t0.elapsed().as_nanos() as u64);
+            applies.lock().unwrap().push(t0.elapsed().as_nanos() as u64);
             Ok(())
         });
     }
@@ -530,7 +536,10 @@ fn bootstrap_interleaves_without_stalling_live_delivery() {
     for i in 0..STALL_SEED_ROWS {
         publisher
             .orm()
-            .create("Post", vmap! { "body" => format!("seed-{i}"), "version" => i as i64 })
+            .create(
+                "Post",
+                vmap! { "body" => format!("seed-{i}"), "version" => i as i64 },
+            )
             .unwrap();
     }
     eco.connect();
@@ -540,7 +549,10 @@ fn bootstrap_interleaves_without_stalling_live_delivery() {
     for i in 0..STEADY_OPS {
         publisher
             .orm()
-            .create("Post", vmap! { "body" => format!("steady-{i}"), "version" => 0_i64 })
+            .create(
+                "Post",
+                vmap! { "body" => format!("steady-{i}"), "version" => 0_i64 },
+            )
             .unwrap();
         std::thread::sleep(Duration::from_micros(200));
     }
@@ -548,7 +560,10 @@ fn bootstrap_interleaves_without_stalling_live_delivery() {
     let steady = subscriber.telemetry_snapshot();
     let steady_live = steady.stage(ModeSlice::Causal, Stage::QueueResidency);
     let (steady_count, steady_p99) = (steady_live.count, steady_live.p99_nanos);
-    assert!(steady_count > 0, "steady live deliveries recorded residency");
+    assert!(
+        steady_count > 0,
+        "steady live deliveries recorded residency"
+    );
 
     // --- Phase B: the copy runs while the writer keeps publishing. ---
     let writer = {
@@ -670,7 +685,10 @@ fn delete_mid_chunk_is_not_resurrected_by_its_in_flight_copy() {
     for i in 0..64 {
         let row = publisher
             .orm()
-            .create("Post", vmap! { "body" => format!("seed-{i}"), "version" => i as i64 })
+            .create(
+                "Post",
+                vmap! { "body" => format!("seed-{i}"), "version" => i as i64 },
+            )
             .unwrap();
         ids.push(row.id);
     }

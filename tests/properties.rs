@@ -70,6 +70,7 @@ proptest! {
             dependencies: deps,
             published_at: 42,
             generation,
+            vectors: BTreeMap::new(),
         };
         let decoded = WriteMessage::decode(&msg.encode()).unwrap();
         prop_assert_eq!(decoded, msg);

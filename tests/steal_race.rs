@@ -39,6 +39,7 @@ fn object_msg(operation: &str, key: u64, version: u64, name: &str) -> WriteMessa
         dependencies: [(key, version)].into_iter().collect(),
         published_at: 0,
         generation: 1,
+        vectors: BTreeMap::new(),
     }
 }
 
@@ -59,7 +60,8 @@ fn steal_race_once(serialize: bool) -> String {
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
     pub1.orm().define_model(ModelSchema::open("User")).unwrap();
-    pub1.publish(Publication::model("User").field("name")).unwrap();
+    pub1.publish(Publication::model("User").field("name"))
+        .unwrap();
 
     let sub = eco.add_node(
         SynapseConfig::new("sub1").mode(DeliveryMode::Weak),
@@ -81,7 +83,13 @@ fn steal_race_once(serialize: bool) -> String {
     // A standalone partitioned queue carrying the racing pair; the node's
     // own pool must not drain it, so it lives on its own broker.
     let broker = Broker::new();
-    broker.declare_queue("race", QueueConfig { max_len: None, partitions: 4 });
+    broker.declare_queue(
+        "race",
+        QueueConfig {
+            max_len: None,
+            partitions: 4,
+        },
+    );
     broker.bind("pub1", "race");
     let consumer = broker.consumer("race").unwrap();
 
@@ -99,7 +107,10 @@ fn steal_race_once(serialize: bool) -> String {
 
     // Keyed routing put all three in one partition, in publish order.
     let depths = broker.partition_depths("race").unwrap();
-    let partition = depths.iter().position(|d| *d == 3).expect("one partition holds the key");
+    let partition = depths
+        .iter()
+        .position(|d| *d == 3)
+        .expect("one partition holds the key");
 
     let seed = consumer
         .pop_batch_from(partition, 1, Duration::ZERO)
@@ -116,23 +127,23 @@ fn steal_race_once(serialize: bool) -> String {
     {
         let home_inside = home_inside.clone();
         let thief_done = thief_done.clone();
-        sub.orm().on("User", CallbackPoint::BeforeUpdate, move |_, rec| {
-            if rec.get("name").as_str() == Some("v1") {
-                let (lock, cvar) = &*home_inside;
-                *lock.lock().unwrap() = true;
-                cvar.notify_all();
-                // Bounded wait: under the fix the thief *cannot* apply
-                // while we hold the slot, so this times out and the home
-                // worker simply applies first.
-                let deadline = std::time::Instant::now() + Duration::from_millis(400);
-                while !thief_done.load(Ordering::SeqCst)
-                    && std::time::Instant::now() < deadline
-                {
-                    std::thread::sleep(Duration::from_millis(5));
+        sub.orm()
+            .on("User", CallbackPoint::BeforeUpdate, move |_, rec| {
+                if rec.get("name").as_str() == Some("v1") {
+                    let (lock, cvar) = &*home_inside;
+                    *lock.lock().unwrap() = true;
+                    cvar.notify_all();
+                    // Bounded wait: under the fix the thief *cannot* apply
+                    // while we hold the slot, so this times out and the home
+                    // worker simply applies first.
+                    let deadline = std::time::Instant::now() + Duration::from_millis(400);
+                    while !thief_done.load(Ordering::SeqCst) && std::time::Instant::now() < deadline
+                    {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
                 }
-            }
-            Ok(())
-        });
+                Ok(())
+            });
     }
 
     // Home worker: pop the earlier update from its partition and apply.
@@ -149,11 +160,12 @@ fn steal_race_once(serialize: bool) -> String {
         let (lock, cvar) = &*home_inside;
         let mut inside = lock.lock().unwrap();
         while !*inside {
-            let (guard, timeout) = cvar
-                .wait_timeout(inside, Duration::from_secs(2))
-                .unwrap();
+            let (guard, timeout) = cvar.wait_timeout(inside, Duration::from_secs(2)).unwrap();
             inside = guard;
-            assert!(!timeout.timed_out(), "home worker never reached the race window");
+            assert!(
+                !timeout.timed_out(),
+                "home worker never reached the race window"
+            );
         }
     }
 

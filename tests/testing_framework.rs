@@ -1,8 +1,8 @@
 //! The §4.5 testing framework: factories exported by publishers, payload
 //! emulation on subscribers, and bootstrap-aware callbacks (Fig. 2).
 
-use std::sync::Arc;
 use parking_lot::Mutex;
+use std::sync::Arc;
 use synapse_repro::core::testing::{emulate_delivery, emulate_message, FactorySet};
 use synapse_repro::core::{Ecosystem, Publication, Subscription, SynapseConfig};
 use synapse_repro::db::LatencyModel;
@@ -34,13 +34,14 @@ fn subscriber_tests_run_against_emulated_payloads() {
 
     let outbox: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let sent = outbox.clone();
-    sub.orm().on("User", CallbackPoint::AfterCreate, move |ctx, u| {
-        if !ctx.bootstrap {
-            sent.lock()
-                .push(u.get("email").as_str().unwrap_or("?").to_owned());
-        }
-        Ok(())
-    });
+    sub.orm()
+        .on("User", CallbackPoint::AfterCreate, move |ctx, u| {
+            if !ctx.bootstrap {
+                sent.lock()
+                    .push(u.get("email").as_str().unwrap_or("?").to_owned());
+            }
+            Ok(())
+        });
 
     // Replay three factory-built users as production payloads.
     for i in 1..=3 {
@@ -53,7 +54,11 @@ fn subscriber_tests_run_against_emulated_payloads() {
     assert_eq!(sub.orm().count("User").unwrap(), 3);
     assert_eq!(outbox.lock().len(), 3, "welcome mails for each user");
     // The emulation projected away unpublished attributes, like production.
-    let u = sub.orm().find("User", synapse_repro::model::Id(1)).unwrap().unwrap();
+    let u = sub
+        .orm()
+        .find("User", synapse_repro::model::Id(1))
+        .unwrap()
+        .unwrap();
     assert!(u.get("secret").is_null());
 }
 
@@ -65,7 +70,10 @@ fn bootstrap_flag_suppresses_side_effects() {
         SynapseConfig::new("main_app"),
         Arc::new(MongoidAdapter::new("mongodb", LatencyModel::off())),
     );
-    publisher.orm().define_model(ModelSchema::open("User")).unwrap();
+    publisher
+        .orm()
+        .define_model(ModelSchema::open("User"))
+        .unwrap();
     publisher
         .publish(Publication::model("User").fields(&["name", "email"]))
         .unwrap();
@@ -81,19 +89,23 @@ fn bootstrap_flag_suppresses_side_effects() {
 
     let outbox: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let sent = outbox.clone();
-    sub.orm().on("User", CallbackPoint::AfterCreate, move |ctx, u| {
-        if !ctx.bootstrap {
-            sent.lock()
-                .push(u.get("name").as_str().unwrap_or("?").to_owned());
-        }
-        Ok(())
-    });
+    sub.orm()
+        .on("User", CallbackPoint::AfterCreate, move |ctx, u| {
+            if !ctx.bootstrap {
+                sent.lock()
+                    .push(u.get("name").as_str().unwrap_or("?").to_owned());
+            }
+            Ok(())
+        });
 
     // 100 pre-existing users arrive via bootstrap: no emails.
     for i in 0..100 {
         publisher
             .orm()
-            .create("User", vmap! { "name" => format!("old-{i}"), "email" => "e" })
+            .create(
+                "User",
+                vmap! { "name" => format!("old-{i}"), "email" => "e" },
+            )
             .unwrap();
     }
     sub.start_and_bootstrap_from(&publisher).unwrap();
